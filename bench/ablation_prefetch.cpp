@@ -1,0 +1,43 @@
+// Ablation — number of prefetched videos (M) vs. prefetch hit rate and
+// startup delay, next to the §IV-B analytic accuracy for reference.
+#include "bench_common.h"
+
+#include "exp/analytical.h"
+#include "exp/runner.h"
+#include "trace/generator.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  const st::trace::Catalog catalog = st::trace::generateTrace(config.trace);
+  const double meanChannelSize =
+      static_cast<double>(catalog.videoCount()) /
+      static_cast<double>(catalog.channelCount());
+
+  std::printf("Prefetch-count ablation — SocialTube, %zu users "
+              "(mean channel size %.1f)\n\n", config.trace.numUsers,
+              meanChannelSize);
+  std::printf("%-4s %-12s %-14s %-14s %-16s\n", "M", "hit rate",
+              "analytic(p_k)", "delay mean ms", "prefetch chunks");
+  for (const std::size_t m : {0ul, 1ul, 2ul, 3ul, 5ul, 8ul}) {
+    config.vod.prefetchEnabled = m > 0;
+    config.vod.prefetchCount = m;
+    config.vod.prefetchCacheSlots = std::max<std::size_t>(2 * m, 1);
+    const auto result = st::exp::runExperiment(
+        config, st::exp::SystemKind::kSocialTube, &catalog);
+    const double analytic =
+        m == 0 ? 0.0
+               : st::exp::analytical::prefetchAccuracy(
+                     static_cast<std::size_t>(meanChannelSize), m);
+    std::printf("%-4zu %-12.3f %-14.3f %-14.1f %-16llu\n", m,
+                result.prefetchHitRate(), analytic,
+                result.startupDelayMs.mean(),
+                static_cast<unsigned long long>(result.prefetchIssued));
+  }
+  std::printf("\nreading: hit rate grows sublinearly in M (Zipf mass "
+              "concentrates at the top)\nwhile prefetch traffic grows "
+              "linearly — M of 3-4 is the paper's sweet spot.\n");
+  return 0;
+}

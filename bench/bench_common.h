@@ -1,0 +1,63 @@
+// Shared plumbing for the figure-reproduction binaries.
+//
+// Trace figures (2-13) analyze a crawl-scale synthetic catalog (the paper
+// crawled 2,031 users); system figures (16-18) run reduced-scale
+// experiments by default and paper scale with --full.
+#pragma once
+
+#include <cstdio>
+
+#include "exp/config.h"
+#include "trace/crawler.h"
+#include "trace/generator.h"
+#include "trace/stats.h"
+#include "util/flags.h"
+
+namespace st::bench {
+
+// Catalog sized like the paper's crawl sample.
+inline trace::Catalog crawlScaleCatalog(const Flags& flags) {
+  trace::GeneratorParams params;
+  params.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  params.numUsers =
+      static_cast<std::size_t>(flags.getInt("users", 2'031));
+  params.numChannels =
+      static_cast<std::size_t>(flags.getInt("channels", 545));
+  // The crawl saw 261,101 videos; default to a computationally friendly
+  // subset with the same per-channel shape (override with --videos).
+  params.numVideos =
+      static_cast<std::size_t>(flags.getInt("videos", 20'000));
+  return trace::generateTrace(params);
+}
+
+// Experiment config honoring --full / --planetlab / --users / --sessions.
+inline exp::ExperimentConfig experimentConfig(const Flags& flags) {
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+  const bool planetlab = flags.getBool("planetlab", false);
+  exp::ExperimentConfig config =
+      planetlab ? exp::ExperimentConfig::planetLabDefaults(seed)
+                : exp::ExperimentConfig::simulationDefaults(seed);
+  if (!flags.getBool("full", false)) {
+    const auto users = static_cast<std::size_t>(
+        flags.getInt("users", planetlab ? 250 : 1'500));
+    const auto sessions = static_cast<std::size_t>(
+        flags.getInt("sessions", planetlab ? 10 : 8));
+    config = config.scaledTo(users, sessions);
+    if (planetlab) config.vod.serverUploadBps = 5'000'000.0;
+  }
+  return config;
+}
+
+inline int rejectUnknownFlags(const Flags& flags) {
+  if (!flags.ok()) {
+    std::fprintf(stderr, "flag error: %s\n", flags.error().c_str());
+    return 1;
+  }
+  for (const auto& name : flags.unconsumed()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace st::bench

@@ -1,0 +1,34 @@
+// Fig. 5 — channel total views vs. number of subscriptions (scatter).
+// Paper: "a strong, positive correlation".
+#include "bench_common.h"
+
+#include <algorithm>
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  const st::trace::Catalog catalog = st::bench::crawlScaleCatalog(flags);
+  const auto sample = static_cast<std::size_t>(flags.getInt("points", 20));
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  const st::trace::TraceStats stats(catalog);
+  const auto result = stats.viewsVsSubscriptions();
+
+  std::printf("Fig. 5 — channel views vs subscriptions (%zu channels)\n",
+              result.points.size());
+  std::printf("log-log Pearson correlation = %.3f (paper: strong positive)\n\n",
+              result.logCorrelation);
+  // A few scatter rows, ordered by subscribers, for eyeballing the trend.
+  auto points = result.points;
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::printf("%-14s %-14s\n", "subscribers", "total views");
+  const std::size_t step = std::max<std::size_t>(1, points.size() / sample);
+  for (std::size_t i = 0; i < points.size(); i += step) {
+    std::printf("%-14.0f %-14.4g\n", points[i].second, points[i].first);
+  }
+  std::printf("\nshape check: %s\n",
+              result.logCorrelation > 0.5
+                  ? "OK (strong positive correlation)"
+                  : "MISMATCH (weak correlation)");
+  return 0;
+}

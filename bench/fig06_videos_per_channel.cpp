@@ -1,0 +1,28 @@
+// Fig. 6 — CDF of the number of videos per channel.
+// Paper quotes: 50% of channels <= 9 videos, top 25% > 36, top 10% > 116.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  const st::trace::Catalog catalog = st::bench::crawlScaleCatalog(flags);
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  const st::trace::TraceStats stats(catalog);
+  const st::SampleSet videos = stats.videosPerChannel();
+
+  std::printf("Fig. 6 — CDF of videos per channel (%zu channels, "
+              "%zu videos)\n", catalog.channelCount(), catalog.videoCount());
+  std::printf("%-10s %-12s %-12s\n", "fraction", "measured", "paper");
+  const struct { double p; const char* paper; } rows[] = {
+      {0.25, "-"}, {0.50, "9"}, {0.75, "36"}, {0.90, "116"}, {0.99, "-"},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-10.2f %-12.0f %-12s\n", row.p, videos.quantile(row.p),
+                row.paper);
+  }
+  const bool heavyTail = videos.percentile(90) > 3.0 * videos.percentile(50);
+  std::printf("\nshape check: %s\n",
+              heavyTail ? "OK (long-tailed channel sizes)"
+                        : "MISMATCH (tail too thin)");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 10 — graph of channels connected by shared subscribers.
+// Paper: with a threshold of 50 shared subscribers, channels form distinct
+// per-category clusters. We quantify the visual: same-category channel
+// pairs share far more subscribers than cross-category pairs.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  const st::trace::Catalog catalog = st::bench::crawlScaleCatalog(flags);
+  const auto threshold =
+      static_cast<std::size_t>(flags.getInt("threshold", 50));
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  const st::trace::TraceStats stats(catalog);
+  const auto graph = stats.sharedSubscriberGraph(threshold);
+
+  std::printf("Fig. 10 — shared-subscriber channel graph "
+              "(threshold %zu, as in the paper)\n\n", threshold);
+  std::printf("channels (nodes)                 : %zu\n", graph.nodes);
+  std::printf("edges (pairs >= threshold)       : %zu\n", graph.edges);
+  std::printf("same-category fraction of edges  : %.3f\n",
+              graph.sameCategoryEdgeFraction);
+  std::printf("mean shared subs, same category  : %.2f\n",
+              graph.meanSharedSameCategory);
+  std::printf("mean shared subs, cross category : %.2f\n",
+              graph.meanSharedDifferentCategory);
+  const double ratio =
+      graph.meanSharedSameCategory /
+      std::max(graph.meanSharedDifferentCategory, 1e-9);
+  std::printf("clustering ratio (same/cross)    : %.2fx\n\n", ratio);
+  std::printf("shape check: %s\n",
+              ratio > 1.2 ? "OK (channels cluster by interest category)"
+                          : "MISMATCH (no clustering)");
+  return 0;
+}

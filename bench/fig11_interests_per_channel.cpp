@@ -1,0 +1,35 @@
+// Fig. 11 — number of interest categories each channel contains.
+// Paper: channels are generally focused on a small number of categories.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  const st::trace::Catalog catalog = st::bench::crawlScaleCatalog(flags);
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  const st::trace::TraceStats stats(catalog);
+  const st::SampleSet interests = stats.interestsPerChannel();
+
+  std::printf("Fig. 11 — interest categories per channel (%zu channels)\n",
+              catalog.channelCount());
+  // Histogram of the small discrete support.
+  std::size_t counts[8] = {0};
+  for (const double x : interests.samples()) {
+    const auto k = static_cast<std::size_t>(x);
+    ++counts[std::min<std::size_t>(k, 7)];
+  }
+  std::printf("%-12s %-10s %-10s\n", "categories", "channels", "fraction");
+  for (std::size_t k = 1; k <= 7; ++k) {
+    if (counts[k] == 0) continue;
+    std::printf("%-12zu %-10zu %-10.3f\n", k, counts[k],
+                static_cast<double>(counts[k]) /
+                    static_cast<double>(catalog.channelCount()));
+  }
+  std::printf("\nmedian = %.0f, p100 = %.0f\n", interests.percentile(50),
+              interests.percentile(100));
+  std::printf("shape check: %s\n",
+              interests.percentile(50) <= 2.0 && interests.percentile(100) <= 6.0
+                  ? "OK (channels focus on few categories)"
+                  : "MISMATCH (channels too broad)");
+  return 0;
+}

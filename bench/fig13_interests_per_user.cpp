@@ -1,0 +1,35 @@
+// Fig. 13 — number of personal interests per user, derived (as in the
+// paper) from the categories of each user's favorite videos.
+// Paper: ~60% of users have fewer than 10 interests; maximum is 18.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  const st::trace::Catalog catalog = st::bench::crawlScaleCatalog(flags);
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  const st::trace::TraceStats stats(catalog);
+  const st::SampleSet interests = stats.interestsPerUser();
+
+  std::printf("Fig. 13 — personal interests per user (%zu users)\n",
+              interests.count());
+  std::printf("%-10s %-10s\n", "fraction", "interests");
+  for (int i = 1; i <= 10; ++i) {
+    const double f = i / 10.0;
+    std::printf("%-10.1f %-10.0f\n", f, interests.quantile(f));
+  }
+  std::size_t under10 = 0;
+  for (const double x : interests.samples()) {
+    if (x < 10.0) ++under10;
+  }
+  const double fraction =
+      static_cast<double>(under10) / static_cast<double>(interests.count());
+  std::printf("\nfraction under 10 interests = %.2f (paper ~0.60)\n",
+              fraction);
+  std::printf("maximum = %.0f (paper: 18)\n", interests.percentile(100));
+  std::printf("shape check: %s\n",
+              fraction > 0.5 && interests.percentile(100) <= 18.0
+                  ? "OK (limited interests per user)"
+                  : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 17 — startup delay with and without prefetching.
+// Paper: PA-VoD worst by far; SocialTube < NetTube both with and without
+// their prefetching strategies; each system's own prefetching helps, and
+// SocialTube's popularity-ranked prefetching helps more than NetTube's
+// random-neighbor strategy.
+#include "bench_common.h"
+
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "trace/generator.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  std::printf("Fig. 17%s — startup delay (ms), %zu users\n\n",
+              config.mode == st::exp::Mode::kPlanetLab ? "(b) PlanetLab"
+                                                       : "(a) PeerSim",
+              config.trace.numUsers);
+  const st::trace::Catalog catalog = st::trace::generateTrace(config.trace);
+
+  config.vod.prefetchEnabled = true;
+  const auto socialPf = st::exp::runExperiment(
+      config, st::exp::SystemKind::kSocialTube, &catalog);
+  const auto nettubePf = st::exp::runExperiment(
+      config, st::exp::SystemKind::kNetTube, &catalog);
+  config.vod.prefetchEnabled = false;
+  const auto social = st::exp::runExperiment(
+      config, st::exp::SystemKind::kSocialTube, &catalog);
+  const auto nettube = st::exp::runExperiment(
+      config, st::exp::SystemKind::kNetTube, &catalog);
+  const auto pavod =
+      st::exp::runExperiment(config, st::exp::SystemKind::kPaVod, &catalog);
+
+  st::exp::printStartupDelay("PA-VoD", pavod);
+  st::exp::printStartupDelay("SocialTube w/ PF", socialPf);
+  st::exp::printStartupDelay("SocialTube w/o PF", social);
+  st::exp::printStartupDelay("NetTube w/ PF", nettubePf);
+  st::exp::printStartupDelay("NetTube w/o PF", nettube);
+
+  std::printf("\npaper shape: PA-VoD worst; SocialTube < NetTube; "
+              "prefetching reduces delay,\nmore so for SocialTube "
+              "(popularity-ranked) than NetTube (random).\n");
+  const bool ok = pavod.startupDelayMs.mean() > socialPf.startupDelayMs.mean() &&
+                  pavod.startupDelayMs.mean() > nettubePf.startupDelayMs.mean() &&
+                  socialPf.startupDelayMs.mean() <= nettubePf.startupDelayMs.mean() &&
+                  socialPf.startupDelayMs.mean() < social.startupDelayMs.mean();
+  std::printf("shape check: %s\n", ok ? "OK" : "MISMATCH");
+  return 0;
+}

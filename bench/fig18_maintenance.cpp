@@ -1,0 +1,54 @@
+// Fig. 18 — overlay maintenance overhead (links maintained) at different
+// points in a session.
+// Paper: SocialTube holds a roughly constant ~15 links; NetTube starts low
+// and accumulates links as more videos are watched, ending far above
+// SocialTube.
+#include "bench_common.h"
+
+#include "exp/report.h"
+#include "exp/runner.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  const st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+
+  std::printf("Fig. 18%s — mean links maintained after the n-th video "
+              "(%zu users)\n\n",
+              config.mode == st::exp::Mode::kPlanetLab ? "(b) PlanetLab"
+                                                       : "(a) PeerSim",
+              config.trace.numUsers);
+  const auto results = st::exp::runAllSystems(config);
+  st::exp::printMaintenance(results);
+
+  const auto& social = results[1];
+  const auto& nettube = results[2];
+  const std::size_t last = config.vod.videosPerSession;
+  const double socialEarly = social.linksByVideosWatched[2].mean();
+  const double socialLate = social.linksByVideosWatched[last].mean();
+  const double netEarly = nettube.linksByVideosWatched[2].mean();
+  const double netLate = nettube.linksByVideosWatched[last].mean();
+  std::printf("\nSocialTube growth %.2f -> %.2f (%.2fx); "
+              "NetTube growth %.2f -> %.2f (%.2fx)\n",
+              socialEarly, socialLate, socialLate / std::max(socialEarly, 1e-9),
+              netEarly, netLate, netLate / std::max(netEarly, 1e-9));
+  std::printf("paper shape: SocialTube flat, NetTube linear growth ending "
+              "above SocialTube\n");
+  // The growth *law* (flat vs linear) is the scale-independent claim; the
+  // absolute crossing point depends on how many holders each per-video
+  // overlay can accumulate, which the 250-node PlanetLab deployment is too
+  // small for (one link per co-holder of a 2,400-video catalog).
+  const bool growthLaw = netLate > 1.5 * netEarly &&
+                         socialLate < 2.0 * socialEarly + 3.0;
+  const bool crossing = netLate > socialLate;
+  if (config.mode == st::exp::Mode::kPlanetLab && !crossing) {
+    std::printf("note: growth law holds; the absolute crossing needs more "
+                "nodes than the 250-node\nPlanetLab deployment provides "
+                "(per-video overlays stay sparse).\n");
+  }
+  const bool ok =
+      growthLaw &&
+      (crossing || config.mode == st::exp::Mode::kPlanetLab);
+  std::printf("shape check: %s\n", ok ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks of the simulation substrate (google-benchmark): event
+// queue throughput, RNG, samplers, and the fluid flow engine.
+#include <benchmark/benchmark.h>
+
+#include "net/flow_network.h"
+#include "sim/simulator.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_SimulatorScheduleFire(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    st::sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule(static_cast<st::sim::SimTime>(i % 1000),
+                   [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SimulatorScheduleFire)->Arg(1'000)->Arg(100'000);
+
+void BM_SimulatorPeriodicTimers(benchmark::State& state) {
+  const auto timers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    st::sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < timers; ++i) {
+      sim.schedulePeriodic(10 + static_cast<st::sim::SimTime>(i % 7),
+                           [&sink] { ++sink; });
+    }
+    sim.runUntil(1'000);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_SimulatorPeriodicTimers)->Arg(100)->Arg(1'000);
+
+void BM_RngNext(benchmark::State& state) {
+  st::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const st::ZipfDistribution zipf(
+      static_cast<std::size_t>(state.range(0)), 1.0);
+  st::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(25)->Arg(10'000);
+
+void BM_AliasSample(benchmark::State& state) {
+  std::vector<double> weights;
+  st::Rng seedRng(3);
+  for (int i = 0; i < state.range(0); ++i) {
+    weights.push_back(seedRng.pareto(1.0, 1.2));
+  }
+  const st::WeightedSampler sampler{std::span<const double>(weights)};
+  st::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(545)->Arg(10'000);
+
+void BM_FlowNetworkChurn(benchmark::State& state) {
+  const auto endpoints = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    st::sim::Simulator sim;
+    st::net::FlowNetwork flows(sim);
+    for (std::uint32_t i = 0; i < endpoints; ++i) {
+      flows.addEndpoint(st::EndpointId{i}, {1e6, 4e6});
+    }
+    st::Rng rng(5);
+    int completions = 0;
+    for (int i = 0; i < 500; ++i) {
+      const auto src = static_cast<std::uint32_t>(rng.uniformInt(
+          static_cast<std::uint64_t>(endpoints)));
+      auto dst = static_cast<std::uint32_t>(rng.uniformInt(
+          static_cast<std::uint64_t>(endpoints)));
+      if (dst == src) dst = (dst + 1) % endpoints;
+      sim.scheduleAt(st::sim::fromSeconds(rng.uniform(0.0, 2.0)),
+                     [&, src, dst] {
+                       flows.startFlow(st::EndpointId{src},
+                                       st::EndpointId{dst}, 100'000,
+                                       [&completions] { ++completions; });
+                     });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(completions);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_FlowNetworkChurn)->Arg(20)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Microbenchmarks of overlay bookkeeping and trace generation.
+#include <benchmark/benchmark.h>
+
+#include "baselines/video_directory.h"
+#include "core/socialtube.h"
+#include "trace/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_SubscriberDirectoryChurn(benchmark::State& state) {
+  const auto users = static_cast<std::uint32_t>(state.range(0));
+  st::core::SubscriberDirectory directory;
+  st::Rng rng(1);
+  for (auto _ : state) {
+    const st::UserId user{
+        static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{users}))};
+    const st::ChannelId channel{
+        static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{64}))};
+    directory.add(user, channel);
+    if (rng.bernoulli(0.3)) directory.removeAll(user);
+  }
+}
+BENCHMARK(BM_SubscriberDirectoryChurn)->Arg(10'000);
+
+void BM_SubscriberDirectoryRandomMembers(benchmark::State& state) {
+  st::core::SubscriberDirectory directory;
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    directory.add(st::UserId{i}, st::ChannelId{i % 4});
+  }
+  st::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        directory.randomMembers(st::ChannelId{0}, 5, st::UserId{0}, rng));
+  }
+}
+BENCHMARK(BM_SubscriberDirectoryRandomMembers);
+
+void BM_VideoDirectoryRegisterSession(benchmark::State& state) {
+  // A NetTube node re-registering a 250-video cache at login, then leaving.
+  st::baselines::VideoDirectory directory;
+  for (auto _ : state) {
+    for (std::uint32_t v = 0; v < 250; ++v) {
+      directory.add(st::UserId{1}, st::VideoId{v});
+    }
+    directory.removeAll(st::UserId{1});
+  }
+  state.SetItemsProcessed(state.iterations() * 250);
+}
+BENCHMARK(BM_VideoDirectoryRegisterSession);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  st::trace::GeneratorParams params;
+  params.numUsers = static_cast<std::size_t>(state.range(0));
+  params.numChannels = std::max<std::size_t>(10, params.numUsers / 18);
+  params.numVideos = params.numUsers;
+  for (auto _ : state) {
+    params.seed++;
+    benchmark::DoNotOptimize(st::trace::generateTrace(params));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1'000)->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

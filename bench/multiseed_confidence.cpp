@@ -1,0 +1,40 @@
+// Replication study: the Fig. 16/17/18 headline metrics across several
+// independent seeds, as mean +/- standard error. Confirms the single-seed
+// figures are not flukes.
+#include "bench_common.h"
+
+#include "exp/multiseed.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
+  const auto seeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+  if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
+  // Keep replications affordable by default.
+  if (!flags.getBool("full", false) && config.trace.numUsers > 800) {
+    config = config.scaledTo(800, 6);
+  }
+
+  std::printf("Multi-seed replication — %zu seeds, %zu users each\n\n",
+              seeds, config.trace.numUsers);
+  for (const auto kind :
+       {st::exp::SystemKind::kPaVod, st::exp::SystemKind::kSocialTube,
+        st::exp::SystemKind::kNetTube}) {
+    const auto summary = st::exp::runSeeds(config, kind, seeds);
+    std::printf("%s\n", summary.system.c_str());
+    std::printf("  peer bandwidth : %s\n",
+                st::exp::formatStat(summary.peerFraction).c_str());
+    std::printf("  delay mean ms  : %s\n",
+                st::exp::formatStat(summary.delayMeanMs).c_str());
+    std::printf("  delay p99 ms   : %s\n",
+                st::exp::formatStat(summary.delayP99Ms).c_str());
+    std::printf("  links at end   : %s\n",
+                st::exp::formatStat(summary.linksFinal).c_str());
+    std::printf("  rebuffer rate  : %s\n\n",
+                st::exp::formatStat(summary.rebufferRate).c_str());
+  }
+  std::printf("reading: orderings that hold across every seed band are the "
+              "reproduced claims;\noverlapping bands mean the paper's gap "
+              "is within our noise at this scale.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Churn storm: stress SocialTube with mostly-abrupt departures and short
+// sessions, and watch the probe/repair machinery keep the overlay usable.
+//
+//   ./examples/churn_storm [--users 800] [--abrupt 0.8] [--seed 3]
+#include <cstdio>
+
+#include "exp/config.h"
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "trace/generator.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  const st::Flags flags(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 3));
+  const auto users = static_cast<std::size_t>(flags.getInt("users", 800));
+  const double abrupt = flags.getDouble("abrupt", 0.8);
+
+  st::exp::ExperimentConfig config =
+      st::exp::ExperimentConfig::simulationDefaults(seed);
+  config = config.scaledTo(users, 8);
+  config.vod.offTimeMeanSeconds = 600.0;  // fast session turnover
+  // Probe more aggressively than the default so repair keeps pace with
+  // churn.
+  config.vod.probeInterval = 2 * st::sim::kMinute;
+
+  std::printf("Churn storm — %zu users, %.0f%% abrupt departures, "
+              "2-minute probes\n\n", users, abrupt * 100.0);
+
+  const st::trace::Catalog catalog = st::trace::generateTrace(config.trace);
+  for (const double fraction : {0.0, abrupt}) {
+    config.vod.abruptDepartureFraction = fraction;
+    const auto result = st::exp::runExperiment(
+        config, st::exp::SystemKind::kSocialTube, &catalog);
+    std::printf("abrupt departures = %3.0f%%:\n", fraction * 100.0);
+    std::printf("  peer bandwidth p50      = %.3f\n",
+                result.normalizedPeerBandwidth.percentile(50));
+    std::printf("  startup delay mean      = %.1f ms "
+                "(%llu timeouts / %llu watches)\n",
+                result.startupDelayMs.mean(),
+                static_cast<unsigned long long>(result.startupTimeouts),
+                static_cast<unsigned long long>(result.watches));
+    std::printf("  probes sent             = %llu\n",
+                static_cast<unsigned long long>(result.probes));
+    std::printf("  repair rounds           = %llu\n\n",
+                static_cast<unsigned long long>(result.repairs));
+  }
+  std::printf("Even with most nodes vanishing silently, stale links are "
+              "probed out and\nre-filled from the server directory; "
+              "availability degrades gracefully\ninstead of collapsing.\n");
+  return 0;
+}

@@ -1,0 +1,403 @@
+#include "baselines/nettube.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace st::baselines {
+
+namespace {
+constexpr std::size_t kSeenQueryCap = 128;
+
+bool contains(const std::vector<UserId>& list, UserId value) {
+  return std::find(list.begin(), list.end(), value) != list.end();
+}
+}  // namespace
+
+NetTubeSystem::NetTubeSystem(vod::SystemContext& ctx,
+                             vod::TransferManager& transfers)
+    : ctx_(ctx), transfers_(transfers) {
+  nodes_.reserve(ctx.catalog().userCount());
+  for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
+    nodes_.emplace_back(ctx.config().cacheCapacityVideos,
+                        ctx.config().prefetchCacheSlots);
+  }
+}
+
+std::size_t NetTubeSystem::linkCount(UserId user) const {
+  // Per-overlay links are counted separately even when they join the same
+  // pair of nodes — the redundancy §IV-C calls out.
+  std::size_t count = 0;
+  for (const auto& [video, links] : nodes_[user.index()].overlays) {
+    count += links.size();
+  }
+  return count;
+}
+
+std::size_t NetTubeSystem::redundantLinkCount(UserId user) const {
+  const Node& node = nodes_[user.index()];
+  std::vector<UserId> seen;
+  std::size_t redundant = 0;
+  for (const auto& [video, links] : node.overlays) {
+    for (const UserId n : links) {
+      if (contains(seen, n)) {
+        ++redundant;  // pair already linked via another overlay
+      } else {
+        seen.push_back(n);
+      }
+    }
+  }
+  return redundant;
+}
+
+std::vector<UserId> NetTubeSystem::allNeighbors(const Node& node) const {
+  std::vector<UserId> result;
+  for (const auto& [video, links] : node.overlays) {
+    for (const UserId n : links) {
+      if (!contains(result, n)) result.push_back(n);
+    }
+  }
+  return result;
+}
+
+bool NetTubeSystem::seenQuery(Node& node, std::uint64_t queryId) {
+  if (!node.seenQueries.insert(queryId).second) return true;
+  node.seenOrder.push_back(queryId);
+  while (node.seenOrder.size() > kSeenQueryCap) {
+    node.seenQueries.erase(node.seenOrder.front());
+    node.seenOrder.pop_front();
+  }
+  return false;
+}
+
+void NetTubeSystem::connectOverlayLink(UserId a, UserId b, VideoId video) {
+  if (a == b) return;
+  auto& la = nodes_[a.index()].overlays[video];
+  auto& lb = nodes_[b.index()].overlays[video];
+  if (contains(la, b)) return;
+  const std::size_t cap = ctx_.config().linksPerVideoOverlay;
+  if (la.size() >= cap || lb.size() >= cap) return;
+  la.push_back(b);
+  lb.push_back(a);
+}
+
+void NetTubeSystem::dropAllLinks(UserId holder, UserId gone) {
+  Node& node = nodes_[holder.index()];
+  for (auto it = node.overlays.begin(); it != node.overlays.end();) {
+    auto& links = it->second;
+    const auto linkIt = std::find(links.begin(), links.end(), gone);
+    if (linkIt != links.end()) links.erase(linkIt);
+    it = links.empty() ? node.overlays.erase(it) : std::next(it);
+  }
+}
+
+void NetTubeSystem::onLogin(UserId user) {
+  Node& node = nodes_[user.index()];
+  node.overlays.clear();
+  // Report the cached inventory so the server can direct other nodes here
+  // ("users need to report the changes of videos they watch", §IV-A).
+  if (!node.cache.videoList().empty()) {
+    const std::vector<VideoId> cached = node.cache.videoList();
+    ctx_.sendToServer(user, [this, user, cached] {
+      if (!ctx_.isOnline(user)) return;
+      for (const VideoId video : cached) directory_.add(user, video);
+    });
+  }
+  node.probeTimer = ctx_.sim().schedulePeriodic(
+      ctx_.config().probeInterval, [this, user] { probeNeighbors(user); });
+}
+
+void NetTubeSystem::onLogout(UserId user, bool graceful) {
+  Node& node = nodes_[user.index()];
+  ctx_.sim().cancel(node.probeTimer);
+  node.probeTimer = sim::EventHandle{};
+
+  const auto searchIt = activeSearch_.find(user);
+  if (searchIt != activeSearch_.end()) {
+    const auto it = searches_.find(searchIt->second);
+    if (it != searches_.end()) {
+      ctx_.sim().cancel(it->second.deadline);
+      searches_.erase(it);
+    }
+    activeSearch_.erase(searchIt);
+  }
+
+  if (graceful) {
+    for (const UserId n : allNeighbors(node)) {
+      ctx_.sendUser(user, n, [this, n, user] { dropAllLinks(n, user); });
+    }
+  }
+  directory_.removeAll(user);
+  node.overlays.clear();
+}
+
+void NetTubeSystem::requestVideo(UserId user, VideoId video) {
+  Node& node = nodes_[user.index()];
+  const sim::SimTime requestTime = ctx_.sim().now();
+
+  if (node.cache.contains(video)) {
+    ctx_.metrics().countCacheHit();
+    notifyPlayback(user, video, 0, false);
+    prefetchFromNeighbors(user);
+    return;
+  }
+
+  const bool prefetchHit = node.cache.hasFirstChunk(video);
+  if (prefetchHit) {
+    ctx_.metrics().countPrefetchHit();
+    notifyPlayback(user, video, 0, false);
+    prefetchFromNeighbors(user);
+  }
+  beginSearch(user, video, prefetchHit, requestTime);
+}
+
+void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
+                                sim::SimTime requestTime) {
+  if (!ctx_.isOnline(user)) return;
+  const auto oldIt = activeSearch_.find(user);
+  if (oldIt != activeSearch_.end()) {
+    const auto old = searches_.find(oldIt->second);
+    if (old != searches_.end()) {
+      ctx_.sim().cancel(old->second.deadline);
+      searches_.erase(old);
+    }
+    activeSearch_.erase(oldIt);
+  }
+
+  const std::uint64_t queryId = nextQueryId_++;
+  Search search;
+  search.user = user;
+  search.video = video;
+  search.prefetchHit = prefetchHit;
+  search.requestTime = requestTime;
+  searches_.emplace(queryId, search);
+  activeSearch_[user] = queryId;
+
+  std::vector<UserId> neighbors = allNeighbors(nodes_[user.index()]);
+  if (neighbors.empty()) {
+    // First video of a session: straight to the server directory, exactly
+    // as NetTube's join works.
+    askServerDirectory(queryId);
+    return;
+  }
+  // Per-hop fan-out is bounded by the per-overlay link budget (a node
+  // queries one overlay's worth of neighbors, chosen at random), keeping
+  // the flood cost comparable to SocialTube's N_l-bounded channel flood.
+  if (neighbors.size() > ctx_.config().linksPerVideoOverlay) {
+    ctx_.rng().shuffle(neighbors);
+    neighbors.resize(ctx_.config().linksPerVideoOverlay);
+  }
+  for (const UserId n : neighbors) {
+    ctx_.sendUser(user, n, [this, user, n, video, queryId] {
+      floodQuery(user, n, video, queryId, ctx_.config().ttl);
+    });
+  }
+  searches_.at(queryId).deadline =
+      ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
+                          [this, queryId] { askServerDirectory(queryId); });
+}
+
+void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
+                               std::uint64_t queryId, int ttl) {
+  Node& node = nodes_[at.index()];
+  if (seenQuery(node, queryId)) return;
+  if (node.cache.contains(video)) {
+    ctx_.sendUser(at, origin,
+                  [this, queryId, at] { onSearchHit(queryId, at); });
+    return;
+  }
+  if (ttl <= 1) return;
+  std::vector<UserId> neighbors = allNeighbors(node);
+  if (neighbors.size() > ctx_.config().linksPerVideoOverlay) {
+    ctx_.rng().shuffle(neighbors);
+    neighbors.resize(ctx_.config().linksPerVideoOverlay);
+  }
+  for (const UserId n : neighbors) {
+    if (n == origin) continue;
+    ctx_.sendUser(at, n, [this, origin, n, video, queryId, ttl] {
+      floodQuery(origin, n, video, queryId, ttl - 1);
+    });
+  }
+}
+
+void NetTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
+  const auto it = searches_.find(queryId);
+  if (it == searches_.end()) return;
+  if (!ctx_.isOnline(provider)) return;
+  ctx_.metrics().countChannelHit();  // peer hit via overlay flooding
+  resolveSearch(queryId, provider, {provider});
+}
+
+void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
+  const auto it = searches_.find(queryId);
+  if (it == searches_.end()) return;
+  Search& search = it->second;
+  ctx_.sim().cancel(search.deadline);
+  search.deadline = sim::EventHandle{};
+  const UserId user = search.user;
+  const VideoId video = search.video;
+  // The directory only helps when a node *first* requests a video (the
+  // NetTube join: "the server directs it to connect to the providers in the
+  // overlay of the video"). A node already inside overlays that missed its
+  // 2-hop query "resorts to the server" — i.e. the server serves the video
+  // itself. This is precisely the availability limitation §IV-C contrasts
+  // with SocialTube.
+  const bool joining = nodes_[user.index()].overlays.empty();
+
+  ctx_.sendToServer(user, [this, user, video, queryId, joining] {
+    std::vector<UserId> candidates;
+    if (joining) {
+      candidates = directory_.randomMembers(
+          video, ctx_.config().linksPerVideoOverlay, user, ctx_.rng());
+      // The directory only lists online holders, but double-check liveness.
+      std::erase_if(candidates,
+                    [this](UserId u) { return !ctx_.isOnline(u); });
+    }
+    ctx_.sendFromServer(user, [this, queryId, candidates] {
+      const auto searchIt = searches_.find(queryId);
+      if (searchIt == searches_.end()) return;
+      if (candidates.empty()) {
+        ctx_.metrics().countServerFallback();
+        resolveSearch(queryId, UserId::invalid(), {});
+        return;
+      }
+      ctx_.metrics().countCategoryHit();  // directory-mediated peer hit
+      resolveSearch(queryId, candidates.front(), candidates);
+    });
+  });
+}
+
+void NetTubeSystem::resolveSearch(std::uint64_t queryId, UserId provider,
+                                  const std::vector<UserId>& overlayPeers) {
+  const auto it = searches_.find(queryId);
+  assert(it != searches_.end());
+  const Search search = it->second;
+  ctx_.sim().cancel(search.deadline);
+  searches_.erase(it);
+  activeSearch_.erase(search.user);
+  if (!ctx_.isOnline(search.user)) return;
+
+  // Join the video's overlay by linking to the discovered holders.
+  for (const UserId peer : overlayPeers) {
+    if (ctx_.isOnline(peer)) {
+      connectOverlayLink(search.user, peer, search.video);
+    }
+  }
+  if (provider.valid() && !ctx_.isOnline(provider)) {
+    provider = UserId::invalid();
+  }
+  startDownload(search.user, search.video, provider, search.prefetchHit,
+                search.requestTime);
+}
+
+void NetTubeSystem::startDownload(UserId user, VideoId video, UserId provider,
+                                  bool prefetchHit, sim::SimTime requestTime) {
+  vod::TransferManager::WatchRequest request;
+  request.user = user;
+  request.video = video;
+  request.provider = provider;
+  request.firstChunkCached = prefetchHit;
+  request.requestTime = requestTime;
+  // Swarming (extension): stripe across overlay neighbors holding the video.
+  if (ctx_.config().bodySources > 1) {
+    for (const UserId n : allNeighbors(nodes_[user.index()])) {
+      if (request.extraProviders.size() + 1 >= ctx_.config().bodySources) {
+        break;
+      }
+      if (n == provider) continue;
+      if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(video)) {
+        request.extraProviders.push_back(n);
+      }
+    }
+  }
+  if (!prefetchHit) {
+    request.onPlaybackReady = [this, user, video](sim::SimTime delay,
+                                                  bool timedOut) {
+      notifyPlayback(user, video, delay, timedOut);
+      if (!timedOut) prefetchFromNeighbors(user);
+    };
+  }
+  request.onFinished = [this, user, video](bool complete) {
+    if (complete) onVideoCached(user, video);
+  };
+
+  if (!provider.valid()) {
+    ctx_.sendToServer(user, [this, request = std::move(request)] {
+      if (!ctx_.isOnline(request.user)) return;
+      transfers_.startWatch(request);
+    });
+    return;
+  }
+  transfers_.startWatch(std::move(request));
+}
+
+void NetTubeSystem::onVideoCached(UserId user, VideoId video) {
+  nodes_[user.index()].cache.insert(video);
+  // Report the new copy so the directory can hand this node out as a
+  // provider (NetTube's per-video reporting overhead), and take a place in
+  // the video's overlay: the server introduces current members and the node
+  // links to them ("when a node finishes watching a video, it remains in
+  // its overlay", §I). This is what makes NetTube's link count grow with
+  // every video watched (Fig. 15/18).
+  ctx_.sendToServer(user, [this, user, video] {
+    if (!ctx_.isOnline(user)) return;
+    std::vector<UserId> members = directory_.randomMembers(
+        video, ctx_.config().linksPerVideoOverlay, user, ctx_.rng());
+    directory_.add(user, video);
+    ctx_.sendFromServer(user, [this, user, video,
+                               members = std::move(members)] {
+      for (const UserId member : members) {
+        if (ctx_.isOnline(member)) {
+          connectOverlayLink(user, member, video);
+        }
+      }
+    });
+  });
+}
+
+void NetTubeSystem::prefetchFromNeighbors(UserId user) {
+  if (!ctx_.config().prefetchEnabled) return;
+  if (!ctx_.isOnline(user)) return;
+  Node& node = nodes_[user.index()];
+  std::vector<UserId> neighbors = allNeighbors(node);
+  std::erase_if(neighbors, [this](UserId n) { return !ctx_.isOnline(n); });
+  if (neighbors.empty()) return;
+  ctx_.rng().shuffle(neighbors);
+
+  // NetTube prefetches *randomly* from neighbors' watched videos — the
+  // strategy §IV-B argues is less accurate than popularity ranking.
+  std::size_t issued = 0;
+  for (const UserId n : neighbors) {
+    if (issued >= ctx_.config().prefetchCount) break;
+    const VideoId candidate =
+        nodes_[n.index()].cache.randomVideo(ctx_.rng());
+    if (!candidate.valid()) continue;
+    if (node.cache.contains(candidate) || node.cache.hasFirstChunk(candidate)) {
+      continue;
+    }
+    transfers_.startPrefetch(user, candidate, n,
+                             [this, user, candidate](bool) {
+                               if (ctx_.isOnline(user)) {
+                                 nodes_[user.index()].cache.insertFirstChunk(
+                                     candidate);
+                               }
+                             });
+    ++issued;
+  }
+}
+
+void NetTubeSystem::probeNeighbors(UserId user) {
+  if (!ctx_.isOnline(user)) return;
+  Node& node = nodes_[user.index()];
+  std::vector<UserId> dead;
+  for (const auto& [video, links] : node.overlays) {
+    for (const UserId n : links) {
+      ctx_.metrics().countProbe();
+      if (!ctx_.isOnline(n) && !contains(dead, n)) dead.push_back(n);
+    }
+  }
+  for (const UserId n : dead) {
+    dropAllLinks(user, n);
+  }
+}
+
+}  // namespace st::baselines

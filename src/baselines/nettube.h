@@ -1,0 +1,107 @@
+// NetTube baseline (Cheng & Liu, INFOCOM'09), as described in §I/§IV-C.
+//
+// Per-video overlays: the viewers of a video form an overlay; a node joins
+// the overlay of every video it watches and *stays* in all of them while
+// online, so its link count grows with the number of videos watched (the
+// behaviour Fig. 15/18 contrasts with SocialTube). Search: query neighbors
+// within two hops across all of the node's overlays; on a miss, ask the
+// server directory; the server serves the video itself only when no peer
+// has it. Nodes cache every watched video (kept across sessions) and
+// prefetch the first chunks of three videos picked at random from their
+// neighbors' caches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baselines/video_directory.h"
+#include "vod/context.h"
+#include "vod/system.h"
+#include "vod/transfer.h"
+#include "vod/video_cache.h"
+
+namespace st::baselines {
+
+class NetTubeSystem final : public vod::VodSystem {
+ public:
+  NetTubeSystem(vod::SystemContext& ctx, vod::TransferManager& transfers);
+
+  [[nodiscard]] std::string_view name() const override { return "NetTube"; }
+
+  void onLogin(UserId user) override;
+  void onLogout(UserId user, bool graceful) override;
+  void requestVideo(UserId user, VideoId video) override;
+  [[nodiscard]] std::size_t linkCount(UserId user) const override;
+  [[nodiscard]] std::size_t serverRegistrations() const override {
+    return directory_.totalRegistrations();
+  }
+  // Extra per-overlay links joining an already-linked pair of nodes —
+  // NetTube's redundancy cost (§IV-C: "two nodes may be connected by
+  // redundant links; each link corresponds to one video overlay").
+  [[nodiscard]] std::size_t redundantLinkCount(UserId user) const override;
+
+  // --- introspection ----------------------------------------------------------
+  [[nodiscard]] const vod::VideoCache& cache(UserId user) const {
+    return nodes_[user.index()].cache;
+  }
+  [[nodiscard]] std::size_t overlayCount(UserId user) const {
+    return nodes_[user.index()].overlays.size();
+  }
+  [[nodiscard]] const VideoDirectory& directory() const { return directory_; }
+
+ private:
+  struct Node {
+    // video -> links held in that video's overlay.
+    std::unordered_map<VideoId, std::vector<UserId>> overlays;
+    vod::VideoCache cache;
+    std::unordered_set<std::uint64_t> seenQueries;
+    std::deque<std::uint64_t> seenOrder;
+    sim::EventHandle probeTimer;
+
+    Node(std::size_t maxVideos, std::size_t prefetchSlots)
+        : cache(maxVideos, prefetchSlots) {}
+  };
+
+  struct Search {
+    UserId user;
+    VideoId video;
+    bool prefetchHit = false;
+    sim::SimTime requestTime = 0;
+    sim::EventHandle deadline;
+  };
+
+  // Distinct neighbors across all of the node's overlays.
+  [[nodiscard]] std::vector<UserId> allNeighbors(const Node& node) const;
+  [[nodiscard]] bool seenQuery(Node& node, std::uint64_t queryId);
+
+  void connectOverlayLink(UserId a, UserId b, VideoId video);
+  void dropAllLinks(UserId holder, UserId gone);
+
+  void beginSearch(UserId user, VideoId video, bool prefetchHit,
+                   sim::SimTime requestTime);
+  void floodQuery(UserId origin, UserId at, VideoId video,
+                  std::uint64_t queryId, int ttl);
+  void onSearchHit(std::uint64_t queryId, UserId provider);
+  void askServerDirectory(std::uint64_t queryId);
+  void resolveSearch(std::uint64_t queryId, UserId provider,
+                     const std::vector<UserId>& overlayPeers);
+  void startDownload(UserId user, VideoId video, UserId provider,
+                     bool prefetchHit, sim::SimTime requestTime);
+  void onVideoCached(UserId user, VideoId video);
+
+  void prefetchFromNeighbors(UserId user);
+  void probeNeighbors(UserId user);
+
+  vod::SystemContext& ctx_;
+  vod::TransferManager& transfers_;
+  VideoDirectory directory_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Search> searches_;
+  std::unordered_map<UserId, std::uint64_t> activeSearch_;
+  std::uint64_t nextQueryId_ = 1;
+};
+
+}  // namespace st::baselines

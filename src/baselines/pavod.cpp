@@ -1,0 +1,110 @@
+#include "baselines/pavod.h"
+
+#include <cassert>
+
+namespace st::baselines {
+
+PaVodSystem::PaVodSystem(vod::SystemContext& ctx,
+                         vod::TransferManager& transfers)
+    : ctx_(ctx), transfers_(transfers), nodes_(ctx.catalog().userCount()) {}
+
+std::size_t PaVodSystem::linkCount(UserId user) const {
+  // PA-VoD maintains no overlay; the only "link" is an active peer download.
+  return nodes_[user.index()].peerProvider ? 1 : 0;
+}
+
+void PaVodSystem::onLogin(UserId user) {
+  nodes_[user.index()] = Node{};
+}
+
+void PaVodSystem::onLogout(UserId user, bool graceful) {
+  (void)graceful;  // no overlay state to say goodbye to
+  watchers_.removeAll(user);
+  nodes_[user.index()] = Node{};
+}
+
+void PaVodSystem::requestVideo(UserId user, VideoId video) {
+  const sim::SimTime requestTime = ctx_.sim().now();
+  Node& node = nodes_[user.index()];
+  // A new request supersedes the previous watch; the node stops providing
+  // the old video.
+  if (node.current.valid()) watchers_.remove(user, node.current);
+  node.current = video;
+  node.haveFull = false;
+  node.peerProvider = false;
+
+  // Ask the server for current watchers of this video.
+  ctx_.sendToServer(user, [this, user, video, requestTime] {
+    std::vector<UserId> candidates = watchers_.randomMembers(
+        video, ctx_.config().watcherListSize, user, ctx_.rng());
+    std::erase_if(candidates,
+                  [this](UserId u) { return !ctx_.isOnline(u); });
+    const UserId provider =
+        candidates.empty() ? UserId::invalid() : candidates.front();
+    if (!provider.valid()) ctx_.metrics().countServerFallback();
+    ctx_.sendFromServer(user, [this, user, video, provider, candidates,
+                               requestTime] {
+      if (nodes_[user.index()].current != video) return;  // stale reply
+      UserId source = provider;
+      if (source.valid() && !ctx_.isOnline(source)) {
+        source = UserId::invalid();
+      }
+      if (source.valid()) ctx_.metrics().countChannelHit();
+      startDownload(user, video, source, candidates, requestTime);
+    });
+  });
+}
+
+void PaVodSystem::startDownload(UserId user, VideoId video, UserId provider,
+                                std::vector<UserId> extraProviders,
+                                sim::SimTime requestTime) {
+  nodes_[user.index()].peerProvider = provider.valid();
+
+  vod::TransferManager::WatchRequest request;
+  request.user = user;
+  request.video = video;
+  request.provider = provider;
+  if (ctx_.config().bodySources > 1) {
+    std::erase_if(extraProviders, [&](UserId u) {
+      return u == provider || !ctx_.isOnline(u);
+    });
+    request.extraProviders = std::move(extraProviders);
+  }
+  request.requestTime = requestTime;
+  request.onPlaybackReady = [this, user, video](sim::SimTime delay,
+                                                bool timedOut) {
+    notifyPlayback(user, video, delay, timedOut);
+  };
+  request.onFinished = [this, user, video](bool complete) {
+    Node& node = nodes_[user.index()];
+    if (!complete || node.current != video) return;
+    // Full copy in hand while still watching: become a provider.
+    node.haveFull = true;
+    ctx_.sendToServer(user, [this, user, video] {
+      if (ctx_.isOnline(user) && nodes_[user.index()].current == video &&
+          nodes_[user.index()].haveFull) {
+        watchers_.add(user, video);
+      }
+    });
+  };
+
+  if (!provider.valid()) {
+    // The request is already at the server; it starts serving directly.
+    transfers_.startWatch(std::move(request));
+    return;
+  }
+  transfers_.startWatch(std::move(request));
+}
+
+void PaVodSystem::onPlaybackComplete(UserId user, VideoId video) {
+  Node& node = nodes_[user.index()];
+  if (node.current != video) return;
+  // Playback over: the node no longer provides this video (the defining
+  // PA-VoD limitation for short videos).
+  watchers_.remove(user, video);
+  node.current = VideoId::invalid();
+  node.haveFull = false;
+  node.peerProvider = false;
+}
+
+}  // namespace st::baselines

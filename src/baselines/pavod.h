@@ -1,0 +1,56 @@
+// PA-VoD baseline (Huang, Li & Ross, SIGCOMM'07), as described in §I.
+//
+// Pure peer-assisted serving with no durable overlay and no cache: when a
+// user requests a video the server directs it to peers *currently watching*
+// that video (and holding a complete copy); when none exist the server
+// serves the video itself. A node stops providing the moment its playback
+// ends — with YouTube-scale short videos this leaves most requests to the
+// server, which is the paper's core criticism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/video_directory.h"
+#include "vod/context.h"
+#include "vod/system.h"
+#include "vod/transfer.h"
+
+namespace st::baselines {
+
+class PaVodSystem final : public vod::VodSystem {
+ public:
+  PaVodSystem(vod::SystemContext& ctx, vod::TransferManager& transfers);
+
+  [[nodiscard]] std::string_view name() const override { return "PA-VoD"; }
+
+  void onLogin(UserId user) override;
+  void onLogout(UserId user, bool graceful) override;
+  void requestVideo(UserId user, VideoId video) override;
+  void onPlaybackComplete(UserId user, VideoId video) override;
+  [[nodiscard]] std::size_t linkCount(UserId user) const override;
+  [[nodiscard]] std::size_t serverRegistrations() const override {
+    return watchers_.totalRegistrations();
+  }
+
+  [[nodiscard]] const VideoDirectory& watchers() const { return watchers_; }
+
+ private:
+  struct Node {
+    VideoId current = VideoId::invalid();
+    bool haveFull = false;     // finished downloading the current video
+    bool peerProvider = false; // current download is peer-sourced (link metric)
+  };
+
+  void startDownload(UserId user, VideoId video, UserId provider,
+                     std::vector<UserId> extraProviders,
+                     sim::SimTime requestTime);
+
+  vod::SystemContext& ctx_;
+  vod::TransferManager& transfers_;
+  // Nodes currently watching a video AND holding a full copy of it.
+  VideoDirectory watchers_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace st::baselines

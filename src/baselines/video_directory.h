@@ -1,0 +1,15 @@
+// Server-side per-video membership directory used by the baselines.
+//
+// NetTube's server tracks, for every video, which online nodes hold it (the
+// per-video overlay); PA-VoD's server tracks which nodes are *currently
+// watching* each video. This is exactly the state the paper argues is much
+// larger than SocialTube's per-channel tracking.
+#pragma once
+
+#include "vod/membership.h"
+
+namespace st::baselines {
+
+using VideoDirectory = vod::MembershipDirectory<VideoId>;
+
+}  // namespace st::baselines

@@ -1,0 +1,615 @@
+#include "core/socialtube.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace st::core {
+
+namespace {
+constexpr std::size_t kSeenQueryCap = 128;
+
+void removeFrom(std::vector<UserId>& list, UserId value) {
+  const auto it = std::find(list.begin(), list.end(), value);
+  if (it != list.end()) list.erase(it);
+}
+
+bool contains(const std::vector<UserId>& list, UserId value) {
+  return std::find(list.begin(), list.end(), value) != list.end();
+}
+}  // namespace
+
+SocialTubeSystem::SocialTubeSystem(vod::SystemContext& ctx,
+                                   vod::TransferManager& transfers)
+    : ctx_(ctx), transfers_(transfers) {
+  nodes_.reserve(ctx.catalog().userCount());
+  for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
+    nodes_.emplace_back(ctx.config().cacheCapacityVideos,
+                        ctx.config().prefetchCacheSlots);
+  }
+}
+
+std::size_t SocialTubeSystem::linkCount(UserId user) const {
+  const Node& node = nodes_[user.index()];
+  return node.inner.size() + node.inter.size();
+}
+
+bool SocialTubeSystem::seenQuery(Node& node, std::uint64_t queryId) {
+  if (!node.seenQueries.insert(queryId).second) return true;
+  node.seenOrder.push_back(queryId);
+  while (node.seenOrder.size() > kSeenQueryCap) {
+    node.seenQueries.erase(node.seenOrder.front());
+    node.seenOrder.pop_front();
+  }
+  return false;
+}
+
+// --- links -------------------------------------------------------------------
+
+void SocialTubeSystem::connectInner(UserId a, UserId b) {
+  if (a == b) return;
+  Node& na = nodes_[a.index()];
+  Node& nb = nodes_[b.index()];
+  if (contains(na.inner, b)) return;
+  const std::size_t hardCap = ctx_.config().innerLinks * 2;
+  if (na.inner.size() >= hardCap || nb.inner.size() >= hardCap) return;
+  na.inner.push_back(b);
+  nb.inner.push_back(a);
+}
+
+void SocialTubeSystem::connectInter(UserId a, UserId b) {
+  if (a == b) return;
+  Node& na = nodes_[a.index()];
+  Node& nb = nodes_[b.index()];
+  if (contains(na.inter, b)) return;
+  const std::size_t hardCap = ctx_.config().interLinks * 2;
+  if (na.inter.size() >= hardCap || nb.inter.size() >= hardCap) return;
+  na.inter.push_back(b);
+  nb.inter.push_back(a);
+}
+
+void SocialTubeSystem::dropLink(UserId from, UserId gone) {
+  Node& node = nodes_[from.index()];
+  removeFrom(node.inner, gone);
+  removeFrom(node.inter, gone);
+}
+
+// --- session lifecycle ----------------------------------------------------------
+
+void SocialTubeSystem::onLogin(UserId user) {
+  Node& node = nodes_[user.index()];
+  node.inner.clear();
+  node.inter.clear();
+
+  // The server registers the user under every subscribed channel — the
+  // per-community membership that makes subscribers findable as providers
+  // even while they watch elsewhere (§III O2, §IV-A).
+  for (const ChannelId subscription :
+       ctx_.catalog().user(user).subscriptions) {
+    directory_.add(user, subscription);
+  }
+
+  // Reconnect to last session's neighborhood first (§IV-A); any survivor
+  // keeps us in the overlay without a server join.
+  if (node.lastChannel.valid()) {
+    node.channel = node.lastChannel;
+    node.category = node.lastCategory;
+    for (const UserId n : node.lastInner) {
+      if (ctx_.isOnline(n) && node.inner.size() < ctx_.config().innerLinks) {
+        connectInner(user, n);
+      }
+    }
+    for (const UserId n : node.lastInter) {
+      if (ctx_.isOnline(n) &&
+          node.inter.size() < ctx_.config().interLinks) {
+        connectInter(user, n);
+      }
+    }
+    directory_.add(user, node.channel);
+  }
+
+  node.probeTimer = ctx_.sim().schedulePeriodic(
+      ctx_.config().probeInterval, [this, user] { probeNeighbors(user); });
+}
+
+void SocialTubeSystem::onLogout(UserId user, bool graceful) {
+  Node& node = nodes_[user.index()];
+  ctx_.sim().cancel(node.probeTimer);
+  node.probeTimer = sim::EventHandle{};
+
+  // Abandon any in-flight search.
+  const auto searchIt = activeSearch_.find(user);
+  if (searchIt != activeSearch_.end()) {
+    const auto it = searches_.find(searchIt->second);
+    if (it != searches_.end()) {
+      ctx_.sim().cancel(it->second.deadline);
+      searches_.erase(it);
+    }
+    activeSearch_.erase(searchIt);
+  }
+
+  // Remember the neighborhood for next session's reconnect.
+  node.lastChannel = node.channel;
+  node.lastCategory = node.category;
+  node.lastInner = node.inner;
+  node.lastInter = node.inter;
+
+  if (graceful) {
+    // Goodbye messages let neighbors update immediately; abrupt departures
+    // leave stale links until the next probe round.
+    for (const UserId n : node.inner) {
+      ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+    }
+    for (const UserId n : node.inter) {
+      ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+    }
+  }
+  // The server learns of the departure either way (graceful goodbye or
+  // session tracking) and clears every membership.
+  directory_.removeAll(user);
+  node.inner.clear();
+  node.inter.clear();
+  node.channel = ChannelId::invalid();
+  node.category = CategoryId::invalid();
+}
+
+// --- join ----------------------------------------------------------------------
+
+void SocialTubeSystem::leaveOverlays(UserId user, bool notifyNeighbors) {
+  Node& node = nodes_[user.index()];
+  if (notifyNeighbors) {
+    for (const UserId n : node.inner) {
+      ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+    }
+  }
+  node.inner.clear();
+  // Subscription memberships persist; only a temporary membership in a
+  // channel the user merely watched is withdrawn.
+  if (node.channel.valid() &&
+      !ctx_.catalog().isSubscribed(user, node.channel)) {
+    directory_.remove(user, node.channel);
+  }
+}
+
+void SocialTubeSystem::ensureJoined(UserId user, ChannelId channel,
+                                    std::function<void()> then) {
+  Node& node = nodes_[user.index()];
+  if (node.channel == channel && !node.inner.empty()) {
+    then();
+    return;
+  }
+
+  // Server round trip: the server hands out entry points into the channel
+  // overlay and into each sibling channel of the category (§IV-A join).
+  ctx_.sendToServer(user, [this, user, channel, then = std::move(then)] {
+    if (!ctx_.isOnline(user)) return;
+    const trace::Channel& channelInfo = ctx_.catalog().channel(channel);
+    const CategoryId category = channelInfo.primaryCategory();
+
+    // The node "builds its links to other nodes in the lower-level channel
+    // overlay until the number reaches N_l" (§IV-A) — the server seeds the
+    // full budget from the channel's online community.
+    std::vector<UserId> innerCandidates = directory_.randomMembers(
+        channel, ctx_.config().innerLinks, user, ctx_.rng());
+
+    // One entry point per sibling channel, capped at N_h, channels visited
+    // in random order.
+    std::vector<UserId> interCandidates;
+    const trace::Category& categoryInfo = ctx_.catalog().category(category);
+    std::vector<ChannelId> siblings;
+    for (const ChannelId sibling : categoryInfo.channels) {
+      if (sibling != channel) siblings.push_back(sibling);
+    }
+    ctx_.rng().shuffle(siblings);
+    for (const ChannelId sibling : siblings) {
+      if (interCandidates.size() >= ctx_.config().interLinks) break;
+      const std::vector<UserId> picked =
+          directory_.randomMembers(sibling, 1, user, ctx_.rng());
+      if (!picked.empty()) interCandidates.push_back(picked.front());
+    }
+
+    // The server records the join now (the node reported its move).
+    directory_.add(user, channel);
+
+    ctx_.sendFromServer(user, [this, user, channel, category,
+                               innerCandidates = std::move(innerCandidates),
+                               interCandidates = std::move(interCandidates),
+                               then = std::move(then)] {
+      Node& node = nodes_[user.index()];
+      const bool categoryChanged = node.category != category;
+      if (node.channel != channel) {
+        leaveOverlays(user, /*notifyNeighbors=*/true);
+        node.channel = channel;
+      }
+      directory_.add(user, channel);  // re-assert after any leave
+      node.category = category;
+
+      for (const UserId candidate : innerCandidates) {
+        if (ctx_.isOnline(candidate)) connectInner(user, candidate);
+      }
+      if (categoryChanged) {
+        for (const UserId n : node.inter) {
+          ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+        }
+        node.inter.clear();
+      }
+      for (const UserId candidate : interCandidates) {
+        if (node.inter.size() >= ctx_.config().interLinks) break;
+        if (ctx_.isOnline(candidate)) connectInter(user, candidate);
+      }
+      then();
+    });
+  });
+}
+
+// --- request path -----------------------------------------------------------------
+
+void SocialTubeSystem::requestVideo(UserId user, VideoId video) {
+  Node& node = nodes_[user.index()];
+  const sim::SimTime requestTime = ctx_.sim().now();
+  const ChannelId channel = ctx_.catalog().video(video).channel;
+
+  if (node.cache.contains(video)) {
+    // Full local copy: playback is immediate and free.
+    ctx_.metrics().countCacheHit();
+    notifyPlayback(user, video, 0, false);
+    prefetchPopular(user, channel, video);
+    return;
+  }
+
+  const bool prefetchHit = node.cache.hasFirstChunk(video);
+  if (prefetchHit) {
+    // First chunk is local: playback starts immediately; the body still
+    // needs a provider.
+    ctx_.metrics().countPrefetchHit();
+    notifyPlayback(user, video, 0, false);
+    prefetchPopular(user, channel, video);
+  }
+
+  ensureJoined(user, channel, [this, user, video, prefetchHit, requestTime] {
+    beginSearch(user, video, prefetchHit, requestTime);
+  });
+}
+
+void SocialTubeSystem::beginSearch(UserId user, VideoId video,
+                                   bool prefetchHit,
+                                   sim::SimTime requestTime) {
+  if (!ctx_.isOnline(user)) return;
+  Node& node = nodes_[user.index()];
+
+  // A previous search may still be pending (e.g. a prefetch-hit body search
+  // outliving a very short playback); abandon it before starting anew.
+  const auto oldIt = activeSearch_.find(user);
+  if (oldIt != activeSearch_.end()) {
+    const auto old = searches_.find(oldIt->second);
+    if (old != searches_.end()) {
+      ctx_.sim().cancel(old->second.deadline);
+      searches_.erase(old);
+    }
+    activeSearch_.erase(oldIt);
+  }
+
+  const std::uint64_t queryId = nextQueryId_++;
+  Search search;
+  search.user = user;
+  search.video = video;
+  search.prefetchHit = prefetchHit;
+  search.requestTime = requestTime;
+  searches_.emplace(queryId, search);
+  activeSearch_[user] = queryId;
+
+  if (node.inner.empty()) {
+    enterCategoryPhase(queryId);
+    return;
+  }
+  for (const UserId n : node.inner) {
+    ctx_.sendUser(user, n, [this, user, n, video, queryId] {
+      floodChannelQuery(user, n, video, queryId, ctx_.config().ttl);
+    });
+  }
+  searches_.at(queryId).deadline =
+      ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
+                          [this, queryId] { enterCategoryPhase(queryId); });
+}
+
+void SocialTubeSystem::floodChannelQuery(UserId origin, UserId at,
+                                         VideoId video, std::uint64_t queryId,
+                                         int ttl) {
+  Node& node = nodes_[at.index()];
+  if (seenQuery(node, queryId)) return;
+  if (node.cache.contains(video)) {
+    ctx_.sendUser(at, origin,
+                  [this, queryId, at] { onSearchHit(queryId, at); });
+    return;
+  }
+  if (ttl <= 1) return;
+  for (const UserId n : node.inner) {
+    if (n == origin) continue;
+    ctx_.sendUser(at, n, [this, origin, n, video, queryId, ttl] {
+      floodChannelQuery(origin, n, video, queryId, ttl - 1);
+    });
+  }
+}
+
+void SocialTubeSystem::enterCategoryPhase(std::uint64_t queryId) {
+  const auto it = searches_.find(queryId);
+  if (it == searches_.end()) return;
+  Search& search = it->second;
+  ctx_.sim().cancel(search.deadline);
+  search.phase = SearchPhase::kCategory;
+
+  const Node& node = nodes_[search.user.index()];
+  if (node.inter.empty()) {
+    fallbackToServer(queryId);
+    return;
+  }
+  for (const UserId n : node.inter) {
+    const UserId origin = search.user;
+    const VideoId video = search.video;
+    ctx_.sendUser(origin, n, [this, origin, n, video, queryId] {
+      // The inter-neighbor searches its own channel overlay with a fresh TTL.
+      floodChannelQuery(origin, n, video, queryId, ctx_.config().ttl);
+    });
+  }
+  search.deadline =
+      ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
+                          [this, queryId] { fallbackToServer(queryId); });
+}
+
+void SocialTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
+  const auto it = searches_.find(queryId);
+  if (it == searches_.end()) return;  // already resolved
+  if (!ctx_.isOnline(provider)) return;
+  Search& search = it->second;
+
+  // First responder wins; the requester also connects to it (§IV-A).
+  Node& node = nodes_[search.user.index()];
+  if (search.phase == SearchPhase::kChannel) {
+    ctx_.metrics().countChannelHit();
+    if (node.inner.size() < ctx_.config().innerLinks) {
+      connectInner(search.user, provider);
+    }
+  } else {
+    ctx_.metrics().countCategoryHit();
+    if (node.inter.size() < ctx_.config().interLinks) {
+      connectInter(search.user, provider);
+    }
+  }
+  resolveSearch(queryId, provider);
+}
+
+void SocialTubeSystem::fallbackToServer(std::uint64_t queryId) {
+  const auto it = searches_.find(queryId);
+  if (it == searches_.end()) return;
+  ctx_.metrics().countServerFallback();
+  resolveSearch(queryId, UserId::invalid());
+}
+
+void SocialTubeSystem::resolveSearch(std::uint64_t queryId, UserId provider) {
+  const auto it = searches_.find(queryId);
+  assert(it != searches_.end());
+  const Search search = it->second;
+  ctx_.sim().cancel(search.deadline);
+  searches_.erase(it);
+  activeSearch_.erase(search.user);
+  if (!ctx_.isOnline(search.user)) return;
+  startDownload(search.user, search.video, provider, search.prefetchHit,
+                search.requestTime);
+}
+
+void SocialTubeSystem::startDownload(UserId user, VideoId video,
+                                     UserId provider, bool prefetchHit,
+                                     sim::SimTime requestTime) {
+  vod::TransferManager::WatchRequest request;
+  request.user = user;
+  request.video = video;
+  request.provider = provider;
+  request.firstChunkCached = prefetchHit;
+  request.requestTime = requestTime;
+  // Swarming (extension): stripe the body across additional neighbors known
+  // (via cache digests) to hold the video.
+  if (ctx_.config().bodySources > 1) {
+    const Node& node = nodes_[user.index()];
+    for (const std::vector<UserId>* links : {&node.inner, &node.inter}) {
+      for (const UserId n : *links) {
+        if (request.extraProviders.size() + 1 >= ctx_.config().bodySources) {
+          break;
+        }
+        if (n == provider) continue;
+        if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(video)) {
+          request.extraProviders.push_back(n);
+        }
+      }
+    }
+  }
+  if (!prefetchHit) {
+    request.onPlaybackReady = [this, user, video](sim::SimTime delay,
+                                                  bool timedOut) {
+      notifyPlayback(user, video, delay, timedOut);
+      if (!timedOut) {
+        prefetchPopular(user, ctx_.catalog().video(video).channel, video);
+      }
+    };
+  }
+  request.onFinished = [this, user, video](bool complete) {
+    if (complete) nodes_[user.index()].cache.insert(video);
+  };
+
+  if (!provider.valid()) {
+    // Server path: the request travels to the server, which starts the flow.
+    ctx_.sendToServer(user, [this, request = std::move(request)] {
+      if (!ctx_.isOnline(request.user)) return;
+      transfers_.startWatch(request);
+    });
+    return;
+  }
+  transfers_.startWatch(std::move(request));
+}
+
+// --- prefetch ------------------------------------------------------------------------
+
+void SocialTubeSystem::prefetchPopular(UserId user, ChannelId channel,
+                                       VideoId watching) {
+  if (!ctx_.config().prefetchEnabled) return;
+  if (!ctx_.isOnline(user)) return;
+  Node& node = nodes_[user.index()];
+  const trace::Channel& channelInfo = ctx_.catalog().channel(channel);
+
+  std::size_t issued = 0;
+  for (const VideoId candidate : channelInfo.videos) {
+    if (issued >= ctx_.config().prefetchCount) break;
+    if (candidate == watching) continue;
+    if (!ctx_.isReleased(candidate)) continue;  // not published yet
+    if (node.cache.contains(candidate) || node.cache.hasFirstChunk(candidate)) {
+      continue;
+    }
+    // Prefer an overlay neighbor that holds the video (their cache digests
+    // arrive with probe messages) — channel neighbors first, then category
+    // neighbors; only then does the server supply the chunk.
+    UserId provider = UserId::invalid();
+    for (const std::vector<UserId>* links : {&node.inner, &node.inter}) {
+      for (const UserId n : *links) {
+        if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(candidate)) {
+          provider = n;
+          break;
+        }
+      }
+      if (provider.valid()) break;
+    }
+    transfers_.startPrefetch(user, candidate, provider,
+                             [this, user, candidate](bool) {
+                               if (ctx_.isOnline(user)) {
+                                 nodes_[user.index()].cache.insertFirstChunk(
+                                     candidate);
+                               }
+                             });
+    ++issued;
+  }
+}
+
+// --- maintenance ---------------------------------------------------------------------
+
+bool SocialTubeSystem::gossipRepairLinks(UserId user) {
+  // Neighbor-of-neighbor repair: ask one live neighbor to share its
+  // neighbor lists instead of going to the server. Falls back to the server
+  // (returns false) when no live neighbor remains.
+  Node& node = nodes_[user.index()];
+  std::vector<UserId> alive;
+  for (const std::vector<UserId>* links : {&node.inner, &node.inter}) {
+    for (const UserId n : *links) {
+      if (ctx_.isOnline(n)) alive.push_back(n);
+    }
+  }
+  if (alive.empty()) return false;
+  const UserId helper = alive[ctx_.rng().uniformInt(alive.size())];
+  const ChannelId channel = node.channel;
+
+  ctx_.sendUser(user, helper, [this, user, helper, channel] {
+    // At the helper: snapshot its neighbor lists.
+    const Node& helperNode = nodes_[helper.index()];
+    std::vector<UserId> innerCandidates = helperNode.inner;
+    std::vector<UserId> interCandidates = helperNode.inter;
+    ctx_.sendUser(helper, user,
+                  [this, user, channel,
+                   innerCandidates = std::move(innerCandidates),
+                   interCandidates = std::move(interCandidates)] {
+                    Node& node = nodes_[user.index()];
+                    if (node.channel != channel) return;  // switched since
+                    for (const UserId candidate : innerCandidates) {
+                      if (node.inner.size() >= ctx_.config().innerLinks) break;
+                      if (ctx_.isOnline(candidate)) {
+                        connectInner(user, candidate);
+                      }
+                    }
+                    for (const UserId candidate : interCandidates) {
+                      if (node.inter.size() >= ctx_.config().interLinks) break;
+                      if (ctx_.isOnline(candidate)) {
+                        connectInter(user, candidate);
+                      }
+                    }
+                  });
+  });
+  return true;
+}
+
+void SocialTubeSystem::probeNeighbors(UserId user) {
+  if (!ctx_.isOnline(user)) return;
+  Node& node = nodes_[user.index()];
+  bool lostAny = false;
+
+  const auto sweep = [&](std::vector<UserId>& links) {
+    for (std::size_t i = 0; i < links.size();) {
+      ctx_.metrics().countProbe();
+      const UserId n = links[i];
+      // A live neighbor answers the probe; a dead one times out and the
+      // link is dropped. (Channel switches are announced by the switcher,
+      // so no staleness check is needed here.)
+      if (!ctx_.isOnline(n)) {
+        dropLink(n, user);  // remove reciprocal entry if any
+        links.erase(links.begin() + static_cast<std::ptrdiff_t>(i));
+        lostAny = true;
+        continue;
+      }
+      ++i;
+    }
+  };
+  sweep(node.inner);
+  sweep(node.inter);
+
+  if (lostAny || node.inner.size() < ctx_.config().innerLinks ||
+      node.inter.size() < ctx_.config().interLinks) {
+    repairLinks(user);
+  }
+}
+
+void SocialTubeSystem::repairLinks(UserId user) {
+  Node& node = nodes_[user.index()];
+  if (!node.channel.valid()) return;
+  const std::size_t needInner =
+      node.inner.size() < ctx_.config().innerLinks
+          ? ctx_.config().innerLinks - node.inner.size()
+          : 0;
+  const bool needInter = node.inter.size() < ctx_.config().interLinks;
+  if (needInner == 0 && !needInter) return;
+
+  ctx_.metrics().countRepair();
+  if (ctx_.config().gossipRepair && gossipRepairLinks(user)) return;
+  const ChannelId channel = node.channel;
+  const CategoryId category = node.category;
+  ctx_.sendToServer(user, [this, user, channel, category, needInner,
+                           needInter] {
+    if (!ctx_.isOnline(user)) return;
+    std::vector<UserId> innerCandidates =
+        directory_.randomMembers(channel, needInner, user, ctx_.rng());
+    std::vector<UserId> interCandidates;
+    if (needInter && category.valid()) {
+      const trace::Category& categoryInfo = ctx_.catalog().category(category);
+      std::vector<ChannelId> siblings;
+      for (const ChannelId sibling : categoryInfo.channels) {
+        if (sibling != channel) siblings.push_back(sibling);
+      }
+      ctx_.rng().shuffle(siblings);
+      for (const ChannelId sibling : siblings) {
+        if (interCandidates.size() >= ctx_.config().interLinks) break;
+        const std::vector<UserId> picked =
+            directory_.randomMembers(sibling, 1, user, ctx_.rng());
+        if (!picked.empty()) interCandidates.push_back(picked.front());
+      }
+    }
+    ctx_.sendFromServer(user, [this, user, channel, category,
+                               innerCandidates = std::move(innerCandidates),
+                               interCandidates = std::move(interCandidates)] {
+      Node& node = nodes_[user.index()];
+      if (node.channel != channel) return;  // switched since the request
+      for (const UserId candidate : innerCandidates) {
+        if (node.inner.size() >= ctx_.config().innerLinks) break;
+        if (ctx_.isOnline(candidate)) connectInner(user, candidate);
+      }
+      for (const UserId candidate : interCandidates) {
+        if (node.inter.size() >= ctx_.config().interLinks) break;
+        if (ctx_.isOnline(candidate)) connectInter(user, candidate);
+      }
+    });
+  });
+}
+
+}  // namespace st::core

@@ -1,0 +1,154 @@
+// SocialTube — the paper's primary contribution (§IV).
+//
+// Interest-based per-community hierarchical P2P structure:
+//  * lower level  — nodes watching a channel form that channel's overlay;
+//    each node keeps at most N_l inner-links there.
+//  * higher level — channels of the same interest category form a cluster;
+//    each node keeps at most N_h inter-links to nodes in sibling channels.
+//
+// Video search (Algorithm 1): flood the channel overlay with TTL, then the
+// category cluster with TTL, then fall back to the origin server. The first
+// responder supplies the video and becomes a neighbor.
+//
+// Channel-facilitated prefetching (§IV-B): while a video plays, the node
+// prefetches the first chunks of the M most popular videos of the channel
+// it is watching (popularity ranks are published by the server).
+//
+// Modelling notes:
+//  * Query/HIT messages travel over the latency model with loss; phase
+//    deadlines bound the wait, exactly like a real timeout-driven client.
+//  * Link handshakes are collapsed to one state update (both ends add the
+//    link at initiation time); probe rounds detect links whose far ends
+//    left abruptly.
+//  * Neighbor cache contents are inspected directly when choosing prefetch
+//    providers — standing in for the cache digests piggybacked on probe
+//    messages in a real deployment.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "vod/context.h"
+#include "vod/membership.h"
+#include "vod/system.h"
+#include "vod/transfer.h"
+#include "vod/video_cache.h"
+
+namespace st::core {
+
+// The origin server's SocialTube state: for each channel, the online users
+// registered under it — a user's subscriptions plus the channel they are
+// currently watching (§IV-A: "users should report their changes of
+// subscribed channels"). Far smaller than NetTube's per-video tracking.
+using SubscriberDirectory = vod::MembershipDirectory<ChannelId>;
+
+class SocialTubeSystem final : public vod::VodSystem {
+ public:
+  SocialTubeSystem(vod::SystemContext& ctx, vod::TransferManager& transfers);
+
+  [[nodiscard]] std::string_view name() const override { return "SocialTube"; }
+
+  void onLogin(UserId user) override;
+  void onLogout(UserId user, bool graceful) override;
+  void requestVideo(UserId user, VideoId video) override;
+  [[nodiscard]] std::size_t linkCount(UserId user) const override;
+  [[nodiscard]] std::size_t serverRegistrations() const override {
+    return directory_.totalRegistrations();
+  }
+
+  // --- introspection (tests, benches) ---------------------------------------
+  [[nodiscard]] const std::vector<UserId>& innerNeighbors(UserId user) const {
+    return nodes_[user.index()].inner;
+  }
+  [[nodiscard]] const std::vector<UserId>& interNeighbors(UserId user) const {
+    return nodes_[user.index()].inter;
+  }
+  [[nodiscard]] ChannelId currentChannel(UserId user) const {
+    return nodes_[user.index()].channel;
+  }
+  [[nodiscard]] const vod::VideoCache& cache(UserId user) const {
+    return nodes_[user.index()].cache;
+  }
+  [[nodiscard]] const SubscriberDirectory& directory() const {
+    return directory_;
+  }
+
+ private:
+  struct Node {
+    ChannelId channel = ChannelId::invalid();    // overlay currently joined
+    CategoryId category = CategoryId::invalid();
+    std::vector<UserId> inner;
+    std::vector<UserId> inter;
+    vod::VideoCache cache;
+    // Last session's neighborhood, for the reconnect-on-login path (§IV-A).
+    ChannelId lastChannel = ChannelId::invalid();
+    CategoryId lastCategory = CategoryId::invalid();
+    std::vector<UserId> lastInner;
+    std::vector<UserId> lastInter;
+    // Duplicate-suppression for flooded queries.
+    std::unordered_set<std::uint64_t> seenQueries;
+    std::deque<std::uint64_t> seenOrder;
+    sim::EventHandle probeTimer;
+
+    Node(std::size_t maxVideos, std::size_t prefetchSlots)
+        : cache(maxVideos, prefetchSlots) {}
+  };
+
+  enum class SearchPhase { kChannel, kCategory };
+
+  struct Search {
+    UserId user;
+    VideoId video;
+    SearchPhase phase = SearchPhase::kChannel;
+    bool prefetchHit = false;
+    sim::SimTime requestTime = 0;
+    sim::EventHandle deadline;
+  };
+
+  // --- join/leave ------------------------------------------------------------
+  // Ensures the node is joined to `channel`'s overlay (and its category's
+  // cluster), then runs `then`. May involve a server round trip.
+  void ensureJoined(UserId user, ChannelId channel,
+                    std::function<void()> then);
+  void leaveOverlays(UserId user, bool notifyNeighbors);
+  void connectInner(UserId a, UserId b);
+  void connectInter(UserId a, UserId b);
+  void dropLink(UserId from, UserId gone);
+
+  // --- search ------------------------------------------------------------------
+  void beginSearch(UserId user, VideoId video, bool prefetchHit,
+                   sim::SimTime requestTime);
+  void floodChannelQuery(UserId origin, UserId at, VideoId video,
+                         std::uint64_t queryId, int ttl);
+  void enterCategoryPhase(std::uint64_t queryId);
+  void onSearchHit(std::uint64_t queryId, UserId provider);
+  void fallbackToServer(std::uint64_t queryId);
+  void resolveSearch(std::uint64_t queryId, UserId provider);
+  void startDownload(UserId user, VideoId video, UserId provider,
+                     bool prefetchHit, sim::SimTime requestTime);
+
+  // --- prefetch ------------------------------------------------------------------
+  void prefetchPopular(UserId user, ChannelId channel, VideoId watching);
+
+  // --- maintenance ------------------------------------------------------------
+  void probeNeighbors(UserId user);
+  void repairLinks(UserId user);
+  // Neighbor-of-neighbor repair (config.gossipRepair); returns false when
+  // no live neighbor can help and the server path should run instead.
+  bool gossipRepairLinks(UserId user);
+
+  [[nodiscard]] bool seenQuery(Node& node, std::uint64_t queryId);
+
+  vod::SystemContext& ctx_;
+  vod::TransferManager& transfers_;
+  SubscriberDirectory directory_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Search> searches_;
+  std::unordered_map<UserId, std::uint64_t> activeSearch_;
+  std::uint64_t nextQueryId_ = 1;
+};
+
+}  // namespace st::core

@@ -1,0 +1,45 @@
+#include "exp/analytical.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace st::exp::analytical {
+
+double socialTubeOverhead(double usersPerChannel, double usersPerInterest) {
+  assert(usersPerChannel >= 1.0 && usersPerInterest >= 1.0);
+  return std::log(usersPerChannel) + std::log(usersPerInterest);
+}
+
+double netTubeOverhead(std::size_t videosWatched, double viewersPerVideo) {
+  assert(viewersPerVideo >= 1.0);
+  return static_cast<double>(videosWatched) * std::log(viewersPerVideo);
+}
+
+std::vector<OverheadPoint> fig15Series(std::size_t maxVideos,
+                                       double viewersPerVideo,
+                                       double usersPerChannel,
+                                       double usersPerInterest) {
+  std::vector<OverheadPoint> series;
+  series.reserve(maxVideos);
+  for (std::size_t m = 1; m <= maxVideos; ++m) {
+    series.push_back({m, socialTubeOverhead(usersPerChannel, usersPerInterest),
+                      netTubeOverhead(m, viewersPerVideo)});
+  }
+  return series;
+}
+
+double prefetchAccuracy(std::size_t channelVideos, std::size_t prefetched,
+                        double zipfExponent) {
+  assert(channelVideos > 0);
+  if (prefetched >= channelVideos) return 1.0;
+  double total = 0.0;
+  double top = 0.0;
+  for (std::size_t k = 1; k <= channelVideos; ++k) {
+    const double weight = 1.0 / std::pow(static_cast<double>(k), zipfExponent);
+    total += weight;
+    if (k <= prefetched) top += weight;
+  }
+  return top / total;
+}
+
+}  // namespace st::exp::analytical

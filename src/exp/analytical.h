@@ -1,0 +1,44 @@
+// Closed-form models the paper derives.
+//
+// Fig. 15 — maintenance overhead: with u_c users per channel and u_t users
+// per interest, SocialTube maintains log(u_c) + log(u_t) links regardless of
+// viewing history, while NetTube maintains m * log(u) links after m videos
+// of u viewers each.
+//
+// §IV-B — prefetch accuracy: with within-channel views Zipf(s = 1) over N
+// videos, prefetching the top-M most popular videos captures
+// sum_{k=1..M} (1/k) / H_N of the next-video probability mass (26.2% for
+// M = 1, N = 25; 54.6% for M = 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace st::exp::analytical {
+
+// Links a SocialTube node maintains (constant in videos watched).
+double socialTubeOverhead(double usersPerChannel, double usersPerInterest);
+
+// Links a NetTube node maintains after watching `videosWatched` videos with
+// `viewersPerVideo` viewers each.
+double netTubeOverhead(std::size_t videosWatched, double viewersPerVideo);
+
+// The Fig. 15 series: overheads for m = 1..maxVideos with the paper's
+// example constants (u = 500, u_c = 5,000, u_t = 25,000).
+struct OverheadPoint {
+  std::size_t videosWatched;
+  double socialTube;
+  double netTube;
+};
+std::vector<OverheadPoint> fig15Series(std::size_t maxVideos = 10,
+                                       double viewersPerVideo = 500.0,
+                                       double usersPerChannel = 5'000.0,
+                                       double usersPerInterest = 25'000.0);
+
+// Probability that the next same-channel video is among the top-M
+// prefetched ones, for a channel of `channelVideos` videos with Zipf
+// exponent `s`.
+double prefetchAccuracy(std::size_t channelVideos, std::size_t prefetched,
+                        double zipfExponent = 1.0);
+
+}  // namespace st::exp::analytical

@@ -1,0 +1,53 @@
+// Experiment presets: the PeerSim simulation (Table I) and the PlanetLab
+// deployment (§V), plus proportional scaling for quick runs.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "trace/generator.h"
+#include "vod/config.h"
+
+namespace st::exp {
+
+enum class Mode {
+  kSimulation,  // clean network, Table I scale
+  kPlanetLab,   // wide-area latencies, loss, 250 nodes
+};
+
+struct ExperimentConfig {
+  std::uint64_t seed = 1;
+  Mode mode = Mode::kSimulation;
+  trace::GeneratorParams trace;
+  vod::VodConfig vod;
+  // Experiment horizon (Table I: 3 simulated days).
+  sim::SimTime duration = 3 * sim::kDay;
+
+  // Dynamic uploads (extension; see vod/releases.h). With perChannel > 0,
+  // that many videos per channel are held back and published mid-run;
+  // subscribers receive feed notifications and watch with the given
+  // probability.
+  struct Releases {
+    std::size_t perChannel = 0;
+    double windowStartFraction = 0.05;  // of the experiment duration
+    double windowEndFraction = 0.60;
+    double feedWatchProbability = 0.6;
+  };
+  Releases releases;
+
+  // Table I defaults: 10,000 nodes, 10,121 videos, 545 channels, 25 sessions
+  // of 10 videos, N_l = 5, N_h = 10, TTL = 2, 10-minute probes.
+  static ExperimentConfig simulationDefaults(std::uint64_t seed = 1);
+
+  // §V PlanetLab run: 250 globally distributed nodes, 6 categories x 10
+  // channels x 40 videos, 50 sessions, 2-minute mean off time, wide-area
+  // latency/loss, 5 Mbps server.
+  static ExperimentConfig planetLabDefaults(std::uint64_t seed = 1);
+
+  // Same shape at a different node count (sessions trimmed proportionally
+  // for quick CI-sized runs). Keeps the 20 kbps/user server sizing rule.
+  [[nodiscard]] ExperimentConfig scaledTo(std::size_t users,
+                                          std::size_t sessions) const;
+};
+
+}  // namespace st::exp

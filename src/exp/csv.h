@@ -1,0 +1,26 @@
+// Machine-readable experiment output: one CSV row per ExperimentResult.
+// Used by the bench binaries' --csv flag so sweeps can be plotted without
+// scraping console text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+
+namespace st::exp {
+
+// The CSV header matching csvRow()'s columns.
+[[nodiscard]] std::string csvHeader();
+
+// One row, with an arbitrary caller-supplied label in the first column
+// (e.g. the sweep point).
+[[nodiscard]] std::string csvRow(const std::string& label,
+                                 const ExperimentResult& result);
+
+// Writes header + one row per result. Returns false on I/O failure.
+bool writeResultsCsv(const std::string& path,
+                     const std::vector<std::pair<std::string,
+                                                 ExperimentResult>>& rows);
+
+}  // namespace st::exp

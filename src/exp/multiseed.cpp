@@ -1,0 +1,68 @@
+#include "exp/multiseed.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace st::exp {
+
+namespace {
+AggregateStat aggregate(const std::vector<double>& samples) {
+  AggregateStat stat;
+  RunningStats stats;
+  for (const double x : samples) stats.add(x);
+  stat.mean = stats.mean();
+  stat.min = stats.min();
+  stat.max = stats.max();
+  stat.runs = stats.count();
+  if (stats.count() > 1) {
+    stat.stderrOfMean =
+        stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  }
+  return stat;
+}
+}  // namespace
+
+MultiSeedSummary runSeeds(const ExperimentConfig& base, SystemKind system,
+                          std::size_t seeds) {
+  assert(seeds > 0);
+  MultiSeedSummary summary;
+  summary.system = systemName(system);
+
+  std::vector<double> peer;
+  std::vector<double> delayMean;
+  std::vector<double> delayP99;
+  std::vector<double> links;
+  std::vector<double> rebuffer;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    ExperimentConfig config = base;
+    config.seed = base.seed + i;
+    config.trace.seed = config.seed;
+    ExperimentResult result = runExperiment(config, system);
+    peer.push_back(result.aggregatePeerFraction());
+    delayMean.push_back(result.startupDelayMs.mean());
+    delayP99.push_back(result.startupDelayMs.percentile(99));
+    links.push_back(result.linksByVideosWatched.empty()
+                        ? 0.0
+                        : result.linksByVideosWatched.back().mean());
+    rebuffer.push_back(result.rebufferRate());
+    summary.runs.push_back(std::move(result));
+  }
+  summary.peerFraction = aggregate(peer);
+  summary.delayMeanMs = aggregate(delayMean);
+  summary.delayP99Ms = aggregate(delayP99);
+  summary.linksFinal = aggregate(links);
+  summary.rebufferRate = aggregate(rebuffer);
+  return summary;
+}
+
+std::string formatStat(const AggregateStat& stat) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "%.3f +/- %.3f [%.3f, %.3f]",
+                stat.mean, stat.stderrOfMean, stat.min, stat.max);
+  return buffer;
+}
+
+}  // namespace st::exp

@@ -1,0 +1,40 @@
+// Multi-seed replication: run the same experiment across independent seeds
+// (fresh trace + fresh schedule each) and report mean +/- standard error for
+// the headline metrics. Guards the single-run figures against lucky seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+
+namespace st::exp {
+
+struct AggregateStat {
+  double mean = 0.0;
+  double stderrOfMean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t runs = 0;
+};
+
+struct MultiSeedSummary {
+  std::string system;
+  AggregateStat peerFraction;    // aggregate normalized peer bandwidth
+  AggregateStat delayMeanMs;     // mean startup delay
+  AggregateStat delayP99Ms;      // tail startup delay
+  AggregateStat linksFinal;      // mean links after the last session video
+  AggregateStat rebufferRate;
+  std::vector<ExperimentResult> runs;
+};
+
+// Runs `seeds` replications with seeds base.seed, base.seed+1, ....
+MultiSeedSummary runSeeds(const ExperimentConfig& base, SystemKind system,
+                          std::size_t seeds);
+
+// Formats "mean +/- stderr [min, max]".
+std::string formatStat(const AggregateStat& stat);
+
+}  // namespace st::exp

@@ -1,0 +1,164 @@
+#include "exp/runner.h"
+
+#include <cassert>
+
+#include "baselines/nettube.h"
+#include "baselines/pavod.h"
+#include "core/socialtube.h"
+#include "net/latency.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "trace/generator.h"
+#include "vod/context.h"
+#include "vod/library.h"
+#include "vod/metrics.h"
+#include "vod/releases.h"
+#include "vod/selector.h"
+#include "vod/session.h"
+#include "vod/system.h"
+#include "vod/transfer.h"
+
+namespace st::exp {
+
+const char* systemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kSocialTube: return "SocialTube";
+    case SystemKind::kNetTube: return "NetTube";
+    case SystemKind::kPaVod: return "PA-VoD";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<net::LatencyModel> makeLatency(const ExperimentConfig& config) {
+  if (config.mode == Mode::kPlanetLab) {
+    // Wide-area: heavy-tailed RTTs and 1% message loss, standing in for the
+    // paper's "unstable network environment on PlanetLab".
+    return std::make_unique<net::WideAreaLatencyModel>(
+        config.seed, /*medianMs=*/80.0, /*sigma=*/0.6, /*lossRate=*/0.01);
+  }
+  return std::make_unique<net::CleanLatencyModel>(
+      config.seed, 10 * sim::kMillisecond, 80 * sim::kMillisecond);
+}
+
+std::unique_ptr<vod::VodSystem> makeSystem(SystemKind kind,
+                                           vod::SystemContext& ctx,
+                                           vod::TransferManager& transfers) {
+  switch (kind) {
+    case SystemKind::kSocialTube:
+      return std::make_unique<core::SocialTubeSystem>(ctx, transfers);
+    case SystemKind::kNetTube:
+      return std::make_unique<baselines::NetTubeSystem>(ctx, transfers);
+    case SystemKind::kPaVod:
+      return std::make_unique<baselines::PaVodSystem>(ctx, transfers);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ExperimentResult runExperiment(const ExperimentConfig& config,
+                               SystemKind kind,
+                               const trace::Catalog* catalog) {
+  trace::Catalog owned;
+  if (catalog == nullptr) {
+    owned = trace::generateTrace(config.trace);
+    catalog = &owned;
+  }
+
+  sim::Simulator simulator;
+  net::Network network(simulator, makeLatency(config), config.seed);
+  vod::VideoLibrary library(*catalog, config.vod);
+  vod::Metrics metrics(catalog->userCount(), config.vod.videosPerSession);
+  vod::SystemContext ctx(simulator, network, *catalog, library, config.vod,
+                         metrics, config.seed);
+  vod::TransferManager transfers(ctx);
+  const std::unique_ptr<vod::VodSystem> system =
+      makeSystem(kind, ctx, transfers);
+  vod::VideoSelector selector(*catalog, config.vod, config.seed);
+  selector.attachContext(ctx);
+  vod::SessionDriver driver(ctx, *system, transfers, selector, config.seed);
+
+  // Dynamic uploads, if configured: hold some videos back and publish them
+  // during the run, feeding the channels' subscribers.
+  vod::ReleaseManager releases(ctx, selector,
+                               config.releases.feedWatchProbability,
+                               config.seed);
+  if (config.releases.perChannel > 0) {
+    const auto windowStart = static_cast<sim::SimTime>(
+        config.releases.windowStartFraction *
+        static_cast<double>(config.duration));
+    const auto windowEnd = static_cast<sim::SimTime>(
+        config.releases.windowEndFraction *
+        static_cast<double>(config.duration));
+    releases.schedule(vod::ReleaseManager::uniformPlan(
+        *catalog, config.releases.perChannel, windowStart, windowEnd,
+        config.seed));
+  }
+
+  driver.start();
+  // Sample the origin server's membership-state size every 30 simulated
+  // minutes (the §IV-A server-state comparison).
+  RunningStats serverRegistrations;
+  simulator.schedulePeriodic(30 * sim::kMinute, [&] {
+    serverRegistrations.add(
+        static_cast<double>(system->serverRegistrations()));
+  });
+  simulator.runUntil(config.duration);
+
+  ExperimentResult result;
+  result.system = std::string(system->name());
+  result.mode = config.mode;
+  result.normalizedPeerBandwidth = metrics.normalizedPeerBandwidth();
+  result.startupDelayMs = metrics.startupDelayMs();
+  result.startupTimeouts = metrics.startupTimeouts();
+  result.linksByVideosWatched = metrics.linksByVideosWatched();
+  result.redundantLinks = metrics.redundantLinks();
+  result.serverRegistrations = serverRegistrations;
+  result.bodyCompletions = metrics.bodyCompletions();
+  result.rebuffers = metrics.rebuffers();
+  result.watches = metrics.watches();
+  result.cacheHits = metrics.cacheHits();
+  result.prefetchHits = metrics.prefetchHits();
+  result.prefetchIssued = metrics.prefetchIssued();
+  result.channelHits = metrics.channelHits();
+  result.categoryHits = metrics.categoryHits();
+  result.serverFallbacks = metrics.serverFallbacks();
+  result.probes = metrics.probes();
+  result.repairs = metrics.repairs();
+  result.peerChunks = metrics.totalPeerChunks();
+  result.serverChunks = metrics.totalServerChunks();
+  result.serverBytes = network.flows().bytesUploaded(ctx.serverEndpoint());
+  {
+    std::vector<double> uploads;
+    uploads.reserve(catalog->userCount());
+    for (std::size_t i = 0; i < catalog->userCount(); ++i) {
+      uploads.push_back(static_cast<double>(network.flows().bytesUploaded(
+          EndpointId{static_cast<std::uint32_t>(i)})));
+    }
+    result.uploadGini = giniCoefficient(uploads);
+  }
+  result.messagesSent = network.messagesSent();
+  result.messagesLost = network.messagesLost();
+  result.sessionsCompleted = driver.sessionsCompleted();
+  result.eventsFired = simulator.eventsFired();
+  result.releasesFired = releases.releasesFired();
+  result.feedNotifications = releases.feedNotifications();
+  result.feedWatches = selector.feedWatches();
+  return result;
+}
+
+std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config) {
+  const trace::Catalog catalog = trace::generateTrace(config.trace);
+  std::vector<ExperimentResult> results;
+  results.push_back(
+      runExperiment(config, SystemKind::kPaVod, &catalog));
+  results.push_back(
+      runExperiment(config, SystemKind::kSocialTube, &catalog));
+  results.push_back(
+      runExperiment(config, SystemKind::kNetTube, &catalog));
+  return results;
+}
+
+}  // namespace st::exp

@@ -1,0 +1,94 @@
+// Wires a full experiment: catalog -> network -> system -> session driver,
+// runs it to the horizon, and extracts the paper's metrics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "trace/catalog.h"
+#include "util/stats.h"
+
+namespace st::exp {
+
+enum class SystemKind { kSocialTube, kNetTube, kPaVod };
+
+[[nodiscard]] const char* systemName(SystemKind kind);
+
+struct ExperimentResult {
+  std::string system;
+  Mode mode = Mode::kSimulation;
+
+  // Fig. 16: per-node peer fraction of remotely fetched chunks.
+  SampleSet normalizedPeerBandwidth;
+  // Fig. 17: per-watch startup delay (ms).
+  SampleSet startupDelayMs;
+  std::uint64_t startupTimeouts = 0;
+  // Fig. 18: mean link count after the n-th video of a session (index n).
+  std::vector<RunningStats> linksByVideosWatched;
+  // §IV-C: redundant pairwise links (NetTube only; zero elsewhere).
+  RunningStats redundantLinks;
+  // §IV-A: size of the origin server's membership state, sampled
+  // periodically over the run ((user, channel/video) registrations).
+  RunningStats serverRegistrations;
+  // Playback continuity: completed bodies that arrived slower than
+  // real-time (the viewer would have stalled).
+  std::uint64_t bodyCompletions = 0;
+  std::uint64_t rebuffers = 0;
+  // Fairness of the seeding load: Gini coefficient of per-user bytes
+  // uploaded (0 = everyone contributes equally).
+  double uploadGini = 0.0;
+
+  // Protocol counters.
+  std::uint64_t watches = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t prefetchHits = 0;
+  std::uint64_t prefetchIssued = 0;
+  std::uint64_t channelHits = 0;
+  std::uint64_t categoryHits = 0;
+  std::uint64_t serverFallbacks = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t peerChunks = 0;
+  std::uint64_t serverChunks = 0;
+  std::uint64_t serverBytes = 0;  // data-plane bytes the origin served
+  std::uint64_t messagesSent = 0;
+  std::uint64_t messagesLost = 0;
+  std::uint64_t sessionsCompleted = 0;
+  std::uint64_t eventsFired = 0;
+  // Dynamic uploads (when config.releases.perChannel > 0).
+  std::uint64_t releasesFired = 0;
+  std::uint64_t feedNotifications = 0;
+  std::uint64_t feedWatches = 0;
+
+  [[nodiscard]] double rebufferRate() const {
+    return bodyCompletions == 0 ? 0.0
+                                : static_cast<double>(rebuffers) /
+                                      static_cast<double>(bodyCompletions);
+  }
+  [[nodiscard]] double prefetchHitRate() const {
+    return watches == 0 ? 0.0
+                        : static_cast<double>(prefetchHits) /
+                              static_cast<double>(watches);
+  }
+  [[nodiscard]] double aggregatePeerFraction() const {
+    const std::uint64_t total = peerChunks + serverChunks;
+    return total == 0 ? 0.0
+                      : static_cast<double>(peerChunks) /
+                            static_cast<double>(total);
+  }
+};
+
+// Runs one experiment. When `catalog` is null a trace is generated from
+// config.trace (deterministic in the seed), so runs of different systems
+// against the same config see the same workload.
+ExperimentResult runExperiment(const ExperimentConfig& config,
+                               SystemKind system,
+                               const trace::Catalog* catalog = nullptr);
+
+// Convenience: run all three systems against one shared catalog.
+std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config);
+
+}  // namespace st::exp

@@ -1,0 +1,249 @@
+#include "net/flow_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace st::net {
+
+namespace {
+// A flow is considered delivered when less than one byte remains; guards
+// against floating-point residue keeping flows alive forever.
+constexpr double kEpsilonBytes = 0.5;
+}  // namespace
+
+void FlowNetwork::addEndpoint(EndpointId id, EndpointCapacity capacity) {
+  assert(id.valid());
+  if (endpoints_.size() <= id.index()) endpoints_.resize(id.index() + 1);
+  endpoints_[id.index()].capacity = capacity;
+}
+
+bool FlowNetwork::hasEndpoint(EndpointId id) const {
+  return id.valid() && id.index() < endpoints_.size();
+}
+
+const EndpointCapacity& FlowNetwork::capacity(EndpointId id) const {
+  assert(hasEndpoint(id));
+  return endpoints_[id.index()].capacity;
+}
+
+void FlowNetwork::setUploadConcurrencyLimit(EndpointId endpoint,
+                                            std::size_t limit) {
+  assert(hasEndpoint(endpoint));
+  assert(limit > 0);
+  endpoints_[endpoint.index()].uploadLimit = limit;
+}
+
+std::size_t FlowNetwork::queuedUploads(EndpointId endpoint) const {
+  assert(hasEndpoint(endpoint));
+  return endpoints_[endpoint.index()].uploadQueue.size();
+}
+
+double FlowNetwork::fairRate(const Flow& flow) const {
+  const EndpointState& src = endpoints_[flow.src.index()];
+  const EndpointState& dst = endpoints_[flow.dst.index()];
+  assert(!src.uploads.empty() && !dst.downloads.empty());
+  const double up =
+      src.capacity.uploadBps / static_cast<double>(src.uploads.size());
+  const double down =
+      dst.capacity.downloadBps / static_cast<double>(dst.downloads.size());
+  return std::min(up, down);
+}
+
+void FlowNetwork::settle(Flow& flow) {
+  if (flow.queued) {
+    flow.lastUpdate = sim_.now();
+    return;  // queued flows make no progress
+  }
+  const sim::SimTime now = sim_.now();
+  if (now > flow.lastUpdate && flow.rateBps > 0.0) {
+    const double elapsedSeconds = sim::toSeconds(now - flow.lastUpdate);
+    flow.bytesRemaining =
+        std::max(0.0, flow.bytesRemaining - flow.rateBps / 8.0 * elapsedSeconds);
+  }
+  flow.lastUpdate = now;
+}
+
+void FlowNetwork::reschedule(FlowId id, Flow& flow) {
+  if (flow.completion.valid()) sim_.cancel(flow.completion);
+  flow.rateBps = fairRate(flow);
+  if (flow.rateBps <= 0.0) {
+    // Zero-capacity endpoint: flow stalls until topology changes again. The
+    // caller is expected to give every endpoint nonzero capacity, but a
+    // stalled flow must not schedule a completion at time infinity.
+    flow.completion = sim::EventHandle{};
+    return;
+  }
+  const double seconds = flow.bytesRemaining * 8.0 / flow.rateBps;
+  const auto delay =
+      std::max<sim::SimTime>(sim::fromSeconds(seconds), 0);
+  flow.completion = sim_.schedule(delay, [this, id] { finish(id); });
+}
+
+void FlowNetwork::refreshEndpoint(EndpointId endpoint) {
+  EndpointState& state = endpoints_[endpoint.index()];
+  // Copy: reschedule() mutates flows_, never the membership vectors, but a
+  // snapshot keeps the loop robust if that ever changes.
+  std::vector<FlowId> touched = state.uploads;
+  touched.insert(touched.end(), state.downloads.begin(),
+                 state.downloads.end());
+  for (const FlowId id : touched) {
+    const auto it = flows_.find(id);
+    assert(it != flows_.end());
+    settle(it->second);
+    reschedule(id, it->second);
+  }
+}
+
+FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
+                              std::uint64_t bytes,
+                              CompletionCallback onComplete) {
+  assert(hasEndpoint(src) && hasEndpoint(dst));
+  assert(bytes > 0);
+  const FlowId id{nextFlowId_++};
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytesRemaining = static_cast<double>(bytes);
+  flow.totalBytes = bytes;
+  flow.lastUpdate = sim_.now();
+  flow.onComplete = std::move(onComplete);
+
+  EndpointState& source = endpoints_[src.index()];
+  if (source.uploads.size() >= source.uploadLimit) {
+    // No free upload slot: wait in line. The flow joins the share pools of
+    // both endpoints only on activation.
+    flow.queued = true;
+    flows_.emplace(id, std::move(flow));
+    source.uploadQueue.push_back(id);
+    return id;
+  }
+
+  flows_.emplace(id, std::move(flow));
+  activate(id, flows_.at(id));
+  return id;
+}
+
+void FlowNetwork::activate(FlowId id, Flow& flow) {
+  flow.queued = false;
+  flow.lastUpdate = sim_.now();
+  endpoints_[flow.src.index()].uploads.push_back(id);
+  endpoints_[flow.dst.index()].downloads.push_back(id);
+  // Membership at both endpoints changed; refresh both sides (the new flow's
+  // own rate is derived inside refreshEndpoint as well).
+  refreshEndpoint(flow.src);
+  if (flow.dst != flow.src) refreshEndpoint(flow.dst);
+}
+
+void FlowNetwork::promoteQueued(EndpointId endpoint) {
+  EndpointState& state = endpoints_[endpoint.index()];
+  while (!state.uploadQueue.empty() &&
+         state.uploads.size() < state.uploadLimit) {
+    const FlowId next = state.uploadQueue.front();
+    state.uploadQueue.pop_front();
+    const auto it = flows_.find(next);
+    assert(it != flows_.end() && it->second.queued);
+    activate(next, it->second);
+  }
+}
+
+void FlowNetwork::finish(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle(it->second);
+  assert(it->second.bytesRemaining <= kEpsilonBytes + 1.0);
+  removeFlow(id, /*completed=*/true);
+}
+
+void FlowNetwork::removeFlow(FlowId id, bool completed) {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end());
+  Flow flow = std::move(it->second);
+  flows_.erase(it);
+  if (flow.completion.valid()) sim_.cancel(flow.completion);
+
+  if (flow.queued) {
+    // Never activated: only the source's wait queue knows about it.
+    assert(!completed);
+    auto& queue = endpoints_[flow.src.index()].uploadQueue;
+    queue.erase(std::find(queue.begin(), queue.end(), id));
+    return;
+  }
+
+  auto& uploads = endpoints_[flow.src.index()].uploads;
+  uploads.erase(std::find(uploads.begin(), uploads.end(), id));
+  auto& downloads = endpoints_[flow.dst.index()].downloads;
+  downloads.erase(std::find(downloads.begin(), downloads.end(), id));
+
+  if (completed) {
+    endpoints_[flow.src.index()].bytesUploaded += flow.totalBytes;
+    endpoints_[flow.dst.index()].bytesDownloaded += flow.totalBytes;
+  }
+
+  promoteQueued(flow.src);
+  refreshEndpoint(flow.src);
+  if (flow.dst != flow.src) refreshEndpoint(flow.dst);
+
+  if (completed && flow.onComplete) flow.onComplete();
+}
+
+void FlowNetwork::cancelFlow(FlowId id) {
+  if (flows_.count(id) == 0) return;
+  removeFlow(id, /*completed=*/false);
+}
+
+void FlowNetwork::dropEndpointFlows(EndpointId endpoint,
+                                    const AbortCallback& onAborted) {
+  assert(hasEndpoint(endpoint));
+  EndpointState& state = endpoints_[endpoint.index()];
+  // Queued (never-activated) uploads die without notification.
+  const std::vector<FlowId> queued(state.uploadQueue.begin(),
+                                   state.uploadQueue.end());
+  for (const FlowId id : queued) removeFlow(id, /*completed=*/false);
+  std::vector<FlowId> doomed = state.uploads;
+  doomed.insert(doomed.end(), state.downloads.begin(), state.downloads.end());
+  for (const FlowId id : doomed) {
+    const auto it = flows_.find(id);
+    if (it == flows_.end()) continue;  // same flow on both sides (loopback)
+    settle(it->second);
+    const bool isDownload = it->second.dst == endpoint;
+    const auto bytesDone = static_cast<std::uint64_t>(
+        static_cast<double>(it->second.totalBytes) -
+        it->second.bytesRemaining);
+    const bool notify = onAborted && !isDownload;
+    // Note: when the *endpoint itself* departs we notify for uploads it was
+    // serving (the remote downloader lost its provider); its own downloads
+    // just die with it.
+    removeFlow(id, /*completed=*/false);
+    if (notify) onAborted(id, bytesDone);
+  }
+}
+
+bool FlowNetwork::flowActive(FlowId id) const { return flows_.count(id) > 0; }
+
+double FlowNetwork::flowRateBps(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rateBps;
+}
+
+std::size_t FlowNetwork::activeUploads(EndpointId id) const {
+  assert(hasEndpoint(id));
+  return endpoints_[id.index()].uploads.size();
+}
+
+std::size_t FlowNetwork::activeDownloads(EndpointId id) const {
+  assert(hasEndpoint(id));
+  return endpoints_[id.index()].downloads.size();
+}
+
+std::uint64_t FlowNetwork::bytesUploaded(EndpointId id) const {
+  assert(hasEndpoint(id));
+  return endpoints_[id.index()].bytesUploaded;
+}
+
+std::uint64_t FlowNetwork::bytesDownloaded(EndpointId id) const {
+  assert(hasEndpoint(id));
+  return endpoints_[id.index()].bytesDownloaded;
+}
+
+}  // namespace st::net

@@ -1,0 +1,126 @@
+// Fluid bandwidth model with connection-count fair sharing.
+//
+// Every data transfer (video chunk, prefetch, server fallback) is a flow
+// between two endpoints. A flow's rate is
+//
+//     rate(f) = min(upload(src) / nUp(src), download(dst) / nDown(dst))
+//
+// i.e. each endpoint splits its capacity evenly across its active flows.
+// Rates change only when a flow starts or ends, so the event-driven
+// integration is exact: on each membership change we settle the progress of
+// the affected flows and reschedule their completion events.
+//
+// This is the mechanism that makes the origin server's 5 Mbps uplink
+// (Table I) saturate under PA-VoD and produce the paper's startup-delay
+// blow-up — no special-case queueing code needed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/strong_id.h"
+
+namespace st::net {
+
+struct EndpointCapacity {
+  double uploadBps = 0.0;    // bits per second
+  double downloadBps = 0.0;  // bits per second
+};
+
+class FlowNetwork {
+ public:
+  using CompletionCallback = std::function<void()>;
+
+  explicit FlowNetwork(sim::Simulator& simulator) : sim_(simulator) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  // Registers endpoint `id` (ids must be dense, assigned by the caller).
+  void addEndpoint(EndpointId id, EndpointCapacity capacity);
+  [[nodiscard]] bool hasEndpoint(EndpointId id) const;
+  [[nodiscard]] const EndpointCapacity& capacity(EndpointId id) const;
+
+  // Caps the number of *concurrently active* uploads at `endpoint`; excess
+  // startFlow() calls are queued FIFO and promoted as slots free up. Models
+  // a server that admits a bounded number of streams instead of splitting
+  // its uplink into arbitrarily thin slivers — and keeps the fair-share
+  // refresh cost bounded under saturation. Default: unlimited.
+  void setUploadConcurrencyLimit(EndpointId endpoint, std::size_t limit);
+  [[nodiscard]] std::size_t queuedUploads(EndpointId endpoint) const;
+
+  // Starts a transfer of `bytes` from src to dst; `onComplete` fires when the
+  // last byte arrives. Returns a handle usable with cancelFlow().
+  FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
+                   CompletionCallback onComplete);
+
+  // Aborts a transfer (e.g. provider churned away). The completion callback
+  // does not fire. Safe to call with an already-finished flow id (no-op).
+  void cancelFlow(FlowId id);
+
+  // Aborts every flow in which `endpoint` participates (node departure).
+  // Invokes `onAborted` (if given) for each cancelled flow the endpoint was
+  // *uploading* — the remote downloader lost its provider and must re-request
+  // elsewhere; the departed node's own downloads just die with it.
+  using AbortCallback = std::function<void(FlowId, std::uint64_t bytesDone)>;
+  void dropEndpointFlows(EndpointId endpoint,
+                         const AbortCallback& onAborted = nullptr);
+
+  [[nodiscard]] bool flowActive(FlowId id) const;
+  // Instantaneous rate in bits per second (0 for finished flows).
+  [[nodiscard]] double flowRateBps(FlowId id) const;
+
+  [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t activeUploads(EndpointId id) const;
+  [[nodiscard]] std::size_t activeDownloads(EndpointId id) const;
+
+  // Cumulative bytes fully delivered out of / into an endpoint.
+  [[nodiscard]] std::uint64_t bytesUploaded(EndpointId id) const;
+  [[nodiscard]] std::uint64_t bytesDownloaded(EndpointId id) const;
+
+ private:
+  struct Flow {
+    EndpointId src;
+    EndpointId dst;
+    double bytesRemaining = 0.0;
+    double rateBps = 0.0;          // current rate
+    sim::SimTime lastUpdate = 0;   // when bytesRemaining was settled
+    std::uint64_t totalBytes = 0;
+    bool queued = false;           // waiting for an upload slot at src
+    sim::EventHandle completion;
+    CompletionCallback onComplete;
+  };
+
+  struct EndpointState {
+    EndpointCapacity capacity;
+    std::vector<FlowId> uploads;    // insertion order => deterministic
+    std::vector<FlowId> downloads;
+    std::size_t uploadLimit = std::numeric_limits<std::size_t>::max();
+    std::deque<FlowId> uploadQueue;
+    std::uint64_t bytesUploaded = 0;
+    std::uint64_t bytesDownloaded = 0;
+  };
+
+  [[nodiscard]] double fairRate(const Flow& flow) const;
+  void settle(Flow& flow);
+  void reschedule(FlowId id, Flow& flow);
+  // Re-derives rates for all flows touching `endpoint`.
+  void refreshEndpoint(EndpointId endpoint);
+  void finish(FlowId id);
+  void removeFlow(FlowId id, bool completed);
+  // Makes a queued flow active (slot freed at its source).
+  void activate(FlowId id, Flow& flow);
+  // Promotes queued uploads at `endpoint` while slots are available.
+  void promoteQueued(EndpointId endpoint);
+
+  sim::Simulator& sim_;
+  std::vector<EndpointState> endpoints_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::uint32_t nextFlowId_ = 1;
+};
+
+}  // namespace st::net

@@ -1,0 +1,132 @@
+#include "net/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace st::net {
+
+double pairUniform(std::uint64_t seed, EndpointId a, EndpointId b) {
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  std::uint64_t state = seed ^ (lo * 0x9e3779b97f4a7c15ull) ^ (hi << 32);
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+CleanLatencyModel::CleanLatencyModel(std::uint64_t seed, sim::SimTime lo,
+                                     sim::SimTime hi, double jitterFraction)
+    : seed_(seed), lo_(lo), hi_(hi), jitterFraction_(jitterFraction) {}
+
+sim::SimTime CleanLatencyModel::delay(EndpointId a, EndpointId b,
+                                      Rng& rng) const {
+  if (a == b) return sim::kMillisecond / 10;  // loopback
+  const double u = pairUniform(seed_, a, b);
+  const double base =
+      static_cast<double>(lo_) + u * static_cast<double>(hi_ - lo_);
+  const double jitter = rng.uniform(-jitterFraction_, jitterFraction_);
+  const double total = base * (1.0 + jitter);
+  return std::max<sim::SimTime>(static_cast<sim::SimTime>(total), 1);
+}
+
+WideAreaLatencyModel::WideAreaLatencyModel(std::uint64_t seed, double medianMs,
+                                           double sigma, double lossRate)
+    : seed_(seed),
+      mu_(std::log(medianMs)),
+      sigma_(sigma),
+      lossRate_(lossRate) {}
+
+sim::SimTime WideAreaLatencyModel::delay(EndpointId a, EndpointId b,
+                                         Rng& rng) const {
+  if (a == b) return sim::kMillisecond / 10;
+  // Invert the per-pair uniform through the lognormal quantile function.
+  const double u = std::clamp(pairUniform(seed_, a, b), 1e-9, 1.0 - 1e-9);
+  // Acklam-style inverse normal CDF approximation via erf inverse is heavy;
+  // a rational approximation is plenty for a latency model.
+  // Peter Acklam's algorithm, central + tail regions.
+  auto inverseNormalCdf = [](double p) {
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    if (p < plow) {
+      const double q = std::sqrt(-2.0 * std::log(p));
+      return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+      const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+      return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+               c[5]) /
+             ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  };
+  const double baseMs = std::exp(mu_ + sigma_ * inverseNormalCdf(u));
+  const double jitter = rng.uniform(-0.2, 0.2);
+  const double totalMs = baseMs * (1.0 + jitter);
+  return std::max<sim::SimTime>(sim::fromMillis(totalMs), 1);
+}
+
+bool WideAreaLatencyModel::lost(EndpointId a, EndpointId b, Rng& rng) const {
+  if (a == b) return false;
+  return rng.bernoulli(lossRate_);
+}
+
+GeoLatencyModel::GeoLatencyModel(std::uint64_t seed, sim::SimTime baseDelay,
+                                 sim::SimTime crossTorusDelay,
+                                 double jitterFraction, double lossRate)
+    : seed_(seed),
+      baseDelay_(baseDelay),
+      crossTorusDelay_(crossTorusDelay),
+      jitterFraction_(jitterFraction),
+      lossRate_(lossRate) {}
+
+std::pair<double, double> GeoLatencyModel::position(EndpointId id) const {
+  std::uint64_t state = seed_ ^ (static_cast<std::uint64_t>(id.value()) *
+                                 0xd1342543de82ef95ull);
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  return {static_cast<double>(a >> 11) * 0x1.0p-53,
+          static_cast<double>(b >> 11) * 0x1.0p-53};
+}
+
+sim::SimTime GeoLatencyModel::delay(EndpointId a, EndpointId b,
+                                    Rng& rng) const {
+  if (a == b) return sim::kMillisecond / 10;
+  const auto [ax, ay] = position(a);
+  const auto [bx, by] = position(b);
+  // Torus metric: wraparound distance per axis, max sqrt(0.5)/axis... the
+  // per-axis wrap distance is at most 0.5, so the maximum distance is
+  // sqrt(0.5^2 + 0.5^2).
+  const double dx = std::min(std::abs(ax - bx), 1.0 - std::abs(ax - bx));
+  const double dy = std::min(std::abs(ay - by), 1.0 - std::abs(ay - by));
+  const double distance = std::sqrt(dx * dx + dy * dy);
+  constexpr double kMaxDistance = 0.7071067811865476;  // sqrt(0.5)
+  const double propagation =
+      static_cast<double>(crossTorusDelay_) * distance / kMaxDistance;
+  const double jitter = rng.uniform(-jitterFraction_, jitterFraction_);
+  const double total =
+      (static_cast<double>(baseDelay_) + propagation) * (1.0 + jitter);
+  return std::max<sim::SimTime>(static_cast<sim::SimTime>(total), 1);
+}
+
+bool GeoLatencyModel::lost(EndpointId a, EndpointId b, Rng& rng) const {
+  if (a == b || lossRate_ <= 0.0) return false;
+  return rng.bernoulli(lossRate_);
+}
+
+}  // namespace st::net

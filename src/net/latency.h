@@ -1,0 +1,104 @@
+// Pairwise latency and loss models.
+//
+// Two deployment flavours from the paper's evaluation:
+//  * PeerSim-style simulation — clean network, geometric latency spread.
+//  * PlanetLab testbed — wide-area heavy-tailed RTTs, jitter, message loss
+//    and transient connection failures ("unstable network environment",
+//    §V-A). We reproduce those effects synthetically.
+//
+// Pairwise base delay is derived by hashing (seed, a, b), so it is stable
+// for a pair across the run without storing an O(N^2) matrix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/time.h"
+#include "util/rng.h"
+#include "util/strong_id.h"
+
+namespace st::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  // One-way delay for a message a -> b. `rng` supplies per-message jitter.
+  [[nodiscard]] virtual sim::SimTime delay(EndpointId a, EndpointId b,
+                                           Rng& rng) const = 0;
+
+  // Whether this particular message is lost in transit.
+  [[nodiscard]] virtual bool lost(EndpointId a, EndpointId b,
+                                  Rng& rng) const = 0;
+};
+
+// Clean network: per-pair base one-way delay uniform in [lo, hi], small
+// proportional jitter, no loss. Models the PeerSim environment.
+class CleanLatencyModel final : public LatencyModel {
+ public:
+  CleanLatencyModel(std::uint64_t seed, sim::SimTime lo, sim::SimTime hi,
+                    double jitterFraction = 0.05);
+
+  [[nodiscard]] sim::SimTime delay(EndpointId a, EndpointId b,
+                                   Rng& rng) const override;
+  [[nodiscard]] bool lost(EndpointId, EndpointId, Rng&) const override {
+    return false;
+  }
+
+ private:
+  std::uint64_t seed_;
+  sim::SimTime lo_;
+  sim::SimTime hi_;
+  double jitterFraction_;
+};
+
+// Wide-area network: per-pair base delay lognormal (median ~80 ms one-way,
+// heavy upper tail), 20% per-message jitter, configurable loss rate.
+// Models the PlanetLab environment.
+class WideAreaLatencyModel final : public LatencyModel {
+ public:
+  WideAreaLatencyModel(std::uint64_t seed, double medianMs = 80.0,
+                       double sigma = 0.6, double lossRate = 0.01);
+
+  [[nodiscard]] sim::SimTime delay(EndpointId a, EndpointId b,
+                                   Rng& rng) const override;
+  [[nodiscard]] bool lost(EndpointId a, EndpointId b, Rng& rng) const override;
+
+ private:
+  std::uint64_t seed_;
+  double mu_;     // lognormal location for the base delay in ms
+  double sigma_;  // lognormal scale
+  double lossRate_;
+};
+
+// Geographic model: every endpoint gets a stable position on a unit torus
+// (hashed from its id); one-way delay = base + distance * propagation,
+// giving triangle-inequality-respecting latencies with regional structure.
+// Useful for locality-aware overlay experiments.
+class GeoLatencyModel final : public LatencyModel {
+ public:
+  GeoLatencyModel(std::uint64_t seed, sim::SimTime baseDelay = 5 * sim::kMillisecond,
+                  sim::SimTime crossTorusDelay = 160 * sim::kMillisecond,
+                  double jitterFraction = 0.05, double lossRate = 0.0);
+
+  [[nodiscard]] sim::SimTime delay(EndpointId a, EndpointId b,
+                                   Rng& rng) const override;
+  [[nodiscard]] bool lost(EndpointId a, EndpointId b, Rng& rng) const override;
+
+  // Torus coordinates of an endpoint, in [0,1)^2 (exposed for tests and
+  // locality-aware protocols).
+  [[nodiscard]] std::pair<double, double> position(EndpointId id) const;
+
+ private:
+  std::uint64_t seed_;
+  sim::SimTime baseDelay_;
+  sim::SimTime crossTorusDelay_;  // delay for the maximum torus distance
+  double jitterFraction_;
+  double lossRate_;
+};
+
+// Stable per-pair uniform sample in [0,1): hash of (seed, min(a,b), max(a,b)).
+double pairUniform(std::uint64_t seed, EndpointId a, EndpointId b);
+
+}  // namespace st::net

@@ -1,0 +1,33 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace st::net {
+
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency, std::uint64_t seed)
+    : sim_(simulator),
+      latency_(std::move(latency)),
+      flows_(simulator),
+      rng_(Rng::forPurpose(seed, "network-jitter")) {
+  assert(latency_ != nullptr);
+}
+
+bool Network::sendMessage(EndpointId from, EndpointId to,
+                          DeliveryCallback onDeliver) {
+  ++messagesSent_;
+  if (latency_->lost(from, to, rng_)) {
+    ++messagesLost_;
+    return false;
+  }
+  const sim::SimTime delay = latency_->delay(from, to, rng_);
+  sim_.schedule(delay, std::move(onDeliver));
+  return true;
+}
+
+sim::SimTime Network::sampleDelay(EndpointId from, EndpointId to) {
+  return latency_->delay(from, to, rng_);
+}
+
+}  // namespace st::net

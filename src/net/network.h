@@ -1,0 +1,56 @@
+// Facade combining the message layer (control plane) with the flow engine
+// (data plane) under one latency/loss model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/flow_network.h"
+#include "net/latency.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/strong_id.h"
+
+namespace st::net {
+
+class Network {
+ public:
+  using DeliveryCallback = std::function<void()>;
+
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+          std::uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- endpoints -----------------------------------------------------------
+  void addEndpoint(EndpointId id, EndpointCapacity capacity) {
+    flows_.addEndpoint(id, capacity);
+  }
+
+  // --- control plane -------------------------------------------------------
+  // Delivers `onDeliver` at `to` after the model's one-way delay, unless the
+  // message is lost (then nothing happens — protocols recover via timeouts).
+  // Returns true if the message was actually sent (not lost).
+  bool sendMessage(EndpointId from, EndpointId to, DeliveryCallback onDeliver);
+
+  // One-way delay sample without sending (for timeout sizing in protocols).
+  [[nodiscard]] sim::SimTime sampleDelay(EndpointId from, EndpointId to);
+
+  // --- data plane ----------------------------------------------------------
+  FlowNetwork& flows() { return flows_; }
+  const FlowNetwork& flows() const { return flows_; }
+
+  [[nodiscard]] std::uint64_t messagesSent() const { return messagesSent_; }
+  [[nodiscard]] std::uint64_t messagesLost() const { return messagesLost_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::unique_ptr<LatencyModel> latency_;
+  FlowNetwork flows_;
+  Rng rng_;
+  std::uint64_t messagesSent_ = 0;
+  std::uint64_t messagesLost_ = 0;
+};
+
+}  // namespace st::net

@@ -1,0 +1,94 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace st::sim {
+
+std::uint64_t Simulator::enqueue(SimTime when, Callback fn) {
+  assert(when >= now_);
+  const std::uint64_t id = nextSeq_++;
+  queue_.push(Event{when, id, id, /*periodic=*/false, std::move(fn)});
+  pending_.insert(id);
+  ++queueSize_;
+  return id;
+}
+
+EventHandle Simulator::schedule(SimTime delay, Callback fn) {
+  assert(delay >= 0);
+  return EventHandle{enqueue(now_ + delay, std::move(fn))};
+}
+
+EventHandle Simulator::scheduleAt(SimTime when, Callback fn) {
+  return EventHandle{enqueue(when, std::move(fn))};
+}
+
+EventHandle Simulator::schedulePeriodic(SimTime period, Callback fn) {
+  assert(period > 0);
+  // The series is identified by the id of its first firing; each firing
+  // re-enqueues itself under the same series id while `periodics_` still
+  // holds the series (cancel() removes it).
+  const std::uint64_t seriesId = nextSeq_++;
+  periodics_.emplace(seriesId, PeriodicState{period, std::move(fn)});
+  queue_.push(Event{now_ + period, seriesId, seriesId, /*periodic=*/true,
+                    [this, seriesId] { firePeriodic(seriesId); }});
+  ++queueSize_;
+  return EventHandle{seriesId};
+}
+
+void Simulator::firePeriodic(std::uint64_t seriesId) {
+  const auto it = periodics_.find(seriesId);
+  if (it == periodics_.end()) return;  // series cancelled
+  it->second.fn();
+  // Re-check: the callback may have cancelled its own series.
+  const auto again = periodics_.find(seriesId);
+  if (again == periodics_.end()) return;
+  queue_.push(Event{now_ + again->second.period, nextSeq_++, seriesId,
+                    /*periodic=*/true,
+                    [this, seriesId] { firePeriodic(seriesId); }});
+  ++queueSize_;
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  periodics_.erase(handle.id_);
+  pending_.erase(handle.id_);
+}
+
+bool Simulator::fireNext() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the callback must be moved out, so pop
+    // into a local copy. Event callbacks are small (captured ids).
+    Event event = queue_.top();
+    queue_.pop();
+    --queueSize_;
+    if (event.periodic) {
+      if (periodics_.count(event.id) == 0) continue;  // series cancelled
+    } else if (pending_.erase(event.id) == 0) {
+      continue;  // one-shot event cancelled
+    }
+    now_ = event.when;
+    ++fired_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::runUntil(SimTime until) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    if (fireNext()) ++count;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (fireNext()) ++count;
+  return count;
+}
+
+bool Simulator::step() { return fireNext(); }
+
+}  // namespace st::sim

@@ -1,0 +1,102 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// This is the PeerSim substitute (see DESIGN.md §2): an event loop with an
+// integer-microsecond clock. Events scheduled for the same instant fire in
+// scheduling order (a monotonically increasing sequence number breaks ties),
+// which makes runs reproducible regardless of heap internals.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace st::sim {
+
+// Handle for cancelling a scheduled event. Cancellation is lazy: the event
+// stays in the heap but is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` microseconds from now (delay >= 0).
+  EventHandle schedule(SimTime delay, Callback fn);
+  // Schedules `fn` at an absolute time (>= now()).
+  EventHandle scheduleAt(SimTime when, Callback fn);
+  // Schedules `fn` every `period` starting at now() + period, until
+  // cancelled. The returned handle cancels the whole series.
+  EventHandle schedulePeriodic(SimTime period, Callback fn);
+
+  void cancel(EventHandle handle);
+
+  // Runs events until the queue is empty or the clock passes `until`.
+  // Events at exactly `until` still run. Returns the number of events fired.
+  std::uint64_t runUntil(SimTime until);
+  // Runs until the queue drains.
+  std::uint64_t run();
+  // Executes at most one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pendingEvents() const { return queueSize_; }
+  [[nodiscard]] std::uint64_t eventsFired() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::uint64_t id;   // for cancellation
+    bool periodic = false;
+    Callback fn;
+
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator<(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  struct PeriodicState {
+    SimTime period;
+    Callback fn;
+  };
+
+  bool fireNext();
+  std::uint64_t enqueue(SimTime when, Callback fn);
+  void firePeriodic(std::uint64_t seriesId);
+
+  std::priority_queue<Event> queue_;
+  // One-shot events currently scheduled; cancel() removes the id, making the
+  // queued entry a no-op. Bounded by the queue size (no leak from cancelling
+  // already-fired handles).
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_map<std::uint64_t, PeriodicState> periodics_;
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t queueSize_ = 0;
+};
+
+}  // namespace st::sim

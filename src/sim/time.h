@@ -1,0 +1,37 @@
+// Simulated time.
+//
+// Integer microseconds: additions are exact, event ordering is total, and
+// runs are reproducible across platforms (no floating-point drift).
+#pragma once
+
+#include <cstdint>
+
+namespace st::sim {
+
+// Microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+constexpr double toSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr double toMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+constexpr SimTime fromSeconds(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+constexpr SimTime fromMillis(double millis) {
+  return static_cast<SimTime>(millis * static_cast<double>(kMillisecond));
+}
+
+}  // namespace st::sim

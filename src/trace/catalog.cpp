@@ -1,0 +1,68 @@
+#include "trace/catalog.h"
+
+#include <algorithm>
+
+namespace st::trace {
+
+CategoryId Catalog::addCategory(std::string name) {
+  const CategoryId id{static_cast<std::uint32_t>(categories_.size())};
+  Category category;
+  category.id = id;
+  category.name = std::move(name);
+  categories_.push_back(std::move(category));
+  return id;
+}
+
+ChannelId Catalog::addChannel(UserId owner,
+                              std::vector<CategoryId> categories) {
+  assert(!categories.empty());
+  const ChannelId id{static_cast<std::uint32_t>(channels_.size())};
+  Channel channel;
+  channel.id = id;
+  channel.owner = owner;
+  channel.categories = std::move(categories);
+  channels_.push_back(std::move(channel));
+  for (const CategoryId category : channels_.back().categories) {
+    categories_[category.index()].channels.push_back(id);
+  }
+  if (owner.valid()) users_[owner.index()].ownedChannel = id;
+  return id;
+}
+
+VideoId Catalog::addVideo(ChannelId channelId, double lengthSeconds,
+                          std::uint32_t uploadDay) {
+  const VideoId id{static_cast<std::uint32_t>(videos_.size())};
+  Video video;
+  video.id = id;
+  video.channel = channelId;
+  video.lengthSeconds = lengthSeconds;
+  video.uploadDay = uploadDay;
+  videos_.push_back(video);
+  channels_[channelId.index()].videos.push_back(id);
+  return id;
+}
+
+UserId Catalog::addUser() {
+  const UserId id{static_cast<std::uint32_t>(users_.size())};
+  User user;
+  user.id = id;
+  users_.push_back(std::move(user));
+  return id;
+}
+
+void Catalog::subscribe(UserId userId, ChannelId channelId) {
+  users_[userId.index()].subscriptions.push_back(channelId);
+  channels_[channelId.index()].subscribers.push_back(userId);
+}
+
+void Catalog::addFavorite(UserId userId, VideoId videoId) {
+  users_[userId.index()].favorites.push_back(videoId);
+  videos_[videoId.index()].favorites += 1.0;
+}
+
+bool Catalog::isSubscribed(UserId userId, ChannelId channelId) const {
+  const auto& subs = users_[userId.index()].subscriptions;
+  return std::find(subs.begin(), subs.end(), channelId) != subs.end();
+}
+
+}  // namespace st::trace

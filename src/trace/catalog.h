@@ -1,0 +1,84 @@
+// The Catalog owns every trace entity and provides indexed lookups.
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "trace/entities.h"
+
+namespace st::trace {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // --- construction (used by TraceGenerator) -------------------------------
+  CategoryId addCategory(std::string name);
+  ChannelId addChannel(UserId owner, std::vector<CategoryId> categories);
+  VideoId addVideo(ChannelId channel, double lengthSeconds,
+                   std::uint32_t uploadDay);
+  UserId addUser();
+
+  void subscribe(UserId user, ChannelId channel);
+  void addFavorite(UserId user, VideoId video);
+
+  Video& video(VideoId id) {
+    assert(id.index() < videos_.size());
+    return videos_[id.index()];
+  }
+  Channel& channel(ChannelId id) {
+    assert(id.index() < channels_.size());
+    return channels_[id.index()];
+  }
+  User& user(UserId id) {
+    assert(id.index() < users_.size());
+    return users_[id.index()];
+  }
+  Category& category(CategoryId id) {
+    assert(id.index() < categories_.size());
+    return categories_[id.index()];
+  }
+
+  // --- read-only access -----------------------------------------------------
+  [[nodiscard]] const Video& video(VideoId id) const {
+    assert(id.index() < videos_.size());
+    return videos_[id.index()];
+  }
+  [[nodiscard]] const Channel& channel(ChannelId id) const {
+    assert(id.index() < channels_.size());
+    return channels_[id.index()];
+  }
+  [[nodiscard]] const User& user(UserId id) const {
+    assert(id.index() < users_.size());
+    return users_[id.index()];
+  }
+  [[nodiscard]] const Category& category(CategoryId id) const {
+    assert(id.index() < categories_.size());
+    return categories_[id.index()];
+  }
+
+  [[nodiscard]] std::span<const Video> videos() const { return videos_; }
+  [[nodiscard]] std::span<const Channel> channels() const { return channels_; }
+  [[nodiscard]] std::span<const User> users() const { return users_; }
+  [[nodiscard]] std::span<const Category> categories() const {
+    return categories_;
+  }
+
+  [[nodiscard]] std::size_t videoCount() const { return videos_.size(); }
+  [[nodiscard]] std::size_t channelCount() const { return channels_.size(); }
+  [[nodiscard]] std::size_t userCount() const { return users_.size(); }
+  [[nodiscard]] std::size_t categoryCount() const { return categories_.size(); }
+
+  // True if `user` subscribes to `channel` (linear scan: subscription lists
+  // are short).
+  [[nodiscard]] bool isSubscribed(UserId user, ChannelId channel) const;
+
+ private:
+  std::vector<Video> videos_;
+  std::vector<Channel> channels_;
+  std::vector<User> users_;
+  std::vector<Category> categories_;
+};
+
+}  // namespace st::trace

@@ -1,0 +1,53 @@
+#include "trace/crawler.h"
+
+#include <deque>
+
+namespace st::trace {
+
+CrawlResult crawl(const Catalog& catalog, const CrawlerParams& params) {
+  CrawlResult result;
+  if (catalog.userCount() == 0) return result;
+
+  Rng rng = Rng::forPurpose(params.seed, "crawler");
+  std::vector<bool> visited(catalog.userCount(), false);
+  std::vector<bool> enqueued(catalog.userCount(), false);
+  std::deque<UserId> queue;
+
+  const UserId seedUser{
+      static_cast<std::uint32_t>(rng.uniformInt(catalog.userCount()))};
+  queue.push_back(seedUser);
+  enqueued[seedUser.index()] = true;
+
+  while (!queue.empty()) {
+    if (params.maxUsers != 0 && result.users.size() >= params.maxUsers) {
+      result.frontierTruncated = queue.size();
+      break;
+    }
+    const UserId userId = queue.front();
+    queue.pop_front();
+    if (visited[userId.index()]) continue;
+    visited[userId.index()] = true;
+    result.users.push_back(userId);
+
+    const User& user = catalog.user(userId);
+    // Collect the user's uploads (their channel's videos), as the paper's
+    // crawler collected video id / views / upload date / length.
+    if (user.ownedChannel.valid()) {
+      result.channels.push_back(user.ownedChannel);
+      const Channel& channel = catalog.channel(user.ownedChannel);
+      result.videos.insert(result.videos.end(), channel.videos.begin(),
+                           channel.videos.end());
+    }
+    // Enqueue the owners of subscribed channels.
+    for (const ChannelId channelId : user.subscriptions) {
+      const UserId owner = catalog.channel(channelId).owner;
+      if (owner.valid() && !enqueued[owner.index()]) {
+        enqueued[owner.index()] = true;
+        queue.push_back(owner);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace st::trace

@@ -1,0 +1,64 @@
+// Entities of the synthetic YouTube trace.
+//
+// The generator (trace/generator.h) fills these so their marginal
+// distributions match the paper's crawl statistics (§III, Figs. 2-13); the
+// simulation layers consume them read-only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/strong_id.h"
+
+namespace st::trace {
+
+struct Video {
+  VideoId id;
+  ChannelId channel;
+  // Popularity rank inside the channel, 0 = most viewed (Fig. 9: views by
+  // rank follow Zipf with exponent ~1).
+  std::uint32_t rankInChannel = 0;
+  double lengthSeconds = 0.0;
+  // Days since the start of the trace window (Fig. 2 growth curve).
+  std::uint32_t uploadDay = 0;
+  double views = 0.0;
+  double favorites = 0.0;
+};
+
+struct Channel {
+  ChannelId id;
+  UserId owner;
+  // Interest categories this channel's content spans; front() is primary.
+  // Channels focus on few categories (Fig. 11).
+  std::vector<CategoryId> categories;
+  // Sorted by rank: videos[0] is the channel's most popular video.
+  std::vector<VideoId> videos;
+  std::vector<UserId> subscribers;
+  // Average views per day across the channel's videos (Fig. 3).
+  double viewFrequency = 0.0;
+  double totalViews = 0.0;
+
+  [[nodiscard]] CategoryId primaryCategory() const {
+    return categories.empty() ? CategoryId::invalid() : categories.front();
+  }
+};
+
+struct User {
+  UserId id;
+  // Interest categories (Fig. 13: ~60% of users < 10, max 18).
+  std::vector<CategoryId> interests;
+  std::vector<ChannelId> subscriptions;
+  // Videos the user marked as favorite; drives the Fig. 12 similarity metric.
+  std::vector<VideoId> favorites;
+  // Channel this user owns, if any (BFS crawl traverses owner links).
+  ChannelId ownedChannel = ChannelId::invalid();
+};
+
+struct Category {
+  CategoryId id;
+  std::string name;
+  std::vector<ChannelId> channels;
+};
+
+}  // namespace st::trace

@@ -1,0 +1,294 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/distributions.h"
+
+namespace st::trace {
+
+namespace {
+
+constexpr const char* kCategoryNames[] = {
+    "Music",         "Entertainment", "Comedy",      "Sports",
+    "Gaming",        "News",          "Education",   "Science",
+    "Film",          "Autos",         "Travel",      "Howto",
+    "People",        "Pets",          "Nonprofits",  "Shows",
+    "Movies",        "Trailers",      "Politics",    "Food",
+};
+
+std::string categoryName(std::size_t i) {
+  constexpr std::size_t known = std::size(kCategoryNames);
+  if (i < known) return kCategoryNames[i];
+  return "Category" + std::to_string(i);
+}
+
+// Inverse-CDF sample of an upload day whose density grows exponentially
+// over the window: density(d) ∝ exp(g * d / D).
+std::uint32_t sampleUploadDay(Rng& rng, std::uint32_t traceDays,
+                              double growth) {
+  const double u = rng.uniform();
+  double day;
+  if (std::abs(growth) < 1e-9) {
+    day = u * traceDays;
+  } else {
+    day = static_cast<double>(traceDays) / growth *
+          std::log(1.0 + u * (std::exp(growth) - 1.0));
+  }
+  return static_cast<std::uint32_t>(
+      std::min<double>(day, traceDays > 0 ? traceDays - 1 : 0));
+}
+
+}  // namespace
+
+GeneratorParams GeneratorParams::scaledTo(std::size_t users) const {
+  GeneratorParams scaled = *this;
+  const double factor =
+      static_cast<double>(users) / static_cast<double>(numUsers);
+  scaled.numUsers = users;
+  scaled.numChannels = std::max<std::size_t>(
+      6, static_cast<std::size_t>(std::llround(numChannels * factor)));
+  scaled.numVideos = std::max<std::size_t>(
+      scaled.numChannels * 4,
+      static_cast<std::size_t>(std::llround(numVideos * factor)));
+  scaled.numCategories = std::min(numCategories, scaled.numChannels);
+  scaled.maxInterests = std::min(maxInterests, scaled.numCategories);
+  return scaled;
+}
+
+Catalog generateTrace(const GeneratorParams& params) {
+  GeneratorParams p = params;
+  assert(p.numCategories > 0 && p.numChannels > 0 && p.numUsers > 0);
+  // Each channel needs a distinct owner user; clamp rather than corrupt
+  // memory when a caller hands over an inconsistent configuration.
+  p.numChannels = std::min(p.numChannels, p.numUsers);
+  p.numCategories = std::min(p.numCategories, p.numChannels);
+
+  Catalog catalog;
+  Rng rngChannels = Rng::forPurpose(p.seed, "trace-channels");
+  Rng rngVideos = Rng::forPurpose(p.seed, "trace-videos");
+  Rng rngUsers = Rng::forPurpose(p.seed, "trace-users");
+
+  // --- categories -----------------------------------------------------------
+  for (std::size_t i = 0; i < p.numCategories; ++i) {
+    catalog.addCategory(categoryName(i));
+  }
+  // Category popularity (some interests are far more common than others).
+  const ZipfDistribution categoryPopularity(p.numCategories, 0.6);
+
+  // --- users (bodies filled after channels exist) ---------------------------
+  for (std::size_t i = 0; i < p.numUsers; ++i) catalog.addUser();
+
+  // --- channels --------------------------------------------------------------
+  const std::vector<std::size_t> ownerIndices =
+      sampleDistinct(rngChannels, p.numUsers, p.numChannels);
+
+  std::vector<double> attractiveness(p.numChannels);
+  for (std::size_t c = 0; c < p.numChannels; ++c) {
+    // Few categories per channel (Fig. 11): primary by popularity, extras
+    // uniform among the rest.
+    std::size_t categoryCount =
+        1 + std::min<std::size_t>(rngChannels.poisson(0.9), 4);
+    categoryCount = std::min(categoryCount, p.numCategories);
+    std::vector<CategoryId> categories;
+    categories.reserve(categoryCount);
+    std::unordered_set<std::size_t> used;
+    const std::size_t primary = categoryPopularity.sample(rngChannels);
+    categories.push_back(CategoryId{static_cast<std::uint32_t>(primary)});
+    used.insert(primary);
+    while (categories.size() < categoryCount) {
+      const std::size_t extra = rngChannels.uniformInt(p.numCategories);
+      if (used.insert(extra).second) {
+        categories.push_back(CategoryId{static_cast<std::uint32_t>(extra)});
+      }
+    }
+
+    const ChannelId id = catalog.addChannel(
+        UserId{static_cast<std::uint32_t>(ownerIndices[c])},
+        std::move(categories));
+
+    // One latent attractiveness factor drives both daily views and the
+    // subscription weight, producing the Fig. 5 correlation.
+    const double z = rngChannels.normal();
+    const double rho = p.viewsSubsCorrelation;
+    const double mix = std::sqrt(1.0 - rho * rho);
+    const double zViews = rho * z + mix * rngChannels.normal();
+    const double zSubs = rho * z + mix * rngChannels.normal();
+    Channel& channel = catalog.channel(id);
+    channel.viewFrequency =
+        std::exp(p.channelViewsMu + p.channelViewsSigma * zViews);
+    attractiveness[c] = std::exp(p.channelSubsMu + p.channelSubsSigma * zSubs);
+  }
+
+  // --- videos ----------------------------------------------------------------
+  // Draw raw per-channel counts, then scale so the total matches numVideos
+  // while preserving the lognormal shape (Fig. 6).
+  std::vector<double> rawCounts(p.numChannels);
+  double totalRaw = 0.0;
+  for (std::size_t c = 0; c < p.numChannels; ++c) {
+    rawCounts[c] = std::max(
+        1.0, rngVideos.lognormal(p.videosPerChannelMu, p.videosPerChannelSigma));
+    totalRaw += rawCounts[c];
+  }
+  const double scale = static_cast<double>(p.numVideos) / totalRaw;
+  for (std::size_t c = 0; c < p.numChannels; ++c) {
+    const ChannelId channelId{static_cast<std::uint32_t>(c)};
+    const auto count = static_cast<std::size_t>(
+        std::max(1.0, std::round(rawCounts[c] * scale)));
+    for (std::size_t k = 0; k < count; ++k) {
+      const double length = std::clamp(
+          rngVideos.lognormal(p.videoLengthMu, p.videoLengthSigma),
+          p.videoLengthMin, p.videoLengthMax);
+      catalog.addVideo(channelId, length,
+                       sampleUploadDay(rngVideos, p.traceDays, p.uploadGrowth));
+    }
+
+    // Distribute the channel's views over its videos: noisy Zipf shares
+    // (Fig. 9), then rank videos by realized views.
+    Channel& channel = catalog.channel(channelId);
+    const std::size_t n = channel.videos.size();
+    channel.totalViews =
+        channel.viewFrequency * static_cast<double>(p.traceDays) / 2.0;
+    std::vector<double> shares(n);
+    double shareSum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      shares[k] = 1.0 / std::pow(static_cast<double>(k + 1), p.zipfExponent) *
+                  rngVideos.lognormal(0.0, p.zipfNoiseSigma);
+      shareSum += shares[k];
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      catalog.video(channel.videos[k]).views =
+          channel.totalViews * shares[k] / shareSum;
+    }
+    std::sort(channel.videos.begin(), channel.videos.end(),
+              [&catalog](VideoId a, VideoId b) {
+                const double va = catalog.video(a).views;
+                const double vb = catalog.video(b).views;
+                if (va != vb) return va > vb;
+                return a < b;
+              });
+    for (std::size_t k = 0; k < n; ++k) {
+      catalog.video(channel.videos[k]).rankInChannel =
+          static_cast<std::uint32_t>(k);
+    }
+  }
+
+  // --- per-category channel samplers (by attractiveness) ---------------------
+  std::vector<double> subscriptionWeight(p.numChannels);
+  for (std::size_t c = 0; c < p.numChannels; ++c) {
+    subscriptionWeight[c] =
+        std::pow(attractiveness[c], p.subscriptionWeightExponent);
+  }
+  std::vector<WeightedSampler> categorySamplers;
+  std::vector<std::vector<std::size_t>> categoryChannelIndex(p.numCategories);
+  categorySamplers.reserve(p.numCategories);
+  for (std::size_t cat = 0; cat < p.numCategories; ++cat) {
+    std::vector<double> weights;
+    for (const ChannelId ch :
+         catalog.category(CategoryId{static_cast<std::uint32_t>(cat)})
+             .channels) {
+      categoryChannelIndex[cat].push_back(ch.index());
+      weights.push_back(subscriptionWeight[ch.index()]);
+    }
+    categorySamplers.emplace_back(std::span<const double>(weights));
+  }
+  const WeightedSampler globalChannelSampler{
+      std::span<const double>(subscriptionWeight)};
+
+  // --- users: interests, subscriptions, favorites ----------------------------
+  const std::size_t interestCap =
+      std::min(p.maxInterests, p.numCategories);
+  // Zipf samplers for picking a favorite video inside a channel, cached by
+  // channel size.
+  std::map<std::size_t, ZipfDistribution> zipfBySize;
+  const auto channelZipf = [&](std::size_t n) -> const ZipfDistribution& {
+    auto it = zipfBySize.find(n);
+    if (it == zipfBySize.end()) {
+      it = zipfBySize.emplace(n, ZipfDistribution(n, p.zipfExponent)).first;
+    }
+    return it->second;
+  };
+
+  for (std::size_t u = 0; u < p.numUsers; ++u) {
+    User& user = catalog.user(UserId{static_cast<std::uint32_t>(u)});
+
+    // Interests (Fig. 13): 1 + Poisson, weighted by category popularity.
+    std::size_t interestCount = std::min<std::size_t>(
+        1 + rngUsers.poisson(p.interestMean), interestCap);
+    std::unordered_set<std::size_t> interestSet;
+    while (interestSet.size() < interestCount) {
+      interestSet.insert(categoryPopularity.sample(rngUsers));
+    }
+    for (const std::size_t cat : interestSet) {
+      user.interests.push_back(CategoryId{static_cast<std::uint32_t>(cat)});
+    }
+    std::sort(user.interests.begin(), user.interests.end());
+
+    // Subscriptions: heavy-tailed count, mostly inside interests.
+    const auto subTarget = static_cast<std::size_t>(std::clamp(
+        std::round(rngUsers.lognormal(p.subsPerUserMu, p.subsPerUserSigma)),
+        1.0, static_cast<double>(std::min(p.subscriptionCap, p.numChannels))));
+    std::unordered_set<std::size_t> chosen;
+    std::size_t attempts = 0;
+    const std::size_t budget = subTarget * 40 + 80;
+    while (chosen.size() < subTarget && attempts < budget) {
+      ++attempts;
+      std::size_t channelIdx;
+      const bool inInterest = rngUsers.bernoulli(p.inInterestSubscriptionBias);
+      if (inInterest) {
+        const CategoryId cat =
+            user.interests[rngUsers.uniformInt(user.interests.size())];
+        const auto& sampler = categorySamplers[cat.index()];
+        if (sampler.empty()) continue;
+        channelIdx =
+            categoryChannelIndex[cat.index()][sampler.sample(rngUsers)];
+      } else {
+        channelIdx = globalChannelSampler.sample(rngUsers);
+      }
+      if (chosen.insert(channelIdx).second) {
+        catalog.subscribe(user.id,
+                          ChannelId{static_cast<std::uint32_t>(channelIdx)});
+      }
+    }
+
+    // Favorites: mostly from subscribed channels, by video popularity.
+    const std::size_t favoriteCount = rngUsers.poisson(p.favoritesPerUserMean);
+    std::unordered_set<std::uint32_t> favored;
+    for (std::size_t f = 0; f < favoriteCount; ++f) {
+      ChannelId channelId;
+      if (!user.subscriptions.empty() &&
+          rngUsers.bernoulli(p.favoriteFromSubscriptionBias)) {
+        channelId =
+            user.subscriptions[rngUsers.uniformInt(user.subscriptions.size())];
+      } else {
+        channelId = ChannelId{static_cast<std::uint32_t>(
+            globalChannelSampler.sample(rngUsers))};
+      }
+      const Channel& channel = catalog.channel(channelId);
+      const std::size_t rank =
+          channelZipf(channel.videos.size()).sample(rngUsers);
+      const VideoId videoId = channel.videos[rank];
+      if (favored.insert(videoId.value()).second) {
+        catalog.addFavorite(user.id, videoId);
+      }
+    }
+  }
+
+  // --- external favorites ----------------------------------------------------
+  // Favorites from viewers outside the crawled user sample: proportional to
+  // views with noise (keeps Fig. 8's magnitude and correlation).
+  Rng rngFavorites = Rng::forPurpose(p.seed, "trace-ext-favorites");
+  for (const Video& video : catalog.videos()) {
+    const double external = video.views * p.favoritesViewRatio *
+                            rngFavorites.lognormal(0.0, p.favoritesNoiseSigma);
+    catalog.video(video.id).favorites += external;
+  }
+
+  return catalog;
+}
+
+}  // namespace st::trace

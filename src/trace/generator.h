@@ -1,0 +1,117 @@
+// Synthetic trace generator.
+//
+// Substitute for the paper's YouTube crawl (2,031 users / 261,101 videos
+// collected via the YouTube Data API; see DESIGN.md §2). Every marginal the
+// paper reports is a generator target:
+//
+//   Fig. 2  — video uploads grow over the trace window  -> exponential-ish
+//             upload-day density.
+//   Fig. 3  — per-channel view frequency spans ~5 orders -> lognormal fitted
+//             to the quoted percentiles (p20=39, p90=783,240 views/day).
+//   Fig. 4  — subscribers per channel heavy-tailed (p25=10, p75=1,039).
+//   Fig. 5  — strong positive views<->subscriptions correlation -> both are
+//             driven by one latent channel-attractiveness factor.
+//   Fig. 6  — videos per channel lognormal (median 9, p75=36, p90=116).
+//   Fig. 7  — views per video (median 5,517, p90=385,000) — emerges from
+//             channel views x within-channel Zipf.
+//   Fig. 8  — favorites correlate with views (Pearson > 0.9 reported by
+//             Chatzopoulou et al.).
+//   Fig. 9  — within-channel views ~ Zipf(s=1) with multiplicative noise.
+//   Fig. 10 — same-category channels share subscribers (clustering).
+//   Fig. 11 — channels span few categories (mostly 1-3).
+//   Fig. 12 — user interests match subscribed channels' categories.
+//   Fig. 13 — interests per user: ~60% below 10, maximum 18.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/catalog.h"
+#include "util/rng.h"
+
+namespace st::trace {
+
+struct GeneratorParams {
+  std::uint64_t seed = 1;
+
+  std::size_t numCategories = 18;
+  std::size_t numChannels = 545;   // Table I
+  std::size_t numUsers = 10'000;   // Table I (OCR-damaged "1,", see DESIGN.md)
+  std::size_t numVideos = 10'121;  // Table I
+
+  // Trace window in days (crawl spanned Jan 2008 - Sept 2010).
+  std::uint32_t traceDays = 970;
+  // Upload-rate growth: density(day) ∝ exp(growth * day / traceDays).
+  double uploadGrowth = 1.5;
+
+  // Videos per channel ~ lognormal(mu, sigma), then globally scaled so the
+  // total matches numVideos (median 9 as in Fig. 6; sigma trimmed from the
+  // raw crawl fit so the heavy tail survives rescaling to Table I's much
+  // smaller video total).
+  double videosPerChannelMu = 2.197;  // ln 9
+  double videosPerChannelSigma = 1.6;
+
+  // Channel daily views ~ lognormal (Fig. 3 fit: p20 = 39, p90 = 783,240).
+  double channelViewsMu = 7.59;
+  double channelViewsSigma = 4.67;
+
+  // Subscribers per channel ~ lognormal (Fig. 4 fit: p25 = 10, p75 = 1,039)
+  // used as *attractiveness weights*; actual lists come from user choices.
+  double channelSubsMu = 4.624;
+  double channelSubsSigma = 3.44;
+  // Correlation between log-views and log-attractiveness (Fig. 5).
+  double viewsSubsCorrelation = 0.92;
+
+  // Within-channel popularity: Zipf exponent (Fig. 9, §IV-B uses s = 1) and
+  // multiplicative lognormal noise on each video's share.
+  double zipfExponent = 1.0;
+  double zipfNoiseSigma = 0.3;
+
+  // Subscription-driving interests per user: 1 + Poisson(interestMean),
+  // capped at maxInterests and at numCategories. Kept small so channels
+  // cluster by shared subscribers (Fig. 10); the broader Fig. 13 metric
+  // ("personal interests" = categories of a user's favorite videos) is
+  // computed by TraceStats from the favorites themselves, as in the paper.
+  double interestMean = 2.0;
+  std::size_t maxInterests = 18;
+
+  // Subscriptions per user: lognormal, capped at subscriptionCap.
+  double subsPerUserMu = 2.2;   // median ~9 subscriptions
+  double subsPerUserSigma = 0.8;
+  std::size_t subscriptionCap = 60;
+  // Channel choice weight = attractiveness^exponent. Tempering (< 1) lets a
+  // user's subscriptions spread over several channels of one category
+  // instead of only its single most attractive channel — required for the
+  // Fig. 10 same-category clustering while keeping Fig. 4's heavy tail.
+  double subscriptionWeightExponent = 0.75;
+  // Probability a subscription is picked inside the user's interests
+  // (the remainder models out-of-interest subscriptions; Fig. 12's
+  // similarity is high but not 1).
+  double inInterestSubscriptionBias = 0.95;
+
+  // Favorites per user: Poisson(favoritesPerUserMean); ~80% drawn from
+  // subscribed channels, rest anywhere (drives Fig. 12).
+  double favoritesPerUserMean = 12.0;
+  double favoriteFromSubscriptionBias = 0.8;
+
+  // Aggregate favorites on a video = user-sample favorites + external term
+  // proportional to views (favoritesViewRatio x lognormal noise), modelling
+  // favorites from users outside the crawl sample (Fig. 8).
+  double favoritesViewRatio = 0.01;
+  double favoritesNoiseSigma = 0.5;
+
+  // Video length in seconds ~ lognormal, clamped (YouTube short videos;
+  // mean ~200 s per the NetTube measurement cited in §IV-B).
+  double videoLengthMu = 5.15;     // median ~172 s
+  double videoLengthSigma = 0.55;
+  double videoLengthMin = 20.0;
+  double videoLengthMax = 700.0;
+
+  // Returns a copy scaled down to roughly `users` users, preserving ratios.
+  // Used by tests and the PlanetLab preset.
+  [[nodiscard]] GeneratorParams scaledTo(std::size_t users) const;
+};
+
+// Generates the full catalog. Deterministic in params.seed.
+Catalog generateTrace(const GeneratorParams& params);
+
+}  // namespace st::trace

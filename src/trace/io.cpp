@@ -1,0 +1,178 @@
+#include "trace/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace st::trace {
+
+namespace {
+constexpr const char* kMagic = "socialtube-trace";
+constexpr int kVersion = 1;
+}  // namespace
+
+bool saveCatalog(const Catalog& catalog, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out.precision(17);
+
+  for (const Category& category : catalog.categories()) {
+    out << "category " << category.id.value() << ' ' << category.name
+        << '\n';
+  }
+  // Users first (channels reference owners); interests inline.
+  for (const User& user : catalog.users()) {
+    out << "user " << user.id.value() << ' ' << user.interests.size();
+    for (const CategoryId interest : user.interests) {
+      out << ' ' << interest.value();
+    }
+    out << '\n';
+  }
+  for (const Channel& channel : catalog.channels()) {
+    out << "channel " << channel.id.value() << ' ' << channel.owner.value()
+        << ' ' << channel.viewFrequency << ' ' << channel.totalViews << ' '
+        << channel.categories.size();
+    for (const CategoryId category : channel.categories) {
+      out << ' ' << category.value();
+    }
+    out << '\n';
+  }
+  // Videos in global id order; rank order inside channels is restored from
+  // the rank field at load time.
+  for (const Video& video : catalog.videos()) {
+    out << "video " << video.id.value() << ' ' << video.channel.value()
+        << ' ' << video.rankInChannel << ' ' << video.lengthSeconds << ' '
+        << video.uploadDay << ' ' << video.views << ' ' << video.favorites
+        << '\n';
+  }
+  for (const User& user : catalog.users()) {
+    for (const ChannelId channel : user.subscriptions) {
+      out << "sub " << user.id.value() << ' ' << channel.value() << '\n';
+    }
+  }
+  for (const User& user : catalog.users()) {
+    for (const VideoId video : user.favorites) {
+      out << "fav " << user.id.value() << ' ' << video.value() << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool saveCatalogFile(const Catalog& catalog, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  return saveCatalog(catalog, out);
+}
+
+std::optional<Catalog> loadCatalog(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion) {
+    return std::nullopt;
+  }
+
+  Catalog catalog;
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "category") {
+      std::uint32_t id;
+      std::string name;
+      if (!(in >> id >> name)) return std::nullopt;
+      if (catalog.addCategory(name).value() != id) return std::nullopt;
+    } else if (kind == "user") {
+      std::uint32_t id;
+      std::size_t interestCount;
+      if (!(in >> id >> interestCount)) return std::nullopt;
+      const UserId user = catalog.addUser();
+      if (user.value() != id) return std::nullopt;
+      for (std::size_t i = 0; i < interestCount; ++i) {
+        std::uint32_t category;
+        if (!(in >> category)) return std::nullopt;
+        catalog.user(user).interests.push_back(CategoryId{category});
+      }
+    } else if (kind == "channel") {
+      std::uint32_t id;
+      std::uint32_t owner;
+      double viewFrequency;
+      double totalViews;
+      std::size_t categoryCount;
+      if (!(in >> id >> owner >> viewFrequency >> totalViews >>
+            categoryCount)) {
+        return std::nullopt;
+      }
+      std::vector<CategoryId> categories;
+      categories.reserve(categoryCount);
+      for (std::size_t i = 0; i < categoryCount; ++i) {
+        std::uint32_t category;
+        if (!(in >> category)) return std::nullopt;
+        if (category >= catalog.categoryCount()) return std::nullopt;
+        categories.push_back(CategoryId{category});
+      }
+      if (categories.empty() || owner >= catalog.userCount()) {
+        return std::nullopt;
+      }
+      const ChannelId channel =
+          catalog.addChannel(UserId{owner}, std::move(categories));
+      if (channel.value() != id) return std::nullopt;
+      catalog.channel(channel).viewFrequency = viewFrequency;
+      catalog.channel(channel).totalViews = totalViews;
+    } else if (kind == "video") {
+      std::uint32_t id;
+      std::uint32_t channel;
+      std::uint32_t rank;
+      double length;
+      std::uint32_t uploadDay;
+      double views;
+      double favorites;
+      if (!(in >> id >> channel >> rank >> length >> uploadDay >> views >>
+            favorites)) {
+        return std::nullopt;
+      }
+      if (channel >= catalog.channelCount()) return std::nullopt;
+      const VideoId video =
+          catalog.addVideo(ChannelId{channel}, length, uploadDay);
+      if (video.value() != id) return std::nullopt;
+      catalog.video(video).rankInChannel = rank;
+      catalog.video(video).views = views;
+      catalog.video(video).favorites = favorites;
+    } else if (kind == "sub") {
+      std::uint32_t user;
+      std::uint32_t channel;
+      if (!(in >> user >> channel)) return std::nullopt;
+      if (user >= catalog.userCount() || channel >= catalog.channelCount()) {
+        return std::nullopt;
+      }
+      catalog.subscribe(UserId{user}, ChannelId{channel});
+    } else if (kind == "fav") {
+      std::uint32_t user;
+      std::uint32_t video;
+      if (!(in >> user >> video)) return std::nullopt;
+      if (user >= catalog.userCount() || video >= catalog.videoCount()) {
+        return std::nullopt;
+      }
+      // addFavorite would bump the video's favorite count, which was
+      // already serialized; append to the list directly.
+      catalog.user(UserId{user}).favorites.push_back(VideoId{video});
+    } else {
+      return std::nullopt;  // unknown record
+    }
+  }
+
+  // Restore per-channel rank ordering (videos were appended in id order).
+  for (const Channel& channel : catalog.channels()) {
+    auto videos = channel.videos;
+    std::sort(videos.begin(), videos.end(), [&catalog](VideoId a, VideoId b) {
+      return catalog.video(a).rankInChannel < catalog.video(b).rankInChannel;
+    });
+    catalog.channel(channel.id).videos = std::move(videos);
+  }
+  return catalog;
+}
+
+std::optional<Catalog> loadCatalogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return std::nullopt;
+  return loadCatalog(in);
+}
+
+}  // namespace st::trace

@@ -1,0 +1,35 @@
+// Catalog serialization.
+//
+// A generated trace can be saved and re-loaded byte-exactly, so experiments
+// can be shared and rerun without regenerating (and so non-synthetic traces
+// can be imported). The format is a line-oriented text format:
+//
+//   socialtube-trace 1
+//   category <id> <name>
+//   user <id> <interests...>          (counts first, see io.cpp)
+//   channel <id> <owner> <viewFreq> <totalViews> <categories...>
+//   video <id> <channel> <rank> <length> <uploadDay> <views> <favorites>
+//   sub <user> <channel>
+//   fav <user> <video>
+//
+// Videos must appear in channel-rank order; loading rebuilds all derived
+// indices (channel video lists, subscriber lists).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/catalog.h"
+
+namespace st::trace {
+
+// Writes the catalog; returns false on I/O failure.
+bool saveCatalog(const Catalog& catalog, std::ostream& out);
+bool saveCatalogFile(const Catalog& catalog, const std::string& path);
+
+// Reads a catalog; returns std::nullopt on parse or I/O failure.
+std::optional<Catalog> loadCatalog(std::istream& in);
+std::optional<Catalog> loadCatalogFile(const std::string& path);
+
+}  // namespace st::trace

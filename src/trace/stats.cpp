@@ -1,0 +1,246 @@
+#include "trace/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace st::trace {
+
+std::vector<std::size_t> TraceStats::videosAddedOverTime(
+    std::uint32_t bucketDays) const {
+  std::uint32_t maxDay = 0;
+  for (const Video& video : catalog_.videos()) {
+    maxDay = std::max(maxDay, video.uploadDay);
+  }
+  std::vector<std::size_t> buckets(maxDay / bucketDays + 1, 0);
+  for (const Video& video : catalog_.videos()) {
+    ++buckets[video.uploadDay / bucketDays];
+  }
+  return buckets;
+}
+
+SampleSet TraceStats::channelViewFrequency() const {
+  SampleSet samples;
+  samples.reserve(catalog_.channelCount());
+  for (const Channel& channel : catalog_.channels()) {
+    samples.add(channel.viewFrequency);
+  }
+  return samples;
+}
+
+SampleSet TraceStats::subscribersPerChannel() const {
+  SampleSet samples;
+  samples.reserve(catalog_.channelCount());
+  for (const Channel& channel : catalog_.channels()) {
+    samples.add(static_cast<double>(channel.subscribers.size()));
+  }
+  return samples;
+}
+
+TraceStats::ViewsVsSubscriptions TraceStats::viewsVsSubscriptions() const {
+  ViewsVsSubscriptions result;
+  std::vector<double> logViews;
+  std::vector<double> logSubs;
+  for (const Channel& channel : catalog_.channels()) {
+    const auto subs = static_cast<double>(channel.subscribers.size());
+    result.points.emplace_back(channel.totalViews, subs);
+    if (channel.totalViews > 0.0 && subs > 0.0) {
+      logViews.push_back(std::log(channel.totalViews));
+      logSubs.push_back(std::log(subs));
+    }
+  }
+  result.logCorrelation = pearsonCorrelation(logViews, logSubs);
+  return result;
+}
+
+SampleSet TraceStats::videosPerChannel() const {
+  SampleSet samples;
+  samples.reserve(catalog_.channelCount());
+  for (const Channel& channel : catalog_.channels()) {
+    samples.add(static_cast<double>(channel.videos.size()));
+  }
+  return samples;
+}
+
+SampleSet TraceStats::viewsPerVideo() const {
+  SampleSet samples;
+  samples.reserve(catalog_.videoCount());
+  for (const Video& video : catalog_.videos()) {
+    samples.add(video.views);
+  }
+  return samples;
+}
+
+TraceStats::FavoritesStats TraceStats::favoritesPerVideo() const {
+  FavoritesStats result;
+  std::vector<double> favorites;
+  std::vector<double> views;
+  result.favorites.reserve(catalog_.videoCount());
+  for (const Video& video : catalog_.videos()) {
+    result.favorites.add(video.favorites);
+    favorites.push_back(video.favorites);
+    views.push_back(video.views);
+  }
+  result.viewsCorrelation = pearsonCorrelation(favorites, views);
+  return result;
+}
+
+TraceStats::ChannelRankViews TraceStats::channelRankViews(
+    double channelPercentile) const {
+  // Order channels by total views and pick the one at the requested
+  // percentile, restricted to channels with enough videos to show a curve.
+  std::vector<ChannelId> eligible;
+  for (const Channel& channel : catalog_.channels()) {
+    if (channel.videos.size() >= 5) eligible.push_back(channel.id);
+  }
+  ChannelRankViews result;
+  if (eligible.empty()) return result;
+  std::sort(eligible.begin(), eligible.end(),
+            [this](ChannelId a, ChannelId b) {
+              return catalog_.channel(a).totalViews <
+                     catalog_.channel(b).totalViews;
+            });
+  const auto pick = static_cast<std::size_t>(
+      std::clamp(channelPercentile, 0.0, 1.0) *
+      static_cast<double>(eligible.size() - 1));
+  const Channel& channel = catalog_.channel(eligible[pick]);
+  result.channel = channel.id;
+  for (const VideoId video : channel.videos) {
+    result.viewsByRank.push_back(catalog_.video(video).views);
+  }
+  const ZipfFit fit = fitZipf(result.viewsByRank);
+  result.zipfExponent = fit.exponent;
+  result.zipfR2 = fit.r2;
+  return result;
+}
+
+TraceStats::SharedSubscriberGraph TraceStats::sharedSubscriberGraph(
+    std::size_t threshold) const {
+  SharedSubscriberGraph graph;
+  graph.nodes = catalog_.channelCount();
+
+  // Count shared subscribers per channel pair by walking each user's
+  // subscription list (quadratic in list length, not in channels).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> shared;
+  for (const User& user : catalog_.users()) {
+    std::vector<ChannelId> subs = user.subscriptions;
+    std::sort(subs.begin(), subs.end());
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      for (std::size_t j = i + 1; j < subs.size(); ++j) {
+        ++shared[{subs[i].value(), subs[j].value()}];
+      }
+    }
+  }
+
+  const auto sameCategory = [this](ChannelId x, ChannelId y) {
+    const Channel& a = catalog_.channel(x);
+    const Channel& b = catalog_.channel(y);
+    return std::any_of(a.categories.begin(), a.categories.end(),
+                       [&b](CategoryId cat) {
+                         return std::find(b.categories.begin(),
+                                          b.categories.end(),
+                                          cat) != b.categories.end();
+                       });
+  };
+
+  std::size_t sameCategoryEdges = 0;
+  double sharedSame = 0.0;
+  double sharedDiff = 0.0;
+  for (const auto& [pair, count] : shared) {
+    const bool same =
+        sameCategory(ChannelId{pair.first}, ChannelId{pair.second});
+    if (same) {
+      sharedSame += static_cast<double>(count);
+    } else {
+      sharedDiff += static_cast<double>(count);
+    }
+    if (count < threshold) continue;
+    ++graph.edges;
+    if (same) ++sameCategoryEdges;
+  }
+  if (graph.edges > 0) {
+    graph.sameCategoryEdgeFraction =
+        static_cast<double>(sameCategoryEdges) /
+        static_cast<double>(graph.edges);
+  }
+
+  // Means over *all* channel pairs (pairs never co-subscribed share 0).
+  std::size_t samePairs = 0;
+  std::size_t diffPairs = 0;
+  const std::size_t n = catalog_.channelCount();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (sameCategory(ChannelId{i}, ChannelId{j})) {
+        ++samePairs;
+      } else {
+        ++diffPairs;
+      }
+    }
+  }
+  if (samePairs > 0) {
+    graph.meanSharedSameCategory =
+        sharedSame / static_cast<double>(samePairs);
+  }
+  if (diffPairs > 0) {
+    graph.meanSharedDifferentCategory =
+        sharedDiff / static_cast<double>(diffPairs);
+  }
+  return graph;
+}
+
+SampleSet TraceStats::interestsPerChannel() const {
+  SampleSet samples;
+  samples.reserve(catalog_.channelCount());
+  for (const Channel& channel : catalog_.channels()) {
+    samples.add(static_cast<double>(channel.categories.size()));
+  }
+  return samples;
+}
+
+SampleSet TraceStats::userChannelSimilarity() const {
+  SampleSet samples;
+  for (const User& user : catalog_.users()) {
+    if (user.favorites.empty() || user.subscriptions.empty()) continue;
+    std::set<std::uint32_t> favoriteCategories;  // C_u
+    for (const VideoId videoId : user.favorites) {
+      const Video& video = catalog_.video(videoId);
+      favoriteCategories.insert(
+          catalog_.channel(video.channel).primaryCategory().value());
+    }
+    std::set<std::uint32_t> subscribedCategories;  // C_c
+    for (const ChannelId channelId : user.subscriptions) {
+      for (const CategoryId cat : catalog_.channel(channelId).categories) {
+        subscribedCategories.insert(cat.value());
+      }
+    }
+    if (favoriteCategories.empty()) continue;
+    std::size_t intersection = 0;
+    for (const std::uint32_t cat : favoriteCategories) {
+      if (subscribedCategories.count(cat)) ++intersection;
+    }
+    samples.add(static_cast<double>(intersection) /
+                static_cast<double>(favoriteCategories.size()));
+  }
+  return samples;
+}
+
+SampleSet TraceStats::interestsPerUser() const {
+  SampleSet samples;
+  samples.reserve(catalog_.userCount());
+  for (const User& user : catalog_.users()) {
+    if (user.favorites.empty()) continue;
+    std::set<std::uint32_t> categories;
+    for (const VideoId videoId : user.favorites) {
+      const Video& video = catalog_.video(videoId);
+      // A video belongs to one category (its channel's primary one).
+      categories.insert(
+          catalog_.channel(video.channel).primaryCategory().value());
+    }
+    samples.add(static_cast<double>(categories.size()));
+  }
+  return samples;
+}
+
+}  // namespace st::trace

@@ -1,0 +1,93 @@
+// Trace analysis — computes every statistic the paper reports in §III.
+//
+// Each method corresponds to one figure; the bench binaries print these
+// series next to the paper's quoted values (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "util/stats.h"
+
+namespace st::trace {
+
+class TraceStats {
+ public:
+  explicit TraceStats(const Catalog& catalog) : catalog_(catalog) {}
+
+  // Fig. 2: number of videos uploaded per `bucketDays`-day bucket.
+  [[nodiscard]] std::vector<std::size_t> videosAddedOverTime(
+      std::uint32_t bucketDays = 30) const;
+
+  // Fig. 3: per-channel average daily view frequency samples.
+  [[nodiscard]] SampleSet channelViewFrequency() const;
+
+  // Fig. 4: subscribers per channel.
+  [[nodiscard]] SampleSet subscribersPerChannel() const;
+
+  // Fig. 5: (total views, subscriber count) per channel, plus the Pearson
+  // correlation of the log-transformed pairs.
+  struct ViewsVsSubscriptions {
+    std::vector<std::pair<double, double>> points;  // (views, subscribers)
+    double logCorrelation = 0.0;
+  };
+  [[nodiscard]] ViewsVsSubscriptions viewsVsSubscriptions() const;
+
+  // Fig. 6: videos per channel.
+  [[nodiscard]] SampleSet videosPerChannel() const;
+
+  // Fig. 7: views per video.
+  [[nodiscard]] SampleSet viewsPerVideo() const;
+
+  // Fig. 8: favorites per video, plus Pearson corr(favorites, views).
+  struct FavoritesStats {
+    SampleSet favorites;
+    double viewsCorrelation = 0.0;
+  };
+  [[nodiscard]] FavoritesStats favoritesPerVideo() const;
+
+  // Fig. 9: per-rank views for one channel (rank 0 = most popular), and the
+  // fitted Zipf exponent. `channelPercentile` selects the channel by total-
+  // views percentile (e.g. 0.99 = "High", 0.5 = "Medium", 0.05 = "Low").
+  struct ChannelRankViews {
+    ChannelId channel;
+    std::vector<double> viewsByRank;
+    double zipfExponent = 0.0;
+    double zipfR2 = 0.0;
+  };
+  [[nodiscard]] ChannelRankViews channelRankViews(
+      double channelPercentile) const;
+
+  // Fig. 10: channel graph where an edge joins channels sharing at least
+  // `threshold` subscribers (the paper uses 50). Clustering is quantified
+  // as the mean shared-subscriber count between same-category channel pairs
+  // vs. different-category pairs — interest-driven subscription makes the
+  // former substantially larger.
+  struct SharedSubscriberGraph {
+    std::size_t nodes = 0;
+    std::size_t edges = 0;  // pairs at or above the threshold
+    double sameCategoryEdgeFraction = 0.0;   // among thresholded edges
+    double meanSharedSameCategory = 0.0;     // over all channel pairs
+    double meanSharedDifferentCategory = 0.0;
+  };
+  [[nodiscard]] SharedSubscriberGraph sharedSubscriberGraph(
+      std::size_t threshold = 50) const;
+
+  // Fig. 11: number of interest categories per channel.
+  [[nodiscard]] SampleSet interestsPerChannel() const;
+
+  // Fig. 12: per-user similarity |C_u ∩ C_c| / |C_u| where C_u = categories
+  // of the user's favorite videos, C_c = categories of subscribed channels.
+  [[nodiscard]] SampleSet userChannelSimilarity() const;
+
+  // Fig. 13: number of personal interests per user, determined — exactly as
+  // the paper does — from the categories of the user's favorite videos.
+  [[nodiscard]] SampleSet interestsPerUser() const;
+
+ private:
+  const Catalog& catalog_;
+};
+
+}  // namespace st::trace

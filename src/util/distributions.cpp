@@ -1,0 +1,113 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace st {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = sum;
+  }
+  normalizer_ = sum;
+  for (auto& value : cdf_) value /= sum;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  assert(k < cdf_.size());
+  return 1.0 / std::pow(static_cast<double>(k + 1), exponent_) / normalizer_;
+}
+
+double ZipfDistribution::cdf(std::size_t k) const {
+  assert(k < cdf_.size());
+  return cdf_[k];
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  assert(!cdf_.empty());
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+WeightedSampler::WeightedSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) return;
+  totalWeight_ = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(totalWeight_ > 0.0);
+
+  probability_.resize(n);
+  alias_.resize(n);
+
+  // Scaled probabilities: mean 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(weights[i] >= 0.0);
+    scaled[i] = weights[i] * static_cast<double>(n) / totalWeight_;
+  }
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are numerically 1.
+  for (const std::uint32_t i : large) probability_[i] = 1.0;
+  for (const std::uint32_t i : small) probability_[i] = 1.0;
+}
+
+std::size_t WeightedSampler::sample(Rng& rng) const {
+  assert(!probability_.empty());
+  const std::size_t bucket = rng.uniformInt(probability_.size());
+  return rng.uniform() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+std::vector<std::size_t> sampleDistinct(Rng& rng, std::size_t n,
+                                        std::size_t count) {
+  assert(count <= n);
+  if (count == 0) return {};
+  if (count * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the whole index range.
+    std::vector<std::size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + rng.uniformInt(n - i);
+      std::swap(indices[i], indices[j]);
+    }
+    indices.resize(count);
+    return indices;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> result;
+  result.reserve(count);
+  while (result.size() < count) {
+    const std::size_t candidate = rng.uniformInt(n);
+    if (seen.insert(candidate).second) result.push_back(candidate);
+  }
+  return result;
+}
+
+}  // namespace st

@@ -1,0 +1,68 @@
+// Discrete distributions used to model the YouTube trace.
+//
+// The paper's trace analysis (§III) shows per-channel video views following
+// Zipf with exponent ~1 (Fig. 9) and heavy-tailed channel popularity and
+// subscriber counts (Figs. 3-8). `ZipfDistribution` and `WeightedSampler`
+// provide O(1)-ish sampling from those fitted marginals.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace st {
+
+// Zipf over ranks {0, 1, ..., n-1}: P(rank k) ∝ 1 / (k+1)^s.
+// Sampling is O(log n) via binary search on the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution() = default;
+  ZipfDistribution(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+  // Probability of rank k (0-based).
+  [[nodiscard]] double pmf(std::size_t k) const;
+  // Cumulative probability of ranks [0, k].
+  [[nodiscard]] double cdf(std::size_t k) const;
+  // Generalized harmonic number H_{n,s} (the normalizing constant).
+  [[nodiscard]] double normalizer() const { return normalizer_; }
+
+  // Draw a 0-based rank.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_ = 1.0;
+  double normalizer_ = 1.0;
+};
+
+// Samples an index i with probability weights[i] / sum(weights) using
+// Walker's alias method: O(n) build, O(1) sample.
+class WeightedSampler {
+ public:
+  WeightedSampler() = default;
+  explicit WeightedSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t size() const { return probability_.size(); }
+  [[nodiscard]] bool empty() const { return probability_.empty(); }
+  [[nodiscard]] double totalWeight() const { return totalWeight_; }
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> probability_;  // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;
+  double totalWeight_ = 0.0;
+};
+
+// Samples without replacement: `count` distinct indices from [0, n).
+// O(count) expected when count << n (hash rejection), O(n) otherwise.
+std::vector<std::size_t> sampleDistinct(Rng& rng, std::size_t n,
+                                        std::size_t count);
+
+}  // namespace st

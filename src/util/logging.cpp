@@ -1,0 +1,32 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace st {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel logLevel() { return g_level; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace st

@@ -1,0 +1,48 @@
+// Leveled logging with near-zero cost when disabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace st {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; messages below it are dropped. Defaults to kWarn so
+// simulations stay quiet unless a caller opts in.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace st
+
+#define ST_LOG(level)                        \
+  if (::st::logLevel() > ::st::LogLevel::level) { \
+  } else                                      \
+    ::st::detail::LogLine(::st::LogLevel::level)
+
+#define ST_DEBUG ST_LOG(kDebug)
+#define ST_INFO ST_LOG(kInfo)
+#define ST_WARN ST_LOG(kWarn)
+#define ST_ERROR ST_LOG(kError)

@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// All randomness in the simulator flows through `Rng` instances seeded from
+// a single experiment seed plus a purpose string, so that (a) runs are
+// byte-for-byte reproducible and (b) adding a new consumer of randomness in
+// one subsystem does not perturb the stream seen by another.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace st {
+
+// xoshiro256** by Blackman & Vigna: fast, high quality, 2^256-1 period.
+// Seeded via SplitMix64 as the authors recommend.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Derives an independent stream from `seed` and a purpose label, e.g.
+  // Rng::forPurpose(42, "churn"). Different labels give uncorrelated streams.
+  static Rng forPurpose(std::uint64_t seed, std::string_view purpose);
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0. Unbiased (rejection sampling).
+  std::uint64_t uniformInt(std::uint64_t n);
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+  // Exponential with given mean (> 0).
+  double exponential(double mean);
+  // Standard normal via Box-Muller (cached spare value).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  // Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  std::uint64_t poisson(double mean);
+  // Pareto (type I) with scale x_m > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  // Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const std::size_t n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = uniformInt(static_cast<std::uint64_t>(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double spareNormal_ = 0.0;
+  bool hasSpareNormal_ = false;
+};
+
+// SplitMix64: used for seeding and for hashing purpose strings.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// FNV-1a hash of a string, for purpose-string stream derivation.
+std::uint64_t fnv1a(std::string_view s);
+
+}  // namespace st

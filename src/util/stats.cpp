@@ -1,0 +1,188 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace st {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::ensureSorted() const {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double SampleSet::percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  ensureSorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (samples_.empty() || points == 0) return curve;
+  ensureSorted();
+  curve.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double fraction = static_cast<double>(i) / static_cast<double>(points);
+    curve.emplace_back(quantile(fraction), fraction);
+  }
+  return curve;
+}
+
+double pearsonCorrelation(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  RunningStats sx;
+  RunningStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(x[i]);
+    sy.add(y[i]);
+  }
+  const double denom = sx.stddev() * sy.stddev();
+  if (denom == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(n - 1);
+  return cov / denom;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(lo < hi && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double clamped = std::clamp(x, lo_, std::nextafter(hi_, lo_));
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bucket = static_cast<std::size_t>((clamped - lo_) / width);
+  bucket = std::min(bucket, counts_.size() - 1);
+  ++counts_[bucket];
+  ++total_;
+}
+
+double Histogram::bucketLow(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+LinearFit linearFit(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  LinearFit fit;
+  const std::size_t n = x.size();
+  if (n < 2) return fit;
+  const double meanX = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  const double meanY = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - meanX;
+    const double dy = y[i] - meanY;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = meanY - fit.slope * meanX;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double giniCoefficient(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double weightedSum = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(sorted[i] >= 0.0);
+    weightedSum += static_cast<double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total == 0.0) return 0.0;
+  // G = (2 * sum(i*x_i) / (n * sum(x))) - (n + 1) / n, with 1-based ranks.
+  return 2.0 * weightedSum / (static_cast<double>(n) * total) -
+         (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+}
+
+ZipfFit fitZipf(std::span<const double> viewsByRank) {
+  ZipfFit result;
+  std::vector<double> logRank;
+  std::vector<double> logViews;
+  for (std::size_t k = 0; k < viewsByRank.size(); ++k) {
+    if (viewsByRank[k] <= 0.0) continue;
+    logRank.push_back(std::log(static_cast<double>(k + 1)));
+    logViews.push_back(std::log(viewsByRank[k]));
+  }
+  const LinearFit fit = linearFit(logRank, logViews);
+  result.exponent = -fit.slope;
+  result.r2 = fit.r2;
+  return result;
+}
+
+}  // namespace st

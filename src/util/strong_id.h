@@ -1,0 +1,64 @@
+// Strongly typed integer identifiers.
+//
+// The simulator juggles several id spaces (users, channels, videos,
+// categories, network endpoints). A plain `int` makes it trivially easy to
+// pass a video id where a channel id is expected; `StrongId<Tag>` makes that
+// a compile error while remaining a trivially copyable value type usable as
+// a vector index and hash-map key.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace st {
+
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  static constexpr underlying_type kInvalidValue = ~underlying_type{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  // Underlying value; also usable directly as a dense array index.
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr StrongId invalid() { return StrongId{kInvalidValue}; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  underlying_type value_ = kInvalidValue;
+};
+
+struct UserTag {};
+struct ChannelTag {};
+struct VideoTag {};
+struct CategoryTag {};
+struct EndpointTag {};
+struct FlowTag {};
+
+using UserId = StrongId<UserTag>;
+using ChannelId = StrongId<ChannelTag>;
+using VideoId = StrongId<VideoTag>;
+using CategoryId = StrongId<CategoryTag>;
+using EndpointId = StrongId<EndpointTag>;
+using FlowId = StrongId<FlowTag>;
+
+}  // namespace st
+
+namespace std {
+template <typename Tag>
+struct hash<st::StrongId<Tag>> {
+  size_t operator()(const st::StrongId<Tag>& id) const noexcept {
+    return std::hash<typename st::StrongId<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

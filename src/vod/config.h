@@ -1,0 +1,100 @@
+// Protocol and workload parameters (Table I plus §V prose).
+//
+// OCR-damaged constants are resolved per DESIGN.md §2; everything is a
+// plain field so tests and ablation benches can sweep them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace st::vod {
+
+struct VodConfig {
+  // --- video/chunk model ----------------------------------------------------
+  // Table I: 320 kbps bitrate, 20 chunks per video.
+  double bitrateBps = 320'000.0;
+  std::uint32_t chunksPerVideo = 20;
+
+  // --- overlay shape (SocialTube) --------------------------------------------
+  std::size_t innerLinks = 5;   // N_l, links in the lower-level channel overlay
+  std::size_t interLinks = 10;  // N_h, links into sibling channels
+  int ttl = 2;                  // search TTL per phase
+
+  // --- NetTube / PA-VoD -------------------------------------------------------
+  std::size_t linksPerVideoOverlay = 5;  // NetTube links per per-video overlay
+  std::size_t watcherListSize = 5;       // PA-VoD current watchers returned
+
+  // Number of providers a video body may be striped across (swarming).
+  // 1 = the paper's single-provider transfers; higher values split the body
+  // into chunk-aligned segments fetched in parallel from distinct providers
+  // (extension; see ablation_swarm). Requires providers that hold the video;
+  // missing extras simply reduce the stripe width.
+  std::size_t bodySources = 1;
+
+  // Repair strategy after probe failures: false = ask the origin server for
+  // replacement members (the paper's design); true = gossip repair — ask a
+  // live neighbor for candidates from its own neighbor lists, trading a
+  // little match quality for zero server involvement (extension; see
+  // ablation_repair).
+  bool gossipRepair = false;
+
+  // --- prefetching ------------------------------------------------------------
+  bool prefetchEnabled = true;
+  std::size_t prefetchCount = 3;      // M: videos prefetched per playback (§V-B)
+  std::size_t prefetchCacheSlots = 8; // first-chunk slots in the cache
+  // Full-video cache capacity per node; 0 = unbounded (the paper's setting:
+  // short videos make full retention cheap). Bounded caches evict FIFO —
+  // see ablation_cache for the sensitivity study.
+  std::size_t cacheCapacityVideos = 0;
+
+  // --- sessions / churn --------------------------------------------------------
+  std::size_t sessionsPerUser = 25;
+  std::size_t videosPerSession = 10;
+  // Mean of the exponential (Poisson-process) off time between sessions.
+  double offTimeMeanSeconds = 8000.0;
+  // Stagger of initial logins over the run start.
+  double loginStaggerSeconds = 4000.0;
+  // Fraction of departures that are abrupt (no goodbye messages) — exercises
+  // the probe/repair path. The paper's churn is implicit; we make it explicit.
+  double abruptDepartureFraction = 0.1;
+
+  // Probability that a viewer abandons a video partway (watching a uniform
+  // 10-90% of it) instead of finishing — Chatzopoulou et al. (cited in §II)
+  // observed watch time anti-correlates with popularity. Abandonment
+  // shortens PA-VoD provider lifetimes in particular.
+  double abandonProbability = 0.0;
+
+  // --- video selection (§V: 75 / 15 / 10 rule) ---------------------------------
+  double sameChannelProbability = 0.75;
+  double sameCategoryProbability = 0.15;
+
+  // --- bandwidth ----------------------------------------------------------------
+  double peerUploadBps = 1'000'000.0;
+  double peerDownloadBps = 4'000'000.0;
+  // Origin server uplink. Table I prints "5 mbps", which cannot serve even
+  // one percent of the paper's own 10,000-node demand; we default to a value
+  // that is scarce (saturates under PA-VoD) but not deadlocked. See
+  // EXPERIMENTS.md. Set per experiment: ~20 kbps per simulated user.
+  double serverUploadBps = 200'000'000.0;
+
+  // --- protocol timers -------------------------------------------------------
+  // Deadline for each search phase (channel overlay, then category overlay).
+  sim::SimTime searchPhaseTimeout = 800 * sim::kMillisecond;
+  // Give up on a first chunk after this long (user abandons; counted).
+  sim::SimTime firstChunkTimeout = 60 * sim::kSecond;
+  // Background download of the video body is abandoned after this long.
+  sim::SimTime bodyDownloadTimeout = 20 * sim::kMinute;
+  // Neighbor probing period (§V: nodes probe every 10 minutes).
+  sim::SimTime probeInterval = 10 * sim::kMinute;
+  // Server request processing time (directory lookup).
+  sim::SimTime serverProcessing = 2 * sim::kMillisecond;
+
+  [[nodiscard]] double chunkBytes(double videoLengthSeconds) const {
+    const double total = videoLengthSeconds * bitrateBps / 8.0;
+    return total / static_cast<double>(chunksPerVideo);
+  }
+};
+
+}  // namespace st::vod

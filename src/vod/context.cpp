@@ -1,0 +1,66 @@
+#include "vod/context.h"
+
+#include <algorithm>
+
+namespace st::vod {
+
+SystemContext::SystemContext(sim::Simulator& simulator, net::Network& network,
+                             const trace::Catalog& catalog,
+                             const VideoLibrary& library,
+                             const VodConfig& config, Metrics& metrics,
+                             std::uint64_t seed)
+    : sim_(simulator),
+      network_(network),
+      catalog_(catalog),
+      library_(library),
+      config_(config),
+      metrics_(metrics),
+      rng_(Rng::forPurpose(seed, "protocol")),
+      serverEndpoint_{static_cast<std::uint32_t>(catalog.userCount())},
+      online_(catalog.userCount(), 0),
+      released_(catalog.videoCount(), 1) {
+  // Register endpoints: one per user plus the origin server.
+  for (std::size_t i = 0; i < catalog.userCount(); ++i) {
+    network_.addEndpoint(EndpointId{static_cast<std::uint32_t>(i)},
+                         {config.peerUploadBps, config.peerDownloadBps});
+  }
+  network_.addEndpoint(serverEndpoint_,
+                       {config.serverUploadBps, config.serverUploadBps});
+  // The origin server admits a bounded number of concurrent streams (each
+  // then sustains at least half the video bitrate); excess requests queue.
+  // See FlowNetwork::setUploadConcurrencyLimit.
+  const auto streamSlots = static_cast<std::size_t>(
+      std::max(4.0, 2.0 * config.serverUploadBps / config.bitrateBps));
+  network_.flows().setUploadConcurrencyLimit(serverEndpoint_, streamSlots);
+}
+
+std::size_t SystemContext::onlineCount() const {
+  return static_cast<std::size_t>(
+      std::count(online_.begin(), online_.end(), 1));
+}
+
+void SystemContext::sendUser(UserId from, UserId to,
+                             std::function<void()> atReceiver) {
+  network_.sendMessage(
+      endpointOf(from), endpointOf(to),
+      [this, to, fn = std::move(atReceiver)] {
+        if (isOnline(to)) fn();
+      });
+}
+
+void SystemContext::sendToServer(UserId from, std::function<void()> atServer) {
+  network_.sendMessage(endpointOf(from), serverEndpoint_,
+                       [this, fn = std::move(atServer)] {
+                         sim_.schedule(config_.serverProcessing, fn);
+                       });
+}
+
+void SystemContext::sendFromServer(UserId to,
+                                   std::function<void()> atReceiver) {
+  network_.sendMessage(serverEndpoint_, endpointOf(to),
+                       [this, to, fn = std::move(atReceiver)] {
+                         if (isOnline(to)) fn();
+                       });
+}
+
+}  // namespace st::vod

@@ -1,0 +1,88 @@
+// Shared wiring passed to every VoD system implementation.
+//
+// Users map to endpoints by index; the origin server is one extra endpoint.
+// Control-plane helpers deliver callbacks across the latency model and drop
+// messages whose receiver is offline at delivery time (protocols recover via
+// their phase deadlines).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "trace/catalog.h"
+#include "util/rng.h"
+#include "vod/config.h"
+#include "vod/library.h"
+#include "vod/metrics.h"
+
+namespace st::vod {
+
+class SystemContext {
+ public:
+  SystemContext(sim::Simulator& simulator, net::Network& network,
+                const trace::Catalog& catalog, const VideoLibrary& library,
+                const VodConfig& config, Metrics& metrics, std::uint64_t seed);
+
+  SystemContext(const SystemContext&) = delete;
+  SystemContext& operator=(const SystemContext&) = delete;
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return network_; }
+  const trace::Catalog& catalog() const { return catalog_; }
+  const VideoLibrary& library() const { return library_; }
+  const VodConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  Rng& rng() { return rng_; }
+
+  [[nodiscard]] EndpointId endpointOf(UserId user) const {
+    return EndpointId{user.value()};
+  }
+  [[nodiscard]] EndpointId serverEndpoint() const { return serverEndpoint_; }
+
+  [[nodiscard]] bool isOnline(UserId user) const {
+    return online_[user.index()] != 0;
+  }
+  void setOnline(UserId user, bool online) {
+    online_[user.index()] = online ? 1 : 0;
+  }
+  [[nodiscard]] std::size_t onlineCount() const;
+
+  // Video release state (dynamic uploads, see vod/releases.h). Everything
+  // is released by default; the ReleaseManager holds some videos back and
+  // publishes them mid-run. Unreleased videos are never selected,
+  // prefetched, or served.
+  [[nodiscard]] bool isReleased(VideoId video) const {
+    return released_[video.index()] != 0;
+  }
+  void setReleased(VideoId video, bool released) {
+    released_[video.index()] = released ? 1 : 0;
+  }
+
+  // Delivers `atReceiver` at `to` after one-way latency; silently dropped if
+  // the receiver is offline when the message arrives (or lost in transit).
+  void sendUser(UserId from, UserId to, std::function<void()> atReceiver);
+
+  // Request to the origin server: latency + processing delay, then
+  // `atServer` runs (server never churns).
+  void sendToServer(UserId from, std::function<void()> atServer);
+
+  // Server-to-user reply; dropped if the user went offline.
+  void sendFromServer(UserId to, std::function<void()> atReceiver);
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& network_;
+  const trace::Catalog& catalog_;
+  const VideoLibrary& library_;
+  const VodConfig& config_;
+  Metrics& metrics_;
+  Rng rng_;
+  EndpointId serverEndpoint_;
+  std::vector<char> online_;
+  std::vector<char> released_;
+};
+
+}  // namespace st::vod

@@ -1,0 +1,24 @@
+#include "vod/library.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace st::vod {
+
+VideoLibrary::VideoLibrary(const trace::Catalog& catalog,
+                           const VodConfig& config) {
+  assets_.reserve(catalog.videoCount());
+  for (const trace::Video& video : catalog.videos()) {
+    VideoAsset asset;
+    asset.id = video.id;
+    asset.lengthSeconds = video.lengthSeconds;
+    asset.chunks = std::max<std::uint32_t>(config.chunksPerVideo, 1);
+    const double total = video.lengthSeconds * config.bitrateBps / 8.0;
+    asset.chunkBytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(total / asset.chunks)));
+    asset.totalBytes = asset.chunkBytes * asset.chunks;
+    assets_.push_back(asset);
+  }
+}
+
+}  // namespace st::vod

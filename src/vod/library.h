@@ -1,0 +1,43 @@
+// Byte/chunk view of the catalog's videos.
+//
+// The trace stores lengths and popularity; the transfer layer needs sizes.
+// A VideoAsset is the bridge: derived once from (length x bitrate) and the
+// configured chunk count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "vod/config.h"
+
+namespace st::vod {
+
+struct VideoAsset {
+  VideoId id;
+  std::uint32_t chunks = 0;
+  std::uint64_t chunkBytes = 0;
+  std::uint64_t totalBytes = 0;
+  double lengthSeconds = 0.0;
+};
+
+class VideoLibrary {
+ public:
+  VideoLibrary(const trace::Catalog& catalog, const VodConfig& config);
+
+  [[nodiscard]] const VideoAsset& asset(VideoId id) const {
+    return assets_[id.index()];
+  }
+  [[nodiscard]] std::size_t size() const { return assets_.size(); }
+
+  // Bytes of everything except the first chunk.
+  [[nodiscard]] std::uint64_t bodyBytes(VideoId id) const {
+    const VideoAsset& a = assets_[id.index()];
+    return a.totalBytes - a.chunkBytes;
+  }
+
+ private:
+  std::vector<VideoAsset> assets_;
+};
+
+}  // namespace st::vod

@@ -1,0 +1,121 @@
+// Server-side membership directory: which users are registered under which
+// key (channel or video), with O(1) add/remove and uniform random member
+// sampling.
+//
+// Used as the origin server's state in all three systems:
+//  * SocialTube — key = ChannelId: the online subscribers of each channel
+//    (plus current non-subscriber watchers). The paper's point is that this
+//    is *small* state: users report subscription changes, not every video.
+//  * NetTube    — key = VideoId: online holders of each video.
+//  * PA-VoD     — key = VideoId: current watchers holding a full copy.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strong_id.h"
+
+namespace st::vod {
+
+template <typename Key>
+class MembershipDirectory {
+ public:
+  void add(UserId user, Key key) {
+    Entry& entry = byKey_[key];
+    if (entry.position.count(user) > 0) return;
+    entry.position[user] = static_cast<std::uint32_t>(entry.members.size());
+    entry.members.push_back(user);
+    byUser_[user].push_back(key);
+    ++total_;
+  }
+
+  void remove(UserId user, Key key) {
+    const auto keyIt = byKey_.find(key);
+    if (keyIt == byKey_.end()) return;
+    Entry& entry = keyIt->second;
+    const auto posIt = entry.position.find(user);
+    if (posIt == entry.position.end()) return;
+    const std::uint32_t pos = posIt->second;
+    const UserId moved = entry.members.back();
+    entry.members[pos] = moved;
+    entry.position[moved] = pos;
+    entry.members.pop_back();
+    entry.position.erase(posIt);
+    if (entry.members.empty()) byKey_.erase(keyIt);
+    --total_;
+
+    auto& list = byUser_[user];
+    const auto it = std::find(list.begin(), list.end(), key);
+    assert(it != list.end());
+    list.erase(it);
+    if (list.empty()) byUser_.erase(user);
+  }
+
+  // Removes the user from every list they appear in.
+  void removeAll(UserId user) {
+    const auto it = byUser_.find(user);
+    if (it == byUser_.end()) return;
+    const std::vector<Key> keys = it->second;  // copy: remove() mutates
+    for (const Key key : keys) remove(user, key);
+  }
+
+  [[nodiscard]] bool contains(UserId user, Key key) const {
+    const auto it = byKey_.find(key);
+    return it != byKey_.end() && it->second.position.count(user) > 0;
+  }
+
+  [[nodiscard]] std::size_t memberCount(Key key) const {
+    const auto it = byKey_.find(key);
+    return it == byKey_.end() ? 0 : it->second.members.size();
+  }
+
+  // Total (user, key) registrations — the server-state-size metric the
+  // paper compares between SocialTube and NetTube.
+  [[nodiscard]] std::size_t totalRegistrations() const { return total_; }
+
+  // Up to `count` distinct random members of `key`, excluding `exclude`.
+  [[nodiscard]] std::vector<UserId> randomMembers(Key key, std::size_t count,
+                                                  UserId exclude,
+                                                  Rng& rng) const {
+    std::vector<UserId> result;
+    const auto it = byKey_.find(key);
+    if (it == byKey_.end()) return result;
+    const auto& members = it->second.members;
+    if (members.size() <= count + 1) {
+      for (const UserId member : members) {
+        if (member != exclude) result.push_back(member);
+      }
+      rng.shuffle(result);
+      if (result.size() > count) result.resize(count);
+      return result;
+    }
+    std::size_t attempts = 0;
+    while (result.size() < count && attempts < count * 20 + 20) {
+      ++attempts;
+      const UserId candidate = members[rng.uniformInt(members.size())];
+      if (candidate == exclude) continue;
+      if (std::find(result.begin(), result.end(), candidate) !=
+          result.end()) {
+        continue;
+      }
+      result.push_back(candidate);
+    }
+    return result;
+  }
+
+ private:
+  struct Entry {
+    std::vector<UserId> members;
+    std::unordered_map<UserId, std::uint32_t> position;
+  };
+
+  std::unordered_map<Key, Entry> byKey_;
+  std::unordered_map<UserId, std::vector<Key>> byUser_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace st::vod

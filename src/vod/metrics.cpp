@@ -1,0 +1,51 @@
+#include "vod/metrics.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace st::vod {
+
+Metrics::Metrics(std::size_t userCount, std::size_t videosPerSession)
+    : peerChunks_(userCount, 0),
+      serverChunks_(userCount, 0),
+      linksByVideosWatched_(videosPerSession + 1) {}
+
+void Metrics::recordChunks(UserId user, ChunkSource source,
+                           std::uint64_t chunks) {
+  assert(user.index() < peerChunks_.size());
+  if (source == ChunkSource::kPeer) {
+    peerChunks_[user.index()] += chunks;
+  } else {
+    serverChunks_[user.index()] += chunks;
+  }
+}
+
+std::uint64_t Metrics::totalPeerChunks() const {
+  return std::accumulate(peerChunks_.begin(), peerChunks_.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t Metrics::totalServerChunks() const {
+  return std::accumulate(serverChunks_.begin(), serverChunks_.end(),
+                         std::uint64_t{0});
+}
+
+SampleSet Metrics::normalizedPeerBandwidth() const {
+  SampleSet samples;
+  for (std::size_t i = 0; i < peerChunks_.size(); ++i) {
+    const std::uint64_t total = peerChunks_[i] + serverChunks_[i];
+    if (total == 0) continue;
+    samples.add(static_cast<double>(peerChunks_[i]) /
+                static_cast<double>(total));
+  }
+  return samples;
+}
+
+void Metrics::recordLinks(std::size_t videosWatched, std::size_t links) {
+  if (videosWatched >= linksByVideosWatched_.size()) {
+    videosWatched = linksByVideosWatched_.size() - 1;
+  }
+  linksByVideosWatched_[videosWatched].add(static_cast<double>(links));
+}
+
+}  // namespace st::vod

@@ -1,0 +1,121 @@
+// Evaluation metrics (§V): startup delay, normalized peer bandwidth, and
+// overlay maintenance overhead, plus protocol counters used by tests and
+// ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/strong_id.h"
+
+namespace st::vod {
+
+enum class ChunkSource { kPeer, kServer };
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t userCount, std::size_t videosPerSession);
+
+  // --- startup delay (Fig. 17) ----------------------------------------------
+  void recordStartupDelay(double delayMs) { startupDelayMs_.add(delayMs); }
+  void recordStartupTimeout() { ++startupTimeouts_; }
+  [[nodiscard]] const SampleSet& startupDelayMs() const {
+    return startupDelayMs_;
+  }
+  [[nodiscard]] std::uint64_t startupTimeouts() const {
+    return startupTimeouts_;
+  }
+
+  // --- chunk accounting (Fig. 16) --------------------------------------------
+  void recordChunks(UserId user, ChunkSource source, std::uint64_t chunks);
+  [[nodiscard]] std::uint64_t peerChunks(UserId user) const {
+    return peerChunks_[user.index()];
+  }
+  [[nodiscard]] std::uint64_t serverChunks(UserId user) const {
+    return serverChunks_[user.index()];
+  }
+  [[nodiscard]] std::uint64_t totalPeerChunks() const;
+  [[nodiscard]] std::uint64_t totalServerChunks() const;
+  // Per-node normalized peer bandwidth = peer / (peer + server); nodes with
+  // no remote chunks at all are skipped.
+  [[nodiscard]] SampleSet normalizedPeerBandwidth() const;
+
+  // --- maintenance overhead (Fig. 18) -----------------------------------------
+  // Called after a user finishes their n-th video of the session (1-based)
+  // with the user's current link count.
+  void recordLinks(std::size_t videosWatched, std::size_t links);
+  [[nodiscard]] const std::vector<RunningStats>& linksByVideosWatched() const {
+    return linksByVideosWatched_;
+  }
+
+  // --- playback continuity -----------------------------------------------------
+  // A body download that finishes later than real-time playback would have
+  // consumed it means the viewer stalled at least once.
+  void countBodyCompletion(bool onTime) {
+    ++bodyCompletions_;
+    if (!onTime) ++rebuffers_;
+  }
+  [[nodiscard]] std::uint64_t bodyCompletions() const {
+    return bodyCompletions_;
+  }
+  [[nodiscard]] std::uint64_t rebuffers() const { return rebuffers_; }
+  [[nodiscard]] double rebufferRate() const {
+    return bodyCompletions_ == 0
+               ? 0.0
+               : static_cast<double>(rebuffers_) /
+                     static_cast<double>(bodyCompletions_);
+  }
+
+  // --- NetTube redundancy (§IV-C) ----------------------------------------------
+  void recordRedundantLinks(std::size_t count) {
+    redundantLinks_.add(static_cast<double>(count));
+  }
+  [[nodiscard]] const RunningStats& redundantLinks() const {
+    return redundantLinks_;
+  }
+
+  // --- protocol counters --------------------------------------------------------
+  void countCacheHit() { ++cacheHits_; }
+  void countPrefetchHit() { ++prefetchHits_; }
+  void countPrefetchIssued() { ++prefetchIssued_; }
+  void countChannelHit() { ++channelHits_; }
+  void countCategoryHit() { ++categoryHits_; }
+  void countServerFallback() { ++serverFallbacks_; }
+  void countProbe() { ++probes_; }
+  void countRepair() { ++repairs_; }
+
+  [[nodiscard]] std::uint64_t cacheHits() const { return cacheHits_; }
+  [[nodiscard]] std::uint64_t prefetchHits() const { return prefetchHits_; }
+  [[nodiscard]] std::uint64_t prefetchIssued() const { return prefetchIssued_; }
+  [[nodiscard]] std::uint64_t channelHits() const { return channelHits_; }
+  [[nodiscard]] std::uint64_t categoryHits() const { return categoryHits_; }
+  [[nodiscard]] std::uint64_t serverFallbacks() const { return serverFallbacks_; }
+  [[nodiscard]] std::uint64_t probes() const { return probes_; }
+  [[nodiscard]] std::uint64_t repairs() const { return repairs_; }
+
+  // Total video watches that began playback (delays + timeouts).
+  [[nodiscard]] std::uint64_t watches() const {
+    return startupDelayMs_.count() + startupTimeouts_;
+  }
+
+ private:
+  SampleSet startupDelayMs_;
+  std::uint64_t startupTimeouts_ = 0;
+  std::vector<std::uint64_t> peerChunks_;
+  std::vector<std::uint64_t> serverChunks_;
+  std::vector<RunningStats> linksByVideosWatched_;
+  std::uint64_t cacheHits_ = 0;
+  std::uint64_t prefetchHits_ = 0;
+  std::uint64_t prefetchIssued_ = 0;
+  std::uint64_t channelHits_ = 0;
+  std::uint64_t categoryHits_ = 0;
+  std::uint64_t serverFallbacks_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t bodyCompletions_ = 0;
+  std::uint64_t rebuffers_ = 0;
+  RunningStats redundantLinks_;
+};
+
+}  // namespace st::vod

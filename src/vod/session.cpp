@@ -1,0 +1,118 @@
+#include "vod/session.h"
+
+#include <cassert>
+
+namespace st::vod {
+
+SessionDriver::SessionDriver(SystemContext& ctx, VodSystem& system,
+                             TransferManager& transfers,
+                             VideoSelector& selector, std::uint64_t seed)
+    : ctx_(ctx),
+      system_(system),
+      transfers_(transfers),
+      selector_(selector),
+      users_(ctx.catalog().userCount()) {
+  userRngs_.reserve(users_.size());
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    userRngs_.push_back(Rng::forPurpose(seed ^ (0x5e55ull << 16 | i), "churn"));
+  }
+  system_.setPlaybackCallback(
+      [this](UserId user, VideoId video, sim::SimTime delay, bool timedOut) {
+        onPlaybackReady(user, video, delay, timedOut);
+      });
+}
+
+void SessionDriver::start() {
+  const double stagger = ctx_.config().loginStaggerSeconds;
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    const UserId user{static_cast<std::uint32_t>(i)};
+    const sim::SimTime at =
+        sim::fromSeconds(userRngs_[i].uniform(0.0, stagger));
+    ctx_.sim().scheduleAt(at, [this, user] { login(user); });
+  }
+}
+
+void SessionDriver::login(UserId user) {
+  UserState& state = users_[user.index()];
+  assert(!state.online);
+  state.online = true;
+  state.videosThisSession = 0;
+  state.currentVideo = VideoId::invalid();
+  ctx_.setOnline(user, true);
+  system_.onLogin(user);
+  requestNext(user);
+}
+
+void SessionDriver::requestNext(UserId user) {
+  UserState& state = users_[user.index()];
+  const VideoId video =
+      state.currentVideo.valid()
+          ? selector_.nextVideo(user, state.currentVideo)
+          : selector_.firstVideo(user);
+  state.currentVideo = video;
+  system_.requestVideo(user, video);
+}
+
+void SessionDriver::onPlaybackReady(UserId user, VideoId video,
+                                    sim::SimTime delay, bool timedOut) {
+  UserState& state = users_[user.index()];
+  if (!state.online || video != state.currentVideo) return;  // stale event
+  if (timedOut) {
+    ctx_.metrics().recordStartupTimeout();
+    // The user gave up on this video; move on after a short pause.
+    ctx_.sim().schedule(sim::kSecond,
+                        [this, user, video] { onPlaybackComplete(user, video); });
+    return;
+  }
+  ctx_.metrics().recordStartupDelay(sim::toMillis(delay));
+  double length = ctx_.library().asset(video).lengthSeconds;
+  Rng& rng = userRngs_[user.index()];
+  if (ctx_.config().abandonProbability > 0.0 &&
+      rng.bernoulli(ctx_.config().abandonProbability)) {
+    // Early abandonment: the viewer quits partway through.
+    length *= rng.uniform(0.1, 0.9);
+  }
+  ctx_.sim().schedule(sim::fromSeconds(length), [this, user, video] {
+    onPlaybackComplete(user, video);
+  });
+}
+
+void SessionDriver::onPlaybackComplete(UserId user, VideoId video) {
+  UserState& state = users_[user.index()];
+  if (!state.online || video != state.currentVideo) return;
+  system_.onPlaybackComplete(user, video);
+  ++state.videosThisSession;
+  ++videosWatched_;
+  ctx_.metrics().recordLinks(state.videosThisSession,
+                             system_.linkCount(user));
+  ctx_.metrics().recordRedundantLinks(system_.redundantLinkCount(user));
+  if (state.videosThisSession < ctx_.config().videosPerSession) {
+    requestNext(user);
+    return;
+  }
+  logout(user);
+}
+
+void SessionDriver::logout(UserId user) {
+  UserState& state = users_[user.index()];
+  assert(state.online);
+  const bool graceful = !userRngs_[user.index()].bernoulli(
+      ctx_.config().abruptDepartureFraction);
+  state.online = false;
+  ctx_.setOnline(user, false);
+  transfers_.onUserOffline(user);
+  system_.onLogout(user, graceful);
+
+  ++state.sessionsDone;
+  ++sessionsCompleted_;
+  if (state.sessionsDone >= ctx_.config().sessionsPerUser) {
+    ++usersCompleted_;
+    return;
+  }
+  const double offSeconds = userRngs_[user.index()].exponential(
+      ctx_.config().offTimeMeanSeconds);
+  ctx_.sim().schedule(sim::fromSeconds(offSeconds),
+                      [this, user] { login(user); });
+}
+
+}  // namespace st::vod

@@ -1,0 +1,63 @@
+// Session/churn driver (§V experiment methodology).
+//
+// Each user runs `sessionsPerUser` sessions of `videosPerSession` videos.
+// Off times between sessions are exponential (Poisson arrival process, per
+// Chatzopoulou et al. as cited in the paper); a configurable fraction of
+// departures are abrupt. Per-user RNG streams make the schedule identical
+// across the three systems under comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "vod/context.h"
+#include "vod/selector.h"
+#include "vod/system.h"
+#include "vod/transfer.h"
+
+namespace st::vod {
+
+class SessionDriver {
+ public:
+  SessionDriver(SystemContext& ctx, VodSystem& system,
+                TransferManager& transfers, VideoSelector& selector,
+                std::uint64_t seed);
+
+  // Schedules the initial logins; call once before Simulator::run().
+  void start();
+
+  // Users that finished all their sessions.
+  [[nodiscard]] std::size_t usersCompleted() const { return usersCompleted_; }
+  [[nodiscard]] std::uint64_t sessionsCompleted() const {
+    return sessionsCompleted_;
+  }
+  [[nodiscard]] std::uint64_t videosWatched() const { return videosWatched_; }
+
+ private:
+  struct UserState {
+    std::size_t sessionsDone = 0;
+    std::size_t videosThisSession = 0;
+    VideoId currentVideo = VideoId::invalid();
+    bool online = false;
+  };
+
+  void login(UserId user);
+  void logout(UserId user);
+  void requestNext(UserId user);
+  void onPlaybackReady(UserId user, VideoId video, sim::SimTime delay,
+                       bool timedOut);
+  void onPlaybackComplete(UserId user, VideoId video);
+
+  SystemContext& ctx_;
+  VodSystem& system_;
+  TransferManager& transfers_;
+  VideoSelector& selector_;
+  std::vector<UserState> users_;
+  std::vector<Rng> userRngs_;  // churn timing streams
+  std::size_t usersCompleted_ = 0;
+  std::uint64_t sessionsCompleted_ = 0;
+  std::uint64_t videosWatched_ = 0;
+};
+
+}  // namespace st::vod

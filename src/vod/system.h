@@ -1,0 +1,74 @@
+// Interface every VoD system implements (SocialTube, NetTube, PA-VoD).
+//
+// The SessionDriver owns the user lifecycle and calls down; the system calls
+// back through the playback callback when the requested video is ready to
+// play (or timed out). This keeps the workload generator identical across
+// systems — the only thing that differs is how providers are found.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "sim/time.h"
+#include "util/strong_id.h"
+
+namespace st::vod {
+
+class VodSystem {
+ public:
+  // (user, video, startup delay, timedOut). When timedOut is true the watch
+  // was abandoned (no playback).
+  using PlaybackCallback =
+      std::function<void(UserId, VideoId, sim::SimTime, bool)>;
+
+  virtual ~VodSystem() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  void setPlaybackCallback(PlaybackCallback callback) {
+    playbackReady_ = std::move(callback);
+  }
+
+  // Session lifecycle (driven by SessionDriver; context online flags are
+  // already updated when these run).
+  virtual void onLogin(UserId user) = 0;
+  virtual void onLogout(UserId user, bool graceful) = 0;
+
+  // The user selected `video`; find a provider, download, and fire the
+  // playback callback exactly once.
+  virtual void requestVideo(UserId user, VideoId video) = 0;
+
+  // Playback of the user's current video finished (PA-VoD uses this to
+  // unregister the watcher; others ignore it).
+  virtual void onPlaybackComplete(UserId user, VideoId video) {
+    (void)user;
+    (void)video;
+  }
+
+  // Number of overlay links the node currently maintains (Fig. 18 metric).
+  [[nodiscard]] virtual std::size_t linkCount(UserId user) const = 0;
+
+  // Size of the state the origin server keeps for this system — (user, key)
+  // registrations. §IV-A argues SocialTube's per-channel tracking is far
+  // smaller than NetTube's per-video tracking; the runner samples this.
+  [[nodiscard]] virtual std::size_t serverRegistrations() const { return 0; }
+
+  // Number of links that are redundant — a second (or later) link between
+  // the same pair of nodes held in a different overlay. Only NetTube can
+  // have these ("two nodes may be connected by redundant links", §IV-C).
+  [[nodiscard]] virtual std::size_t redundantLinkCount(UserId user) const {
+    (void)user;
+    return 0;
+  }
+
+ protected:
+  void notifyPlayback(UserId user, VideoId video, sim::SimTime delay,
+                      bool timedOut) {
+    if (playbackReady_) playbackReady_(user, video, delay, timedOut);
+  }
+
+ private:
+  PlaybackCallback playbackReady_;
+};
+
+}  // namespace st::vod

@@ -1,0 +1,360 @@
+#include "vod/transfer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace st::vod {
+
+namespace {
+ChunkSource sourceOf(UserId provider) {
+  return provider.valid() ? ChunkSource::kPeer : ChunkSource::kServer;
+}
+}  // namespace
+
+EndpointId TransferManager::sourceEndpoint(UserId provider) const {
+  return provider.valid() ? ctx_.endpointOf(provider) : ctx_.serverEndpoint();
+}
+
+void TransferManager::startWatch(WatchRequest request) {
+  assert(!request.provider.valid() || ctx_.isOnline(request.provider));
+
+  const WatchId id = nextWatchId_++;
+  Watch watch;
+  watch.user = request.user;
+  watch.video = request.video;
+  watch.provider = request.provider;
+  watch.extraProviders = std::move(request.extraProviders);
+  watch.requestTime = request.requestTime;
+  watch.onPlaybackReady = std::move(request.onPlaybackReady);
+  watch.onFinished = std::move(request.onFinished);
+
+  const VideoAsset& asset = ctx_.library().asset(request.video);
+  watches_.emplace(id, std::move(watch));
+  userWatches_[request.user].push_back(id);
+  Watch& w = watches_.at(id);
+
+  if (request.firstChunkCached) {
+    // Prefetch hit: playback starts now; only the body is fetched.
+    if (w.onPlaybackReady) {
+      auto ready = std::move(w.onPlaybackReady);
+      w.onPlaybackReady = nullptr;
+      ready(ctx_.sim().now() - w.requestTime, false);
+    }
+    if (ctx_.library().bodyBytes(request.video) == 0) {
+      finishWatch(id, true);
+      return;
+    }
+    beginBody(id);
+    return;
+  }
+
+  w.phaseBytes = asset.chunkBytes;
+  w.timeout = ctx_.sim().schedule(ctx_.config().firstChunkTimeout,
+                                  [this, id] { phaseTimeout(id); });
+  beginFirstChunk(id, w.provider, asset.chunkBytes);
+}
+
+void TransferManager::beginFirstChunk(WatchId id, UserId provider,
+                                      std::uint64_t bytesRemaining) {
+  Watch& watch = watches_.at(id);
+  watch.phase = Phase::kFirstChunk;
+  watch.provider = provider;
+  watch.flow = ctx_.network().flows().startFlow(
+      sourceEndpoint(provider), ctx_.endpointOf(watch.user),
+      std::max<std::uint64_t>(bytesRemaining, 1),
+      [this, id] { firstChunkComplete(id); });
+  watchFlows_[watch.flow] = id;
+}
+
+void TransferManager::beginBody(WatchId id) {
+  Watch& watch = watches_.at(id);
+  const VideoAsset& asset = ctx_.library().asset(watch.video);
+  const std::uint64_t bodyChunks = asset.chunks - 1;
+  assert(bodyChunks > 0);
+
+  watch.phase = Phase::kBody;
+  watch.bodyStart = ctx_.sim().now();
+  watch.timeout = ctx_.sim().schedule(ctx_.config().bodyDownloadTimeout,
+                                      [this, id] { phaseTimeout(id); });
+
+  // Provider set for striping: the primary source plus any live extras,
+  // bounded by the configured stripe width and by the chunk count.
+  std::vector<UserId> providers = {watch.provider};
+  for (const UserId extra : watch.extraProviders) {
+    if (providers.size() >= ctx_.config().bodySources) break;
+    if (extra == watch.provider) continue;
+    if (extra.valid() && !ctx_.isOnline(extra)) continue;
+    if (std::find(providers.begin(), providers.end(), extra) !=
+        providers.end()) {
+      continue;
+    }
+    providers.push_back(extra);
+  }
+  const std::size_t stripes = std::min<std::size_t>(
+      providers.size(), static_cast<std::size_t>(bodyChunks));
+
+  // Chunk-aligned quotas: floor split, remainder to the first segments.
+  watch.segments.clear();
+  watch.segments.resize(stripes);
+  const std::uint64_t base = bodyChunks / stripes;
+  const std::uint64_t extra = bodyChunks % stripes;
+  for (std::size_t i = 0; i < stripes; ++i) {
+    Segment& segment = watch.segments[i];
+    segment.chunks = base + (i < extra ? 1 : 0);
+    segment.bytes = segment.chunks * asset.chunkBytes;
+  }
+  for (std::size_t i = 0; i < stripes; ++i) {
+    startSegmentFlow(id, i, providers[i]);
+  }
+}
+
+void TransferManager::startSegmentFlow(WatchId id, std::size_t segmentIndex,
+                                       UserId provider) {
+  Watch& watch = watches_.at(id);
+  Segment& segment = watch.segments[segmentIndex];
+  segment.provider = provider;
+  const std::uint64_t remaining =
+      segment.bytes > segment.bytesDone ? segment.bytes - segment.bytesDone
+                                        : 1;
+  segment.flow = ctx_.network().flows().startFlow(
+      sourceEndpoint(provider), ctx_.endpointOf(watch.user), remaining,
+      [this, id, segmentIndex] { segmentComplete(id, segmentIndex); });
+  watchFlows_[segment.flow] = id;
+}
+
+void TransferManager::creditPartialFirstChunk(Watch& watch,
+                                              std::uint64_t bytesDone) {
+  const VideoAsset& asset = ctx_.library().asset(watch.video);
+  const std::uint64_t done = watch.phaseBytesDone + bytesDone;
+  const std::uint64_t chunksDone = done / asset.chunkBytes;
+  if (chunksDone > watch.phaseCredited) {
+    ctx_.metrics().recordChunks(watch.user, sourceOf(watch.provider),
+                                chunksDone - watch.phaseCredited);
+    watch.phaseCredited = chunksDone;
+  }
+  watch.phaseBytesDone = done;
+}
+
+void TransferManager::creditPartialSegment(const Watch& watch,
+                                           Segment& segment,
+                                           std::uint64_t bytesDone) {
+  const VideoAsset& asset = ctx_.library().asset(watch.video);
+  const std::uint64_t done = segment.bytesDone + bytesDone;
+  const std::uint64_t chunksDone = done / asset.chunkBytes;
+  if (chunksDone > segment.credited) {
+    ctx_.metrics().recordChunks(watch.user, sourceOf(segment.provider),
+                                chunksDone - segment.credited);
+    segment.credited = chunksDone;
+  }
+  segment.bytesDone = done;
+}
+
+void TransferManager::cancelWatchFlows(Watch& watch) {
+  if (watch.flow.valid()) {
+    watchFlows_.erase(watch.flow);
+    ctx_.network().flows().cancelFlow(watch.flow);
+    watch.flow = FlowId::invalid();
+  }
+  for (Segment& segment : watch.segments) {
+    if (segment.flow.valid()) {
+      watchFlows_.erase(segment.flow);
+      ctx_.network().flows().cancelFlow(segment.flow);
+      segment.flow = FlowId::invalid();
+    }
+  }
+}
+
+void TransferManager::eraseWatch(WatchId id) {
+  const auto it = watches_.find(id);
+  assert(it != watches_.end());
+  const UserId user = it->second.user;
+  if (it->second.flow.valid()) watchFlows_.erase(it->second.flow);
+  for (const Segment& segment : it->second.segments) {
+    if (segment.flow.valid()) watchFlows_.erase(segment.flow);
+  }
+  ctx_.sim().cancel(it->second.timeout);
+  watches_.erase(it);
+  const auto userIt = userWatches_.find(user);
+  if (userIt != userWatches_.end()) {
+    auto& list = userIt->second;
+    list.erase(std::find(list.begin(), list.end(), id));
+    if (list.empty()) userWatches_.erase(userIt);
+  }
+}
+
+void TransferManager::finishWatch(WatchId id, bool complete) {
+  Watch& watch = watches_.at(id);
+  auto finished = std::move(watch.onFinished);
+  eraseWatch(id);
+  if (finished) finished(complete);
+}
+
+void TransferManager::firstChunkComplete(WatchId id) {
+  const auto it = watches_.find(id);
+  assert(it != watches_.end());
+  Watch& watch = it->second;
+  watchFlows_.erase(watch.flow);
+  watch.flow = FlowId::invalid();
+
+  if (1 > watch.phaseCredited) {
+    ctx_.metrics().recordChunks(watch.user, sourceOf(watch.provider),
+                                1 - watch.phaseCredited);
+  }
+  ctx_.sim().cancel(watch.timeout);
+  watch.timeout = sim::EventHandle{};
+
+  if (watch.onPlaybackReady) {
+    auto ready = std::move(watch.onPlaybackReady);
+    watch.onPlaybackReady = nullptr;
+    ready(ctx_.sim().now() - watch.requestTime, false);
+  }
+  if (ctx_.library().bodyBytes(watch.video) == 0) {
+    finishWatch(id, true);
+    return;
+  }
+  beginBody(id);
+}
+
+void TransferManager::segmentComplete(WatchId id, std::size_t segmentIndex) {
+  const auto it = watches_.find(id);
+  assert(it != watches_.end());
+  Watch& watch = it->second;
+  Segment& segment = watch.segments[segmentIndex];
+  watchFlows_.erase(segment.flow);
+  segment.flow = FlowId::invalid();
+  segment.done = true;
+  if (segment.chunks > segment.credited) {
+    ctx_.metrics().recordChunks(watch.user, sourceOf(segment.provider),
+                                segment.chunks - segment.credited);
+    segment.credited = segment.chunks;
+  }
+
+  for (const Segment& other : watch.segments) {
+    if (!other.done) return;  // stripes still in flight
+  }
+
+  // Whole body landed. Continuity check: a body that took longer than the
+  // video's runtime would have stalled playback at least once.
+  ctx_.sim().cancel(watch.timeout);
+  watch.timeout = sim::EventHandle{};
+  const VideoAsset& asset = ctx_.library().asset(watch.video);
+  const double bodySeconds =
+      sim::toSeconds(ctx_.sim().now() - watch.bodyStart);
+  ctx_.metrics().countBodyCompletion(bodySeconds <=
+                                     asset.lengthSeconds + 1e-9);
+  finishWatch(id, true);
+}
+
+void TransferManager::phaseTimeout(WatchId id) {
+  const auto it = watches_.find(id);
+  if (it == watches_.end()) return;
+  Watch& watch = it->second;
+  cancelWatchFlows(watch);
+  if (watch.phase == Phase::kFirstChunk && watch.onPlaybackReady) {
+    auto ready = std::move(watch.onPlaybackReady);
+    watch.onPlaybackReady = nullptr;
+    ready(ctx_.sim().now() - watch.requestTime, true);
+  }
+  finishWatch(id, false);
+}
+
+void TransferManager::startPrefetch(UserId user, VideoId video,
+                                    UserId provider,
+                                    std::function<void(bool)> onComplete) {
+  assert(!provider.valid() || ctx_.isOnline(provider));
+  const VideoAsset& asset = ctx_.library().asset(video);
+  ctx_.metrics().countPrefetchIssued();
+  Prefetch prefetch;
+  prefetch.user = user;
+  prefetch.video = video;
+  prefetch.fromPeer = provider.valid();
+  prefetch.onComplete = std::move(onComplete);
+  // The flow id is assigned by startFlow, but the completion callback needs
+  // it; flows never complete synchronously, so filling the shared slot right
+  // after the call is safe.
+  auto flowSlot = std::make_shared<FlowId>();
+  const FlowId flow = ctx_.network().flows().startFlow(
+      sourceEndpoint(provider), ctx_.endpointOf(user), asset.chunkBytes,
+      [this, flowSlot] { prefetchComplete(*flowSlot); });
+  *flowSlot = flow;
+  prefetches_.emplace(flow, std::move(prefetch));
+}
+
+void TransferManager::prefetchComplete(FlowId flow) {
+  const auto it = prefetches_.find(flow);
+  if (it == prefetches_.end()) return;
+  Prefetch prefetch = std::move(it->second);
+  prefetches_.erase(it);
+  ctx_.metrics().recordChunks(
+      prefetch.user,
+      prefetch.fromPeer ? ChunkSource::kPeer : ChunkSource::kServer, 1);
+  if (prefetch.onComplete) prefetch.onComplete(prefetch.fromPeer);
+}
+
+void TransferManager::onUserOffline(UserId user) {
+  // 1. The user's own watches die silently (no callbacks — the user left).
+  const auto userIt = userWatches_.find(user);
+  if (userIt != userWatches_.end()) {
+    const std::vector<WatchId> own = userIt->second;  // copy: eraseWatch mutates
+    for (const WatchId id : own) {
+      cancelWatchFlows(watches_.at(id));
+      eraseWatch(id);
+    }
+  }
+
+  // 2. The user's own prefetch downloads die silently.
+  std::vector<FlowId> ownPrefetches;
+  for (const auto& [flow, prefetch] : prefetches_) {
+    if (prefetch.user == user) ownPrefetches.push_back(flow);
+  }
+  for (const FlowId flow : ownPrefetches) {
+    ctx_.network().flows().cancelFlow(flow);
+    prefetches_.erase(flow);
+  }
+
+  // 3. Remote downloads this user was serving fail over to the server;
+  //    remote prefetches it was serving are dropped.
+  ctx_.network().flows().dropEndpointFlows(
+      ctx_.endpointOf(user),
+      [this](FlowId flow, std::uint64_t bytesDone) {
+        failOverToServer(flow, bytesDone);
+      });
+}
+
+void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
+  const auto prefetchIt = prefetches_.find(flow);
+  if (prefetchIt != prefetches_.end()) {
+    prefetches_.erase(prefetchIt);
+    return;
+  }
+  const auto flowIt = watchFlows_.find(flow);
+  if (flowIt == watchFlows_.end()) return;
+  const WatchId id = flowIt->second;
+  watchFlows_.erase(flowIt);
+  Watch& watch = watches_.at(id);
+
+  if (watch.phase == Phase::kFirstChunk && watch.flow == flow) {
+    watch.flow = FlowId::invalid();
+    creditPartialFirstChunk(watch, bytesDone);
+    const std::uint64_t remaining =
+        watch.phaseBytes > watch.phaseBytesDone
+            ? watch.phaseBytes - watch.phaseBytesDone
+            : 1;
+    beginFirstChunk(id, UserId::invalid(), remaining);
+    return;
+  }
+
+  // Body segment: restart the affected stripe from the server.
+  for (std::size_t i = 0; i < watch.segments.size(); ++i) {
+    Segment& segment = watch.segments[i];
+    if (segment.flow != flow) continue;
+    segment.flow = FlowId::invalid();
+    creditPartialSegment(watch, segment, bytesDone);
+    startSegmentFlow(id, i, UserId::invalid());
+    return;
+  }
+}
+
+}  // namespace st::vod

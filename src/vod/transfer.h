@@ -1,0 +1,146 @@
+// Video transfer lifecycle shared by all three systems.
+//
+// A watch is two fluid flows: the first chunk (whose completion starts
+// playback and defines the startup delay) and the body (remaining chunks,
+// downloaded in the background while the user watches). Prefetches are
+// single first-chunk flows. If a peer provider churns away mid-transfer the
+// remaining bytes are re-requested from the origin server; chunk credit is
+// split between the sources by bytes actually delivered.
+//
+// A user has at most one *foreground* watch (the video being played), but a
+// previous watch's body may still be trickling in when the next video
+// starts; such watches keep downloading in the background and still insert
+// into the cache on completion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "vod/context.h"
+
+namespace st::vod {
+
+class TransferManager {
+ public:
+  explicit TransferManager(SystemContext& ctx) : ctx_(ctx) {}
+  TransferManager(const TransferManager&) = delete;
+  TransferManager& operator=(const TransferManager&) = delete;
+
+  struct WatchRequest {
+    UserId user;
+    VideoId video;
+    // Peer provider; pass UserId::invalid() to download from the server.
+    UserId provider;
+    // True when the first chunk is already in the local cache (prefetch hit):
+    // playback starts immediately, only the body is fetched.
+    bool firstChunkCached = false;
+    // Additional providers holding the video; with config.bodySources > 1
+    // the body is striped across them (swarming extension). Ignored when
+    // bodySources == 1.
+    std::vector<UserId> extraProviders;
+    // When the user selected the video; startup delay is measured from here.
+    sim::SimTime requestTime = 0;
+    // Fired exactly once: either playback becomes ready (timedOut = false)
+    // or the first chunk timed out (timedOut = true, watch abandoned). May
+    // be null (prefetch-hit watches report playback through other means).
+    std::function<void(sim::SimTime delay, bool timedOut)> onPlaybackReady;
+    // Fired when the watch ends: complete = full video downloaded (cacheable).
+    // Not fired if the user goes offline mid-download.
+    std::function<void(bool complete)> onFinished;
+  };
+
+  // Starts a watch. Any still-running watch of the same user is demoted to a
+  // background download (it completes and caches normally).
+  void startWatch(WatchRequest request);
+
+  // Prefetch the first chunk of `video` from `provider` (or the server when
+  // invalid). `onComplete(fromPeer)` fires when the chunk lands; silently
+  // dropped if either side churns first.
+  void startPrefetch(UserId user, VideoId video, UserId provider,
+                     std::function<void(bool fromPeer)> onComplete);
+
+  // The user left: abort their downloads and prefetches, and fail over any
+  // remote downloads this user was serving to the origin server.
+  void onUserOffline(UserId user);
+
+  [[nodiscard]] std::size_t activeWatches() const { return watches_.size(); }
+  [[nodiscard]] std::size_t activePrefetches() const {
+    return prefetches_.size();
+  }
+
+ private:
+  enum class Phase { kFirstChunk, kBody };
+
+  // One striped slice of a body download (the whole body when the stripe
+  // width is 1).
+  struct Segment {
+    FlowId flow;
+    UserId provider;               // current source (may fail over to server)
+    std::uint64_t chunks = 0;      // chunk quota of this segment
+    std::uint64_t bytes = 0;       // byte size (chunks x chunkBytes)
+    std::uint64_t bytesDone = 0;   // delivered by earlier providers
+    std::uint64_t credited = 0;    // chunks already credited
+    bool done = false;
+  };
+
+  struct Watch {
+    UserId user;
+    VideoId video;
+    UserId provider;  // first-chunk source / primary body source
+    std::vector<UserId> extraProviders;
+    Phase phase = Phase::kFirstChunk;
+    sim::SimTime requestTime = 0;
+    sim::SimTime bodyStart = 0;  // when the body phase began (continuity)
+    FlowId flow;                 // first-chunk flow
+    std::vector<Segment> segments;  // body stripes
+    sim::EventHandle timeout;
+    std::uint64_t phaseBytes = 0;      // first-chunk phase bytes
+    std::uint64_t phaseBytesDone = 0;  // delivered by earlier providers
+    std::uint64_t phaseCredited = 0;   // chunks already credited (first chunk)
+    std::function<void(sim::SimTime, bool)> onPlaybackReady;
+    std::function<void(bool)> onFinished;
+  };
+
+  using WatchId = std::uint64_t;
+
+  [[nodiscard]] EndpointId sourceEndpoint(UserId provider) const;
+  void beginFirstChunk(WatchId id, UserId provider,
+                       std::uint64_t bytesRemaining);
+  // Splits the body into chunk-aligned segments across the watch's
+  // providers and starts their flows.
+  void beginBody(WatchId id);
+  void startSegmentFlow(WatchId id, std::size_t segmentIndex,
+                        UserId provider);
+  void finishWatch(WatchId id, bool complete);
+  void firstChunkComplete(WatchId id);
+  void segmentComplete(WatchId id, std::size_t segmentIndex);
+  void phaseTimeout(WatchId id);
+  void prefetchComplete(FlowId flow);
+  // Credits chunks delivered so far in the first-chunk phase.
+  void creditPartialFirstChunk(Watch& watch, std::uint64_t bytesDone);
+  void creditPartialSegment(const Watch& watch, Segment& segment,
+                            std::uint64_t bytesDone);
+  void failOverToServer(FlowId flow, std::uint64_t bytesDone);
+  void cancelWatchFlows(Watch& watch);
+  void eraseWatch(WatchId id);
+
+  struct Prefetch {
+    UserId user;
+    VideoId video;
+    bool fromPeer = false;
+    std::function<void(bool)> onComplete;
+  };
+
+  SystemContext& ctx_;
+  std::unordered_map<WatchId, Watch> watches_;
+  std::unordered_map<UserId, std::vector<WatchId>> userWatches_;
+  // Maps a flow to its watch; segment flows are found by scanning the
+  // watch's (small) segment list.
+  std::unordered_map<FlowId, WatchId> watchFlows_;
+  std::unordered_map<FlowId, Prefetch> prefetches_;
+  WatchId nextWatchId_ = 1;
+};
+
+}  // namespace st::vod

@@ -1,0 +1,63 @@
+// Per-node video cache.
+//
+// NetTube and SocialTube nodes cache every video watched and keep the cache
+// across sessions (§IV-A, §V). Separately, the prefetcher stores only the
+// *first chunk* of a bounded number of videos; a prefetched chunk graduates
+// to a full video after the body downloads.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strong_id.h"
+
+namespace st::vod {
+
+class VideoCache {
+ public:
+  // maxVideos = 0 means unbounded (the paper's setting: short videos make
+  // full retention cheap). Bounded caches evict FIFO.
+  explicit VideoCache(std::size_t maxVideos = 0,
+                      std::size_t prefetchSlots = 8);
+
+  // --- full videos -----------------------------------------------------------
+  void insert(VideoId video);
+  [[nodiscard]] bool contains(VideoId video) const {
+    return videos_.count(video) > 0;
+  }
+  [[nodiscard]] std::size_t size() const { return videos_.size(); }
+  [[nodiscard]] const std::vector<VideoId>& videoList() const {
+    return videoOrder_;
+  }
+  // Uniformly random cached video; invalid id when empty.
+  [[nodiscard]] VideoId randomVideo(Rng& rng) const;
+
+  // --- prefetched first chunks -------------------------------------------------
+  void insertFirstChunk(VideoId video);
+  [[nodiscard]] bool hasFirstChunk(VideoId video) const {
+    return prefetched_.count(video) > 0;
+  }
+  // Drops the prefetched chunk entry (it either graduated to a full video or
+  // was evicted logically).
+  void removeFirstChunk(VideoId video);
+  [[nodiscard]] std::size_t prefetchedCount() const {
+    return prefetched_.size();
+  }
+
+  void clear();
+
+ private:
+  void evictIfNeeded();
+
+  std::size_t maxVideos_;
+  std::size_t prefetchSlots_;
+  std::unordered_set<VideoId> videos_;
+  std::vector<VideoId> videoOrder_;  // insertion order; FIFO eviction
+  std::unordered_set<VideoId> prefetched_;
+  std::deque<VideoId> prefetchOrder_;
+};
+
+}  // namespace st::vod

@@ -1,0 +1,75 @@
+#include "exp/analytical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace st::exp::analytical {
+namespace {
+
+TEST(Fig15Model, SocialTubeOverheadIsConstantInVideosWatched) {
+  const auto series = fig15Series(10);
+  ASSERT_EQ(series.size(), 10u);
+  for (const OverheadPoint& point : series) {
+    EXPECT_DOUBLE_EQ(point.socialTube, series.front().socialTube);
+  }
+}
+
+TEST(Fig15Model, NetTubeOverheadGrowsLinearly) {
+  const auto series = fig15Series(10);
+  const double perVideo = series[0].netTube;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_NEAR(series[i].netTube, perVideo * static_cast<double>(i + 1),
+                1e-9);
+  }
+}
+
+TEST(Fig15Model, PaperConstantsCrossOverEarly) {
+  // u = 500, u_c = 5,000, u_t = 25,000: log(5000)+log(25000) ~ 18.6 links
+  // for SocialTube; NetTube passes it by m = 3 and is ~3x worse at m = 10.
+  const auto series = fig15Series(10);
+  EXPECT_NEAR(series.front().socialTube,
+              std::log(5'000.0) + std::log(25'000.0), 1e-9);
+  EXPECT_LT(series[0].netTube, series[0].socialTube);   // m=1: NetTube wins
+  EXPECT_GT(series[3].netTube, series[3].socialTube);   // m=4: crossed over
+  EXPECT_GT(series[9].netTube, 3.0 * series[9].socialTube);
+}
+
+TEST(PrefetchAccuracy, PaperSingleVideoExample) {
+  // §IV-B: 25 videos, s = 1, one prefetched video -> 26.2%.
+  EXPECT_NEAR(prefetchAccuracy(25, 1), 0.262, 0.001);
+}
+
+TEST(PrefetchAccuracy, PaperThreeToFourVideosExample) {
+  // §IV-B: "prefetch 3-4 videos during a single playback" -> 54.6%.
+  EXPECT_NEAR(prefetchAccuracy(25, 4), 0.546, 0.001);
+}
+
+TEST(PrefetchAccuracy, MonotoneInPrefetchCount) {
+  double prev = 0.0;
+  for (std::size_t m = 1; m <= 25; ++m) {
+    const double accuracy = prefetchAccuracy(25, m);
+    EXPECT_GT(accuracy, prev);
+    prev = accuracy;
+  }
+  EXPECT_DOUBLE_EQ(prefetchAccuracy(25, 25), 1.0);
+  EXPECT_DOUBLE_EQ(prefetchAccuracy(25, 100), 1.0);
+}
+
+TEST(PrefetchAccuracy, LargerChannelsAreHarder) {
+  EXPECT_GT(prefetchAccuracy(10, 3), prefetchAccuracy(100, 3));
+}
+
+TEST(PrefetchAccuracy, SteeperZipfIsEasier) {
+  EXPECT_GT(prefetchAccuracy(25, 3, 1.5), prefetchAccuracy(25, 3, 1.0));
+  EXPECT_GT(prefetchAccuracy(25, 3, 1.0), prefetchAccuracy(25, 3, 0.5));
+}
+
+TEST(OverheadFormulas, MatchDefinitions) {
+  EXPECT_DOUBLE_EQ(socialTubeOverhead(std::exp(1.0), std::exp(2.0)), 3.0);
+  EXPECT_DOUBLE_EQ(netTubeOverhead(5, std::exp(2.0)), 10.0);
+  EXPECT_DOUBLE_EQ(netTubeOverhead(0, 500.0), 0.0);
+}
+
+}  // namespace
+}  // namespace st::exp::analytical

@@ -1,0 +1,123 @@
+#include "vod/video_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace st::vod {
+namespace {
+
+constexpr VideoId kV1{1};
+constexpr VideoId kV2{2};
+constexpr VideoId kV3{3};
+constexpr VideoId kV4{4};
+
+TEST(VideoCache, InsertAndContains) {
+  VideoCache cache;
+  EXPECT_FALSE(cache.contains(kV1));
+  cache.insert(kV1);
+  EXPECT_TRUE(cache.contains(kV1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VideoCache, DuplicateInsertIsIdempotent) {
+  VideoCache cache;
+  cache.insert(kV1);
+  cache.insert(kV1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.videoList().size(), 1u);
+}
+
+TEST(VideoCache, UnboundedByDefault) {
+  VideoCache cache;
+  for (std::uint32_t i = 0; i < 1000; ++i) cache.insert(VideoId{i});
+  EXPECT_EQ(cache.size(), 1000u);
+}
+
+TEST(VideoCache, FifoEvictionWhenBounded) {
+  VideoCache cache(/*maxVideos=*/2);
+  cache.insert(kV1);
+  cache.insert(kV2);
+  cache.insert(kV3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.contains(kV1));  // oldest evicted
+  EXPECT_TRUE(cache.contains(kV2));
+  EXPECT_TRUE(cache.contains(kV3));
+}
+
+TEST(VideoCache, FirstChunkTracking) {
+  VideoCache cache;
+  EXPECT_FALSE(cache.hasFirstChunk(kV1));
+  cache.insertFirstChunk(kV1);
+  EXPECT_TRUE(cache.hasFirstChunk(kV1));
+  EXPECT_FALSE(cache.contains(kV1));  // only the first chunk, not the video
+  EXPECT_EQ(cache.prefetchedCount(), 1u);
+}
+
+TEST(VideoCache, FullVideoSubsumesFirstChunk) {
+  VideoCache cache;
+  cache.insertFirstChunk(kV1);
+  cache.insert(kV1);
+  EXPECT_TRUE(cache.contains(kV1));
+  EXPECT_FALSE(cache.hasFirstChunk(kV1));
+  EXPECT_EQ(cache.prefetchedCount(), 0u);
+}
+
+TEST(VideoCache, FirstChunkOfCachedVideoIsIgnored) {
+  VideoCache cache;
+  cache.insert(kV1);
+  cache.insertFirstChunk(kV1);
+  EXPECT_FALSE(cache.hasFirstChunk(kV1));
+}
+
+TEST(VideoCache, PrefetchSlotsEvictFifo) {
+  VideoCache cache(0, /*prefetchSlots=*/2);
+  cache.insertFirstChunk(kV1);
+  cache.insertFirstChunk(kV2);
+  cache.insertFirstChunk(kV3);
+  EXPECT_EQ(cache.prefetchedCount(), 2u);
+  EXPECT_FALSE(cache.hasFirstChunk(kV1));
+  EXPECT_TRUE(cache.hasFirstChunk(kV2));
+  EXPECT_TRUE(cache.hasFirstChunk(kV3));
+}
+
+TEST(VideoCache, RemoveFirstChunk) {
+  VideoCache cache;
+  cache.insertFirstChunk(kV1);
+  cache.insertFirstChunk(kV2);
+  cache.removeFirstChunk(kV1);
+  EXPECT_FALSE(cache.hasFirstChunk(kV1));
+  EXPECT_TRUE(cache.hasFirstChunk(kV2));
+  cache.removeFirstChunk(kV4);  // absent: no-op
+  EXPECT_EQ(cache.prefetchedCount(), 1u);
+}
+
+TEST(VideoCache, RandomVideoFromCache) {
+  VideoCache cache;
+  Rng rng(1);
+  EXPECT_FALSE(cache.randomVideo(rng).valid());
+  cache.insert(kV1);
+  cache.insert(kV2);
+  cache.insert(kV3);
+  std::set<VideoId> seen;
+  for (int i = 0; i < 100; ++i) {
+    const VideoId v = cache.randomVideo(rng);
+    ASSERT_TRUE(cache.contains(v));
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three eventually sampled
+}
+
+TEST(VideoCache, ClearResetsEverything) {
+  VideoCache cache;
+  cache.insert(kV1);
+  cache.insertFirstChunk(kV2);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.prefetchedCount(), 0u);
+  EXPECT_FALSE(cache.contains(kV1));
+  EXPECT_FALSE(cache.hasFirstChunk(kV2));
+}
+
+}  // namespace
+}  // namespace st::vod

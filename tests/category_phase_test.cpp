@@ -1,0 +1,117 @@
+// The higher-level (category) search phase of Algorithm 1: when a video's
+// own channel overlay is empty, the query travels over inter-links into
+// sibling channels of the same category and is answered by a node there
+// that cached the video earlier.
+#include <gtest/gtest.h>
+
+#include "core/socialtube.h"
+#include "harness.h"
+
+namespace st::core {
+namespace {
+
+using st::testing::Stack;
+
+// Hand-built catalog: one category with two channels. Channel 0 ("ghost")
+// has no subscribers at all; channel 1 has everyone. Cross-channel interest
+// is exactly the situation the category cluster exists for.
+trace::Catalog twoChannelCatalog() {
+  trace::Catalog catalog;
+  const CategoryId cat = catalog.addCategory("Science");
+  for (int u = 0; u < 6; ++u) catalog.addUser();
+  const ChannelId ghost = catalog.addChannel(UserId{0}, {cat});
+  const ChannelId home = catalog.addChannel(UserId{1}, {cat});
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    const VideoId ghostVideo = catalog.addVideo(ghost, 100.0, 0);
+    catalog.video(ghostVideo).views = 100.0 / (v + 1);
+    catalog.video(ghostVideo).rankInChannel = v;
+    const VideoId homeVideo = catalog.addVideo(home, 100.0, 0);
+    catalog.video(homeVideo).views = 100.0 / (v + 1);
+    catalog.video(homeVideo).rankInChannel = v;
+  }
+  catalog.channel(ghost).viewFrequency = 10.0;
+  catalog.channel(home).viewFrequency = 100.0;
+  for (std::uint32_t u = 0; u < 6; ++u) {
+    catalog.subscribe(UserId{u}, home);  // nobody subscribes to `ghost`
+  }
+  return catalog;
+}
+
+class CategoryPhaseTest : public ::testing::Test {
+ protected:
+  CategoryPhaseTest()
+      : stack_(twoChannelCatalog()),
+        system_(stack_.ctx(), stack_.transfers()) {
+    system_.setPlaybackCallback(
+        [this](UserId, VideoId, sim::SimTime, bool) { ++playbacks_; });
+  }
+
+  void login(UserId user) {
+    stack_.ctx().setOnline(user, true);
+    system_.onLogin(user);
+  }
+  void watch(UserId user, VideoId video) {
+    system_.requestVideo(user, video);
+    stack_.settle();
+  }
+  VideoId ghostVideo(std::size_t rank) {
+    return stack_.catalog().channel(ChannelId{0}).videos[rank];
+  }
+  VideoId homeVideo(std::size_t rank) {
+    return stack_.catalog().channel(ChannelId{1}).videos[rank];
+  }
+
+  Stack stack_;
+  SocialTubeSystem system_;
+  int playbacks_ = 0;
+};
+
+TEST_F(CategoryPhaseTest, SiblingChannelMemberAnswersViaInterLinks) {
+  const UserId alice{0};
+  const UserId bob{1};
+  // Alice grabs a ghost-channel video (server-served; she becomes the only
+  // node ever to hold it) and then returns to the home channel, dropping
+  // her temporary ghost membership.
+  login(alice);
+  watch(alice, ghostVideo(3));
+  watch(alice, homeVideo(3));
+  ASSERT_TRUE(system_.cache(alice).contains(ghostVideo(3)));
+  ASSERT_EQ(system_.currentChannel(alice), ChannelId{1});
+  ASSERT_FALSE(system_.directory().contains(alice, ChannelId{0}));
+
+  // Bob requests the same ghost video: the ghost overlay is empty, so the
+  // channel phase has nothing; the category phase reaches Alice in the
+  // sibling (home) channel, whose cache holds the video.
+  login(bob);
+  const auto serverBefore = stack_.metrics().serverFallbacks();
+  watch(bob, ghostVideo(3));
+  EXPECT_EQ(stack_.metrics().categoryHits(), 1u);
+  EXPECT_EQ(stack_.metrics().serverFallbacks(), serverBefore);
+  EXPECT_GT(stack_.metrics().peerChunks(bob), 0u);
+  EXPECT_TRUE(system_.cache(bob).contains(ghostVideo(3)));
+}
+
+TEST_F(CategoryPhaseTest, CategoryHitCreatesInterLink) {
+  const UserId alice{0};
+  const UserId bob{1};
+  login(alice);
+  watch(alice, ghostVideo(3));
+  watch(alice, homeVideo(3));
+  login(bob);
+  watch(bob, ghostVideo(3));
+  // Bob connected to the provider found in the category phase.
+  const auto& inter = system_.interNeighbors(bob);
+  EXPECT_NE(std::find(inter.begin(), inter.end(), alice), inter.end());
+}
+
+TEST_F(CategoryPhaseTest, EmptyCategoryFallsBackToServer) {
+  const UserId bob{1};
+  login(bob);
+  const auto before = stack_.metrics().serverFallbacks();
+  watch(bob, ghostVideo(2));  // nobody holds it, nobody in ghost overlay
+  EXPECT_EQ(stack_.metrics().serverFallbacks(), before + 1);
+  EXPECT_EQ(playbacks_, 1);  // the server still delivered it
+}
+
+}  // namespace
+}  // namespace st::core

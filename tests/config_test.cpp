@@ -1,0 +1,63 @@
+#include "exp/config.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace st::exp {
+namespace {
+
+TEST(Config, SimulationDefaultsMatchTableOne) {
+  const ExperimentConfig config = ExperimentConfig::simulationDefaults();
+  EXPECT_EQ(config.mode, Mode::kSimulation);
+  EXPECT_EQ(config.trace.numUsers, 10'000u);
+  EXPECT_EQ(config.trace.numVideos, 10'121u);
+  EXPECT_EQ(config.trace.numChannels, 545u);
+  EXPECT_EQ(config.vod.sessionsPerUser, 25u);
+  EXPECT_EQ(config.vod.videosPerSession, 10u);
+  EXPECT_EQ(config.duration, 3 * sim::kDay);
+  EXPECT_EQ(config.vod.innerLinks, 5u);   // N_l
+  EXPECT_EQ(config.vod.interLinks, 10u);  // N_h
+  EXPECT_EQ(config.vod.ttl, 2);
+  EXPECT_EQ(config.vod.chunksPerVideo, 20u);
+  EXPECT_DOUBLE_EQ(config.vod.bitrateBps, 320'000.0);
+  EXPECT_EQ(config.vod.probeInterval, 10 * sim::kMinute);
+}
+
+TEST(Config, PlanetLabDefaultsMatchSectionFive) {
+  const ExperimentConfig config = ExperimentConfig::planetLabDefaults();
+  EXPECT_EQ(config.mode, Mode::kPlanetLab);
+  EXPECT_EQ(config.trace.numUsers, 250u);
+  EXPECT_EQ(config.trace.numCategories, 6u);
+  EXPECT_EQ(config.trace.numChannels, 60u);
+  EXPECT_EQ(config.trace.numVideos, 2'400u);
+  EXPECT_EQ(config.vod.sessionsPerUser, 50u);
+  EXPECT_DOUBLE_EQ(config.vod.offTimeMeanSeconds, 120.0);
+  EXPECT_DOUBLE_EQ(config.vod.serverUploadBps, 5'000'000.0);  // Table I
+}
+
+TEST(Config, ScaledToAdjustsServerBandwidthProportionally) {
+  const ExperimentConfig base = ExperimentConfig::simulationDefaults();
+  const ExperimentConfig scaled = base.scaledTo(1'000, 5);
+  EXPECT_EQ(scaled.trace.numUsers, 1'000u);
+  EXPECT_EQ(scaled.vod.sessionsPerUser, 5u);
+  EXPECT_DOUBLE_EQ(scaled.vod.serverUploadBps, 20'000.0 * 1'000.0);
+  // Ratios preserved in the catalog shape.
+  EXPECT_NEAR(static_cast<double>(scaled.trace.numChannels),
+              545.0 / 10.0, 6.0);
+}
+
+TEST(Config, SeedPropagatesToTrace) {
+  const ExperimentConfig config = ExperimentConfig::simulationDefaults(99);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.trace.seed, 99u);
+}
+
+TEST(Config, SystemNames) {
+  EXPECT_STREQ(systemName(SystemKind::kSocialTube), "SocialTube");
+  EXPECT_STREQ(systemName(SystemKind::kNetTube), "NetTube");
+  EXPECT_STREQ(systemName(SystemKind::kPaVod), "PA-VoD");
+}
+
+}  // namespace
+}  // namespace st::exp

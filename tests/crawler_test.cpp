@@ -1,0 +1,124 @@
+#include "trace/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "trace/generator.h"
+#include "trace/stats.h"
+
+namespace st::trace {
+namespace {
+
+GeneratorParams params(std::uint64_t seed = 1) {
+  GeneratorParams p;
+  p.seed = seed;
+  p.numUsers = 600;
+  p.numChannels = 50;
+  p.numVideos = 1'200;
+  return p;
+}
+
+TEST(Crawler, VisitsAreUniqueUsers) {
+  const Catalog catalog = generateTrace(params());
+  const CrawlResult result = crawl(catalog, {.seed = 1, .maxUsers = 0});
+  const std::set<UserId> unique(result.users.begin(), result.users.end());
+  EXPECT_EQ(unique.size(), result.users.size());
+  EXPECT_GT(result.users.size(), 10u);
+}
+
+TEST(Crawler, CollectsVideosOfVisitedOwners) {
+  const Catalog catalog = generateTrace(params());
+  const CrawlResult result = crawl(catalog, {.seed = 2, .maxUsers = 0});
+  std::size_t expectedVideos = 0;
+  for (const ChannelId channelId : result.channels) {
+    expectedVideos += catalog.channel(channelId).videos.size();
+  }
+  EXPECT_EQ(result.videos.size(), expectedVideos);
+  // Every collected channel's owner was visited.
+  const std::set<UserId> visited(result.users.begin(), result.users.end());
+  for (const ChannelId channelId : result.channels) {
+    EXPECT_TRUE(visited.count(catalog.channel(channelId).owner) > 0);
+  }
+}
+
+TEST(Crawler, BudgetTruncatesBfs) {
+  const Catalog catalog = generateTrace(params());
+  const CrawlResult full = crawl(catalog, {.seed = 3, .maxUsers = 0});
+  ASSERT_GT(full.users.size(), 20u);
+  const CrawlResult truncated = crawl(catalog, {.seed = 3, .maxUsers = 10});
+  EXPECT_EQ(truncated.users.size(), 10u);
+  EXPECT_GT(truncated.frontierTruncated, 0u);
+  // Truncated crawl is a prefix of the full crawl (same seed, same BFS).
+  for (std::size_t i = 0; i < truncated.users.size(); ++i) {
+    EXPECT_EQ(truncated.users[i], full.users[i]);
+  }
+}
+
+TEST(Crawler, DeterministicInSeed) {
+  const Catalog catalog = generateTrace(params());
+  const CrawlResult a = crawl(catalog, {.seed = 7, .maxUsers = 0});
+  const CrawlResult b = crawl(catalog, {.seed = 7, .maxUsers = 0});
+  EXPECT_EQ(a.users, b.users);
+  EXPECT_EQ(a.videos, b.videos);
+}
+
+TEST(Crawler, OnlyFollowsSubscriptionOwnerLinks) {
+  // Hand-built catalog: u0 -> owner(u1) -> owner(u2); u3 disconnected owner.
+  Catalog catalog;
+  const CategoryId cat = catalog.addCategory("C");
+  const UserId u0 = catalog.addUser();
+  const UserId u1 = catalog.addUser();
+  const UserId u2 = catalog.addUser();
+  const UserId u3 = catalog.addUser();
+  const ChannelId c1 = catalog.addChannel(u1, {cat});
+  const ChannelId c2 = catalog.addChannel(u2, {cat});
+  catalog.addChannel(u3, {cat});  // unreachable island
+  catalog.addVideo(c1, 100.0, 1);
+  catalog.subscribe(u0, c1);
+  catalog.subscribe(u1, c2);
+
+  // Any seed starting inside the connected component {u0,u1,u2} must not
+  // reach u3; a seed on u3 stays on u3. Try several seeds and check closure.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const CrawlResult result = crawl(catalog, {.seed = seed, .maxUsers = 0});
+    const std::set<UserId> visited(result.users.begin(), result.users.end());
+    if (visited.count(u3)) {
+      EXPECT_EQ(visited.size(), 1u);  // u3 is isolated: nothing else reached
+    } else {
+      EXPECT_FALSE(visited.count(u3));
+    }
+  }
+}
+
+TEST(Crawler, SamplePreservesViewDistributionShape) {
+  // The paper's justification for BFS sampling: distribution shapes hold.
+  const Catalog catalog = generateTrace(params(11));
+  const CrawlResult result = crawl(catalog, {.seed = 11, .maxUsers = 0});
+  ASSERT_GT(result.videos.size(), 100u);
+
+  SampleSet sampleViews;
+  for (const VideoId video : result.videos) {
+    sampleViews.add(catalog.video(video).views);
+  }
+  const TraceStats stats(catalog);
+  const SampleSet fullViews = stats.viewsPerVideo();
+  // Heavy tail present in both: p90/p50 ratios within an order of magnitude.
+  const double fullRatio =
+      fullViews.percentile(90) / std::max(fullViews.percentile(50), 1.0);
+  const double sampleRatio =
+      sampleViews.percentile(90) / std::max(sampleViews.percentile(50), 1.0);
+  EXPECT_GT(sampleRatio, fullRatio / 10.0);
+  EXPECT_LT(sampleRatio, fullRatio * 10.0);
+}
+
+TEST(Crawler, EmptyCatalog) {
+  const Catalog catalog;
+  const CrawlResult result = crawl(catalog, {.seed = 1, .maxUsers = 0});
+  EXPECT_TRUE(result.users.empty());
+  EXPECT_TRUE(result.videos.empty());
+}
+
+}  // namespace
+}  // namespace st::trace

@@ -1,0 +1,70 @@
+#include "exp/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace st::exp {
+namespace {
+
+ExperimentResult sampleResult() {
+  ExperimentResult result;
+  result.system = "SocialTube";
+  result.mode = Mode::kSimulation;
+  result.watches = 100;
+  result.cacheHits = 10;
+  result.peerChunks = 800;
+  result.serverChunks = 200;
+  result.normalizedPeerBandwidth.add(0.5);
+  result.normalizedPeerBandwidth.add(0.9);
+  result.startupDelayMs.add(120.0);
+  result.linksByVideosWatched.resize(3);
+  result.linksByVideosWatched[2].add(14.0);
+  result.serverRegistrations.add(1000.0);
+  result.serverRegistrations.add(3000.0);
+  result.bodyCompletions = 50;
+  result.rebuffers = 5;
+  return result;
+}
+
+TEST(Csv, HeaderAndRowHaveSameColumnCount) {
+  const auto count = [](const std::string& line) {
+    return std::count(line.begin(), line.end(), ',');
+  };
+  EXPECT_EQ(count(csvHeader()), count(csvRow("label", sampleResult())));
+}
+
+TEST(Csv, RowContainsKeyValues) {
+  const std::string row = csvRow("sweep1", sampleResult());
+  EXPECT_NE(row.find("sweep1,SocialTube,simulation,100,10"),
+            std::string::npos);
+  EXPECT_NE(row.find(",0.8,"), std::string::npos);  // peer fraction
+  EXPECT_NE(row.find(",0.1"), std::string::npos);   // rebuffer rate
+}
+
+TEST(Csv, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/st_results.csv";
+  ASSERT_TRUE(writeResultsCsv(path, {{"a", sampleResult()},
+                                     {"b", sampleResult()}}));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, csvHeader());
+  int rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToInvalidPathFails) {
+  EXPECT_FALSE(writeResultsCsv("/nonexistent-dir-xyz/foo.csv",
+                               {{"a", sampleResult()}}));
+}
+
+}  // namespace
+}  // namespace st::exp

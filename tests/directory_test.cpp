@@ -1,0 +1,180 @@
+#include "baselines/video_directory.h"
+#include "core/socialtube.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace st {
+namespace {
+
+constexpr UserId kU0{0};
+constexpr UserId kU1{1};
+constexpr UserId kU2{2};
+constexpr UserId kU3{3};
+constexpr ChannelId kC0{0};
+constexpr ChannelId kC1{1};
+constexpr VideoId kV0{0};
+constexpr VideoId kV1{1};
+
+// SubscriberDirectory = MembershipDirectory<ChannelId>: the SocialTube
+// server state (online users registered under each subscribed/watched
+// channel; multi-membership).
+TEST(SubscriberDirectory, AddAndLookup) {
+  core::SubscriberDirectory directory;
+  directory.add(kU0, kC0);
+  directory.add(kU1, kC0);
+  EXPECT_EQ(directory.memberCount(kC0), 2u);
+  EXPECT_TRUE(directory.contains(kU0, kC0));
+  EXPECT_FALSE(directory.contains(kU2, kC0));
+}
+
+TEST(SubscriberDirectory, MultiMembership) {
+  core::SubscriberDirectory directory;
+  directory.add(kU0, kC0);
+  directory.add(kU0, kC1);  // a user is listed under all its channels
+  EXPECT_EQ(directory.memberCount(kC0), 1u);
+  EXPECT_EQ(directory.memberCount(kC1), 1u);
+  EXPECT_EQ(directory.totalRegistrations(), 2u);
+}
+
+TEST(SubscriberDirectory, ReAddSameChannelIsIdempotent) {
+  core::SubscriberDirectory directory;
+  directory.add(kU0, kC0);
+  directory.add(kU0, kC0);
+  EXPECT_EQ(directory.memberCount(kC0), 1u);
+}
+
+TEST(SubscriberDirectory, RemoveFixesSwappedPositions) {
+  core::SubscriberDirectory directory;
+  directory.add(kU0, kC0);
+  directory.add(kU1, kC0);
+  directory.add(kU2, kC0);
+  directory.remove(kU0, kC0);  // back member (kU2) swaps into position 0
+  EXPECT_EQ(directory.memberCount(kC0), 2u);
+  directory.remove(kU2, kC0);  // must find kU2 at its updated position
+  EXPECT_EQ(directory.memberCount(kC0), 1u);
+  EXPECT_TRUE(directory.contains(kU1, kC0));
+}
+
+TEST(SubscriberDirectory, RemoveAllClearsEveryChannel) {
+  core::SubscriberDirectory directory;
+  directory.add(kU0, kC0);
+  directory.add(kU0, kC1);
+  directory.add(kU1, kC0);
+  directory.removeAll(kU0);
+  EXPECT_FALSE(directory.contains(kU0, kC0));
+  EXPECT_FALSE(directory.contains(kU0, kC1));
+  EXPECT_TRUE(directory.contains(kU1, kC0));
+  EXPECT_EQ(directory.totalRegistrations(), 1u);
+}
+
+TEST(SubscriberDirectory, RemoveUnregisteredIsNoop) {
+  core::SubscriberDirectory directory;
+  directory.remove(kU0, kC0);
+  EXPECT_EQ(directory.memberCount(kC0), 0u);
+}
+
+TEST(SubscriberDirectory, RandomMembersExcludesRequesterAndIsDistinct) {
+  core::SubscriberDirectory directory;
+  for (std::uint32_t i = 0; i < 10; ++i) directory.add(UserId{i}, kC0);
+  Rng rng(1);
+  for (int round = 0; round < 50; ++round) {
+    const auto picked = directory.randomMembers(kC0, 4, kU3, rng);
+    EXPECT_EQ(picked.size(), 4u);
+    const std::set<UserId> unique(picked.begin(), picked.end());
+    EXPECT_EQ(unique.size(), picked.size());
+    EXPECT_EQ(unique.count(kU3), 0u);
+  }
+}
+
+TEST(SubscriberDirectory, RandomMembersSmallOverlayReturnsEveryoneElse) {
+  core::SubscriberDirectory directory;
+  directory.add(kU0, kC0);
+  directory.add(kU1, kC0);
+  Rng rng(2);
+  const auto picked = directory.randomMembers(kC0, 5, kU0, rng);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], kU1);
+}
+
+TEST(SubscriberDirectory, RandomMembersEmptyOverlay) {
+  core::SubscriberDirectory directory;
+  Rng rng(3);
+  EXPECT_TRUE(directory.randomMembers(kC0, 3, kU0, rng).empty());
+}
+
+TEST(VideoDirectory, AddRemoveAndCounts) {
+  baselines::VideoDirectory directory;
+  directory.add(kU0, kV0);
+  directory.add(kU1, kV0);
+  directory.add(kU0, kV1);
+  EXPECT_EQ(directory.memberCount(kV0), 2u);
+  EXPECT_EQ(directory.memberCount(kV1), 1u);
+  EXPECT_EQ(directory.totalRegistrations(), 3u);
+  EXPECT_TRUE(directory.contains(kU0, kV0));
+  directory.remove(kU0, kV0);
+  EXPECT_FALSE(directory.contains(kU0, kV0));
+  EXPECT_EQ(directory.totalRegistrations(), 2u);
+}
+
+TEST(VideoDirectory, DuplicateAddIsIdempotent) {
+  baselines::VideoDirectory directory;
+  directory.add(kU0, kV0);
+  directory.add(kU0, kV0);
+  EXPECT_EQ(directory.memberCount(kV0), 1u);
+  EXPECT_EQ(directory.totalRegistrations(), 1u);
+}
+
+TEST(VideoDirectory, RemoveAllClearsEveryRegistration) {
+  baselines::VideoDirectory directory;
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    directory.add(kU0, VideoId{v});
+    directory.add(kU1, VideoId{v});
+  }
+  directory.removeAll(kU0);
+  EXPECT_EQ(directory.totalRegistrations(), 20u);
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    EXPECT_FALSE(directory.contains(kU0, VideoId{v}));
+    EXPECT_TRUE(directory.contains(kU1, VideoId{v}));
+  }
+  directory.removeAll(kU0);  // already gone: no-op
+  EXPECT_EQ(directory.totalRegistrations(), 20u);
+}
+
+TEST(VideoDirectory, RemoveAbsentPairIsNoop) {
+  baselines::VideoDirectory directory;
+  directory.add(kU0, kV0);
+  directory.remove(kU1, kV0);
+  directory.remove(kU0, kV1);
+  EXPECT_EQ(directory.totalRegistrations(), 1u);
+}
+
+TEST(VideoDirectory, RandomMembersBehaviour) {
+  baselines::VideoDirectory directory;
+  for (std::uint32_t i = 0; i < 12; ++i) directory.add(UserId{i}, kV0);
+  Rng rng(4);
+  const auto picked = directory.randomMembers(kV0, 5, kU0, rng);
+  EXPECT_EQ(picked.size(), 5u);
+  const std::set<UserId> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 5u);
+  EXPECT_EQ(unique.count(kU0), 0u);
+  EXPECT_TRUE(directory.randomMembers(kV1, 3, kU0, rng).empty());
+}
+
+TEST(VideoDirectory, SwapRemoveKeepsPositionsConsistent) {
+  baselines::VideoDirectory directory;
+  for (std::uint32_t i = 0; i < 6; ++i) directory.add(UserId{i}, kV0);
+  // Remove from the middle repeatedly; every removal must succeed cleanly.
+  directory.remove(kU0, kV0);
+  directory.remove(kU3, kV0);
+  directory.remove(UserId{5}, kV0);
+  EXPECT_EQ(directory.memberCount(kV0), 3u);
+  EXPECT_TRUE(directory.contains(kU1, kV0));
+  EXPECT_TRUE(directory.contains(kU2, kV0));
+  EXPECT_TRUE(directory.contains(UserId{4}, kV0));
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,154 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace st {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfDistribution zipf(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, CdfIsMonotoneAndEndsAtOne) {
+  const ZipfDistribution zipf(50, 0.8);
+  double prev = 0.0;
+  for (std::size_t k = 0; k < 50; ++k) {
+    ASSERT_GE(zipf.cdf(k), prev);
+    prev = zipf.cdf(k);
+  }
+  EXPECT_DOUBLE_EQ(zipf.cdf(49), 1.0);
+}
+
+TEST(Zipf, NormalizerIsHarmonicNumberForExponentOne) {
+  const ZipfDistribution zipf(25, 1.0);
+  double h25 = 0.0;
+  for (int k = 1; k <= 25; ++k) h25 += 1.0 / k;
+  EXPECT_NEAR(zipf.normalizer(), h25, 1e-9);
+}
+
+TEST(Zipf, TopRankProbabilityMatchesPaperExample) {
+  // §IV-B: with 25 videos and s = 1, the most popular video captures 26.2%.
+  const ZipfDistribution zipf(25, 1.0);
+  EXPECT_NEAR(zipf.pmf(0), 0.262, 0.001);
+}
+
+TEST(Zipf, SamplingFrequenciesTrackPmf) {
+  const ZipfDistribution zipf(10, 1.0);
+  Rng rng(100);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    const double expected = zipf.pmf(k) * n;
+    EXPECT_NEAR(counts[k], expected, expected * 0.08 + 30);
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  const ZipfDistribution zipf(1, 1.0);
+  Rng rng(1);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.pmf(0), 1.0);
+}
+
+TEST(Zipf, HigherExponentIsMoreSkewed) {
+  const ZipfDistribution flat(20, 0.5);
+  const ZipfDistribution steep(20, 2.0);
+  EXPECT_GT(steep.pmf(0), flat.pmf(0));
+  EXPECT_LT(steep.pmf(19), flat.pmf(19));
+}
+
+TEST(WeightedSampler, MatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const WeightedSampler sampler{std::span<const double>(weights)};
+  EXPECT_EQ(sampler.size(), 4u);
+  EXPECT_DOUBLE_EQ(sampler.totalWeight(), 10.0);
+  Rng rng(200);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0 * n;
+    EXPECT_NEAR(counts[i], expected, expected * 0.06 + 30);
+  }
+}
+
+TEST(WeightedSampler, ZeroWeightNeverSampled) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 1.0};
+  const WeightedSampler sampler{std::span<const double>(weights)};
+  Rng rng(300);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = sampler.sample(rng);
+    ASSERT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(WeightedSampler, SingleBucket) {
+  const std::vector<double> weights = {7.5};
+  const WeightedSampler sampler{std::span<const double>(weights)};
+  Rng rng(301);
+  EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(WeightedSampler, ExtremeSkew) {
+  const std::vector<double> weights = {1e-8, 1e8};
+  const WeightedSampler sampler{std::span<const double>(weights)};
+  Rng rng(302);
+  int zero = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (sampler.sample(rng) == 0) ++zero;
+  }
+  EXPECT_LE(zero, 1);
+}
+
+TEST(WeightedSampler, EmptyIsEmpty) {
+  const WeightedSampler sampler;
+  EXPECT_TRUE(sampler.empty());
+  EXPECT_EQ(sampler.size(), 0u);
+}
+
+TEST(SampleDistinct, ReturnsDistinctValuesInRange) {
+  Rng rng(400);
+  const auto result = sampleDistinct(rng, 1000, 50);
+  EXPECT_EQ(result.size(), 50u);
+  const std::set<std::size_t> unique(result.begin(), result.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (const std::size_t v : result) ASSERT_LT(v, 1000u);
+}
+
+TEST(SampleDistinct, FullRange) {
+  Rng rng(401);
+  const auto result = sampleDistinct(rng, 20, 20);
+  const std::set<std::size_t> unique(result.begin(), result.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(SampleDistinct, ZeroCount) {
+  Rng rng(402);
+  EXPECT_TRUE(sampleDistinct(rng, 10, 0).empty());
+}
+
+TEST(SampleDistinct, DenseCaseIsUnbiased) {
+  // Drawing half the range many times: each index should appear ~half the
+  // time (exercises the partial-Fisher-Yates branch).
+  Rng rng(403);
+  std::vector<int> counts(10, 0);
+  const int rounds = 20000;
+  for (int r = 0; r < rounds; ++r) {
+    for (const std::size_t v : sampleDistinct(rng, 10, 5)) ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, rounds / 2.0, rounds * 0.03);
+  }
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,160 @@
+// Tests for the extension features: gossip repair, redundancy metric,
+// playback continuity, server-state accounting, and release-driven runs.
+#include <gtest/gtest.h>
+
+#include "baselines/nettube.h"
+#include "core/socialtube.h"
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "harness.h"
+#include "trace/generator.h"
+
+namespace st {
+namespace {
+
+using st::testing::Stack;
+using st::testing::miniCatalog;
+
+exp::ExperimentConfig smallConfig(std::uint64_t seed = 1) {
+  exp::ExperimentConfig config = exp::ExperimentConfig::simulationDefaults(seed);
+  config = config.scaledTo(400, 4);
+  config.duration = 2 * sim::kDay;
+  return config;
+}
+
+TEST(GossipRepair, RepairsLinksWithoutServerAfterAbruptChurn) {
+  vod::VodConfig config;
+  config.gossipRepair = true;
+  Stack stack(miniCatalog(10, 1, 1, 8), config);
+  core::SocialTubeSystem system(stack.ctx(), stack.transfers());
+  system.setPlaybackCallback([](UserId, VideoId, sim::SimTime, bool) {});
+
+  // Everyone watches in the same channel to build a connected overlay.
+  const VideoId video = stack.catalog().channel(ChannelId{0}).videos[7];
+  for (std::uint32_t u = 0; u < 10; ++u) {
+    stack.ctx().setOnline(UserId{u}, true);
+    system.onLogin(UserId{u});
+    system.requestVideo(UserId{u}, video);
+    stack.settle();
+  }
+  const UserId victim{0};
+  ASSERT_GT(system.linkCount(victim), 0u);
+  // One neighbor of the victim dies abruptly.
+  const UserId dead = system.innerNeighbors(victim).front();
+  stack.ctx().setOnline(dead, false);
+  stack.transfers().onUserOffline(dead);
+  system.onLogout(dead, /*graceful=*/false);
+  // After a probe round the victim repaired via gossip.
+  stack.settle(stack.config().probeInterval + 2 * sim::kSecond);
+  EXPECT_GT(stack.metrics().repairs(), 0u);
+  for (const UserId n : system.innerNeighbors(victim)) {
+    EXPECT_TRUE(stack.ctx().isOnline(n));
+  }
+}
+
+TEST(GossipRepair, FullRunKeepsQualitativeBehaviour) {
+  exp::ExperimentConfig config = smallConfig(3);
+  config.vod.abruptDepartureFraction = 0.5;
+  const trace::Catalog catalog = trace::generateTrace(config.trace);
+  config.vod.gossipRepair = false;
+  const auto server =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, &catalog);
+  config.vod.gossipRepair = true;
+  const auto gossip =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, &catalog);
+  // Both modes keep the overlay serving; gossip stays within a reasonable
+  // band of the server-assisted baseline.
+  EXPECT_GT(gossip.aggregatePeerFraction(),
+            server.aggregatePeerFraction() - 0.15);
+  EXPECT_GT(gossip.repairs, 0u);
+}
+
+TEST(RedundantLinks, NetTubeAccumulatesThemSocialTubeDoesNot) {
+  const auto config = smallConfig(5);
+  const trace::Catalog catalog = trace::generateTrace(config.trace);
+  const auto social =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, &catalog);
+  const auto nettube =
+      exp::runExperiment(config, exp::SystemKind::kNetTube, &catalog);
+  EXPECT_DOUBLE_EQ(social.redundantLinks.mean(), 0.0);
+  EXPECT_GT(nettube.redundantLinks.mean(), 0.0);
+}
+
+TEST(ServerState, SocialTubeTracksLessThanNetTube) {
+  // NetTube's per-video registrations grow with every video ever cached, so
+  // the §IV-A gap needs a few sessions of history to emerge.
+  exp::ExperimentConfig config = smallConfig(7);
+  config.vod.sessionsPerUser = 12;
+  const trace::Catalog catalog = trace::generateTrace(config.trace);
+  const auto social =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, &catalog);
+  const auto nettube =
+      exp::runExperiment(config, exp::SystemKind::kNetTube, &catalog);
+  ASSERT_GT(social.serverRegistrations.count(), 0u);
+  // §IV-A: per-channel registrations << per-video registrations.
+  EXPECT_LT(social.serverRegistrations.max(),
+            nettube.serverRegistrations.max());
+}
+
+TEST(Continuity, BodiesMostlyArriveInTimeOnCleanNetwork) {
+  const auto config = smallConfig(9);
+  const auto result =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube);
+  ASSERT_GT(result.bodyCompletions, 0u);
+  EXPECT_LT(result.rebufferRate(), 0.5);
+}
+
+TEST(Releases, FullRunDeliversFeedsAndStaysSound) {
+  exp::ExperimentConfig config = smallConfig(11);
+  config.releases.perChannel = 1;
+  config.releases.feedWatchProbability = 0.8;
+  const auto result =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube);
+  EXPECT_GT(result.releasesFired, 0u);
+  EXPECT_GT(result.feedNotifications, 0u);
+  EXPECT_GT(result.feedWatches, 0u);
+  EXPECT_LE(result.feedWatches, result.feedNotifications);
+  // The run completes normally.
+  EXPECT_EQ(result.sessionsCompleted, 400u * 4u);
+}
+
+TEST(Abandonment, ShortensPaVodProviderLifetimes) {
+  exp::ExperimentConfig config = smallConfig(17);
+  const trace::Catalog catalog = trace::generateTrace(config.trace);
+  config.vod.abandonProbability = 0.0;
+  const auto patient =
+      exp::runExperiment(config, exp::SystemKind::kPaVod, &catalog);
+  config.vod.abandonProbability = 0.8;
+  const auto fickle =
+      exp::runExperiment(config, exp::SystemKind::kPaVod, &catalog);
+  // Fewer concurrent full-copy watchers -> fewer peer-served requests.
+  EXPECT_LT(fickle.aggregatePeerFraction(),
+            patient.aggregatePeerFraction());
+  // The run stays sound: every watch still resolves.
+  EXPECT_EQ(fickle.watches, patient.watches);
+}
+
+TEST(Abandonment, CacheBasedSystemsAreRobustToIt) {
+  exp::ExperimentConfig config = smallConfig(19);
+  const trace::Catalog catalog = trace::generateTrace(config.trace);
+  config.vod.abandonProbability = 0.5;
+  const auto social =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, &catalog);
+  // Abandoned videos still finish downloading in the background and get
+  // cached, so availability holds up.
+  EXPECT_GT(social.aggregatePeerFraction(), 0.5);
+  EXPECT_EQ(social.sessionsCompleted, 400u * 4u);
+}
+
+TEST(Releases, DeterministicWithSeed) {
+  exp::ExperimentConfig config = smallConfig(13);
+  config.releases.perChannel = 1;
+  const auto a = exp::runExperiment(config, exp::SystemKind::kSocialTube);
+  const auto b = exp::runExperiment(config, exp::SystemKind::kSocialTube);
+  EXPECT_EQ(a.releasesFired, b.releasesFired);
+  EXPECT_EQ(a.feedWatches, b.feedWatches);
+  EXPECT_EQ(a.eventsFired, b.eventsFired);
+}
+
+}  // namespace
+}  // namespace st

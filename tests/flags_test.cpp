@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace st {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  const Flags flags = parse({"--users", "500"});
+  EXPECT_TRUE(flags.ok());
+  EXPECT_EQ(flags.getInt("users", 0), 500);
+}
+
+TEST(Flags, EqualsSeparatedValue) {
+  const Flags flags = parse({"--seed=42"});
+  EXPECT_EQ(flags.getInt("seed", 0), 42);
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const Flags flags = parse({"--planetlab"});
+  EXPECT_TRUE(flags.getBool("planetlab", false));
+  EXPECT_TRUE(flags.has("planetlab"));
+}
+
+TEST(Flags, BooleanFalseValues) {
+  EXPECT_FALSE(parse({"--x=false"}).getBool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).getBool("x", true));
+  EXPECT_TRUE(parse({"--x=yes"}).getBool("x", false));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.getInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.getDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.getString("missing", "abc"), "abc");
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, DoubleParsing) {
+  const Flags flags = parse({"--ratio", "0.75"});
+  EXPECT_DOUBLE_EQ(flags.getDouble("ratio", 0.0), 0.75);
+}
+
+TEST(Flags, NonFlagTokenIsError) {
+  const Flags flags = parse({"stray"});
+  EXPECT_FALSE(flags.ok());
+  EXPECT_NE(flags.error().find("stray"), std::string::npos);
+}
+
+TEST(Flags, BooleanFollowedByFlag) {
+  const Flags flags = parse({"--verbose", "--users", "10"});
+  EXPECT_TRUE(flags.getBool("verbose", false));
+  EXPECT_EQ(flags.getInt("users", 0), 10);
+}
+
+TEST(Flags, UnconsumedTracksUnqueriedFlags) {
+  const Flags flags = parse({"--known", "1", "--typo", "2"});
+  EXPECT_EQ(flags.getInt("known", 0), 1);
+  const auto leftover = flags.unconsumed();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  // "-5" does not start with "--", so it parses as a value.
+  const Flags flags = parse({"--offset", "-5"});
+  EXPECT_EQ(flags.getInt("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,124 @@
+// Tests for the upload admission queue (FlowNetwork concurrency limit) —
+// the origin-server model that bounds how many streams split the uplink.
+#include "net/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace st::net {
+namespace {
+
+constexpr EndpointId kServer{0};
+constexpr EndpointId kA{1};
+constexpr EndpointId kB{2};
+constexpr EndpointId kC{3};
+
+class FlowQueueTest : public ::testing::Test {
+ protected:
+  FlowQueueTest() : flows_(sim_) {
+    flows_.addEndpoint(kServer, {8e6, 8e6});  // 1 MB/s
+    flows_.addEndpoint(kA, {8e6, 8e6});
+    flows_.addEndpoint(kB, {8e6, 8e6});
+    flows_.addEndpoint(kC, {8e6, 8e6});
+  }
+
+  sim::Simulator sim_;
+  FlowNetwork flows_;
+};
+
+TEST_F(FlowQueueTest, SecondFlowWaitsForSlot) {
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  std::vector<double> completions;
+  flows_.startFlow(kServer, kA, 1'000'000,
+                   [&] { completions.push_back(sim::toSeconds(sim_.now())); });
+  flows_.startFlow(kServer, kB, 1'000'000,
+                   [&] { completions.push_back(sim::toSeconds(sim_.now())); });
+  EXPECT_EQ(flows_.activeUploads(kServer), 1u);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
+  sim_.run();
+  ASSERT_EQ(completions.size(), 2u);
+  // Serialized at full rate instead of halved in parallel: 1 s then 2 s.
+  EXPECT_NEAR(completions[0], 1.0, 1e-6);
+  EXPECT_NEAR(completions[1], 2.0, 1e-6);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
+}
+
+TEST_F(FlowQueueTest, PromotionIsFifo) {
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  std::vector<int> order;
+  flows_.startFlow(kServer, kA, 100'000, [&] { order.push_back(1); });
+  flows_.startFlow(kServer, kB, 100'000, [&] { order.push_back(2); });
+  flows_.startFlow(kServer, kC, 100'000, [&] { order.push_back(3); });
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(FlowQueueTest, QueuedFlowHasZeroRateAndNoProgress) {
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  flows_.startFlow(kServer, kA, 10'000'000, [] {});
+  const FlowId queued = flows_.startFlow(kServer, kB, 1'000'000, [] {});
+  EXPECT_TRUE(flows_.flowActive(queued));
+  EXPECT_DOUBLE_EQ(flows_.flowRateBps(queued), 0.0);
+  // The queued flow does not consume the destination's download share.
+  EXPECT_EQ(flows_.activeDownloads(kB), 0u);
+}
+
+TEST_F(FlowQueueTest, CancelQueuedFlowLeavesQueueConsistent) {
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  bool aDone = false;
+  bool cDone = false;
+  flows_.startFlow(kServer, kA, 500'000, [&] { aDone = true; });
+  const FlowId queuedB = flows_.startFlow(kServer, kB, 500'000, [] {});
+  flows_.startFlow(kServer, kC, 500'000, [&] { cDone = true; });
+  flows_.cancelFlow(queuedB);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
+  sim_.run();
+  EXPECT_TRUE(aDone);
+  EXPECT_TRUE(cDone);  // promoted past the cancelled entry
+  EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
+}
+
+TEST_F(FlowQueueTest, DropEndpointDrainsQueueSilently) {
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  int notified = 0;
+  flows_.startFlow(kServer, kA, 1'000'000, [] {});
+  flows_.startFlow(kServer, kB, 1'000'000, [] {});
+  flows_.startFlow(kServer, kC, 1'000'000, [] {});
+  flows_.dropEndpointFlows(kServer,
+                           [&](FlowId, std::uint64_t) { ++notified; });
+  // Only the active upload triggers the abort callback; queued ones vanish.
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(flows_.activeFlows(), 0u);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
+}
+
+TEST_F(FlowQueueTest, LimitAboveDemandChangesNothing) {
+  flows_.setUploadConcurrencyLimit(kServer, 10);
+  int done = 0;
+  flows_.startFlow(kServer, kA, 1'000'000, [&] { ++done; });
+  flows_.startFlow(kServer, kB, 1'000'000, [&] { ++done; });
+  sim_.run();
+  EXPECT_EQ(done, 2);
+  // Parallel halved rate: both finish at 2 s, like the unlimited case.
+  EXPECT_NEAR(sim::toSeconds(sim_.now()), 2.0, 1e-6);
+}
+
+TEST_F(FlowQueueTest, ManyQueuedFlowsKeepPerFlowRateBounded) {
+  // The motivation: with a limit, admitted flows never starve.
+  flows_.setUploadConcurrencyLimit(kServer, 4);
+  for (int i = 0; i < 40; ++i) {
+    flows_.startFlow(kServer, kA, 100'000, [] {});
+  }
+  EXPECT_EQ(flows_.activeUploads(kServer), 4u);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 36u);
+  // Each admitted flow gets capacity/4 — but A's downlink (8 Mbps over 4
+  // flows) is the same, so 2 Mbps each.
+  sim_.run();
+  EXPECT_EQ(flows_.bytesUploaded(kServer), 4'000'000u);
+}
+
+}  // namespace
+}  // namespace st::net

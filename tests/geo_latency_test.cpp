@@ -1,0 +1,118 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace st::net {
+namespace {
+
+constexpr EndpointId kA{0};
+constexpr EndpointId kB{1};
+
+TEST(GeoLatency, PositionsAreStableAndInUnitSquare) {
+  const GeoLatencyModel model(1);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const auto [x, y] = model.position(EndpointId{i});
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    ASSERT_GE(y, 0.0);
+    ASSERT_LT(y, 1.0);
+    EXPECT_EQ(model.position(EndpointId{i}), model.position(EndpointId{i}));
+  }
+}
+
+TEST(GeoLatency, DifferentSeedsMovePositions) {
+  const GeoLatencyModel a(1);
+  const GeoLatencyModel b(2);
+  int same = 0;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    if (a.position(EndpointId{i}) == b.position(EndpointId{i})) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(GeoLatency, DelayIsSymmetricUpToJitter) {
+  const GeoLatencyModel model(3, 5 * sim::kMillisecond,
+                              160 * sim::kMillisecond, /*jitter=*/0.0);
+  Rng rng(3);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    const EndpointId x{i};
+    const EndpointId y{i + 1000};
+    EXPECT_EQ(model.delay(x, y, rng), model.delay(y, x, rng));
+  }
+}
+
+TEST(GeoLatency, DelayBounds) {
+  const GeoLatencyModel model(4, 5 * sim::kMillisecond,
+                              160 * sim::kMillisecond, /*jitter=*/0.0);
+  Rng rng(4);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const sim::SimTime d =
+        model.delay(EndpointId{i}, EndpointId{i + 7919}, rng);
+    ASSERT_GE(d, 5 * sim::kMillisecond);
+    ASSERT_LE(d, 165 * sim::kMillisecond);
+  }
+}
+
+TEST(GeoLatency, TriangleInequalityHoldsWithoutJitter) {
+  const GeoLatencyModel model(5, 0, 100 * sim::kMillisecond, 0.0);
+  Rng rng(5);
+  // Propagation-only delays over a metric space satisfy the triangle
+  // inequality (base = 0 removes the constant offset).
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const EndpointId x{i};
+    const EndpointId y{i + 333};
+    const EndpointId z{i + 777};
+    const auto dxy = model.delay(x, y, rng);
+    const auto dyz = model.delay(y, z, rng);
+    const auto dxz = model.delay(x, z, rng);
+    ASSERT_LE(dxz, dxy + dyz + 2);  // +2 for integer rounding
+  }
+}
+
+TEST(GeoLatency, NearbyNodesAreFasterThanFarOnes) {
+  const GeoLatencyModel model(6, 0, 100 * sim::kMillisecond, 0.0);
+  Rng rng(6);
+  // Find a close pair and a far pair by scanning positions.
+  double closest = 10.0;
+  double farthest = -1.0;
+  sim::SimTime closeDelay = 0;
+  sim::SimTime farDelay = 0;
+  for (std::uint32_t i = 1; i < 300; ++i) {
+    const auto [ax, ay] = model.position(kA);
+    const auto [bx, by] = model.position(EndpointId{i});
+    const double dx = std::min(std::abs(ax - bx), 1.0 - std::abs(ax - bx));
+    const double dy = std::min(std::abs(ay - by), 1.0 - std::abs(ay - by));
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    if (dist < closest) {
+      closest = dist;
+      closeDelay = model.delay(kA, EndpointId{i}, rng);
+    }
+    if (dist > farthest) {
+      farthest = dist;
+      farDelay = model.delay(kA, EndpointId{i}, rng);
+    }
+  }
+  EXPECT_LT(closeDelay, farDelay);
+}
+
+TEST(GeoLatency, LossRateRespected) {
+  const GeoLatencyModel lossless(7);
+  const GeoLatencyModel lossy(7, 5 * sim::kMillisecond,
+                              160 * sim::kMillisecond, 0.05, 0.5);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_FALSE(lossless.lost(kA, kB, rng));
+  }
+  int lost = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (lossy.lost(kA, kB, rng)) ++lost;
+  }
+  EXPECT_NEAR(lost / 10000.0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace st::net

@@ -1,0 +1,103 @@
+// Shared fixture pieces for protocol-level tests: a hand-built mini catalog
+// plus the full context stack (simulator, network, library, metrics,
+// transfers) with a clean low-latency network.
+#pragma once
+
+#include <memory>
+
+#include "net/latency.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "trace/catalog.h"
+#include "vod/config.h"
+#include "vod/context.h"
+#include "vod/library.h"
+#include "vod/metrics.h"
+#include "vod/transfer.h"
+
+namespace st::testing {
+
+// Catalog with `channelsPerCategory` channels in each of `categories`
+// categories and `videosPerChannel` videos each; `users` users where user i
+// owns channel i (when i < channels). Video lengths are fixed at 100 s and
+// views are assigned by rank so videos[0] is the most popular.
+inline trace::Catalog miniCatalog(std::size_t users, std::size_t categories,
+                                  std::size_t channelsPerCategory,
+                                  std::size_t videosPerChannel) {
+  trace::Catalog catalog;
+  for (std::size_t c = 0; c < categories; ++c) {
+    catalog.addCategory("Cat" + std::to_string(c));
+  }
+  for (std::size_t u = 0; u < users; ++u) catalog.addUser();
+  const std::size_t channels = categories * channelsPerCategory;
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    const CategoryId category{static_cast<std::uint32_t>(ch / channelsPerCategory)};
+    const UserId owner{static_cast<std::uint32_t>(ch % users)};
+    const ChannelId id = catalog.addChannel(owner, {category});
+    for (std::size_t v = 0; v < videosPerChannel; ++v) {
+      const VideoId video = catalog.addVideo(id, 100.0, 0);
+      catalog.video(video).views =
+          1000.0 / static_cast<double>(v + 1);  // Zipf-ish by rank
+      catalog.video(video).rankInChannel = static_cast<std::uint32_t>(v);
+    }
+    catalog.channel(id).viewFrequency = 100.0;
+    catalog.channel(id).totalViews = 1000.0;
+  }
+  // Every user subscribes to every channel of their "home" category to give
+  // the selector something to work with.
+  for (std::size_t u = 0; u < users; ++u) {
+    const UserId user{static_cast<std::uint32_t>(u)};
+    const CategoryId home{static_cast<std::uint32_t>(u % categories)};
+    catalog.user(user).interests.push_back(home);
+    for (const ChannelId ch : catalog.category(home).channels) {
+      catalog.subscribe(user, ch);
+    }
+  }
+  return catalog;
+}
+
+// Full context stack over a catalog. Fast clean network (1-2 ms one-way).
+class Stack {
+ public:
+  explicit Stack(trace::Catalog catalog, vod::VodConfig config = {},
+                 std::uint64_t seed = 1)
+      : catalog_(std::move(catalog)),
+        config_(config),
+        network_(sim_,
+                 std::make_unique<net::CleanLatencyModel>(
+                     seed, sim::kMillisecond, 2 * sim::kMillisecond),
+                 seed),
+        library_(catalog_, config_),
+        metrics_(catalog_.userCount(), config_.videosPerSession),
+        ctx_(sim_, network_, catalog_, library_, config_, metrics_, seed),
+        transfers_(ctx_) {}
+
+  sim::Simulator& sim() { return sim_; }
+
+  // Runs the clock forward by a bounded horizon. Unlike Simulator::run(),
+  // this terminates even when periodic maintenance timers (neighbor probes)
+  // keep the event queue non-empty.
+  void settle(sim::SimTime horizon = 2 * sim::kMinute) {
+    sim_.runUntil(sim_.now() + horizon);
+  }
+
+  net::Network& network() { return network_; }
+  const trace::Catalog& catalog() const { return catalog_; }
+  const vod::VideoLibrary& library() const { return library_; }
+  vod::Metrics& metrics() { return metrics_; }
+  vod::SystemContext& ctx() { return ctx_; }
+  vod::TransferManager& transfers() { return transfers_; }
+  const vod::VodConfig& config() const { return config_; }
+
+ private:
+  trace::Catalog catalog_;
+  vod::VodConfig config_;
+  sim::Simulator sim_;
+  net::Network network_;
+  vod::VideoLibrary library_;
+  vod::Metrics metrics_;
+  vod::SystemContext ctx_;
+  vod::TransferManager transfers_;
+};
+
+}  // namespace st::testing

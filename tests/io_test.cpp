@@ -1,0 +1,136 @@
+#include "trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.h"
+#include "trace/stats.h"
+
+namespace st::trace {
+namespace {
+
+Catalog smallCatalog(std::uint64_t seed = 3) {
+  GeneratorParams params;
+  params.seed = seed;
+  params.numUsers = 200;
+  params.numChannels = 20;
+  params.numVideos = 400;
+  return generateTrace(params);
+}
+
+void expectEqualCatalogs(const Catalog& a, const Catalog& b) {
+  ASSERT_EQ(a.categoryCount(), b.categoryCount());
+  ASSERT_EQ(a.userCount(), b.userCount());
+  ASSERT_EQ(a.channelCount(), b.channelCount());
+  ASSERT_EQ(a.videoCount(), b.videoCount());
+  for (std::size_t i = 0; i < a.categoryCount(); ++i) {
+    const CategoryId id{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.category(id).name, b.category(id).name);
+    EXPECT_EQ(a.category(id).channels, b.category(id).channels);
+  }
+  for (std::size_t i = 0; i < a.userCount(); ++i) {
+    const UserId id{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.user(id).interests, b.user(id).interests);
+    EXPECT_EQ(a.user(id).subscriptions, b.user(id).subscriptions);
+    EXPECT_EQ(a.user(id).favorites, b.user(id).favorites);
+    EXPECT_EQ(a.user(id).ownedChannel, b.user(id).ownedChannel);
+  }
+  for (std::size_t i = 0; i < a.channelCount(); ++i) {
+    const ChannelId id{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.channel(id).owner, b.channel(id).owner);
+    EXPECT_EQ(a.channel(id).categories, b.channel(id).categories);
+    EXPECT_EQ(a.channel(id).videos, b.channel(id).videos);
+    EXPECT_EQ(a.channel(id).subscribers, b.channel(id).subscribers);
+    EXPECT_DOUBLE_EQ(a.channel(id).viewFrequency, b.channel(id).viewFrequency);
+    EXPECT_DOUBLE_EQ(a.channel(id).totalViews, b.channel(id).totalViews);
+  }
+  for (std::size_t i = 0; i < a.videoCount(); ++i) {
+    const VideoId id{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.video(id).channel, b.video(id).channel);
+    EXPECT_EQ(a.video(id).rankInChannel, b.video(id).rankInChannel);
+    EXPECT_EQ(a.video(id).uploadDay, b.video(id).uploadDay);
+    EXPECT_DOUBLE_EQ(a.video(id).lengthSeconds, b.video(id).lengthSeconds);
+    EXPECT_DOUBLE_EQ(a.video(id).views, b.video(id).views);
+    EXPECT_DOUBLE_EQ(a.video(id).favorites, b.video(id).favorites);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Catalog original = smallCatalog();
+  std::stringstream buffer;
+  ASSERT_TRUE(saveCatalog(original, buffer));
+  const auto loaded = loadCatalog(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expectEqualCatalogs(original, *loaded);
+}
+
+TEST(TraceIo, RoundTripPreservesStatistics) {
+  const Catalog original = smallCatalog(9);
+  std::stringstream buffer;
+  ASSERT_TRUE(saveCatalog(original, buffer));
+  const auto loaded = loadCatalog(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  const TraceStats a(original);
+  const TraceStats b(*loaded);
+  EXPECT_DOUBLE_EQ(a.viewsPerVideo().percentile(50),
+                   b.viewsPerVideo().percentile(50));
+  EXPECT_DOUBLE_EQ(a.viewsVsSubscriptions().logCorrelation,
+                   b.viewsVsSubscriptions().logCorrelation);
+}
+
+TEST(TraceIo, SecondRoundTripIsByteIdentical) {
+  const Catalog original = smallCatalog(11);
+  std::stringstream first;
+  ASSERT_TRUE(saveCatalog(original, first));
+  const auto loaded = loadCatalog(first);
+  ASSERT_TRUE(loaded.has_value());
+  std::stringstream second;
+  ASSERT_TRUE(saveCatalog(*loaded, second));
+  std::stringstream reference;
+  ASSERT_TRUE(saveCatalog(original, reference));
+  EXPECT_EQ(second.str(), reference.str());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream in("not-a-trace 1\n");
+  EXPECT_FALSE(loadCatalog(in).has_value());
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::stringstream in("socialtube-trace 99\n");
+  EXPECT_FALSE(loadCatalog(in).has_value());
+}
+
+TEST(TraceIo, RejectsDanglingReferences) {
+  std::stringstream in(
+      "socialtube-trace 1\n"
+      "category 0 Music\n"
+      "user 0 1 0\n"
+      "sub 0 5\n");  // channel 5 does not exist
+  EXPECT_FALSE(loadCatalog(in).has_value());
+}
+
+TEST(TraceIo, RejectsUnknownRecord) {
+  std::stringstream in(
+      "socialtube-trace 1\n"
+      "gibberish 1 2 3\n");
+  EXPECT_FALSE(loadCatalog(in).has_value());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Catalog original = smallCatalog(13);
+  const std::string path = ::testing::TempDir() + "/st_trace.txt";
+  ASSERT_TRUE(saveCatalogFile(original, path));
+  const auto loaded = loadCatalogFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  expectEqualCatalogs(original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFailsCleanly) {
+  EXPECT_FALSE(loadCatalogFile("/nonexistent/st_trace.txt").has_value());
+}
+
+}  // namespace
+}  // namespace st::trace

@@ -1,0 +1,144 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace st::net {
+namespace {
+
+constexpr EndpointId kA{0};
+constexpr EndpointId kB{1};
+
+TEST(PairUniform, StableAndSymmetric) {
+  const double u1 = pairUniform(7, kA, kB);
+  const double u2 = pairUniform(7, kB, kA);
+  EXPECT_DOUBLE_EQ(u1, u2);
+  EXPECT_DOUBLE_EQ(u1, pairUniform(7, kA, kB));
+  EXPECT_NE(pairUniform(7, kA, kB), pairUniform(8, kA, kB));
+  EXPECT_GE(u1, 0.0);
+  EXPECT_LT(u1, 1.0);
+}
+
+TEST(PairUniform, DifferentPairsDiffer) {
+  int collisions = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const double u = pairUniform(1, EndpointId{i}, EndpointId{i + 1000});
+    const double v = pairUniform(1, EndpointId{i}, EndpointId{i + 2000});
+    if (u == v) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(CleanLatency, WithinConfiguredBand) {
+  const CleanLatencyModel model(1, 10 * sim::kMillisecond,
+                                80 * sim::kMillisecond,
+                                /*jitterFraction=*/0.05);
+  Rng rng(1);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const sim::SimTime d = model.delay(EndpointId{i}, EndpointId{i + 1}, rng);
+    ASSERT_GE(d, static_cast<sim::SimTime>(10 * sim::kMillisecond * 0.94));
+    ASSERT_LE(d, static_cast<sim::SimTime>(80 * sim::kMillisecond * 1.06));
+  }
+}
+
+TEST(CleanLatency, LoopbackIsTiny) {
+  const CleanLatencyModel model(1, 10 * sim::kMillisecond,
+                                80 * sim::kMillisecond);
+  Rng rng(1);
+  EXPECT_LT(model.delay(kA, kA, rng), sim::kMillisecond);
+}
+
+TEST(CleanLatency, NoLoss) {
+  const CleanLatencyModel model(1, 1, 2);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(model.lost(kA, kB, rng));
+  }
+}
+
+TEST(CleanLatency, StablePerPairBase) {
+  const CleanLatencyModel model(1, 10 * sim::kMillisecond,
+                                80 * sim::kMillisecond, /*jitter=*/0.0);
+  Rng rng(1);
+  const sim::SimTime d1 = model.delay(kA, kB, rng);
+  const sim::SimTime d2 = model.delay(kA, kB, rng);
+  EXPECT_EQ(d1, d2);  // no jitter -> identical
+}
+
+TEST(WideAreaLatency, MedianNearConfigured) {
+  const WideAreaLatencyModel model(3, /*medianMs=*/80.0, /*sigma=*/0.6,
+                                   /*lossRate=*/0.0);
+  Rng rng(3);
+  std::vector<double> delays;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    delays.push_back(sim::toMillis(
+        model.delay(EndpointId{i}, EndpointId{i + 50000}, rng)));
+  }
+  std::nth_element(delays.begin(), delays.begin() + delays.size() / 2,
+                   delays.end());
+  EXPECT_NEAR(delays[delays.size() / 2], 80.0, 12.0);
+}
+
+TEST(WideAreaLatency, HasHeavyUpperTail) {
+  const WideAreaLatencyModel model(4, 80.0, 0.6, 0.0);
+  Rng rng(4);
+  double maxDelay = 0.0;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    maxDelay = std::max(
+        maxDelay, sim::toMillis(model.delay(EndpointId{i},
+                                            EndpointId{i + 90000}, rng)));
+  }
+  EXPECT_GT(maxDelay, 250.0);  // lognormal tail reaches far past the median
+}
+
+TEST(WideAreaLatency, LossRateApproximatelyConfigured) {
+  const WideAreaLatencyModel model(5, 80.0, 0.6, /*lossRate=*/0.05);
+  Rng rng(5);
+  int lost = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.lost(kA, kB, rng)) ++lost;
+  }
+  EXPECT_NEAR(lost / static_cast<double>(n), 0.05, 0.01);
+}
+
+TEST(Network, DeliversMessageAfterDelay) {
+  sim::Simulator sim;
+  Network network(sim, std::make_unique<CleanLatencyModel>(
+                           1, 10 * sim::kMillisecond, 20 * sim::kMillisecond),
+                  1);
+  network.addEndpoint(kA, {1e6, 1e6});
+  network.addEndpoint(kB, {1e6, 1e6});
+  bool delivered = false;
+  network.sendMessage(kA, kB, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GE(sim.now(), 9 * sim::kMillisecond);
+  EXPECT_EQ(network.messagesSent(), 1u);
+  EXPECT_EQ(network.messagesLost(), 0u);
+}
+
+TEST(Network, LossyModelDropsSomeMessages) {
+  sim::Simulator sim;
+  Network network(
+      sim, std::make_unique<WideAreaLatencyModel>(2, 80.0, 0.6, 0.5), 2);
+  network.addEndpoint(kA, {1e6, 1e6});
+  network.addEndpoint(kB, {1e6, 1e6});
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    network.sendMessage(kA, kB, [&] { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(network.messagesSent(), 1000u);
+  EXPECT_NEAR(static_cast<double>(network.messagesLost()), 500.0, 60.0);
+  EXPECT_EQ(delivered, 1000 - static_cast<int>(network.messagesLost()));
+}
+
+}  // namespace
+}  // namespace st::net

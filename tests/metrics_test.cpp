@@ -1,0 +1,107 @@
+#include "vod/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "vod/library.h"
+#include "trace/catalog.h"
+#include "vod/config.h"
+
+namespace st::vod {
+namespace {
+
+TEST(Metrics, ChunkAccountingPerUser) {
+  Metrics metrics(3, 10);
+  metrics.recordChunks(UserId{0}, ChunkSource::kPeer, 5);
+  metrics.recordChunks(UserId{0}, ChunkSource::kServer, 5);
+  metrics.recordChunks(UserId{1}, ChunkSource::kPeer, 10);
+  EXPECT_EQ(metrics.peerChunks(UserId{0}), 5u);
+  EXPECT_EQ(metrics.serverChunks(UserId{0}), 5u);
+  EXPECT_EQ(metrics.totalPeerChunks(), 15u);
+  EXPECT_EQ(metrics.totalServerChunks(), 5u);
+}
+
+TEST(Metrics, NormalizedPeerBandwidthSkipsIdleNodes) {
+  Metrics metrics(3, 10);
+  metrics.recordChunks(UserId{0}, ChunkSource::kPeer, 3);
+  metrics.recordChunks(UserId{0}, ChunkSource::kServer, 1);
+  metrics.recordChunks(UserId{1}, ChunkSource::kServer, 4);
+  // User 2 fetched nothing remotely: excluded.
+  const SampleSet samples = metrics.normalizedPeerBandwidth();
+  EXPECT_EQ(samples.count(), 2u);
+  EXPECT_DOUBLE_EQ(samples.percentile(100), 0.75);
+  EXPECT_DOUBLE_EQ(samples.percentile(0), 0.0);
+}
+
+TEST(Metrics, LinksByVideosWatchedClampsOverflow) {
+  Metrics metrics(2, 5);
+  metrics.recordLinks(1, 10);
+  metrics.recordLinks(5, 20);
+  metrics.recordLinks(99, 30);  // beyond videosPerSession: clamped to last
+  EXPECT_DOUBLE_EQ(metrics.linksByVideosWatched()[1].mean(), 10.0);
+  EXPECT_EQ(metrics.linksByVideosWatched()[5].count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.linksByVideosWatched()[5].mean(), 25.0);
+}
+
+TEST(Metrics, StartupDelayAndTimeouts) {
+  Metrics metrics(1, 5);
+  metrics.recordStartupDelay(100.0);
+  metrics.recordStartupDelay(300.0);
+  metrics.recordStartupTimeout();
+  EXPECT_EQ(metrics.startupDelayMs().count(), 2u);
+  EXPECT_EQ(metrics.startupTimeouts(), 1u);
+  EXPECT_EQ(metrics.watches(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.startupDelayMs().mean(), 200.0);
+}
+
+TEST(Metrics, CountersIncrement) {
+  Metrics metrics(1, 5);
+  metrics.countCacheHit();
+  metrics.countCacheHit();
+  metrics.countPrefetchHit();
+  metrics.countPrefetchIssued();
+  metrics.countChannelHit();
+  metrics.countCategoryHit();
+  metrics.countServerFallback();
+  metrics.countProbe();
+  metrics.countRepair();
+  EXPECT_EQ(metrics.cacheHits(), 2u);
+  EXPECT_EQ(metrics.prefetchHits(), 1u);
+  EXPECT_EQ(metrics.prefetchIssued(), 1u);
+  EXPECT_EQ(metrics.channelHits(), 1u);
+  EXPECT_EQ(metrics.categoryHits(), 1u);
+  EXPECT_EQ(metrics.serverFallbacks(), 1u);
+  EXPECT_EQ(metrics.probes(), 1u);
+  EXPECT_EQ(metrics.repairs(), 1u);
+}
+
+TEST(VideoLibrary, ChunkMathIsConsistent) {
+  trace::Catalog catalog;
+  const CategoryId cat = catalog.addCategory("C");
+  catalog.addUser();
+  const ChannelId channel = catalog.addChannel(UserId{0}, {cat});
+  catalog.addVideo(channel, 200.0, 0);  // 200 s
+  VodConfig config;
+  config.bitrateBps = 320'000.0;
+  config.chunksPerVideo = 20;
+  const VideoLibrary library(catalog, config);
+  const VideoAsset& asset = library.asset(VideoId{0});
+  EXPECT_EQ(asset.chunks, 20u);
+  // 200 s x 40 KB/s = 8 MB total, 400 KB per chunk.
+  EXPECT_EQ(asset.chunkBytes, 400'000u);
+  EXPECT_EQ(asset.totalBytes, 8'000'000u);
+  EXPECT_EQ(library.bodyBytes(VideoId{0}), 7'600'000u);
+}
+
+TEST(VideoLibrary, TinyVideoStillHasAtLeastOneBytePerChunk) {
+  trace::Catalog catalog;
+  const CategoryId cat = catalog.addCategory("C");
+  catalog.addUser();
+  const ChannelId channel = catalog.addChannel(UserId{0}, {cat});
+  catalog.addVideo(channel, 0.0001, 0);
+  VodConfig config;
+  const VideoLibrary library(catalog, config);
+  EXPECT_GE(library.asset(VideoId{0}).chunkBytes, 1u);
+}
+
+}  // namespace
+}  // namespace st::vod

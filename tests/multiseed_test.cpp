@@ -1,0 +1,53 @@
+#include "exp/multiseed.h"
+
+#include <gtest/gtest.h>
+
+namespace st::exp {
+namespace {
+
+ExperimentConfig tinyConfig() {
+  ExperimentConfig config = ExperimentConfig::simulationDefaults(100);
+  config = config.scaledTo(200, 3);
+  config.duration = sim::kDay;
+  return config;
+}
+
+TEST(MultiSeed, RunsRequestedReplicationsWithDistinctSeeds) {
+  const auto summary = runSeeds(tinyConfig(), SystemKind::kSocialTube, 3);
+  EXPECT_EQ(summary.runs.size(), 3u);
+  EXPECT_EQ(summary.peerFraction.runs, 3u);
+  // Different seeds produce different realizations.
+  EXPECT_NE(summary.runs[0].eventsFired, summary.runs[1].eventsFired);
+}
+
+TEST(MultiSeed, AggregatesAreConsistent) {
+  const auto summary = runSeeds(tinyConfig(), SystemKind::kSocialTube, 3);
+  const auto& stat = summary.peerFraction;
+  EXPECT_GE(stat.mean, stat.min);
+  EXPECT_LE(stat.mean, stat.max);
+  EXPECT_GE(stat.stderrOfMean, 0.0);
+  double manual = 0.0;
+  for (const auto& run : summary.runs) {
+    manual += run.aggregatePeerFraction();
+  }
+  EXPECT_NEAR(stat.mean, manual / 3.0, 1e-12);
+}
+
+TEST(MultiSeed, SingleReplicationHasZeroStderr) {
+  const auto summary = runSeeds(tinyConfig(), SystemKind::kPaVod, 1);
+  EXPECT_EQ(summary.peerFraction.runs, 1u);
+  EXPECT_DOUBLE_EQ(summary.peerFraction.stderrOfMean, 0.0);
+  EXPECT_DOUBLE_EQ(summary.peerFraction.min, summary.peerFraction.max);
+}
+
+TEST(MultiSeed, FormatStatIsReadable) {
+  AggregateStat stat;
+  stat.mean = 0.5;
+  stat.stderrOfMean = 0.01;
+  stat.min = 0.4;
+  stat.max = 0.6;
+  EXPECT_EQ(formatStat(stat), "0.500 +/- 0.010 [0.400, 0.600]");
+}
+
+}  // namespace
+}  // namespace st::exp

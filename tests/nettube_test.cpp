@@ -1,0 +1,221 @@
+#include "baselines/nettube.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness.h"
+
+namespace st::baselines {
+namespace {
+
+using st::testing::Stack;
+using st::testing::miniCatalog;
+
+class NetTubeTest : public ::testing::Test {
+ protected:
+  NetTubeTest()
+      : stack_(miniCatalog(10, 2, 2, 8)),
+        system_(stack_.ctx(), stack_.transfers()) {
+    system_.setPlaybackCallback([this](UserId user, VideoId video,
+                                       sim::SimTime delay, bool timedOut) {
+      lastUser_ = user;
+      lastVideo_ = video;
+      lastDelay_ = delay;
+      lastTimedOut_ = timedOut;
+      ++playbacks_;
+    });
+  }
+
+  void login(UserId user) {
+    stack_.ctx().setOnline(user, true);
+    system_.onLogin(user);
+    stack_.settle();  // deliver the cache-inventory report
+  }
+  void logout(UserId user, bool graceful = true) {
+    stack_.ctx().setOnline(user, false);
+    stack_.transfers().onUserOffline(user);
+    system_.onLogout(user, graceful);
+  }
+  void watch(UserId user, VideoId video) {
+    system_.requestVideo(user, video);
+    stack_.settle();
+  }
+  VideoId videoOf(std::size_t channel, std::size_t rank) {
+    return stack_.catalog()
+        .channel(ChannelId{static_cast<std::uint32_t>(channel)})
+        .videos[rank];
+  }
+
+  Stack stack_;
+  NetTubeSystem system_;
+  UserId lastUser_;
+  VideoId lastVideo_;
+  sim::SimTime lastDelay_ = -1;
+  bool lastTimedOut_ = false;
+  int playbacks_ = 0;
+};
+
+TEST_F(NetTubeTest, FirstVideoComesFromServerAndRegisters) {
+  const UserId alice{0};
+  login(alice);
+  const VideoId video = videoOf(0, 7);
+  watch(alice, video);
+  EXPECT_EQ(playbacks_, 1);
+  EXPECT_EQ(stack_.metrics().serverFallbacks(), 1u);
+  EXPECT_TRUE(system_.cache(alice).contains(video));
+  // After caching, the directory lists Alice as a holder.
+  EXPECT_TRUE(system_.directory().contains(alice, video));
+}
+
+TEST_F(NetTubeTest, JoinerIsDirectedToExistingHolder) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 7);
+  login(alice);
+  watch(alice, video);
+  login(bob);
+  watch(bob, video);
+  // Bob's first request goes to the server directory, which points at Alice
+  // (a directory-mediated peer hit), and they form a per-video overlay link.
+  EXPECT_EQ(stack_.metrics().categoryHits(), 1u);
+  EXPECT_GT(stack_.metrics().peerChunks(bob), 0u);
+  EXPECT_GE(system_.linkCount(bob), 1u);
+  EXPECT_GE(system_.linkCount(alice), 1u);
+}
+
+TEST_F(NetTubeTest, TwoHopSearchFindsNeighborCache) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId shared = videoOf(0, 7);
+  const VideoId next = videoOf(0, 6);
+  login(alice);
+  watch(alice, shared);
+  watch(alice, next);  // Alice holds `next` too
+  login(bob);
+  watch(bob, shared);  // Bob links to Alice via the shared video overlay
+  ASSERT_GE(system_.linkCount(bob), 1u);
+  const auto floodHitsBefore = stack_.metrics().channelHits();
+  watch(bob, next);  // found by flooding Bob's overlay neighbors
+  EXPECT_EQ(stack_.metrics().channelHits(), floodHitsBefore + 1);
+}
+
+TEST_F(NetTubeTest, MissWithOverlaysGoesToServerNotDirectory) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const UserId carol{2};
+  const VideoId shared = videoOf(0, 7);
+  const VideoId rare = videoOf(1, 7);
+  // Carol holds `rare` but is NOT reachable from Bob's overlays.
+  login(carol);
+  watch(carol, rare);
+  login(alice);
+  watch(alice, shared);
+  login(bob);
+  watch(bob, shared);  // Bob now has overlay links (to Alice)
+  const auto serverBefore = stack_.metrics().serverFallbacks();
+  watch(bob, rare);  // 2-hop miss -> server serves (no directory rescue)
+  EXPECT_EQ(stack_.metrics().serverFallbacks(), serverBefore + 1);
+}
+
+TEST_F(NetTubeTest, LinksAccumulateAcrossVideos) {
+  const UserId alice{0};
+  const UserId bob{1};
+  login(alice);
+  for (int rank = 4; rank < 8; ++rank) {
+    watch(alice, videoOf(0, rank));
+  }
+  login(bob);
+  std::size_t prevLinks = 0;
+  for (int rank = 4; rank < 8; ++rank) {
+    watch(bob, videoOf(0, rank));
+    EXPECT_GE(system_.linkCount(bob), prevLinks);
+    prevLinks = system_.linkCount(bob);
+  }
+  // One link per shared per-video overlay: redundant pairwise links are the
+  // NetTube overhead SocialTube §IV-C criticizes.
+  EXPECT_GE(system_.linkCount(bob), 3u);
+  EXPECT_GE(system_.overlayCount(bob), 3u);
+}
+
+TEST_F(NetTubeTest, PerOverlayLinkCapHolds) {
+  const VideoId video = videoOf(0, 7);
+  for (std::uint32_t u = 0; u < 10; ++u) {
+    login(UserId{u});
+    watch(UserId{u}, video);
+  }
+  for (std::uint32_t u = 0; u < 10; ++u) {
+    std::size_t inOverlay = 0;
+    // linkCount sums per-overlay lists; with one overlay it is the cap test.
+    inOverlay = system_.linkCount(UserId{u});
+    EXPECT_LE(inOverlay,
+              stack_.config().linksPerVideoOverlay +
+                  stack_.config().prefetchCount * 2);  // plus prefetch links
+  }
+}
+
+TEST_F(NetTubeTest, PrefetchesRandomNeighborVideos) {
+  const UserId alice{0};
+  const UserId bob{1};
+  login(alice);
+  watch(alice, videoOf(0, 7));
+  watch(alice, videoOf(0, 6));
+  login(bob);
+  watch(bob, videoOf(0, 7));  // links Bob to Alice
+  // During Bob's playback the prefetcher samples Alice's cache.
+  EXPECT_GT(stack_.metrics().prefetchIssued(), 0u);
+}
+
+TEST_F(NetTubeTest, ReloginReregistersCachedVideos) {
+  const UserId alice{0};
+  login(alice);
+  const VideoId video = videoOf(0, 7);
+  watch(alice, video);
+  logout(alice);
+  EXPECT_FALSE(system_.directory().contains(alice, video));
+  login(alice);
+  EXPECT_TRUE(system_.directory().contains(alice, video));
+  EXPECT_EQ(system_.linkCount(alice), 0u);  // links rebuilt lazily
+}
+
+TEST_F(NetTubeTest, GracefulLogoutDropsReciprocalLinks) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 7);
+  login(alice);
+  watch(alice, video);
+  login(bob);
+  watch(bob, video);
+  ASSERT_GE(system_.linkCount(bob), 1u);
+  logout(alice, /*graceful=*/true);
+  stack_.settle();
+  EXPECT_EQ(system_.linkCount(bob), 0u);
+}
+
+TEST_F(NetTubeTest, AbruptLogoutLeavesStaleLinksUntilProbe) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 7);
+  login(alice);
+  watch(alice, video);
+  login(bob);
+  watch(bob, video);
+  ASSERT_GE(system_.linkCount(bob), 1u);
+  logout(alice, /*graceful=*/false);
+  EXPECT_GE(system_.linkCount(bob), 1u);  // stale
+  stack_.settle(stack_.config().probeInterval + sim::kSecond);
+  EXPECT_EQ(system_.linkCount(bob), 0u);
+}
+
+TEST_F(NetTubeTest, CacheHitIsInstant) {
+  const UserId alice{0};
+  login(alice);
+  const VideoId video = videoOf(0, 7);
+  watch(alice, video);
+  watch(alice, video);
+  EXPECT_EQ(stack_.metrics().cacheHits(), 1u);
+  EXPECT_EQ(lastDelay_, 0);
+}
+
+}  // namespace
+}  // namespace st::baselines

@@ -1,0 +1,178 @@
+#include "baselines/pavod.h"
+
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace st::baselines {
+namespace {
+
+using st::testing::Stack;
+using st::testing::miniCatalog;
+
+class PaVodTest : public ::testing::Test {
+ protected:
+  PaVodTest()
+      : stack_(miniCatalog(8, 1, 2, 6)),
+        system_(stack_.ctx(), stack_.transfers()) {
+    system_.setPlaybackCallback([this](UserId user, VideoId video,
+                                       sim::SimTime delay, bool timedOut) {
+      lastUser_ = user;
+      lastVideo_ = video;
+      lastDelay_ = delay;
+      lastTimedOut_ = timedOut;
+      ++playbacks_;
+    });
+  }
+
+  void login(UserId user) {
+    stack_.ctx().setOnline(user, true);
+    system_.onLogin(user);
+  }
+  void logout(UserId user) {
+    stack_.ctx().setOnline(user, false);
+    stack_.transfers().onUserOffline(user);
+    system_.onLogout(user, true);
+  }
+  VideoId videoOf(std::size_t channel, std::size_t rank) {
+    return stack_.catalog()
+        .channel(ChannelId{static_cast<std::uint32_t>(channel)})
+        .videos[rank];
+  }
+
+  Stack stack_;
+  PaVodSystem system_;
+  UserId lastUser_;
+  VideoId lastVideo_;
+  sim::SimTime lastDelay_ = -1;
+  bool lastTimedOut_ = false;
+  int playbacks_ = 0;
+};
+
+TEST_F(PaVodTest, LoneRequestServedByServer) {
+  const UserId alice{0};
+  login(alice);
+  system_.requestVideo(alice, videoOf(0, 0));
+  stack_.settle();
+  EXPECT_EQ(playbacks_, 1);
+  EXPECT_EQ(stack_.metrics().serverFallbacks(), 1u);
+  EXPECT_EQ(stack_.metrics().serverChunks(alice), 20u);
+}
+
+TEST_F(PaVodTest, ConcurrentWatcherWithFullCopyServesPeer) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 0);
+  login(alice);
+  login(bob);
+  system_.requestVideo(alice, video);
+  // Let Alice finish the download (becomes a provider while "watching").
+  stack_.settle();
+  ASSERT_EQ(stack_.metrics().serverChunks(alice), 20u);
+  // Bob requests while Alice still watches (playback end not signalled).
+  system_.requestVideo(bob, video);
+  stack_.settle();
+  EXPECT_EQ(stack_.metrics().channelHits(), 1u);  // peer-served
+  EXPECT_EQ(stack_.metrics().peerChunks(bob), 20u);
+}
+
+TEST_F(PaVodTest, NoCacheMeansRepeatRequestsHitServerAgain) {
+  const UserId alice{0};
+  const VideoId video = videoOf(0, 0);
+  login(alice);
+  system_.requestVideo(alice, video);
+  stack_.settle();
+  system_.onPlaybackComplete(alice, video);
+  system_.requestVideo(alice, video);  // same video again
+  stack_.settle();
+  EXPECT_EQ(stack_.metrics().cacheHits(), 0u);
+  EXPECT_EQ(stack_.metrics().serverFallbacks(), 2u);
+  EXPECT_EQ(stack_.metrics().serverChunks(alice), 40u);
+}
+
+TEST_F(PaVodTest, PlaybackCompleteStopsProviding) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 0);
+  login(alice);
+  login(bob);
+  system_.requestVideo(alice, video);
+  stack_.settle();
+  system_.onPlaybackComplete(alice, video);  // Alice done watching
+  system_.requestVideo(bob, video);
+  stack_.settle();
+  // No current watcher: the server serves.
+  EXPECT_EQ(stack_.metrics().channelHits(), 0u);
+  EXPECT_EQ(stack_.metrics().serverChunks(bob), 20u);
+}
+
+TEST_F(PaVodTest, LogoutRemovesWatcherRegistration) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 0);
+  login(alice);
+  system_.requestVideo(alice, video);
+  stack_.settle();
+  logout(alice);
+  login(bob);
+  system_.requestVideo(bob, video);
+  stack_.settle();
+  EXPECT_EQ(stack_.metrics().serverChunks(bob), 20u);
+  EXPECT_EQ(stack_.metrics().channelHits(), 0u);
+}
+
+TEST_F(PaVodTest, LinkCountReflectsActivePeerDownloadOnly) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 0);
+  login(alice);
+  login(bob);
+  EXPECT_EQ(system_.linkCount(alice), 0u);
+  system_.requestVideo(alice, video);
+  stack_.settle();
+  EXPECT_EQ(system_.linkCount(alice), 0u);  // server download: no peer link
+  system_.requestVideo(bob, video);
+  stack_.settle();
+  EXPECT_EQ(system_.linkCount(bob), 1u);  // peer-sourced download
+  system_.onPlaybackComplete(bob, video);
+  EXPECT_EQ(system_.linkCount(bob), 0u);
+}
+
+TEST_F(PaVodTest, NewRequestSupersedesOldWatch) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId v1 = videoOf(0, 0);
+  const VideoId v2 = videoOf(0, 1);
+  login(alice);
+  login(bob);
+  system_.requestVideo(alice, v1);
+  stack_.settle();
+  // Alice moves on to v2 without completing playback bookkeeping for v1.
+  system_.requestVideo(alice, v2);
+  stack_.settle();
+  // She no longer provides v1.
+  system_.requestVideo(bob, v1);
+  stack_.settle();
+  EXPECT_EQ(stack_.metrics().serverChunks(bob), 20u);
+}
+
+TEST_F(PaVodTest, ProviderChurnFailsOverToServer) {
+  const UserId alice{0};
+  const UserId bob{1};
+  const VideoId video = videoOf(0, 0);
+  login(alice);
+  login(bob);
+  system_.requestVideo(alice, video);
+  stack_.settle();
+  system_.requestVideo(bob, video);  // peer download from Alice begins
+  stack_.settle(2 * sim::kSecond);
+  logout(alice);  // provider leaves mid-transfer
+  stack_.settle();
+  EXPECT_EQ(playbacks_, 2);
+  EXPECT_EQ(stack_.metrics().peerChunks(bob) + stack_.metrics().serverChunks(bob),
+            20u);
+  EXPECT_GT(stack_.metrics().serverChunks(bob), 0u);
+}
+
+}  // namespace
+}  // namespace st::baselines

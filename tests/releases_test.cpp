@@ -1,0 +1,130 @@
+// Dynamic uploads: release scheduling, feed delivery, and selection guards.
+#include "vod/releases.h"
+
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "vod/selector.h"
+
+namespace st::vod {
+namespace {
+
+using st::testing::Stack;
+using st::testing::miniCatalog;
+
+class ReleaseTest : public ::testing::Test {
+ protected:
+  ReleaseTest()
+      : stack_(miniCatalog(8, 1, 2, 10)),
+        selector_(stack_.catalog(), stack_.config(), 1) {
+    selector_.attachContext(stack_.ctx());
+  }
+
+  Stack stack_;
+  VideoSelector selector_;
+};
+
+TEST_F(ReleaseTest, EverythingReleasedByDefault) {
+  for (const trace::Video& video : stack_.catalog().videos()) {
+    EXPECT_TRUE(stack_.ctx().isReleased(video.id));
+  }
+}
+
+TEST_F(ReleaseTest, ScheduledVideoIsHeldBackUntilItsInstant) {
+  ReleaseManager releases(stack_.ctx(), selector_, 1.0, 1);
+  const VideoId video = stack_.catalog().channel(ChannelId{0}).videos[3];
+  releases.schedule({{video, 10 * sim::kMinute}});
+  EXPECT_FALSE(stack_.ctx().isReleased(video));
+  stack_.sim().runUntil(9 * sim::kMinute);
+  EXPECT_FALSE(stack_.ctx().isReleased(video));
+  stack_.sim().runUntil(11 * sim::kMinute);
+  EXPECT_TRUE(stack_.ctx().isReleased(video));
+  EXPECT_EQ(releases.releasesFired(), 1u);
+}
+
+TEST_F(ReleaseTest, FeedReachesSubscribersWithProbabilityOne) {
+  ReleaseManager releases(stack_.ctx(), selector_, 1.0, 1);
+  const trace::Channel& channel = stack_.catalog().channel(ChannelId{0});
+  const VideoId video = channel.videos[3];
+  releases.schedule({{video, sim::kMinute}});
+  stack_.sim().runUntil(2 * sim::kMinute);
+  EXPECT_EQ(releases.feedNotifications(), channel.subscribers.size());
+  for (const UserId subscriber : channel.subscribers) {
+    EXPECT_EQ(selector_.pendingFeed(subscriber), 1u);
+  }
+}
+
+TEST_F(ReleaseTest, FeedProbabilityZeroNotifiesNobody) {
+  ReleaseManager releases(stack_.ctx(), selector_, 0.0, 1);
+  const VideoId video = stack_.catalog().channel(ChannelId{0}).videos[3];
+  releases.schedule({{video, sim::kMinute}});
+  stack_.sim().runUntil(2 * sim::kMinute);
+  EXPECT_EQ(releases.feedNotifications(), 0u);
+}
+
+TEST_F(ReleaseTest, FeedEntryIsWatchedNext) {
+  ReleaseManager releases(stack_.ctx(), selector_, 1.0, 1);
+  const VideoId video = stack_.catalog().channel(ChannelId{0}).videos[7];
+  releases.schedule({{video, sim::kMinute}});
+  stack_.sim().runUntil(2 * sim::kMinute);
+  const UserId subscriber =
+      stack_.catalog().channel(ChannelId{0}).subscribers.front();
+  EXPECT_EQ(selector_.firstVideo(subscriber), video);
+  EXPECT_EQ(selector_.feedWatches(), 1u);
+  // Consumed: the next selection is organic.
+  EXPECT_EQ(selector_.pendingFeed(subscriber), 0u);
+}
+
+TEST_F(ReleaseTest, UnreleasedFeedEntryWaits) {
+  ReleaseManager releases(stack_.ctx(), selector_, 1.0, 1);
+  const VideoId video = stack_.catalog().channel(ChannelId{0}).videos[7];
+  const UserId user{0};
+  stack_.ctx().setReleased(video, false);
+  selector_.pushFeed(user, video);
+  // Not released: the feed entry is skipped (dropped), organic pick instead.
+  const VideoId picked = selector_.firstVideo(user);
+  EXPECT_NE(picked, video);
+  (void)releases;
+}
+
+TEST_F(ReleaseTest, SelectorNeverPicksUnreleasedVideos) {
+  // Hold back most of channel 0.
+  const trace::Channel& channel = stack_.catalog().channel(ChannelId{0});
+  for (std::size_t rank = 1; rank < channel.videos.size(); ++rank) {
+    stack_.ctx().setReleased(channel.videos[rank], false);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const UserId user{static_cast<std::uint32_t>(i % 8)};
+    const VideoId picked = selector_.firstVideo(user);
+    ASSERT_TRUE(stack_.ctx().isReleased(picked));
+  }
+}
+
+TEST_F(ReleaseTest, UniformPlanSkipsTopVideoAndSmallChannels) {
+  const auto plan = ReleaseManager::uniformPlan(
+      stack_.catalog(), 2, sim::kMinute, sim::kHour, 7, /*minChannelSize=*/3);
+  EXPECT_FALSE(plan.empty());
+  for (const auto& entry : plan) {
+    const trace::Video& video = stack_.catalog().video(entry.video);
+    EXPECT_GT(video.rankInChannel, 0u);  // the top video stays released
+    EXPECT_GE(entry.at, sim::kMinute);
+    EXPECT_LE(entry.at, sim::kHour);
+  }
+  // Two per channel, both channels eligible (10 videos each).
+  EXPECT_EQ(plan.size(), 4u);
+}
+
+TEST_F(ReleaseTest, UniformPlanDeterministicInSeed) {
+  const auto a = ReleaseManager::uniformPlan(stack_.catalog(), 1,
+                                             sim::kMinute, sim::kHour, 9);
+  const auto b = ReleaseManager::uniformPlan(stack_.catalog(), 1,
+                                             sim::kMinute, sim::kHour, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].video, b[i].video);
+    EXPECT_EQ(a[i].at, b[i].at);
+  }
+}
+
+}  // namespace
+}  // namespace st::vod

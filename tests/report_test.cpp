@@ -1,0 +1,91 @@
+// Smoke tests for the console report formatting (captured via stdout) and
+// the fairness metric surfaced through ExperimentResult.
+#include "exp/report.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+
+namespace st::exp {
+namespace {
+
+ExperimentResult fakeResult(const std::string& name) {
+  ExperimentResult result;
+  result.system = name;
+  for (int i = 0; i <= 100; ++i) {
+    result.normalizedPeerBandwidth.add(i / 100.0);
+    result.startupDelayMs.add(static_cast<double>(i));
+  }
+  result.linksByVideosWatched.resize(4);
+  for (std::size_t n = 1; n <= 3; ++n) {
+    result.linksByVideosWatched[n].add(static_cast<double>(5 * n));
+  }
+  result.watches = 101;
+  result.peerChunks = 900;
+  result.serverChunks = 100;
+  return result;
+}
+
+TEST(Report, PercentilesLineContainsValues) {
+  ::testing::internal::CaptureStdout();
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.add(static_cast<double>(i));
+  printPercentiles("test-metric", samples, {50});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("test-metric"), std::string::npos);
+  EXPECT_NE(out.find("n=100"), std::string::npos);
+  EXPECT_NE(out.find("50.5"), std::string::npos);
+}
+
+TEST(Report, CdfTableHasRequestedPoints) {
+  ::testing::internal::CaptureStdout();
+  SampleSet samples;
+  for (int i = 0; i < 50; ++i) samples.add(static_cast<double>(i));
+  printCdf("cdf-metric", samples, 5);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  // Header + 5 data lines.
+  EXPECT_NE(out.find("cdf-metric"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 7);
+}
+
+TEST(Report, PeerBandwidthTableListsAllSystems) {
+  ::testing::internal::CaptureStdout();
+  printPeerBandwidth({fakeResult("A-System"), fakeResult("B-System")});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("A-System"), std::string::npos);
+  EXPECT_NE(out.find("B-System"), std::string::npos);
+  EXPECT_NE(out.find("p50"), std::string::npos);
+}
+
+TEST(Report, MaintenanceTableHasRowPerVideoIndex) {
+  ::testing::internal::CaptureStdout();
+  printMaintenance({fakeResult("X")});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("videos"), std::string::npos);
+  EXPECT_NE(out.find("15.00"), std::string::npos);  // 3rd video: 15 links
+}
+
+TEST(Report, StartupDelayAndCountersDoNotCrash) {
+  ::testing::internal::CaptureStdout();
+  printStartupDelay("label", fakeResult("Y"));
+  printCounters(fakeResult("Y"));
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("label"), std::string::npos);
+  EXPECT_NE(out.find("watches=101"), std::string::npos);
+}
+
+TEST(Fairness, UploadGiniIsComputedAndSkewed) {
+  ExperimentConfig config = ExperimentConfig::simulationDefaults(21);
+  config = config.scaledTo(300, 4);
+  config.duration = 2 * sim::kDay;
+  const ExperimentResult result =
+      runExperiment(config, SystemKind::kSocialTube);
+  // Popular-channel members seed far more than leaf users: upload load is
+  // measurably unequal but not degenerate.
+  EXPECT_GT(result.uploadGini, 0.2);
+  EXPECT_LT(result.uploadGini, 0.98);
+}
+
+}  // namespace
+}  // namespace st::exp

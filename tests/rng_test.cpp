@@ -1,0 +1,217 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace st {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate) {
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(rng.next());
+  EXPECT_GT(values.size(), 95u);
+}
+
+TEST(Rng, PurposeStreamsAreIndependent) {
+  Rng a = Rng::forPurpose(7, "alpha");
+  Rng b = Rng::forPurpose(7, "beta");
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+  // Same purpose + seed reproduces.
+  Rng c = Rng::forPurpose(7, "alpha");
+  Rng d = Rng::forPurpose(7, "alpha");
+  EXPECT_EQ(c.next(), d.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedOverSmallRange) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.uniformInt(std::uint64_t{7})];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, n / 7.0 * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(6);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniformInt(std::int64_t{-2}, std::int64_t{2});
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    sawLo |= v == -2;
+    sawHi |= v == 2;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(5.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(10);
+  std::vector<double> samples;
+  const int n = 30001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) samples.push_back(rng.lognormal(1.5, 0.75));
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], std::exp(1.5), std::exp(1.5) * 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(13);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale) {
+  Rng rng(14);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(15);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+  EXPECT_NE(shuffled, v);  // 50! permutations; identity is ~impossible
+}
+
+TEST(Rng, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIntNeverExceedsBound) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t bound = 1 + rng.next() % 1000;
+    ASSERT_LT(rng.uniformInt(bound), bound);
+  }
+}
+
+TEST_P(RngSeedSweep, UniformMeanIsCentered) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1337,
+                                           0xdeadbeefcafeull));
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,166 @@
+#include "vod/selector.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "harness.h"
+#include "trace/generator.h"
+
+namespace st::vod {
+namespace {
+
+using st::testing::miniCatalog;
+
+trace::Catalog bigCatalog(std::uint64_t seed = 1) {
+  trace::GeneratorParams params;
+  params.seed = seed;
+  params.numUsers = 400;
+  params.numChannels = 40;
+  params.numVideos = 1'200;
+  return trace::generateTrace(params);
+}
+
+TEST(Selector, FirstVideoComesFromSubscribedChannelUsually) {
+  const trace::Catalog catalog = bigCatalog();
+  VodConfig config;
+  VideoSelector selector(catalog, config, 1);
+  std::size_t fromSubscription = 0;
+  std::size_t total = 0;
+  for (std::uint32_t u = 0; u < 400; ++u) {
+    const UserId user{u};
+    if (catalog.user(user).subscriptions.empty()) continue;
+    const VideoId video = selector.firstVideo(user);
+    ++total;
+    if (catalog.isSubscribed(user, catalog.video(video).channel)) {
+      ++fromSubscription;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_EQ(fromSubscription, total);  // always from a subscription when any
+}
+
+TEST(Selector, NextVideoFollows751510Rule) {
+  const trace::Catalog catalog = bigCatalog();
+  VodConfig config;
+  VideoSelector selector(catalog, config, 2);
+  std::size_t sameChannel = 0;
+  std::size_t sameCategory = 0;
+  std::size_t different = 0;
+  std::size_t total = 0;
+  for (std::uint32_t u = 0; u < 400; ++u) {
+    const UserId user{u};
+    VideoId current = selector.firstVideo(user);
+    for (int i = 0; i < 25; ++i) {
+      const VideoId next = selector.nextVideo(user, current);
+      const trace::Video& a = catalog.video(current);
+      const trace::Video& b = catalog.video(next);
+      ++total;
+      if (a.channel == b.channel) {
+        ++sameChannel;
+      } else if (catalog.channel(a.channel).primaryCategory() ==
+                 catalog.channel(b.channel).primaryCategory()) {
+        ++sameCategory;
+      } else {
+        ++different;
+      }
+      current = next;
+    }
+  }
+  const double n = static_cast<double>(total);
+  EXPECT_NEAR(sameChannel / n, 0.75, 0.05);
+  // Same-category includes some "different category" rolls that landed in
+  // the same category by chance, so the band is loose.
+  EXPECT_NEAR(sameCategory / n, 0.15, 0.08);
+  EXPECT_GT(different / n, 0.02);
+}
+
+TEST(Selector, PopularVideosSelectedMoreOften) {
+  // One channel, fixed rank order: rank 0 should be picked far more often
+  // than the last rank (Zipf weighting).
+  const trace::Catalog catalog = miniCatalog(50, 1, 1, 20);
+  VodConfig config;
+  VideoSelector selector(catalog, config, 3);
+  std::map<std::uint32_t, int> countsByRank;
+  for (std::uint32_t u = 0; u < 50; ++u) {
+    // Fresh users each time: first pick is unconstrained by rewatch memory.
+    const VideoId video = selector.firstVideo(UserId{u});
+    ++countsByRank[catalog.video(video).rankInChannel];
+  }
+  EXPECT_GT(countsByRank[0], countsByRank[19]);
+}
+
+TEST(Selector, AvoidsRewatchingWithinBudget) {
+  const trace::Catalog catalog = miniCatalog(4, 1, 1, 30);
+  VodConfig config;
+  VideoSelector selector(catalog, config, 4);
+  const UserId user{0};
+  std::set<VideoId> seen;
+  VideoId current = selector.firstVideo(user);
+  seen.insert(current);
+  int rewatches = 0;
+  for (int i = 0; i < 15; ++i) {
+    current = selector.nextVideo(user, current);
+    if (!seen.insert(current).second) ++rewatches;
+  }
+  // 16 picks from 30 videos: the rewatch-avoidance resampling should keep
+  // repeats rare.
+  EXPECT_LE(rewatches, 3);
+}
+
+TEST(Selector, PerUserStreamsAreIndependentOfCallOrder) {
+  // The same user's k-th selection must be identical regardless of how
+  // other users' selections interleave — the cross-system pairing property.
+  const trace::Catalog catalog = bigCatalog();
+  VodConfig config;
+  VideoSelector a(catalog, config, 7);
+  VideoSelector b(catalog, config, 7);
+
+  const UserId u1{10};
+  const UserId u2{20};
+  // Order A: u1 then u2 strictly alternating.
+  std::vector<VideoId> u1SeqA;
+  VideoId c1 = a.firstVideo(u1);
+  VideoId c2 = a.firstVideo(u2);
+  for (int i = 0; i < 10; ++i) {
+    c1 = a.nextVideo(u1, c1);
+    u1SeqA.push_back(c1);
+    c2 = a.nextVideo(u2, c2);
+  }
+  // Order B: u2 finishes everything first, then u1.
+  std::vector<VideoId> u1SeqB;
+  VideoId d2 = b.firstVideo(u2);
+  for (int i = 0; i < 10; ++i) d2 = b.nextVideo(u2, d2);
+  VideoId d1 = b.firstVideo(u1);
+  for (int i = 0; i < 10; ++i) {
+    d1 = b.nextVideo(u1, d1);
+    u1SeqB.push_back(d1);
+  }
+  EXPECT_EQ(u1SeqA, u1SeqB);
+}
+
+TEST(Selector, DeterministicInSeed) {
+  const trace::Catalog catalog = bigCatalog();
+  VodConfig config;
+  VideoSelector a(catalog, config, 9);
+  VideoSelector b(catalog, config, 9);
+  for (std::uint32_t u = 0; u < 50; ++u) {
+    EXPECT_EQ(a.firstVideo(UserId{u}), b.firstVideo(UserId{u}));
+  }
+}
+
+TEST(Selector, SingleCategoryCatalogNeverCrashes) {
+  const trace::Catalog catalog = miniCatalog(10, 1, 2, 5);
+  VodConfig config;
+  VideoSelector selector(catalog, config, 11);
+  const UserId user{0};
+  VideoId current = selector.firstVideo(user);
+  for (int i = 0; i < 50; ++i) {
+    current = selector.nextVideo(user, current);
+    ASSERT_TRUE(current.valid());
+  }
+}
+
+}  // namespace
+}  // namespace st::vod

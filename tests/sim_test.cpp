@@ -1,0 +1,183 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace st::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimeEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule(42, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, NestedSchedulingFromCallback) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle handle = sim.schedule(10, [&] { ran = true; });
+  sim.cancel(handle);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterFiringIsHarmless) {
+  Simulator sim;
+  int count = 0;
+  const EventHandle handle = sim.schedule(10, [&] { ++count; });
+  sim.run();
+  sim.cancel(handle);  // already fired; must not affect anything
+  sim.schedule(5, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoop) {
+  Simulator sim;
+  sim.cancel(EventHandle{});
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule(10, [&] { fired.push_back(10); });
+  sim.schedule(20, [&] { fired.push_back(20); });
+  sim.schedule(30, [&] { fired.push_back(30); });
+  sim.runUntil(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  sim.run();
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.runUntil(100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1, [&] { ++count; });
+  sim.schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int ticks = 0;
+  sim.schedulePeriodic(10, [&] { ++ticks; });
+  sim.runUntil(55);
+  EXPECT_EQ(ticks, 5);  // at 10, 20, 30, 40, 50
+}
+
+TEST(Simulator, PeriodicCancelStopsSeries) {
+  Simulator sim;
+  int ticks = 0;
+  const EventHandle handle = sim.schedulePeriodic(10, [&] { ++ticks; });
+  sim.schedule(35, [&] { sim.cancel(handle); });
+  sim.runUntil(200);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator sim;
+  int ticks = 0;
+  EventHandle handle;
+  handle = sim.schedulePeriodic(10, [&] {
+    if (++ticks == 2) sim.cancel(handle);
+  });
+  sim.runUntil(500);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.scheduleAt(77, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(Simulator, EventsFiredCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.eventsFired(), 5u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule((i * 7919) % 1000, [&, i] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.eventsFired(), 10000u);
+}
+
+TEST(SimTimeConversions, RoundTrip) {
+  EXPECT_EQ(fromSeconds(1.5), 1'500'000);
+  EXPECT_EQ(fromMillis(2.5), 2'500);
+  EXPECT_DOUBLE_EQ(toSeconds(3 * kSecond), 3.0);
+  EXPECT_DOUBLE_EQ(toMillis(kSecond), 1000.0);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kHour, 3600 * kSecond);
+}
+
+}  // namespace
+}  // namespace st::sim

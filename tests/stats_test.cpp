@@ -1,0 +1,191 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+#include <cmath>
+#include <vector>
+
+namespace st {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  SampleSet samples;
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) samples.add(x);
+  EXPECT_DOUBLE_EQ(samples.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(samples.median(), 25.0);
+}
+
+TEST(SampleSet, PercentileAfterLateAdd) {
+  SampleSet samples;
+  samples.add(1.0);
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 1.0);
+  samples.add(3.0);  // re-sorts lazily
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 2.0);
+}
+
+TEST(SampleSet, EmptyPercentileIsZero) {
+  const SampleSet samples;
+  EXPECT_DOUBLE_EQ(samples.percentile(50), 0.0);
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(SampleSet, CdfIsMonotone) {
+  SampleSet samples;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) samples.add(rng.uniform(0.0, 100.0));
+  const auto curve = samples.cdf(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    ASSERT_GE(curve[i].first, curve[i - 1].first);
+    ASSERT_GT(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(SampleSet, MeanAndSum) {
+  SampleSet samples;
+  samples.add(1.0);
+  samples.add(2.0);
+  samples.add(6.0);
+  EXPECT_DOUBLE_EQ(samples.sum(), 9.0);
+  EXPECT_DOUBLE_EQ(samples.mean(), 3.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearsonCorrelation(x, c), 0.0);
+}
+
+TEST(Pearson, IndependentIsNearZero) {
+  Rng rng(2);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearsonCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);   // bucket 0
+  hist.add(9.99);  // bucket 4
+  hist.add(-3.0);  // clamps to bucket 0
+  hist.add(42.0);  // clamps to bucket 4
+  hist.add(5.0);   // bucket 2
+  EXPECT_EQ(hist.totalSamples(), 5u);
+  EXPECT_EQ(hist.bucketSamples(0), 2u);
+  EXPECT_EQ(hist.bucketSamples(2), 1u);
+  EXPECT_EQ(hist.bucketSamples(4), 2u);
+  EXPECT_DOUBLE_EQ(hist.bucketLow(2), 4.0);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = linearFit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  const std::vector<double> one = {1.0};
+  EXPECT_DOUBLE_EQ(linearFit(one, one).slope, 0.0);
+  const std::vector<double> x = {2.0, 2.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(linearFit(x, y).slope, 0.0);  // vertical line: no fit
+}
+
+TEST(FitZipf, RecoversExponent) {
+  std::vector<double> views;
+  for (int k = 1; k <= 100; ++k) {
+    views.push_back(1e6 / std::pow(k, 1.2));
+  }
+  const ZipfFit fit = fitZipf(views);
+  EXPECT_NEAR(fit.exponent, 1.2, 0.01);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(FitZipf, IgnoresZeroEntries) {
+  std::vector<double> views = {100.0, 50.0, 0.0, 25.0};
+  const ZipfFit fit = fitZipf(views);
+  EXPECT_GT(fit.exponent, 0.0);
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,181 @@
+// Multi-source (striped) body downloads — the swarming extension.
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "vod/transfer.h"
+
+namespace st::vod {
+namespace {
+
+using st::testing::Stack;
+using st::testing::miniCatalog;
+
+constexpr UserId kAlice{0};
+constexpr UserId kBob{1};
+constexpr UserId kCarol{2};
+constexpr UserId kDave{3};
+constexpr VideoId kVideo{0};
+
+class SwarmTest : public ::testing::Test {
+ protected:
+  static VodConfig config(std::size_t sources) {
+    VodConfig c;
+    c.bodySources = sources;
+    return c;
+  }
+
+  explicit SwarmTest(std::size_t sources = 3)
+      : stack_(miniCatalog(5, 1, 1, 3), config(sources)) {
+    for (std::uint32_t u = 0; u < 5; ++u) {
+      stack_.ctx().setOnline(UserId{u}, true);
+    }
+  }
+
+  Stack stack_;
+};
+
+TEST_F(SwarmTest, BodyStripedAcrossProviders) {
+  bool complete = false;
+  stack_.transfers().startWatch({
+      .user = kAlice,
+      .video = kVideo,
+      .provider = kBob,
+      .extraProviders = {kCarol, kDave},
+      .requestTime = 0,
+      .onPlaybackReady = nullptr,
+      .onFinished = [&](bool c) { complete = c; },
+  });
+  stack_.sim().run();
+  EXPECT_TRUE(complete);
+  // All 20 chunks peer-delivered (3 providers, no server involvement).
+  EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 20u);
+  EXPECT_EQ(stack_.metrics().serverChunks(kAlice), 0u);
+  // Every provider moved bytes.
+  for (const UserId p : {kBob, kCarol, kDave}) {
+    EXPECT_GT(stack_.network().flows().bytesUploaded(stack_.ctx().endpointOf(p)),
+              0u);
+  }
+}
+
+TEST_F(SwarmTest, StripingIsFasterThanSingleSource) {
+  // Single source: body at min(1 Mbps up, 4 Mbps down) = 1 Mbps.
+  // Three sources: aggregate 3 Mbps up, under the 4 Mbps downlink.
+  Stack single(miniCatalog(5, 1, 1, 3), config(1));
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    single.ctx().setOnline(UserId{u}, true);
+  }
+  sim::SimTime singleDone = 0;
+  single.transfers().startWatch({
+      .user = kAlice,
+      .video = kVideo,
+      .provider = kBob,
+      .extraProviders = {kCarol, kDave},  // ignored with bodySources = 1
+      .requestTime = 0,
+      .onPlaybackReady = nullptr,
+      .onFinished = [&](bool) { singleDone = single.sim().now(); },
+  });
+  single.sim().run();
+
+  sim::SimTime stripedDone = 0;
+  stack_.transfers().startWatch({
+      .user = kAlice,
+      .video = kVideo,
+      .provider = kBob,
+      .extraProviders = {kCarol, kDave},
+      .requestTime = 0,
+      .onPlaybackReady = nullptr,
+      .onFinished = [&](bool) { stripedDone = stack_.sim().now(); },
+  });
+  stack_.sim().run();
+  EXPECT_LT(stripedDone, singleDone);
+  EXPECT_LT(stripedDone, singleDone * 2 / 3);  // ~2.6x faster in theory
+}
+
+TEST_F(SwarmTest, SegmentProviderChurnFailsOverOnlyThatStripe) {
+  bool complete = false;
+  stack_.transfers().startWatch({
+      .user = kAlice,
+      .video = kVideo,
+      .provider = kBob,
+      .extraProviders = {kCarol},
+      .requestTime = 0,
+      .onPlaybackReady = nullptr,
+      .onFinished = [&](bool c) { complete = c; },
+  });
+  stack_.sim().schedule(2 * sim::kSecond, [&] {
+    stack_.ctx().setOnline(kCarol, false);
+    stack_.transfers().onUserOffline(kCarol);
+  });
+  stack_.sim().run();
+  EXPECT_TRUE(complete);
+  const std::uint64_t peer = stack_.metrics().peerChunks(kAlice);
+  const std::uint64_t server = stack_.metrics().serverChunks(kAlice);
+  EXPECT_EQ(peer + server, 20u);
+  EXPECT_GT(server, 0u);          // Carol's stripe finished at the server
+  EXPECT_GT(peer, 10u);           // Bob's stripe (and partial credit) held
+}
+
+TEST_F(SwarmTest, DuplicateAndOfflineExtrasAreSkipped) {
+  stack_.ctx().setOnline(kDave, false);
+  bool complete = false;
+  stack_.transfers().startWatch({
+      .user = kAlice,
+      .video = kVideo,
+      .provider = kBob,
+      .extraProviders = {kBob, kDave, kCarol},  // dup + offline + good
+      .requestTime = 0,
+      .onPlaybackReady = nullptr,
+      .onFinished = [&](bool c) { complete = c; },
+  });
+  stack_.sim().run();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 20u);
+  EXPECT_EQ(
+      stack_.network().flows().bytesUploaded(stack_.ctx().endpointOf(kDave)),
+      0u);
+}
+
+TEST_F(SwarmTest, MoreSourcesThanBodyChunksIsClamped) {
+  VodConfig c;
+  c.bodySources = 8;
+  c.chunksPerVideo = 3;  // body = 2 chunks: at most 2 stripes
+  Stack stack(miniCatalog(5, 1, 1, 3), c);
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    stack.ctx().setOnline(UserId{u}, true);
+  }
+  bool complete = false;
+  stack.transfers().startWatch({
+      .user = kAlice,
+      .video = kVideo,
+      .provider = kBob,
+      .extraProviders = {kCarol, kDave},
+      .requestTime = 0,
+      .onPlaybackReady = nullptr,
+      .onFinished = [&](bool done) { complete = done; },
+  });
+  stack.sim().run();
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(stack.metrics().peerChunks(kAlice), 3u);
+}
+
+TEST_F(SwarmTest, UserOfflineCancelsAllStripes) {
+  stack_.transfers().startWatch({
+      .user = kAlice,
+      .video = kVideo,
+      .provider = kBob,
+      .extraProviders = {kCarol, kDave},
+      .requestTime = 0,
+      .onPlaybackReady = nullptr,
+      .onFinished = nullptr,
+  });
+  stack_.sim().schedule(2 * sim::kSecond, [&] {
+    stack_.ctx().setOnline(kAlice, false);
+    stack_.transfers().onUserOffline(kAlice);
+  });
+  stack_.sim().run();
+  EXPECT_EQ(stack_.transfers().activeWatches(), 0u);
+  EXPECT_EQ(stack_.network().flows().activeFlows(), 0u);
+}
+
+}  // namespace
+}  // namespace st::vod
