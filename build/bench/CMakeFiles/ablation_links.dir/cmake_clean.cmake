@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_links.dir/ablation_links.cpp.o"
+  "CMakeFiles/ablation_links.dir/ablation_links.cpp.o.d"
+  "ablation_links"
+  "ablation_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_swarm.dir/ablation_swarm.cpp.o"
+  "CMakeFiles/ablation_swarm.dir/ablation_swarm.cpp.o.d"
+  "ablation_swarm"
+  "ablation_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

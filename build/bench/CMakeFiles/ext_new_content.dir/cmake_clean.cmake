@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_new_content.dir/ext_new_content.cpp.o"
+  "CMakeFiles/ext_new_content.dir/ext_new_content.cpp.o.d"
+  "ext_new_content"
+  "ext_new_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_new_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_channel_view_freq.dir/fig03_channel_view_freq.cpp.o"
+  "CMakeFiles/fig03_channel_view_freq.dir/fig03_channel_view_freq.cpp.o.d"
+  "fig03_channel_view_freq"
+  "fig03_channel_view_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_channel_view_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_channel_view_freq.
+# This may be replaced when dependencies are built.

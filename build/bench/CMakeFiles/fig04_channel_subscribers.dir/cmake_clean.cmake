@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_channel_subscribers.dir/fig04_channel_subscribers.cpp.o"
+  "CMakeFiles/fig04_channel_subscribers.dir/fig04_channel_subscribers.cpp.o.d"
+  "fig04_channel_subscribers"
+  "fig04_channel_subscribers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_channel_subscribers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_views_vs_subs.dir/fig05_views_vs_subs.cpp.o"
+  "CMakeFiles/fig05_views_vs_subs.dir/fig05_views_vs_subs.cpp.o.d"
+  "fig05_views_vs_subs"
+  "fig05_views_vs_subs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_views_vs_subs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

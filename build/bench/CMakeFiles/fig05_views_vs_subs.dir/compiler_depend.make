@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_views_vs_subs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_views_vs_subs.
+# This may be replaced when dependencies are built.

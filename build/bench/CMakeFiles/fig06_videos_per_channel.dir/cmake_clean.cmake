@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_videos_per_channel.dir/fig06_videos_per_channel.cpp.o"
+  "CMakeFiles/fig06_videos_per_channel.dir/fig06_videos_per_channel.cpp.o.d"
+  "fig06_videos_per_channel"
+  "fig06_videos_per_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_videos_per_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

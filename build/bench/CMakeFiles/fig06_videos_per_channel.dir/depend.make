@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_videos_per_channel.
+# This may be replaced when dependencies are built.

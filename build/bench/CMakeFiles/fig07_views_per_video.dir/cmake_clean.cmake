@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_views_per_video.dir/fig07_views_per_video.cpp.o"
+  "CMakeFiles/fig07_views_per_video.dir/fig07_views_per_video.cpp.o.d"
+  "fig07_views_per_video"
+  "fig07_views_per_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_views_per_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

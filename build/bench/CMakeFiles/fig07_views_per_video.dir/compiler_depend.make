@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_views_per_video.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_favorites.dir/fig08_favorites.cpp.o"
+  "CMakeFiles/fig08_favorites.dir/fig08_favorites.cpp.o.d"
+  "fig08_favorites"
+  "fig08_favorites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_favorites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_favorites.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_zipf_within_channel.dir/fig09_zipf_within_channel.cpp.o"
+  "CMakeFiles/fig09_zipf_within_channel.dir/fig09_zipf_within_channel.cpp.o.d"
+  "fig09_zipf_within_channel"
+  "fig09_zipf_within_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_zipf_within_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_channel_clustering.dir/fig10_channel_clustering.cpp.o"
+  "CMakeFiles/fig10_channel_clustering.dir/fig10_channel_clustering.cpp.o.d"
+  "fig10_channel_clustering"
+  "fig10_channel_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_channel_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

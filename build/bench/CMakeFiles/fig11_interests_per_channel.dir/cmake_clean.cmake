@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_interests_per_channel.dir/fig11_interests_per_channel.cpp.o"
+  "CMakeFiles/fig11_interests_per_channel.dir/fig11_interests_per_channel.cpp.o.d"
+  "fig11_interests_per_channel"
+  "fig11_interests_per_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_interests_per_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_user_similarity.dir/fig12_user_similarity.cpp.o"
+  "CMakeFiles/fig12_user_similarity.dir/fig12_user_similarity.cpp.o.d"
+  "fig12_user_similarity"
+  "fig12_user_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_user_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

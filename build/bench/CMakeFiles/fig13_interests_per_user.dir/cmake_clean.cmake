@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_interests_per_user.dir/fig13_interests_per_user.cpp.o"
+  "CMakeFiles/fig13_interests_per_user.dir/fig13_interests_per_user.cpp.o.d"
+  "fig13_interests_per_user"
+  "fig13_interests_per_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_interests_per_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_interests_per_user.
+# This may be replaced when dependencies are built.

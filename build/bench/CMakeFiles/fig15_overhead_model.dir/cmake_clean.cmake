@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_overhead_model.dir/fig15_overhead_model.cpp.o"
+  "CMakeFiles/fig15_overhead_model.dir/fig15_overhead_model.cpp.o.d"
+  "fig15_overhead_model"
+  "fig15_overhead_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_overhead_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_peer_bandwidth.dir/fig16_peer_bandwidth.cpp.o"
+  "CMakeFiles/fig16_peer_bandwidth.dir/fig16_peer_bandwidth.cpp.o.d"
+  "fig16_peer_bandwidth"
+  "fig16_peer_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_peer_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

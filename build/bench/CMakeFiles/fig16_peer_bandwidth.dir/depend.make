@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_peer_bandwidth.
+# This may be replaced when dependencies are built.

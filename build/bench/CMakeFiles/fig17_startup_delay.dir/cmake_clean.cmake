@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_startup_delay.dir/fig17_startup_delay.cpp.o"
+  "CMakeFiles/fig17_startup_delay.dir/fig17_startup_delay.cpp.o.d"
+  "fig17_startup_delay"
+  "fig17_startup_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_startup_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_maintenance.dir/fig18_maintenance.cpp.o"
+  "CMakeFiles/fig18_maintenance.dir/fig18_maintenance.cpp.o.d"
+  "fig18_maintenance"
+  "fig18_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiseed_confidence.dir/multiseed_confidence.cpp.o"
+  "CMakeFiles/multiseed_confidence.dir/multiseed_confidence.cpp.o.d"
+  "multiseed_confidence"
+  "multiseed_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiseed_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_accuracy.dir/prefetch_accuracy.cpp.o"
+  "CMakeFiles/prefetch_accuracy.dir/prefetch_accuracy.cpp.o.d"
+  "prefetch_accuracy"
+  "prefetch_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_overhead.dir/search_overhead.cpp.o"
+  "CMakeFiles/search_overhead.dir/search_overhead.cpp.o.d"
+  "search_overhead"
+  "search_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_state.dir/server_state.cpp.o"
+  "CMakeFiles/server_state.dir/server_state.cpp.o.d"
+  "server_state"
+  "server_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

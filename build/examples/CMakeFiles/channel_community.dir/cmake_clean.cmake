@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_community.dir/channel_community.cpp.o"
+  "CMakeFiles/channel_community.dir/channel_community.cpp.o.d"
+  "channel_community"
+  "channel_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

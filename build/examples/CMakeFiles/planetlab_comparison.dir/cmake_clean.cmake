@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planetlab_comparison.dir/planetlab_comparison.cpp.o"
+  "CMakeFiles/planetlab_comparison.dir/planetlab_comparison.cpp.o.d"
+  "planetlab_comparison"
+  "planetlab_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planetlab_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

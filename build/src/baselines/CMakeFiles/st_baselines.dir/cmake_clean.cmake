@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_baselines.dir/nettube.cpp.o"
+  "CMakeFiles/st_baselines.dir/nettube.cpp.o.d"
+  "CMakeFiles/st_baselines.dir/pavod.cpp.o"
+  "CMakeFiles/st_baselines.dir/pavod.cpp.o.d"
+  "libst_baselines.a"
+  "libst_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

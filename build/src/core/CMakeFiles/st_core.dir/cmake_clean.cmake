@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_core.dir/socialtube.cpp.o"
+  "CMakeFiles/st_core.dir/socialtube.cpp.o.d"
+  "libst_core.a"
+  "libst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_exp.dir/analytical.cpp.o"
+  "CMakeFiles/st_exp.dir/analytical.cpp.o.d"
+  "CMakeFiles/st_exp.dir/config.cpp.o"
+  "CMakeFiles/st_exp.dir/config.cpp.o.d"
+  "CMakeFiles/st_exp.dir/csv.cpp.o"
+  "CMakeFiles/st_exp.dir/csv.cpp.o.d"
+  "CMakeFiles/st_exp.dir/multiseed.cpp.o"
+  "CMakeFiles/st_exp.dir/multiseed.cpp.o.d"
+  "CMakeFiles/st_exp.dir/report.cpp.o"
+  "CMakeFiles/st_exp.dir/report.cpp.o.d"
+  "CMakeFiles/st_exp.dir/runner.cpp.o"
+  "CMakeFiles/st_exp.dir/runner.cpp.o.d"
+  "libst_exp.a"
+  "libst_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_net.dir/flow_network.cpp.o"
+  "CMakeFiles/st_net.dir/flow_network.cpp.o.d"
+  "CMakeFiles/st_net.dir/latency.cpp.o"
+  "CMakeFiles/st_net.dir/latency.cpp.o.d"
+  "CMakeFiles/st_net.dir/network.cpp.o"
+  "CMakeFiles/st_net.dir/network.cpp.o.d"
+  "libst_net.a"
+  "libst_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

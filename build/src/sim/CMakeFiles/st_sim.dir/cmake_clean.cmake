@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_sim.dir/simulator.cpp.o"
+  "CMakeFiles/st_sim.dir/simulator.cpp.o.d"
+  "libst_sim.a"
+  "libst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_trace.dir/catalog.cpp.o"
+  "CMakeFiles/st_trace.dir/catalog.cpp.o.d"
+  "CMakeFiles/st_trace.dir/crawler.cpp.o"
+  "CMakeFiles/st_trace.dir/crawler.cpp.o.d"
+  "CMakeFiles/st_trace.dir/generator.cpp.o"
+  "CMakeFiles/st_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/st_trace.dir/io.cpp.o"
+  "CMakeFiles/st_trace.dir/io.cpp.o.d"
+  "CMakeFiles/st_trace.dir/stats.cpp.o"
+  "CMakeFiles/st_trace.dir/stats.cpp.o.d"
+  "libst_trace.a"
+  "libst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

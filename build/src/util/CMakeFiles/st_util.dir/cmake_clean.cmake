@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_util.dir/distributions.cpp.o"
+  "CMakeFiles/st_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/st_util.dir/flags.cpp.o"
+  "CMakeFiles/st_util.dir/flags.cpp.o.d"
+  "CMakeFiles/st_util.dir/logging.cpp.o"
+  "CMakeFiles/st_util.dir/logging.cpp.o.d"
+  "CMakeFiles/st_util.dir/rng.cpp.o"
+  "CMakeFiles/st_util.dir/rng.cpp.o.d"
+  "CMakeFiles/st_util.dir/stats.cpp.o"
+  "CMakeFiles/st_util.dir/stats.cpp.o.d"
+  "libst_util.a"
+  "libst_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

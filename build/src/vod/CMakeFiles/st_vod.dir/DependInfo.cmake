@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vod/context.cpp" "src/vod/CMakeFiles/st_vod.dir/context.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/context.cpp.o.d"
+  "/root/repo/src/vod/library.cpp" "src/vod/CMakeFiles/st_vod.dir/library.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/library.cpp.o.d"
+  "/root/repo/src/vod/metrics.cpp" "src/vod/CMakeFiles/st_vod.dir/metrics.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/metrics.cpp.o.d"
+  "/root/repo/src/vod/releases.cpp" "src/vod/CMakeFiles/st_vod.dir/releases.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/releases.cpp.o.d"
+  "/root/repo/src/vod/selector.cpp" "src/vod/CMakeFiles/st_vod.dir/selector.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/selector.cpp.o.d"
+  "/root/repo/src/vod/session.cpp" "src/vod/CMakeFiles/st_vod.dir/session.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/session.cpp.o.d"
+  "/root/repo/src/vod/transfer.cpp" "src/vod/CMakeFiles/st_vod.dir/transfer.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/transfer.cpp.o.d"
+  "/root/repo/src/vod/video_cache.cpp" "src/vod/CMakeFiles/st_vod.dir/video_cache.cpp.o" "gcc" "src/vod/CMakeFiles/st_vod.dir/video_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/st_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/st_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_vod.dir/context.cpp.o"
+  "CMakeFiles/st_vod.dir/context.cpp.o.d"
+  "CMakeFiles/st_vod.dir/library.cpp.o"
+  "CMakeFiles/st_vod.dir/library.cpp.o.d"
+  "CMakeFiles/st_vod.dir/metrics.cpp.o"
+  "CMakeFiles/st_vod.dir/metrics.cpp.o.d"
+  "CMakeFiles/st_vod.dir/releases.cpp.o"
+  "CMakeFiles/st_vod.dir/releases.cpp.o.d"
+  "CMakeFiles/st_vod.dir/selector.cpp.o"
+  "CMakeFiles/st_vod.dir/selector.cpp.o.d"
+  "CMakeFiles/st_vod.dir/session.cpp.o"
+  "CMakeFiles/st_vod.dir/session.cpp.o.d"
+  "CMakeFiles/st_vod.dir/transfer.cpp.o"
+  "CMakeFiles/st_vod.dir/transfer.cpp.o.d"
+  "CMakeFiles/st_vod.dir/video_cache.cpp.o"
+  "CMakeFiles/st_vod.dir/video_cache.cpp.o.d"
+  "libst_vod.a"
+  "libst_vod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_vod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytical_test.dir/analytical_test.cpp.o"
+  "CMakeFiles/analytical_test.dir/analytical_test.cpp.o.d"
+  "analytical_test"
+  "analytical_test.pdb"
+  "analytical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_phase_test.dir/category_phase_test.cpp.o"
+  "CMakeFiles/category_phase_test.dir/category_phase_test.cpp.o.d"
+  "category_phase_test"
+  "category_phase_test.pdb"
+  "category_phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config_test.cpp" "tests/CMakeFiles/config_test.dir/config_test.cpp.o" "gcc" "tests/CMakeFiles/config_test.dir/config_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/st_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/st_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/st_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/vod/CMakeFiles/st_vod.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/st_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/st_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/st_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiseed_test.dir/multiseed_test.cpp.o"
+  "CMakeFiles/multiseed_test.dir/multiseed_test.cpp.o.d"
+  "multiseed_test"
+  "multiseed_test.pdb"
+  "multiseed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiseed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

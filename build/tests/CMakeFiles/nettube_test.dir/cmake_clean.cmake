@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nettube_test.dir/nettube_test.cpp.o"
+  "CMakeFiles/nettube_test.dir/nettube_test.cpp.o.d"
+  "nettube_test"
+  "nettube_test.pdb"
+  "nettube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nettube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pavod_test.dir/pavod_test.cpp.o"
+  "CMakeFiles/pavod_test.dir/pavod_test.cpp.o.d"
+  "pavod_test"
+  "pavod_test.pdb"
+  "pavod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pavod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

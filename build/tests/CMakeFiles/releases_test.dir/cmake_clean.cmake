@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/releases_test.dir/releases_test.cpp.o"
+  "CMakeFiles/releases_test.dir/releases_test.cpp.o.d"
+  "releases_test"
+  "releases_test.pdb"
+  "releases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/releases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_integration_test.dir/runner_integration_test.cpp.o"
+  "CMakeFiles/runner_integration_test.dir/runner_integration_test.cpp.o.d"
+  "runner_integration_test"
+  "runner_integration_test.pdb"
+  "runner_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

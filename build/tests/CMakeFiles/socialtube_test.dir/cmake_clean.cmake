@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socialtube_test.dir/socialtube_test.cpp.o"
+  "CMakeFiles/socialtube_test.dir/socialtube_test.cpp.o.d"
+  "socialtube_test"
+  "socialtube_test.pdb"
+  "socialtube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socialtube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
