@@ -12,8 +12,16 @@
 #include "trace/generator.h"
 #include "trace/stats.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace st::bench {
+
+// Worker count for independent runs: --threads wins, then ST_THREADS, then
+// sequential. Results are independent of this value by construction (runs
+// land in fixed slots); it only changes wall-clock.
+inline std::size_t threadCount(const Flags& flags) {
+  return resolveThreadCount(flags.getInt("threads", 0), 1);
+}
 
 // Catalog sized like the paper's crawl sample.
 inline trace::Catalog crawlScaleCatalog(const Flags& flags) {

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const st::Flags flags(argc, argv);
   const st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
   const std::string csvPath = flags.getString("csv", "");
+  const std::size_t threads = st::bench::threadCount(flags);
   if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
 
   std::printf("Fig. 16%s — normalized peer bandwidth "
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
               config.mode == st::exp::Mode::kPlanetLab ? "(b) PlanetLab"
                                                        : "(a) PeerSim",
               config.trace.numUsers, config.vod.sessionsPerUser);
-  const auto results = st::exp::runAllSystems(config);
+  const auto results = st::exp::runAllSystems(config, threads);
   st::exp::printPeerBandwidth(results);
   if (!csvPath.empty()) {
     std::vector<std::pair<std::string, st::exp::ExperimentResult>> rows;

@@ -5,6 +5,11 @@
 // random-neighbor strategy.
 #include "bench_common.h"
 
+#include <algorithm>
+#include <iterator>
+#include <optional>
+#include <vector>
+
 #include "exp/report.h"
 #include "exp/runner.h"
 #include "trace/generator.h"
@@ -12,6 +17,7 @@
 int main(int argc, char** argv) {
   const st::Flags flags(argc, argv);
   st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
+  const std::size_t threads = st::bench::threadCount(flags);
   if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
 
   std::printf("Fig. 17%s — startup delay (ms), %zu users\n\n",
@@ -20,18 +26,36 @@ int main(int argc, char** argv) {
               config.trace.numUsers);
   const st::trace::Catalog catalog = st::trace::generateTrace(config.trace);
 
-  config.vod.prefetchEnabled = true;
-  const auto socialPf = st::exp::runExperiment(
-      config, st::exp::SystemKind::kSocialTube, &catalog);
-  const auto nettubePf = st::exp::runExperiment(
-      config, st::exp::SystemKind::kNetTube, &catalog);
-  config.vod.prefetchEnabled = false;
-  const auto social = st::exp::runExperiment(
-      config, st::exp::SystemKind::kSocialTube, &catalog);
-  const auto nettube = st::exp::runExperiment(
-      config, st::exp::SystemKind::kNetTube, &catalog);
-  const auto pavod =
-      st::exp::runExperiment(config, st::exp::SystemKind::kPaVod, &catalog);
+  // The five variants share the catalog but are otherwise independent, so
+  // they fan out across the pool; fixed slots keep the output order stable.
+  struct Variant {
+    st::exp::SystemKind kind;
+    bool prefetch;
+  };
+  const Variant variants[] = {
+      {st::exp::SystemKind::kSocialTube, true},
+      {st::exp::SystemKind::kNetTube, true},
+      {st::exp::SystemKind::kSocialTube, false},
+      {st::exp::SystemKind::kNetTube, false},
+      {st::exp::SystemKind::kPaVod, false},
+  };
+  constexpr std::size_t kCount = std::size(variants);
+  std::vector<st::exp::ExperimentResult> results(kCount);
+  {
+    std::optional<st::ThreadPool> pool;
+    if (threads > 1) pool.emplace(std::min(threads, kCount));
+    st::parallelFor(pool ? &*pool : nullptr, kCount, [&](std::size_t i) {
+      st::exp::ExperimentConfig variantConfig = config;
+      variantConfig.vod.prefetchEnabled = variants[i].prefetch;
+      results[i] =
+          st::exp::runExperiment(variantConfig, variants[i].kind, &catalog);
+    });
+  }
+  const auto& socialPf = results[0];
+  const auto& nettubePf = results[1];
+  const auto& social = results[2];
+  const auto& nettube = results[3];
+  const auto& pavod = results[4];
 
   st::exp::printStartupDelay("PA-VoD", pavod);
   st::exp::printStartupDelay("SocialTube w/ PF", socialPf);

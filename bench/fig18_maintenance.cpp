@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   const st::Flags flags(argc, argv);
   const st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
+  const std::size_t threads = st::bench::threadCount(flags);
   if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
 
   std::printf("Fig. 18%s — mean links maintained after the n-th video "
@@ -18,7 +19,7 @@ int main(int argc, char** argv) {
               config.mode == st::exp::Mode::kPlanetLab ? "(b) PlanetLab"
                                                        : "(a) PeerSim",
               config.trace.numUsers);
-  const auto results = st::exp::runAllSystems(config);
+  const auto results = st::exp::runAllSystems(config, threads);
   st::exp::printMaintenance(results);
 
   const auto& social = results[1];

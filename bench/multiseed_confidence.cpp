@@ -1,6 +1,10 @@
 // Replication study: the Fig. 16/17/18 headline metrics across several
 // independent seeds, as mean +/- standard error. Confirms the single-seed
 // figures are not flukes.
+//
+// Replications dispatch onto a worker pool (--threads N or ST_THREADS);
+// aggregates are bitwise-identical to the sequential run, only wall-clock
+// changes. Per-system wall/utilization rows make the speedup observable.
 #include "bench_common.h"
 
 #include "exp/multiseed.h"
@@ -9,18 +13,23 @@ int main(int argc, char** argv) {
   const st::Flags flags(argc, argv);
   st::exp::ExperimentConfig config = st::bench::experimentConfig(flags);
   const auto seeds = static_cast<std::size_t>(flags.getInt("seeds", 5));
+  const std::size_t threads = st::bench::threadCount(flags);
   if (const int rc = st::bench::rejectUnknownFlags(flags)) return rc;
   // Keep replications affordable by default.
   if (!flags.getBool("full", false) && config.trace.numUsers > 800) {
     config = config.scaledTo(800, 6);
   }
 
-  std::printf("Multi-seed replication — %zu seeds, %zu users each\n\n",
-              seeds, config.trace.numUsers);
+  std::printf("Multi-seed replication — %zu seeds, %zu users each, "
+              "%zu thread%s (%zu hardware)\n\n",
+              seeds, config.trace.numUsers, threads, threads == 1 ? "" : "s",
+              st::hardwareThreads());
+  double totalWallMs = 0.0;
+  double totalBusyMs = 0.0;
   for (const auto kind :
        {st::exp::SystemKind::kPaVod, st::exp::SystemKind::kSocialTube,
         st::exp::SystemKind::kNetTube}) {
-    const auto summary = st::exp::runSeeds(config, kind, seeds);
+    const auto summary = st::exp::runSeeds(config, kind, seeds, threads);
     std::printf("%s\n", summary.system.c_str());
     std::printf("  peer bandwidth : %s\n",
                 st::exp::formatStat(summary.peerFraction).c_str());
@@ -30,8 +39,22 @@ int main(int argc, char** argv) {
                 st::exp::formatStat(summary.delayP99Ms).c_str());
     std::printf("  links at end   : %s\n",
                 st::exp::formatStat(summary.linksFinal).c_str());
-    std::printf("  rebuffer rate  : %s\n\n",
+    std::printf("  rebuffer rate  : %s\n",
                 st::exp::formatStat(summary.rebufferRate).c_str());
+    std::printf("  wall clock     : %.0f ms total, %.0f ms/run mean, "
+                "pool utilization %.0f%%\n\n",
+                summary.wallMs, summary.runWallMs.mean,
+                summary.poolUtilization * 100.0);
+    totalWallMs += summary.wallMs;
+    totalBusyMs += summary.runWallMs.mean *
+                   static_cast<double>(summary.runWallMs.runs);
+  }
+  if (totalWallMs > 0.0) {
+    std::printf("replication compute: %.1f s of runs in %.1f s wall "
+                "(%.2fx speedup on %zu thread%s)\n\n",
+                totalBusyMs / 1000.0, totalWallMs / 1000.0,
+                totalBusyMs / totalWallMs, threads,
+                threads == 1 ? "" : "s");
   }
   std::printf("reading: orderings that hold across every seed band are the "
               "reproduced claims;\noverlapping bands mean the paper's gap "

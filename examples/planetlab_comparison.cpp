@@ -2,13 +2,14 @@
 // clean PeerSim-style environment and in the wide-area (lossy, heavy-tail
 // latency) environment, mirroring the paper's paired Figs. 16-18 (a)/(b).
 //
-//   ./examples/planetlab_comparison [--seed 1] [--sessions 10]
+//   ./examples/planetlab_comparison [--seed 1] [--sessions 10] [--threads 3]
 #include <cstdio>
 
 #include "exp/config.h"
 #include "exp/report.h"
 #include "exp/runner.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   const st::Flags flags(argc, argv);
@@ -19,6 +20,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
   const auto sessions =
       static_cast<std::size_t>(flags.getInt("sessions", 10));
+  const std::size_t threads =
+      st::resolveThreadCount(flags.getInt("threads", 0), 1);
 
   for (const bool planetlab : {false, true}) {
     st::exp::ExperimentConfig config =
@@ -30,7 +33,7 @@ int main(int argc, char** argv) {
     std::printf("=== %s environment (%zu nodes) ===\n",
                 planetlab ? "PlanetLab (wide-area, 1%% loss)" : "PeerSim",
                 config.trace.numUsers);
-    const auto results = st::exp::runAllSystems(config);
+    const auto results = st::exp::runAllSystems(config, threads);
     st::exp::printPeerBandwidth(results);
     std::printf("\n");
     for (const auto& result : results) {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Build and run the test suite under a sanitizer.
+#
+#   scripts/sanitize.sh [address|undefined|thread] [ctest label] [jobs]
+#
+# Defaults to TSan over the `unit` label — the quick gate for the thread
+# pool (tests/thread_pool_test.cpp must pass with zero reports). Use label
+# `integration` (or `.` for everything) for the full sweep, e.g.:
+#
+#   scripts/sanitize.sh thread unit        # CI gate, minutes
+#   scripts/sanitize.sh address .          # full suite under ASan
+#
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
+# build-tsan/) so switching sanitizers never contaminates objects.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-thread}"
+LABEL="${2:-unit}"
+JOBS="${3:-$(nproc)}"
+
+case "$SANITIZER" in
+  address)   BUILD_DIR=build-asan ;;
+  undefined) BUILD_DIR=build-ubsan ;;
+  thread)    BUILD_DIR=build-tsan ;;
+  *)
+    echo "usage: $0 [address|undefined|thread] [ctest label] [jobs]" >&2
+    exit 2
+    ;;
+esac
+
+# halt_on_error so a single report fails the job instead of scrolling by.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+cmake -B "$BUILD_DIR" -S . -DST_SANITIZE="$SANITIZER" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$JOBS"

@@ -1,6 +1,9 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <optional>
 
 #include "baselines/nettube.h"
 #include "baselines/pavod.h"
@@ -9,6 +12,7 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "trace/generator.h"
+#include "util/thread_pool.h"
 #include "vod/context.h"
 #include "vod/library.h"
 #include "vod/metrics.h"
@@ -110,6 +114,7 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   ExperimentResult result;
   result.system = std::string(system->name());
   result.mode = config.mode;
+  result.seed = config.seed;
   result.normalizedPeerBandwidth = metrics.normalizedPeerBandwidth();
   result.startupDelayMs = metrics.startupDelayMs();
   result.startupTimeouts = metrics.startupTimeouts();
@@ -149,15 +154,22 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   return result;
 }
 
-std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config) {
+std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config,
+                                            std::size_t threads) {
   const trace::Catalog catalog = trace::generateTrace(config.trace);
-  std::vector<ExperimentResult> results;
-  results.push_back(
-      runExperiment(config, SystemKind::kPaVod, &catalog));
-  results.push_back(
-      runExperiment(config, SystemKind::kSocialTube, &catalog));
-  results.push_back(
-      runExperiment(config, SystemKind::kNetTube, &catalog));
+  constexpr SystemKind kOrder[] = {SystemKind::kPaVod,
+                                   SystemKind::kSocialTube,
+                                   SystemKind::kNetTube};
+  constexpr std::size_t kCount = std::size(kOrder);
+  // Each run owns its whole simulator/metrics stack and only reads the
+  // shared catalog, so the three systems can run concurrently; fixed result
+  // slots keep the output order stable.
+  std::vector<ExperimentResult> results(kCount);
+  std::optional<ThreadPool> pool;
+  if (threads > 1) pool.emplace(std::min(threads, kCount));
+  parallelFor(pool ? &*pool : nullptr, kCount, [&](std::size_t i) {
+    results[i] = runExperiment(config, kOrder[i], &catalog);
+  });
   return results;
 }
 

@@ -20,6 +20,8 @@ enum class SystemKind { kSocialTube, kNetTube, kPaVod };
 struct ExperimentResult {
   std::string system;
   Mode mode = Mode::kSimulation;
+  // Seed the run executed with; lets replication callers verify ordering.
+  std::uint64_t seed = 0;
 
   // Fig. 16: per-node peer fraction of remotely fetched chunks.
   SampleSet normalizedPeerBandwidth;
@@ -88,7 +90,12 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
                                SystemKind system,
                                const trace::Catalog* catalog = nullptr);
 
-// Convenience: run all three systems against one shared catalog.
-std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config);
+// Convenience: run all three systems against one shared catalog, in the
+// stable order PA-VoD, SocialTube, NetTube. With `threads > 1` the three
+// runs dispatch onto a worker pool; each run is fully independent (own
+// simulator/metrics, shared const catalog), so the results are identical
+// to the sequential path.
+std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config,
+                                            std::size_t threads = 1);
 
 }  // namespace st::exp

@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace st {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(job));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Keep draining after stop: tasks submitted before destruction (or by
+      // still-running tasks) always execute.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();  // packaged_task: exceptions land in the paired future
+  }
+}
+
+void parallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool->submit([&fn, i] { fn(i); }));
+  }
+  // Collect everything before rethrowing so all slots finish writing; the
+  // lowest-index failure wins, matching what the sequential loop would hit
+  // first.
+  std::exception_ptr first;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+std::size_t resolveThreadCount(std::int64_t requested, std::size_t fallback) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  if (const char* env = std::getenv("ST_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+std::size_t hardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace st

@@ -1,0 +1,82 @@
+// Fixed-size worker pool for dispatching independent coarse-grained jobs
+// (one seeded simulation run each). `submit` returns a std::future that
+// carries the task's result or its exception; `parallelFor` fans an index
+// range across the pool and rethrows the first failure. Destruction drains
+// every task already submitted, then joins — work handed to the pool is
+// never dropped.
+//
+// The pool is deliberately minimal: no work stealing, no priorities. Jobs
+// here are whole simulator runs (seconds each), so a mutex-guarded queue
+// is nowhere near the bottleneck.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace st {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueues `fn` and returns a future for its result. An exception thrown
+  // by `fn` is captured and rethrown from future::get(). Safe to call from
+  // inside a running task (re-entrant submit); do not *block* on a future
+  // from inside a task unless other workers are free to run it.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0..count-1), fanning indices across `pool`; blocks until all
+// complete and rethrows the lowest-index failure. With a null pool (or a
+// single worker and `count` jobs of equal weight) the work degenerates to
+// the sequential loop; `pool == nullptr` runs inline on the caller with no
+// synchronization at all — the provably-equivalent threads=1 path.
+void parallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+// Resolves a worker count: a positive `requested` wins, else a positive
+// integer in the ST_THREADS environment variable, else `fallback`.
+// `requested` <= 0 means "not specified" so benches can pass the raw
+// --threads flag value through.
+[[nodiscard]] std::size_t resolveThreadCount(std::int64_t requested,
+                                             std::size_t fallback = 1);
+
+// std::thread::hardware_concurrency with a floor of 1.
+[[nodiscard]] std::size_t hardwareThreads();
+
+}  // namespace st

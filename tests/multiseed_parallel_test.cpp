@@ -1,0 +1,101 @@
+// Determinism regression for parallel replication: runSeeds must produce
+// bitwise-identical aggregates and per-run metrics no matter how many
+// workers execute the batch. Guards the slot-collection design in
+// exp/multiseed.cpp — any worker that leaks state into another run, or any
+// aggregation that depends on completion order, fails these exact-equality
+// checks.
+#include "exp/multiseed.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace st::exp {
+namespace {
+
+constexpr std::size_t kSeeds = 4;
+
+ExperimentConfig tinyConfig() {
+  ExperimentConfig config = ExperimentConfig::simulationDefaults(100);
+  config = config.scaledTo(200, 3);
+  config.duration = sim::kDay;
+  return config;
+}
+
+// Exact equality on purpose (no EXPECT_NEAR): the guarantee is bitwise.
+void expectSameStat(const AggregateStat& a, const AggregateStat& b,
+                    const char* what) {
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.stderrOfMean, b.stderrOfMean) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+  EXPECT_EQ(a.runs, b.runs) << what;
+}
+
+void expectSameSummary(const MultiSeedSummary& a, const MultiSeedSummary& b) {
+  expectSameStat(a.peerFraction, b.peerFraction, "peerFraction");
+  expectSameStat(a.delayMeanMs, b.delayMeanMs, "delayMeanMs");
+  expectSameStat(a.delayP99Ms, b.delayP99Ms, "delayP99Ms");
+  expectSameStat(a.linksFinal, b.linksFinal, "linksFinal");
+  expectSameStat(a.rebufferRate, b.rebufferRate, "rebufferRate");
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const ExperimentResult& ra = a.runs[i];
+    const ExperimentResult& rb = b.runs[i];
+    EXPECT_EQ(ra.seed, rb.seed) << "run " << i;
+    EXPECT_EQ(ra.aggregatePeerFraction(), rb.aggregatePeerFraction())
+        << "run " << i;
+    EXPECT_EQ(ra.startupDelayMs.mean(), rb.startupDelayMs.mean())
+        << "run " << i;
+    EXPECT_EQ(ra.startupDelayMs.percentile(99),
+              rb.startupDelayMs.percentile(99))
+        << "run " << i;
+    EXPECT_EQ(ra.rebufferRate(), rb.rebufferRate()) << "run " << i;
+    EXPECT_EQ(ra.eventsFired, rb.eventsFired) << "run " << i;
+    EXPECT_EQ(ra.messagesSent, rb.messagesSent) << "run " << i;
+    EXPECT_EQ(ra.peerChunks, rb.peerChunks) << "run " << i;
+    EXPECT_EQ(ra.serverChunks, rb.serverChunks) << "run " << i;
+    EXPECT_EQ(ra.watches, rb.watches) << "run " << i;
+  }
+}
+
+TEST(MultiSeedParallel, AggregatesBitwiseIdenticalAcrossThreadCounts) {
+  const ExperimentConfig config = tinyConfig();
+  const auto sequential =
+      runSeeds(config, SystemKind::kSocialTube, kSeeds, /*threads=*/1);
+  const auto twoThreads =
+      runSeeds(config, SystemKind::kSocialTube, kSeeds, /*threads=*/2);
+  const auto eightThreads =
+      runSeeds(config, SystemKind::kSocialTube, kSeeds, /*threads=*/8);
+  expectSameSummary(sequential, twoThreads);
+  expectSameSummary(sequential, eightThreads);
+}
+
+TEST(MultiSeedParallel, RunsStayOrderedBySeed) {
+  const ExperimentConfig config = tinyConfig();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const auto summary =
+        runSeeds(config, SystemKind::kSocialTube, kSeeds, threads);
+    ASSERT_EQ(summary.runs.size(), kSeeds);
+    for (std::size_t i = 0; i < kSeeds; ++i) {
+      EXPECT_EQ(summary.runs[i].seed, config.seed + i)
+          << "threads=" << threads << " slot " << i;
+    }
+  }
+}
+
+TEST(MultiSeedParallel, TelemetryIsPopulated) {
+  const auto summary =
+      runSeeds(tinyConfig(), SystemKind::kPaVod, 2, /*threads=*/2);
+  EXPECT_EQ(summary.threads, 2u);
+  EXPECT_GT(summary.wallMs, 0.0);
+  EXPECT_EQ(summary.runWallMs.runs, 2u);
+  EXPECT_GT(summary.runWallMs.mean, 0.0);
+  EXPECT_GT(summary.poolUtilization, 0.0);
+  // Utilization is busy/(wall*threads); it cannot exceed 1 by more than
+  // clock jitter.
+  EXPECT_LE(summary.poolUtilization, 1.05);
+}
+
+}  // namespace
+}  // namespace st::exp

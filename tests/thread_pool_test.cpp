@@ -1,0 +1,157 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace st {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ParallelForWritesEveryIndexToItsOwnSlot) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 100;
+  std::vector<std::size_t> slots(kCount, 0);
+  parallelFor(&pool, kCount, [&](std::size_t i) { slots[i] = i * i; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(slots[i], i * i) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForNullPoolRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallelFor(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          future.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallelFor(&pool, 16, [&](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("fail " + std::to_string(i));
+      }
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected parallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 3");
+  }
+  // Non-throwing indices all ran despite the failures.
+  EXPECT_EQ(completed.load(), 14);
+}
+
+TEST(ThreadPool, ReentrantSubmitCompletes) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 10; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 11);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  constexpr std::size_t kTasks = 64;
+  std::atomic<std::size_t> ran{0};
+  {
+    ThreadPool pool(2);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // Destruction races the queue: every already-submitted task must still
+    // run before the workers join.
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmittersAgreeOnTheSum) {
+  ThreadPool pool(4);
+  constexpr int kPerProducer = 200;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kPerProducer);
+      for (int i = 1; i <= kPerProducer; ++i) {
+        futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(sum.load(), 4L * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(ThreadPoolConfig, ExplicitRequestWinsOverEnvironment) {
+  setenv("ST_THREADS", "7", 1);
+  EXPECT_EQ(resolveThreadCount(3), 3u);
+  unsetenv("ST_THREADS");
+}
+
+TEST(ThreadPoolConfig, EnvironmentOverridesFallback) {
+  setenv("ST_THREADS", "5", 1);
+  EXPECT_EQ(resolveThreadCount(0), 5u);
+  EXPECT_EQ(resolveThreadCount(-1), 5u);
+  unsetenv("ST_THREADS");
+}
+
+TEST(ThreadPoolConfig, MalformedEnvironmentFallsBack) {
+  setenv("ST_THREADS", "lots", 1);
+  EXPECT_EQ(resolveThreadCount(0, 2), 2u);
+  setenv("ST_THREADS", "0", 1);
+  EXPECT_EQ(resolveThreadCount(0, 2), 2u);
+  setenv("ST_THREADS", "4x", 1);
+  EXPECT_EQ(resolveThreadCount(0, 2), 2u);
+  unsetenv("ST_THREADS");
+}
+
+TEST(ThreadPoolConfig, FallbackWhenNothingSpecified) {
+  unsetenv("ST_THREADS");
+  EXPECT_EQ(resolveThreadCount(0), 1u);
+  EXPECT_EQ(resolveThreadCount(0, 8), 8u);
+  EXPECT_GE(hardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace st
