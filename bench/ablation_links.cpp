@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                 result.normalizedPeerBandwidth.percentile(50),
                 result.startupDelayMs.mean(),
                 result.linksByVideosWatched.back().mean(),
-                static_cast<unsigned long long>(result.probes));
+                static_cast<unsigned long long>(result.probes()));
   }
   std::printf("\nreading: availability (peer bandwidth) saturates while the "
               "probe cost keeps\ngrowing with the link budget — the tradeoff "

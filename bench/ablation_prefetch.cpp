@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     std::printf("%-4zu %-12.3f %-14.3f %-14.1f %-16llu\n", m,
                 result.prefetchHitRate(), analytic,
                 result.startupDelayMs.mean(),
-                static_cast<unsigned long long>(result.prefetchIssued));
+                static_cast<unsigned long long>(result.prefetchIssued()));
   }
   std::printf("\nreading: hit rate grows sublinearly in M (Zipf mass "
               "concentrates at the top)\nwhile prefetch traffic grows "

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
                 gossip ? "gossip" : "server",
                 result.normalizedPeerBandwidth.percentile(50),
                 result.startupDelayMs.mean(),
-                static_cast<unsigned long long>(result.repairs),
-                static_cast<unsigned long long>(result.messagesSent),
+                static_cast<unsigned long long>(result.repairs()),
+                static_cast<unsigned long long>(result.messagesSent()),
                 result.linksByVideosWatched.back().mean());
     rows.emplace_back(gossip ? "gossip" : "server", result);
   }

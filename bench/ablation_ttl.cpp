@@ -26,10 +26,10 @@ int main(int argc, char** argv) {
         config, st::exp::SystemKind::kSocialTube, &catalog);
     std::printf("%-5d %-12.3f %-14llu %-14llu %-14llu %-12llu\n", ttl,
                 result.aggregatePeerFraction(),
-                static_cast<unsigned long long>(result.channelHits),
-                static_cast<unsigned long long>(result.categoryHits),
-                static_cast<unsigned long long>(result.serverFallbacks),
-                static_cast<unsigned long long>(result.messagesSent));
+                static_cast<unsigned long long>(result.channelHits()),
+                static_cast<unsigned long long>(result.categoryHits()),
+                static_cast<unsigned long long>(result.serverFallbacks()),
+                static_cast<unsigned long long>(result.messagesSent()));
     rows.emplace_back("ttl_" + std::to_string(ttl), result);
   }
   if (!csvPath.empty()) {

@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
     std::printf("%-12s releases=%llu feeds=%llu feedWatches=%llu "
                 "peerBW=%.3f delay=%.0fms rebuffer=%.3f\n",
                 result.system.c_str(),
-                static_cast<unsigned long long>(result.releasesFired),
-                static_cast<unsigned long long>(result.feedNotifications),
-                static_cast<unsigned long long>(result.feedWatches),
+                static_cast<unsigned long long>(result.releasesFired()),
+                static_cast<unsigned long long>(result.feedNotifications()),
+                static_cast<unsigned long long>(result.feedWatches()),
                 result.aggregatePeerFraction(),
                 result.startupDelayMs.mean(), result.rebufferRate());
     rows.emplace_back(result.system, result);

@@ -42,9 +42,14 @@ int main(int argc, char** argv) {
     std::printf("  rebuffer rate  : %s\n",
                 st::exp::formatStat(summary.rebufferRate).c_str());
     std::printf("  wall clock     : %.0f ms total, %.0f ms/run mean, "
-                "pool utilization %.0f%%\n\n",
+                "pool utilization %.0f%%\n",
                 summary.wallMs, summary.runWallMs.mean,
                 summary.poolUtilization * 100.0);
+    std::printf("  phases ms/run  :");
+    for (const auto& [name, stat] : summary.phaseWallMs) {
+      std::printf(" %s=%.0f", name.c_str(), stat.mean);
+    }
+    std::printf("\n\n");
     totalWallMs += summary.wallMs;
     totalBusyMs += summary.runWallMs.mean *
                    static_cast<double>(summary.runWallMs.runs);

@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
     const auto result =
         st::exp::runExperiment(config, st::exp::SystemKind::kSocialTube);
     std::printf("  prefetch hits / watches = %llu / %llu = %.3f\n",
-                static_cast<unsigned long long>(result.prefetchHits),
-                static_cast<unsigned long long>(result.watches),
+                static_cast<unsigned long long>(result.prefetchHits()),
+                static_cast<unsigned long long>(result.watches()),
                 result.prefetchHitRate());
   }
   return 0;

@@ -21,18 +21,18 @@ int main(int argc, char** argv) {
               "server%");
   std::vector<std::pair<std::string, st::exp::ExperimentResult>> rows;
   for (const auto& result : results) {
-    const double watches = static_cast<double>(result.watches);
+    const double watches = static_cast<double>(result.watches());
     std::printf("%-12s %-14.1f %-12llu %-10llu %-12.1f %-12.1f %-12.1f\n",
                 result.system.c_str(),
-                static_cast<double>(result.messagesSent) / watches,
-                static_cast<unsigned long long>(result.probes),
-                static_cast<unsigned long long>(result.repairs),
-                100.0 * static_cast<double>(result.cacheHits) / watches,
+                static_cast<double>(result.messagesSent()) / watches,
+                static_cast<unsigned long long>(result.probes()),
+                static_cast<unsigned long long>(result.repairs()),
+                100.0 * static_cast<double>(result.cacheHits()) / watches,
                 100.0 *
-                    static_cast<double>(result.channelHits +
-                                        result.categoryHits) /
+                    static_cast<double>(result.channelHits() +
+                                        result.categoryHits()) /
                     watches,
-                100.0 * static_cast<double>(result.serverFallbacks) /
+                100.0 * static_cast<double>(result.serverFallbacks()) /
                     watches);
     rows.emplace_back(result.system, result);
   }

@@ -104,9 +104,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(metrics.totalServerChunks()));
   std::printf("Search outcomes: %llu channel hits, %llu category hits, "
               "%llu server fallbacks, %llu prefetch hits\n",
-              static_cast<unsigned long long>(metrics.channelHits()),
-              static_cast<unsigned long long>(metrics.categoryHits()),
-              static_cast<unsigned long long>(metrics.serverFallbacks()),
-              static_cast<unsigned long long>(metrics.prefetchHits()));
+              static_cast<unsigned long long>(metrics.value("channel_hits")),
+              static_cast<unsigned long long>(metrics.value("category_hits")),
+              static_cast<unsigned long long>(metrics.value("server_fallbacks")),
+              static_cast<unsigned long long>(metrics.value("prefetch_hits")));
   return 0;
 }

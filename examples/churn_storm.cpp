@@ -2,10 +2,15 @@
 // sessions, and watch the probe/repair machinery keep the overlay usable.
 //
 //   ./examples/churn_storm [--users 800] [--abrupt 0.8] [--seed 3]
-//                          [--threads 2]
+//                          [--threads 2] [--trace-out storm.jsonl]
+//
+// --trace-out dumps the structured protocol-event timeline (JSONL; one file
+// per scenario, suffixed ".calm"/".storm") — see EXPERIMENTS.md for how to
+// slice the repair/fallback events.
 #include <algorithm>
 #include <cstdio>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "exp/config.h"
@@ -26,6 +31,7 @@ int main(int argc, char** argv) {
   const double abrupt = flags.getDouble("abrupt", 0.8);
   const std::size_t threads =
       st::resolveThreadCount(flags.getInt("threads", 0), 1);
+  const std::string traceOut = flags.getString("trace-out", "");
 
   st::exp::ExperimentConfig config =
       st::exp::ExperimentConfig::simulationDefaults(seed);
@@ -50,6 +56,10 @@ int main(int argc, char** argv) {
                     [&](std::size_t i) {
                       st::exp::ExperimentConfig scenario = config;
                       scenario.vod.abruptDepartureFraction = fractions[i];
+                      if (!traceOut.empty()) {
+                        scenario.obs.traceOut =
+                            traceOut + (i == 0 ? ".calm" : ".storm");
+                      }
                       results[i] = st::exp::runExperiment(
                           scenario, st::exp::SystemKind::kSocialTube,
                           &catalog);
@@ -63,15 +73,20 @@ int main(int argc, char** argv) {
     std::printf("  startup delay mean      = %.1f ms "
                 "(%llu timeouts / %llu watches)\n",
                 result.startupDelayMs.mean(),
-                static_cast<unsigned long long>(result.startupTimeouts),
-                static_cast<unsigned long long>(result.watches));
+                static_cast<unsigned long long>(result.startupTimeouts()),
+                static_cast<unsigned long long>(result.watches()));
     std::printf("  probes sent             = %llu\n",
-                static_cast<unsigned long long>(result.probes));
+                static_cast<unsigned long long>(result.probes()));
     std::printf("  repair rounds           = %llu\n\n",
-                static_cast<unsigned long long>(result.repairs));
+                static_cast<unsigned long long>(result.repairs()));
   }
   std::printf("Even with most nodes vanishing silently, stale links are "
               "probed out and\nre-filled from the server directory; "
               "availability degrades gracefully\ninstead of collapsing.\n");
+  if (!traceOut.empty()) {
+    std::printf("\nEvent traces written to %s.calm / %s.storm "
+                "(JSONL, sim-time ordered).\n",
+                traceOut.c_str(), traceOut.c_str());
+  }
   return 0;
 }

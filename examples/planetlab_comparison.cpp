@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     std::printf("messages lost: ");
     for (const auto& result : results) {
       std::printf("%s=%llu  ", result.system.c_str(),
-                  static_cast<unsigned long long>(result.messagesLost));
+                  static_cast<unsigned long long>(result.messagesLost()));
     }
     std::printf("\n\n");
   }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the unit-label tests with structured tracing compiled IN and
+# OUT. Both modes must stay green: ST_TRACE=OFF proves every ST_TRACE() call
+# site compiles away cleanly (no stray side effects in macro arguments), and
+# the trace tests themselves flip behavior on ST_TRACE_ENABLED.
+#
+#   scripts/check.sh [ctest label] [jobs]
+#
+#   scripts/check.sh            # unit label, both trace modes
+#   scripts/check.sh . 8        # everything, 8 jobs
+#
+# Sibling of scripts/sanitize.sh; each mode gets its own build tree
+# (build-trace-on/, build-trace-off/) so toggling the option never reuses
+# stale objects.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-unit}"
+JOBS="${2:-$(nproc)}"
+
+for MODE in ON OFF; do
+  BUILD_DIR="build-trace-$(echo "$MODE" | tr '[:upper:]' '[:lower:]')"
+  echo "=== ST_TRACE=$MODE ($BUILD_DIR) ==="
+  cmake -B "$BUILD_DIR" -S . -DST_TRACE="$MODE" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$JOBS"
+done

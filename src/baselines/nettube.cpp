@@ -23,30 +23,25 @@ NetTubeSystem::NetTubeSystem(vod::SystemContext& ctx,
   }
 }
 
-std::size_t NetTubeSystem::linkCount(UserId user) const {
+vod::VodSystem::NodeStats NetTubeSystem::nodeStats(UserId user) const {
   // Per-overlay links are counted separately even when they join the same
-  // pair of nodes — the redundancy §IV-C calls out.
-  std::size_t count = 0;
-  for (const auto& [video, links] : nodes_[user.index()].overlays) {
-    count += links.size();
-  }
-  return count;
-}
-
-std::size_t NetTubeSystem::redundantLinkCount(UserId user) const {
+  // pair of nodes — that surplus is the redundancy §IV-C calls out ("two
+  // nodes may be connected by redundant links; each link corresponds to
+  // one video overlay").
   const Node& node = nodes_[user.index()];
+  NodeStats stats;
   std::vector<UserId> seen;
-  std::size_t redundant = 0;
   for (const auto& [video, links] : node.overlays) {
+    stats.links += links.size();
     for (const UserId n : links) {
       if (contains(seen, n)) {
-        ++redundant;  // pair already linked via another overlay
+        ++stats.redundantLinks;  // pair already linked via another overlay
       } else {
         seen.push_back(n);
       }
     }
   }
-  return redundant;
+  return stats;
 }
 
 std::vector<UserId> NetTubeSystem::allNeighbors(const Node& node) const {
@@ -144,6 +139,8 @@ void NetTubeSystem::requestVideo(UserId user, VideoId video) {
   const bool prefetchHit = node.cache.hasFirstChunk(video);
   if (prefetchHit) {
     ctx_.metrics().countPrefetchHit();
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kPrefetchHit, user.value(),
+             video.value(), 0);
     notifyPlayback(user, video, 0, false);
     prefetchFromNeighbors(user);
   }
@@ -257,6 +254,9 @@ void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
       if (searchIt == searches_.end()) return;
       if (candidates.empty()) {
         ctx_.metrics().countServerFallback();
+        ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback,
+                 searchIt->second.user.value(), searchIt->second.video.value(),
+                 0);
         resolveSearch(queryId, UserId::invalid(), {});
         return;
       }
@@ -392,6 +392,8 @@ void NetTubeSystem::probeNeighbors(UserId user) {
   for (const auto& [video, links] : node.overlays) {
     for (const UserId n : links) {
       ctx_.metrics().countProbe();
+      ST_TRACE(ctx_.trace(), ctx_.sim().now(), kProbe, user.value(),
+               n.value(), 0);
       if (!ctx_.isOnline(n) && !contains(dead, n)) dead.push_back(n);
     }
   }

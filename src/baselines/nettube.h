@@ -34,14 +34,10 @@ class NetTubeSystem final : public vod::VodSystem {
   void onLogin(UserId user) override;
   void onLogout(UserId user, bool graceful) override;
   void requestVideo(UserId user, VideoId video) override;
-  [[nodiscard]] std::size_t linkCount(UserId user) const override;
-  [[nodiscard]] std::size_t serverRegistrations() const override {
-    return directory_.totalRegistrations();
+  [[nodiscard]] NodeStats nodeStats(UserId user) const override;
+  [[nodiscard]] SystemStats statsSnapshot() const override {
+    return {.serverRegistrations = directory_.totalRegistrations()};
   }
-  // Extra per-overlay links joining an already-linked pair of nodes —
-  // NetTube's redundancy cost (§IV-C: "two nodes may be connected by
-  // redundant links; each link corresponds to one video overlay").
-  [[nodiscard]] std::size_t redundantLinkCount(UserId user) const override;
 
   // --- introspection ----------------------------------------------------------
   [[nodiscard]] const vod::VideoCache& cache(UserId user) const {

@@ -8,9 +8,10 @@ PaVodSystem::PaVodSystem(vod::SystemContext& ctx,
                          vod::TransferManager& transfers)
     : ctx_(ctx), transfers_(transfers), nodes_(ctx.catalog().userCount()) {}
 
-std::size_t PaVodSystem::linkCount(UserId user) const {
+vod::VodSystem::NodeStats PaVodSystem::nodeStats(UserId user) const {
   // PA-VoD maintains no overlay; the only "link" is an active peer download.
-  return nodes_[user.index()].peerProvider ? 1 : 0;
+  return {.links = nodes_[user.index()].peerProvider ? std::size_t{1}
+                                                     : std::size_t{0}};
 }
 
 void PaVodSystem::onLogin(UserId user) {
@@ -41,7 +42,11 @@ void PaVodSystem::requestVideo(UserId user, VideoId video) {
                   [this](UserId u) { return !ctx_.isOnline(u); });
     const UserId provider =
         candidates.empty() ? UserId::invalid() : candidates.front();
-    if (!provider.valid()) ctx_.metrics().countServerFallback();
+    if (!provider.valid()) {
+      ctx_.metrics().countServerFallback();
+      ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback, user.value(),
+               video.value(), 0);
+    }
     ctx_.sendFromServer(user, [this, user, video, provider, candidates,
                                requestTime] {
       if (nodes_[user.index()].current != video) return;  // stale reply

@@ -28,9 +28,9 @@ class PaVodSystem final : public vod::VodSystem {
   void onLogout(UserId user, bool graceful) override;
   void requestVideo(UserId user, VideoId video) override;
   void onPlaybackComplete(UserId user, VideoId video) override;
-  [[nodiscard]] std::size_t linkCount(UserId user) const override;
-  [[nodiscard]] std::size_t serverRegistrations() const override {
-    return watchers_.totalRegistrations();
+  [[nodiscard]] NodeStats nodeStats(UserId user) const override;
+  [[nodiscard]] SystemStats statsSnapshot() const override {
+    return {.serverRegistrations = watchers_.totalRegistrations()};
   }
 
   [[nodiscard]] const VideoDirectory& watchers() const { return watchers_; }

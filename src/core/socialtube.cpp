@@ -28,9 +28,9 @@ SocialTubeSystem::SocialTubeSystem(vod::SystemContext& ctx,
   }
 }
 
-std::size_t SocialTubeSystem::linkCount(UserId user) const {
+vod::VodSystem::NodeStats SocialTubeSystem::nodeStats(UserId user) const {
   const Node& node = nodes_[user.index()];
-  return node.inner.size() + node.inter.size();
+  return {.links = node.inner.size() + node.inter.size()};
 }
 
 bool SocialTubeSystem::seenQuery(Node& node, std::uint64_t queryId) {
@@ -261,6 +261,8 @@ void SocialTubeSystem::requestVideo(UserId user, VideoId video) {
     // First chunk is local: playback starts immediately; the body still
     // needs a provider.
     ctx_.metrics().countPrefetchHit();
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kPrefetchHit, user.value(),
+             video.value(), 0);
     notifyPlayback(user, video, 0, false);
     prefetchPopular(user, channel, video);
   }
@@ -381,6 +383,8 @@ void SocialTubeSystem::fallbackToServer(std::uint64_t queryId) {
   const auto it = searches_.find(queryId);
   if (it == searches_.end()) return;
   ctx_.metrics().countServerFallback();
+  ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback,
+           it->second.user.value(), it->second.video.value(), 0);
   resolveSearch(queryId, UserId::invalid());
 }
 
@@ -540,6 +544,8 @@ void SocialTubeSystem::probeNeighbors(UserId user) {
     for (std::size_t i = 0; i < links.size();) {
       ctx_.metrics().countProbe();
       const UserId n = links[i];
+      ST_TRACE(ctx_.trace(), ctx_.sim().now(), kProbe, user.value(),
+               n.value(), 0);
       // A live neighbor answers the probe; a dead one times out and the
       // link is dropped. (Channel switches are announced by the switcher,
       // so no staleness check is needed here.)
@@ -572,6 +578,8 @@ void SocialTubeSystem::repairLinks(UserId user) {
   if (needInner == 0 && !needInter) return;
 
   ctx_.metrics().countRepair();
+  ST_TRACE(ctx_.trace(), ctx_.sim().now(), kRepair, user.value(), 0,
+           needInner);
   if (ctx_.config().gossipRepair && gossipRepairLinks(user)) return;
   const ChannelId channel = node.channel;
   const CategoryId category = node.category;

@@ -54,9 +54,9 @@ class SocialTubeSystem final : public vod::VodSystem {
   void onLogin(UserId user) override;
   void onLogout(UserId user, bool graceful) override;
   void requestVideo(UserId user, VideoId video) override;
-  [[nodiscard]] std::size_t linkCount(UserId user) const override;
-  [[nodiscard]] std::size_t serverRegistrations() const override {
-    return directory_.totalRegistrations();
+  [[nodiscard]] NodeStats nodeStats(UserId user) const override;
+  [[nodiscard]] SystemStats statsSnapshot() const override {
+    return {.serverRegistrations = directory_.totalRegistrations()};
   }
 
   // --- introspection (tests, benches) ---------------------------------------

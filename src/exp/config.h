@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/time.h"
 #include "trace/generator.h"
@@ -34,6 +35,20 @@ struct ExperimentConfig {
     double feedWatchProbability = 0.6;
   };
   Releases releases;
+
+  // Structured event tracing (obs/event_trace.h). With traceOut non-empty,
+  // runExperiment records protocol events into a ring buffer and flushes
+  // them as JSONL to that path when the run ends. Multi-run helpers suffix
+  // the path per system/seed so parallel runs never clobber each other.
+  // Sampling keeps high-rate event kinds (chunk batches, probes) from
+  // evicting rare ones; 1 keeps every event, 0 drops the kind.
+  struct Observability {
+    std::string traceOut;
+    std::size_t traceCapacity = std::size_t{1} << 18;
+    std::uint32_t chunkSampleEvery = 16;
+    std::uint32_t probeSampleEvery = 8;
+  };
+  Observability obs;
 
   // Table I defaults: 10,000 nodes, 10,121 videos, 545 channels, 25 sessions
   // of 10 videos, N_l = 5, N_h = 10, TTL = 2, 10-minute probes.

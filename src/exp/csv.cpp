@@ -5,14 +5,16 @@
 
 namespace st::exp {
 
-std::string csvHeader() {
-  return "label,system,mode,watches,cache_hits,prefetch_hits,"
-         "prefetch_issued,channel_hits,category_hits,server_fallbacks,"
-         "peer_chunks,server_chunks,peer_fraction,peer_bw_p1,peer_bw_p50,"
-         "peer_bw_p99,delay_mean_ms,delay_p50_ms,delay_p90_ms,delay_p99_ms,"
-         "timeouts,links_final_mean,redundant_links_mean,server_regs_mean,"
-         "server_regs_peak,rebuffer_rate,server_mbytes,messages,"
-         "messages_lost,probes,repairs,sessions,events";
+std::string csvHeader(const ExperimentResult& exemplar) {
+  std::ostringstream out;
+  out << "label,system,mode,peer_fraction,peer_bw_p1,peer_bw_p50,peer_bw_p99,"
+         "delay_mean_ms,delay_p50_ms,delay_p90_ms,delay_p99_ms,"
+         "links_final_mean,redundant_links_mean,server_regs_mean,"
+         "server_regs_peak,rebuffer_rate,upload_gini";
+  for (const obs::Snapshot::Entry& entry : exemplar.counters.entries()) {
+    out << ',' << entry.name;
+  }
+  return out.str();
 }
 
 std::string csvRow(const std::string& label, const ExperimentResult& r) {
@@ -22,31 +24,29 @@ std::string csvRow(const std::string& label, const ExperimentResult& r) {
                                 : r.linksByVideosWatched.back().mean();
   out << label << ',' << r.system << ','
       << (r.mode == Mode::kPlanetLab ? "planetlab" : "simulation") << ','
-      << r.watches << ',' << r.cacheHits << ',' << r.prefetchHits << ','
-      << r.prefetchIssued << ',' << r.channelHits << ',' << r.categoryHits
-      << ',' << r.serverFallbacks << ',' << r.peerChunks << ','
-      << r.serverChunks << ',' << r.aggregatePeerFraction() << ','
+      << r.aggregatePeerFraction() << ','
       << r.normalizedPeerBandwidth.percentile(1) << ','
       << r.normalizedPeerBandwidth.percentile(50) << ','
       << r.normalizedPeerBandwidth.percentile(99) << ','
       << r.startupDelayMs.mean() << ',' << r.startupDelayMs.percentile(50)
       << ',' << r.startupDelayMs.percentile(90) << ','
-      << r.startupDelayMs.percentile(99) << ',' << r.startupTimeouts << ','
-      << linksFinal << ',' << r.redundantLinks.mean() << ','
-      << r.serverRegistrations.mean() << ',' << r.serverRegistrations.max()
-      << ',' << r.rebufferRate() << ','
-      << static_cast<double>(r.serverBytes) / 1e6 << ',' << r.messagesSent
-      << ',' << r.messagesLost << ',' << r.probes << ',' << r.repairs << ','
-      << r.sessionsCompleted << ',' << r.eventsFired;
+      << r.startupDelayMs.percentile(99) << ',' << linksFinal << ','
+      << r.redundantLinks.mean() << ',' << r.serverRegistrations.mean() << ','
+      << r.serverRegistrations.max() << ',' << r.rebufferRate() << ','
+      << r.uploadGini;
+  for (const obs::Snapshot::Entry& entry : r.counters.entries()) {
+    out << ',' << entry.value;
+  }
   return out.str();
 }
 
 bool writeResultsCsv(
     const std::string& path,
     const std::vector<std::pair<std::string, ExperimentResult>>& rows) {
+  if (rows.empty()) return false;
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  std::fprintf(file, "%s\n", csvHeader().c_str());
+  std::fprintf(file, "%s\n", csvHeader(rows.front().second).c_str());
   for (const auto& [label, result] : rows) {
     std::fprintf(file, "%s\n", csvRow(label, result).c_str());
   }

@@ -1,6 +1,12 @@
 // Machine-readable experiment output: one CSV row per ExperimentResult.
 // Used by the bench binaries' --csv flag so sweeps can be plotted without
 // scraping console text.
+//
+// Columns are a fixed prefix of distribution statistics followed by one
+// column per registered counter, taken from the exemplar result's (sorted)
+// counter snapshot — a counter registered anywhere in the stack shows up
+// here with no plumbing. All results written to one file must come from the
+// same build/config so their counter sets line up.
 #pragma once
 
 #include <string>
@@ -10,15 +16,17 @@
 
 namespace st::exp {
 
-// The CSV header matching csvRow()'s columns.
-[[nodiscard]] std::string csvHeader();
+// The CSV header matching csvRow()'s columns for results shaped like
+// `exemplar` (its counter names become the trailing columns).
+[[nodiscard]] std::string csvHeader(const ExperimentResult& exemplar);
 
 // One row, with an arbitrary caller-supplied label in the first column
 // (e.g. the sweep point).
 [[nodiscard]] std::string csvRow(const std::string& label,
                                  const ExperimentResult& result);
 
-// Writes header + one row per result. Returns false on I/O failure.
+// Writes header + one row per result. Returns false on I/O failure (or an
+// empty row set — there is no exemplar to shape the header from).
 bool writeResultsCsv(const std::string& path,
                      const std::vector<std::pair<std::string,
                                                  ExperimentResult>>& rows);

@@ -60,6 +60,11 @@ MultiSeedSummary runSeeds(const ExperimentConfig& base, SystemKind system,
       ExperimentConfig config = base;
       config.seed = base.seed + i;
       config.trace.seed = config.seed;
+      if (!config.obs.traceOut.empty()) {
+        // Per-seed trace files: parallel replications must not clobber one
+        // path.
+        config.obs.traceOut += ".s" + std::to_string(config.seed);
+      }
       const auto runStart = std::chrono::steady_clock::now();
       slots[i] = runExperiment(config, system);
       runWallMs[i] = elapsedMs(runStart);
@@ -89,6 +94,25 @@ MultiSeedSummary runSeeds(const ExperimentConfig& base, SystemKind system,
   summary.delayP99Ms = aggregate(delayP99);
   summary.linksFinal = aggregate(links);
   summary.rebufferRate = aggregate(rebuffer);
+
+  // Phase wall clocks, grouped by name in first-seen order (all runs execute
+  // the same phases, so this is the first run's order).
+  std::vector<std::pair<std::string, std::vector<double>>> phaseSamples;
+  for (const ExperimentResult& result : summary.runs) {
+    for (const obs::Phase& phase : result.phases) {
+      auto it = std::find_if(
+          phaseSamples.begin(), phaseSamples.end(),
+          [&](const auto& entry) { return entry.first == phase.name; });
+      if (it == phaseSamples.end()) {
+        phaseSamples.emplace_back(phase.name, std::vector<double>{});
+        it = std::prev(phaseSamples.end());
+      }
+      it->second.push_back(phase.ms);
+    }
+  }
+  for (const auto& [name, samples] : phaseSamples) {
+    summary.phaseWallMs.emplace_back(name, aggregate(samples));
+  }
 
   summary.runWallMs = aggregate(runWallMs);
   double busyMs = 0.0;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/config.h"
@@ -44,6 +45,9 @@ struct MultiSeedSummary {
   // sum(per-run wall) / (batch wall * threads): 1.0 means every worker was
   // busy the whole time; low values expose stragglers or an oversized pool.
   double poolUtilization = 0.0;
+  // Per-phase wall clock across replications (trace_gen/setup/event_loop/
+  // extract), aggregated by phase name in first-seen order.
+  std::vector<std::pair<std::string, AggregateStat>> phaseWallMs;
 };
 
 // Runs `seeds` replications with seeds base.seed, base.seed+1, ..., on

@@ -43,7 +43,7 @@ void printStartupDelay(const std::string& label,
       label.c_str(), result.startupDelayMs.mean(),
       result.startupDelayMs.percentile(50), result.startupDelayMs.percentile(90),
       result.startupDelayMs.percentile(99),
-      static_cast<unsigned long long>(result.startupTimeouts));
+      static_cast<unsigned long long>(result.startupTimeouts()));
 }
 
 void printMaintenance(const std::vector<ExperimentResult>& results) {
@@ -70,33 +70,33 @@ void printMaintenance(const std::vector<ExperimentResult>& results) {
 }
 
 void printCounters(const ExperimentResult& result) {
-  std::printf(
-      "%s: watches=%llu cacheHits=%llu prefetchHits=%llu (issued %llu) "
-      "channelHits=%llu categoryHits=%llu serverFallbacks=%llu\n",
-      result.system.c_str(), static_cast<unsigned long long>(result.watches),
-      static_cast<unsigned long long>(result.cacheHits),
-      static_cast<unsigned long long>(result.prefetchHits),
-      static_cast<unsigned long long>(result.prefetchIssued),
-      static_cast<unsigned long long>(result.channelHits),
-      static_cast<unsigned long long>(result.categoryHits),
-      static_cast<unsigned long long>(result.serverFallbacks));
+  // Generic dump of the run's counter snapshot: any counter registered
+  // anywhere in the stack shows up here without a format-string change.
+  std::printf("%s:", result.system.c_str());
+  std::size_t onLine = 0;
+  for (const obs::Snapshot::Entry& entry : result.counters.entries()) {
+    if (onLine == 6) {
+      std::printf("\n   ");
+      onLine = 0;
+    }
+    std::printf(" %s=%llu", entry.name.c_str(),
+                static_cast<unsigned long long>(entry.value));
+    ++onLine;
+  }
+  std::printf("\n");
   std::printf(
       "    rebufferRate=%.3f uploadGini=%.3f serverRegsPeak=%.0f "
       "redundantLinks=%.2f\n",
       result.rebufferRate(), result.uploadGini,
       result.serverRegistrations.max(), result.redundantLinks.mean());
-  std::printf(
-      "    peerChunks=%llu serverChunks=%llu serverMB=%.1f messages=%llu "
-      "(lost %llu) probes=%llu repairs=%llu sessions=%llu events=%llu\n",
-      static_cast<unsigned long long>(result.peerChunks),
-      static_cast<unsigned long long>(result.serverChunks),
-      static_cast<double>(result.serverBytes) / 1e6,
-      static_cast<unsigned long long>(result.messagesSent),
-      static_cast<unsigned long long>(result.messagesLost),
-      static_cast<unsigned long long>(result.probes),
-      static_cast<unsigned long long>(result.repairs),
-      static_cast<unsigned long long>(result.sessionsCompleted),
-      static_cast<unsigned long long>(result.eventsFired));
+}
+
+void printPhases(const ExperimentResult& result) {
+  std::printf("%s phases:", result.system.c_str());
+  for (const obs::Phase& phase : result.phases) {
+    std::printf(" %s=%.1fms", phase.name.c_str(), phase.ms);
+  }
+  std::printf("\n");
 }
 
 }  // namespace st::exp

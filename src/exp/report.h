@@ -30,7 +30,11 @@ void printStartupDelay(const std::string& label,
 // Fig. 18-style block: mean links after n-th video per system.
 void printMaintenance(const std::vector<ExperimentResult>& results);
 
-// Protocol counter summary (hit breakdown, prefetch rate, server load).
+// Protocol counter summary: every registered counter by name, plus the
+// derived rates (rebuffer rate, upload Gini, server-state peak).
 void printCounters(const ExperimentResult& result);
+
+// Wall-clock phase breakdown of a run (trace_gen/setup/event_loop/extract).
+void printPhases(const ExperimentResult& result);
 
 }  // namespace st::exp

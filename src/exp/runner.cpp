@@ -4,6 +4,7 @@
 #include <cassert>
 #include <iterator>
 #include <optional>
+#include <utility>
 
 #include "baselines/nettube.h"
 #include "baselines/pavod.h"
@@ -60,23 +61,55 @@ std::unique_ptr<vod::VodSystem> makeSystem(SystemKind kind,
   return nullptr;
 }
 
+obs::EventTrace::Options traceOptions(const ExperimentConfig& config) {
+  obs::EventTrace::Options options;
+  options.capacity = config.obs.traceCapacity;
+  options.sampleEvery[static_cast<std::size_t>(obs::EventKind::kChunk)] =
+      config.obs.chunkSampleEvery;
+  options.sampleEvery[static_cast<std::size_t>(obs::EventKind::kProbe)] =
+      config.obs.probeSampleEvery;
+  return options;
+}
+
 }  // namespace
 
 ExperimentResult runExperiment(const ExperimentConfig& config,
                                SystemKind kind,
-                               const trace::Catalog* catalog) {
+                               const trace::Catalog* catalog,
+                               obs::EventTrace* trace) {
+  obs::PhaseProfiler profiler;
+
   trace::Catalog owned;
   if (catalog == nullptr) {
+    const auto scope = profiler.scope("trace_gen");
     owned = trace::generateTrace(config.trace);
     catalog = &owned;
   }
 
+  // Run-local sink when the config asks for a trace file and the caller did
+  // not supply a sink of their own.
+  std::optional<obs::EventTrace> ownedTrace;
+  if (trace == nullptr && !config.obs.traceOut.empty()) {
+    ownedTrace.emplace(traceOptions(config));
+    trace = &*ownedTrace;
+  }
+
+  auto setupScope = std::optional(profiler.scope("setup"));
   sim::Simulator simulator;
   net::Network network(simulator, makeLatency(config), config.seed);
   vod::VideoLibrary library(*catalog, config.vod);
   vod::Metrics metrics(catalog->userCount(), config.vod.videosPerSession);
+
+  // One registry per run: Metrics owns it and seeds the protocol counters;
+  // every other layer registers its scalars here and the final snapshot is
+  // the run's complete counter set.
+  obs::Registry& registry = metrics.registry();
+  simulator.registerInto(registry);
+  network.registerInto(registry);
+
   vod::SystemContext ctx(simulator, network, *catalog, library, config.vod,
                          metrics, config.seed);
+  ctx.setTrace(trace);
   vod::TransferManager transfers(ctx);
   const std::unique_ptr<vod::VodSystem> system =
       makeSystem(kind, ctx, transfers);
@@ -101,40 +134,43 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
         config.seed));
   }
 
+  registry.addGauge("server_bytes", [&network, &ctx] {
+    return network.flows().bytesUploaded(ctx.serverEndpoint());
+  });
+  registry.addGauge("sessions_completed",
+                    [&driver] { return driver.sessionsCompleted(); });
+  registry.addGauge("releases_fired",
+                    [&releases] { return releases.releasesFired(); });
+  registry.addGauge("feed_notifications",
+                    [&releases] { return releases.feedNotifications(); });
+  registry.addGauge("feed_watches",
+                    [&selector] { return selector.feedWatches(); });
+
   driver.start();
   // Sample the origin server's membership-state size every 30 simulated
   // minutes (the §IV-A server-state comparison).
   RunningStats serverRegistrations;
   simulator.schedulePeriodic(30 * sim::kMinute, [&] {
     serverRegistrations.add(
-        static_cast<double>(system->serverRegistrations()));
+        static_cast<double>(system->statsSnapshot().serverRegistrations));
   });
-  simulator.runUntil(config.duration);
+  setupScope.reset();
 
+  {
+    const auto scope = profiler.scope("event_loop");
+    simulator.runUntil(config.duration);
+  }
+
+  auto extractScope = std::optional(profiler.scope("extract"));
   ExperimentResult result;
   result.system = std::string(system->name());
   result.mode = config.mode;
   result.seed = config.seed;
   result.normalizedPeerBandwidth = metrics.normalizedPeerBandwidth();
   result.startupDelayMs = metrics.startupDelayMs();
-  result.startupTimeouts = metrics.startupTimeouts();
   result.linksByVideosWatched = metrics.linksByVideosWatched();
   result.redundantLinks = metrics.redundantLinks();
   result.serverRegistrations = serverRegistrations;
-  result.bodyCompletions = metrics.bodyCompletions();
-  result.rebuffers = metrics.rebuffers();
-  result.watches = metrics.watches();
-  result.cacheHits = metrics.cacheHits();
-  result.prefetchHits = metrics.prefetchHits();
-  result.prefetchIssued = metrics.prefetchIssued();
-  result.channelHits = metrics.channelHits();
-  result.categoryHits = metrics.categoryHits();
-  result.serverFallbacks = metrics.serverFallbacks();
-  result.probes = metrics.probes();
-  result.repairs = metrics.repairs();
-  result.peerChunks = metrics.totalPeerChunks();
-  result.serverChunks = metrics.totalServerChunks();
-  result.serverBytes = network.flows().bytesUploaded(ctx.serverEndpoint());
   {
     std::vector<double> uploads;
     uploads.reserve(catalog->userCount());
@@ -144,13 +180,13 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
     }
     result.uploadGini = giniCoefficient(uploads);
   }
-  result.messagesSent = network.messagesSent();
-  result.messagesLost = network.messagesLost();
-  result.sessionsCompleted = driver.sessionsCompleted();
-  result.eventsFired = simulator.eventsFired();
-  result.releasesFired = releases.releasesFired();
-  result.feedNotifications = releases.feedNotifications();
-  result.feedWatches = selector.feedWatches();
+  // The generic snapshot replaces the old field-by-field copy: every
+  // counter and gauge registered above lands here by name.
+  result.counters = registry.snapshot();
+  if (ownedTrace) ownedTrace->writeJsonl(config.obs.traceOut);
+  extractScope.reset();
+
+  result.phases = profiler.phases();
   return result;
 }
 
@@ -168,7 +204,13 @@ std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config,
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(std::min(threads, kCount));
   parallelFor(pool ? &*pool : nullptr, kCount, [&](std::size_t i) {
-    results[i] = runExperiment(config, kOrder[i], &catalog);
+    ExperimentConfig runConfig = config;
+    if (!runConfig.obs.traceOut.empty()) {
+      // Per-system trace files: parallel runs must not clobber one path.
+      runConfig.obs.traceOut += ".";
+      runConfig.obs.traceOut += systemName(kOrder[i]);
+    }
+    results[i] = runExperiment(runConfig, kOrder[i], &catalog);
   });
   return results;
 }

@@ -8,6 +8,7 @@
 
 #include "net/flow_network.h"
 #include "net/latency.h"
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/strong_id.h"
@@ -43,6 +44,13 @@ class Network {
 
   [[nodiscard]] std::uint64_t messagesSent() const { return messagesSent_; }
   [[nodiscard]] std::uint64_t messagesLost() const { return messagesLost_; }
+
+  // Exposes the control-plane tallies as pull gauges. The registry must not
+  // outlive this network.
+  void registerInto(obs::Registry& registry) {
+    registry.addGauge("messages_sent", [this] { return messagesSent_; });
+    registry.addGauge("messages_lost", [this] { return messagesLost_; });
+  }
 
  private:
   sim::Simulator& sim_;

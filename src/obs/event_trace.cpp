@@ -1,0 +1,77 @@
+#include "obs/event_trace.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace st::obs {
+
+const char* eventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLogin: return "login";
+    case EventKind::kLogout: return "logout";
+    case EventKind::kProbe: return "probe";
+    case EventKind::kRepair: return "repair";
+    case EventKind::kServerFallback: return "server_fallback";
+    case EventKind::kPrefetchIssue: return "prefetch_issue";
+    case EventKind::kPrefetchHit: return "prefetch_hit";
+    case EventKind::kChunk: return "chunk";
+    case EventKind::kRebuffer: return "rebuffer";
+  }
+  return "?";
+}
+
+EventTrace::Options::Options() {
+  sampleEvery.fill(1);
+  // Hot kinds: one chunk event per credited transfer batch and one probe per
+  // maintenance round would still dominate the buffer at full scale.
+  sampleEvery[static_cast<std::size_t>(EventKind::kChunk)] = 16;
+  sampleEvery[static_cast<std::size_t>(EventKind::kProbe)] = 8;
+}
+
+EventTrace::EventTrace(Options options) : options_(options) {
+  assert(options_.capacity > 0);
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.resize(options_.capacity);
+}
+
+void EventTrace::record(sim::SimTime time, EventKind kind, std::uint32_t actor,
+                        std::uint32_t subject, std::uint64_t value) {
+  ++seen_;
+  const auto kindIndex = static_cast<std::size_t>(kind);
+  const std::uint32_t every = options_.sampleEvery[kindIndex];
+  if (every == 0) return;
+  if (seenByKind_[kindIndex]++ % every != 0) return;
+  ring_[head_] = TraceEvent{time, kind, actor, subject, value};
+  head_ = (head_ + 1) % ring_.size();
+  ++kept_;
+}
+
+std::vector<TraceEvent> EventTrace::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t count = size();
+  out.reserve(count);
+  // When the ring wrapped, the oldest retained event sits at head_.
+  const std::size_t start =
+      kept_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+bool EventTrace::writeJsonl(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  for (const TraceEvent& event : events()) {
+    std::fprintf(file,
+                 "{\"t\":%llu,\"type\":\"%s\",\"actor\":%u,\"subject\":%u,"
+                 "\"value\":%llu}\n",
+                 static_cast<unsigned long long>(event.time),
+                 eventKindName(event.kind), event.actor, event.subject,
+                 static_cast<unsigned long long>(event.value));
+  }
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace st::obs

@@ -1,0 +1,121 @@
+// Structured protocol-event tracing: a ring buffer of sim-time-stamped
+// events recorded behind the compile-out-able ST_TRACE macro.
+//
+// The paper's churn and new-content analyses (§V) reason about *when*
+// protocol events happen — probe rounds detecting dead neighbors, repairs
+// refilling links, server fallbacks spiking while caches are cold. The
+// counters in obs::Registry only say how often; this sink records the
+// timeline, cheap enough to leave on at full scale:
+//
+//  * fixed-capacity ring — full-length runs keep the most recent window
+//    instead of growing without bound;
+//  * per-event-kind sampling — hot kinds (chunk credits, probes) keep every
+//    Nth event, rare kinds (repairs, fallbacks) keep all;
+//  * ST_TRACE compiles to nothing when the build sets -DST_TRACE_ENABLED=0,
+//    so the hot path carries no branch at all.
+//
+// Events are recorded from the single-threaded simulator, so buffer order is
+// sim-time order. writeJsonl() flushes one JSON object per line.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+#ifndef ST_TRACE_ENABLED
+#define ST_TRACE_ENABLED 1
+#endif
+
+namespace st::obs {
+
+enum class EventKind : std::uint8_t {
+  kLogin = 0,
+  kLogout,
+  kProbe,
+  kRepair,
+  kServerFallback,
+  kPrefetchIssue,
+  kPrefetchHit,
+  kChunk,
+  kRebuffer,
+};
+inline constexpr std::size_t kEventKindCount = 9;
+
+// Stable lowercase name used in JSONL output ("server_fallback", ...).
+[[nodiscard]] const char* eventKindName(EventKind kind);
+
+struct TraceEvent {
+  sim::SimTime time = 0;
+  EventKind kind = EventKind::kLogin;
+  std::uint32_t actor = 0;    // the user driving the event
+  std::uint32_t subject = 0;  // counterpart: video, peer, ... (kind-specific)
+  std::uint64_t value = 0;    // payload (e.g. chunks credited)
+};
+
+class EventTrace {
+ public:
+  struct Options {
+    std::size_t capacity = 1 << 18;  // events retained (ring buffer)
+    // Keep every Nth event of each kind (0 = drop the kind entirely).
+    // Defaults keep everything except the two hot kinds.
+    std::array<std::uint32_t, kEventKindCount> sampleEvery;
+    Options();
+  };
+
+  explicit EventTrace(Options options = Options());
+
+  void record(sim::SimTime time, EventKind kind, std::uint32_t actor,
+              std::uint32_t subject, std::uint64_t value);
+
+  // Retained events, oldest first (== ascending sim time).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }  // pre-sampling
+  [[nodiscard]] std::uint64_t kept() const { return kept_; }  // post-sampling
+  // Events sampled in but since overwritten by the ring.
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return kept_ - static_cast<std::uint64_t>(size());
+  }
+  [[nodiscard]] std::size_t size() const {
+    return kept_ < ring_.size() ? static_cast<std::size_t>(kept_)
+                                : ring_.size();
+  }
+
+  // One JSON object per line:
+  //   {"t":123456,"type":"repair","actor":5,"subject":7,"value":0}
+  // with t in simulated microseconds. Returns false on I/O failure.
+  bool writeJsonl(const std::string& path) const;
+
+ private:
+  Options options_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // next write position
+  std::uint64_t seen_ = 0;
+  std::uint64_t kept_ = 0;
+  std::array<std::uint64_t, kEventKindCount> seenByKind_{};
+};
+
+}  // namespace st::obs
+
+// ST_TRACE(sink, time, kind, actor, subject, value)
+//
+// `sink` is an obs::EventTrace* (null = tracing off for this run); `kind` is
+// the bare EventKind enumerator name. With ST_TRACE_ENABLED=0 the macro
+// expands to nothing and none of its arguments are evaluated.
+#if ST_TRACE_ENABLED
+#define ST_TRACE(sink, time, kind, actor, subject, value)               \
+  do {                                                                  \
+    ::st::obs::EventTrace* stTraceSink_ = (sink);                       \
+    if (stTraceSink_ != nullptr) {                                      \
+      stTraceSink_->record((time), ::st::obs::EventKind::kind, (actor), \
+                           (subject), (value));                         \
+    }                                                                   \
+  } while (false)
+#else
+#define ST_TRACE(sink, time, kind, actor, subject, value) \
+  do {                                                    \
+  } while (false)
+#endif

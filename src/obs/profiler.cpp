@@ -1,0 +1,26 @@
+#include "obs/profiler.h"
+
+namespace st::obs {
+
+PhaseProfiler::Scope::~Scope() {
+  if (profiler_ == nullptr) return;  // moved from
+  Phase& phase = profiler_->phases_[slot_];
+  phase.ms += std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  ++phase.calls;
+}
+
+PhaseProfiler::Scope PhaseProfiler::scope(std::string_view name) {
+  return Scope(this, slotFor(name));
+}
+
+std::size_t PhaseProfiler::slotFor(std::string_view name) {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i].name == name) return i;
+  }
+  phases_.push_back(Phase{std::string(name), 0.0, 0});
+  return phases_.size() - 1;
+}
+
+}  // namespace st::obs

@@ -1,0 +1,62 @@
+// Wall-clock phase profiling for experiment runs.
+//
+// The runner wraps each stage — trace generation, overlay/system setup, the
+// event loop, metric extraction — in a scope; the per-phase totals land in
+// ExperimentResult and are aggregated across seeds by MultiSeedSummary.
+// Wall-clock readings are execution telemetry: like the thread-pool numbers,
+// they are excluded from the determinism guarantee.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace st::obs {
+
+struct Phase {
+  std::string name;
+  double ms = 0.0;           // accumulated wall clock
+  std::uint64_t calls = 0;   // scopes that contributed
+};
+
+class PhaseProfiler {
+ public:
+  // RAII scope: accumulates elapsed wall time into its phase on destruction.
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept
+        : profiler_(other.profiler_), slot_(other.slot_),
+          start_(other.start_) {
+      other.profiler_ = nullptr;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope();
+
+   private:
+    friend class PhaseProfiler;
+    Scope(PhaseProfiler* profiler, std::size_t slot)
+        : profiler_(profiler), slot_(slot),
+          start_(std::chrono::steady_clock::now()) {}
+
+    PhaseProfiler* profiler_;
+    std::size_t slot_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  // Starts timing `name`; repeated scopes of the same name accumulate.
+  // Phases keep first-use order (the natural pipeline order in reports).
+  [[nodiscard]] Scope scope(std::string_view name);
+
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+
+ private:
+  std::size_t slotFor(std::string_view name);
+
+  std::vector<Phase> phases_;
+};
+
+}  // namespace st::obs

@@ -1,0 +1,94 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace st::obs {
+
+namespace {
+
+// Shared lower-bound over the sorted Snapshot entry vector.
+auto entryLowerBound(const std::vector<Snapshot::Entry>& entries,
+                     std::string_view name) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Snapshot::Entry& e, std::string_view n) { return e.name < n; });
+}
+
+}  // namespace
+
+void Snapshot::set(std::string_view name, std::uint64_t value) {
+  const auto it = entryLowerBound(entries_, name);
+  if (it != entries_.end() && it->name == name) {
+    const auto index = it - entries_.begin();
+    entries_[static_cast<std::size_t>(index)].value = value;
+    return;
+  }
+  entries_.insert(it, Entry{std::string(name), value});
+}
+
+std::uint64_t Snapshot::at(std::string_view name) const {
+  const auto it = entryLowerBound(entries_, name);
+  return (it != entries_.end() && it->name == name) ? it->value : 0;
+}
+
+bool Snapshot::has(std::string_view name) const {
+  const auto it = entryLowerBound(entries_, name);
+  return it != entries_.end() && it->name == name;
+}
+
+const Registry::Slot* Registry::find(std::string_view name) const {
+  for (const Slot& slot : slots_) {
+    if (slot.name == name) return &slot;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  for (Slot& slot : slots_) {
+    if (slot.name != name) continue;
+    if (slot.counter) return *slot.counter;
+    // Name already registered as a gauge: programming error. Keep the run
+    // alive in release builds by handing out a counter that is not part of
+    // any snapshot.
+    assert(false && "obs::Registry name already registered as a gauge");
+    if (!orphan_) orphan_ = std::make_unique<Counter>();
+    return *orphan_;
+  }
+  Slot slot;
+  slot.name = std::string(name);
+  slot.counter = std::make_unique<Counter>();
+  slots_.push_back(std::move(slot));
+  return *slots_.back().counter;
+}
+
+bool Registry::addGauge(std::string_view name,
+                        std::function<std::uint64_t()> fn) {
+  assert(fn);
+  if (find(name) != nullptr) return false;
+  Slot slot;
+  slot.name = std::string(name);
+  slot.gauge = std::move(fn);
+  slots_.push_back(std::move(slot));
+  return true;
+}
+
+bool Registry::has(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::uint64_t Registry::value(std::string_view name) const {
+  const Slot* slot = find(name);
+  assert(slot != nullptr && "obs::Registry::value: unknown name");
+  return slot == nullptr ? 0 : slot->value();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snapshot;
+  for (const Slot& slot : slots_) {
+    snapshot.set(slot.name, slot.value());
+  }
+  return snapshot;
+}
+
+}  // namespace st::obs

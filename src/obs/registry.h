@@ -1,0 +1,105 @@
+// Named-counter/gauge registry: the single place a run's scalar telemetry
+// lives.
+//
+// Components register once at construction time — vod::Metrics owns the
+// protocol counters, net::Network and sim::Simulator contribute pull-style
+// gauges — and the experiment runner turns the whole registry into one
+// Snapshot at the end of the run. Adding a counter anywhere in the stack
+// makes it appear in ExperimentResult, the CSV writer, and the console
+// report with no further plumbing.
+//
+// A Registry belongs to exactly one experiment run (it is as single-threaded
+// as the simulator driving it); cross-run parallelism uses one registry per
+// run. Snapshot entries are sorted by name, so identically populated
+// registries snapshot identically regardless of registration order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace st::obs {
+
+// Monotonically increasing integer owned by its Registry. Components cache
+// the reference returned by Registry::counter() so hot-path increments are a
+// single add — no name lookup.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// The evaluated state of a Registry: name -> integer value, sorted by name.
+// Also usable standalone (tests build result fixtures with set()).
+class Snapshot {
+ public:
+  struct Entry {
+    std::string name;
+    std::uint64_t value = 0;
+    bool operator==(const Entry&) const = default;
+  };
+
+  // Inserts (keeping the name ordering) or overwrites.
+  void set(std::string_view name, std::uint64_t value);
+  // Value under `name`, or 0 when absent — missing counters read as "never
+  // incremented" so hand-built fixtures stay terse.
+  [[nodiscard]] std::uint64_t at(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  bool operator==(const Snapshot&) const = default;
+
+ private:
+  std::vector<Entry> entries_;  // kept sorted by name
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Returns the counter registered under `name`, creating it on first use
+  // (repeat calls share the same slot, so two components may legitimately
+  // feed one counter). Asserts if the name is already taken by a gauge; in
+  // release builds the returned counter is an orphan that never appears in
+  // snapshots.
+  Counter& counter(std::string_view name);
+
+  // Registers a gauge evaluated lazily at snapshot()/value() time. Returns
+  // false — registering nothing — when the name is already taken.
+  bool addGauge(std::string_view name, std::function<std::uint64_t()> fn);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  // Current value of one entry. Asserts the name exists (reads 0 in release
+  // builds) — registry names are static strings, so a miss is a typo.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+
+  // Evaluates every counter and gauge into a name-sorted Snapshot.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  struct Slot {
+    std::string name;
+    std::unique_ptr<Counter> counter;        // exactly one of these two
+    std::function<std::uint64_t()> gauge;    // is set
+    [[nodiscard]] std::uint64_t value() const {
+      return counter ? counter->value() : gauge();
+    }
+  };
+
+  [[nodiscard]] const Slot* find(std::string_view name) const;
+
+  std::vector<Slot> slots_;  // registration order; snapshot() sorts by name
+  std::unique_ptr<Counter> orphan_;  // fallback for counter/gauge collisions
+};
+
+}  // namespace st::obs

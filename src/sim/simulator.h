@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/time.h"
 
 namespace st::sim {
@@ -62,6 +63,12 @@ class Simulator {
 
   [[nodiscard]] std::size_t pendingEvents() const { return queueSize_; }
   [[nodiscard]] std::uint64_t eventsFired() const { return fired_; }
+
+  // Exposes the fired-event count as a pull gauge. The registry must not
+  // outlive this simulator.
+  void registerInto(obs::Registry& registry) {
+    registry.addGauge("events_fired", [this] { return fired_; });
+  }
 
  private:
   struct Event {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "obs/event_trace.h"
 #include "sim/simulator.h"
 #include "trace/catalog.h"
 #include "util/rng.h"
@@ -36,6 +37,12 @@ class SystemContext {
   const VodConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
   Rng& rng() { return rng_; }
+
+  // Optional structured event sink (see obs/event_trace.h). Null by default;
+  // protocol code emits through the ST_TRACE macro, which tolerates null and
+  // compiles out entirely under ST_TRACE=OFF.
+  [[nodiscard]] obs::EventTrace* trace() const { return trace_; }
+  void setTrace(obs::EventTrace* trace) { trace_ = trace; }
 
   [[nodiscard]] EndpointId endpointOf(UserId user) const {
     return EndpointId{user.value()};
@@ -79,6 +86,7 @@ class SystemContext {
   const VideoLibrary& library_;
   const VodConfig& config_;
   Metrics& metrics_;
+  obs::EventTrace* trace_ = nullptr;
   Rng rng_;
   EndpointId serverEndpoint_;
   std::vector<char> online_;

@@ -8,7 +8,23 @@ namespace st::vod {
 Metrics::Metrics(std::size_t userCount, std::size_t videosPerSession)
     : peerChunks_(userCount, 0),
       serverChunks_(userCount, 0),
-      linksByVideosWatched_(videosPerSession + 1) {}
+      linksByVideosWatched_(videosPerSession + 1),
+      startupTimeouts_(&registry_.counter("startup_timeouts")),
+      cacheHits_(&registry_.counter("cache_hits")),
+      prefetchHits_(&registry_.counter("prefetch_hits")),
+      prefetchIssued_(&registry_.counter("prefetch_issued")),
+      channelHits_(&registry_.counter("channel_hits")),
+      categoryHits_(&registry_.counter("category_hits")),
+      serverFallbacks_(&registry_.counter("server_fallbacks")),
+      probes_(&registry_.counter("probes")),
+      repairs_(&registry_.counter("repairs")),
+      bodyCompletions_(&registry_.counter("body_completions")),
+      rebuffers_(&registry_.counter("rebuffers")) {
+  // Derived scalars: one derivation, shared by watches() and the snapshot.
+  registry_.addGauge("watches", [this] { return watches(); });
+  registry_.addGauge("peer_chunks", [this] { return totalPeerChunks(); });
+  registry_.addGauge("server_chunks", [this] { return totalServerChunks(); });
+}
 
 void Metrics::recordChunks(UserId user, ChunkSource source,
                            std::uint64_t chunks) {

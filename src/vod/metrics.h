@@ -1,11 +1,20 @@
 // Evaluation metrics (§V): startup delay, normalized peer bandwidth, and
 // overlay maintenance overhead, plus protocol counters used by tests and
 // ablation benches.
+//
+// Scalar counters live in an obs::Registry owned by this class — the
+// count*() helpers increment pre-resolved registry slots, and derived
+// scalars (watches, chunk totals) are registered as gauges. Anything
+// registered here flows into ExperimentResult / CSV / report snapshots
+// automatically; read individual counters back via value("cache_hits") or
+// the full registry().
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
+#include "obs/registry.h"
 #include "util/stats.h"
 #include "util/strong_id.h"
 
@@ -16,15 +25,14 @@ enum class ChunkSource { kPeer, kServer };
 class Metrics {
  public:
   explicit Metrics(std::size_t userCount, std::size_t videosPerSession);
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
 
   // --- startup delay (Fig. 17) ----------------------------------------------
   void recordStartupDelay(double delayMs) { startupDelayMs_.add(delayMs); }
-  void recordStartupTimeout() { ++startupTimeouts_; }
+  void recordStartupTimeout() { startupTimeouts_->inc(); }
   [[nodiscard]] const SampleSet& startupDelayMs() const {
     return startupDelayMs_;
-  }
-  [[nodiscard]] std::uint64_t startupTimeouts() const {
-    return startupTimeouts_;
   }
 
   // --- chunk accounting (Fig. 16) --------------------------------------------
@@ -53,18 +61,14 @@ class Metrics {
   // A body download that finishes later than real-time playback would have
   // consumed it means the viewer stalled at least once.
   void countBodyCompletion(bool onTime) {
-    ++bodyCompletions_;
-    if (!onTime) ++rebuffers_;
+    bodyCompletions_->inc();
+    if (!onTime) rebuffers_->inc();
   }
-  [[nodiscard]] std::uint64_t bodyCompletions() const {
-    return bodyCompletions_;
-  }
-  [[nodiscard]] std::uint64_t rebuffers() const { return rebuffers_; }
   [[nodiscard]] double rebufferRate() const {
-    return bodyCompletions_ == 0
-               ? 0.0
-               : static_cast<double>(rebuffers_) /
-                     static_cast<double>(bodyCompletions_);
+    const std::uint64_t bodies = bodyCompletions_->value();
+    return bodies == 0 ? 0.0
+                       : static_cast<double>(rebuffers_->value()) /
+                             static_cast<double>(bodies);
   }
 
   // --- NetTube redundancy (§IV-C) ----------------------------------------------
@@ -76,46 +80,50 @@ class Metrics {
   }
 
   // --- protocol counters --------------------------------------------------------
-  void countCacheHit() { ++cacheHits_; }
-  void countPrefetchHit() { ++prefetchHits_; }
-  void countPrefetchIssued() { ++prefetchIssued_; }
-  void countChannelHit() { ++channelHits_; }
-  void countCategoryHit() { ++categoryHits_; }
-  void countServerFallback() { ++serverFallbacks_; }
-  void countProbe() { ++probes_; }
-  void countRepair() { ++repairs_; }
+  void countCacheHit() { cacheHits_->inc(); }
+  void countPrefetchHit() { prefetchHits_->inc(); }
+  void countPrefetchIssued() { prefetchIssued_->inc(); }
+  void countChannelHit() { channelHits_->inc(); }
+  void countCategoryHit() { categoryHits_->inc(); }
+  void countServerFallback() { serverFallbacks_->inc(); }
+  void countProbe() { probes_->inc(); }
+  void countRepair() { repairs_->inc(); }
 
-  [[nodiscard]] std::uint64_t cacheHits() const { return cacheHits_; }
-  [[nodiscard]] std::uint64_t prefetchHits() const { return prefetchHits_; }
-  [[nodiscard]] std::uint64_t prefetchIssued() const { return prefetchIssued_; }
-  [[nodiscard]] std::uint64_t channelHits() const { return channelHits_; }
-  [[nodiscard]] std::uint64_t categoryHits() const { return categoryHits_; }
-  [[nodiscard]] std::uint64_t serverFallbacks() const { return serverFallbacks_; }
-  [[nodiscard]] std::uint64_t probes() const { return probes_; }
-  [[nodiscard]] std::uint64_t repairs() const { return repairs_; }
-
-  // Total video watches that began playback (delays + timeouts).
+  // Total video watches that began playback (delays + timeouts). Also
+  // exported as the "watches" gauge — the registry and this accessor share
+  // one derivation, so they can never drift apart.
   [[nodiscard]] std::uint64_t watches() const {
-    return startupDelayMs_.count() + startupTimeouts_;
+    return startupDelayMs_.count() + startupTimeouts_->value();
   }
 
+  // --- observability -------------------------------------------------------------
+  // Generic access to any registered counter/gauge, e.g.
+  // value("server_fallbacks"). This replaces the old per-counter getters.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const {
+    return registry_.value(name);
+  }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
  private:
+  obs::Registry registry_;
   SampleSet startupDelayMs_;
-  std::uint64_t startupTimeouts_ = 0;
   std::vector<std::uint64_t> peerChunks_;
   std::vector<std::uint64_t> serverChunks_;
   std::vector<RunningStats> linksByVideosWatched_;
-  std::uint64_t cacheHits_ = 0;
-  std::uint64_t prefetchHits_ = 0;
-  std::uint64_t prefetchIssued_ = 0;
-  std::uint64_t channelHits_ = 0;
-  std::uint64_t categoryHits_ = 0;
-  std::uint64_t serverFallbacks_ = 0;
-  std::uint64_t probes_ = 0;
-  std::uint64_t repairs_ = 0;
-  std::uint64_t bodyCompletions_ = 0;
-  std::uint64_t rebuffers_ = 0;
   RunningStats redundantLinks_;
+  // Registry-owned slots, cached for branch-free increments.
+  obs::Counter* startupTimeouts_;
+  obs::Counter* cacheHits_;
+  obs::Counter* prefetchHits_;
+  obs::Counter* prefetchIssued_;
+  obs::Counter* channelHits_;
+  obs::Counter* categoryHits_;
+  obs::Counter* serverFallbacks_;
+  obs::Counter* probes_;
+  obs::Counter* repairs_;
+  obs::Counter* bodyCompletions_;
+  obs::Counter* rebuffers_;
 };
 
 }  // namespace st::vod

@@ -39,6 +39,8 @@ void SessionDriver::login(UserId user) {
   state.videosThisSession = 0;
   state.currentVideo = VideoId::invalid();
   ctx_.setOnline(user, true);
+  ST_TRACE(ctx_.trace(), ctx_.sim().now(), kLogin, user.value(), 0,
+           state.sessionsDone);
   system_.onLogin(user);
   requestNext(user);
 }
@@ -83,9 +85,9 @@ void SessionDriver::onPlaybackComplete(UserId user, VideoId video) {
   system_.onPlaybackComplete(user, video);
   ++state.videosThisSession;
   ++videosWatched_;
-  ctx_.metrics().recordLinks(state.videosThisSession,
-                             system_.linkCount(user));
-  ctx_.metrics().recordRedundantLinks(system_.redundantLinkCount(user));
+  const VodSystem::NodeStats stats = system_.nodeStats(user);
+  ctx_.metrics().recordLinks(state.videosThisSession, stats.links);
+  ctx_.metrics().recordRedundantLinks(stats.redundantLinks);
   if (state.videosThisSession < ctx_.config().videosPerSession) {
     requestNext(user);
     return;
@@ -100,6 +102,8 @@ void SessionDriver::logout(UserId user) {
       ctx_.config().abruptDepartureFraction);
   state.online = false;
   ctx_.setOnline(user, false);
+  ST_TRACE(ctx_.trace(), ctx_.sim().now(), kLogout, user.value(), 0,
+           graceful ? 1 : 0);
   transfers_.onUserOffline(user);
   system_.onLogout(user, graceful);
 

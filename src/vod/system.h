@@ -45,21 +45,26 @@ class VodSystem {
     (void)video;
   }
 
-  // Number of overlay links the node currently maintains (Fig. 18 metric).
-  [[nodiscard]] virtual std::size_t linkCount(UserId user) const = 0;
+  // Per-node overlay state, read together once per watched video.
+  struct NodeStats {
+    // Overlay links the node currently maintains (Fig. 18 metric).
+    std::size_t links = 0;
+    // Links that are redundant — a second (or later) link between the same
+    // pair of nodes held in a different overlay. Only NetTube can have
+    // these ("two nodes may be connected by redundant links", §IV-C).
+    std::size_t redundantLinks = 0;
+  };
 
-  // Size of the state the origin server keeps for this system — (user, key)
-  // registrations. §IV-A argues SocialTube's per-channel tracking is far
-  // smaller than NetTube's per-video tracking; the runner samples this.
-  [[nodiscard]] virtual std::size_t serverRegistrations() const { return 0; }
+  // System-wide state, sampled periodically by the runner.
+  struct SystemStats {
+    // Size of the state the origin server keeps for this system — (user,
+    // key) registrations. §IV-A argues SocialTube's per-channel tracking
+    // is far smaller than NetTube's per-video tracking.
+    std::size_t serverRegistrations = 0;
+  };
 
-  // Number of links that are redundant — a second (or later) link between
-  // the same pair of nodes held in a different overlay. Only NetTube can
-  // have these ("two nodes may be connected by redundant links", §IV-C).
-  [[nodiscard]] virtual std::size_t redundantLinkCount(UserId user) const {
-    (void)user;
-    return 0;
-  }
+  [[nodiscard]] virtual NodeStats nodeStats(UserId user) const = 0;
+  [[nodiscard]] virtual SystemStats statsSnapshot() const { return {}; }
 
  protected:
   void notifyPlayback(UserId user, VideoId video, sim::SimTime delay,

@@ -11,6 +11,10 @@ namespace {
 ChunkSource sourceOf(UserId provider) {
   return provider.valid() ? ChunkSource::kPeer : ChunkSource::kServer;
 }
+// Chunk trace events carry the source in `subject`: 1 = peer, 0 = server.
+std::uint32_t traceSource(ChunkSource source) {
+  return source == ChunkSource::kPeer ? 1 : 0;
+}
 }  // namespace
 
 EndpointId TransferManager::sourceEndpoint(UserId provider) const {
@@ -132,6 +136,9 @@ void TransferManager::creditPartialFirstChunk(Watch& watch,
   if (chunksDone > watch.phaseCredited) {
     ctx_.metrics().recordChunks(watch.user, sourceOf(watch.provider),
                                 chunksDone - watch.phaseCredited);
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kChunk, watch.user.value(),
+             traceSource(sourceOf(watch.provider)),
+             chunksDone - watch.phaseCredited);
     watch.phaseCredited = chunksDone;
   }
   watch.phaseBytesDone = done;
@@ -146,6 +153,9 @@ void TransferManager::creditPartialSegment(const Watch& watch,
   if (chunksDone > segment.credited) {
     ctx_.metrics().recordChunks(watch.user, sourceOf(segment.provider),
                                 chunksDone - segment.credited);
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kChunk, watch.user.value(),
+             traceSource(sourceOf(segment.provider)),
+             chunksDone - segment.credited);
     segment.credited = chunksDone;
   }
   segment.bytesDone = done;
@@ -201,6 +211,8 @@ void TransferManager::firstChunkComplete(WatchId id) {
   if (1 > watch.phaseCredited) {
     ctx_.metrics().recordChunks(watch.user, sourceOf(watch.provider),
                                 1 - watch.phaseCredited);
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kChunk, watch.user.value(),
+             traceSource(sourceOf(watch.provider)), 1 - watch.phaseCredited);
   }
   ctx_.sim().cancel(watch.timeout);
   watch.timeout = sim::EventHandle{};
@@ -228,6 +240,9 @@ void TransferManager::segmentComplete(WatchId id, std::size_t segmentIndex) {
   if (segment.chunks > segment.credited) {
     ctx_.metrics().recordChunks(watch.user, sourceOf(segment.provider),
                                 segment.chunks - segment.credited);
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kChunk, watch.user.value(),
+             traceSource(sourceOf(segment.provider)),
+             segment.chunks - segment.credited);
     segment.credited = segment.chunks;
   }
 
@@ -242,8 +257,12 @@ void TransferManager::segmentComplete(WatchId id, std::size_t segmentIndex) {
   const VideoAsset& asset = ctx_.library().asset(watch.video);
   const double bodySeconds =
       sim::toSeconds(ctx_.sim().now() - watch.bodyStart);
-  ctx_.metrics().countBodyCompletion(bodySeconds <=
-                                     asset.lengthSeconds + 1e-9);
+  const bool onTime = bodySeconds <= asset.lengthSeconds + 1e-9;
+  ctx_.metrics().countBodyCompletion(onTime);
+  if (!onTime) {
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kRebuffer, watch.user.value(),
+             watch.video.value(), 0);
+  }
   finishWatch(id, true);
 }
 
@@ -266,6 +285,8 @@ void TransferManager::startPrefetch(UserId user, VideoId video,
   assert(!provider.valid() || ctx_.isOnline(provider));
   const VideoAsset& asset = ctx_.library().asset(video);
   ctx_.metrics().countPrefetchIssued();
+  ST_TRACE(ctx_.trace(), ctx_.sim().now(), kPrefetchIssue, user.value(),
+           video.value(), provider.valid() ? 1 : 0);
   Prefetch prefetch;
   prefetch.user = user;
   prefetch.video = video;

@@ -13,10 +13,10 @@ ExperimentResult sampleResult() {
   ExperimentResult result;
   result.system = "SocialTube";
   result.mode = Mode::kSimulation;
-  result.watches = 100;
-  result.cacheHits = 10;
-  result.peerChunks = 800;
-  result.serverChunks = 200;
+  result.setCounter("watches", 100);
+  result.setCounter("cache_hits", 10);
+  result.setCounter("peer_chunks", 800);
+  result.setCounter("server_chunks", 200);
   result.normalizedPeerBandwidth.add(0.5);
   result.normalizedPeerBandwidth.add(0.9);
   result.startupDelayMs.add(120.0);
@@ -24,8 +24,8 @@ ExperimentResult sampleResult() {
   result.linksByVideosWatched[2].add(14.0);
   result.serverRegistrations.add(1000.0);
   result.serverRegistrations.add(3000.0);
-  result.bodyCompletions = 50;
-  result.rebuffers = 5;
+  result.setCounter("body_completions", 50);
+  result.setCounter("rebuffers", 5);
   return result;
 }
 
@@ -33,15 +33,28 @@ TEST(Csv, HeaderAndRowHaveSameColumnCount) {
   const auto count = [](const std::string& line) {
     return std::count(line.begin(), line.end(), ',');
   };
-  EXPECT_EQ(count(csvHeader()), count(csvRow("label", sampleResult())));
+  EXPECT_EQ(count(csvHeader(sampleResult())),
+            count(csvRow("label", sampleResult())));
 }
 
 TEST(Csv, RowContainsKeyValues) {
   const std::string row = csvRow("sweep1", sampleResult());
-  EXPECT_NE(row.find("sweep1,SocialTube,simulation,100,10"),
-            std::string::npos);
-  EXPECT_NE(row.find(",0.8,"), std::string::npos);  // peer fraction
-  EXPECT_NE(row.find(",0.1"), std::string::npos);   // rebuffer rate
+  EXPECT_NE(row.find("sweep1,SocialTube,simulation,0.8,"),
+            std::string::npos);                     // peer fraction
+  EXPECT_NE(row.find(",0.1,"), std::string::npos);  // rebuffer rate
+}
+
+TEST(Csv, CounterColumnsFollowSnapshotOrder) {
+  const ExperimentResult result = sampleResult();
+  const std::string header = csvHeader(result);
+  const std::string row = csvRow("x", result);
+  // Counters are name-sorted in the snapshot; header and row append them in
+  // the same order, so the counts line up column-for-column.
+  const auto headerTail = header.substr(header.find(",body_completions"));
+  EXPECT_EQ(headerTail,
+            ",body_completions,cache_hits,peer_chunks,rebuffers,"
+            "server_chunks,watches");
+  EXPECT_NE(row.find(",50,10,800,5,200,100"), std::string::npos);
 }
 
 TEST(Csv, WriteAndReadBack) {
@@ -52,7 +65,7 @@ TEST(Csv, WriteAndReadBack) {
   ASSERT_TRUE(in.good());
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, csvHeader());
+  EXPECT_EQ(line, csvHeader(sampleResult()));
   int rows = 0;
   while (std::getline(in, line)) {
     if (!line.empty()) ++rows;

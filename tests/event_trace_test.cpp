@@ -1,0 +1,151 @@
+// Unit tests for the structured event trace (obs/event_trace.h): ring
+// semantics, per-kind sampling, JSONL output, and both compile modes of the
+// ST_TRACE macro (tests/CMakeLists.txt builds the suite with whatever
+// ST_TRACE_ENABLED the tree was configured with; scripts/check.sh runs the
+// unit label in both).
+#include "obs/event_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace st::obs {
+namespace {
+
+EventTrace::Options keepEverything(std::size_t capacity = 64) {
+  EventTrace::Options options;
+  options.capacity = capacity;
+  options.sampleEvery.fill(1);
+  return options;
+}
+
+TEST(EventTrace, RecordsInSimTimeOrder) {
+  EventTrace trace(keepEverything());
+  trace.record(10, EventKind::kLogin, 1, 0, 0);
+  trace.record(20, EventKind::kRepair, 1, 0, 2);
+  trace.record(20, EventKind::kServerFallback, 2, 9, 0);
+  trace.record(35, EventKind::kLogout, 1, 0, 1);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time) << "index " << i;
+  }
+  EXPECT_EQ(events[1].kind, EventKind::kRepair);
+  EXPECT_EQ(events[1].value, 2u);
+}
+
+TEST(EventTrace, RingKeepsMostRecentWindow) {
+  EventTrace trace(keepEverything(/*capacity=*/4));
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    trace.record(i, EventKind::kProbe, i, 0, 0);
+  }
+  EXPECT_EQ(trace.seen(), 10u);
+  EXPECT_EQ(trace.kept(), 10u);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.overwritten(), 6u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first and the oldest four were overwritten.
+  EXPECT_EQ(events.front().time, 6);
+  EXPECT_EQ(events.back().time, 9);
+}
+
+TEST(EventTrace, PerKindSamplingKeepsEveryNth) {
+  EventTrace::Options options = keepEverything();
+  options.sampleEvery[static_cast<std::size_t>(EventKind::kChunk)] = 4;
+  EventTrace trace(options);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    trace.record(i, EventKind::kChunk, i, 0, 1);
+  }
+  trace.record(100, EventKind::kRepair, 1, 0, 0);
+  EXPECT_EQ(trace.seen(), 13u);
+  // Chunks 0, 4, 8 survive the 1-in-4 sampling; the repair always does.
+  EXPECT_EQ(trace.kept(), 4u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].time, 0);
+  EXPECT_EQ(events[1].time, 4);
+  EXPECT_EQ(events[2].time, 8);
+  EXPECT_EQ(events[3].kind, EventKind::kRepair);
+}
+
+TEST(EventTrace, SampleZeroDropsTheKind) {
+  EventTrace::Options options = keepEverything();
+  options.sampleEvery[static_cast<std::size_t>(EventKind::kProbe)] = 0;
+  EventTrace trace(options);
+  trace.record(1, EventKind::kProbe, 1, 2, 0);
+  trace.record(2, EventKind::kRepair, 1, 0, 0);
+  EXPECT_EQ(trace.seen(), 2u);
+  EXPECT_EQ(trace.kept(), 1u);
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::kRepair);
+}
+
+TEST(EventTrace, DefaultOptionsSampleHotKindsOnly) {
+  const EventTrace::Options options;
+  for (std::size_t kind = 0; kind < kEventKindCount; ++kind) {
+    const std::uint32_t every = options.sampleEvery[kind];
+    if (kind == static_cast<std::size_t>(EventKind::kChunk) ||
+        kind == static_cast<std::size_t>(EventKind::kProbe)) {
+      EXPECT_GT(every, 1u) << "kind " << kind;
+    } else {
+      EXPECT_EQ(every, 1u) << "kind " << kind;
+    }
+  }
+}
+
+TEST(EventTrace, WriteJsonlEmitsOneObjectPerEvent) {
+  EventTrace trace(keepEverything());
+  trace.record(123456, EventKind::kRepair, 5, 7, 3);
+  trace.record(200000, EventKind::kServerFallback, 8, 42, 0);
+  const std::string path = ::testing::TempDir() + "/st_trace_test.jsonl";
+  ASSERT_TRUE(trace.writeJsonl(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"t\":123456,\"type\":\"repair\",\"actor\":5,\"subject\":7,"
+            "\"value\":3}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"type\":\"server_fallback\""), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(EventTrace, WriteJsonlToInvalidPathFails) {
+  EventTrace trace(keepEverything());
+  EXPECT_FALSE(trace.writeJsonl("/nonexistent-dir-xyz/trace.jsonl"));
+}
+
+TEST(EventTrace, EventKindNamesAreStable) {
+  EXPECT_STREQ(eventKindName(EventKind::kLogin), "login");
+  EXPECT_STREQ(eventKindName(EventKind::kServerFallback), "server_fallback");
+  EXPECT_STREQ(eventKindName(EventKind::kPrefetchIssue), "prefetch_issue");
+  EXPECT_STREQ(eventKindName(EventKind::kChunk), "chunk");
+}
+
+// The macro must respect the build's trace mode: with ST_TRACE_ENABLED=1 it
+// records through a non-null sink (and tolerates null); with
+// ST_TRACE_ENABLED=0 it expands to nothing — the sink stays empty and the
+// arguments are not evaluated.
+TEST(StTraceMacro, FollowsCompileTimeSwitch) {
+  EventTrace trace(keepEverything());
+  [[maybe_unused]] EventTrace* sink = &trace;
+  ST_TRACE(sink, 42, kRepair, 1, 2, 3);
+  [[maybe_unused]] EventTrace* nullSink = nullptr;
+  ST_TRACE(nullSink, 43, kRepair, 1, 2, 3);  // must not crash
+#if ST_TRACE_ENABLED
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].time, 42);
+  EXPECT_EQ(trace.events()[0].kind, EventKind::kRepair);
+#else
+  EXPECT_EQ(trace.events().size(), 0u);
+  EXPECT_EQ(trace.seen(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace st::obs

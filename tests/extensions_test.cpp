@@ -38,7 +38,7 @@ TEST(GossipRepair, RepairsLinksWithoutServerAfterAbruptChurn) {
     stack.settle();
   }
   const UserId victim{0};
-  ASSERT_GT(system.linkCount(victim), 0u);
+  ASSERT_GT(system.nodeStats(victim).links, 0u);
   // One neighbor of the victim dies abruptly.
   const UserId dead = system.innerNeighbors(victim).front();
   stack.ctx().setOnline(dead, false);
@@ -46,7 +46,7 @@ TEST(GossipRepair, RepairsLinksWithoutServerAfterAbruptChurn) {
   system.onLogout(dead, /*graceful=*/false);
   // After a probe round the victim repaired via gossip.
   stack.settle(stack.config().probeInterval + 2 * sim::kSecond);
-  EXPECT_GT(stack.metrics().repairs(), 0u);
+  EXPECT_GT(stack.metrics().value("repairs"), 0u);
   for (const UserId n : system.innerNeighbors(victim)) {
     EXPECT_TRUE(stack.ctx().isOnline(n));
   }
@@ -66,7 +66,7 @@ TEST(GossipRepair, FullRunKeepsQualitativeBehaviour) {
   // band of the server-assisted baseline.
   EXPECT_GT(gossip.aggregatePeerFraction(),
             server.aggregatePeerFraction() - 0.15);
-  EXPECT_GT(gossip.repairs, 0u);
+  EXPECT_GT(gossip.repairs(), 0u);
 }
 
 TEST(RedundantLinks, NetTubeAccumulatesThemSocialTubeDoesNot) {
@@ -100,7 +100,7 @@ TEST(Continuity, BodiesMostlyArriveInTimeOnCleanNetwork) {
   const auto config = smallConfig(9);
   const auto result =
       exp::runExperiment(config, exp::SystemKind::kSocialTube);
-  ASSERT_GT(result.bodyCompletions, 0u);
+  ASSERT_GT(result.bodyCompletions(), 0u);
   EXPECT_LT(result.rebufferRate(), 0.5);
 }
 
@@ -110,12 +110,12 @@ TEST(Releases, FullRunDeliversFeedsAndStaysSound) {
   config.releases.feedWatchProbability = 0.8;
   const auto result =
       exp::runExperiment(config, exp::SystemKind::kSocialTube);
-  EXPECT_GT(result.releasesFired, 0u);
-  EXPECT_GT(result.feedNotifications, 0u);
-  EXPECT_GT(result.feedWatches, 0u);
-  EXPECT_LE(result.feedWatches, result.feedNotifications);
+  EXPECT_GT(result.releasesFired(), 0u);
+  EXPECT_GT(result.feedNotifications(), 0u);
+  EXPECT_GT(result.feedWatches(), 0u);
+  EXPECT_LE(result.feedWatches(), result.feedNotifications());
   // The run completes normally.
-  EXPECT_EQ(result.sessionsCompleted, 400u * 4u);
+  EXPECT_EQ(result.sessionsCompleted(), 400u * 4u);
 }
 
 TEST(Abandonment, ShortensPaVodProviderLifetimes) {
@@ -131,7 +131,7 @@ TEST(Abandonment, ShortensPaVodProviderLifetimes) {
   EXPECT_LT(fickle.aggregatePeerFraction(),
             patient.aggregatePeerFraction());
   // The run stays sound: every watch still resolves.
-  EXPECT_EQ(fickle.watches, patient.watches);
+  EXPECT_EQ(fickle.watches(), patient.watches());
 }
 
 TEST(Abandonment, CacheBasedSystemsAreRobustToIt) {
@@ -143,7 +143,7 @@ TEST(Abandonment, CacheBasedSystemsAreRobustToIt) {
   // Abandoned videos still finish downloading in the background and get
   // cached, so availability holds up.
   EXPECT_GT(social.aggregatePeerFraction(), 0.5);
-  EXPECT_EQ(social.sessionsCompleted, 400u * 4u);
+  EXPECT_EQ(social.sessionsCompleted(), 400u * 4u);
 }
 
 TEST(Releases, DeterministicWithSeed) {
@@ -151,9 +151,9 @@ TEST(Releases, DeterministicWithSeed) {
   config.releases.perChannel = 1;
   const auto a = exp::runExperiment(config, exp::SystemKind::kSocialTube);
   const auto b = exp::runExperiment(config, exp::SystemKind::kSocialTube);
-  EXPECT_EQ(a.releasesFired, b.releasesFired);
-  EXPECT_EQ(a.feedWatches, b.feedWatches);
-  EXPECT_EQ(a.eventsFired, b.eventsFired);
+  EXPECT_EQ(a.releasesFired(), b.releasesFired());
+  EXPECT_EQ(a.feedWatches(), b.feedWatches());
+  EXPECT_EQ(a.eventsFired(), b.eventsFired());
 }
 
 }  // namespace

@@ -48,7 +48,7 @@ TEST(Metrics, StartupDelayAndTimeouts) {
   metrics.recordStartupDelay(300.0);
   metrics.recordStartupTimeout();
   EXPECT_EQ(metrics.startupDelayMs().count(), 2u);
-  EXPECT_EQ(metrics.startupTimeouts(), 1u);
+  EXPECT_EQ(metrics.value("startup_timeouts"), 1u);
   EXPECT_EQ(metrics.watches(), 3u);
   EXPECT_DOUBLE_EQ(metrics.startupDelayMs().mean(), 200.0);
 }
@@ -64,14 +64,14 @@ TEST(Metrics, CountersIncrement) {
   metrics.countServerFallback();
   metrics.countProbe();
   metrics.countRepair();
-  EXPECT_EQ(metrics.cacheHits(), 2u);
-  EXPECT_EQ(metrics.prefetchHits(), 1u);
-  EXPECT_EQ(metrics.prefetchIssued(), 1u);
-  EXPECT_EQ(metrics.channelHits(), 1u);
-  EXPECT_EQ(metrics.categoryHits(), 1u);
-  EXPECT_EQ(metrics.serverFallbacks(), 1u);
-  EXPECT_EQ(metrics.probes(), 1u);
-  EXPECT_EQ(metrics.repairs(), 1u);
+  EXPECT_EQ(metrics.value("cache_hits"), 2u);
+  EXPECT_EQ(metrics.value("prefetch_hits"), 1u);
+  EXPECT_EQ(metrics.value("prefetch_issued"), 1u);
+  EXPECT_EQ(metrics.value("channel_hits"), 1u);
+  EXPECT_EQ(metrics.value("category_hits"), 1u);
+  EXPECT_EQ(metrics.value("server_fallbacks"), 1u);
+  EXPECT_EQ(metrics.value("probes"), 1u);
+  EXPECT_EQ(metrics.value("repairs"), 1u);
 }
 
 TEST(VideoLibrary, ChunkMathIsConsistent) {

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 namespace st::exp {
@@ -51,11 +54,11 @@ void expectSameSummary(const MultiSeedSummary& a, const MultiSeedSummary& b) {
               rb.startupDelayMs.percentile(99))
         << "run " << i;
     EXPECT_EQ(ra.rebufferRate(), rb.rebufferRate()) << "run " << i;
-    EXPECT_EQ(ra.eventsFired, rb.eventsFired) << "run " << i;
-    EXPECT_EQ(ra.messagesSent, rb.messagesSent) << "run " << i;
-    EXPECT_EQ(ra.peerChunks, rb.peerChunks) << "run " << i;
-    EXPECT_EQ(ra.serverChunks, rb.serverChunks) << "run " << i;
-    EXPECT_EQ(ra.watches, rb.watches) << "run " << i;
+    EXPECT_EQ(ra.eventsFired(), rb.eventsFired()) << "run " << i;
+    EXPECT_EQ(ra.messagesSent(), rb.messagesSent()) << "run " << i;
+    EXPECT_EQ(ra.peerChunks(), rb.peerChunks()) << "run " << i;
+    EXPECT_EQ(ra.serverChunks(), rb.serverChunks()) << "run " << i;
+    EXPECT_EQ(ra.watches(), rb.watches()) << "run " << i;
   }
 }
 
@@ -69,6 +72,46 @@ TEST(MultiSeedParallel, AggregatesBitwiseIdenticalAcrossThreadCounts) {
       runSeeds(config, SystemKind::kSocialTube, kSeeds, /*threads=*/8);
   expectSameSummary(sequential, twoThreads);
   expectSameSummary(sequential, eightThreads);
+}
+
+TEST(MultiSeedParallel, TracingDoesNotPerturbAggregates) {
+  // The event-trace sink is an observer: with tracing enabled the metric
+  // aggregates must stay bitwise-identical to the untraced run, at any
+  // thread count. (Each replication writes its own ".s<seed>" file, so the
+  // parallel runs never contend on one path.)
+  const ExperimentConfig plain = tinyConfig();
+  ExperimentConfig traced = plain;
+  traced.obs.traceOut = ::testing::TempDir() + "/st_multiseed_trace.jsonl";
+  const auto baseline =
+      runSeeds(plain, SystemKind::kSocialTube, kSeeds, /*threads=*/1);
+  const auto tracedSequential =
+      runSeeds(traced, SystemKind::kSocialTube, kSeeds, /*threads=*/1);
+  const auto tracedParallel =
+      runSeeds(traced, SystemKind::kSocialTube, kSeeds, /*threads=*/8);
+  expectSameSummary(baseline, tracedSequential);
+  expectSameSummary(baseline, tracedParallel);
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    const std::string path =
+        traced.obs.traceOut + ".s" + std::to_string(plain.seed + i);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MultiSeedParallel, PhaseWallClocksAreAggregated) {
+  const auto summary =
+      runSeeds(tinyConfig(), SystemKind::kPaVod, 2, /*threads=*/2);
+  ASSERT_FALSE(summary.phaseWallMs.empty());
+  bool sawEventLoop = false;
+  for (const auto& [name, stat] : summary.phaseWallMs) {
+    EXPECT_EQ(stat.runs, 2u) << name;
+    if (name == "event_loop") {
+      sawEventLoop = true;
+      EXPECT_GT(stat.mean, 0.0);
+    }
+  }
+  EXPECT_TRUE(sawEventLoop);
 }
 
 TEST(MultiSeedParallel, RunsStayOrderedBySeed) {

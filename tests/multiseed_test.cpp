@@ -17,7 +17,7 @@ TEST(MultiSeed, RunsRequestedReplicationsWithDistinctSeeds) {
   EXPECT_EQ(summary.runs.size(), 3u);
   EXPECT_EQ(summary.peerFraction.runs, 3u);
   // Different seeds produce different realizations.
-  EXPECT_NE(summary.runs[0].eventsFired, summary.runs[1].eventsFired);
+  EXPECT_NE(summary.runs[0].eventsFired(), summary.runs[1].eventsFired());
 }
 
 TEST(MultiSeed, AggregatesAreConsistent) {

@@ -62,7 +62,7 @@ TEST_F(NetTubeTest, FirstVideoComesFromServerAndRegisters) {
   const VideoId video = videoOf(0, 7);
   watch(alice, video);
   EXPECT_EQ(playbacks_, 1);
-  EXPECT_EQ(stack_.metrics().serverFallbacks(), 1u);
+  EXPECT_EQ(stack_.metrics().value("server_fallbacks"), 1u);
   EXPECT_TRUE(system_.cache(alice).contains(video));
   // After caching, the directory lists Alice as a holder.
   EXPECT_TRUE(system_.directory().contains(alice, video));
@@ -78,10 +78,10 @@ TEST_F(NetTubeTest, JoinerIsDirectedToExistingHolder) {
   watch(bob, video);
   // Bob's first request goes to the server directory, which points at Alice
   // (a directory-mediated peer hit), and they form a per-video overlay link.
-  EXPECT_EQ(stack_.metrics().categoryHits(), 1u);
+  EXPECT_EQ(stack_.metrics().value("category_hits"), 1u);
   EXPECT_GT(stack_.metrics().peerChunks(bob), 0u);
-  EXPECT_GE(system_.linkCount(bob), 1u);
-  EXPECT_GE(system_.linkCount(alice), 1u);
+  EXPECT_GE(system_.nodeStats(bob).links, 1u);
+  EXPECT_GE(system_.nodeStats(alice).links, 1u);
 }
 
 TEST_F(NetTubeTest, TwoHopSearchFindsNeighborCache) {
@@ -94,10 +94,10 @@ TEST_F(NetTubeTest, TwoHopSearchFindsNeighborCache) {
   watch(alice, next);  // Alice holds `next` too
   login(bob);
   watch(bob, shared);  // Bob links to Alice via the shared video overlay
-  ASSERT_GE(system_.linkCount(bob), 1u);
-  const auto floodHitsBefore = stack_.metrics().channelHits();
+  ASSERT_GE(system_.nodeStats(bob).links, 1u);
+  const auto floodHitsBefore = stack_.metrics().value("channel_hits");
   watch(bob, next);  // found by flooding Bob's overlay neighbors
-  EXPECT_EQ(stack_.metrics().channelHits(), floodHitsBefore + 1);
+  EXPECT_EQ(stack_.metrics().value("channel_hits"), floodHitsBefore + 1);
 }
 
 TEST_F(NetTubeTest, MissWithOverlaysGoesToServerNotDirectory) {
@@ -113,9 +113,9 @@ TEST_F(NetTubeTest, MissWithOverlaysGoesToServerNotDirectory) {
   watch(alice, shared);
   login(bob);
   watch(bob, shared);  // Bob now has overlay links (to Alice)
-  const auto serverBefore = stack_.metrics().serverFallbacks();
+  const auto serverBefore = stack_.metrics().value("server_fallbacks");
   watch(bob, rare);  // 2-hop miss -> server serves (no directory rescue)
-  EXPECT_EQ(stack_.metrics().serverFallbacks(), serverBefore + 1);
+  EXPECT_EQ(stack_.metrics().value("server_fallbacks"), serverBefore + 1);
 }
 
 TEST_F(NetTubeTest, LinksAccumulateAcrossVideos) {
@@ -129,12 +129,12 @@ TEST_F(NetTubeTest, LinksAccumulateAcrossVideos) {
   std::size_t prevLinks = 0;
   for (int rank = 4; rank < 8; ++rank) {
     watch(bob, videoOf(0, rank));
-    EXPECT_GE(system_.linkCount(bob), prevLinks);
-    prevLinks = system_.linkCount(bob);
+    EXPECT_GE(system_.nodeStats(bob).links, prevLinks);
+    prevLinks = system_.nodeStats(bob).links;
   }
   // One link per shared per-video overlay: redundant pairwise links are the
   // NetTube overhead SocialTube §IV-C criticizes.
-  EXPECT_GE(system_.linkCount(bob), 3u);
+  EXPECT_GE(system_.nodeStats(bob).links, 3u);
   EXPECT_GE(system_.overlayCount(bob), 3u);
 }
 
@@ -147,7 +147,7 @@ TEST_F(NetTubeTest, PerOverlayLinkCapHolds) {
   for (std::uint32_t u = 0; u < 10; ++u) {
     std::size_t inOverlay = 0;
     // linkCount sums per-overlay lists; with one overlay it is the cap test.
-    inOverlay = system_.linkCount(UserId{u});
+    inOverlay = system_.nodeStats(UserId{u}).links;
     EXPECT_LE(inOverlay,
               stack_.config().linksPerVideoOverlay +
                   stack_.config().prefetchCount * 2);  // plus prefetch links
@@ -163,7 +163,7 @@ TEST_F(NetTubeTest, PrefetchesRandomNeighborVideos) {
   login(bob);
   watch(bob, videoOf(0, 7));  // links Bob to Alice
   // During Bob's playback the prefetcher samples Alice's cache.
-  EXPECT_GT(stack_.metrics().prefetchIssued(), 0u);
+  EXPECT_GT(stack_.metrics().value("prefetch_issued"), 0u);
 }
 
 TEST_F(NetTubeTest, ReloginReregistersCachedVideos) {
@@ -175,7 +175,7 @@ TEST_F(NetTubeTest, ReloginReregistersCachedVideos) {
   EXPECT_FALSE(system_.directory().contains(alice, video));
   login(alice);
   EXPECT_TRUE(system_.directory().contains(alice, video));
-  EXPECT_EQ(system_.linkCount(alice), 0u);  // links rebuilt lazily
+  EXPECT_EQ(system_.nodeStats(alice).links, 0u);  // links rebuilt lazily
 }
 
 TEST_F(NetTubeTest, GracefulLogoutDropsReciprocalLinks) {
@@ -186,10 +186,10 @@ TEST_F(NetTubeTest, GracefulLogoutDropsReciprocalLinks) {
   watch(alice, video);
   login(bob);
   watch(bob, video);
-  ASSERT_GE(system_.linkCount(bob), 1u);
+  ASSERT_GE(system_.nodeStats(bob).links, 1u);
   logout(alice, /*graceful=*/true);
   stack_.settle();
-  EXPECT_EQ(system_.linkCount(bob), 0u);
+  EXPECT_EQ(system_.nodeStats(bob).links, 0u);
 }
 
 TEST_F(NetTubeTest, AbruptLogoutLeavesStaleLinksUntilProbe) {
@@ -200,11 +200,11 @@ TEST_F(NetTubeTest, AbruptLogoutLeavesStaleLinksUntilProbe) {
   watch(alice, video);
   login(bob);
   watch(bob, video);
-  ASSERT_GE(system_.linkCount(bob), 1u);
+  ASSERT_GE(system_.nodeStats(bob).links, 1u);
   logout(alice, /*graceful=*/false);
-  EXPECT_GE(system_.linkCount(bob), 1u);  // stale
+  EXPECT_GE(system_.nodeStats(bob).links, 1u);  // stale
   stack_.settle(stack_.config().probeInterval + sim::kSecond);
-  EXPECT_EQ(system_.linkCount(bob), 0u);
+  EXPECT_EQ(system_.nodeStats(bob).links, 0u);
 }
 
 TEST_F(NetTubeTest, CacheHitIsInstant) {
@@ -213,7 +213,7 @@ TEST_F(NetTubeTest, CacheHitIsInstant) {
   const VideoId video = videoOf(0, 7);
   watch(alice, video);
   watch(alice, video);
-  EXPECT_EQ(stack_.metrics().cacheHits(), 1u);
+  EXPECT_EQ(stack_.metrics().value("cache_hits"), 1u);
   EXPECT_EQ(lastDelay_, 0);
 }
 

@@ -55,7 +55,7 @@ TEST_F(PaVodTest, LoneRequestServedByServer) {
   system_.requestVideo(alice, videoOf(0, 0));
   stack_.settle();
   EXPECT_EQ(playbacks_, 1);
-  EXPECT_EQ(stack_.metrics().serverFallbacks(), 1u);
+  EXPECT_EQ(stack_.metrics().value("server_fallbacks"), 1u);
   EXPECT_EQ(stack_.metrics().serverChunks(alice), 20u);
 }
 
@@ -72,7 +72,7 @@ TEST_F(PaVodTest, ConcurrentWatcherWithFullCopyServesPeer) {
   // Bob requests while Alice still watches (playback end not signalled).
   system_.requestVideo(bob, video);
   stack_.settle();
-  EXPECT_EQ(stack_.metrics().channelHits(), 1u);  // peer-served
+  EXPECT_EQ(stack_.metrics().value("channel_hits"), 1u);  // peer-served
   EXPECT_EQ(stack_.metrics().peerChunks(bob), 20u);
 }
 
@@ -85,8 +85,8 @@ TEST_F(PaVodTest, NoCacheMeansRepeatRequestsHitServerAgain) {
   system_.onPlaybackComplete(alice, video);
   system_.requestVideo(alice, video);  // same video again
   stack_.settle();
-  EXPECT_EQ(stack_.metrics().cacheHits(), 0u);
-  EXPECT_EQ(stack_.metrics().serverFallbacks(), 2u);
+  EXPECT_EQ(stack_.metrics().value("cache_hits"), 0u);
+  EXPECT_EQ(stack_.metrics().value("server_fallbacks"), 2u);
   EXPECT_EQ(stack_.metrics().serverChunks(alice), 40u);
 }
 
@@ -102,7 +102,7 @@ TEST_F(PaVodTest, PlaybackCompleteStopsProviding) {
   system_.requestVideo(bob, video);
   stack_.settle();
   // No current watcher: the server serves.
-  EXPECT_EQ(stack_.metrics().channelHits(), 0u);
+  EXPECT_EQ(stack_.metrics().value("channel_hits"), 0u);
   EXPECT_EQ(stack_.metrics().serverChunks(bob), 20u);
 }
 
@@ -118,7 +118,7 @@ TEST_F(PaVodTest, LogoutRemovesWatcherRegistration) {
   system_.requestVideo(bob, video);
   stack_.settle();
   EXPECT_EQ(stack_.metrics().serverChunks(bob), 20u);
-  EXPECT_EQ(stack_.metrics().channelHits(), 0u);
+  EXPECT_EQ(stack_.metrics().value("channel_hits"), 0u);
 }
 
 TEST_F(PaVodTest, LinkCountReflectsActivePeerDownloadOnly) {
@@ -127,15 +127,15 @@ TEST_F(PaVodTest, LinkCountReflectsActivePeerDownloadOnly) {
   const VideoId video = videoOf(0, 0);
   login(alice);
   login(bob);
-  EXPECT_EQ(system_.linkCount(alice), 0u);
+  EXPECT_EQ(system_.nodeStats(alice).links, 0u);
   system_.requestVideo(alice, video);
   stack_.settle();
-  EXPECT_EQ(system_.linkCount(alice), 0u);  // server download: no peer link
+  EXPECT_EQ(system_.nodeStats(alice).links, 0u);  // server download: no peer link
   system_.requestVideo(bob, video);
   stack_.settle();
-  EXPECT_EQ(system_.linkCount(bob), 1u);  // peer-sourced download
+  EXPECT_EQ(system_.nodeStats(bob).links, 1u);  // peer-sourced download
   system_.onPlaybackComplete(bob, video);
-  EXPECT_EQ(system_.linkCount(bob), 0u);
+  EXPECT_EQ(system_.nodeStats(bob).links, 0u);
 }
 
 TEST_F(PaVodTest, NewRequestSupersedesOldWatch) {

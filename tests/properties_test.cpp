@@ -29,10 +29,10 @@ TEST_P(SystemSeedSweep, InvariantsHoldUnderChurn) {
   const ExperimentResult result = runExperiment(config(seed), kind);
 
   // Every session ran; every watch resolved one way or the other.
-  EXPECT_EQ(result.sessionsCompleted, 300u * 4u);
-  EXPECT_EQ(result.watches, 300u * 4u * 10u);
-  EXPECT_EQ(result.startupDelayMs.count() + result.startupTimeouts,
-            result.watches);
+  EXPECT_EQ(result.sessionsCompleted(), 300u * 4u);
+  EXPECT_EQ(result.watches(), 300u * 4u * 10u);
+  EXPECT_EQ(result.startupDelayMs.count() + result.startupTimeouts(),
+            result.watches());
 
   // Normalized peer bandwidth is a fraction per node.
   for (const double x : result.normalizedPeerBandwidth.samples()) {
@@ -61,25 +61,25 @@ TEST_P(SystemSeedSweep, InvariantsHoldUnderChurn) {
     EXPECT_GE(stats.min(), 0.0);
   }
   if (kind == SystemKind::kPaVod) {
-    EXPECT_EQ(result.prefetchIssued, 0u);
+    EXPECT_EQ(result.prefetchIssued(), 0u);
     for (const auto& stats : result.linksByVideosWatched) {
       if (stats.count() > 0) EXPECT_LE(stats.max(), 1.0);
     }
   }
 
   // Chunks were actually moved, and some by peers.
-  EXPECT_GT(result.peerChunks + result.serverChunks, 0u);
-  EXPECT_GT(result.peerChunks, 0u);
+  EXPECT_GT(result.peerChunks() + result.serverChunks(), 0u);
+  EXPECT_GT(result.peerChunks(), 0u);
 }
 
 TEST_P(SystemSeedSweep, DeterministicAcrossRuns) {
   const auto [kind, seed] = GetParam();
   const ExperimentResult a = runExperiment(config(seed), kind);
   const ExperimentResult b = runExperiment(config(seed), kind);
-  EXPECT_EQ(a.eventsFired, b.eventsFired);
-  EXPECT_EQ(a.peerChunks, b.peerChunks);
-  EXPECT_EQ(a.serverChunks, b.serverChunks);
-  EXPECT_EQ(a.messagesSent, b.messagesSent);
+  EXPECT_EQ(a.eventsFired(), b.eventsFired());
+  EXPECT_EQ(a.peerChunks(), b.peerChunks());
+  EXPECT_EQ(a.serverChunks(), b.serverChunks());
+  EXPECT_EQ(a.messagesSent(), b.messagesSent());
 }
 
 INSTANTIATE_TEST_SUITE_P(

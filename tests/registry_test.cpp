@@ -1,0 +1,127 @@
+// Unit tests for the named-counter/gauge registry (obs/registry.h): slot
+// identity, collision handling, and snapshot determinism — the snapshot
+// must depend only on names and values, never on registration order or the
+// thread the registry lived on.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace st::obs {
+namespace {
+
+TEST(Registry, CounterStartsAtZeroAndIncrements) {
+  Registry registry;
+  Counter& counter = registry.counter("watches");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  EXPECT_EQ(registry.value("watches"), 42u);
+}
+
+TEST(Registry, SameNameReturnsSameCounter) {
+  Registry registry;
+  Counter& a = registry.counter("hits");
+  Counter& b = registry.counter("hits");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, GaugeIsPulledAtSnapshotTime) {
+  Registry registry;
+  std::uint64_t backing = 7;
+  ASSERT_TRUE(registry.addGauge("backing", [&backing] { return backing; }));
+  EXPECT_EQ(registry.value("backing"), 7u);
+  backing = 99;
+  EXPECT_EQ(registry.value("backing"), 99u);
+  EXPECT_EQ(registry.snapshot().at("backing"), 99u);
+}
+
+TEST(Registry, GaugeNameCollisionIsRejected) {
+  Registry registry;
+  registry.counter("taken");
+  EXPECT_FALSE(registry.addGauge("taken", [] { return std::uint64_t{1}; }));
+  ASSERT_TRUE(registry.addGauge("gauge", [] { return std::uint64_t{2}; }));
+  EXPECT_FALSE(registry.addGauge("gauge", [] { return std::uint64_t{3}; }));
+  // The original registrations win.
+  EXPECT_EQ(registry.value("taken"), 0u);
+  EXPECT_EQ(registry.value("gauge"), 2u);
+}
+
+TEST(Registry, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.counter("zeta").inc(1);
+  registry.counter("alpha").inc(2);
+  registry.counter("mid").inc(3);
+  const Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.entries().size(), 3u);
+  EXPECT_EQ(snapshot.entries()[0].name, "alpha");
+  EXPECT_EQ(snapshot.entries()[1].name, "mid");
+  EXPECT_EQ(snapshot.entries()[2].name, "zeta");
+}
+
+TEST(Registry, SnapshotIndependentOfRegistrationOrder) {
+  Registry forward;
+  forward.counter("a").inc(1);
+  forward.counter("b").inc(2);
+  ASSERT_TRUE(forward.addGauge("c", [] { return std::uint64_t{3}; }));
+
+  Registry reverse;
+  ASSERT_TRUE(reverse.addGauge("c", [] { return std::uint64_t{3}; }));
+  reverse.counter("b").inc(2);
+  reverse.counter("a").inc(1);
+
+  EXPECT_EQ(forward.snapshot(), reverse.snapshot());
+}
+
+TEST(Registry, SnapshotIdenticalAcrossThreads) {
+  // Per-run registries are single-threaded, but runs execute on pool
+  // workers; the snapshot a worker produces must equal the calling thread's.
+  const auto build = [] {
+    Registry registry;
+    registry.counter("cache_hits").inc(17);
+    registry.counter("probes").inc(4);
+    registry.addGauge("watches", [] { return std::uint64_t{21}; });
+    return registry.snapshot();
+  };
+  const Snapshot reference = build();
+
+  constexpr std::size_t kTasks = 8;
+  std::vector<Snapshot> fromWorkers(kTasks);
+  ThreadPool pool(4);
+  parallelFor(&pool, kTasks, [&](std::size_t i) { fromWorkers[i] = build(); });
+  for (const Snapshot& snapshot : fromWorkers) {
+    EXPECT_EQ(snapshot, reference);
+  }
+}
+
+TEST(Snapshot, AtReturnsZeroForUnknownName) {
+  Snapshot snapshot;
+  EXPECT_EQ(snapshot.at("missing"), 0u);
+  EXPECT_FALSE(snapshot.has("missing"));
+  snapshot.set("present", 5);
+  EXPECT_TRUE(snapshot.has("present"));
+  EXPECT_EQ(snapshot.at("present"), 5u);
+}
+
+TEST(Snapshot, SetInsertsSortedAndOverwrites) {
+  Snapshot snapshot;
+  snapshot.set("b", 2);
+  snapshot.set("a", 1);
+  snapshot.set("c", 3);
+  ASSERT_EQ(snapshot.entries().size(), 3u);
+  EXPECT_EQ(snapshot.entries()[0].name, "a");
+  EXPECT_EQ(snapshot.entries()[2].name, "c");
+  snapshot.set("b", 20);
+  EXPECT_EQ(snapshot.at("b"), 20u);
+  EXPECT_EQ(snapshot.entries().size(), 3u);
+}
+
+}  // namespace
+}  // namespace st::obs

@@ -21,9 +21,9 @@ ExperimentResult fakeResult(const std::string& name) {
   for (std::size_t n = 1; n <= 3; ++n) {
     result.linksByVideosWatched[n].add(static_cast<double>(5 * n));
   }
-  result.watches = 101;
-  result.peerChunks = 900;
-  result.serverChunks = 100;
+  result.setCounter("watches", 101);
+  result.setCounter("peer_chunks", 900);
+  result.setCounter("server_chunks", 100);
   return result;
 }
 

@@ -53,8 +53,8 @@ ExperimentResult* RunnerIntegration::pavod_ = nullptr;
 TEST_F(RunnerIntegration, AllWatchesAccountedFor) {
   const std::uint64_t expected = 500u * 5u * 10u;
   for (const ExperimentResult* r : {social_, nettube_, pavod_}) {
-    EXPECT_EQ(r->watches, expected) << r->system;
-    EXPECT_EQ(r->sessionsCompleted, 500u * 5u) << r->system;
+    EXPECT_EQ(r->watches(), expected) << r->system;
+    EXPECT_EQ(r->sessionsCompleted(), 500u * 5u) << r->system;
   }
 }
 
@@ -104,32 +104,84 @@ TEST_F(RunnerIntegration, NormalizedBandwidthSamplesAreValidFractions) {
 TEST_F(RunnerIntegration, ChunkConservation) {
   // Every remote chunk came from exactly one source.
   for (const ExperimentResult* r : {social_, nettube_, pavod_}) {
-    const std::uint64_t remote = r->peerChunks + r->serverChunks;
+    const std::uint64_t remote = r->peerChunks() + r->serverChunks();
     EXPECT_GT(remote, 0u) << r->system;
     // Startup delays were recorded only for non-timed-out watches.
-    EXPECT_EQ(r->startupDelayMs.count() + r->startupTimeouts, r->watches)
+    EXPECT_EQ(r->startupDelayMs.count() + r->startupTimeouts(), r->watches())
         << r->system;
   }
 }
 
 TEST_F(RunnerIntegration, PrefetchOnlyWhereImplemented) {
-  EXPECT_GT(social_->prefetchIssued, 0u);
-  EXPECT_GT(nettube_->prefetchIssued, 0u);
-  EXPECT_EQ(pavod_->prefetchIssued, 0u);
+  EXPECT_GT(social_->prefetchIssued(), 0u);
+  EXPECT_GT(nettube_->prefetchIssued(), 0u);
+  EXPECT_EQ(pavod_->prefetchIssued(), 0u);
   // SocialTube's popularity-ranked prefetching hits more often than
   // NetTube's random-from-neighbors strategy (§IV-B's core claim).
   EXPECT_GT(social_->prefetchHitRate(), nettube_->prefetchHitRate());
 }
 
 TEST_F(RunnerIntegration, ServerLoadOrderingMatchesPeerBandwidth) {
-  EXPECT_LT(social_->serverBytes, pavod_->serverBytes);
-  EXPECT_LT(nettube_->serverBytes, pavod_->serverBytes);
+  EXPECT_LT(social_->serverBytes(), pavod_->serverBytes());
+  EXPECT_LT(nettube_->serverBytes(), pavod_->serverBytes());
 }
 
 TEST_F(RunnerIntegration, CleanNetworkLosesNoMessages) {
   for (const ExperimentResult* r : {social_, nettube_, pavod_}) {
-    EXPECT_EQ(r->messagesLost, 0u) << r->system;
-    EXPECT_GT(r->messagesSent, 0u) << r->system;
+    EXPECT_EQ(r->messagesLost(), 0u) << r->system;
+    EXPECT_GT(r->messagesSent(), 0u) << r->system;
+  }
+}
+
+TEST_F(RunnerIntegration, CounterSnapshotMatchesTypedAccessors) {
+  // The typed accessors are views over the same counter map the CSV/report
+  // layers consume — the two can never disagree, and the names the rest of
+  // the tooling greps for must all be present.
+  for (const ExperimentResult* r : {social_, nettube_, pavod_}) {
+    EXPECT_EQ(r->counters.at("watches"), r->watches()) << r->system;
+    EXPECT_EQ(r->counters.at("cache_hits"), r->cacheHits()) << r->system;
+    EXPECT_EQ(r->counters.at("server_fallbacks"), r->serverFallbacks())
+        << r->system;
+    EXPECT_EQ(r->counters.at("peer_chunks"), r->peerChunks()) << r->system;
+    EXPECT_EQ(r->counters.at("events_fired"), r->eventsFired()) << r->system;
+    for (const char* name :
+         {"watches", "startup_timeouts", "cache_hits", "prefetch_hits",
+          "prefetch_issued", "channel_hits", "category_hits",
+          "server_fallbacks", "probes", "repairs", "body_completions",
+          "rebuffers", "peer_chunks", "server_chunks", "server_bytes",
+          "messages_sent", "messages_lost", "sessions_completed",
+          "events_fired", "releases_fired", "feed_notifications",
+          "feed_watches"}) {
+      EXPECT_TRUE(r->counters.has(name)) << r->system << " missing " << name;
+    }
+  }
+}
+
+TEST_F(RunnerIntegration, WatchesCannotDriftFromDerivation) {
+  // "watches" is a registry gauge computed from delay samples + timeouts;
+  // there is no second stored copy to fall out of sync. This is the drift
+  // regression: if anyone reintroduces a stored watches counter, the stored
+  // and derived values must still agree after a full experiment.
+  for (const ExperimentResult* r : {social_, nettube_, pavod_}) {
+    EXPECT_EQ(r->watches(),
+              r->startupDelayMs.count() + r->startupTimeouts())
+        << r->system;
+  }
+}
+
+TEST_F(RunnerIntegration, PhaseProfilesCoverTheRun) {
+  for (const ExperimentResult* r : {social_, nettube_, pavod_}) {
+    ASSERT_GE(r->phases.size(), 3u) << r->system;
+    bool sawEventLoop = false;
+    for (const obs::Phase& phase : r->phases) {
+      EXPECT_GE(phase.ms, 0.0) << r->system << " " << phase.name;
+      if (phase.name == "event_loop") {
+        sawEventLoop = true;
+        EXPECT_EQ(phase.calls, 1u) << r->system;
+        EXPECT_GT(phase.ms, 0.0) << r->system;
+      }
+    }
+    EXPECT_TRUE(sawEventLoop) << r->system;
   }
 }
 
@@ -139,10 +191,10 @@ TEST(RunnerDeterminism, SameSeedIdenticalResults) {
       runExperiment(config, SystemKind::kSocialTube);
   const ExperimentResult b =
       runExperiment(config, SystemKind::kSocialTube);
-  EXPECT_EQ(a.peerChunks, b.peerChunks);
-  EXPECT_EQ(a.serverChunks, b.serverChunks);
-  EXPECT_EQ(a.eventsFired, b.eventsFired);
-  EXPECT_EQ(a.messagesSent, b.messagesSent);
+  EXPECT_EQ(a.peerChunks(), b.peerChunks());
+  EXPECT_EQ(a.serverChunks(), b.serverChunks());
+  EXPECT_EQ(a.eventsFired(), b.eventsFired());
+  EXPECT_EQ(a.messagesSent(), b.messagesSent());
   EXPECT_DOUBLE_EQ(a.startupDelayMs.mean(), b.startupDelayMs.mean());
 }
 
@@ -153,9 +205,9 @@ TEST(RunnerPlanetLab, WideAreaModeRunsAndLosesMessages) {
   const ExperimentResult result =
       runExperiment(config, SystemKind::kSocialTube);
   EXPECT_EQ(result.mode, Mode::kPlanetLab);
-  EXPECT_GT(result.watches, 0u);
+  EXPECT_GT(result.watches(), 0u);
   // 1% loss must actually bite.
-  EXPECT_GT(result.messagesLost, 0u);
+  EXPECT_GT(result.messagesLost(), 0u);
   // The protocol still works: peers supply a meaningful share even in this
   // truncated (3-session) run where caches are barely warm.
   EXPECT_GT(result.aggregatePeerFraction(), 0.12);
@@ -170,8 +222,8 @@ TEST(RunnerPrefetchAblation, PrefetchReducesSocialTubeStartupDelay) {
   config.vod.prefetchEnabled = false;
   const ExperimentResult without =
       runExperiment(config, SystemKind::kSocialTube, &catalog);
-  EXPECT_EQ(with.prefetchIssued > 0, true);
-  EXPECT_EQ(without.prefetchIssued, 0u);
+  EXPECT_EQ(with.prefetchIssued() > 0, true);
+  EXPECT_EQ(without.prefetchIssued(), 0u);
   EXPECT_LT(with.startupDelayMs.mean(), without.startupDelayMs.mean());
 }
 

@@ -68,7 +68,7 @@ TEST_F(SocialTubeTest, FirstRequestServedByServerAndCached) {
   EXPECT_EQ(playbacks_, 1);
   EXPECT_FALSE(lastTimedOut_);
   EXPECT_EQ(lastVideo_, video);
-  EXPECT_EQ(stack_.metrics().serverFallbacks(), 1u);
+  EXPECT_EQ(stack_.metrics().value("server_fallbacks"), 1u);
   EXPECT_TRUE(system_.cache(alice).contains(video));
   // The node joined the video's channel overlay.
   EXPECT_EQ(system_.currentChannel(alice), ChannelId{0});
@@ -80,12 +80,12 @@ TEST_F(SocialTubeTest, CachedVideoPlaysInstantly) {
   login(alice);
   const VideoId video = videoOf(0, 0);
   watch(alice, video);
-  const auto fallbacksBefore = stack_.metrics().serverFallbacks();
+  const auto fallbacksBefore = stack_.metrics().value("server_fallbacks");
   watch(alice, video);
   EXPECT_EQ(playbacks_, 2);
   EXPECT_EQ(lastDelay_, 0);
-  EXPECT_EQ(stack_.metrics().cacheHits(), 1u);
-  EXPECT_EQ(stack_.metrics().serverFallbacks(), fallbacksBefore);
+  EXPECT_EQ(stack_.metrics().value("cache_hits"), 1u);
+  EXPECT_EQ(stack_.metrics().value("server_fallbacks"), fallbacksBefore);
 }
 
 TEST_F(SocialTubeTest, SecondUserFindsVideoViaChannelOverlay) {
@@ -96,7 +96,7 @@ TEST_F(SocialTubeTest, SecondUserFindsVideoViaChannelOverlay) {
   watch(alice, video);
   login(bob);
   watch(bob, video);
-  EXPECT_EQ(stack_.metrics().channelHits(), 1u);
+  EXPECT_EQ(stack_.metrics().value("channel_hits"), 1u);
   EXPECT_GT(stack_.metrics().peerChunks(bob), 0u);
   EXPECT_TRUE(system_.cache(bob).contains(video));
   // Bob connected to the provider (inner link, mutual).
@@ -126,7 +126,7 @@ TEST_F(SocialTubeTest, CategoryPhaseFindsProviderInSiblingChannel) {
                 system_.interNeighbors(bob).end(),
                 alice) != system_.interNeighbors(bob).end();
   ASSERT_TRUE(hasInterToAlice);
-  const auto categoryHitsBefore = stack_.metrics().categoryHits();
+  const auto categoryHitsBefore = stack_.metrics().value("category_hits");
   // Request Alice's video while Bob is still in channel 1 context... the
   // request itself switches Bob to channel 0, whose overlay contains Alice,
   // so this resolves as a channel hit; instead have Alice leave the channel
@@ -143,7 +143,7 @@ TEST_F(SocialTubeTest, PrefetchesTopPopularVideosOfChannel) {
   const VideoId video = videoOf(0, 5);
   watch(alice, video);
   // Top-M (3) popular videos of channel 0 prefetched (ranks 0,1,2).
-  EXPECT_EQ(stack_.metrics().prefetchIssued(), 3u);
+  EXPECT_EQ(stack_.metrics().value("prefetch_issued"), 3u);
   EXPECT_TRUE(system_.cache(alice).hasFirstChunk(videoOf(0, 0)));
   EXPECT_TRUE(system_.cache(alice).hasFirstChunk(videoOf(0, 1)));
   EXPECT_TRUE(system_.cache(alice).hasFirstChunk(videoOf(0, 2)));
@@ -154,7 +154,7 @@ TEST_F(SocialTubeTest, PrefetchHitGivesZeroStartupDelay) {
   login(alice);
   watch(alice, videoOf(0, 5));  // prefetches ranks 0-2
   watch(alice, videoOf(0, 0));  // prefetched: instant playback
-  EXPECT_EQ(stack_.metrics().prefetchHits(), 1u);
+  EXPECT_EQ(stack_.metrics().value("prefetch_hits"), 1u);
   EXPECT_EQ(lastDelay_, 0);
   EXPECT_FALSE(lastTimedOut_);
   // Body arrived later and graduated to a full cache entry.
@@ -171,7 +171,7 @@ TEST_F(SocialTubeTest, PrefetchDisabledIssuesNothing) {
   system.onLogin(UserId{0});
   system.requestVideo(UserId{0}, VideoId{0});
   stack.settle();
-  EXPECT_EQ(stack.metrics().prefetchIssued(), 0u);
+  EXPECT_EQ(stack.metrics().value("prefetch_issued"), 0u);
 }
 
 TEST_F(SocialTubeTest, LinkCountRespectsHardCaps) {
@@ -222,7 +222,7 @@ TEST_F(SocialTubeTest, AbruptDepartureCleanedUpByProbe) {
   EXPECT_TRUE(std::find(system_.innerNeighbors(bob).begin(),
                         system_.innerNeighbors(bob).end(),
                         alice) == system_.innerNeighbors(bob).end());
-  EXPECT_GT(stack_.metrics().probes(), 0u);
+  EXPECT_GT(stack_.metrics().value("probes"), 0u);
 }
 
 TEST_F(SocialTubeTest, SwitchingChannelsRebuildsOverlayMembership) {
@@ -271,14 +271,14 @@ TEST_F(SocialTubeTest, CachePersistsAcrossSessions) {
   login(alice);
   EXPECT_TRUE(system_.cache(alice).contains(video));
   watch(alice, video);
-  EXPECT_EQ(stack_.metrics().cacheHits(), 1u);
+  EXPECT_EQ(stack_.metrics().value("cache_hits"), 1u);
 }
 
 TEST_F(SocialTubeTest, LinkCountIsInnerPlusInter) {
   const UserId alice{0};
   login(alice);
   watch(alice, videoOf(0, 7));
-  EXPECT_EQ(system_.linkCount(alice),
+  EXPECT_EQ(system_.nodeStats(alice).links,
             system_.innerNeighbors(alice).size() +
                 system_.interNeighbors(alice).size());
 }

@@ -215,7 +215,7 @@ TEST_F(TransferTest, PrefetchDeliversOneChunk) {
   EXPECT_TRUE(done);
   EXPECT_TRUE(fromPeer);
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 1u);
-  EXPECT_EQ(stack_.metrics().prefetchIssued(), 1u);
+  EXPECT_EQ(stack_.metrics().value("prefetch_issued"), 1u);
 }
 
 TEST_F(TransferTest, PrefetchFromServerCreditsServer) {
