@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Build and run the unit-label tests with structured tracing compiled IN and
-# OUT. Both modes must stay green: ST_TRACE=OFF proves every ST_TRACE() call
-# site compiles away cleanly (no stray side effects in macro arguments), and
-# the trace tests themselves flip behavior on ST_TRACE_ENABLED.
+# OUT, then once more under the combined ASan+UBSan sanitizers. All three
+# modes must stay green: ST_TRACE=OFF proves every ST_TRACE() call site
+# compiles away cleanly (no stray side effects in macro arguments), the
+# trace tests themselves flip behavior on ST_TRACE_ENABLED, and the
+# sanitizer pass guards the hand-rolled lifetime management in the slotted
+# scheduler and callback SBO storage (placement new / launder / relocation).
 #
 #   scripts/check.sh [ctest label] [jobs]
 #
-#   scripts/check.sh            # unit label, both trace modes
+#   scripts/check.sh            # unit label, all three modes
 #   scripts/check.sh . 8        # everything, 8 jobs
 #
 # Sibling of scripts/sanitize.sh; each mode gets its own build tree
-# (build-trace-on/, build-trace-off/) so toggling the option never reuses
-# stale objects.
+# (build-trace-on/, build-trace-off/, build-asan-ubsan/) so toggling
+# options never reuses stale objects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,3 +29,6 @@ for MODE in ON OFF; do
   cmake --build "$BUILD_DIR" -j "$JOBS"
   ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$JOBS"
 done
+
+echo "=== ST_SANITIZE=address,undefined (build-asan-ubsan) ==="
+scripts/sanitize.sh address,undefined "$LABEL" "$JOBS"

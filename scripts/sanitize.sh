@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Build and run the test suite under a sanitizer.
+# Build and run the test suite under one or more sanitizers.
 #
-#   scripts/sanitize.sh [address|undefined|thread] [ctest label] [jobs]
+#   scripts/sanitize.sh [sanitizers] [ctest label] [jobs]
 #
-# Defaults to TSan over the `unit` label — the quick gate for the thread
-# pool (tests/thread_pool_test.cpp must pass with zero reports). Use label
-# `integration` (or `.` for everything) for the full sweep, e.g.:
+# `sanitizers` is a comma-separated ST_SANITIZE list: address, undefined,
+# thread, or combinations like address,undefined (thread does not combine
+# with address). Defaults to TSan over the `unit` label — the quick gate
+# for the thread pool (tests/thread_pool_test.cpp must pass with zero
+# reports). Use label `integration` (or `.` for everything) for the full
+# sweep, e.g.:
 #
-#   scripts/sanitize.sh thread unit        # CI gate, minutes
-#   scripts/sanitize.sh address .          # full suite under ASan
+#   scripts/sanitize.sh thread unit             # CI gate, minutes
+#   scripts/sanitize.sh address,undefined unit  # combined ASan+UBSan gate
+#   scripts/sanitize.sh address .               # full suite under ASan
 #
-# Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
-# build-tsan/) so switching sanitizers never contaminates objects.
+# Each sanitizer combination gets its own build tree (build-asan/,
+# build-ubsan/, build-tsan/, build-asan-ubsan/, ...) so switching
+# sanitizers never contaminates objects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,15 +24,19 @@ SANITIZER="${1:-thread}"
 LABEL="${2:-unit}"
 JOBS="${3:-$(nproc)}"
 
-case "$SANITIZER" in
-  address)   BUILD_DIR=build-asan ;;
-  undefined) BUILD_DIR=build-ubsan ;;
-  thread)    BUILD_DIR=build-tsan ;;
-  *)
-    echo "usage: $0 [address|undefined|thread] [ctest label] [jobs]" >&2
-    exit 2
-    ;;
-esac
+BUILD_DIR=build
+IFS=',' read -ra PARTS <<< "$SANITIZER"
+for PART in "${PARTS[@]}"; do
+  case "$PART" in
+    address)   BUILD_DIR="$BUILD_DIR-asan" ;;
+    undefined) BUILD_DIR="$BUILD_DIR-ubsan" ;;
+    thread)    BUILD_DIR="$BUILD_DIR-tsan" ;;
+    *)
+      echo "usage: $0 [address|undefined|thread[,...]] [ctest label] [jobs]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 # halt_on_error so a single report fails the job instead of scrolling by.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"

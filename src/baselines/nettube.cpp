@@ -6,8 +6,6 @@
 namespace st::baselines {
 
 namespace {
-constexpr std::size_t kSeenQueryCap = 128;
-
 bool contains(const std::vector<UserId>& list, UserId value) {
   return std::find(list.begin(), list.end(), value) != list.end();
 }
@@ -15,7 +13,10 @@ bool contains(const std::vector<UserId>& list, UserId value) {
 
 NetTubeSystem::NetTubeSystem(vod::SystemContext& ctx,
                              vod::TransferManager& transfers)
-    : ctx_(ctx), transfers_(transfers) {
+    : ctx_(ctx),
+      transfers_(transfers),
+      queryDedup_(ctx.catalog().userCount()),
+      activeSearch_(ctx.catalog().userCount(), 0) {
   nodes_.reserve(ctx.catalog().userCount());
   for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
     nodes_.emplace_back(ctx.config().cacheCapacityVideos,
@@ -54,14 +55,18 @@ std::vector<UserId> NetTubeSystem::allNeighbors(const Node& node) const {
   return result;
 }
 
-bool NetTubeSystem::seenQuery(Node& node, std::uint64_t queryId) {
-  if (!node.seenQueries.insert(queryId).second) return true;
-  node.seenOrder.push_back(queryId);
-  while (node.seenOrder.size() > kSeenQueryCap) {
-    node.seenQueries.erase(node.seenOrder.front());
-    node.seenOrder.pop_front();
+bool NetTubeSystem::seenQuery(UserId at, std::uint64_t queryId) {
+  return queryDedup_.checkAndMark(at.index(), queryId);
+}
+
+void NetTubeSystem::abandonSearch(UserId user) {
+  const std::uint64_t queryId = activeSearch_[user.index()];
+  if (queryId == 0) return;
+  if (Search* search = searches_.find(queryId)) {
+    ctx_.sim().cancel(search->deadline);
+    searches_.erase(queryId);
   }
-  return false;
+  activeSearch_[user.index()] = 0;
 }
 
 void NetTubeSystem::connectOverlayLink(UserId a, UserId b, VideoId video) {
@@ -106,15 +111,7 @@ void NetTubeSystem::onLogout(UserId user, bool graceful) {
   ctx_.sim().cancel(node.probeTimer);
   node.probeTimer = sim::EventHandle{};
 
-  const auto searchIt = activeSearch_.find(user);
-  if (searchIt != activeSearch_.end()) {
-    const auto it = searches_.find(searchIt->second);
-    if (it != searches_.end()) {
-      ctx_.sim().cancel(it->second.deadline);
-      searches_.erase(it);
-    }
-    activeSearch_.erase(searchIt);
-  }
+  abandonSearch(user);
 
   if (graceful) {
     for (const UserId n : allNeighbors(node)) {
@@ -150,24 +147,15 @@ void NetTubeSystem::requestVideo(UserId user, VideoId video) {
 void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
                                 sim::SimTime requestTime) {
   if (!ctx_.isOnline(user)) return;
-  const auto oldIt = activeSearch_.find(user);
-  if (oldIt != activeSearch_.end()) {
-    const auto old = searches_.find(oldIt->second);
-    if (old != searches_.end()) {
-      ctx_.sim().cancel(old->second.deadline);
-      searches_.erase(old);
-    }
-    activeSearch_.erase(oldIt);
-  }
+  abandonSearch(user);
 
-  const std::uint64_t queryId = nextQueryId_++;
   Search search;
   search.user = user;
   search.video = video;
   search.prefetchHit = prefetchHit;
   search.requestTime = requestTime;
-  searches_.emplace(queryId, search);
-  activeSearch_[user] = queryId;
+  const std::uint64_t queryId = searches_.insert(search);
+  activeSearch_[user.index()] = queryId;
 
   std::vector<UserId> neighbors = allNeighbors(nodes_[user.index()]);
   if (neighbors.empty()) {
@@ -188,7 +176,7 @@ void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
       floodQuery(user, n, video, queryId, ctx_.config().ttl);
     });
   }
-  searches_.at(queryId).deadline =
+  searches_.find(queryId)->deadline =
       ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
                           [this, queryId] { askServerDirectory(queryId); });
 }
@@ -196,7 +184,7 @@ void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
 void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
                                std::uint64_t queryId, int ttl) {
   Node& node = nodes_[at.index()];
-  if (seenQuery(node, queryId)) return;
+  if (seenQuery(at, queryId)) return;
   if (node.cache.contains(video)) {
     ctx_.sendUser(at, origin,
                   [this, queryId, at] { onSearchHit(queryId, at); });
@@ -217,17 +205,16 @@ void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
 }
 
 void NetTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
-  const auto it = searches_.find(queryId);
-  if (it == searches_.end()) return;
+  if (searches_.find(queryId) == nullptr) return;
   if (!ctx_.isOnline(provider)) return;
   ctx_.metrics().countChannelHit();  // peer hit via overlay flooding
   resolveSearch(queryId, provider, {provider});
 }
 
 void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
-  const auto it = searches_.find(queryId);
-  if (it == searches_.end()) return;
-  Search& search = it->second;
+  Search* found = searches_.find(queryId);
+  if (found == nullptr) return;
+  Search& search = *found;
   ctx_.sim().cancel(search.deadline);
   search.deadline = sim::EventHandle{};
   const UserId user = search.user;
@@ -250,13 +237,12 @@ void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
                     [this](UserId u) { return !ctx_.isOnline(u); });
     }
     ctx_.sendFromServer(user, [this, queryId, candidates] {
-      const auto searchIt = searches_.find(queryId);
-      if (searchIt == searches_.end()) return;
+      const Search* search = searches_.find(queryId);
+      if (search == nullptr) return;
       if (candidates.empty()) {
         ctx_.metrics().countServerFallback();
         ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback,
-                 searchIt->second.user.value(), searchIt->second.video.value(),
-                 0);
+                 search->user.value(), search->video.value(), 0);
         resolveSearch(queryId, UserId::invalid(), {});
         return;
       }
@@ -268,12 +254,10 @@ void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
 
 void NetTubeSystem::resolveSearch(std::uint64_t queryId, UserId provider,
                                   const std::vector<UserId>& overlayPeers) {
-  const auto it = searches_.find(queryId);
-  assert(it != searches_.end());
-  const Search search = it->second;
+  assert(searches_.find(queryId) != nullptr);
+  const Search search = searches_.take(queryId);
   ctx_.sim().cancel(search.deadline);
-  searches_.erase(it);
-  activeSearch_.erase(search.user);
+  activeSearch_[search.user.index()] = 0;
   if (!ctx_.isOnline(search.user)) return;
 
   // Join the video's overlay by linking to the discovered holders.

@@ -12,13 +12,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "baselines/video_directory.h"
+#include "util/slot_pool.h"
 #include "vod/context.h"
+#include "vod/query_dedup.h"
 #include "vod/system.h"
 #include "vod/transfer.h"
 #include "vod/video_cache.h"
@@ -53,8 +53,6 @@ class NetTubeSystem final : public vod::VodSystem {
     // video -> links held in that video's overlay.
     std::unordered_map<VideoId, std::vector<UserId>> overlays;
     vod::VideoCache cache;
-    std::unordered_set<std::uint64_t> seenQueries;
-    std::deque<std::uint64_t> seenOrder;
     sim::EventHandle probeTimer;
 
     Node(std::size_t maxVideos, std::size_t prefetchSlots)
@@ -71,7 +69,9 @@ class NetTubeSystem final : public vod::VodSystem {
 
   // Distinct neighbors across all of the node's overlays.
   [[nodiscard]] std::vector<UserId> allNeighbors(const Node& node) const;
-  [[nodiscard]] bool seenQuery(Node& node, std::uint64_t queryId);
+  [[nodiscard]] bool seenQuery(UserId at, std::uint64_t queryId);
+  // Abandons the user's in-flight search, if any (logout, new request).
+  void abandonSearch(UserId user);
 
   void connectOverlayLink(UserId a, UserId b, VideoId video);
   void dropAllLinks(UserId holder, UserId gone);
@@ -95,9 +95,13 @@ class NetTubeSystem final : public vod::VodSystem {
   vod::TransferManager& transfers_;
   VideoDirectory directory_;
   std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, Search> searches_;
-  std::unordered_map<UserId, std::uint64_t> activeSearch_;
-  std::uint64_t nextQueryId_ = 1;
+  // Pooled search records; the pool id doubles as the flood query id (never
+  // reused, so it is a valid generation stamp for the dedup array).
+  SlotPool<Search> searches_;
+  // Per-node flood dedup stamps (one uint64 per node, no allocation).
+  vod::QueryDedup queryDedup_;
+  // Indexed by user: the user's in-flight search id, 0 if none.
+  std::vector<std::uint64_t> activeSearch_;
 };
 
 }  // namespace st::baselines

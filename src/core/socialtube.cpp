@@ -6,8 +6,6 @@
 namespace st::core {
 
 namespace {
-constexpr std::size_t kSeenQueryCap = 128;
-
 void removeFrom(std::vector<UserId>& list, UserId value) {
   const auto it = std::find(list.begin(), list.end(), value);
   if (it != list.end()) list.erase(it);
@@ -20,7 +18,10 @@ bool contains(const std::vector<UserId>& list, UserId value) {
 
 SocialTubeSystem::SocialTubeSystem(vod::SystemContext& ctx,
                                    vod::TransferManager& transfers)
-    : ctx_(ctx), transfers_(transfers) {
+    : ctx_(ctx),
+      transfers_(transfers),
+      queryDedup_(ctx.catalog().userCount()),
+      activeSearch_(ctx.catalog().userCount(), 0) {
   nodes_.reserve(ctx.catalog().userCount());
   for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
     nodes_.emplace_back(ctx.config().cacheCapacityVideos,
@@ -33,14 +34,18 @@ vod::VodSystem::NodeStats SocialTubeSystem::nodeStats(UserId user) const {
   return {.links = node.inner.size() + node.inter.size()};
 }
 
-bool SocialTubeSystem::seenQuery(Node& node, std::uint64_t queryId) {
-  if (!node.seenQueries.insert(queryId).second) return true;
-  node.seenOrder.push_back(queryId);
-  while (node.seenOrder.size() > kSeenQueryCap) {
-    node.seenQueries.erase(node.seenOrder.front());
-    node.seenOrder.pop_front();
+bool SocialTubeSystem::seenQuery(UserId at, std::uint64_t queryId) {
+  return queryDedup_.checkAndMark(at.index(), queryId);
+}
+
+void SocialTubeSystem::abandonSearch(UserId user) {
+  const std::uint64_t queryId = activeSearch_[user.index()];
+  if (queryId == 0) return;
+  if (Search* search = searches_.find(queryId)) {
+    ctx_.sim().cancel(search->deadline);
+    searches_.erase(queryId);
   }
-  return false;
+  activeSearch_[user.index()] = 0;
 }
 
 // --- links -------------------------------------------------------------------
@@ -117,15 +122,7 @@ void SocialTubeSystem::onLogout(UserId user, bool graceful) {
   node.probeTimer = sim::EventHandle{};
 
   // Abandon any in-flight search.
-  const auto searchIt = activeSearch_.find(user);
-  if (searchIt != activeSearch_.end()) {
-    const auto it = searches_.find(searchIt->second);
-    if (it != searches_.end()) {
-      ctx_.sim().cancel(it->second.deadline);
-      searches_.erase(it);
-    }
-    activeSearch_.erase(searchIt);
-  }
+  abandonSearch(user);
 
   // Remember the neighborhood for next session's reconnect.
   node.lastChannel = node.channel;
@@ -280,24 +277,15 @@ void SocialTubeSystem::beginSearch(UserId user, VideoId video,
 
   // A previous search may still be pending (e.g. a prefetch-hit body search
   // outliving a very short playback); abandon it before starting anew.
-  const auto oldIt = activeSearch_.find(user);
-  if (oldIt != activeSearch_.end()) {
-    const auto old = searches_.find(oldIt->second);
-    if (old != searches_.end()) {
-      ctx_.sim().cancel(old->second.deadline);
-      searches_.erase(old);
-    }
-    activeSearch_.erase(oldIt);
-  }
+  abandonSearch(user);
 
-  const std::uint64_t queryId = nextQueryId_++;
   Search search;
   search.user = user;
   search.video = video;
   search.prefetchHit = prefetchHit;
   search.requestTime = requestTime;
-  searches_.emplace(queryId, search);
-  activeSearch_[user] = queryId;
+  const std::uint64_t queryId = searches_.insert(search);
+  activeSearch_[user.index()] = queryId;
 
   if (node.inner.empty()) {
     enterCategoryPhase(queryId);
@@ -308,7 +296,7 @@ void SocialTubeSystem::beginSearch(UserId user, VideoId video,
       floodChannelQuery(user, n, video, queryId, ctx_.config().ttl);
     });
   }
-  searches_.at(queryId).deadline =
+  searches_.find(queryId)->deadline =
       ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
                           [this, queryId] { enterCategoryPhase(queryId); });
 }
@@ -317,7 +305,7 @@ void SocialTubeSystem::floodChannelQuery(UserId origin, UserId at,
                                          VideoId video, std::uint64_t queryId,
                                          int ttl) {
   Node& node = nodes_[at.index()];
-  if (seenQuery(node, queryId)) return;
+  if (seenQuery(at, queryId)) return;
   if (node.cache.contains(video)) {
     ctx_.sendUser(at, origin,
                   [this, queryId, at] { onSearchHit(queryId, at); });
@@ -333,9 +321,9 @@ void SocialTubeSystem::floodChannelQuery(UserId origin, UserId at,
 }
 
 void SocialTubeSystem::enterCategoryPhase(std::uint64_t queryId) {
-  const auto it = searches_.find(queryId);
-  if (it == searches_.end()) return;
-  Search& search = it->second;
+  Search* found = searches_.find(queryId);
+  if (found == nullptr) return;
+  Search& search = *found;
   ctx_.sim().cancel(search.deadline);
   search.phase = SearchPhase::kCategory;
 
@@ -358,10 +346,10 @@ void SocialTubeSystem::enterCategoryPhase(std::uint64_t queryId) {
 }
 
 void SocialTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
-  const auto it = searches_.find(queryId);
-  if (it == searches_.end()) return;  // already resolved
+  Search* found = searches_.find(queryId);
+  if (found == nullptr) return;  // already resolved
   if (!ctx_.isOnline(provider)) return;
-  Search& search = it->second;
+  Search& search = *found;
 
   // First responder wins; the requester also connects to it (§IV-A).
   Node& node = nodes_[search.user.index()];
@@ -380,21 +368,19 @@ void SocialTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
 }
 
 void SocialTubeSystem::fallbackToServer(std::uint64_t queryId) {
-  const auto it = searches_.find(queryId);
-  if (it == searches_.end()) return;
+  const Search* search = searches_.find(queryId);
+  if (search == nullptr) return;
   ctx_.metrics().countServerFallback();
   ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback,
-           it->second.user.value(), it->second.video.value(), 0);
+           search->user.value(), search->video.value(), 0);
   resolveSearch(queryId, UserId::invalid());
 }
 
 void SocialTubeSystem::resolveSearch(std::uint64_t queryId, UserId provider) {
-  const auto it = searches_.find(queryId);
-  assert(it != searches_.end());
-  const Search search = it->second;
+  assert(searches_.find(queryId) != nullptr);
+  const Search search = searches_.take(queryId);
   ctx_.sim().cancel(search.deadline);
-  searches_.erase(it);
-  activeSearch_.erase(search.user);
+  activeSearch_[search.user.index()] = 0;
   if (!ctx_.isOnline(search.user)) return;
   startDownload(search.user, search.video, provider, search.prefetchHit,
                 search.requestTime);

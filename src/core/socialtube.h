@@ -26,13 +26,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "util/slot_pool.h"
 #include "vod/context.h"
 #include "vod/membership.h"
+#include "vod/query_dedup.h"
 #include "vod/system.h"
 #include "vod/transfer.h"
 #include "vod/video_cache.h"
@@ -88,9 +87,6 @@ class SocialTubeSystem final : public vod::VodSystem {
     CategoryId lastCategory = CategoryId::invalid();
     std::vector<UserId> lastInner;
     std::vector<UserId> lastInter;
-    // Duplicate-suppression for flooded queries.
-    std::unordered_set<std::uint64_t> seenQueries;
-    std::deque<std::uint64_t> seenOrder;
     sim::EventHandle probeTimer;
 
     Node(std::size_t maxVideos, std::size_t prefetchSlots)
@@ -140,15 +136,21 @@ class SocialTubeSystem final : public vod::VodSystem {
   // no live neighbor can help and the server path should run instead.
   bool gossipRepairLinks(UserId user);
 
-  [[nodiscard]] bool seenQuery(Node& node, std::uint64_t queryId);
+  [[nodiscard]] bool seenQuery(UserId at, std::uint64_t queryId);
+  // Abandons the user's in-flight search, if any (logout, new request).
+  void abandonSearch(UserId user);
 
   vod::SystemContext& ctx_;
   vod::TransferManager& transfers_;
   SubscriberDirectory directory_;
   std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, Search> searches_;
-  std::unordered_map<UserId, std::uint64_t> activeSearch_;
-  std::uint64_t nextQueryId_ = 1;
+  // Search records are pooled; the pool id doubles as the flood query id
+  // (never reused, so it is a valid generation stamp for the dedup array).
+  SlotPool<Search> searches_;
+  // Per-node flood dedup stamps (one uint64 per node, no allocation).
+  vod::QueryDedup queryDedup_;
+  // Indexed by user: the user's in-flight search id, 0 if none.
+  std::vector<std::uint64_t> activeSearch_;
 };
 
 }  // namespace st::core

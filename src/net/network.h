@@ -3,12 +3,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "net/flow_network.h"
 #include "net/latency.h"
 #include "obs/registry.h"
+#include "sim/callback.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/strong_id.h"
@@ -17,7 +17,9 @@ namespace st::net {
 
 class Network {
  public:
-  using DeliveryCallback = std::function<void()>;
+  // Small-buffer-optimized (sim/callback.h): protocol message closures ride
+  // inline through the scheduler instead of heap-allocating per hop.
+  using DeliveryCallback = sim::Callback;
 
   Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
           std::uint64_t seed);

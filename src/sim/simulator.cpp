@@ -4,79 +4,111 @@
 
 namespace st::sim {
 
-std::uint64_t Simulator::enqueue(SimTime when, Callback fn) {
+std::uint32_t Simulator::allocSlot() {
+  if (freeHead_ != kNoFree) {
+    const std::uint32_t index = freeHead_;
+    freeHead_ = slots_[index].nextFree;
+    slots_[index].nextFree = kNoFree;
+    return index;
+  }
+  const auto index = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return index;
+}
+
+void Simulator::releaseSlot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.period = 0;
+  // The bump invalidates every outstanding handle and heap entry for the
+  // old occupant; 0 is reserved for never-scheduled handles.
+  if (++slot.gen == 0) slot.gen = 1;
+  slot.nextFree = freeHead_;
+  freeHead_ = index;
+}
+
+EventHandle Simulator::enqueue(SimTime when, Callback fn, SimTime period) {
   assert(when >= now_);
-  const std::uint64_t id = nextSeq_++;
-  queue_.push(Event{when, id, id, /*periodic=*/false, std::move(fn)});
-  pending_.insert(id);
-  ++queueSize_;
-  return id;
+  const std::uint32_t index = allocSlot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.period = period;
+  queue_.push(HeapEntry{when, nextSeq_++, index, slot.gen});
+  ++live_;
+  return EventHandle{index, slot.gen};
 }
 
 EventHandle Simulator::schedule(SimTime delay, Callback fn) {
   assert(delay >= 0);
-  return EventHandle{enqueue(now_ + delay, std::move(fn))};
+  return enqueue(now_ + delay, std::move(fn), /*period=*/0);
 }
 
 EventHandle Simulator::scheduleAt(SimTime when, Callback fn) {
-  return EventHandle{enqueue(when, std::move(fn))};
+  return enqueue(when, std::move(fn), /*period=*/0);
 }
 
 EventHandle Simulator::schedulePeriodic(SimTime period, Callback fn) {
   assert(period > 0);
-  // The series is identified by the id of its first firing; each firing
-  // re-enqueues itself under the same series id while `periodics_` still
-  // holds the series (cancel() removes it).
-  const std::uint64_t seriesId = nextSeq_++;
-  periodics_.emplace(seriesId, PeriodicState{period, std::move(fn)});
-  queue_.push(Event{now_ + period, seriesId, seriesId, /*periodic=*/true,
-                    [this, seriesId] { firePeriodic(seriesId); }});
-  ++queueSize_;
-  return EventHandle{seriesId};
-}
-
-void Simulator::firePeriodic(std::uint64_t seriesId) {
-  const auto it = periodics_.find(seriesId);
-  if (it == periodics_.end()) return;  // series cancelled
-  it->second.fn();
-  // Re-check: the callback may have cancelled its own series.
-  const auto again = periodics_.find(seriesId);
-  if (again == periodics_.end()) return;
-  queue_.push(Event{now_ + again->second.period, nextSeq_++, seriesId,
-                    /*periodic=*/true,
-                    [this, seriesId] { firePeriodic(seriesId); }});
-  ++queueSize_;
+  ++periodicLive_;
+  return enqueue(now_ + period, std::move(fn), period);
 }
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  periodics_.erase(handle.id_);
-  pending_.erase(handle.id_);
+  assert(handle.slot_ < slots_.size());
+  Slot& slot = slots_[handle.slot_];
+  if (slot.gen != handle.gen_) return;  // already fired or cancelled
+  if (slot.period > 0) --periodicLive_;
+  releaseSlot(handle.slot_);
+  --live_;
 }
 
 bool Simulator::fireNext() {
   while (!queue_.empty()) {
-    // priority_queue::top() is const; the callback must be moved out, so pop
-    // into a local copy. Event callbacks are small (captured ids).
-    Event event = queue_.top();
+    const HeapEntry entry = queue_.top();
     queue_.pop();
-    --queueSize_;
-    if (event.periodic) {
-      if (periodics_.count(event.id) == 0) continue;  // series cancelled
-    } else if (pending_.erase(event.id) == 0) {
-      continue;  // one-shot event cancelled
-    }
-    now_ = event.when;
+    Slot* slot = &slots_[entry.slot];
+    if (slot->gen != entry.gen) continue;  // cancelled
+    now_ = entry.when;
     ++fired_;
-    event.fn();
+    if (slot->period > 0) {
+      // Move the callback out for the call: it may cancel its own series
+      // (which resets the slot) without destroying a running closure, and
+      // it may schedule new events (which can reallocate the arena).
+      Callback fn = std::move(slot->fn);
+      fn();
+      slot = &slots_[entry.slot];
+      if (slot->gen == entry.gen) {
+        slot->fn = std::move(fn);
+        queue_.push(
+            HeapEntry{now_ + slot->period, nextSeq_++, entry.slot, entry.gen});
+      }
+      return true;
+    }
+    // One-shot: release the slot before invoking so the handle is stale
+    // during the callback and the slot is immediately reusable.
+    Callback fn = std::move(slot->fn);
+    releaseSlot(entry.slot);
+    --live_;
+    fn();
     return true;
   }
   return false;
 }
 
+void Simulator::purgeStale() {
+  while (!queue_.empty()) {
+    const HeapEntry& entry = queue_.top();
+    if (slots_[entry.slot].gen == entry.gen) return;
+    queue_.pop();
+  }
+}
+
 std::uint64_t Simulator::runUntil(SimTime until) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
+  for (;;) {
+    purgeStale();
+    if (queue_.empty() || queue_.top().when > until) break;
     if (fireNext()) ++count;
   }
   if (now_ < until) now_ = until;

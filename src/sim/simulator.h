@@ -1,41 +1,50 @@
 // Deterministic single-threaded discrete-event simulator.
 //
-// This is the PeerSim substitute (see DESIGN.md §2): an event loop with an
-// integer-microsecond clock. Events scheduled for the same instant fire in
-// scheduling order (a monotonically increasing sequence number breaks ties),
-// which makes runs reproducible regardless of heap internals.
+// This is the PeerSim substitute (see DESIGN.md §8, "Scheduler internals"):
+// an event loop with an integer-microsecond clock. Events scheduled for the
+// same instant fire in scheduling order (a monotonically increasing sequence
+// number breaks ties), which makes runs reproducible regardless of heap
+// internals.
+//
+// Storage is a generation-stamped slot arena: callbacks live in recycled
+// slots, the binary heap holds only small POD entries, and an EventHandle is
+// a (slot, generation) pair. cancel() is O(1) slot invalidation — the heap
+// entry turns stale and is skipped when popped — and a handle kept after its
+// event fired can never cancel an unrelated later event that reused the
+// slot, because the generation no longer matches.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/registry.h"
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace st::sim {
 
-// Handle for cancelling a scheduled event. Cancellation is lazy: the event
-// stays in the heap but is skipped when popped.
+// Handle for cancelling a scheduled event (or a whole periodic series).
+// Stale handles — after the event fired or was cancelled — are harmless:
+// the generation stamp stops them from touching a recycled slot.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  [[nodiscard]] bool valid() const { return id_ != 0; }
+  [[nodiscard]] bool valid() const { return gen_ != 0; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t gen)
+      : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;  // 0 = never scheduled
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -51,6 +60,8 @@ class Simulator {
   // cancelled. The returned handle cancels the whole series.
   EventHandle schedulePeriodic(SimTime period, Callback fn);
 
+  // O(1). Releases the event's slot (and, for a periodic series, its state)
+  // immediately; no-op on invalid or stale handles.
   void cancel(EventHandle handle);
 
   // Runs events until the queue is empty or the clock passes `until`.
@@ -61,7 +72,11 @@ class Simulator {
   // Executes at most one event; returns false if the queue was empty.
   bool step();
 
-  [[nodiscard]] std::size_t pendingEvents() const { return queueSize_; }
+  // Live scheduled events: one-shots not yet fired/cancelled plus one per
+  // periodic series. Exact — cancellation is reflected immediately.
+  [[nodiscard]] std::size_t pendingEvents() const { return live_; }
+  // Live periodic series (cancel releases the series state immediately).
+  [[nodiscard]] std::size_t periodicSeries() const { return periodicLive_; }
   [[nodiscard]] std::uint64_t eventsFired() const { return fired_; }
 
   // Exposes the fired-event count as a pull gauge. The registry must not
@@ -71,39 +86,46 @@ class Simulator {
   }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoFree = ~std::uint32_t{0};
+
+  // Arena slot: owns the callback; `gen` is bumped on every release so
+  // outstanding handles and heap entries for the old occupant go stale.
+  struct Slot {
+    Callback fn;
+    SimTime period = 0;  // > 0: periodic series, re-enqueued after each fire
+    std::uint32_t gen = 1;
+    std::uint32_t nextFree = kNoFree;
+  };
+
+  // Heap entries are 24-byte PODs; the callback stays in the arena.
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::uint64_t id;   // for cancellation
-    bool periodic = false;
-    Callback fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
 
     // std::priority_queue is a max-heap; invert for earliest-first.
-    bool operator<(const Event& other) const {
+    bool operator<(const HeapEntry& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
-  struct PeriodicState {
-    SimTime period;
-    Callback fn;
-  };
-
   bool fireNext();
-  std::uint64_t enqueue(SimTime when, Callback fn);
-  void firePeriodic(std::uint64_t seriesId);
+  EventHandle enqueue(SimTime when, Callback fn, SimTime period);
+  std::uint32_t allocSlot();
+  void releaseSlot(std::uint32_t index);
+  // Discards cancelled entries so queue_.top(), when present, is live.
+  void purgeStale();
 
-  std::priority_queue<Event> queue_;
-  // One-shot events currently scheduled; cancel() removes the id, making the
-  // queued entry a no-op. Bounded by the queue size (no leak from cancelling
-  // already-fired handles).
-  std::unordered_set<std::uint64_t> pending_;
-  std::unordered_map<std::uint64_t, PeriodicState> periodics_;
+  std::vector<Slot> slots_;
+  std::uint32_t freeHead_ = kNoFree;
+  std::priority_queue<HeapEntry> queue_;
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 1;
   std::uint64_t fired_ = 0;
-  std::size_t queueSize_ = 0;
+  std::size_t live_ = 0;
+  std::size_t periodicLive_ = 0;
 };
 
 }  // namespace st::sim

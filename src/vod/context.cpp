@@ -40,25 +40,25 @@ std::size_t SystemContext::onlineCount() const {
 }
 
 void SystemContext::sendUser(UserId from, UserId to,
-                             std::function<void()> atReceiver) {
+                             sim::Callback atReceiver) {
   network_.sendMessage(
       endpointOf(from), endpointOf(to),
-      [this, to, fn = std::move(atReceiver)] {
+      [this, to, fn = std::move(atReceiver)]() mutable {
         if (isOnline(to)) fn();
       });
 }
 
-void SystemContext::sendToServer(UserId from, std::function<void()> atServer) {
+void SystemContext::sendToServer(UserId from, sim::Callback atServer) {
   network_.sendMessage(endpointOf(from), serverEndpoint_,
-                       [this, fn = std::move(atServer)] {
-                         sim_.schedule(config_.serverProcessing, fn);
+                       [this, fn = std::move(atServer)]() mutable {
+                         sim_.schedule(config_.serverProcessing,
+                                       std::move(fn));
                        });
 }
 
-void SystemContext::sendFromServer(UserId to,
-                                   std::function<void()> atReceiver) {
+void SystemContext::sendFromServer(UserId to, sim::Callback atReceiver) {
   network_.sendMessage(serverEndpoint_, endpointOf(to),
-                       [this, to, fn = std::move(atReceiver)] {
+                       [this, to, fn = std::move(atReceiver)]() mutable {
                          if (isOnline(to)) fn();
                        });
 }

@@ -70,14 +70,14 @@ class SystemContext {
 
   // Delivers `atReceiver` at `to` after one-way latency; silently dropped if
   // the receiver is offline when the message arrives (or lost in transit).
-  void sendUser(UserId from, UserId to, std::function<void()> atReceiver);
+  void sendUser(UserId from, UserId to, sim::Callback atReceiver);
 
   // Request to the origin server: latency + processing delay, then
   // `atServer` runs (server never churns).
-  void sendToServer(UserId from, std::function<void()> atServer);
+  void sendToServer(UserId from, sim::Callback atServer);
 
   // Server-to-user reply; dropped if the user went offline.
-  void sendFromServer(UserId to, std::function<void()> atReceiver);
+  void sendFromServer(UserId to, sim::Callback atReceiver);
 
  private:
   sim::Simulator& sim_;

@@ -8,12 +8,18 @@
 //    is *small* state: users report subscription changes, not every video.
 //  * NetTube    — key = VideoId: online holders of each video.
 //  * PA-VoD     — key = VideoId: current watchers holding a full copy.
+//
+// Storage is index-addressed and hash-free: keys and users are StrongIds,
+// so the per-key member lists live in a flat vector indexed by key, and
+// each user's registrations (with their member-list positions) live in a
+// flat vector indexed by user. Removal is the usual swap-with-back trick;
+// the displaced member's position is patched through its own (short)
+// registration list instead of a per-key position hash map.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "util/rng.h"
@@ -25,52 +31,49 @@ template <typename Key>
 class MembershipDirectory {
  public:
   void add(UserId user, Key key) {
-    Entry& entry = byKey_[key];
-    if (entry.position.count(user) > 0) return;
-    entry.position[user] = static_cast<std::uint32_t>(entry.members.size());
-    entry.members.push_back(user);
-    byUser_[user].push_back(key);
+    if (contains(user, key)) return;
+    auto& members = keyEntry(key);
+    userRefs(user).push_back(
+        Ref{key, static_cast<std::uint32_t>(members.size())});
+    members.push_back(user);
     ++total_;
   }
 
   void remove(UserId user, Key key) {
-    const auto keyIt = byKey_.find(key);
-    if (keyIt == byKey_.end()) return;
-    Entry& entry = keyIt->second;
-    const auto posIt = entry.position.find(user);
-    if (posIt == entry.position.end()) return;
-    const std::uint32_t pos = posIt->second;
-    const UserId moved = entry.members.back();
-    entry.members[pos] = moved;
-    entry.position[moved] = pos;
-    entry.members.pop_back();
-    entry.position.erase(posIt);
-    if (entry.members.empty()) byKey_.erase(keyIt);
-    --total_;
-
-    auto& list = byUser_[user];
-    const auto it = std::find(list.begin(), list.end(), key);
-    assert(it != list.end());
-    list.erase(it);
-    if (list.empty()) byUser_.erase(user);
+    if (user.index() >= byUser_.size()) return;
+    auto& refs = byUser_[user.index()];
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      if (refs[i].key != key) continue;
+      auto& members = byKey_[key.index()];
+      const std::uint32_t pos = refs[i].position;
+      const UserId moved = members.back();
+      members[pos] = moved;
+      members.pop_back();
+      if (moved != user) patchPosition(moved, key, pos);
+      refs[i] = refs.back();
+      refs.pop_back();
+      --total_;
+      return;
+    }
   }
 
   // Removes the user from every list they appear in.
   void removeAll(UserId user) {
-    const auto it = byUser_.find(user);
-    if (it == byUser_.end()) return;
-    const std::vector<Key> keys = it->second;  // copy: remove() mutates
-    for (const Key key : keys) remove(user, key);
+    if (user.index() >= byUser_.size()) return;
+    auto& refs = byUser_[user.index()];
+    while (!refs.empty()) remove(user, refs.back().key);
   }
 
   [[nodiscard]] bool contains(UserId user, Key key) const {
-    const auto it = byKey_.find(key);
-    return it != byKey_.end() && it->second.position.count(user) > 0;
+    if (user.index() >= byUser_.size()) return false;
+    for (const Ref& ref : byUser_[user.index()]) {
+      if (ref.key == key) return true;
+    }
+    return false;
   }
 
   [[nodiscard]] std::size_t memberCount(Key key) const {
-    const auto it = byKey_.find(key);
-    return it == byKey_.end() ? 0 : it->second.members.size();
+    return key.index() < byKey_.size() ? byKey_[key.index()].size() : 0;
   }
 
   // Total (user, key) registrations — the server-state-size metric the
@@ -82,9 +85,9 @@ class MembershipDirectory {
                                                   UserId exclude,
                                                   Rng& rng) const {
     std::vector<UserId> result;
-    const auto it = byKey_.find(key);
-    if (it == byKey_.end()) return result;
-    const auto& members = it->second.members;
+    if (key.index() >= byKey_.size()) return result;
+    const auto& members = byKey_[key.index()];
+    if (members.empty()) return result;
     if (members.size() <= count + 1) {
       for (const UserId member : members) {
         if (member != exclude) result.push_back(member);
@@ -108,13 +111,33 @@ class MembershipDirectory {
   }
 
  private:
-  struct Entry {
-    std::vector<UserId> members;
-    std::unordered_map<UserId, std::uint32_t> position;
+  struct Ref {
+    Key key;
+    std::uint32_t position;  // index of this user in byKey_[key].members
   };
 
-  std::unordered_map<Key, Entry> byKey_;
-  std::unordered_map<UserId, std::vector<Key>> byUser_;
+  std::vector<UserId>& keyEntry(Key key) {
+    if (key.index() >= byKey_.size()) byKey_.resize(key.index() + 1);
+    return byKey_[key.index()];
+  }
+
+  std::vector<Ref>& userRefs(UserId user) {
+    if (user.index() >= byUser_.size()) byUser_.resize(user.index() + 1);
+    return byUser_[user.index()];
+  }
+
+  void patchPosition(UserId user, Key key, std::uint32_t position) {
+    for (Ref& ref : byUser_[user.index()]) {
+      if (ref.key == key) {
+        ref.position = position;
+        return;
+      }
+    }
+    assert(false && "moved member missing its registration ref");
+  }
+
+  std::vector<std::vector<UserId>> byKey_;  // indexed by key.index()
+  std::vector<std::vector<Ref>> byUser_;    // indexed by user.index()
   std::size_t total_ = 0;
 };
 

@@ -1,0 +1,39 @@
+// Flood-query duplicate suppression as a generation-counter array.
+//
+// Every node used to keep an `unordered_set<uint64>` of recently seen query
+// ids plus a trim deque — one hash insert and amortized allocations per
+// flood visit, on the hottest protocol path. Query ids are unique and never
+// reused (see SlotPool), so "has this node seen this query" collapses to a
+// single stamp per node: mark_[node] == queryId is one uint64 compare, and
+// marking is one store. No allocation, no trimming, O(nodes) memory total
+// instead of O(nodes * window).
+//
+// Precision: a stamp only remembers the most recent query that visited the
+// node. If two concurrent floods interleave visits to the same node, the
+// older query may be re-forwarded there once — the same class of
+// approximation as the old 128-entry eviction window, still bounded by the
+// query TTL, and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace st::vod {
+
+class QueryDedup {
+ public:
+  explicit QueryDedup(std::size_t nodeCount) : mark_(nodeCount, 0) {}
+
+  // True if `queryId` was the last query seen at `node`; marks it otherwise.
+  // Query ids must be nonzero and never reused (SlotPool ids qualify).
+  bool checkAndMark(std::size_t node, std::uint64_t queryId) {
+    if (mark_[node] == queryId) return true;
+    mark_[node] = queryId;
+    return false;
+  }
+
+ private:
+  std::vector<std::uint64_t> mark_;
+};
+
+}  // namespace st::vod

@@ -24,7 +24,6 @@ EndpointId TransferManager::sourceEndpoint(UserId provider) const {
 void TransferManager::startWatch(WatchRequest request) {
   assert(!request.provider.valid() || ctx_.isOnline(request.provider));
 
-  const WatchId id = nextWatchId_++;
   Watch watch;
   watch.user = request.user;
   watch.video = request.video;
@@ -35,9 +34,9 @@ void TransferManager::startWatch(WatchRequest request) {
   watch.onFinished = std::move(request.onFinished);
 
   const VideoAsset& asset = ctx_.library().asset(request.video);
-  watches_.emplace(id, std::move(watch));
-  userWatches_[request.user].push_back(id);
-  Watch& w = watches_.at(id);
+  const WatchId id = watches_.insert(std::move(watch));
+  userWatches_[request.user.index()].push_back(id);
+  Watch& w = *watches_.find(id);
 
   if (request.firstChunkCached) {
     // Prefetch hit: playback starts now; only the body is fetched.
@@ -62,7 +61,7 @@ void TransferManager::startWatch(WatchRequest request) {
 
 void TransferManager::beginFirstChunk(WatchId id, UserId provider,
                                       std::uint64_t bytesRemaining) {
-  Watch& watch = watches_.at(id);
+  Watch& watch = *watches_.find(id);
   watch.phase = Phase::kFirstChunk;
   watch.provider = provider;
   watch.flow = ctx_.network().flows().startFlow(
@@ -73,7 +72,7 @@ void TransferManager::beginFirstChunk(WatchId id, UserId provider,
 }
 
 void TransferManager::beginBody(WatchId id) {
-  Watch& watch = watches_.at(id);
+  Watch& watch = *watches_.find(id);
   const VideoAsset& asset = ctx_.library().asset(watch.video);
   const std::uint64_t bodyChunks = asset.chunks - 1;
   assert(bodyChunks > 0);
@@ -116,7 +115,7 @@ void TransferManager::beginBody(WatchId id) {
 
 void TransferManager::startSegmentFlow(WatchId id, std::size_t segmentIndex,
                                        UserId provider) {
-  Watch& watch = watches_.at(id);
+  Watch& watch = *watches_.find(id);
   Segment& segment = watch.segments[segmentIndex];
   segment.provider = provider;
   const std::uint64_t remaining =
@@ -177,34 +176,30 @@ void TransferManager::cancelWatchFlows(Watch& watch) {
 }
 
 void TransferManager::eraseWatch(WatchId id) {
-  const auto it = watches_.find(id);
-  assert(it != watches_.end());
-  const UserId user = it->second.user;
-  if (it->second.flow.valid()) watchFlows_.erase(it->second.flow);
-  for (const Segment& segment : it->second.segments) {
+  Watch* watch = watches_.find(id);
+  assert(watch != nullptr);
+  const UserId user = watch->user;
+  if (watch->flow.valid()) watchFlows_.erase(watch->flow);
+  for (const Segment& segment : watch->segments) {
     if (segment.flow.valid()) watchFlows_.erase(segment.flow);
   }
-  ctx_.sim().cancel(it->second.timeout);
-  watches_.erase(it);
-  const auto userIt = userWatches_.find(user);
-  if (userIt != userWatches_.end()) {
-    auto& list = userIt->second;
-    list.erase(std::find(list.begin(), list.end(), id));
-    if (list.empty()) userWatches_.erase(userIt);
-  }
+  ctx_.sim().cancel(watch->timeout);
+  watches_.erase(id);
+  auto& list = userWatches_[user.index()];
+  list.erase(std::find(list.begin(), list.end(), id));
 }
 
 void TransferManager::finishWatch(WatchId id, bool complete) {
-  Watch& watch = watches_.at(id);
+  Watch& watch = *watches_.find(id);
   auto finished = std::move(watch.onFinished);
   eraseWatch(id);
   if (finished) finished(complete);
 }
 
 void TransferManager::firstChunkComplete(WatchId id) {
-  const auto it = watches_.find(id);
-  assert(it != watches_.end());
-  Watch& watch = it->second;
+  Watch* found = watches_.find(id);
+  assert(found != nullptr);
+  Watch& watch = *found;
   watchFlows_.erase(watch.flow);
   watch.flow = FlowId::invalid();
 
@@ -230,9 +225,9 @@ void TransferManager::firstChunkComplete(WatchId id) {
 }
 
 void TransferManager::segmentComplete(WatchId id, std::size_t segmentIndex) {
-  const auto it = watches_.find(id);
-  assert(it != watches_.end());
-  Watch& watch = it->second;
+  Watch* found = watches_.find(id);
+  assert(found != nullptr);
+  Watch& watch = *found;
   Segment& segment = watch.segments[segmentIndex];
   watchFlows_.erase(segment.flow);
   segment.flow = FlowId::invalid();
@@ -267,9 +262,9 @@ void TransferManager::segmentComplete(WatchId id, std::size_t segmentIndex) {
 }
 
 void TransferManager::phaseTimeout(WatchId id) {
-  const auto it = watches_.find(id);
-  if (it == watches_.end()) return;
-  Watch& watch = it->second;
+  Watch* found = watches_.find(id);
+  if (found == nullptr) return;
+  Watch& watch = *found;
   cancelWatchFlows(watch);
   if (watch.phase == Phase::kFirstChunk && watch.onPlaybackReady) {
     auto ready = std::move(watch.onPlaybackReady);
@@ -316,13 +311,11 @@ void TransferManager::prefetchComplete(FlowId flow) {
 
 void TransferManager::onUserOffline(UserId user) {
   // 1. The user's own watches die silently (no callbacks — the user left).
-  const auto userIt = userWatches_.find(user);
-  if (userIt != userWatches_.end()) {
-    const std::vector<WatchId> own = userIt->second;  // copy: eraseWatch mutates
-    for (const WatchId id : own) {
-      cancelWatchFlows(watches_.at(id));
-      eraseWatch(id);
-    }
+  const std::vector<WatchId> own =
+      userWatches_[user.index()];  // copy: eraseWatch mutates
+  for (const WatchId id : own) {
+    cancelWatchFlows(*watches_.find(id));
+    eraseWatch(id);
   }
 
   // 2. The user's own prefetch downloads die silently.
@@ -354,7 +347,7 @@ void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
   if (flowIt == watchFlows_.end()) return;
   const WatchId id = flowIt->second;
   watchFlows_.erase(flowIt);
-  Watch& watch = watches_.at(id);
+  Watch& watch = *watches_.find(id);
 
   if (watch.phase == Phase::kFirstChunk && watch.flow == flow) {
     watch.flow = FlowId::invalid();

@@ -18,13 +18,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/slot_pool.h"
 #include "vod/context.h"
 
 namespace st::vod {
 
 class TransferManager {
  public:
-  explicit TransferManager(SystemContext& ctx) : ctx_(ctx) {}
+  explicit TransferManager(SystemContext& ctx)
+      : ctx_(ctx), userWatches_(ctx.catalog().userCount()) {}
   TransferManager(const TransferManager&) = delete;
   TransferManager& operator=(const TransferManager&) = delete;
 
@@ -103,7 +105,9 @@ class TransferManager {
     std::function<void(bool)> onFinished;
   };
 
-  using WatchId = std::uint64_t;
+  // Generation-stamped SlotPool id: watch records are pooled, not churned
+  // through a hash map, and a stale id can never alias a recycled watch.
+  using WatchId = SlotPool<Watch>::Id;
 
   [[nodiscard]] EndpointId sourceEndpoint(UserId provider) const;
   void beginFirstChunk(WatchId id, UserId provider,
@@ -134,13 +138,14 @@ class TransferManager {
   };
 
   SystemContext& ctx_;
-  std::unordered_map<WatchId, Watch> watches_;
-  std::unordered_map<UserId, std::vector<WatchId>> userWatches_;
+  SlotPool<Watch> watches_;
+  // Indexed by user; a user has at most a handful of concurrent watches.
+  std::vector<std::vector<WatchId>> userWatches_;
   // Maps a flow to its watch; segment flows are found by scanning the
-  // watch's (small) segment list.
+  // watch's (small) segment list. Flow ids are minted by the flow engine,
+  // so these stay keyed maps.
   std::unordered_map<FlowId, WatchId> watchFlows_;
   std::unordered_map<FlowId, Prefetch> prefetches_;
-  WatchId nextWatchId_ = 1;
 };
 
 }  // namespace st::vod

@@ -81,6 +81,49 @@ TEST(Simulator, CancelInvalidHandleIsNoop) {
   EXPECT_EQ(sim.pendingEvents(), 0u);
 }
 
+TEST(Simulator, DoubleCancelIsHarmless) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  const EventHandle handle = sim.schedule(10, [&] { first = true; });
+  sim.cancel(handle);
+  // The slot is free; the next schedule may reuse it. A second cancel of the
+  // stale handle must not touch the new occupant.
+  const EventHandle other = sim.schedule(20, [&] { second = true; });
+  sim.cancel(handle);
+  sim.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  (void)other;
+}
+
+TEST(Simulator, StaleHandleCannotCancelRecycledSlot) {
+  Simulator sim;
+  int lateFired = 0;
+  const EventHandle early = sim.schedule(10, [] {});
+  sim.run();  // `early` fired; its slot is released for reuse
+  // This schedule recycles the freed slot; the generation stamp differs.
+  const EventHandle late = sim.schedule(10, [&] { ++lateFired; });
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  sim.cancel(early);  // stale: must NOT cancel the recycled slot's event
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  sim.run();
+  EXPECT_EQ(lateFired, 1);
+  (void)late;
+}
+
+TEST(Simulator, CancelReflectsInPendingEventsImmediately) {
+  Simulator sim;
+  const EventHandle a = sim.schedule(10, [] {});
+  sim.schedule(20, [] {});
+  EXPECT_EQ(sim.pendingEvents(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pendingEvents(), 1u);  // exact count, not lazy
+  sim.run();
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_EQ(sim.eventsFired(), 1u);
+}
+
 TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
   Simulator sim;
   std::vector<SimTime> fired;
@@ -127,6 +170,52 @@ TEST(Simulator, PeriodicCancelStopsSeries) {
   sim.schedule(35, [&] { sim.cancel(handle); });
   sim.runUntil(200);
   EXPECT_EQ(ticks, 3);
+}
+
+TEST(Simulator, PeriodicCancelReleasesStateImmediately) {
+  Simulator sim;
+  int ticks = 0;
+  const EventHandle handle = sim.schedulePeriodic(10, [&] { ++ticks; });
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  EXPECT_EQ(sim.periodicSeries(), 1u);
+  sim.cancel(handle);
+  // The series state is gone NOW — not lazily on the next would-be fire.
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_EQ(sim.periodicSeries(), 0u);
+  sim.runUntil(100);
+  EXPECT_EQ(ticks, 0);
+  sim.cancel(handle);  // double-cancel of a periodic series is harmless
+  EXPECT_EQ(sim.periodicSeries(), 0u);
+}
+
+TEST(Simulator, PeriodicSelfCancelReleasesStateImmediately) {
+  Simulator sim;
+  EventHandle handle;
+  std::size_t seriesDuringLastTick = 99;
+  handle = sim.schedulePeriodic(10, [&] {
+    sim.cancel(handle);
+    seriesDuringLastTick = sim.periodicSeries();
+  });
+  sim.runUntil(100);
+  EXPECT_EQ(seriesDuringLastTick, 0u);
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_EQ(sim.periodicSeries(), 0u);
+}
+
+TEST(Simulator, PeriodicHandleGoesStaleAfterCancel) {
+  Simulator sim;
+  int ticksA = 0;
+  int ticksB = 0;
+  const EventHandle a = sim.schedulePeriodic(10, [&] { ++ticksA; });
+  sim.cancel(a);
+  // Reuses the freed slot with a new generation.
+  const EventHandle b = sim.schedulePeriodic(10, [&] { ++ticksB; });
+  sim.cancel(a);  // stale: must not kill series B
+  sim.runUntil(35);
+  EXPECT_EQ(ticksA, 0);
+  EXPECT_EQ(ticksB, 3);
+  sim.cancel(b);
+  EXPECT_EQ(sim.pendingEvents(), 0u);
 }
 
 TEST(Simulator, PeriodicCanCancelItself) {
