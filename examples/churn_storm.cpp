@@ -3,10 +3,16 @@
 //
 //   ./examples/churn_storm [--users 800] [--abrupt 0.8] [--seed 3]
 //                          [--threads 2] [--trace-out storm.jsonl]
+//                          [--faults SPEC] [--audit SECONDS]
 //
 // --trace-out dumps the structured protocol-event timeline (JSONL; one file
 // per scenario, suffixed ".calm"/".storm") — see EXPERIMENTS.md for how to
 // slice the repair/fallback events.
+//
+// --faults layers a scripted fault schedule (src/fault/schedule.h grammar,
+// e.g. "crash:t=3600,frac=0.2;loss:t=4000,dur=300,rate=0.3") over both
+// scenarios; --audit N runs the structural invariant checker every N
+// simulated seconds and reports confirmed violations per scenario.
 #include <algorithm>
 #include <cstdio>
 #include <optional>
@@ -16,6 +22,7 @@
 #include "exp/config.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "fault/schedule.h"
 #include "trace/generator.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -32,6 +39,23 @@ int main(int argc, char** argv) {
   const std::size_t threads =
       st::resolveThreadCount(flags.getInt("threads", 0), 1);
   const std::string traceOut = flags.getString("trace-out", "");
+  const std::string faultSpec = flags.getString("faults", "");
+  const double auditSeconds = flags.getDouble("audit", 0.0);
+
+  // Validate the schedule up front so a typo fails before minutes of
+  // simulation (the runner would abort mid-run otherwise).
+  {
+    st::fault::Schedule parsed;
+    std::string error;
+    if (!st::fault::Schedule::parse(faultSpec, &parsed, &error)) {
+      std::fprintf(stderr, "--faults: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (auditSeconds < 0.0) {
+    std::fprintf(stderr, "--audit must be >= 0 seconds\n");
+    return 1;
+  }
 
   st::exp::ExperimentConfig config =
       st::exp::ExperimentConfig::simulationDefaults(seed);
@@ -40,6 +64,8 @@ int main(int argc, char** argv) {
   // Probe more aggressively than the default so repair keeps pace with
   // churn.
   config.vod.probeInterval = 2 * st::sim::kMinute;
+  config.faults.spec = faultSpec;
+  config.faults.auditInterval = st::sim::fromSeconds(auditSeconds);
 
   std::printf("Churn storm — %zu users, %.0f%% abrupt departures, "
               "2-minute probes\n\n", users, abrupt * 100.0);
@@ -77,8 +103,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.watches()));
     std::printf("  probes sent             = %llu\n",
                 static_cast<unsigned long long>(result.probes()));
-    std::printf("  repair rounds           = %llu\n\n",
+    std::printf("  repair rounds           = %llu\n",
                 static_cast<unsigned long long>(result.repairs()));
+    if (config.faults.any()) {
+      std::printf("  faults fired            = %llu (%llu crashes, "
+                  "%llu messages faulted)\n",
+                  static_cast<unsigned long long>(
+                      result.counter("fault.events")),
+                  static_cast<unsigned long long>(
+                      result.counter("fault.crashes")),
+                  static_cast<unsigned long long>(
+                      result.counter("messages_faulted")));
+    }
+    if (config.faults.auditInterval > 0) {
+      std::printf("  invariant audits        = %llu (%llu violations)\n",
+                  static_cast<unsigned long long>(
+                      result.counter("invariant.audits")),
+                  static_cast<unsigned long long>(
+                      result.counter("invariant.violations")));
+    }
+    std::printf("\n");
   }
   std::printf("Even with most nodes vanishing silently, stale links are "
               "probed out and\nre-filled from the server directory; "

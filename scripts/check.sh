@@ -9,7 +9,7 @@
 #
 #   scripts/check.sh [ctest label] [jobs]
 #
-#   scripts/check.sh            # unit label, all three modes
+#   scripts/check.sh            # unit + soak labels, all three modes
 #   scripts/check.sh . 8        # everything, 8 jobs
 #
 # Sibling of scripts/sanitize.sh; each mode gets its own build tree
@@ -18,7 +18,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-LABEL="${1:-unit}"
+# Default covers the quick unit gate plus the chaos-soak fault tests, so the
+# sanitizer pass exercises the injector/checker paths too.
+LABEL="${1:-unit|soak}"
 JOBS="${2:-$(nproc)}"
 
 for MODE in ON OFF; do

@@ -71,13 +71,19 @@ void NetTubeSystem::abandonSearch(UserId user) {
 
 void NetTubeSystem::connectOverlayLink(UserId a, UserId b, VideoId video) {
   if (a == b) return;
-  auto& la = nodes_[a.index()].overlays[video];
-  auto& lb = nodes_[b.index()].overlays[video];
-  if (contains(la, b)) return;
+  // Look up before inserting: a refused connect must not leave an empty
+  // overlay entry behind (it would distort overlayCount and the joining
+  // heuristic in askServerDirectory).
+  Node& na = nodes_[a.index()];
+  Node& nb = nodes_[b.index()];
+  const auto ia = na.overlays.find(video);
+  if (ia != na.overlays.end() && contains(ia->second, b)) return;
   const std::size_t cap = ctx_.config().linksPerVideoOverlay;
-  if (la.size() >= cap || lb.size() >= cap) return;
-  la.push_back(b);
-  lb.push_back(a);
+  if (ia != na.overlays.end() && ia->second.size() >= cap) return;
+  const auto ib = nb.overlays.find(video);
+  if (ib != nb.overlays.end() && ib->second.size() >= cap) return;
+  na.overlays[video].push_back(b);
+  nb.overlays[video].push_back(a);
 }
 
 void NetTubeSystem::dropAllLinks(UserId holder, UserId gone) {
@@ -372,18 +378,101 @@ void NetTubeSystem::prefetchFromNeighbors(UserId user) {
 void NetTubeSystem::probeNeighbors(UserId user) {
   if (!ctx_.isOnline(user)) return;
   Node& node = nodes_[user.index()];
-  std::vector<UserId> dead;
-  for (const auto& [video, links] : node.overlays) {
-    for (const UserId n : links) {
+  // A live neighbor's probe response includes whether it still sits in this
+  // overlay, so besides dead neighbors the sweep drops links the far end no
+  // longer reciprocates (a lost goodbye, or a relogin that reset the peer's
+  // overlays while our side still remembered the old link).
+  for (auto it = node.overlays.begin(); it != node.overlays.end();) {
+    const VideoId video = it->first;
+    auto& links = it->second;
+    for (std::size_t i = 0; i < links.size();) {
       ctx_.metrics().countProbe();
+      const UserId n = links[i];
       ST_TRACE(ctx_.trace(), ctx_.sim().now(), kProbe, user.value(),
                n.value(), 0);
-      if (!ctx_.isOnline(n) && !contains(dead, n)) dead.push_back(n);
+      bool stale = !ctx_.isOnline(n);
+      if (!stale) {
+        const Node& peer = nodes_[n.index()];
+        const auto peerIt = peer.overlays.find(video);
+        stale = peerIt == peer.overlays.end() ||
+                !contains(peerIt->second, user);
+      }
+      if (stale) {
+        links.erase(links.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++i;
+    }
+    it = links.empty() ? node.overlays.erase(it) : std::next(it);
+  }
+}
+
+// --- invariant audit ----------------------------------------------------------
+
+void NetTubeSystem::auditInvariants(vod::AuditReport& report) const {
+  const std::size_t cap = ctx_.config().linksPerVideoOverlay;
+  // Bounded caches evict without telling the server (the directory drifts by
+  // design), so cache/directory agreement is only a contract when the cache
+  // is unbounded — the paper's setting.
+  const bool unboundedCache = ctx_.config().cacheCapacityVideos == 0;
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const UserId user{static_cast<std::uint32_t>(i)};
+    const Node& node = nodes_[i];
+    if (!ctx_.isOnline(user)) {
+      if (!node.overlays.empty()) {
+        report.violate("nt.offline_has_links", user.value(),
+                       static_cast<std::uint32_t>(node.overlays.size()));
+      }
+    } else {
+      for (const auto& [video, links] : node.overlays) {
+        if (links.empty()) {
+          report.violate("nt.empty_overlay", user.value(), video.value());
+        }
+        if (links.size() > cap) {
+          report.violate("nt.overlay_cap", user.value(), video.value());
+        }
+        for (std::size_t j = 0; j < links.size(); ++j) {
+          const UserId n = links[j];
+          if (n == user) {
+            report.violate("nt.self_link", user.value(), video.value());
+            continue;
+          }
+          if (std::find(links.begin(),
+                        links.begin() + static_cast<std::ptrdiff_t>(j), n) !=
+              links.begin() + static_cast<std::ptrdiff_t>(j)) {
+            report.violate("nt.dup_link", user.value(), n.value());
+            continue;
+          }
+          if (!ctx_.isOnline(n)) {
+            if (ctx_.offlineSince(n) < report.staleBefore()) {
+              report.violate("nt.stale_link", user.value(), n.value());
+            }
+            continue;
+          }
+          const Node& peer = nodes_[n.index()];
+          const auto peerIt = peer.overlays.find(video);
+          if (peerIt == peer.overlays.end() ||
+              !contains(peerIt->second, user)) {
+            report.violateTransient("nt.asym_link", user.value(), n.value());
+          }
+        }
+      }
+    }
+    for (const VideoId video : node.cache.videoList()) {
+      if (!ctx_.isReleased(video)) {
+        report.violate("nt.cache_unreleased", user.value(), video.value());
+      }
     }
   }
-  for (const UserId n : dead) {
-    dropAllLinks(user, n);
-  }
+
+  directory_.forEach([&](UserId member, VideoId video) {
+    if (!ctx_.isOnline(member)) {
+      report.violate("nt.directory_offline", member.value(), video.value());
+    } else if (unboundedCache && !nodes_[member.index()].cache.contains(video)) {
+      report.violate("nt.directory_uncached", member.value(), video.value());
+    }
+  });
 }
 
 }  // namespace st::baselines

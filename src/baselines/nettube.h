@@ -48,6 +48,11 @@ class NetTubeSystem final : public vod::VodSystem {
   }
   [[nodiscard]] const VideoDirectory& directory() const { return directory_; }
 
+  // Structural contract audit (see vod/audit.h): per-overlay link caps,
+  // symmetry, no empty overlay entries, repair-horizon staleness, directory
+  // and cache consistency.
+  void auditInvariants(vod::AuditReport& report) const override;
+
  private:
   struct Node {
     // video -> links held in that video's overlay.

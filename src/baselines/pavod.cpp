@@ -101,6 +101,23 @@ void PaVodSystem::startDownload(UserId user, VideoId video, UserId provider,
   transfers_.startWatch(std::move(request));
 }
 
+void PaVodSystem::auditInvariants(vod::AuditReport& report) const {
+  // The watcher directory is pruned synchronously on logout, playback end,
+  // and video switch, so a stale advertisement is a bug, not churn noise.
+  watchers_.forEach([&](UserId member, VideoId video) {
+    if (!ctx_.isOnline(member)) {
+      report.violate("pv.watcher_offline", member.value(), video.value());
+      return;
+    }
+    const Node& node = nodes_[member.index()];
+    if (node.current != video) {
+      report.violate("pv.watcher_wrong_video", member.value(), video.value());
+    } else if (!node.haveFull) {
+      report.violate("pv.watcher_incomplete", member.value(), video.value());
+    }
+  });
+}
+
 void PaVodSystem::onPlaybackComplete(UserId user, VideoId video) {
   Node& node = nodes_[user.index()];
   if (node.current != video) return;

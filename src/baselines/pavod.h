@@ -35,6 +35,11 @@ class PaVodSystem final : public vod::VodSystem {
 
   [[nodiscard]] const VideoDirectory& watchers() const { return watchers_; }
 
+  // Structural contract audit (see vod/audit.h): every advertised watcher
+  // must be online, still watching the advertised video, and hold a full
+  // copy — all maintained synchronously, so every rule is instant.
+  void auditInvariants(vod::AuditReport& report) const override;
+
  private:
   struct Node {
     VideoId current = VideoId::invalid();

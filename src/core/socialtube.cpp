@@ -54,22 +54,35 @@ void SocialTubeSystem::connectInner(UserId a, UserId b) {
   if (a == b) return;
   Node& na = nodes_[a.index()];
   Node& nb = nodes_[b.index()];
-  if (contains(na.inner, b)) return;
+  // One side may already hold the link — e.g. b kept a stale entry across
+  // a's abrupt departure and relogin. Heal the asymmetry instead of
+  // duplicating the entry on the side that still has it.
+  const bool aHas = contains(na.inner, b);
+  const bool bHas = contains(nb.inner, a);
+  if (aHas && bHas) return;
   const std::size_t hardCap = ctx_.config().innerLinks * 2;
-  if (na.inner.size() >= hardCap || nb.inner.size() >= hardCap) return;
-  na.inner.push_back(b);
-  nb.inner.push_back(a);
+  if ((!aHas && na.inner.size() >= hardCap) ||
+      (!bHas && nb.inner.size() >= hardCap)) {
+    return;
+  }
+  if (!aHas) na.inner.push_back(b);
+  if (!bHas) nb.inner.push_back(a);
 }
 
 void SocialTubeSystem::connectInter(UserId a, UserId b) {
   if (a == b) return;
   Node& na = nodes_[a.index()];
   Node& nb = nodes_[b.index()];
-  if (contains(na.inter, b)) return;
+  const bool aHas = contains(na.inter, b);
+  const bool bHas = contains(nb.inter, a);
+  if (aHas && bHas) return;
   const std::size_t hardCap = ctx_.config().interLinks * 2;
-  if (na.inter.size() >= hardCap || nb.inter.size() >= hardCap) return;
-  na.inter.push_back(b);
-  nb.inter.push_back(a);
+  if ((!aHas && na.inter.size() >= hardCap) ||
+      (!bHas && nb.inter.size() >= hardCap)) {
+    return;
+  }
+  if (!aHas) na.inter.push_back(b);
+  if (!bHas) nb.inter.push_back(a);
 }
 
 void SocialTubeSystem::dropLink(UserId from, UserId gone) {
@@ -273,7 +286,6 @@ void SocialTubeSystem::beginSearch(UserId user, VideoId video,
                                    bool prefetchHit,
                                    sim::SimTime requestTime) {
   if (!ctx_.isOnline(user)) return;
-  Node& node = nodes_[user.index()];
 
   // A previous search may still be pending (e.g. a prefetch-hit body search
   // outliving a very short playback); abandon it before starting anew.
@@ -286,6 +298,15 @@ void SocialTubeSystem::beginSearch(UserId user, VideoId video,
   search.requestTime = requestTime;
   const std::uint64_t queryId = searches_.insert(search);
   activeSearch_[user.index()] = queryId;
+  floodChannelPhase(queryId);
+}
+
+void SocialTubeSystem::floodChannelPhase(std::uint64_t queryId) {
+  Search& search = *searches_.find(queryId);
+  search.phase = SearchPhase::kChannel;
+  const UserId user = search.user;
+  const VideoId video = search.video;
+  const Node& node = nodes_[user.index()];
 
   if (node.inner.empty()) {
     enterCategoryPhase(queryId);
@@ -299,6 +320,22 @@ void SocialTubeSystem::beginSearch(UserId user, VideoId video,
   searches_.find(queryId)->deadline =
       ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
                           [this, queryId] { enterCategoryPhase(queryId); });
+}
+
+void SocialTubeSystem::retrySearch(std::uint64_t staleId) {
+  if (searches_.find(staleId) == nullptr) return;  // abandoned during backoff
+  Search search = searches_.take(staleId);
+  search.deadline = sim::EventHandle{};
+  const UserId user = search.user;
+  if (!ctx_.isOnline(user)) {  // defensive; logout abandons the search
+    activeSearch_[user.index()] = 0;
+    return;
+  }
+  // Re-insert under a fresh pool id: the dedup stamps of the previous
+  // attempt would otherwise suppress the whole re-flood.
+  const std::uint64_t queryId = searches_.insert(std::move(search));
+  activeSearch_[user.index()] = queryId;
+  floodChannelPhase(queryId);
 }
 
 void SocialTubeSystem::floodChannelQuery(UserId origin, UserId at,
@@ -368,8 +405,20 @@ void SocialTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
 }
 
 void SocialTubeSystem::fallbackToServer(std::uint64_t queryId) {
-  const Search* search = searches_.find(queryId);
+  Search* search = searches_.find(queryId);
   if (search == nullptr) return;
+  if (search->attempt < ctx_.config().searchRetries) {
+    // Both overlay phases came up dry — often a transient condition (lost
+    // floods, neighbors mid-crash). Retry with exponential backoff before
+    // burdening the server.
+    ctx_.metrics().countSearchRetry();
+    const sim::SimTime backoff = ctx_.config().searchRetryBackoff
+                                 << search->attempt;
+    ++search->attempt;
+    search->deadline = ctx_.sim().schedule(
+        backoff, [this, queryId] { retrySearch(queryId); });
+    return;
+  }
   ctx_.metrics().countServerFallback();
   ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback,
            search->user.value(), search->video.value(), 0);
@@ -526,16 +575,31 @@ void SocialTubeSystem::probeNeighbors(UserId user) {
   Node& node = nodes_[user.index()];
   bool lostAny = false;
 
-  const auto sweep = [&](std::vector<UserId>& links) {
+  // A live neighbor's probe response carries its current channel and a
+  // digest of its own neighbor list, so besides dead neighbors the sweep
+  // also drops links whose far end moved away or no longer reciprocates.
+  // Channel switches and graceful departures are announced by goodbye
+  // messages, but a lost goodbye must not leave a stale link beyond the
+  // next probe round — this sweep is the repair horizon.
+  const auto sweep = [&](std::vector<UserId>& links, bool innerList) {
     for (std::size_t i = 0; i < links.size();) {
       ctx_.metrics().countProbe();
       const UserId n = links[i];
       ST_TRACE(ctx_.trace(), ctx_.sim().now(), kProbe, user.value(),
                n.value(), 0);
-      // A live neighbor answers the probe; a dead one times out and the
-      // link is dropped. (Channel switches are announced by the switcher,
-      // so no staleness check is needed here.)
-      if (!ctx_.isOnline(n)) {
+      const Node& peer = nodes_[n.index()];
+      bool stale = !ctx_.isOnline(n);
+      if (!stale) {
+        // Inner neighbors must still reciprocate AND still belong to this
+        // channel's community (subscriber or current watcher) — the probe
+        // response carries both. A subscriber watching another channel is
+        // a legitimate community member, not a stale link.
+        stale = innerList ? (!contains(peer.inner, user) ||
+                             !(directory_.contains(n, node.channel) ||
+                               peer.channel == node.channel))
+                          : !contains(peer.inter, user);
+      }
+      if (stale) {
         dropLink(n, user);  // remove reciprocal entry if any
         links.erase(links.begin() + static_cast<std::ptrdiff_t>(i));
         lostAny = true;
@@ -544,8 +608,8 @@ void SocialTubeSystem::probeNeighbors(UserId user) {
       ++i;
     }
   };
-  sweep(node.inner);
-  sweep(node.inter);
+  sweep(node.inner, /*innerList=*/true);
+  sweep(node.inter, /*innerList=*/false);
 
   if (lostAny || node.inner.size() < ctx_.config().innerLinks ||
       node.inter.size() < ctx_.config().interLinks) {
@@ -604,6 +668,111 @@ void SocialTubeSystem::repairLinks(UserId user) {
       }
     });
   });
+}
+
+// --- invariant audit ----------------------------------------------------------
+
+void SocialTubeSystem::auditInvariants(vod::AuditReport& report) const {
+  // Hard caps: connectInner/connectInter admit a link while either side is
+  // below 2*N_l (resp. 2*N_h) — the soft budget N_l/N_h steers link
+  // *seeking*, the doubled cap is what the structure guarantees.
+  const std::size_t innerCap = ctx_.config().innerLinks * 2;
+  const std::size_t interCap = ctx_.config().interLinks * 2;
+
+  const auto auditList = [&](UserId user, const std::vector<UserId>& links,
+                             bool innerList) {
+    const char* tag = innerList ? "st.inner" : "st.inter";
+    if (links.size() > (innerList ? innerCap : interCap)) {
+      report.violate(std::string(tag) + "_cap", user.value(),
+                     static_cast<std::uint32_t>(links.size()));
+    }
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const UserId n = links[i];
+      if (n == user) {
+        report.violate(std::string(tag) + "_self", user.value(), n.value());
+        continue;
+      }
+      if (std::find(links.begin(), links.begin() +
+                                       static_cast<std::ptrdiff_t>(i),
+                    n) != links.begin() + static_cast<std::ptrdiff_t>(i)) {
+        report.violate(std::string(tag) + "_dup", user.value(), n.value());
+        continue;
+      }
+      const Node& peer = nodes_[n.index()];
+      if (!ctx_.isOnline(n)) {
+        // A dead neighbor is legitimate until the next probe round sweeps
+        // it; one that died before the repair horizon is a leak.
+        if (ctx_.offlineSince(n) < report.staleBefore()) {
+          report.violate(std::string(tag) + "_stale", user.value(),
+                         n.value());
+        }
+        continue;
+      }
+      // Live-peer checks mirror the hardened probe: a lost goodbye may
+      // leave these broken for up to one probe round, hence transient.
+      const bool reciprocal =
+          innerList ? contains(peer.inner, user) : contains(peer.inter, user);
+      if (!reciprocal) {
+        report.violateTransient(std::string(tag) + "_asym", user.value(),
+                                n.value());
+      }
+      // No community-membership check for inner links and no category check
+      // for inter links: both are formation-time properties (§IV-A), not
+      // steady-state ones. A neighbor's membership legitimately flaps as
+      // they watch across channels (temporary directory memberships come
+      // and go), so sampling it at audit instants would confirm healthy
+      // pairs; the probe sweep is what retires links whose far end left the
+      // community for good.
+    }
+  };
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const UserId user{static_cast<std::uint32_t>(i)};
+    const Node& node = nodes_[i];
+    if (ctx_.isOnline(user)) {
+      auditList(user, node.inner, /*innerList=*/true);
+      auditList(user, node.inter, /*innerList=*/false);
+      // The server must know the user under every subscribed channel while
+      // they are online (§IV-A registration), plus the channel currently
+      // being watched.
+      for (const ChannelId sub : ctx_.catalog().user(user).subscriptions) {
+        if (!directory_.contains(user, sub)) {
+          report.violate("st.directory_missing_sub", user.value(),
+                         sub.value());
+        }
+      }
+      if (node.channel.valid() && !directory_.contains(user, node.channel)) {
+        // The join round trip is in flight right after a channel switch.
+        report.violateTransient("st.directory_missing_current", user.value(),
+                                node.channel.value());
+      }
+    } else if (!node.inner.empty() || !node.inter.empty()) {
+      // onLogout clears both lists synchronously.
+      report.violate("st.offline_has_links", user.value(),
+                     static_cast<std::uint32_t>(node.inner.size() +
+                                                node.inter.size()));
+    }
+    // Cached videos (cache persists across sessions) must all be published.
+    for (const VideoId video : node.cache.videoList()) {
+      if (!ctx_.isReleased(video)) {
+        report.violate("st.cache_unreleased", user.value(), video.value());
+      }
+    }
+  }
+
+  // The directory must never retain a departed user: onLogout removes every
+  // registration synchronously, so this is instant, not transient.
+  directory_.forEach([&](UserId member, ChannelId channel) {
+    if (!ctx_.isOnline(member)) {
+      report.violate("st.directory_offline", member.value(), channel.value());
+    }
+  });
+}
+
+void SocialTubeSystem::injectLinkForTest(UserId user, UserId neighbor,
+                                         bool inner) {
+  Node& node = nodes_[user.index()];
+  (inner ? node.inner : node.inter).push_back(neighbor);
 }
 
 }  // namespace st::core

@@ -75,6 +75,17 @@ class SocialTubeSystem final : public vod::VodSystem {
     return directory_;
   }
 
+  // Structural contract audit (see vod/audit.h): link caps, symmetry,
+  // channel/category matching, repair-horizon staleness, directory and
+  // cache consistency.
+  void auditInvariants(vod::AuditReport& report) const override;
+
+  // Test-only corruption hook: appends `neighbor` to `user`'s inner or
+  // inter list WITHOUT the reciprocal entry, cap checks, or handshakes —
+  // exactly the damage a lost goodbye or a protocol bug would leave behind.
+  // The invariant checker and the hardened probe must detect/repair it.
+  void injectLinkForTest(UserId user, UserId neighbor, bool inner);
+
  private:
   struct Node {
     ChannelId channel = ChannelId::invalid();    // overlay currently joined
@@ -100,6 +111,7 @@ class SocialTubeSystem final : public vod::VodSystem {
     VideoId video;
     SearchPhase phase = SearchPhase::kChannel;
     bool prefetchHit = false;
+    std::uint32_t attempt = 0;  // overlay passes already exhausted
     sim::SimTime requestTime = 0;
     sim::EventHandle deadline;
   };
@@ -117,6 +129,12 @@ class SocialTubeSystem final : public vod::VodSystem {
   // --- search ------------------------------------------------------------------
   void beginSearch(UserId user, VideoId video, bool prefetchHit,
                    sim::SimTime requestTime);
+  // Floods the channel phase of an existing search record and arms its
+  // phase deadline (shared by the initial attempt and backoff retries).
+  void floodChannelPhase(std::uint64_t queryId);
+  // Backoff expired: re-run both overlay phases under a fresh query id
+  // (the old id's dedup stamps would suppress the re-flood).
+  void retrySearch(std::uint64_t staleId);
   void floodChannelQuery(UserId origin, UserId at, VideoId video,
                          std::uint64_t queryId, int ttl);
   void enterCategoryPhase(std::uint64_t queryId);

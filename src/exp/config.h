@@ -50,6 +50,22 @@ struct ExperimentConfig {
   };
   Observability obs;
 
+  // Scripted fault injection + invariant auditing (src/fault/). `spec`
+  // follows the fault/schedule.h grammar; "" or "none" injects nothing.
+  // With auditInterval > 0 an InvariantChecker walks the overlay's
+  // structural contract periodically; confirmed violations land in the
+  // "invariant.violations" counter and on the event trace. graceHorizon 0
+  // derives probeInterval + 1s (see fault/invariants.h).
+  struct Faults {
+    std::string spec;
+    sim::SimTime auditInterval = 0;
+    sim::SimTime graceHorizon = 0;
+    [[nodiscard]] bool any() const {
+      return (!spec.empty() && spec != "none") || auditInterval > 0;
+    }
+  };
+  Faults faults;
+
   // Table I defaults: 10,000 nodes, 10,121 videos, 545 channels, 25 sessions
   // of 10 videos, N_l = 5, N_h = 10, TTL = 2, 10-minute probes.
   static ExperimentConfig simulationDefaults(std::uint64_t seed = 1);

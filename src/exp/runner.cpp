@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <iterator>
 #include <optional>
 #include <utility>
@@ -9,6 +11,9 @@
 #include "baselines/nettube.h"
 #include "baselines/pavod.h"
 #include "core/socialtube.h"
+#include "fault/injector.h"
+#include "fault/invariants.h"
+#include "fault/schedule.h"
 #include "net/latency.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -116,6 +121,40 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   vod::VideoSelector selector(*catalog, config.vod, config.seed);
   selector.attachContext(ctx);
   vod::SessionDriver driver(ctx, *system, transfers, selector, config.seed);
+
+  // Scripted faults + invariant auditing, if configured. Both register
+  // their counters only when active, so fault-free runs keep the seed
+  // counter set (and CSV columns) unchanged.
+  std::optional<fault::Injector> injector;
+  std::optional<fault::InvariantChecker> checker;
+  if (config.faults.any()) {
+    fault::Schedule schedule;
+    std::string error;
+    if (!fault::Schedule::parse(config.faults.spec, &schedule, &error)) {
+      std::fprintf(stderr, "invalid --faults spec: %s\n", error.c_str());
+      std::abort();
+    }
+    injector.emplace(ctx, std::move(schedule), config.seed);
+    injector->setCrashHandler(
+        [&driver](UserId user) { driver.crashUser(user); });
+    injector->arm();
+    if (config.faults.auditInterval > 0) {
+      fault::CheckerOptions options;
+      options.auditInterval = config.faults.auditInterval;
+      options.graceHorizon = config.faults.graceHorizon;
+      // Confirmed violations are exceptional: besides the counter and the
+      // kViolation trace event, name the broken rule on stderr so a CLI
+      // run surfaces *what* broke, not just how often.
+      options.onViolation = [&simulator](const vod::AuditViolation& v) {
+        std::fprintf(stderr,
+                     "invariant violation t=%lld rule=%s actor=%u subject=%u\n",
+                     static_cast<long long>(simulator.now()), v.rule.c_str(),
+                     v.actor, v.subject);
+      };
+      checker.emplace(ctx, *system, transfers, std::move(options));
+      checker->arm();
+    }
+  }
 
   // Dynamic uploads, if configured: hold some videos back and publish them
   // during the run, feeding the channels' subscribers.

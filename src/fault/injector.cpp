@@ -1,0 +1,216 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace st::fault {
+
+Injector::Injector(vod::SystemContext& ctx, Schedule schedule,
+                   std::uint64_t seed)
+    : ctx_(ctx),
+      schedule_(std::move(schedule)),
+      rng_(Rng::forPurpose(seed, "faults")),
+      blackholed_(ctx.catalog().userCount(), 0),
+      isolated_(ctx.catalog().userCount(), 0),
+      crashes_(&ctx.metrics().registry().counter("fault.crashes")),
+      events_(&ctx.metrics().registry().counter("fault.events")) {}
+
+Injector::~Injector() {
+  if (armed_) ctx_.network().setFaultHook(nullptr);
+}
+
+void Injector::arm() {
+  assert(!armed_ && "arm() must be called once");
+  if (schedule_.empty()) return;
+  armed_ = true;
+  ctx_.network().setFaultHook(this);
+  for (const FaultEvent& event : schedule_.events()) {
+    ctx_.sim().scheduleAt(event.at, [this, &event] { activate(event); });
+    if (event.kind != FaultKind::kCrash) {
+      ctx_.sim().scheduleAt(event.at + event.duration,
+                            [this, &event] { deactivate(event); });
+    }
+  }
+}
+
+std::vector<UserId> Injector::partitionMembers(const FaultEvent& event) const {
+  // A user belongs to the partitioned cluster when their primary interest
+  // is the isolated category (first listed interest; users with none fall
+  // back to user-index modulo category count, matching miniature catalogs).
+  std::vector<UserId> members;
+  const std::size_t categories = ctx_.catalog().categoryCount();
+  if (categories == 0) return members;
+  const std::size_t target = event.category.index() % categories;
+  for (std::size_t i = 0; i < ctx_.catalog().userCount(); ++i) {
+    const UserId user{static_cast<std::uint32_t>(i)};
+    const auto& interests = ctx_.catalog().user(user).interests;
+    const std::size_t primary =
+        interests.empty() ? i % categories : interests.front().index();
+    if (primary == target) members.push_back(user);
+  }
+  return members;
+}
+
+void Injector::activate(const FaultEvent& event) {
+  events_->inc();
+  std::uint64_t affected = 0;
+  std::uint32_t subject = 0;
+
+  switch (event.kind) {
+    case FaultKind::kCrash: {
+      // Ungraceful departure wave: a random fraction of the *online*
+      // population drops with no goodbyes, drawn from the injector's own
+      // RNG stream (protocol streams stay untouched).
+      std::vector<UserId> online;
+      for (std::size_t i = 0; i < ctx_.catalog().userCount(); ++i) {
+        const UserId user{static_cast<std::uint32_t>(i)};
+        if (ctx_.isOnline(user)) online.push_back(user);
+      }
+      rng_.shuffle(online);
+      const auto count = static_cast<std::size_t>(
+          event.fraction * static_cast<double>(online.size()));
+      for (std::size_t i = 0; i < count; ++i) {
+        crashes_->inc();
+        if (crashHandler_) crashHandler_(online[i]);
+      }
+      affected = count;
+      break;
+    }
+    case FaultKind::kBlackhole: {
+      std::vector<UserId> victims;
+      if (event.user.valid() && ctx_.catalog().userCount() > 0) {
+        // Explicit target; out-of-range ids wrap so every spec is total.
+        victims.push_back(UserId{static_cast<std::uint32_t>(
+            event.user.index() % ctx_.catalog().userCount())});
+      } else {
+        std::vector<UserId> all;
+        for (std::size_t i = 0; i < ctx_.catalog().userCount(); ++i) {
+          all.push_back(UserId{static_cast<std::uint32_t>(i)});
+        }
+        rng_.shuffle(all);
+        const auto count = static_cast<std::size_t>(
+            event.fraction * static_cast<double>(all.size()));
+        victims.assign(all.begin(),
+                       all.begin() + static_cast<std::ptrdiff_t>(count));
+      }
+      for (const UserId victim : victims) {
+        if (blackholed_[victim.index()]++ == 0) ++blackholedUsers_;
+      }
+      affected = victims.size();
+      subject = victims.empty() ? 0 : victims.front().value();
+      blackholeVictims_.emplace_back(&event, std::move(victims));
+      break;
+    }
+    case FaultKind::kLoss: {
+      activeLoss_.push_back(&event);
+      affected = activeLoss_.size();
+      break;
+    }
+    case FaultKind::kPartition: {
+      const std::vector<UserId> members = partitionMembers(event);
+      for (const UserId member : members) {
+        if (isolated_[member.index()]++ == 0) ++isolatedUsers_;
+      }
+      if (event.cutServer) ++serverCuts_;
+      affected = members.size();
+      subject = event.category.value();
+      break;
+    }
+    case FaultKind::kServerOutage: {
+      ++serverOutages_;
+      affected = 1;
+      break;
+    }
+  }
+
+  ST_TRACE(ctx_.trace(), ctx_.sim().now(), kFault,
+           static_cast<std::uint32_t>(event.kind), subject, affected);
+}
+
+void Injector::deactivate(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      break;  // instantaneous, never scheduled for deactivation
+    case FaultKind::kBlackhole: {
+      const auto it = std::find_if(
+          blackholeVictims_.begin(), blackholeVictims_.end(),
+          [&event](const auto& entry) { return entry.first == &event; });
+      assert(it != blackholeVictims_.end());
+      for (const UserId victim : it->second) {
+        if (--blackholed_[victim.index()] == 0) --blackholedUsers_;
+      }
+      blackholeVictims_.erase(it);
+      break;
+    }
+    case FaultKind::kLoss: {
+      const auto it =
+          std::find(activeLoss_.begin(), activeLoss_.end(), &event);
+      assert(it != activeLoss_.end());
+      activeLoss_.erase(it);
+      break;
+    }
+    case FaultKind::kPartition: {
+      for (const UserId member : partitionMembers(event)) {
+        if (--isolated_[member.index()] == 0) --isolatedUsers_;
+      }
+      if (event.cutServer) --serverCuts_;
+      break;
+    }
+    case FaultKind::kServerOutage: {
+      --serverOutages_;
+      break;
+    }
+  }
+}
+
+bool Injector::isolatedUser(EndpointId endpoint) const {
+  const std::size_t index = endpoint.index();
+  return index < isolated_.size() && isolated_[index] > 0;
+}
+
+net::MessageFaultHook::Decision Injector::onMessage(EndpointId from,
+                                                    EndpointId to) {
+  Decision decision;
+  const EndpointId server = ctx_.serverEndpoint();
+  const bool serverMessage = from == server || to == server;
+
+  if (serverOutages_ > 0 && serverMessage) {
+    decision.drop = true;
+    return decision;
+  }
+  if (blackholedUsers_ > 0) {
+    const auto holed = [this](EndpointId e) {
+      return e.index() < blackholed_.size() && blackholed_[e.index()] > 0;
+    };
+    if (holed(from) || holed(to)) {
+      decision.drop = true;
+      return decision;
+    }
+  }
+  if (isolatedUsers_ > 0) {
+    if (serverMessage) {
+      // The server is reachable from the island only when no active
+      // partition severs it.
+      const EndpointId peer = from == server ? to : from;
+      if (serverCuts_ > 0 && isolatedUser(peer)) {
+        decision.drop = true;
+        return decision;
+      }
+    } else if (isolatedUser(from) != isolatedUser(to)) {
+      decision.drop = true;
+      return decision;
+    }
+  }
+  // Loss windows draw from the injector RNG only while active, so a run
+  // whose windows never overlap a message keeps every stream untouched.
+  for (const FaultEvent* window : activeLoss_) {
+    if (rng_.bernoulli(window->lossRate)) {
+      decision.drop = true;
+      return decision;
+    }
+    decision.extraDelay += window->extraDelay;
+  }
+  return decision;
+}
+
+}  // namespace st::fault

@@ -1,0 +1,99 @@
+// Deterministic fault injection driven by a fault::Schedule.
+//
+// The injector turns scripted fault events into simulator events and a
+// net::MessageFaultHook, so faults are part of the same deterministic event
+// stream as the protocols: the same seed and spec reproduce the same drops,
+// crashes, and windows bitwise, across thread counts (runs are parallel
+// across seeds, each run single-threaded).
+//
+// Mechanics per kind:
+//  * crash     — at t, a fraction of the online population departs
+//    ungracefully (no goodbyes), via the crash handler (SessionDriver::
+//    crashUser). Crash victims are drawn from the injector's own RNG stream.
+//  * blackhole — window [t, t+dur): every message to or from the chosen
+//    users (one explicit `user=`, or a random `frac` of the population)
+//    vanishes.
+//  * loss      — window [t, t+dur): every message is dropped with `rate`
+//    probability and otherwise delayed by `delay_ms`, layered on top of the
+//    run's LatencyModel. Overlapping windows compound.
+//  * partition — window [t, t+dur): users whose primary interest is `cat`
+//    are cut off from everyone else (overlapping partitions merge into one
+//    island); with server=1 their server path is cut too.
+//  * outage    — window [t, t+dur): all server traffic vanishes.
+//
+// An empty schedule arms nothing at all — no hook, no simulator events, no
+// RNG draws — so a "none" run is bitwise-identical to a run without an
+// injector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/schedule.h"
+#include "net/network.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+#include "vod/context.h"
+
+namespace st::fault {
+
+class Injector final : public net::MessageFaultHook {
+ public:
+  Injector(vod::SystemContext& ctx, Schedule schedule, std::uint64_t seed);
+  ~Injector() override;
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  // Who to call for each crash victim (normally SessionDriver::crashUser).
+  // Crash events with no handler still count victims but touch nobody.
+  void setCrashHandler(std::function<void(UserId)> handler) {
+    crashHandler_ = std::move(handler);
+  }
+
+  // Installs the message hook and schedules every event. Call once, before
+  // Simulator::run(). A no-event schedule installs nothing.
+  void arm();
+
+  // net::MessageFaultHook: consulted for every message while armed.
+  Decision onMessage(EndpointId from, EndpointId to) override;
+
+  [[nodiscard]] std::uint64_t crashesInjected() const {
+    return crashes_->value();
+  }
+  [[nodiscard]] std::uint64_t activations() const { return events_->value(); }
+
+ private:
+  void activate(const FaultEvent& event);
+  void deactivate(const FaultEvent& event);
+  [[nodiscard]] bool isolatedUser(EndpointId endpoint) const;
+  // The user set a blackhole/partition event affects (resolved lazily so
+  // activation and deactivation agree without storing per-event state).
+  [[nodiscard]] std::vector<UserId> partitionMembers(
+      const FaultEvent& event) const;
+
+  vod::SystemContext& ctx_;
+  Schedule schedule_;
+  Rng rng_;
+  std::function<void(UserId)> crashHandler_;
+  bool armed_ = false;
+
+  // Active-window state. Counts (not flags) so overlapping windows nest.
+  std::vector<std::uint16_t> blackholed_;  // per user
+  std::uint32_t blackholedUsers_ = 0;      // users with count > 0
+  std::vector<std::uint16_t> isolated_;    // per user
+  std::uint32_t isolatedUsers_ = 0;
+  std::uint32_t serverCuts_ = 0;    // partitions with server=1
+  std::uint32_t serverOutages_ = 0;
+  std::vector<const FaultEvent*> activeLoss_;
+  // Blackhole victim sets are drawn at activation and must be released
+  // identically at deactivation; keyed by event address (events live in
+  // schedule_ for the injector's lifetime).
+  std::vector<std::pair<const FaultEvent*, std::vector<UserId>>>
+      blackholeVictims_;
+
+  obs::Counter* crashes_;  // "fault.crashes"
+  obs::Counter* events_;   // "fault.events"
+};
+
+}  // namespace st::fault

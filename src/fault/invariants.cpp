@@ -1,0 +1,60 @@
+#include "fault/invariants.h"
+
+#include <utility>
+
+namespace st::fault {
+
+InvariantChecker::InvariantChecker(vod::SystemContext& ctx,
+                                   vod::VodSystem& system,
+                                   vod::TransferManager& transfers,
+                                   CheckerOptions options)
+    : ctx_(ctx),
+      system_(system),
+      transfers_(transfers),
+      options_(std::move(options)),
+      horizon_(options_.graceHorizon > 0
+                   ? options_.graceHorizon
+                   : ctx.config().probeInterval + sim::kSecond),
+      audits_(&ctx.metrics().registry().counter("invariant.audits")),
+      violations_(&ctx.metrics().registry().counter("invariant.violations")) {}
+
+void InvariantChecker::arm() {
+  if (options_.auditInterval <= 0) return;
+  ctx_.sim().schedulePeriodic(options_.auditInterval,
+                              [this] { auditNow(); });
+}
+
+std::vector<vod::AuditViolation> InvariantChecker::auditNow() {
+  audits_->inc();
+  const sim::SimTime now = ctx_.sim().now();
+  vod::AuditReport report(now, now - horizon_);
+  system_.auditInvariants(report);
+  transfers_.auditInvariants(report);
+
+  std::vector<vod::AuditViolation> confirmed;
+  std::map<SuspectKey, sim::SimTime> stillSuspect;
+  for (const vod::AuditViolation& violation : report.violations()) {
+    if (!violation.transient) {
+      confirmed.push_back(violation);
+      continue;
+    }
+    SuspectKey key{violation.rule, violation.actor, violation.subject};
+    const auto it = suspects_.find(key);
+    const sim::SimTime firstSeen = it != suspects_.end() ? it->second : now;
+    stillSuspect.emplace(std::move(key), firstSeen);
+    if (now - firstSeen >= horizon_) confirmed.push_back(violation);
+  }
+  // Suspects absent from this audit healed; forget them so a later
+  // recurrence restarts its persistence clock.
+  suspects_ = std::move(stillSuspect);
+
+  for (const vod::AuditViolation& violation : confirmed) {
+    violations_->inc();
+    ST_TRACE(ctx_.trace(), now, kViolation, violation.actor,
+             violation.subject, 0);
+    if (options_.onViolation) options_.onViolation(violation);
+  }
+  return confirmed;
+}
+
+}  // namespace st::fault

@@ -1,0 +1,80 @@
+// Periodic + on-demand structural invariant checker.
+//
+// Drives the per-system auditInvariants() walks (vod/audit.h) and decides
+// which reported violations are real:
+//  * instant violations (cap overflows, offline owners, links stale past
+//    the repair horizon) confirm immediately;
+//  * transient violations (asymmetric links, channel mismatches) only
+//    confirm when the same (rule, actor, subject) triple persists longer
+//    than the grace horizon — in-flight goodbyes and not-yet-probed links
+//    legitimately look broken for up to one probe round, and audits may run
+//    far more often than probes.
+//
+// Confirmed violations are counted ("invariant.violations"), emitted on the
+// event trace (kViolation), and handed to an optional callback so tests can
+// fail fast with context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/registry.h"
+#include "vod/audit.h"
+#include "vod/context.h"
+#include "vod/system.h"
+#include "vod/transfer.h"
+
+namespace st::fault {
+
+struct CheckerOptions {
+  // Audit period for arm(); 0 = on-demand only (auditNow()).
+  sim::SimTime auditInterval = 0;
+  // Persistence horizon for transient violations and the stale-link cutoff.
+  // 0 derives probeInterval + 1s: anything a probe round repairs must be
+  // gone within one interval plus message slack.
+  sim::SimTime graceHorizon = 0;
+  // Invoked for every confirmed violation (tests fail fast here).
+  std::function<void(const vod::AuditViolation&)> onViolation;
+};
+
+class InvariantChecker {
+ public:
+  InvariantChecker(vod::SystemContext& ctx, vod::VodSystem& system,
+                   vod::TransferManager& transfers, CheckerOptions options);
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  // Schedules the periodic audit (no-op when auditInterval == 0). Call once,
+  // before Simulator::run().
+  void arm();
+
+  // Runs one audit immediately; returns the *confirmed* violations.
+  std::vector<vod::AuditViolation> auditNow();
+
+  [[nodiscard]] std::uint64_t auditsRun() const { return audits_->value(); }
+  [[nodiscard]] std::uint64_t violationsConfirmed() const {
+    return violations_->value();
+  }
+  [[nodiscard]] sim::SimTime graceHorizon() const { return horizon_; }
+
+ private:
+  using SuspectKey = std::tuple<std::string, std::uint32_t, std::uint32_t>;
+
+  vod::SystemContext& ctx_;
+  vod::VodSystem& system_;
+  vod::TransferManager& transfers_;
+  CheckerOptions options_;
+  sim::SimTime horizon_;
+  // Transient suspects: first sim-time each (rule, actor, subject) was seen
+  // violated; entries vanish the moment an audit no longer reports them.
+  // Ordered map: audit is off the hot path and iteration stays deterministic.
+  std::map<SuspectKey, sim::SimTime> suspects_;
+  obs::Counter* audits_;      // "invariant.audits"
+  obs::Counter* violations_;  // "invariant.violations"
+};
+
+}  // namespace st::fault

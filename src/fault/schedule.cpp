@@ -1,0 +1,209 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace st::fault {
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kBlackhole: return "blackhole";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kServerOutage: return "outage";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// strtod over a NUL-terminated copy: string_views into user input are not
+// NUL-terminated, and partial parses ("1.5x") must be rejected.
+bool parseDouble(std::string_view token, double* out) {
+  const std::string copy(token);
+  if (copy.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parseUint(std::string_view token, std::uint64_t* out) {
+  const std::string copy(token);
+  if (copy.empty() || copy.front() == '-' || copy.front() == '+') return false;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(copy.c_str(), &end, 10);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool parseKind(std::string_view token, FaultKind* out) {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    if (token == faultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseEvent(std::string_view text, FaultEvent* out, std::string* error) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    fail(error, "fault event missing ':' after kind: '" + std::string(text) +
+                    "'");
+    return false;
+  }
+  FaultEvent event;
+  const std::string_view kindToken = trim(text.substr(0, colon));
+  if (!parseKind(kindToken, &event.kind)) {
+    fail(error, "unknown fault kind '" + std::string(kindToken) + "'");
+    return false;
+  }
+
+  bool haveTime = false;
+  std::string_view rest = text.substr(colon + 1);
+  while (true) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view field = trim(rest.substr(0, comma));
+    if (field.empty()) {
+      fail(error, "empty field in fault event '" + std::string(text) + "'");
+      return false;
+    }
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      fail(error, "fault field missing '=': '" + std::string(field) + "'");
+      return false;
+    }
+    const std::string_view key = trim(field.substr(0, eq));
+    const std::string_view value = trim(field.substr(eq + 1));
+    double number = 0.0;
+    std::uint64_t integer = 0;
+
+    if (key == "t") {
+      if (!parseDouble(value, &number) || number < 0.0) {
+        fail(error, "bad fault time '" + std::string(value) + "'");
+        return false;
+      }
+      event.at = sim::fromSeconds(number);
+      haveTime = true;
+    } else if (key == "dur") {
+      if (!parseDouble(value, &number) || number <= 0.0) {
+        fail(error, "bad fault duration '" + std::string(value) + "'");
+        return false;
+      }
+      event.duration = sim::fromSeconds(number);
+    } else if (key == "frac") {
+      if (!parseDouble(value, &number) || number < 0.0 || number > 1.0) {
+        fail(error, "fault fraction must be in [0,1], got '" +
+                        std::string(value) + "'");
+        return false;
+      }
+      event.fraction = number;
+    } else if (key == "user") {
+      if (!parseUint(value, &integer) ||
+          integer >= UserId::kInvalidValue) {
+        fail(error, "bad user id '" + std::string(value) + "'");
+        return false;
+      }
+      event.user = UserId{static_cast<std::uint32_t>(integer)};
+    } else if (key == "cat") {
+      if (!parseUint(value, &integer) ||
+          integer >= CategoryId::kInvalidValue) {
+        fail(error, "bad category id '" + std::string(value) + "'");
+        return false;
+      }
+      event.category = CategoryId{static_cast<std::uint32_t>(integer)};
+    } else if (key == "rate") {
+      if (!parseDouble(value, &number) || number < 0.0 || number > 1.0) {
+        fail(error, "loss rate must be in [0,1], got '" + std::string(value) +
+                        "'");
+        return false;
+      }
+      event.lossRate = number;
+    } else if (key == "delay_ms") {
+      if (!parseDouble(value, &number) || number < 0.0) {
+        fail(error, "bad delay_ms '" + std::string(value) + "'");
+        return false;
+      }
+      event.extraDelay = sim::fromMillis(number);
+    } else if (key == "server") {
+      if (!parseUint(value, &integer) || integer > 1) {
+        fail(error, "'server' must be 0 or 1, got '" + std::string(value) +
+                        "'");
+        return false;
+      }
+      event.cutServer = integer != 0;
+    } else {
+      fail(error, "unknown fault field '" + std::string(key) + "'");
+      return false;
+    }
+
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+
+  if (!haveTime) {
+    fail(error, "fault event missing required 't=' field: '" +
+                    std::string(text) + "'");
+    return false;
+  }
+  if (event.kind == FaultKind::kPartition && !event.category.valid()) {
+    fail(error, "partition event requires 'cat=': '" + std::string(text) +
+                    "'");
+    return false;
+  }
+  *out = event;
+  return true;
+}
+
+}  // namespace
+
+bool Schedule::parse(std::string_view spec, Schedule* out,
+                     std::string* error) {
+  out->events_.clear();
+  std::string_view rest = trim(spec);
+  if (rest.empty() || rest == "none") return true;
+
+  std::vector<FaultEvent> events;
+  while (true) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view text = trim(rest.substr(0, semi));
+    if (text.empty()) {
+      fail(error, "empty fault event in spec");
+      return false;
+    }
+    FaultEvent event;
+    if (!parseEvent(text, &event, error)) return false;
+    events.push_back(event);
+    if (semi == std::string_view::npos) break;
+    rest = rest.substr(semi + 1);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  out->events_ = std::move(events);
+  return true;
+}
+
+}  // namespace st::fault

@@ -1,0 +1,83 @@
+// Scripted fault schedules: the parsed form of a `--faults=` spec.
+//
+// A schedule is a list of timed fault events layered over an otherwise
+// normal run — crash bursts (ungraceful logout waves), per-endpoint message
+// blackholes, transient loss/latency-spike windows, interest-cluster
+// partitions, and origin-server outages. Parsing is pure (no simulator
+// state), so specs can be validated from the CLI and fuzzed; the
+// fault::Injector turns an accepted schedule into simulator events.
+//
+// Grammar (whitespace around tokens is ignored):
+//
+//   spec     := "" | "none" | event (";" event)*
+//   event    := kind ":" field ("," field)*
+//   kind     := "crash" | "blackhole" | "loss" | "partition" | "outage"
+//   field    := key "=" value
+//
+// Keys (t is required for every event; times in seconds):
+//   t        event time                       (all kinds)
+//   dur      window length, default 600       (all kinds except crash)
+//   frac     affected fraction in [0,1]       (crash, blackhole; default 0.1)
+//   user     blackhole one specific user id   (blackhole)
+//   cat      interest category to isolate     (partition; required)
+//   rate     drop probability in [0,1]        (loss; default 0.1)
+//   delay_ms extra one-way latency in ms      (loss; default 0)
+//   server   1 = partition also cuts the      (partition; default 0)
+//            server path for isolated users
+//
+// Example:
+//   crash:t=3600,frac=0.2;loss:t=4000,dur=300,rate=0.3,delay_ms=50
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/strong_id.h"
+
+namespace st::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,      // instantaneous ungraceful-departure wave
+  kBlackhole,      // window: all messages to/from chosen users vanish
+  kLoss,           // window: extra random loss + latency spike, all messages
+  kPartition,      // window: one interest cluster is cut off from the rest
+  kServerOutage,   // window: the origin server answers nothing
+};
+inline constexpr std::size_t kFaultKindCount = 5;
+
+// Stable lowercase name, matching the spec grammar ("crash", "outage", ...).
+[[nodiscard]] const char* faultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  sim::SimTime at = 0;
+  sim::SimTime duration = 600 * sim::kSecond;
+  double fraction = 0.1;                        // crash / blackhole share
+  UserId user = UserId::invalid();              // blackhole: specific user
+  CategoryId category = CategoryId::invalid();  // partition: isolated cluster
+  double lossRate = 0.1;                        // loss: drop probability
+  sim::SimTime extraDelay = 0;                  // loss: latency spike
+  bool cutServer = false;                       // partition: sever server too
+};
+
+class Schedule {
+ public:
+  // Parses `spec` into `out` (replacing its contents). Returns false and
+  // fills `error` (if non-null) on malformed input; `out` is left empty
+  // then. Accepted schedules keep their events stably sorted by time.
+  static bool parse(std::string_view spec, Schedule* out, std::string* error);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace st::fault

@@ -17,11 +17,21 @@ Network::Network(sim::Simulator& simulator,
 bool Network::sendMessage(EndpointId from, EndpointId to,
                           DeliveryCallback onDeliver) {
   ++messagesSent_;
+  sim::SimTime extraDelay = 0;
+  if (faultHook_ != nullptr) {
+    const MessageFaultHook::Decision decision =
+        faultHook_->onMessage(from, to);
+    if (decision.drop) {
+      ++messagesFaulted_;
+      return false;
+    }
+    extraDelay = decision.extraDelay;
+  }
   if (latency_->lost(from, to, rng_)) {
     ++messagesLost_;
     return false;
   }
-  const sim::SimTime delay = latency_->delay(from, to, rng_);
+  const sim::SimTime delay = latency_->delay(from, to, rng_) + extraDelay;
   sim_.schedule(delay, std::move(onDeliver));
   return true;
 }

@@ -15,6 +15,23 @@
 
 namespace st::net {
 
+// Interception point for scripted control-plane faults (blackholes,
+// partitions, loss/latency windows, server outages). The injector installed
+// via Network::setFaultHook sees every message before the latency model
+// does; it may drop it outright or stretch its delivery delay. Dropped
+// messages are counted separately from model loss (messages_faulted), so a
+// fault run's degradation is attributable in the counter snapshot.
+class MessageFaultHook {
+ public:
+  struct Decision {
+    bool drop = false;
+    sim::SimTime extraDelay = 0;
+  };
+
+  virtual ~MessageFaultHook() = default;
+  virtual Decision onMessage(EndpointId from, EndpointId to) = 0;
+};
+
 class Network {
  public:
   // Small-buffer-optimized (sim/callback.h): protocol message closures ride
@@ -40,18 +57,28 @@ class Network {
   // One-way delay sample without sending (for timeout sizing in protocols).
   [[nodiscard]] sim::SimTime sampleDelay(EndpointId from, EndpointId to);
 
+  // Installs (or clears, with nullptr) the scripted-fault hook. The hook is
+  // consulted on every sendMessage before the latency model; it must outlive
+  // its installation (the fault::Injector detaches itself on destruction).
+  void setFaultHook(MessageFaultHook* hook) { faultHook_ = hook; }
+  [[nodiscard]] MessageFaultHook* faultHook() const { return faultHook_; }
+
   // --- data plane ----------------------------------------------------------
   FlowNetwork& flows() { return flows_; }
   const FlowNetwork& flows() const { return flows_; }
 
   [[nodiscard]] std::uint64_t messagesSent() const { return messagesSent_; }
   [[nodiscard]] std::uint64_t messagesLost() const { return messagesLost_; }
+  [[nodiscard]] std::uint64_t messagesFaulted() const {
+    return messagesFaulted_;
+  }
 
   // Exposes the control-plane tallies as pull gauges. The registry must not
   // outlive this network.
   void registerInto(obs::Registry& registry) {
     registry.addGauge("messages_sent", [this] { return messagesSent_; });
     registry.addGauge("messages_lost", [this] { return messagesLost_; });
+    registry.addGauge("messages_faulted", [this] { return messagesFaulted_; });
   }
 
  private:
@@ -59,8 +86,10 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   FlowNetwork flows_;
   Rng rng_;
+  MessageFaultHook* faultHook_ = nullptr;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t messagesLost_ = 0;
+  std::uint64_t messagesFaulted_ = 0;
 };
 
 }  // namespace st::net

@@ -16,6 +16,8 @@ const char* eventKindName(EventKind kind) {
     case EventKind::kPrefetchHit: return "prefetch_hit";
     case EventKind::kChunk: return "chunk";
     case EventKind::kRebuffer: return "rebuffer";
+    case EventKind::kFault: return "fault";
+    case EventKind::kViolation: return "violation";
   }
   return "?";
 }

@@ -41,8 +41,10 @@ enum class EventKind : std::uint8_t {
   kPrefetchHit,
   kChunk,
   kRebuffer,
+  kFault,      // scripted fault activation (actor = fault kind)
+  kViolation,  // confirmed invariant-audit violation
 };
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 11;
 
 // Stable lowercase name used in JSONL output ("server_fallback", ...).
 [[nodiscard]] const char* eventKindName(EventKind kind);

@@ -1,0 +1,66 @@
+// Structural-invariant audit report shared by every VoD system.
+//
+// The paper's overlay has a machine-checkable contract (§IV-A): bounded
+// inner/inter link budgets, symmetric links, inter-links only into sibling
+// channels of the same interest category, and no links to nodes that
+// departed longer ago than one probe round can tolerate. Each system's
+// auditInvariants() walks its own state and appends violations here; the
+// fault::InvariantChecker drives the walk periodically and decides which
+// violations are real.
+//
+// Two severities:
+//  * violate()          — unconditionally wrong the instant it is observed
+//    (an oversized link set, a watch owned by an offline user).
+//  * violateTransient() — wrong only if it *persists*: in-flight goodbye
+//    messages and not-yet-probed stale links legitimately look broken for a
+//    bounded window. The checker confirms these only when the same
+//    (rule, actor, subject) triple stays violated for longer than the
+//    repair horizon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace st::vod {
+
+struct AuditViolation {
+  std::string rule;           // stable identifier, e.g. "inner_cap"
+  std::uint32_t actor = 0;    // the node whose state is wrong
+  std::uint32_t subject = 0;  // counterpart: neighbor, video, ... (rule-specific)
+  bool transient = false;     // confirm-on-persistence (see header comment)
+};
+
+class AuditReport {
+ public:
+  AuditReport(sim::SimTime now, sim::SimTime staleBefore)
+      : now_(now), staleBefore_(staleBefore) {}
+
+  [[nodiscard]] sim::SimTime now() const { return now_; }
+  // Links to nodes offline since before this instant are past the repair
+  // horizon and must have been probed out already.
+  [[nodiscard]] sim::SimTime staleBefore() const { return staleBefore_; }
+
+  void violate(std::string rule, std::uint32_t actor, std::uint32_t subject) {
+    violations_.push_back({std::move(rule), actor, subject, false});
+  }
+  void violateTransient(std::string rule, std::uint32_t actor,
+                        std::uint32_t subject) {
+    violations_.push_back({std::move(rule), actor, subject, true});
+  }
+
+  [[nodiscard]] const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+ private:
+  sim::SimTime now_;
+  sim::SimTime staleBefore_;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace st::vod

@@ -82,6 +82,11 @@ struct VodConfig {
   // --- protocol timers -------------------------------------------------------
   // Deadline for each search phase (channel overlay, then category overlay).
   sim::SimTime searchPhaseTimeout = 800 * sim::kMillisecond;
+  // Bounded retry of an exhausted overlay search before the server fallback
+  // (hardening for lossy networks / fault injection; 0 = the paper's
+  // single-attempt search). Each retry waits searchRetryBackoff * 2^attempt.
+  std::size_t searchRetries = 0;
+  sim::SimTime searchRetryBackoff = 400 * sim::kMillisecond;
   // Give up on a first chunk after this long (user abandons; counted).
   sim::SimTime firstChunkTimeout = 60 * sim::kSecond;
   // Background download of the video body is abandoned after this long.

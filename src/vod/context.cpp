@@ -18,6 +18,7 @@ SystemContext::SystemContext(sim::Simulator& simulator, net::Network& network,
       rng_(Rng::forPurpose(seed, "protocol")),
       serverEndpoint_{static_cast<std::uint32_t>(catalog.userCount())},
       online_(catalog.userCount(), 0),
+      offlineSince_(catalog.userCount(), 0),
       released_(catalog.videoCount(), 1) {
   // Register endpoints: one per user plus the origin server.
   for (std::size_t i = 0; i < catalog.userCount(); ++i) {

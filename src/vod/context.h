@@ -54,6 +54,13 @@ class SystemContext {
   }
   void setOnline(UserId user, bool online) {
     online_[user.index()] = online ? 1 : 0;
+    if (!online) offlineSince_[user.index()] = sim_.now();
+  }
+  // When the user last went offline (0 for never-online users). Only
+  // meaningful while the user is offline; the invariant checker compares it
+  // against the repair horizon to age stale links.
+  [[nodiscard]] sim::SimTime offlineSince(UserId user) const {
+    return offlineSince_[user.index()];
   }
   [[nodiscard]] std::size_t onlineCount() const;
 
@@ -90,6 +97,7 @@ class SystemContext {
   Rng rng_;
   EndpointId serverEndpoint_;
   std::vector<char> online_;
+  std::vector<sim::SimTime> offlineSince_;
   std::vector<char> released_;
 };
 

@@ -80,6 +80,17 @@ class MembershipDirectory {
   // paper compares between SocialTube and NetTube.
   [[nodiscard]] std::size_t totalRegistrations() const { return total_; }
 
+  // Visits every (user, key) registration in user-index order (registration
+  // order within a user). Audit-only traversal; not on any protocol path.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < byUser_.size(); ++i) {
+      for (const Ref& ref : byUser_[i]) {
+        fn(UserId{static_cast<std::uint32_t>(i)}, ref.key);
+      }
+    }
+  }
+
   // Up to `count` distinct random members of `key`, excluding `exclude`.
   [[nodiscard]] std::vector<UserId> randomMembers(Key key, std::size_t count,
                                                   UserId exclude,

@@ -19,7 +19,9 @@ Metrics::Metrics(std::size_t userCount, std::size_t videosPerSession)
       probes_(&registry_.counter("probes")),
       repairs_(&registry_.counter("repairs")),
       bodyCompletions_(&registry_.counter("body_completions")),
-      rebuffers_(&registry_.counter("rebuffers")) {
+      rebuffers_(&registry_.counter("rebuffers")),
+      searchRetries_(&registry_.counter("search.retries")),
+      transferResourced_(&registry_.counter("transfer.resourced")) {
   // Derived scalars: one derivation, shared by watches() and the snapshot.
   registry_.addGauge("watches", [this] { return watches(); });
   registry_.addGauge("peer_chunks", [this] { return totalPeerChunks(); });

@@ -88,6 +88,11 @@ class Metrics {
   void countServerFallback() { serverFallbacks_->inc(); }
   void countProbe() { probes_->inc(); }
   void countRepair() { repairs_->inc(); }
+  // Graceful-degradation tallies (fault hardening): overlay search attempts
+  // replayed after a phase timeout, and transfers re-sourced to a surviving
+  // provider (or the server) after their source crashed mid-chunk.
+  void countSearchRetry() { searchRetries_->inc(); }
+  void countTransferResourced() { transferResourced_->inc(); }
 
   // Total video watches that began playback (delays + timeouts). Also
   // exported as the "watches" gauge — the registry and this accessor share
@@ -124,6 +129,8 @@ class Metrics {
   obs::Counter* repairs_;
   obs::Counter* bodyCompletions_;
   obs::Counter* rebuffers_;
+  obs::Counter* searchRetries_;
+  obs::Counter* transferResourced_;
 };
 
 }  // namespace st::vod

@@ -96,10 +96,22 @@ void SessionDriver::onPlaybackComplete(UserId user, VideoId video) {
 }
 
 void SessionDriver::logout(UserId user) {
-  UserState& state = users_[user.index()];
-  assert(state.online);
+  assert(users_[user.index()].online);
   const bool graceful = !userRngs_[user.index()].bernoulli(
       ctx_.config().abruptDepartureFraction);
+  endSession(user, graceful);
+}
+
+void SessionDriver::crashUser(UserId user) {
+  if (!users_[user.index()].online) return;
+  // No RNG draw here: the graceful/abrupt stream stays aligned with the
+  // fault-free run for every session the injector does not touch.
+  endSession(user, /*graceful=*/false);
+}
+
+void SessionDriver::endSession(UserId user, bool graceful) {
+  UserState& state = users_[user.index()];
+  assert(state.online);
   state.online = false;
   ctx_.setOnline(user, false);
   ST_TRACE(ctx_.trace(), ctx_.sim().now(), kLogout, user.value(), 0,

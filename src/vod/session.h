@@ -27,6 +27,12 @@ class SessionDriver {
   // Schedules the initial logins; call once before Simulator::run().
   void start();
 
+  // Forced ungraceful departure (fault injection): the user drops offline
+  // immediately with no goodbye messages, exactly like an abrupt logout.
+  // The interrupted session still counts and the user returns after the
+  // usual exponential off time. No-op when the user is already offline.
+  void crashUser(UserId user);
+
   // Users that finished all their sessions.
   [[nodiscard]] std::size_t usersCompleted() const { return usersCompleted_; }
   [[nodiscard]] std::uint64_t sessionsCompleted() const {
@@ -44,6 +50,9 @@ class SessionDriver {
 
   void login(UserId user);
   void logout(UserId user);
+  // Shared tail of logout (graceful flag drawn) and crashUser (forced
+  // abrupt): take the user offline and schedule the next session.
+  void endSession(UserId user, bool graceful);
   void requestNext(UserId user);
   void onPlaybackReady(UserId user, VideoId video, sim::SimTime delay,
                        bool timedOut);

@@ -11,6 +11,7 @@
 
 #include "sim/time.h"
 #include "util/strong_id.h"
+#include "vod/audit.h"
 
 namespace st::vod {
 
@@ -65,6 +66,11 @@ class VodSystem {
 
   [[nodiscard]] virtual NodeStats nodeStats(UserId user) const = 0;
   [[nodiscard]] virtual SystemStats statsSnapshot() const { return {}; }
+
+  // Walks the system's overlay/directory state and appends every structural
+  // contract breach to `report` (see vod/audit.h for the severity model).
+  // Driven by fault::InvariantChecker; the default has nothing to check.
+  virtual void auditInvariants(AuditReport& report) const { (void)report; }
 
  protected:
   void notifyPlayback(UserId user, VideoId video, sim::SimTime delay,

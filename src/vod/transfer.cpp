@@ -337,6 +337,15 @@ void TransferManager::onUserOffline(UserId user) {
       });
 }
 
+UserId TransferManager::pickFailoverProvider(const Watch& watch,
+                                             UserId failed) const {
+  for (const UserId extra : watch.extraProviders) {
+    if (!extra.valid() || extra == failed) continue;
+    if (ctx_.isOnline(extra)) return extra;
+  }
+  return UserId::invalid();
+}
+
 void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
   const auto prefetchIt = prefetches_.find(flow);
   if (prefetchIt != prefetches_.end()) {
@@ -349,26 +358,86 @@ void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
   watchFlows_.erase(flowIt);
   Watch& watch = *watches_.find(id);
 
+  // The source crashed mid-transfer: credit what it delivered, then restart
+  // the remainder from a surviving extra provider if one is known, else
+  // from the origin server.
   if (watch.phase == Phase::kFirstChunk && watch.flow == flow) {
+    const UserId failed = watch.provider;
     watch.flow = FlowId::invalid();
     creditPartialFirstChunk(watch, bytesDone);
     const std::uint64_t remaining =
         watch.phaseBytes > watch.phaseBytesDone
             ? watch.phaseBytes - watch.phaseBytesDone
             : 1;
-    beginFirstChunk(id, UserId::invalid(), remaining);
+    ctx_.metrics().countTransferResourced();
+    beginFirstChunk(id, pickFailoverProvider(watch, failed), remaining);
     return;
   }
 
-  // Body segment: restart the affected stripe from the server.
+  // Body segment: restart the affected stripe.
   for (std::size_t i = 0; i < watch.segments.size(); ++i) {
     Segment& segment = watch.segments[i];
     if (segment.flow != flow) continue;
+    const UserId failed = segment.provider;
     segment.flow = FlowId::invalid();
     creditPartialSegment(watch, segment, bytesDone);
-    startSegmentFlow(id, i, UserId::invalid());
+    ctx_.metrics().countTransferResourced();
+    startSegmentFlow(id, i, pickFailoverProvider(watch, failed));
     return;
   }
+}
+
+// --- invariant audit ----------------------------------------------------------
+
+void TransferManager::auditInvariants(AuditReport& report) const {
+  for (std::size_t u = 0; u < userWatches_.size(); ++u) {
+    const UserId user{static_cast<std::uint32_t>(u)};
+    const bool online = ctx_.isOnline(user);
+    for (const WatchId id : userWatches_[u]) {
+      const Watch* watch = watches_.find(id);
+      if (watch == nullptr) {
+        report.violate("tm.dangling_watch_id", user.value(), 0);
+        continue;
+      }
+      if (watch->user != user) {
+        report.violate("tm.watch_owner", user.value(), watch->user.value());
+      }
+      if (!online) {
+        // onUserOffline erases the departing user's watches synchronously.
+        report.violate("tm.offline_watch", user.value(),
+                       watch->video.value());
+        continue;
+      }
+      // Every active flow must be fed by the server or a live peer
+      // (dropEndpointFlows fails dead sources over synchronously).
+      if (watch->flow.valid() && watch->provider.valid() &&
+          !ctx_.isOnline(watch->provider)) {
+        report.violate("tm.dead_provider", user.value(),
+                       watch->provider.value());
+      }
+      for (const Segment& segment : watch->segments) {
+        if (segment.flow.valid() && segment.provider.valid() &&
+            !ctx_.isOnline(segment.provider)) {
+          report.violate("tm.dead_provider", user.value(),
+                         segment.provider.value());
+        }
+      }
+    }
+  }
+  for (const auto& [flow, prefetch] : prefetches_) {
+    if (!ctx_.isOnline(prefetch.user)) {
+      report.violate("tm.offline_prefetch", prefetch.user.value(),
+                     prefetch.video.value());
+    }
+  }
+}
+
+void TransferManager::injectWatchForTest(UserId user, VideoId video) {
+  Watch watch;
+  watch.user = user;
+  watch.video = video;
+  const WatchId id = watches_.insert(std::move(watch));
+  userWatches_[user.index()].push_back(id);
 }
 
 }  // namespace st::vod

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/slot_pool.h"
+#include "vod/audit.h"
 #include "vod/context.h"
 
 namespace st::vod {
@@ -71,6 +72,17 @@ class TransferManager {
   [[nodiscard]] std::size_t activePrefetches() const {
     return prefetches_.size();
   }
+
+  // Structural contract audit (see vod/audit.h): no watch or prefetch owned
+  // by an offline user, and no active flow sourced from a dead peer — both
+  // are maintained synchronously by onUserOffline, so every rule is instant.
+  void auditInvariants(AuditReport& report) const;
+
+  // Test-only corruption hook: registers a bare watch record for `user`
+  // (no flows, no timeout) — the dangling-watch damage a lifecycle bug
+  // would leave behind after a crash. The invariant checker must flag it
+  // when the user is offline.
+  void injectWatchForTest(UserId user, VideoId video);
 
  private:
   enum class Phase { kFirstChunk, kBody };
@@ -126,6 +138,10 @@ class TransferManager {
   void creditPartialFirstChunk(Watch& watch, std::uint64_t bytesDone);
   void creditPartialSegment(const Watch& watch, Segment& segment,
                             std::uint64_t bytesDone);
+  // First extra provider of the watch that is still online (and not the
+  // source that just failed); invalid id = no survivor, use the server.
+  [[nodiscard]] UserId pickFailoverProvider(const Watch& watch,
+                                            UserId failed) const;
   void failOverToServer(FlowId flow, std::uint64_t bytesDone);
   void cancelWatchFlows(Watch& watch);
   void eraseWatch(WatchId id);

@@ -1,0 +1,76 @@
+// Chaos soak (ctest label: soak): a multi-seed SocialTube day under a
+// composed crash + loss + partition + blackhole + outage schedule, with the
+// invariant checker auditing throughout. The structural contract must hold
+// (zero confirmed violations), the server fallback must stay functional,
+// and the whole faulted batch must stay bitwise-reproducible across thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "exp/multiseed.h"
+#include "exp/runner.h"
+
+namespace st::exp {
+namespace {
+
+constexpr std::size_t kSeeds = 5;
+
+ExperimentConfig chaosConfig() {
+  ExperimentConfig config = ExperimentConfig::simulationDefaults(11);
+  config = config.scaledTo(300, 4);
+  config.duration = sim::kDay;
+  // Exercise the hardened search path under faults, not just the fallback.
+  config.vod.searchRetries = 2;
+  // A day of layered misbehavior: an early crash wave, a lossy window, a
+  // server-severed interest partition, a blackhole cohort, a full server
+  // outage, and a second crash wave while the overlay is still healing.
+  config.faults.spec =
+      "crash:t=7200,frac=0.15;"
+      "loss:t=10800,dur=900,rate=0.25,delay_ms=40;"
+      "partition:t=21600,dur=1200,cat=1,server=1;"
+      "blackhole:t=32400,dur=600,frac=0.05;"
+      "outage:t=43200,dur=300;"
+      "crash:t=54000,frac=0.1";
+  config.faults.auditInterval = 10 * sim::kMinute;
+  return config;
+}
+
+TEST(ChaosSoak, InvariantsHoldAndFallbackSurvivesAcrossSeeds) {
+  const ExperimentConfig config = chaosConfig();
+  const MultiSeedSummary sequential =
+      runSeeds(config, SystemKind::kSocialTube, kSeeds, /*threads=*/1);
+  const MultiSeedSummary parallel =
+      runSeeds(config, SystemKind::kSocialTube, kSeeds, /*threads=*/8);
+
+  ASSERT_EQ(sequential.runs.size(), kSeeds);
+  ASSERT_EQ(parallel.runs.size(), kSeeds);
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    const ExperimentResult& run = sequential.runs[i];
+    // The overlay's structural contract held on every audit of the day.
+    EXPECT_EQ(run.counter("invariant.violations"), 0u) << "seed " << run.seed;
+    EXPECT_GT(run.counter("invariant.audits"), 100u) << "seed " << run.seed;
+    // Faults actually happened...
+    EXPECT_GT(run.counter("fault.crashes"), 0u) << "seed " << run.seed;
+    EXPECT_EQ(run.counter("fault.events"), 6u) << "seed " << run.seed;
+    EXPECT_GT(run.counter("messages_faulted"), 0u) << "seed " << run.seed;
+    // ...and the system degraded gracefully instead of wedging: watches
+    // kept completing and the server fallback stayed reachable.
+    EXPECT_GT(run.watches(), 0u) << "seed " << run.seed;
+    EXPECT_GT(run.serverChunks(), 0u) << "seed " << run.seed;
+    EXPECT_GT(run.sessionsCompleted(), 0u) << "seed " << run.seed;
+
+    // Bitwise reproducibility of the faulted runs, 1 vs 8 threads.
+    const ExperimentResult& other = parallel.runs[i];
+    EXPECT_EQ(run.seed, other.seed) << "run " << i;
+    EXPECT_TRUE(run.counters == other.counters) << "seed " << run.seed;
+    EXPECT_EQ(run.startupDelayMs.mean(), other.startupDelayMs.mean())
+        << "seed " << run.seed;
+    EXPECT_EQ(run.aggregatePeerFraction(), other.aggregatePeerFraction())
+        << "seed " << run.seed;
+    EXPECT_EQ(run.uploadGini, other.uploadGini) << "seed " << run.seed;
+  }
+}
+
+}  // namespace
+}  // namespace st::exp

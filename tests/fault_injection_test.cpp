@@ -1,0 +1,414 @@
+// Deterministic fault injection: spec parsing, per-kind fault mechanics at
+// exact sim-times, and the reproducibility contract — a faulted run is
+// bitwise-identical across thread counts, and a no-op schedule is
+// bitwise-identical to a run without the injector at all.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/socialtube.h"
+#include "exp/multiseed.h"
+#include "exp/runner.h"
+#include "fault/schedule.h"
+#include "harness.h"
+#include "obs/event_trace.h"
+
+namespace st::fault {
+namespace {
+
+using st::testing::Stack;
+using st::testing::miniCatalog;
+
+// --- Schedule parsing ---------------------------------------------------------
+
+Schedule parseOrDie(std::string_view spec) {
+  Schedule schedule;
+  std::string error;
+  EXPECT_TRUE(Schedule::parse(spec, &schedule, &error)) << error;
+  return schedule;
+}
+
+TEST(ScheduleParse, EmptyAndNoneAreValidNoOps) {
+  for (const char* spec : {"", "none", "  none  ", "   "}) {
+    Schedule schedule;
+    std::string error;
+    EXPECT_TRUE(Schedule::parse(spec, &schedule, &error)) << spec;
+    EXPECT_TRUE(schedule.empty()) << spec;
+  }
+}
+
+TEST(ScheduleParse, SingleCrashEventWithDefaults) {
+  const Schedule schedule = parseOrDie("crash:t=3600,frac=0.2");
+  ASSERT_EQ(schedule.events().size(), 1u);
+  const FaultEvent& event = schedule.events()[0];
+  EXPECT_EQ(event.kind, FaultKind::kCrash);
+  EXPECT_EQ(event.at, sim::fromSeconds(3600));
+  EXPECT_DOUBLE_EQ(event.fraction, 0.2);
+  EXPECT_FALSE(event.user.valid());
+}
+
+TEST(ScheduleParse, AllKindsParseAndSortByTime) {
+  const Schedule schedule = parseOrDie(
+      "crash:t=3600,frac=0.2;"
+      "loss:t=4000,dur=300,rate=0.3,delay_ms=50;"
+      "blackhole:t=100,dur=60,user=7;"
+      "partition:t=200,dur=60,cat=1,server=1;"
+      "outage:t=10,dur=5");
+  ASSERT_EQ(schedule.events().size(), 5u);
+  // Stably sorted by time.
+  for (std::size_t i = 1; i < schedule.events().size(); ++i) {
+    EXPECT_LE(schedule.events()[i - 1].at, schedule.events()[i].at);
+  }
+  EXPECT_EQ(schedule.events()[0].kind, FaultKind::kServerOutage);
+  EXPECT_EQ(schedule.events()[1].kind, FaultKind::kBlackhole);
+  EXPECT_EQ(schedule.events()[1].user, UserId{7});
+  EXPECT_EQ(schedule.events()[2].kind, FaultKind::kPartition);
+  EXPECT_EQ(schedule.events()[2].category, CategoryId{1});
+  EXPECT_TRUE(schedule.events()[2].cutServer);
+  EXPECT_EQ(schedule.events()[3].kind, FaultKind::kCrash);
+  EXPECT_EQ(schedule.events()[4].kind, FaultKind::kLoss);
+  EXPECT_DOUBLE_EQ(schedule.events()[4].lossRate, 0.3);
+  EXPECT_EQ(schedule.events()[4].extraDelay, sim::fromMillis(50));
+}
+
+TEST(ScheduleParse, WhitespaceAroundTokensIsIgnored) {
+  const Schedule schedule = parseOrDie("  crash : t = 10 , frac = 0.5  ");
+  ASSERT_EQ(schedule.events().size(), 1u);
+  EXPECT_EQ(schedule.events()[0].at, sim::fromSeconds(10));
+  EXPECT_DOUBLE_EQ(schedule.events()[0].fraction, 0.5);
+}
+
+TEST(ScheduleParse, MalformedSpecsErrorCleanly) {
+  const char* bad[] = {
+      "crash",                     // missing ':'
+      "crash:",                    // empty field
+      "crash:frac=0.2",            // missing required t
+      "meteor:t=1",                // unknown kind
+      "crash:t=1,zap=3",           // unknown key
+      "crash:t=-5",                // negative time
+      "crash:t=1,frac=1.5",        // fraction out of range
+      "crash:t=1,frac=abc",        // non-numeric
+      "loss:t=1,rate=2",           // rate out of range
+      "loss:t=1,dur=0",            // zero-length window
+      "partition:t=1",             // partition without cat
+      "partition:t=1,cat=-2",      // signed id
+      "blackhole:t=1,user=1e9x",   // trailing garbage
+      "crash:t=1,server=2",        // server not 0/1
+      "crash:t=1;;loss:t=2",       // empty event between semicolons
+      "crash:t=1,",                // trailing comma -> empty field
+      ";",                         // nothing but separators
+  };
+  for (const char* spec : bad) {
+    Schedule schedule;
+    std::string error;
+    EXPECT_FALSE(Schedule::parse(spec, &schedule, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+    EXPECT_TRUE(schedule.empty()) << spec;
+  }
+}
+
+// --- Injector mechanics (Stack-level) -----------------------------------------
+
+// 20 users over 2 categories: user u's home category is u % 2.
+class InjectorTest : public ::testing::Test {
+ protected:
+  InjectorTest() : stack_(miniCatalog(20, 2, 2, 4)) {}
+
+  Injector makeInjector(std::string_view spec, std::uint64_t seed = 7) {
+    return Injector(stack_.ctx(), parseOrDie(spec), seed);
+  }
+
+  void loginAll() {
+    for (std::size_t u = 0; u < stack_.catalog().userCount(); ++u) {
+      stack_.ctx().setOnline(UserId{static_cast<std::uint32_t>(u)}, true);
+    }
+  }
+
+  void runTo(double seconds) {
+    stack_.sim().runUntil(sim::fromSeconds(seconds));
+  }
+
+  Stack stack_;
+};
+
+TEST_F(InjectorTest, CrashWaveFiresAtScheduledTimeOnOnlinePopulation) {
+  loginAll();
+  Injector injector = makeInjector("crash:t=5,frac=0.5");
+  std::vector<UserId> victims;
+  std::vector<sim::SimTime> times;
+  injector.setCrashHandler([&](UserId user) {
+    victims.push_back(user);
+    times.push_back(stack_.sim().now());
+  });
+  injector.arm();
+  runTo(10);
+  // floor(0.5 * 20 online users) victims, all at exactly t=5.
+  ASSERT_EQ(victims.size(), 10u);
+  EXPECT_EQ(injector.crashesInjected(), 10u);
+  EXPECT_EQ(injector.activations(), 1u);
+  for (const sim::SimTime t : times) EXPECT_EQ(t, sim::fromSeconds(5));
+  // No duplicate victims.
+  std::vector<UserId> sorted = victims;
+  std::sort(sorted.begin(), sorted.end(),
+            [](UserId a, UserId b) { return a.value() < b.value(); });
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST_F(InjectorTest, CrashDrawsOnlyFromOnlineUsers) {
+  // Only users 0..4 online: a full-fraction wave crashes exactly those.
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    stack_.ctx().setOnline(UserId{u}, true);
+  }
+  Injector injector = makeInjector("crash:t=1,frac=1");
+  std::vector<UserId> victims;
+  injector.setCrashHandler([&](UserId user) { victims.push_back(user); });
+  injector.arm();
+  runTo(2);
+  ASSERT_EQ(victims.size(), 5u);
+  for (const UserId v : victims) EXPECT_LT(v.value(), 5u);
+}
+
+TEST_F(InjectorTest, BlackholeWindowSilencesTheVictimBothWays) {
+  Injector injector = makeInjector("blackhole:t=2,dur=3,user=4");
+  injector.arm();
+  const EndpointId victim{4};
+  const EndpointId other{1};
+  const EndpointId third{2};
+
+  runTo(1);  // before the window
+  EXPECT_FALSE(injector.onMessage(victim, other).drop);
+  runTo(3);  // inside [2, 5)
+  EXPECT_TRUE(injector.onMessage(victim, other).drop);
+  EXPECT_TRUE(injector.onMessage(other, victim).drop);
+  EXPECT_FALSE(injector.onMessage(other, third).drop);
+  runTo(6);  // after the window
+  EXPECT_FALSE(injector.onMessage(victim, other).drop);
+  EXPECT_FALSE(injector.onMessage(other, victim).drop);
+}
+
+TEST_F(InjectorTest, LossWindowAddsDelayAndHonorsRateExtremes) {
+  // rate=0 never drops but still applies the latency spike; a separate
+  // rate=1 window always drops.
+  Injector delayOnly = makeInjector("loss:t=1,dur=2,rate=0,delay_ms=50");
+  delayOnly.arm();
+  runTo(0.5);
+  EXPECT_EQ(delayOnly.onMessage(EndpointId{0}, EndpointId{1}).extraDelay, 0);
+  runTo(2);
+  const auto decision = delayOnly.onMessage(EndpointId{0}, EndpointId{1});
+  EXPECT_FALSE(decision.drop);
+  EXPECT_EQ(decision.extraDelay, sim::fromMillis(50));
+  runTo(4);
+  EXPECT_EQ(delayOnly.onMessage(EndpointId{0}, EndpointId{1}).extraDelay, 0);
+}
+
+TEST_F(InjectorTest, FullLossWindowDropsEverything) {
+  Stack other(miniCatalog(20, 2, 2, 4));
+  Injector alwaysDrop(other.ctx(), parseOrDie("loss:t=1,dur=2,rate=1"), 7);
+  alwaysDrop.arm();
+  other.sim().runUntil(sim::fromSeconds(2));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(alwaysDrop.onMessage(EndpointId{0}, EndpointId{1}).drop);
+  }
+}
+
+TEST_F(InjectorTest, PartitionIsolatesTheInterestCluster) {
+  // Home categories alternate (u % 2): isolating cat 0 cuts even users off
+  // from odd users but leaves traffic within each side intact.
+  Injector injector = makeInjector("partition:t=1,dur=5,cat=0");
+  injector.arm();
+  const EndpointId even0{0}, even2{2}, odd1{1}, odd3{3};
+  const EndpointId server = stack_.ctx().serverEndpoint();
+
+  runTo(2);
+  EXPECT_TRUE(injector.onMessage(even0, odd1).drop);
+  EXPECT_TRUE(injector.onMessage(odd1, even0).drop);
+  EXPECT_FALSE(injector.onMessage(even0, even2).drop);
+  EXPECT_FALSE(injector.onMessage(odd1, odd3).drop);
+  // server=0: the island still reaches the origin server.
+  EXPECT_FALSE(injector.onMessage(even0, server).drop);
+  EXPECT_FALSE(injector.onMessage(server, even0).drop);
+  runTo(7);
+  EXPECT_FALSE(injector.onMessage(even0, odd1).drop);
+}
+
+TEST_F(InjectorTest, PartitionWithServerCutSeversOnlyTheIsland) {
+  Injector injector = makeInjector("partition:t=1,dur=5,cat=0,server=1");
+  injector.arm();
+  const EndpointId server = stack_.ctx().serverEndpoint();
+  runTo(2);
+  EXPECT_TRUE(injector.onMessage(EndpointId{0}, server).drop);
+  EXPECT_TRUE(injector.onMessage(server, EndpointId{0}).drop);
+  EXPECT_FALSE(injector.onMessage(EndpointId{1}, server).drop);
+  runTo(7);
+  EXPECT_FALSE(injector.onMessage(EndpointId{0}, server).drop);
+}
+
+TEST_F(InjectorTest, OutageSilencesAllServerTraffic) {
+  Injector injector = makeInjector("outage:t=1,dur=2");
+  injector.arm();
+  const EndpointId server = stack_.ctx().serverEndpoint();
+  runTo(1.5);
+  EXPECT_TRUE(injector.onMessage(EndpointId{0}, server).drop);
+  EXPECT_TRUE(injector.onMessage(server, EndpointId{3}).drop);
+  EXPECT_FALSE(injector.onMessage(EndpointId{0}, EndpointId{3}).drop);
+  runTo(4);
+  EXPECT_FALSE(injector.onMessage(EndpointId{0}, server).drop);
+}
+
+// --- No-op schedule == no injector (Stack-level bitwise identity) -------------
+
+// Identical workloads, one stack with a "none" injector armed: every
+// protocol counter and the simulator event count must match the
+// injector-free stack exactly. Guards arm() against ever installing the
+// hook or scheduling bookkeeping events for an empty schedule.
+TEST(InjectorNoOp, NoneScheduleIsBitwiseInvisible) {
+  const auto drive = [](Stack& stack) {
+    core::SocialTubeSystem system(stack.ctx(), stack.transfers());
+    for (std::uint32_t u = 0; u < 6; ++u) {
+      stack.ctx().setOnline(UserId{u}, true);
+      system.onLogin(UserId{u});
+    }
+    for (std::uint32_t u = 0; u < 6; ++u) {
+      const auto& channel = stack.catalog().channel(ChannelId{u % 4});
+      system.requestVideo(UserId{u}, channel.videos[u % channel.videos.size()]);
+      stack.settle();
+    }
+    stack.settle(10 * sim::kMinute);
+  };
+
+  Stack plain(miniCatalog(12, 2, 2, 6));
+  drive(plain);
+
+  Stack faulted(miniCatalog(12, 2, 2, 6));
+  Injector injector(faulted.ctx(), parseOrDie("none"), 42);
+  injector.setCrashHandler([](UserId) { FAIL() << "no-op injector crashed"; });
+  injector.arm();
+  drive(faulted);
+
+  EXPECT_EQ(injector.activations(), 0u);
+  EXPECT_EQ(injector.crashesInjected(), 0u);
+  EXPECT_EQ(plain.sim().eventsFired(), faulted.sim().eventsFired());
+  // Full counter-set equality, minus the fault.* counters that exist only
+  // because the injector object was constructed.
+  const auto strip = [](const obs::Snapshot& snapshot) {
+    std::vector<obs::Snapshot::Entry> kept;
+    for (const auto& entry : snapshot.entries()) {
+      if (entry.name.rfind("fault.", 0) != 0) kept.push_back(entry);
+    }
+    return kept;
+  };
+  const auto a = strip(plain.metrics().registry().snapshot());
+  const auto b = strip(faulted.metrics().registry().snapshot());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].value, b[i].value) << a[i].name;
+  }
+}
+
+// --- End-to-end via runExperiment ---------------------------------------------
+
+exp::ExperimentConfig faultedTinyConfig() {
+  exp::ExperimentConfig config = exp::ExperimentConfig::simulationDefaults(5);
+  config = config.scaledTo(120, 2);
+  config.duration = 2 * sim::kHour;
+  config.faults.spec =
+      "crash:t=600,frac=0.2;"
+      "blackhole:t=1200,dur=300,frac=0.1;"
+      "loss:t=1800,dur=300,rate=0.2,delay_ms=20;"
+      "partition:t=2400,dur=300,cat=1;"
+      "outage:t=3000,dur=120";
+  return config;
+}
+
+TEST(FaultInjectionRun, EveryKindActivatesAtItsScheduledSimTime) {
+  const exp::ExperimentConfig config = faultedTinyConfig();
+  obs::EventTrace trace;
+  const exp::ExperimentResult result =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, nullptr, &trace);
+
+  // One kFault activation per scheduled event; actor carries the kind.
+  std::vector<std::pair<std::uint32_t, sim::SimTime>> fired;
+  for (const obs::TraceEvent& event : trace.events()) {
+    if (event.kind == obs::EventKind::kFault) {
+      fired.emplace_back(event.actor, event.time);
+    }
+  }
+#if ST_TRACE_ENABLED
+  ASSERT_EQ(fired.size(), 5u);
+  const std::pair<FaultKind, sim::SimTime> expected[] = {
+      {FaultKind::kCrash, sim::fromSeconds(600)},
+      {FaultKind::kBlackhole, sim::fromSeconds(1200)},
+      {FaultKind::kLoss, sim::fromSeconds(1800)},
+      {FaultKind::kPartition, sim::fromSeconds(2400)},
+      {FaultKind::kServerOutage, sim::fromSeconds(3000)},
+  };
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(fired[i].first, static_cast<std::uint32_t>(expected[i].first));
+    EXPECT_EQ(fired[i].second, expected[i].second);
+  }
+#else
+  // ST_TRACE=OFF compiles the trace call sites away; the counter is the
+  // build-mode-independent record of the five activations.
+  EXPECT_EQ(fired.size(), 0u);
+  EXPECT_EQ(result.counter("fault.events"), 5u);
+#endif
+}
+
+TEST(FaultInjectionRun, FaultedCountersRegisterAndCount) {
+  const exp::ExperimentConfig config = faultedTinyConfig();
+  const exp::ExperimentResult result =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube);
+  EXPECT_TRUE(result.counters.has("fault.crashes"));
+  EXPECT_TRUE(result.counters.has("fault.events"));
+  EXPECT_EQ(result.counter("fault.events"), 5u);
+  EXPECT_GT(result.counter("fault.crashes"), 0u);
+  // Blackhole/partition/outage windows actually dropped traffic.
+  EXPECT_GT(result.counter("messages_faulted"), 0u);
+  // The run survived: watches kept completing after the fault windows.
+  EXPECT_GT(result.watches(), 0u);
+}
+
+TEST(FaultInjectionRun, NoOpSpecMatchesInjectorFreeRunBitwise) {
+  exp::ExperimentConfig plain = exp::ExperimentConfig::simulationDefaults(5);
+  plain = plain.scaledTo(120, 2);
+  plain.duration = 2 * sim::kHour;
+  exp::ExperimentConfig noop = plain;
+  noop.faults.spec = "none";
+  const exp::ExperimentResult a =
+      exp::runExperiment(plain, exp::SystemKind::kSocialTube);
+  const exp::ExperimentResult b =
+      exp::runExperiment(noop, exp::SystemKind::kSocialTube);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.startupDelayMs.mean(), b.startupDelayMs.mean());
+  EXPECT_EQ(a.uploadGini, b.uploadGini);
+}
+
+TEST(FaultInjectionRun, FaultedAggregatesBitwiseIdenticalAcrossThreads) {
+  const exp::ExperimentConfig config = faultedTinyConfig();
+  constexpr std::size_t kSeeds = 3;
+  const auto sequential =
+      exp::runSeeds(config, exp::SystemKind::kSocialTube, kSeeds, 1);
+  const auto parallel =
+      exp::runSeeds(config, exp::SystemKind::kSocialTube, kSeeds, 8);
+  ASSERT_EQ(sequential.runs.size(), kSeeds);
+  ASSERT_EQ(parallel.runs.size(), kSeeds);
+  for (std::size_t i = 0; i < kSeeds; ++i) {
+    const exp::ExperimentResult& a = sequential.runs[i];
+    const exp::ExperimentResult& b = parallel.runs[i];
+    EXPECT_EQ(a.seed, b.seed) << "run " << i;
+    // Exact equality on purpose: the guarantee is bitwise, faults included.
+    EXPECT_TRUE(a.counters == b.counters) << "run " << i;
+    EXPECT_EQ(a.startupDelayMs.mean(), b.startupDelayMs.mean()) << "run " << i;
+    EXPECT_EQ(a.aggregatePeerFraction(), b.aggregatePeerFraction())
+        << "run " << i;
+    EXPECT_GT(a.counter("fault.crashes"), 0u) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace st::fault

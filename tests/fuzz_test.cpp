@@ -4,7 +4,9 @@
 
 #include <map>
 #include <set>
+#include <string>
 
+#include "fault/schedule.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -123,6 +125,143 @@ TEST_P(SimulatorFuzz, TimeNeverGoesBackwardUnderNestedScheduling) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzz, ::testing::Values(1, 2, 3));
+
+// --- Fault-schedule parsing under random and mutated specs ---------------------
+
+// Random spec builder biased toward well-formed input, with mutations mixed
+// in. Whatever comes out, Schedule::parse must never crash; rejections must
+// carry an error message and leave the schedule empty; accepted schedules
+// must satisfy the documented field ranges and time ordering.
+class ScheduleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace schedule_fuzz {
+
+std::string randomToken(Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789.=,:;- \t";
+  std::string token;
+  const auto length = rng.uniformInt(std::uint64_t{8});
+  for (std::uint64_t i = 0; i < length; ++i) {
+    token += kAlphabet[rng.uniformInt(std::uint64_t{sizeof(kAlphabet) - 1})];
+  }
+  return token;
+}
+
+std::string randomValue(Rng& rng) {
+  switch (rng.uniformInt(std::uint64_t{4})) {
+    case 0: return std::to_string(rng.uniformInt(std::uint64_t{100000}));
+    case 1: return std::to_string(rng.uniform() * 2.0);  // may exceed [0,1]
+    case 2: return "-" + std::to_string(rng.uniformInt(std::uint64_t{100}));
+    default: return randomToken(rng);
+  }
+}
+
+std::string randomEvent(Rng& rng) {
+  static constexpr const char* kKinds[] = {"crash",     "blackhole", "loss",
+                                           "partition", "outage",    "meteor",
+                                           ""};
+  static constexpr const char* kKeys[] = {"t",    "dur",      "frac", "user",
+                                          "cat",  "rate",     "delay_ms",
+                                          "server", "bogus",  ""};
+  std::string event(kKinds[rng.uniformInt(std::uint64_t{7})]);
+  event += ':';
+  const auto fields = rng.uniformInt(std::uint64_t{4});
+  for (std::uint64_t f = 0; f <= fields; ++f) {
+    if (f > 0) event += ',';
+    event += kKeys[rng.uniformInt(std::uint64_t{10})];
+    if (!rng.bernoulli(0.1)) event += '=';  // sometimes drop the '='
+    event += randomValue(rng);
+  }
+  return event;
+}
+
+}  // namespace schedule_fuzz
+
+TEST_P(ScheduleFuzz, NeverCrashesAndRejectsCleanly) {
+  Rng rng(GetParam());
+  for (int step = 0; step < 3000; ++step) {
+    std::string spec;
+    if (rng.bernoulli(0.1)) {
+      spec = schedule_fuzz::randomToken(rng);  // pure garbage
+    } else {
+      const auto events = rng.uniformInt(std::uint64_t{3});
+      for (std::uint64_t e = 0; e <= events; ++e) {
+        if (e > 0) spec += ';';
+        spec += schedule_fuzz::randomEvent(rng);
+      }
+    }
+    fault::Schedule schedule;
+    std::string error;
+    if (fault::Schedule::parse(spec, &schedule, &error)) {
+      // Accepted: every event honors the documented contract.
+      sim::SimTime last = 0;
+      for (const fault::FaultEvent& event : schedule.events()) {
+        ASSERT_GE(event.at, last) << spec;
+        last = event.at;
+        ASSERT_GE(event.at, 0) << spec;
+        ASSERT_GT(event.duration, 0) << spec;
+        ASSERT_GE(event.fraction, 0.0) << spec;
+        ASSERT_LE(event.fraction, 1.0) << spec;
+        ASSERT_GE(event.lossRate, 0.0) << spec;
+        ASSERT_LE(event.lossRate, 1.0) << spec;
+        ASSERT_GE(event.extraDelay, 0) << spec;
+        if (event.kind == fault::FaultKind::kPartition) {
+          ASSERT_TRUE(event.category.valid()) << spec;
+        }
+      }
+      // Accepted specs parse identically on a second pass (parsing is pure).
+      fault::Schedule again;
+      ASSERT_TRUE(fault::Schedule::parse(spec, &again, nullptr)) << spec;
+      ASSERT_EQ(again.events().size(), schedule.events().size()) << spec;
+    } else {
+      ASSERT_FALSE(error.empty()) << spec;
+      ASSERT_TRUE(schedule.empty()) << spec;
+    }
+    // A null error sink must also be safe on the reject path.
+    fault::Schedule ignored;
+    fault::Schedule::parse(spec, &ignored, nullptr);
+  }
+}
+
+TEST_P(ScheduleFuzz, WellFormedSpecsAlwaysParse) {
+  Rng rng(GetParam() ^ 0xfa017);
+  static constexpr const char* kKinds[] = {"crash", "blackhole", "loss",
+                                           "partition", "outage"};
+  for (int step = 0; step < 2000; ++step) {
+    std::string spec;
+    const auto events = rng.uniformInt(std::uint64_t{4});
+    for (std::uint64_t e = 0; e <= events; ++e) {
+      if (e > 0) spec += ';';
+      const std::size_t kind = rng.uniformInt(std::uint64_t{5});
+      spec += kKinds[kind];
+      spec += ":t=" + std::to_string(rng.uniform() * 86400.0);
+      if (rng.bernoulli(0.5)) {
+        spec += ",dur=" + std::to_string(1.0 + rng.uniform() * 600.0);
+      }
+      if (rng.bernoulli(0.5)) {
+        spec += ",frac=" + std::to_string(rng.uniform());
+      }
+      if (kind == 2 && rng.bernoulli(0.5)) {
+        spec += ",rate=" + std::to_string(rng.uniform());
+        spec += ",delay_ms=" + std::to_string(rng.uniform() * 200.0);
+      }
+      if (kind == 3) {
+        spec += ",cat=" + std::to_string(rng.uniformInt(std::uint64_t{32}));
+        if (rng.bernoulli(0.5)) spec += ",server=1";
+      }
+      if (kind == 1 && rng.bernoulli(0.5)) {
+        spec += ",user=" + std::to_string(rng.uniformInt(std::uint64_t{1000}));
+      }
+    }
+    fault::Schedule schedule;
+    std::string error;
+    ASSERT_TRUE(fault::Schedule::parse(spec, &schedule, &error))
+        << spec << " -> " << error;
+    ASSERT_EQ(schedule.events().size(), events + 1) << spec;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz, ::testing::Values(1, 2, 3));
 
 // --- Gini coefficient properties ----------------------------------------------
 
