@@ -4,6 +4,7 @@
 //   ./examples/churn_storm [--users 800] [--abrupt 0.8] [--seed 3]
 //                          [--threads 2] [--trace-out storm.jsonl]
 //                          [--faults SPEC] [--audit SECONDS]
+//                          [--overload SPEC]
 //
 // --trace-out dumps the structured protocol-event timeline (JSONL; one file
 // per scenario, suffixed ".calm"/".storm") — see EXPERIMENTS.md for how to
@@ -13,6 +14,11 @@
 // e.g. "crash:t=3600,frac=0.2;loss:t=4000,dur=300,rate=0.3") over both
 // scenarios; --audit N runs the structural invariant checker every N
 // simulated seconds and reports confirmed violations per scenario.
+// --overload enables the overload-control knobs (src/vod/overload.h grammar,
+// e.g. "on" or "floor_kbps=200,queue=32,breaker=3").
+//
+// Malformed specs and unknown flags fail fast with exit code 2, printing the
+// offending token and the accepted grammar.
 #include <algorithm>
 #include <cstdio>
 #include <optional>
@@ -26,12 +32,13 @@
 #include "trace/generator.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
+#include "vod/overload.h"
 
 int main(int argc, char** argv) {
   const st::Flags flags(argc, argv);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
-    return 1;
+    return 2;
   }
   const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 3));
   const auto users = static_cast<std::size_t>(flags.getInt("users", 800));
@@ -41,20 +48,41 @@ int main(int argc, char** argv) {
   const std::string traceOut = flags.getString("trace-out", "");
   const std::string faultSpec = flags.getString("faults", "");
   const double auditSeconds = flags.getDouble("audit", 0.0);
+  const std::string overloadSpec = flags.getString("overload", "");
 
-  // Validate the schedule up front so a typo fails before minutes of
-  // simulation (the runner would abort mid-run otherwise).
+  // Validate every spec up front so a typo fails before minutes of
+  // simulation (the runner would abort mid-run otherwise). Exit code 2
+  // distinguishes usage errors from run failures.
   {
     st::fault::Schedule parsed;
     std::string error;
     if (!st::fault::Schedule::parse(faultSpec, &parsed, &error)) {
-      std::fprintf(stderr, "--faults: %s\n", error.c_str());
-      return 1;
+      std::fprintf(stderr, "--faults: %s\n%s\n", error.c_str(),
+                   st::fault::Schedule::grammar());
+      return 2;
     }
+  }
+  st::vod::OverloadConfig overload;
+  {
+    std::string error;
+    if (!st::vod::OverloadConfig::parse(overloadSpec, &overload, &error)) {
+      std::fprintf(stderr, "--overload: %s\n%s\n", error.c_str(),
+                   st::vod::OverloadConfig::grammar());
+      return 2;
+    }
+  }
+  if (const auto leftover = flags.unconsumed(); !leftover.empty()) {
+    for (const std::string& flag : leftover) {
+      std::fprintf(stderr, "unknown flag '--%s'\n", flag.c_str());
+    }
+    std::fprintf(stderr,
+                 "accepted flags: --users --abrupt --seed --threads "
+                 "--trace-out --faults --audit --overload\n");
+    return 2;
   }
   if (auditSeconds < 0.0) {
     std::fprintf(stderr, "--audit must be >= 0 seconds\n");
-    return 1;
+    return 2;
   }
 
   st::exp::ExperimentConfig config =
@@ -66,6 +94,7 @@ int main(int argc, char** argv) {
   config.vod.probeInterval = 2 * st::sim::kMinute;
   config.faults.spec = faultSpec;
   config.faults.auditInterval = st::sim::fromSeconds(auditSeconds);
+  config.vod.overload = overload;
 
   std::printf("Churn storm — %zu users, %.0f%% abrupt departures, "
               "2-minute probes\n\n", users, abrupt * 100.0);
@@ -121,6 +150,27 @@ int main(int argc, char** argv) {
                       result.counter("invariant.audits")),
                   static_cast<unsigned long long>(
                       result.counter("invariant.violations")));
+    }
+    if (config.vod.overload.any()) {
+      std::printf("  overload: shed          = %llu (%llu prefetch "
+                  "throttled)\n",
+                  static_cast<unsigned long long>(
+                      result.counter("server.shed")),
+                  static_cast<unsigned long long>(
+                      result.counter("prefetch.throttled")));
+      std::printf("  breakers opened/closed  = %llu / %llu "
+                  "(%llu still open)\n",
+                  static_cast<unsigned long long>(
+                      result.counter("breaker.opened")),
+                  static_cast<unsigned long long>(
+                      result.counter("breaker.closed")),
+                  static_cast<unsigned long long>(
+                      result.counter("breaker.open")));
+      std::printf("  rebuffer ratio          = %llu ppm (SLO %s)\n",
+                  static_cast<unsigned long long>(
+                      result.counter("slo.rebuffer_ratio_ppm")),
+                  result.counter("slo.rebuffer_within_target") != 0
+                      ? "met" : "MISSED");
     }
     std::printf("\n");
   }

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Build and run the unit-label tests with structured tracing compiled IN and
-# OUT, then once more under the combined ASan+UBSan sanitizers. All three
-# modes must stay green: ST_TRACE=OFF proves every ST_TRACE() call site
-# compiles away cleanly (no stray side effects in macro arguments), the
-# trace tests themselves flip behavior on ST_TRACE_ENABLED, and the
-# sanitizer pass guards the hand-rolled lifetime management in the slotted
-# scheduler and callback SBO storage (placement new / launder / relocation).
+# OUT, then once more under the combined ASan+UBSan sanitizers, and finally
+# under TSan. All four modes must stay green: ST_TRACE=OFF proves every
+# ST_TRACE() call site compiles away cleanly (no stray side effects in macro
+# arguments), the trace tests themselves flip behavior on ST_TRACE_ENABLED,
+# the ASan+UBSan pass guards the hand-rolled lifetime management in the
+# slotted scheduler and callback SBO storage (placement new / launder /
+# relocation) and gates the soak label, and the TSan pass covers the thread
+# pool and parallel multi-seed machinery.
 #
 #   scripts/check.sh [ctest label] [jobs]
 #
@@ -34,3 +36,9 @@ done
 
 echo "=== ST_SANITIZE=address,undefined (build-asan-ubsan) ==="
 scripts/sanitize.sh address,undefined "$LABEL" "$JOBS"
+
+# TSan cannot combine with ASan, so it gets its own pass over the unit label:
+# the thread pool, the parallel multi-seed engine, and the 1-vs-8-thread
+# determinism paths must stay race-free.
+echo "=== ST_SANITIZE=thread (build-tsan) ==="
+scripts/sanitize.sh thread unit "$JOBS"

@@ -178,6 +178,7 @@ void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
     neighbors.resize(ctx_.config().linksPerVideoOverlay);
   }
   for (const UserId n : neighbors) {
+    if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
     ctx_.sendUser(user, n, [this, user, n, video, queryId] {
       floodQuery(user, n, video, queryId, ctx_.config().ttl);
     });
@@ -204,6 +205,7 @@ void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
   }
   for (const UserId n : neighbors) {
     if (n == origin) continue;
+    if (!ctx_.neighborAllowed(at, n)) continue;  // breaker open at this hop
     ctx_.sendUser(at, n, [this, origin, n, video, queryId, ttl] {
       floodQuery(origin, n, video, queryId, ttl - 1);
     });
@@ -211,8 +213,13 @@ void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
 }
 
 void NetTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
-  if (searches_.find(queryId) == nullptr) return;
-  if (!ctx_.isOnline(provider)) return;
+  const Search* found = searches_.find(queryId);
+  if (found == nullptr) return;
+  if (!ctx_.isOnline(provider)) {
+    // The responder died between answering and our receipt — suspicious.
+    ctx_.reportNeighborFailure(found->user, provider);
+    return;
+  }
   ctx_.metrics().countChannelHit();  // peer hit via overlay flooding
   resolveSearch(queryId, provider, {provider});
 }
@@ -241,6 +248,11 @@ void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
       // The directory only lists online holders, but double-check liveness.
       std::erase_if(candidates,
                     [this](UserId u) { return !ctx_.isOnline(u); });
+      // Breaker filtering happens after the RNG draws so that a disabled
+      // board leaves the random stream untouched.
+      std::erase_if(candidates, [this, user](UserId u) {
+        return !ctx_.neighborAllowed(user, u);
+      });
     }
     ctx_.sendFromServer(user, [this, queryId, candidates] {
       const Search* search = searches_.find(queryId);
@@ -268,6 +280,7 @@ void NetTubeSystem::resolveSearch(std::uint64_t queryId, UserId provider,
 
   // Join the video's overlay by linking to the discovered holders.
   for (const UserId peer : overlayPeers) {
+    if (!ctx_.neighborAllowed(search.user, peer)) continue;
     if (ctx_.isOnline(peer)) {
       connectOverlayLink(search.user, peer, search.video);
     }
@@ -294,6 +307,7 @@ void NetTubeSystem::startDownload(UserId user, VideoId video, UserId provider,
         break;
       }
       if (n == provider) continue;
+      if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
       if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(video)) {
         request.extraProviders.push_back(n);
       }
@@ -336,6 +350,7 @@ void NetTubeSystem::onVideoCached(UserId user, VideoId video) {
     ctx_.sendFromServer(user, [this, user, video,
                                members = std::move(members)] {
       for (const UserId member : members) {
+        if (!ctx_.neighborAllowed(user, member)) continue;
         if (ctx_.isOnline(member)) {
           connectOverlayLink(user, member, video);
         }
@@ -358,6 +373,7 @@ void NetTubeSystem::prefetchFromNeighbors(UserId user) {
   std::size_t issued = 0;
   for (const UserId n : neighbors) {
     if (issued >= ctx_.config().prefetchCount) break;
+    if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
     const VideoId candidate =
         nodes_[n.index()].cache.randomVideo(ctx_.rng());
     if (!candidate.valid()) continue;
@@ -398,9 +414,11 @@ void NetTubeSystem::probeNeighbors(UserId user) {
                 !contains(peerIt->second, user);
       }
       if (stale) {
+        ctx_.reportNeighborFailure(user, n);
         links.erase(links.begin() + static_cast<std::ptrdiff_t>(i));
         continue;
       }
+      ctx_.reportNeighborSuccess(user, n);
       ++i;
     }
     it = links.empty() ? node.overlays.erase(it) : std::next(it);

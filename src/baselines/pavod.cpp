@@ -40,6 +40,11 @@ void PaVodSystem::requestVideo(UserId user, VideoId video) {
         video, ctx_.config().watcherListSize, user, ctx_.rng());
     std::erase_if(candidates,
                   [this](UserId u) { return !ctx_.isOnline(u); });
+    // Breaker filtering happens after the RNG draws so that a disabled
+    // board leaves the random stream untouched.
+    std::erase_if(candidates, [this, user](UserId u) {
+      return !ctx_.neighborAllowed(user, u);
+    });
     const UserId provider =
         candidates.empty() ? UserId::invalid() : candidates.front();
     if (!provider.valid()) {

@@ -50,6 +50,7 @@ void SocialTubeSystem::abandonSearch(UserId user) {
 
 // --- links -------------------------------------------------------------------
 
+
 void SocialTubeSystem::connectInner(UserId a, UserId b) {
   if (a == b) return;
   Node& na = nodes_[a.index()];
@@ -89,6 +90,22 @@ void SocialTubeSystem::dropLink(UserId from, UserId gone) {
   Node& node = nodes_[from.index()];
   removeFrom(node.inner, gone);
   removeFrom(node.inter, gone);
+}
+
+void SocialTubeSystem::onGoodbye(UserId at, UserId from, bool innerList) {
+  // Goodbyes race with reconnects: a channel bounce (or a quick relogin) can
+  // re-establish the pair while the goodbye is still in flight, and letting
+  // the stale message sever the newer link leaves a one-sided entry that the
+  // probe sweep then misreads as the neighbor's failure — under churn the
+  // pair can stay asymmetric for whole audit rounds and falsely feed the
+  // breaker. A goodbye only binds while the sender still has us dropped
+  // from the list it announced, and it only severs that list.
+  const Node& sender = nodes_[from.index()];
+  const bool relinked = innerList ? contains(sender.inner, at)
+                                  : contains(sender.inter, at);
+  if (relinked) return;
+  Node& node = nodes_[at.index()];
+  removeFrom(innerList ? node.inner : node.inter, from);
 }
 
 // --- session lifecycle ----------------------------------------------------------
@@ -147,10 +164,13 @@ void SocialTubeSystem::onLogout(UserId user, bool graceful) {
     // Goodbye messages let neighbors update immediately; abrupt departures
     // leave stale links until the next probe round.
     for (const UserId n : node.inner) {
-      ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+      ctx_.sendUser(user, n,
+                    [this, n, user] { onGoodbye(n, user, /*innerList=*/true); });
     }
     for (const UserId n : node.inter) {
-      ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+      ctx_.sendUser(user, n, [this, n, user] {
+        onGoodbye(n, user, /*innerList=*/false);
+      });
     }
   }
   // The server learns of the departure either way (graceful goodbye or
@@ -168,7 +188,8 @@ void SocialTubeSystem::leaveOverlays(UserId user, bool notifyNeighbors) {
   Node& node = nodes_[user.index()];
   if (notifyNeighbors) {
     for (const UserId n : node.inner) {
-      ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+      ctx_.sendUser(user, n,
+                    [this, n, user] { onGoodbye(n, user, /*innerList=*/true); });
     }
   }
   node.inner.clear();
@@ -234,16 +255,20 @@ void SocialTubeSystem::ensureJoined(UserId user, ChannelId channel,
       node.category = category;
 
       for (const UserId candidate : innerCandidates) {
+        if (!ctx_.neighborAllowed(user, candidate)) continue;
         if (ctx_.isOnline(candidate)) connectInner(user, candidate);
       }
       if (categoryChanged) {
         for (const UserId n : node.inter) {
-          ctx_.sendUser(user, n, [this, n, user] { dropLink(n, user); });
+          ctx_.sendUser(user, n, [this, n, user] {
+            onGoodbye(n, user, /*innerList=*/false);
+          });
         }
         node.inter.clear();
       }
       for (const UserId candidate : interCandidates) {
         if (node.inter.size() >= ctx_.config().interLinks) break;
+        if (!ctx_.neighborAllowed(user, candidate)) continue;
         if (ctx_.isOnline(candidate)) connectInter(user, candidate);
       }
       then();
@@ -313,6 +338,7 @@ void SocialTubeSystem::floodChannelPhase(std::uint64_t queryId) {
     return;
   }
   for (const UserId n : node.inner) {
+    if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
     ctx_.sendUser(user, n, [this, user, n, video, queryId] {
       floodChannelQuery(user, n, video, queryId, ctx_.config().ttl);
     });
@@ -351,6 +377,7 @@ void SocialTubeSystem::floodChannelQuery(UserId origin, UserId at,
   if (ttl <= 1) return;
   for (const UserId n : node.inner) {
     if (n == origin) continue;
+    if (!ctx_.neighborAllowed(at, n)) continue;  // breaker open at this hop
     ctx_.sendUser(at, n, [this, origin, n, video, queryId, ttl] {
       floodChannelQuery(origin, n, video, queryId, ttl - 1);
     });
@@ -372,6 +399,7 @@ void SocialTubeSystem::enterCategoryPhase(std::uint64_t queryId) {
   for (const UserId n : node.inter) {
     const UserId origin = search.user;
     const VideoId video = search.video;
+    if (!ctx_.neighborAllowed(origin, n)) continue;  // breaker open
     ctx_.sendUser(origin, n, [this, origin, n, video, queryId] {
       // The inter-neighbor searches its own channel overlay with a fresh TTL.
       floodChannelQuery(origin, n, video, queryId, ctx_.config().ttl);
@@ -385,7 +413,11 @@ void SocialTubeSystem::enterCategoryPhase(std::uint64_t queryId) {
 void SocialTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
   Search* found = searches_.find(queryId);
   if (found == nullptr) return;  // already resolved
-  if (!ctx_.isOnline(provider)) return;
+  if (!ctx_.isOnline(provider)) {
+    // The responder died between answering and our receipt — suspicious.
+    ctx_.reportNeighborFailure(found->user, provider);
+    return;
+  }
   Search& search = *found;
 
   // First responder wins; the requester also connects to it (§IV-A).
@@ -454,6 +486,7 @@ void SocialTubeSystem::startDownload(UserId user, VideoId video,
           break;
         }
         if (n == provider) continue;
+        if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
         if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(video)) {
           request.extraProviders.push_back(n);
         }
@@ -507,6 +540,7 @@ void SocialTubeSystem::prefetchPopular(UserId user, ChannelId channel,
     UserId provider = UserId::invalid();
     for (const std::vector<UserId>* links : {&node.inner, &node.inter}) {
       for (const UserId n : *links) {
+        if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
         if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(candidate)) {
           provider = n;
           break;
@@ -555,12 +589,14 @@ bool SocialTubeSystem::gossipRepairLinks(UserId user) {
                     if (node.channel != channel) return;  // switched since
                     for (const UserId candidate : innerCandidates) {
                       if (node.inner.size() >= ctx_.config().innerLinks) break;
+                      if (!ctx_.neighborAllowed(user, candidate)) continue;
                       if (ctx_.isOnline(candidate)) {
                         connectInner(user, candidate);
                       }
                     }
                     for (const UserId candidate : interCandidates) {
                       if (node.inter.size() >= ctx_.config().interLinks) break;
+                      if (!ctx_.neighborAllowed(user, candidate)) continue;
                       if (ctx_.isOnline(candidate)) {
                         connectInter(user, candidate);
                       }
@@ -600,11 +636,16 @@ void SocialTubeSystem::probeNeighbors(UserId user) {
                           : !contains(peer.inter, user);
       }
       if (stale) {
+        // Dead or moved-away neighbor: drop the link and feed the breaker —
+        // repeated offenders are excluded from repair until they prove
+        // themselves in a half-open trial.
+        ctx_.reportNeighborFailure(user, n);
         dropLink(n, user);  // remove reciprocal entry if any
         links.erase(links.begin() + static_cast<std::ptrdiff_t>(i));
         lostAny = true;
         continue;
       }
+      ctx_.reportNeighborSuccess(user, n);
       ++i;
     }
   };
@@ -660,10 +701,12 @@ void SocialTubeSystem::repairLinks(UserId user) {
       if (node.channel != channel) return;  // switched since the request
       for (const UserId candidate : innerCandidates) {
         if (node.inner.size() >= ctx_.config().innerLinks) break;
+        if (!ctx_.neighborAllowed(user, candidate)) continue;
         if (ctx_.isOnline(candidate)) connectInner(user, candidate);
       }
       for (const UserId candidate : interCandidates) {
         if (node.inter.size() >= ctx_.config().interLinks) break;
+        if (!ctx_.neighborAllowed(user, candidate)) continue;
         if (ctx_.isOnline(candidate)) connectInter(user, candidate);
       }
     });

@@ -125,6 +125,7 @@ class SocialTubeSystem final : public vod::VodSystem {
   void connectInner(UserId a, UserId b);
   void connectInter(UserId a, UserId b);
   void dropLink(UserId from, UserId gone);
+  void onGoodbye(UserId at, UserId from, bool innerList);
 
   // --- search ------------------------------------------------------------------
   void beginSearch(UserId user, VideoId video, bool prefetchHit,

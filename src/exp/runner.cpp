@@ -185,6 +185,48 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   registry.addGauge("feed_watches",
                     [&selector] { return selector.feedWatches(); });
 
+  // Overload-control observability. Registered only when a knob is active so
+  // overload-off runs keep the seed counter set (and CSV columns) unchanged —
+  // the same pattern as Faults above.
+  if (config.vod.overload.any()) {
+    obs::Counter& shed = registry.counter("server.shed");
+    network.flows().setShedCallback(
+        [&shed, &ctx, trace, &simulator](EndpointId src, EndpointId dst,
+                                         net::FlowClass flowClass) {
+          if (src == ctx.serverEndpoint()) shed.inc();
+          ST_TRACE(trace, simulator.now(), kShed, dst.value(), src.value(),
+                   static_cast<std::uint64_t>(flowClass));
+        });
+    registry.addGauge("prefetch.throttled",
+                      [&metrics] { return metrics.prefetchThrottled(); });
+    registry.addGauge("breaker.opened",
+                      [&ctx] { return ctx.breakers().opened(); });
+    registry.addGauge("breaker.closed",
+                      [&ctx] { return ctx.breakers().closed(); });
+    registry.addGauge("breaker.half_open",
+                      [&ctx] { return ctx.breakers().halfOpened(); });
+    registry.addGauge("breaker.open",
+                      [&ctx] { return ctx.breakers().openNow(); });
+    registry.addGauge("slo.stall_count",
+                      [&metrics] { return metrics.stallCount(); });
+    registry.addGauge("slo.stall_ms", [&metrics] {
+      return static_cast<std::uint64_t>(metrics.stallSeconds() * 1000.0);
+    });
+    // Fixed-point parts-per-million so the integer registry can carry the
+    // ratio the slo knob targets.
+    registry.addGauge("slo.rebuffer_ratio_ppm", [&metrics] {
+      return static_cast<std::uint64_t>(metrics.rebufferRatio() * 1e6);
+    });
+    registry.addGauge("slo.startup_p99_ms", [&metrics] {
+      return static_cast<std::uint64_t>(
+          metrics.startupDelayMs().percentile(99));
+    });
+    const double sloTarget = config.vod.overload.rebufferSloRatio;
+    registry.addGauge("slo.rebuffer_within_target", [&metrics, sloTarget] {
+      return metrics.rebufferRatio() <= sloTarget ? 1 : 0;
+    });
+  }
+
   driver.start();
   // Sample the origin server's membership-state size every 30 simulated
   // minutes (the §IV-A server-state comparison).

@@ -206,4 +206,22 @@ bool Schedule::parse(std::string_view spec, Schedule* out,
   return true;
 }
 
+const char* Schedule::grammar() {
+  return "accepted --faults grammar:\n"
+         "  spec     := \"\" | \"none\" | event (\";\" event)*\n"
+         "  event    := kind \":\" field (\",\" field)*\n"
+         "  kind     := crash | blackhole | loss | partition | outage\n"
+         "  field    := key \"=\" value\n"
+         "keys (t required; times in seconds):\n"
+         "  t        event time                       (all kinds)\n"
+         "  dur      window length, default 600       (all except crash)\n"
+         "  frac     affected fraction in [0,1]       (crash, blackhole)\n"
+         "  user     blackhole one specific user id   (blackhole)\n"
+         "  cat      interest category to isolate     (partition; required)\n"
+         "  rate     drop probability in [0,1]        (loss)\n"
+         "  delay_ms extra one-way latency in ms      (loss)\n"
+         "  server   1 = partition cuts server path   (partition)\n"
+         "example: crash:t=3600,frac=0.2;loss:t=4000,dur=300,rate=0.3";
+}
+
 }  // namespace st::fault

@@ -71,6 +71,10 @@ class Schedule {
   // then. Accepted schedules keep their events stably sorted by time.
   static bool parse(std::string_view spec, Schedule* out, std::string* error);
 
+  // One-line-per-key description of the accepted grammar, for fail-fast CLI
+  // error messages.
+  [[nodiscard]] static const char* grammar();
+
   [[nodiscard]] const std::vector<FaultEvent>& events() const {
     return events_;
   }

@@ -10,6 +10,14 @@ namespace {
 // A flow is considered delivered when less than one byte remains; guards
 // against floating-point residue keeping flows alive forever.
 constexpr double kEpsilonBytes = 0.5;
+// Tolerance when comparing a fair-share rate against the playback floor.
+constexpr double kRateEpsilon = 1e-9;
+
+void eraseId(std::vector<FlowId>& list, FlowId id) {
+  const auto it = std::find(list.begin(), list.end(), id);
+  assert(it != list.end());
+  list.erase(it);
+}
 }  // namespace
 
 void FlowNetwork::addEndpoint(EndpointId id, EndpointCapacity capacity) {
@@ -39,6 +47,22 @@ std::size_t FlowNetwork::queuedUploads(EndpointId endpoint) const {
   return endpoints_[endpoint.index()].uploadQueue.size();
 }
 
+void FlowNetwork::setPlaybackFloor(double floorBps) {
+  assert(floorBps >= 0.0);
+  floorBps_ = floorBps;
+}
+
+void FlowNetwork::setAdmissionPolicy(EndpointId endpoint,
+                                     AdmissionPolicy policy) {
+  assert(hasEndpoint(endpoint));
+  endpoints_[endpoint.index()].admission = policy;
+  endpoints_[endpoint.index()].admissionEnabled = true;
+}
+
+void FlowNetwork::setShedCallback(ShedCallback callback) {
+  shedCallback_ = std::move(callback);
+}
+
 double FlowNetwork::fairRate(const Flow& flow) const {
   const EndpointState& src = endpoints_[flow.src.index()];
   const EndpointState& dst = endpoints_[flow.dst.index()];
@@ -51,9 +75,9 @@ double FlowNetwork::fairRate(const Flow& flow) const {
 }
 
 void FlowNetwork::settle(Flow& flow) {
-  if (flow.queued) {
+  if (flow.queued || flow.paused) {
     flow.lastUpdate = sim_.now();
-    return;  // queued flows make no progress
+    return;  // queued/paused flows make no progress
   }
   const sim::SimTime now = sim_.now();
   if (now > flow.lastUpdate && flow.rateBps > 0.0) {
@@ -95,11 +119,93 @@ void FlowNetwork::refreshEndpoint(EndpointId endpoint) {
   }
 }
 
+double FlowNetwork::estimatedBacklogSeconds(const EndpointState& state) const {
+  if (state.capacity.uploadBps <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const sim::SimTime now = sim_.now();
+  double backlogBytes = 0.0;
+  // Active uploads: read-only settle (progress since lastUpdate).
+  for (const FlowId id : state.uploads) {
+    const Flow& flow = flows_.at(id);
+    double remaining = flow.bytesRemaining;
+    if (now > flow.lastUpdate && flow.rateBps > 0.0) {
+      remaining -= flow.rateBps / 8.0 * sim::toSeconds(now - flow.lastUpdate);
+    }
+    backlogBytes += std::max(0.0, remaining);
+  }
+  // Paused uploads hold their slot and will resume; queued uploads wait in
+  // line untouched.
+  for (const FlowId id : state.pausedUploads) {
+    backlogBytes += flows_.at(id).bytesRemaining;
+  }
+  for (const FlowId id : state.uploadQueue) {
+    backlogBytes += flows_.at(id).bytesRemaining;
+  }
+  return backlogBytes * 8.0 / state.capacity.uploadBps;
+}
+
+bool FlowNetwork::shouldShed(EndpointId src, FlowClass flowClass,
+                             sim::SimTime deadline) const {
+  const EndpointState& state = endpoints_[src.index()];
+  if (!state.admissionEnabled) return false;
+  // Prefetches are speculative: queueing one at a saturated source is pure
+  // waste, so they are shed outright instead of waiting for a slot.
+  if (flowClass == FlowClass::kPrefetch && state.admission.shedPrefetch) {
+    return true;
+  }
+  if (state.admission.queueCap > 0 &&
+      state.uploadQueue.size() >= state.admission.queueCap) {
+    return true;
+  }
+  if (deadline > 0 &&
+      estimatedBacklogSeconds(state) > sim::toSeconds(deadline)) {
+    return true;
+  }
+  return false;
+}
+
 FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
                               std::uint64_t bytes,
                               CompletionCallback onComplete) {
+  return startFlow(src, dst, bytes, FlowOptions{}, std::move(onComplete));
+}
+
+FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
+                              std::uint64_t bytes, FlowOptions options,
+                              CompletionCallback onComplete) {
   assert(hasEndpoint(src) && hasEndpoint(dst));
   assert(bytes > 0);
+  EndpointState& source = endpoints_[src.index()];
+  // Paused uploads keep their slot reserved: resuming must never burst the
+  // endpoint past its concurrency limit, and pausing must not leak slots to
+  // the wait queue.
+  const std::size_t usedSlots =
+      source.uploads.size() + source.pausedUploads.size();
+  if (usedSlots >= source.uploadLimit) {
+    if (shouldShed(src, options.flowClass, options.deadline)) {
+      ++source.flowsShed;
+      if (shedCallback_) shedCallback_(src, dst, options.flowClass);
+      return FlowId::invalid();
+    }
+    // No free upload slot: wait in line. The flow joins the share pools of
+    // both endpoints only on activation.
+    const FlowId id{nextFlowId_++};
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.bytesRemaining = static_cast<double>(bytes);
+    flow.totalBytes = bytes;
+    flow.lastUpdate = sim_.now();
+    flow.flowClass = options.flowClass;
+    flow.queued = true;
+    flow.onComplete = std::move(onComplete);
+    flows_.emplace(id, std::move(flow));
+    source.uploadQueue.push_back(id);
+    endpoints_[dst.index()].queuedInbound.push_back(id);
+    return id;
+  }
+
   const FlowId id{nextFlowId_++};
   Flow flow;
   flow.src = src;
@@ -107,25 +213,21 @@ FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
   flow.bytesRemaining = static_cast<double>(bytes);
   flow.totalBytes = bytes;
   flow.lastUpdate = sim_.now();
+  flow.flowClass = options.flowClass;
   flow.onComplete = std::move(onComplete);
-
-  EndpointState& source = endpoints_[src.index()];
-  if (source.uploads.size() >= source.uploadLimit) {
-    // No free upload slot: wait in line. The flow joins the share pools of
-    // both endpoints only on activation.
-    flow.queued = true;
-    flows_.emplace(id, std::move(flow));
-    source.uploadQueue.push_back(id);
-    return id;
-  }
-
   flows_.emplace(id, std::move(flow));
   activate(id, flows_.at(id));
   return id;
 }
 
 void FlowNetwork::activate(FlowId id, Flow& flow) {
+  if (flow.queued) {
+    // Leaving the wait queue: the destination's inbound-queue mirror must
+    // forget the flow too.
+    eraseId(endpoints_[flow.dst.index()].queuedInbound, id);
+  }
   flow.queued = false;
+  flow.paused = false;
   flow.lastUpdate = sim_.now();
   endpoints_[flow.src.index()].uploads.push_back(id);
   endpoints_[flow.dst.index()].downloads.push_back(id);
@@ -133,17 +235,121 @@ void FlowNetwork::activate(FlowId id, Flow& flow) {
   // own rate is derived inside refreshEndpoint as well).
   refreshEndpoint(flow.src);
   if (flow.dst != flow.src) refreshEndpoint(flow.dst);
+  enforceFloorFor(id);
 }
 
 void FlowNetwork::promoteQueued(EndpointId endpoint) {
   EndpointState& state = endpoints_[endpoint.index()];
   while (!state.uploadQueue.empty() &&
-         state.uploads.size() < state.uploadLimit) {
+         state.uploads.size() + state.pausedUploads.size() <
+             state.uploadLimit) {
     const FlowId next = state.uploadQueue.front();
     state.uploadQueue.pop_front();
     const auto it = flows_.find(next);
     assert(it != flows_.end() && it->second.queued);
     activate(next, it->second);
+  }
+}
+
+void FlowNetwork::enforceFloorFor(FlowId id) {
+  if (floorBps_ <= 0.0) return;
+  Flow& flow = flows_.at(id);
+  while (flow.rateBps + kRateEpsilon < floorBps_) {
+    // Victims live at the bottleneck endpoint: pausing elsewhere cannot
+    // raise this flow's rate.
+    const EndpointState& src = endpoints_[flow.src.index()];
+    const EndpointState& dst = endpoints_[flow.dst.index()];
+    const double upShare =
+        src.capacity.uploadBps / static_cast<double>(src.uploads.size());
+    const double downShare =
+        dst.capacity.downloadBps / static_cast<double>(dst.downloads.size());
+    const bool srcBottleneck = upShare <= downShare;
+    const std::vector<FlowId>& members =
+        srcBottleneck ? src.uploads : dst.downloads;
+    // Lowest class first (largest enum value), most recently activated
+    // within a class — older transfers keep their progress.
+    FlowId victim = FlowId::invalid();
+    FlowClass victimClass = flow.flowClass;
+    for (const FlowId candidate : members) {
+      const Flow& other = flows_.at(candidate);
+      if (other.flowClass <= flow.flowClass) continue;
+      if (!victim.valid() || other.flowClass >= victimClass) {
+        victim = candidate;
+        victimClass = other.flowClass;
+      }
+    }
+    if (!victim.valid()) break;
+    Flow& victimFlow = flows_.at(victim);
+    const EndpointId vSrc = victimFlow.src;
+    const EndpointId vDst = victimFlow.dst;
+    pauseFlow(victim, victimFlow);
+    refreshEndpoint(vSrc);
+    if (vDst != vSrc) refreshEndpoint(vDst);
+  }
+}
+
+void FlowNetwork::pauseFlow(FlowId id, Flow& flow) {
+  assert(!flow.queued && !flow.paused);
+  settle(flow);
+  if (flow.completion.valid()) {
+    sim_.cancel(flow.completion);
+    flow.completion = sim::EventHandle{};
+  }
+  eraseId(endpoints_[flow.src.index()].uploads, id);
+  eraseId(endpoints_[flow.dst.index()].downloads, id);
+  flow.paused = true;
+  flow.rateBps = 0.0;
+  endpoints_[flow.src.index()].pausedUploads.push_back(id);
+  endpoints_[flow.dst.index()].pausedDownloads.push_back(id);
+}
+
+bool FlowNetwork::canResume(const Flow& flow) const {
+  // Resuming adds one flow to src's upload pool and dst's download pool;
+  // refuse when that would push an already-active higher-class flow at
+  // either endpoint below the floor.
+  const EndpointState& src = endpoints_[flow.src.index()];
+  const double upShare = src.capacity.uploadBps /
+                         static_cast<double>(src.uploads.size() + 1);
+  if (upShare + kRateEpsilon < floorBps_) {
+    for (const FlowId other : src.uploads) {
+      if (flows_.at(other).flowClass < flow.flowClass) return false;
+    }
+  }
+  const EndpointState& dst = endpoints_[flow.dst.index()];
+  const double downShare = dst.capacity.downloadBps /
+                           static_cast<double>(dst.downloads.size() + 1);
+  if (downShare + kRateEpsilon < floorBps_) {
+    for (const FlowId other : dst.downloads) {
+      if (flows_.at(other).flowClass < flow.flowClass) return false;
+    }
+  }
+  return true;
+}
+
+void FlowNetwork::resumePaused(EndpointId endpoint) {
+  if (floorBps_ <= 0.0) return;
+  while (true) {
+    EndpointState& state = endpoints_[endpoint.index()];
+    // Highest class first, FIFO within a class; uploads scanned before
+    // downloads so the order is deterministic.
+    FlowId pick = FlowId::invalid();
+    FlowClass pickClass = FlowClass::kPrefetch;
+    for (const std::vector<FlowId>* list :
+         {&state.pausedUploads, &state.pausedDownloads}) {
+      for (const FlowId id : *list) {
+        const Flow& flow = flows_.at(id);
+        if (pick.valid() && flow.flowClass >= pickClass) continue;
+        if (canResume(flow)) {
+          pick = id;
+          pickClass = flow.flowClass;
+        }
+      }
+    }
+    if (!pick.valid()) return;
+    Flow& flow = flows_.at(pick);
+    eraseId(endpoints_[flow.src.index()].pausedUploads, pick);
+    eraseId(endpoints_[flow.dst.index()].pausedDownloads, pick);
+    activate(pick, flow);
   }
 }
 
@@ -163,10 +369,24 @@ void FlowNetwork::removeFlow(FlowId id, bool completed) {
   if (flow.completion.valid()) sim_.cancel(flow.completion);
 
   if (flow.queued) {
-    // Never activated: only the source's wait queue knows about it.
+    // Never activated: only the source's wait queue (and the destination's
+    // inbound mirror) know about it.
     assert(!completed);
     auto& queue = endpoints_[flow.src.index()].uploadQueue;
     queue.erase(std::find(queue.begin(), queue.end(), id));
+    eraseId(endpoints_[flow.dst.index()].queuedInbound, id);
+    return;
+  }
+
+  if (flow.paused) {
+    // Not in the share pools; releasing its reserved slot may admit queued
+    // or paused work at the source.
+    assert(!completed);
+    eraseId(endpoints_[flow.src.index()].pausedUploads, id);
+    eraseId(endpoints_[flow.dst.index()].pausedDownloads, id);
+    promoteQueued(flow.src);
+    resumePaused(flow.src);
+    if (flow.dst != flow.src) resumePaused(flow.dst);
     return;
   }
 
@@ -181,6 +401,8 @@ void FlowNetwork::removeFlow(FlowId id, bool completed) {
   }
 
   promoteQueued(flow.src);
+  resumePaused(flow.src);
+  if (flow.dst != flow.src) resumePaused(flow.dst);
   refreshEndpoint(flow.src);
   if (flow.dst != flow.src) refreshEndpoint(flow.dst);
 
@@ -196,12 +418,23 @@ void FlowNetwork::dropEndpointFlows(EndpointId endpoint,
                                     const AbortCallback& onAborted) {
   assert(hasEndpoint(endpoint));
   EndpointState& state = endpoints_[endpoint.index()];
-  // Queued (never-activated) uploads die without notification.
+  // Queued (never-activated) uploads die without notification, as do flows
+  // queued at another source that would have downloaded into this endpoint
+  // — without the inbound purge such a flow would later activate and fire
+  // its completion toward a dead endpoint.
   const std::vector<FlowId> queued(state.uploadQueue.begin(),
                                    state.uploadQueue.end());
   for (const FlowId id : queued) removeFlow(id, /*completed=*/false);
+  const std::vector<FlowId> inbound = state.queuedInbound;
+  for (const FlowId id : inbound) removeFlow(id, /*completed=*/false);
   std::vector<FlowId> doomed = state.uploads;
   doomed.insert(doomed.end(), state.downloads.begin(), state.downloads.end());
+  // Preempted flows are still live transfers from the remote side's point of
+  // view; a paused upload's downloader must be notified like an active one.
+  doomed.insert(doomed.end(), state.pausedUploads.begin(),
+                state.pausedUploads.end());
+  doomed.insert(doomed.end(), state.pausedDownloads.begin(),
+                state.pausedDownloads.end());
   for (const FlowId id : doomed) {
     const auto it = flows_.find(id);
     if (it == flows_.end()) continue;  // same flow on both sides (loopback)
@@ -226,6 +459,11 @@ double FlowNetwork::flowRateBps(FlowId id) const {
   return it == flows_.end() ? 0.0 : it->second.rateBps;
 }
 
+bool FlowNetwork::flowPaused(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it != flows_.end() && it->second.paused;
+}
+
 std::size_t FlowNetwork::activeUploads(EndpointId id) const {
   assert(hasEndpoint(id));
   return endpoints_[id.index()].uploads.size();
@@ -236,6 +474,11 @@ std::size_t FlowNetwork::activeDownloads(EndpointId id) const {
   return endpoints_[id.index()].downloads.size();
 }
 
+std::size_t FlowNetwork::pausedUploads(EndpointId id) const {
+  assert(hasEndpoint(id));
+  return endpoints_[id.index()].pausedUploads.size();
+}
+
 std::uint64_t FlowNetwork::bytesUploaded(EndpointId id) const {
   assert(hasEndpoint(id));
   return endpoints_[id.index()].bytesUploaded;
@@ -244,6 +487,11 @@ std::uint64_t FlowNetwork::bytesUploaded(EndpointId id) const {
 std::uint64_t FlowNetwork::bytesDownloaded(EndpointId id) const {
   assert(hasEndpoint(id));
   return endpoints_[id.index()].bytesDownloaded;
+}
+
+std::uint64_t FlowNetwork::flowsShed(EndpointId id) const {
+  assert(hasEndpoint(id));
+  return endpoints_[id.index()].flowsShed;
 }
 
 }  // namespace st::net

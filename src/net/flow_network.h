@@ -13,6 +13,20 @@
 // This is the mechanism that makes the origin server's 5 Mbps uplink
 // (Table I) saturate under PA-VoD and produce the paper's startup-delay
 // blow-up — no special-case queueing code needed.
+//
+// Overload control (all off by default; a run with every knob at its default
+// is bitwise-identical to a build without this layer):
+//
+//  * Flow classes order playback > server-fallback > prefetch. With a
+//    playback floor configured, activating a flow that would run below the
+//    floor pauses lower-class flows at its bottleneck endpoint; paused flows
+//    resume (highest class first, FIFO within a class) when capacity frees
+//    up and no higher-class flow would be pushed back under the floor.
+//  * An admission policy on an endpoint with an upload-concurrency limit
+//    sheds work instead of queueing it blindly: prefetch-class flows are
+//    rejected whenever they would have to queue, any class is rejected when
+//    the wait queue is at its cap, and a flow with a deadline is rejected
+//    when the backlog ahead of it could not drain in time.
 #pragma once
 
 #include <cstdint>
@@ -32,9 +46,32 @@ struct EndpointCapacity {
   double downloadBps = 0.0;  // bits per second
 };
 
+// Priority classes, highest first. Lower enum value = higher priority.
+enum class FlowClass : std::uint8_t {
+  kPlayback = 0,        // foreground watch fed by a peer
+  kServerFallback = 1,  // foreground watch fed by the origin server
+  kPrefetch = 2,        // speculative first-chunk prefetch
+};
+inline constexpr std::size_t kFlowClassCount = 3;
+
 class FlowNetwork {
  public:
   using CompletionCallback = std::function<void()>;
+
+  struct FlowOptions {
+    FlowClass flowClass = FlowClass::kPlayback;
+    // Admission deadline (duration from now): if the estimated wait behind
+    // the source's queued/active backlog exceeds it, the flow is shed at
+    // start. 0 = patient (never shed by deadline).
+    sim::SimTime deadline = 0;
+  };
+
+  // Admission policy for an endpoint with an upload concurrency limit.
+  // Inactive by default; see the header comment for the shed rules.
+  struct AdmissionPolicy {
+    std::size_t queueCap = 0;        // max queued uploads; 0 = unbounded
+    bool shedPrefetch = true;        // reject prefetch-class flows that queue
+  };
 
   explicit FlowNetwork(sim::Simulator& simulator) : sim_(simulator) {}
   FlowNetwork(const FlowNetwork&) = delete;
@@ -53,19 +90,41 @@ class FlowNetwork {
   void setUploadConcurrencyLimit(EndpointId endpoint, std::size_t limit);
   [[nodiscard]] std::size_t queuedUploads(EndpointId endpoint) const;
 
+  // Minimum rate (bps) a newly activated flow must reach before lower-class
+  // flows at its bottleneck endpoint are paused to make room. 0 disables
+  // priorities entirely (the default; behavior identical to the seed model).
+  void setPlaybackFloor(double floorBps);
+  [[nodiscard]] double playbackFloor() const { return floorBps_; }
+
+  // Installs deadline-aware admission control at `endpoint` (meaningful only
+  // together with an upload concurrency limit; flows that would be admitted
+  // to a free slot are never shed).
+  void setAdmissionPolicy(EndpointId endpoint, AdmissionPolicy policy);
+
+  // Observer invoked for every shed flow (before startFlow returns invalid).
+  using ShedCallback =
+      std::function<void(EndpointId src, EndpointId dst, FlowClass flowClass)>;
+  void setShedCallback(ShedCallback callback);
+
   // Starts a transfer of `bytes` from src to dst; `onComplete` fires when the
-  // last byte arrives. Returns a handle usable with cancelFlow().
+  // last byte arrives. Returns a handle usable with cancelFlow() — or
+  // FlowId::invalid() when the source's admission policy shed the flow (the
+  // completion callback is dropped and will never fire).
   FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
                    CompletionCallback onComplete);
+  FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
+                   FlowOptions options, CompletionCallback onComplete);
 
   // Aborts a transfer (e.g. provider churned away). The completion callback
   // does not fire. Safe to call with an already-finished flow id (no-op).
   void cancelFlow(FlowId id);
 
-  // Aborts every flow in which `endpoint` participates (node departure).
-  // Invokes `onAborted` (if given) for each cancelled flow the endpoint was
-  // *uploading* — the remote downloader lost its provider and must re-request
-  // elsewhere; the departed node's own downloads just die with it.
+  // Aborts every flow in which `endpoint` participates (node departure),
+  // including flows still queued at another source whose destination is the
+  // departing endpoint. Invokes `onAborted` (if given) for each cancelled
+  // *active* flow the endpoint was uploading — the remote downloader lost
+  // its provider and must re-request elsewhere; the departed node's own
+  // downloads (and anything still queued) just die silently.
   using AbortCallback = std::function<void(FlowId, std::uint64_t bytesDone)>;
   void dropEndpointFlows(EndpointId endpoint,
                          const AbortCallback& onAborted = nullptr);
@@ -73,14 +132,18 @@ class FlowNetwork {
   [[nodiscard]] bool flowActive(FlowId id) const;
   // Instantaneous rate in bits per second (0 for finished flows).
   [[nodiscard]] double flowRateBps(FlowId id) const;
+  [[nodiscard]] bool flowPaused(FlowId id) const;
 
   [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
   [[nodiscard]] std::size_t activeUploads(EndpointId id) const;
   [[nodiscard]] std::size_t activeDownloads(EndpointId id) const;
+  [[nodiscard]] std::size_t pausedUploads(EndpointId id) const;
 
   // Cumulative bytes fully delivered out of / into an endpoint.
   [[nodiscard]] std::uint64_t bytesUploaded(EndpointId id) const;
   [[nodiscard]] std::uint64_t bytesDownloaded(EndpointId id) const;
+  // Flows shed by `endpoint`'s admission policy since the start of the run.
+  [[nodiscard]] std::uint64_t flowsShed(EndpointId id) const;
 
  private:
   struct Flow {
@@ -90,7 +153,9 @@ class FlowNetwork {
     double rateBps = 0.0;          // current rate
     sim::SimTime lastUpdate = 0;   // when bytesRemaining was settled
     std::uint64_t totalBytes = 0;
+    FlowClass flowClass = FlowClass::kPlayback;
     bool queued = false;           // waiting for an upload slot at src
+    bool paused = false;           // preempted by a higher-class flow
     sim::EventHandle completion;
     CompletionCallback onComplete;
   };
@@ -101,8 +166,19 @@ class FlowNetwork {
     std::vector<FlowId> downloads;
     std::size_t uploadLimit = std::numeric_limits<std::size_t>::max();
     std::deque<FlowId> uploadQueue;
+    // Flows queued at *another* source that will download into this
+    // endpoint; tracked so dropEndpointFlows can purge them (a queued flow
+    // is in nobody's uploads/downloads lists yet).
+    std::vector<FlowId> queuedInbound;
+    // Preempted flows, in pause order (pausedUploads at src mirrors
+    // pausedDownloads at dst).
+    std::vector<FlowId> pausedUploads;
+    std::vector<FlowId> pausedDownloads;
+    AdmissionPolicy admission;
+    bool admissionEnabled = false;
     std::uint64_t bytesUploaded = 0;
     std::uint64_t bytesDownloaded = 0;
+    std::uint64_t flowsShed = 0;
   };
 
   [[nodiscard]] double fairRate(const Flow& flow) const;
@@ -112,15 +188,32 @@ class FlowNetwork {
   void refreshEndpoint(EndpointId endpoint);
   void finish(FlowId id);
   void removeFlow(FlowId id, bool completed);
-  // Makes a queued flow active (slot freed at its source).
+  // Makes a queued or paused flow active (slot freed at its source).
   void activate(FlowId id, Flow& flow);
   // Promotes queued uploads at `endpoint` while slots are available.
   void promoteQueued(EndpointId endpoint);
+  // True when the source's admission policy rejects this flow now.
+  [[nodiscard]] bool shouldShed(EndpointId src, FlowClass flowClass,
+                                sim::SimTime deadline) const;
+  // Seconds the backlog (active remaining + queued bytes) at `endpoint`
+  // needs to drain at full uplink rate.
+  [[nodiscard]] double estimatedBacklogSeconds(
+      const EndpointState& state) const;
+  // Pauses lower-class flows at the bottleneck endpoint of `id` until its
+  // rate reaches the floor (or no victims remain). No-op with floor 0.
+  void enforceFloorFor(FlowId id);
+  void pauseFlow(FlowId id, Flow& flow);
+  // Resumes paused flows touching `endpoint` while doing so pushes no
+  // higher-class flow below the floor.
+  void resumePaused(EndpointId endpoint);
+  [[nodiscard]] bool canResume(const Flow& flow) const;
 
   sim::Simulator& sim_;
   std::vector<EndpointState> endpoints_;
   std::unordered_map<FlowId, Flow> flows_;
   std::uint32_t nextFlowId_ = 1;
+  double floorBps_ = 0.0;
+  ShedCallback shedCallback_;
 };
 
 }  // namespace st::net

@@ -18,6 +18,8 @@ const char* eventKindName(EventKind kind) {
     case EventKind::kRebuffer: return "rebuffer";
     case EventKind::kFault: return "fault";
     case EventKind::kViolation: return "violation";
+    case EventKind::kShed: return "shed";
+    case EventKind::kBreaker: return "breaker";
   }
   return "?";
 }

@@ -43,8 +43,10 @@ enum class EventKind : std::uint8_t {
   kRebuffer,
   kFault,      // scripted fault activation (actor = fault kind)
   kViolation,  // confirmed invariant-audit violation
+  kShed,       // admission control rejected a flow (actor = requester)
+  kBreaker,    // circuit breaker transition (value: 1 open, 2 half, 0 close)
 };
-inline constexpr std::size_t kEventKindCount = 11;
+inline constexpr std::size_t kEventKindCount = 13;
 
 // Stable lowercase name used in JSONL output ("server_fallback", ...).
 [[nodiscard]] const char* eventKindName(EventKind kind);

@@ -1,0 +1,105 @@
+#include "vod/breaker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace st::vod {
+
+BreakerBoard::Entry& BreakerBoard::entry(UserId owner, UserId neighbor) {
+  assert(owner.index() < byOwner_.size());
+  std::vector<Entry>& entries = byOwner_[owner.index()];
+  const auto it = std::find_if(
+      entries.begin(), entries.end(),
+      [neighbor](const Entry& e) { return e.neighbor == neighbor; });
+  if (it != entries.end()) return *it;
+  entries.push_back(Entry{neighbor});
+  return entries.back();
+}
+
+const BreakerBoard::Entry* BreakerBoard::findEntry(UserId owner,
+                                                   UserId neighbor) const {
+  if (owner.index() >= byOwner_.size()) return nullptr;
+  const std::vector<Entry>& entries = byOwner_[owner.index()];
+  const auto it = std::find_if(
+      entries.begin(), entries.end(),
+      [neighbor](const Entry& e) { return e.neighbor == neighbor; });
+  return it == entries.end() ? nullptr : &*it;
+}
+
+bool BreakerBoard::allowed(UserId owner, UserId neighbor, sim::SimTime now) {
+  if (!enabled()) return true;
+  if (owner.index() >= byOwner_.size()) return true;
+  // Read-only lookup first: most pairs have no entry and must not grow one.
+  std::vector<Entry>& entries = byOwner_[owner.index()];
+  const auto it = std::find_if(
+      entries.begin(), entries.end(),
+      [neighbor](const Entry& e) { return e.neighbor == neighbor; });
+  if (it == entries.end()) return true;
+  Entry& e = *it;
+  switch (e.state) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      // One trial is already in flight somewhere; further traffic waits for
+      // its verdict rather than stampeding a possibly-dead neighbor.
+      return false;
+    case State::kOpen:
+      if (now < e.retryAt) return false;
+      e.state = State::kHalfOpen;
+      ++halfOpened_;
+      return true;  // the half-open trial itself
+  }
+  return true;
+}
+
+bool BreakerBoard::recordFailure(UserId owner, UserId neighbor,
+                                 sim::SimTime now) {
+  if (!enabled()) return false;
+  Entry& e = entry(owner, neighbor);
+  switch (e.state) {
+    case State::kOpen:
+      // Already open; nothing new to report and the cooldown keeps ticking.
+      return false;
+    case State::kHalfOpen:
+      // The trial failed: re-open with a fresh cooldown.
+      e.state = State::kOpen;
+      e.retryAt = now + cooldown_;
+      ++opened_;
+      return true;
+    case State::kClosed:
+      if (++e.failures < threshold_) return false;
+      e.state = State::kOpen;
+      e.retryAt = now + cooldown_;
+      ++opened_;
+      ++openNow_;
+      return true;
+  }
+  return false;
+}
+
+bool BreakerBoard::recordSuccess(UserId owner, UserId neighbor) {
+  if (!enabled()) return false;
+  if (owner.index() >= byOwner_.size()) return false;
+  std::vector<Entry>& entries = byOwner_[owner.index()];
+  const auto it = std::find_if(
+      entries.begin(), entries.end(),
+      [neighbor](const Entry& e) { return e.neighbor == neighbor; });
+  if (it == entries.end()) return false;
+  Entry& e = *it;
+  const bool wasTripped = e.state != State::kClosed;
+  e.state = State::kClosed;
+  e.failures = 0;
+  if (wasTripped) {
+    ++closed_;
+    assert(openNow_ > 0);
+    --openNow_;
+  }
+  return wasTripped;
+}
+
+BreakerBoard::State BreakerBoard::state(UserId owner, UserId neighbor) const {
+  const Entry* e = findEntry(owner, neighbor);
+  return e == nullptr ? State::kClosed : e->state;
+}
+
+}  // namespace st::vod

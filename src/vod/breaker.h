@@ -1,0 +1,77 @@
+// Per-neighbor circuit breakers shared by all three systems.
+//
+// Every (owner, neighbor) pair carries a suspicion counter fed by probe,
+// search, and transfer failures. Reaching the threshold opens the breaker:
+// the neighbor is excluded from provider selection and flood forwarding
+// until the cooldown elapses, after which a single half-open trial is
+// allowed — a success closes the breaker, another failure re-opens it.
+// State is keyed by the *owner's* observations, so one node's bad luck
+// never poisons another node's view, and it survives the owner's own
+// logout (memory of flaky neighbors is the point).
+//
+// Disabled (threshold 0) the board is pure dead weight: allowed() returns
+// true without mutating anything, record*() are no-ops — runs stay
+// bitwise-identical to a build without it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/strong_id.h"
+
+namespace st::vod {
+
+class BreakerBoard {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+  BreakerBoard(std::size_t userCount, std::size_t threshold,
+               sim::SimTime cooldown)
+      : threshold_(threshold), cooldown_(cooldown), byOwner_(userCount) {}
+  BreakerBoard(const BreakerBoard&) = delete;
+  BreakerBoard& operator=(const BreakerBoard&) = delete;
+
+  [[nodiscard]] bool enabled() const { return threshold_ > 0; }
+
+  // True when traffic to `neighbor` is allowed. An open breaker past its
+  // cooldown transitions to half-open (one trial) as a side effect.
+  bool allowed(UserId owner, UserId neighbor, sim::SimTime now);
+
+  // Returns true when this failure *opened* (or re-opened) the breaker.
+  bool recordFailure(UserId owner, UserId neighbor, sim::SimTime now);
+  // Returns true when this success *closed* a previously open breaker.
+  bool recordSuccess(UserId owner, UserId neighbor);
+
+  [[nodiscard]] State state(UserId owner, UserId neighbor) const;
+
+  // Lifetime tallies for the breaker.* gauges.
+  [[nodiscard]] std::uint64_t opened() const { return opened_; }
+  [[nodiscard]] std::uint64_t closed() const { return closed_; }
+  [[nodiscard]] std::uint64_t halfOpened() const { return halfOpened_; }
+  // Breakers currently not closed (open or half-open).
+  [[nodiscard]] std::uint64_t openNow() const { return openNow_; }
+
+ private:
+  struct Entry {
+    UserId neighbor;
+    std::uint32_t failures = 0;
+    State state = State::kClosed;
+    sim::SimTime retryAt = 0;  // open -> half-open transition time
+  };
+
+  // Finds or creates the owner's entry for `neighbor`. Small linear lists:
+  // a node only ever suspects a handful of neighbors.
+  Entry& entry(UserId owner, UserId neighbor);
+  [[nodiscard]] const Entry* findEntry(UserId owner, UserId neighbor) const;
+
+  std::size_t threshold_;
+  sim::SimTime cooldown_;
+  std::vector<std::vector<Entry>> byOwner_;
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_ = 0;
+  std::uint64_t halfOpened_ = 0;
+  std::uint64_t openNow_ = 0;
+};
+
+}  // namespace st::vod

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "sim/time.h"
+#include "vod/overload.h"
 
 namespace st::vod {
 
@@ -95,6 +96,12 @@ struct VodConfig {
   sim::SimTime probeInterval = 10 * sim::kMinute;
   // Server request processing time (directory lookup).
   sim::SimTime serverProcessing = 2 * sim::kMillisecond;
+
+  // --- overload control ------------------------------------------------------
+  // Flow priorities, load shedding, prefetch backpressure, and circuit
+  // breakers; inert by default (overload.any() == false) so baseline runs
+  // stay bitwise-identical. Parsed from --overload; see vod/overload.h.
+  OverloadConfig overload;
 
   [[nodiscard]] double chunkBytes(double videoLengthSeconds) const {
     const double total = videoLengthSeconds * bitrateBps / 8.0;

@@ -16,6 +16,8 @@ SystemContext::SystemContext(sim::Simulator& simulator, net::Network& network,
       config_(config),
       metrics_(metrics),
       rng_(Rng::forPurpose(seed, "protocol")),
+      breakers_(catalog.userCount(), config.overload.breakerThreshold,
+                config.overload.breakerCooldown),
       serverEndpoint_{static_cast<std::uint32_t>(catalog.userCount())},
       online_(catalog.userCount(), 0),
       offlineSince_(catalog.userCount(), 0),
@@ -33,6 +35,40 @@ SystemContext::SystemContext(sim::Simulator& simulator, net::Network& network,
   const auto streamSlots = static_cast<std::size_t>(
       std::max(4.0, 2.0 * config.serverUploadBps / config.bitrateBps));
   network_.flows().setUploadConcurrencyLimit(serverEndpoint_, streamSlots);
+  // Overload-control policies (inert unless --overload enables them).
+  if (config.overload.playbackFloorBps > 0.0) {
+    network_.flows().setPlaybackFloor(config.overload.playbackFloorBps);
+  }
+  if (config.overload.admissionEnabled()) {
+    net::FlowNetwork::AdmissionPolicy policy;
+    policy.queueCap = config.overload.serverQueueCap;
+    policy.shedPrefetch = true;
+    network_.flows().setAdmissionPolicy(serverEndpoint_, policy);
+  }
+}
+
+bool SystemContext::neighborAllowed(UserId owner, UserId neighbor) {
+  if (!breakers_.enabled()) return true;
+  const bool wasOpen =
+      breakers_.state(owner, neighbor) == BreakerBoard::State::kOpen;
+  const bool ok = breakers_.allowed(owner, neighbor, sim_.now());
+  if (wasOpen && ok) {
+    // The open breaker just granted its half-open trial.
+    ST_TRACE(trace_, sim_.now(), kBreaker, owner.value(), neighbor.value(), 2);
+  }
+  return ok;
+}
+
+void SystemContext::reportNeighborFailure(UserId owner, UserId neighbor) {
+  if (breakers_.recordFailure(owner, neighbor, sim_.now())) {
+    ST_TRACE(trace_, sim_.now(), kBreaker, owner.value(), neighbor.value(), 1);
+  }
+}
+
+void SystemContext::reportNeighborSuccess(UserId owner, UserId neighbor) {
+  if (breakers_.recordSuccess(owner, neighbor)) {
+    ST_TRACE(trace_, sim_.now(), kBreaker, owner.value(), neighbor.value(), 0);
+  }
 }
 
 std::size_t SystemContext::onlineCount() const {

@@ -15,6 +15,7 @@
 #include "sim/simulator.h"
 #include "trace/catalog.h"
 #include "util/rng.h"
+#include "vod/breaker.h"
 #include "vod/config.h"
 #include "vod/library.h"
 #include "vod/metrics.h"
@@ -75,6 +76,16 @@ class SystemContext {
     released_[video.index()] = released ? 1 : 0;
   }
 
+  // --- circuit breakers (overload control, see vod/breaker.h) ---------------
+  // Inert unless config.overload.breakerThreshold > 0: neighborAllowed()
+  // answers true and the report helpers do nothing, so baseline runs are
+  // untouched. The wrappers emit kBreaker trace events on transitions
+  // (value: 1 = opened, 2 = half-open trial, 0 = closed).
+  [[nodiscard]] BreakerBoard& breakers() { return breakers_; }
+  bool neighborAllowed(UserId owner, UserId neighbor);
+  void reportNeighborFailure(UserId owner, UserId neighbor);
+  void reportNeighborSuccess(UserId owner, UserId neighbor);
+
   // Delivers `atReceiver` at `to` after one-way latency; silently dropped if
   // the receiver is offline when the message arrives (or lost in transit).
   void sendUser(UserId from, UserId to, sim::Callback atReceiver);
@@ -95,6 +106,7 @@ class SystemContext {
   Metrics& metrics_;
   obs::EventTrace* trace_ = nullptr;
   Rng rng_;
+  BreakerBoard breakers_;
   EndpointId serverEndpoint_;
   std::vector<char> online_;
   std::vector<sim::SimTime> offlineSince_;

@@ -71,6 +71,33 @@ class Metrics {
                              static_cast<double>(bodies);
   }
 
+  // --- playback SLO accounting (overload control) ------------------------------
+  // Time-weighted continuity: every completed body contributes its runtime
+  // as playback time, and any excess of download time over runtime as stall
+  // time. rebufferRatio = stall / (stall + playback) is the quantity the
+  // --overload slo knob targets. Plain members rather than registry slots so
+  // overload-off snapshots keep their exact column set; the runner exports
+  // slo.* gauges only when overload control is active.
+  void recordPlayback(double seconds) { playbackSeconds_ += seconds; }
+  void recordStall(double seconds) {
+    ++stallCount_;
+    stallSeconds_ += seconds;
+  }
+  [[nodiscard]] std::uint64_t stallCount() const { return stallCount_; }
+  [[nodiscard]] double stallSeconds() const { return stallSeconds_; }
+  [[nodiscard]] double playbackSeconds() const { return playbackSeconds_; }
+  [[nodiscard]] double rebufferRatio() const {
+    const double total = stallSeconds_ + playbackSeconds_;
+    return total <= 0.0 ? 0.0 : stallSeconds_ / total;
+  }
+
+  // Prefetches suppressed by backpressure (credit exhausted or the user's
+  // link already contended). Same plain-member rationale as the SLO stats.
+  void countPrefetchThrottled() { ++prefetchThrottled_; }
+  [[nodiscard]] std::uint64_t prefetchThrottled() const {
+    return prefetchThrottled_;
+  }
+
   // --- NetTube redundancy (§IV-C) ----------------------------------------------
   void recordRedundantLinks(std::size_t count) {
     redundantLinks_.add(static_cast<double>(count));
@@ -117,6 +144,10 @@ class Metrics {
   std::vector<std::uint64_t> serverChunks_;
   std::vector<RunningStats> linksByVideosWatched_;
   RunningStats redundantLinks_;
+  std::uint64_t stallCount_ = 0;
+  double stallSeconds_ = 0.0;
+  double playbackSeconds_ = 0.0;
+  std::uint64_t prefetchThrottled_ = 0;
   // Registry-owned slots, cached for branch-free increments.
   obs::Counter* startupTimeouts_;
   obs::Counter* cacheHits_;

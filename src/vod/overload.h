@@ -1,0 +1,88 @@
+// Overload-control knobs: the parsed form of an `--overload=` spec.
+//
+// Everything defaults to *off*; a config where any() is false leaves every
+// run bitwise-identical to a build without the overload layer. Parsing is
+// pure (no simulator state), so specs can be validated from the CLI before
+// minutes of simulation — the same contract as fault::Schedule.
+//
+// Grammar (whitespace around tokens is ignored):
+//
+//   spec   := "" | "none" | field ("," field)*
+//   field  := "on" | key "=" value
+//
+// "on" enables the whole degradation ladder with the defaults listed below;
+// later fields override individual knobs.
+//
+// Keys:
+//   floor_kbps  playback-floor rate in kbit/s; flows below it preempt
+//               lower-class flows (0 = no priorities)        [on: 160]
+//   queue       server admission queue cap, in flows (0 = unbounded)
+//                                                            [on: 64]
+//   deadline    admission deadline in seconds for first-chunk flows;
+//               requests whose queue wait would exceed it are shed
+//               (0 = patient)                                [on: 30]
+//   credit      max in-flight prefetches per user (0 = unlimited)
+//                                                            [on: 2]
+//   contention  skip prefetch issuance while the user already has at
+//               least this many active downloads (0 = never) [on: 3]
+//   breaker     per-neighbor failure count that opens a circuit breaker
+//               (0 = breakers off)                           [on: 3]
+//   cooldown    seconds an open breaker waits before half-open [on: 300]
+//   slo         rebuffer-ratio SLO target in [0,1], reported by the
+//               slo.* gauges                                 [on: 0.05]
+//
+// Example:  --overload on                (full ladder, defaults)
+//           --overload floor_kbps=200,breaker=5,cooldown=120
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace st::vod {
+
+struct OverloadConfig {
+  // Flow priorities: minimum rate (bps) a newly started flow must get
+  // before lower-class flows are paused. 0 = classes inert.
+  double playbackFloorBps = 0.0;
+  // Origin-server admission control (needs the concurrency limit that
+  // SystemContext always installs): cap on queued streams, and the
+  // deadline budget for first-chunk flows. 0/0 = admit everything.
+  std::size_t serverQueueCap = 0;
+  double admissionDeadlineSeconds = 0.0;
+  // Prefetch backpressure at the client.
+  std::size_t prefetchCredit = 0;       // in-flight prefetches per user
+  std::size_t contentionThreshold = 0;  // active downloads that veto prefetch
+  // Per-neighbor circuit breakers.
+  std::size_t breakerThreshold = 0;     // failures to open; 0 = off
+  sim::SimTime breakerCooldown = 300 * sim::kSecond;
+  // Playback SLO target used by the slo.* report gauges.
+  double rebufferSloRatio = 0.05;
+
+  // True when any knob departs from its inert default — the gate for every
+  // registration and policy installation (mirrors ExperimentConfig::Faults).
+  [[nodiscard]] bool any() const {
+    return playbackFloorBps > 0.0 || serverQueueCap > 0 ||
+           admissionDeadlineSeconds > 0.0 || prefetchCredit > 0 ||
+           contentionThreshold > 0 || breakerThreshold > 0;
+  }
+  [[nodiscard]] bool admissionEnabled() const {
+    return serverQueueCap > 0 || admissionDeadlineSeconds > 0.0;
+  }
+  [[nodiscard]] bool breakersEnabled() const { return breakerThreshold > 0; }
+
+  // Parses `spec` into `out` (replacing its contents). Returns false and
+  // fills `error` (if non-null, naming the offending token) on malformed
+  // input; `out` is reset to defaults then.
+  static bool parse(std::string_view spec, OverloadConfig* out,
+                    std::string* error);
+
+  // One-line-per-key description of the accepted grammar, for fail-fast CLI
+  // error messages.
+  [[nodiscard]] static const char* grammar();
+};
+
+}  // namespace st::vod

@@ -21,6 +21,10 @@ EndpointId TransferManager::sourceEndpoint(UserId provider) const {
   return provider.valid() ? ctx_.endpointOf(provider) : ctx_.serverEndpoint();
 }
 
+sim::SimTime TransferManager::admissionDeadline() const {
+  return sim::fromSeconds(ctx_.config().overload.admissionDeadlineSeconds);
+}
+
 void TransferManager::startWatch(WatchRequest request) {
   assert(!request.provider.valid() || ctx_.isOnline(request.provider));
 
@@ -64,10 +68,21 @@ void TransferManager::beginFirstChunk(WatchId id, UserId provider,
   Watch& watch = *watches_.find(id);
   watch.phase = Phase::kFirstChunk;
   watch.provider = provider;
+  net::FlowNetwork::FlowOptions options;
+  options.flowClass = provider.valid() ? net::FlowClass::kPlayback
+                                       : net::FlowClass::kServerFallback;
+  options.deadline = admissionDeadline();
   watch.flow = ctx_.network().flows().startFlow(
       sourceEndpoint(provider), ctx_.endpointOf(watch.user),
-      std::max<std::uint64_t>(bytesRemaining, 1),
+      std::max<std::uint64_t>(bytesRemaining, 1), options,
       [this, id] { firstChunkComplete(id); });
+  if (!watch.flow.valid()) {
+    // Admission control shed the request: the watch ends exactly as if its
+    // first chunk had timed out — a fast, explicit rejection instead of
+    // letting the viewer wait out a deadline the backlog can't meet.
+    phaseTimeout(id);
+    return;
+  }
   watchFlows_[watch.flow] = id;
 }
 
@@ -109,11 +124,17 @@ void TransferManager::beginBody(WatchId id) {
     segment.bytes = segment.chunks * asset.chunkBytes;
   }
   for (std::size_t i = 0; i < stripes; ++i) {
-    startSegmentFlow(id, i, providers[i]);
+    if (!startSegmentFlow(id, i, providers[i])) {
+      // Shed at the source: abandon the watch (phaseTimeout cancels any
+      // stripes already started). The watch record is gone after this, so
+      // no references may be held across the call.
+      phaseTimeout(id);
+      return;
+    }
   }
 }
 
-void TransferManager::startSegmentFlow(WatchId id, std::size_t segmentIndex,
+bool TransferManager::startSegmentFlow(WatchId id, std::size_t segmentIndex,
                                        UserId provider) {
   Watch& watch = *watches_.find(id);
   Segment& segment = watch.segments[segmentIndex];
@@ -121,10 +142,16 @@ void TransferManager::startSegmentFlow(WatchId id, std::size_t segmentIndex,
   const std::uint64_t remaining =
       segment.bytes > segment.bytesDone ? segment.bytes - segment.bytesDone
                                         : 1;
+  net::FlowNetwork::FlowOptions options;
+  options.flowClass = provider.valid() ? net::FlowClass::kPlayback
+                                       : net::FlowClass::kServerFallback;
   segment.flow = ctx_.network().flows().startFlow(
       sourceEndpoint(provider), ctx_.endpointOf(watch.user), remaining,
+      options,
       [this, id, segmentIndex] { segmentComplete(id, segmentIndex); });
+  if (!segment.flow.valid()) return false;
   watchFlows_[segment.flow] = id;
+  return true;
 }
 
 void TransferManager::creditPartialFirstChunk(Watch& watch,
@@ -211,6 +238,9 @@ void TransferManager::firstChunkComplete(WatchId id) {
   }
   ctx_.sim().cancel(watch.timeout);
   watch.timeout = sim::EventHandle{};
+  if (watch.provider.valid()) {
+    ctx_.reportNeighborSuccess(watch.user, watch.provider);
+  }
 
   if (watch.onPlaybackReady) {
     auto ready = std::move(watch.onPlaybackReady);
@@ -240,6 +270,9 @@ void TransferManager::segmentComplete(WatchId id, std::size_t segmentIndex) {
              segment.chunks - segment.credited);
     segment.credited = segment.chunks;
   }
+  if (segment.provider.valid()) {
+    ctx_.reportNeighborSuccess(watch.user, segment.provider);
+  }
 
   for (const Segment& other : watch.segments) {
     if (!other.done) return;  // stripes still in flight
@@ -254,7 +287,9 @@ void TransferManager::segmentComplete(WatchId id, std::size_t segmentIndex) {
       sim::toSeconds(ctx_.sim().now() - watch.bodyStart);
   const bool onTime = bodySeconds <= asset.lengthSeconds + 1e-9;
   ctx_.metrics().countBodyCompletion(onTime);
+  ctx_.metrics().recordPlayback(asset.lengthSeconds);
   if (!onTime) {
+    ctx_.metrics().recordStall(bodySeconds - asset.lengthSeconds);
     ST_TRACE(ctx_.trace(), ctx_.sim().now(), kRebuffer, watch.user.value(),
              watch.video.value(), 0);
   }
@@ -278,6 +313,17 @@ void TransferManager::startPrefetch(UserId user, VideoId video,
                                     UserId provider,
                                     std::function<void(bool)> onComplete) {
   assert(!provider.valid() || ctx_.isOnline(provider));
+  // Backpressure: speculative fetches yield when the user's credit is spent
+  // or their downlink is already busy with real downloads.
+  const OverloadConfig& overload = ctx_.config().overload;
+  if ((overload.prefetchCredit > 0 &&
+       prefetchInFlight_[user.index()] >= overload.prefetchCredit) ||
+      (overload.contentionThreshold > 0 &&
+       ctx_.network().flows().activeDownloads(ctx_.endpointOf(user)) >=
+           overload.contentionThreshold)) {
+    ctx_.metrics().countPrefetchThrottled();
+    return;
+  }
   const VideoAsset& asset = ctx_.library().asset(video);
   ctx_.metrics().countPrefetchIssued();
   ST_TRACE(ctx_.trace(), ctx_.sim().now(), kPrefetchIssue, user.value(),
@@ -285,17 +331,28 @@ void TransferManager::startPrefetch(UserId user, VideoId video,
   Prefetch prefetch;
   prefetch.user = user;
   prefetch.video = video;
+  prefetch.provider = provider;
   prefetch.fromPeer = provider.valid();
   prefetch.onComplete = std::move(onComplete);
   // The flow id is assigned by startFlow, but the completion callback needs
   // it; flows never complete synchronously, so filling the shared slot right
   // after the call is safe.
   auto flowSlot = std::make_shared<FlowId>();
+  net::FlowNetwork::FlowOptions options;
+  options.flowClass = net::FlowClass::kPrefetch;
   const FlowId flow = ctx_.network().flows().startFlow(
       sourceEndpoint(provider), ctx_.endpointOf(user), asset.chunkBytes,
-      [this, flowSlot] { prefetchComplete(*flowSlot); });
+      options, [this, flowSlot] { prefetchComplete(*flowSlot); });
+  if (!flow.valid()) return;  // shed at the source; silently dropped
   *flowSlot = flow;
+  ++prefetchInFlight_[user.index()];
   prefetches_.emplace(flow, std::move(prefetch));
+}
+
+void TransferManager::forgetPrefetch(const Prefetch& prefetch) {
+  std::uint32_t& inFlight = prefetchInFlight_[prefetch.user.index()];
+  assert(inFlight > 0);
+  if (inFlight > 0) --inFlight;
 }
 
 void TransferManager::prefetchComplete(FlowId flow) {
@@ -303,6 +360,10 @@ void TransferManager::prefetchComplete(FlowId flow) {
   if (it == prefetches_.end()) return;
   Prefetch prefetch = std::move(it->second);
   prefetches_.erase(it);
+  forgetPrefetch(prefetch);
+  if (prefetch.provider.valid()) {
+    ctx_.reportNeighborSuccess(prefetch.user, prefetch.provider);
+  }
   ctx_.metrics().recordChunks(
       prefetch.user,
       prefetch.fromPeer ? ChunkSource::kPeer : ChunkSource::kServer, 1);
@@ -325,7 +386,9 @@ void TransferManager::onUserOffline(UserId user) {
   }
   for (const FlowId flow : ownPrefetches) {
     ctx_.network().flows().cancelFlow(flow);
-    prefetches_.erase(flow);
+    const auto it = prefetches_.find(flow);
+    forgetPrefetch(it->second);
+    prefetches_.erase(it);
   }
 
   // 3. Remote downloads this user was serving fail over to the server;
@@ -349,7 +412,12 @@ UserId TransferManager::pickFailoverProvider(const Watch& watch,
 void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
   const auto prefetchIt = prefetches_.find(flow);
   if (prefetchIt != prefetches_.end()) {
+    const Prefetch prefetch = std::move(prefetchIt->second);
     prefetches_.erase(prefetchIt);
+    forgetPrefetch(prefetch);
+    if (prefetch.provider.valid()) {
+      ctx_.reportNeighborFailure(prefetch.user, prefetch.provider);
+    }
     return;
   }
   const auto flowIt = watchFlows_.find(flow);
@@ -370,6 +438,8 @@ void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
             ? watch.phaseBytes - watch.phaseBytesDone
             : 1;
     ctx_.metrics().countTransferResourced();
+    if (failed.valid()) ctx_.reportNeighborFailure(watch.user, failed);
+    // May shed and abandon the watch internally; watch is dead after this.
     beginFirstChunk(id, pickFailoverProvider(watch, failed), remaining);
     return;
   }
@@ -382,7 +452,10 @@ void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
     segment.flow = FlowId::invalid();
     creditPartialSegment(watch, segment, bytesDone);
     ctx_.metrics().countTransferResourced();
-    startSegmentFlow(id, i, pickFailoverProvider(watch, failed));
+    if (failed.valid()) ctx_.reportNeighborFailure(watch.user, failed);
+    if (!startSegmentFlow(id, i, pickFailoverProvider(watch, failed))) {
+      phaseTimeout(id);  // shed: abandon the watch
+    }
     return;
   }
 }

@@ -27,7 +27,9 @@ namespace st::vod {
 class TransferManager {
  public:
   explicit TransferManager(SystemContext& ctx)
-      : ctx_(ctx), userWatches_(ctx.catalog().userCount()) {}
+      : ctx_(ctx),
+        userWatches_(ctx.catalog().userCount()),
+        prefetchInFlight_(ctx.catalog().userCount(), 0) {}
   TransferManager(const TransferManager&) = delete;
   TransferManager& operator=(const TransferManager&) = delete;
 
@@ -122,13 +124,18 @@ class TransferManager {
   using WatchId = SlotPool<Watch>::Id;
 
   [[nodiscard]] EndpointId sourceEndpoint(UserId provider) const;
+  // Per-flow admission deadline from the overload config (0 = patient).
+  [[nodiscard]] sim::SimTime admissionDeadline() const;
   void beginFirstChunk(WatchId id, UserId provider,
                        std::uint64_t bytesRemaining);
   // Splits the body into chunk-aligned segments across the watch's
   // providers and starts their flows.
   void beginBody(WatchId id);
-  void startSegmentFlow(WatchId id, std::size_t segmentIndex,
-                        UserId provider);
+  // False when the source's admission policy shed the flow; the watch is
+  // untouched and the caller must abandon it (phaseTimeout) without holding
+  // references across the call.
+  [[nodiscard]] bool startSegmentFlow(WatchId id, std::size_t segmentIndex,
+                                      UserId provider);
   void finishWatch(WatchId id, bool complete);
   void firstChunkComplete(WatchId id);
   void segmentComplete(WatchId id, std::size_t segmentIndex);
@@ -149,9 +156,12 @@ class TransferManager {
   struct Prefetch {
     UserId user;
     VideoId video;
+    UserId provider;  // invalid = the origin server
     bool fromPeer = false;
     std::function<void(bool)> onComplete;
   };
+
+  void forgetPrefetch(const Prefetch& prefetch);
 
   SystemContext& ctx_;
   SlotPool<Watch> watches_;
@@ -162,6 +172,10 @@ class TransferManager {
   // so these stay keyed maps.
   std::unordered_map<FlowId, WatchId> watchFlows_;
   std::unordered_map<FlowId, Prefetch> prefetches_;
+  // In-flight prefetches per user, for the credit-based backpressure knob.
+  // Maintained unconditionally (pure bookkeeping); consulted only when the
+  // overload config sets a credit, so baseline runs are untouched.
+  std::vector<std::uint32_t> prefetchInFlight_;
 };
 
 }  // namespace st::vod

@@ -1,0 +1,160 @@
+// Bitwise baseline regression: with every overload knob at its inert default
+// the three systems must reproduce this exact fingerprint (every registered
+// counter plus four derived statistics, compared to the bit). The overload
+// layer — flow classes, admission control, breakers, SLO accounting — is
+// built to be invisible when off; any drift here means it leaked into the
+// seed behavior.
+//
+// The expected values are the seed fingerprint of simulationDefaults(7)
+// scaled to 150 users / 3 sessions over half a simulated day. Regenerate
+// them only for an intentional behavior change, never to "fix" this test.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <utility>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "obs/registry.h"
+
+namespace st::exp {
+namespace {
+
+ExperimentConfig fingerprintConfig() {
+  ExperimentConfig config = ExperimentConfig::simulationDefaults(7);
+  config = config.scaledTo(150, 3);
+  config.duration = sim::kDay / 2;
+  return config;
+}
+
+obs::Snapshot snapshotOf(
+    std::initializer_list<std::pair<const char*, std::uint64_t>> entries) {
+  obs::Snapshot snapshot;
+  for (const auto& [name, value] : entries) snapshot.set(name, value);
+  return snapshot;
+}
+
+// EXPECT_EQ on doubles is exact (operator==), which is the point: the runs
+// must be bit-identical, not merely close.
+//
+// SampleSet::percentile() sorts its mutable sample buffer in place and
+// mean() sums in the current buffer order, so mean's low bits depend on
+// whether a percentile query ran first. The fingerprint below was captured
+// with percentile(99) evaluated before mean(); keep that order.
+
+TEST(BaselineRegression, SocialTubeFingerprintIsStable) {
+  const ExperimentResult r =
+      runExperiment(fingerprintConfig(), SystemKind::kSocialTube);
+  const obs::Snapshot expected = snapshotOf({
+      {"body_completions", 1498},
+      {"cache_hits", 2886},
+      {"category_hits", 36},
+      {"channel_hits", 1101},
+      {"events_fired", 60527},
+      {"feed_notifications", 0},
+      {"feed_watches", 0},
+      {"messages_faulted", 0},
+      {"messages_lost", 0},
+      {"messages_sent", 46980},
+      {"peer_chunks", 22659},
+      {"prefetch_hits", 743},
+      {"prefetch_issued", 2785},
+      {"probes", 7887},
+      {"rebuffers", 86},
+      {"releases_fired", 0},
+      {"repairs", 971},
+      {"search.retries", 0},
+      {"server_bytes", 3845073669ull},
+      {"server_chunks", 9353},
+      {"server_fallbacks", 370},
+      {"sessions_completed", 438},
+      {"startup_timeouts", 0},
+      {"transfer.resourced", 73},
+      {"watches", 4393},
+  });
+  EXPECT_EQ(r.counters, expected);
+  const double p99 = r.startupDelayMs.percentile(99);
+  EXPECT_EQ(r.startupDelayMs.mean(), 0x1.8f0f32d24a75bp+9);
+  EXPECT_EQ(p99, 0x1.686fc3b4f6165p+13);
+  EXPECT_EQ(r.aggregatePeerFraction(), 0x1.6a68790ae86ccp-1);
+  EXPECT_EQ(r.uploadGini, 0x1.c769dddc64b24p-2);
+}
+
+TEST(BaselineRegression, PaVodFingerprintIsStable) {
+  const ExperimentResult r =
+      runExperiment(fingerprintConfig(), SystemKind::kPaVod);
+  const obs::Snapshot expected = snapshotOf({
+      {"body_completions", 3814},
+      {"cache_hits", 0},
+      {"category_hits", 0},
+      {"channel_hits", 2742},
+      {"events_fired", 32883},
+      {"feed_notifications", 0},
+      {"feed_watches", 0},
+      {"messages_faulted", 0},
+      {"messages_lost", 0},
+      {"messages_sent", 12103},
+      {"peer_chunks", 51830},
+      {"prefetch_hits", 0},
+      {"prefetch_issued", 0},
+      {"probes", 0},
+      {"rebuffers", 825},
+      {"releases_fired", 0},
+      {"repairs", 0},
+      {"search.retries", 0},
+      {"server_bytes", 8739101414ull},
+      {"server_chunks", 24714},
+      {"server_fallbacks", 1659},
+      {"sessions_completed", 438},
+      {"startup_timeouts", 439},
+      {"transfer.resourced", 229},
+      {"watches", 4401},
+  });
+  EXPECT_EQ(r.counters, expected);
+  const double p99 = r.startupDelayMs.percentile(99);
+  EXPECT_EQ(r.startupDelayMs.mean(), 0x1.0a2fa79f6caf8p+13);
+  EXPECT_EQ(p99, 0x1.c14f486983515p+15);
+  EXPECT_EQ(r.aggregatePeerFraction(), 0x1.5ab05fe49a1d2p-1);
+  EXPECT_EQ(r.uploadGini, 0x1.d6f6654a94ac8p-3);
+}
+
+TEST(BaselineRegression, NetTubeFingerprintIsStable) {
+  const ExperimentResult r =
+      runExperiment(fingerprintConfig(), SystemKind::kNetTube);
+  const obs::Snapshot expected = snapshotOf({
+      {"body_completions", 1499},
+      {"cache_hits", 2864},
+      {"category_hits", 289},
+      {"channel_hits", 829},
+      {"events_fired", 42793},
+      {"feed_notifications", 0},
+      {"feed_watches", 0},
+      {"messages_faulted", 0},
+      {"messages_lost", 0},
+      {"messages_sent", 26516},
+      {"peer_chunks", 24986},
+      {"prefetch_hits", 454},
+      {"prefetch_issued", 4678},
+      {"probes", 8048},
+      {"rebuffers", 90},
+      {"releases_fired", 0},
+      {"repairs", 0},
+      {"search.retries", 0},
+      {"server_bytes", 3776884154ull},
+      {"server_chunks", 9267},
+      {"server_fallbacks", 411},
+      {"sessions_completed", 438},
+      {"startup_timeouts", 8},
+      {"transfer.resourced", 115},
+      {"watches", 4393},
+  });
+  EXPECT_EQ(r.counters, expected);
+  const double p99 = r.startupDelayMs.percentile(99);
+  EXPECT_EQ(r.startupDelayMs.mean(), 0x1.20b4fbfba15bdp+10);
+  EXPECT_EQ(p99, 0x1.df3541743e943p+13);
+  EXPECT_EQ(r.aggregatePeerFraction(), 0x1.757b0a87d42c7p-1);
+  EXPECT_EQ(r.uploadGini, 0x1.d41cdd19560dp-2);
+}
+
+}  // namespace
+}  // namespace st::exp

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <string>
 
 #include "exp/multiseed.h"
 #include "exp/runner.h"
+#include "vod/overload.h"
 
 namespace st::exp {
 namespace {
@@ -65,6 +67,66 @@ TEST(ChaosSoak, InvariantsHoldAndFallbackSurvivesAcrossSeeds) {
     EXPECT_EQ(run.seed, other.seed) << "run " << i;
     EXPECT_TRUE(run.counters == other.counters) << "seed " << run.seed;
     EXPECT_EQ(run.startupDelayMs.mean(), other.startupDelayMs.mean())
+        << "seed " << run.seed;
+    EXPECT_EQ(run.aggregatePeerFraction(), other.aggregatePeerFraction())
+        << "seed " << run.seed;
+    EXPECT_EQ(run.uploadGini, other.uploadGini) << "seed " << run.seed;
+  }
+}
+
+// Overload soak: the same faulted day with the full degradation ladder on
+// and a demand spike released into the partition window. The structural
+// contract must still hold, breakers must open on faulted neighbors and
+// re-close once the overlay heals, and the batch must stay bitwise-
+// reproducible across thread counts with every overload knob active.
+TEST(ChaosSoak, OverloadLadderUnderFaultsStaysInvariantCleanAndDeterministic) {
+  constexpr std::size_t kOverloadSeeds = 3;
+  ExperimentConfig config = chaosConfig();
+  std::string error;
+  ASSERT_TRUE(
+      vod::OverloadConfig::parse("on", &config.vod.overload, &error)) << error;
+  // Starve the server and land a release wave inside the partition window
+  // (t=21600..32400 of the day) so admission control has real work.
+  config.vod.serverUploadBps = 10'000.0 * 300;
+  config.releases.perChannel = 2;
+  config.releases.windowStartFraction = 0.25;
+  config.releases.windowEndFraction = 0.375;
+  config.releases.feedWatchProbability = 0.9;
+
+  const MultiSeedSummary sequential =
+      runSeeds(config, SystemKind::kSocialTube, kOverloadSeeds, /*threads=*/1);
+  const MultiSeedSummary parallel =
+      runSeeds(config, SystemKind::kSocialTube, kOverloadSeeds, /*threads=*/8);
+
+  ASSERT_EQ(sequential.runs.size(), kOverloadSeeds);
+  ASSERT_EQ(parallel.runs.size(), kOverloadSeeds);
+  for (std::size_t i = 0; i < kOverloadSeeds; ++i) {
+    const ExperimentResult& run = sequential.runs[i];
+    // Shedding and preemption must not corrupt the overlay's structure.
+    EXPECT_EQ(run.counter("invariant.violations"), 0u) << "seed " << run.seed;
+    EXPECT_GT(run.counter("invariant.audits"), 100u) << "seed " << run.seed;
+    EXPECT_EQ(run.counter("fault.events"), 6u) << "seed " << run.seed;
+    // The spike hit a starved server: admission control actually shed work.
+    EXPECT_GT(run.counter("server.shed"), 0u) << "seed " << run.seed;
+    // Breakers opened on faulted neighbors and re-closed after repair.
+    EXPECT_GT(run.counter("breaker.opened"), 0u) << "seed " << run.seed;
+    EXPECT_GT(run.counter("breaker.closed"), 0u) << "seed " << run.seed;
+    EXPECT_LT(run.counter("breaker.open"), run.counter("breaker.opened"))
+        << "seed " << run.seed;
+    // Degraded, not wedged.
+    EXPECT_GT(run.watches(), 0u) << "seed " << run.seed;
+    EXPECT_GT(run.sessionsCompleted(), 0u) << "seed " << run.seed;
+
+    // Bitwise reproducibility with every overload knob active, 1 vs 8
+    // threads — the breaker boards, pause lists, and SLO ledgers are all
+    // per-run state and must not leak across the pool.
+    const ExperimentResult& other = parallel.runs[i];
+    EXPECT_EQ(run.seed, other.seed) << "run " << i;
+    EXPECT_TRUE(run.counters == other.counters) << "seed " << run.seed;
+    EXPECT_EQ(run.startupDelayMs.mean(), other.startupDelayMs.mean())
+        << "seed " << run.seed;
+    EXPECT_EQ(run.startupDelayMs.percentile(99),
+              other.startupDelayMs.percentile(99))
         << "seed " << run.seed;
     EXPECT_EQ(run.aggregatePeerFraction(), other.aggregatePeerFraction())
         << "seed " << run.seed;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "fault/schedule.h"
+#include "vod/overload.h"
+
 namespace st {
 namespace {
 
@@ -71,6 +76,46 @@ TEST(Flags, NegativeNumbersAsValues) {
   // "-5" does not start with "--", so it parses as a value.
   const Flags flags = parse({"--offset", "-5"});
   EXPECT_EQ(flags.getInt("offset", 0), -5);
+}
+
+// The CLI fail-fast contract: a rejected --faults / --overload spec names the
+// offending token so the operator does not have to diff a long spec by eye,
+// and each parser publishes its accepted grammar for the error message.
+
+TEST(SpecErrors, FaultParseNamesOffendingToken) {
+  fault::Schedule schedule;
+  std::string error;
+  EXPECT_FALSE(fault::Schedule::parse("crash:t=10,zork=1", &schedule, &error));
+  EXPECT_NE(error.find("zork"), std::string::npos);
+  EXPECT_FALSE(
+      fault::Schedule::parse("meltdown:t=10", &schedule, &error));
+  EXPECT_NE(error.find("meltdown"), std::string::npos);
+}
+
+TEST(SpecErrors, FaultGrammarListsKindsAndKeys) {
+  const std::string grammar = fault::Schedule::grammar();
+  for (const char* token :
+       {"crash", "blackhole", "loss", "partition", "outage", "t", "dur"}) {
+    EXPECT_NE(grammar.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(SpecErrors, OverloadParseNamesOffendingToken) {
+  vod::OverloadConfig config;
+  std::string error;
+  EXPECT_FALSE(
+      vod::OverloadConfig::parse("floor_kbps=200,bogus=3", &config, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_FALSE(vod::OverloadConfig::parse("queue=nope", &config, &error));
+  EXPECT_NE(error.find("nope"), std::string::npos);
+}
+
+TEST(SpecErrors, OverloadGrammarListsKeys) {
+  const std::string grammar = vod::OverloadConfig::grammar();
+  for (const char* token : {"floor_kbps", "queue", "deadline", "credit",
+                            "contention", "breaker", "cooldown", "slo"}) {
+    EXPECT_NE(grammar.find(token), std::string::npos) << token;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,198 @@
+// Property tests for the fluid flow model under overload control: whatever
+// sequence of starts, cancels, and floor preemptions occurs, no endpoint's
+// fair-share rates may ever exceed its configured capacity, and the bytes a
+// completed flow settles must equal its declared size (the event-driven
+// integration is exact, not approximate).
+#include "net/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace st::net {
+namespace {
+
+constexpr double kRateEps = 1e-6;
+
+struct LiveFlow {
+  EndpointId src;
+  EndpointId dst;
+  std::uint64_t bytes = 0;
+};
+
+class FlowPropertyTest : public ::testing::Test {
+ protected:
+  FlowPropertyTest() : flows_(sim_) {}
+
+  // Σ flowRateBps per endpoint (queued/paused flows report 0) must respect
+  // both uplink and downlink capacity at every observation point.
+  void checkCapacityConservation(
+      const std::vector<EndpointCapacity>& caps,
+      const std::unordered_map<FlowId, LiveFlow>& live) {
+    std::vector<double> up(caps.size(), 0.0);
+    std::vector<double> down(caps.size(), 0.0);
+    for (const auto& [id, flow] : live) {
+      const double rate = flows_.flowRateBps(id);
+      ASSERT_GE(rate, 0.0);
+      up[flow.src.index()] += rate;
+      down[flow.dst.index()] += rate;
+    }
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      EXPECT_LE(up[i], caps[i].uploadBps * (1.0 + kRateEps))
+          << "uplink oversubscribed at endpoint " << i;
+      EXPECT_LE(down[i], caps[i].downloadBps * (1.0 + kRateEps))
+          << "downlink oversubscribed at endpoint " << i;
+    }
+  }
+
+  sim::Simulator sim_;
+  FlowNetwork flows_;
+};
+
+TEST_F(FlowPropertyTest, RandomChurnNeverOversubscribesAnyEndpoint) {
+  Rng rng = Rng::forPurpose(2024, "flow-property");
+  const std::vector<EndpointCapacity> caps = {
+      {1e6, 8e6}, {2e6, 2e6}, {4e6, 4e6}, {8e6, 1e6}, {2e6, 8e6}, {1e6, 1e6}};
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    flows_.addEndpoint(EndpointId{static_cast<std::uint32_t>(i)}, caps[i]);
+  }
+  // Exercise every mechanism at once: a priority floor, a slot-limited
+  // "server" endpoint, and an admission policy that sheds on a full queue.
+  flows_.setPlaybackFloor(3e5);
+  flows_.setUploadConcurrencyLimit(EndpointId{0}, 2);
+  FlowNetwork::AdmissionPolicy policy;
+  policy.queueCap = 4;
+  flows_.setAdmissionPolicy(EndpointId{0}, policy);
+
+  std::unordered_map<FlowId, LiveFlow> live;
+  std::uint64_t completedTally = 0;  // Σ sizes of flows whose callback fired
+  std::vector<FlowId> handles;  // insertion-ordered view for random picks
+
+  for (int step = 0; step < 600; ++step) {
+    sim_.runUntil(sim_.now() +
+                  sim::fromSeconds(rng.uniform(0.0, 0.3)));
+    // Completions fired during the advance: drop them from the live set.
+    std::erase_if(handles, [&](FlowId id) {
+      if (flows_.flowActive(id)) return false;
+      live.erase(id);
+      return true;
+    });
+
+    const double op = rng.uniform();
+    if (op < 0.65) {
+      const auto src = EndpointId{
+          static_cast<std::uint32_t>(rng.uniformInt(caps.size()))};
+      auto dst = src;
+      while (dst == src) {
+        dst = EndpointId{
+            static_cast<std::uint32_t>(rng.uniformInt(caps.size()))};
+      }
+      FlowNetwork::FlowOptions options;
+      options.flowClass = static_cast<FlowClass>(rng.uniformInt(3));
+      const auto bytes =
+          static_cast<std::uint64_t>(rng.uniformInt(10'000, 400'000));
+      const FlowId id =
+          flows_.startFlow(src, dst, bytes, options,
+                           [&completedTally, bytes] { completedTally += bytes; });
+      if (id.valid()) {
+        live.emplace(id, LiveFlow{src, dst, bytes});
+        handles.push_back(id);
+      }
+    } else if (op < 0.85 && !handles.empty()) {
+      const std::size_t pick = rng.uniformInt(handles.size());
+      const FlowId id = handles[pick];
+      flows_.cancelFlow(id);
+      live.erase(id);
+      handles.erase(handles.begin() +
+                    static_cast<std::ptrdiff_t>(pick));
+    }
+    checkCapacityConservation(caps, live);
+  }
+
+  // Drain whatever survived the churn; everything still live completes.
+  sim_.run();
+  for (const FlowId id : handles) EXPECT_FALSE(flows_.flowActive(id));
+  EXPECT_EQ(flows_.activeFlows(), 0u);
+
+  // The settled-bytes ledger is analytic: uploads counted on completion must
+  // equal the byte sizes of exactly the flows whose callbacks fired —
+  // cancelled and shed flows contribute nothing.
+  std::uint64_t uploaded = 0;
+  std::uint64_t downloaded = 0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    uploaded += flows_.bytesUploaded(EndpointId{static_cast<std::uint32_t>(i)});
+    downloaded +=
+        flows_.bytesDownloaded(EndpointId{static_cast<std::uint32_t>(i)});
+  }
+  EXPECT_EQ(uploaded, downloaded);
+  EXPECT_EQ(uploaded, completedTally);
+  EXPECT_GT(completedTally, 0u);
+}
+
+TEST_F(FlowPropertyTest, SettledBytesMatchAnalyticIntegralUnderPreemption) {
+  // Hand-integrable scenario: 1 Mbps server uplink, floor 0.8 Mbps.
+  //   t=0.0  prefetch server->A, 125000 B (1 Mbit)  -> alone at 1 Mbps
+  //   t=0.5  playback server->B, 125000 B. Fair share (0.5 Mbps each) is
+  //          below the floor, so the prefetch is paused; playback runs at
+  //          the full 1 Mbps and completes at t=1.5.
+  //   t=1.5  prefetch resumes with 62500 B left -> completes at t=2.0.
+  flows_.addEndpoint(EndpointId{0}, {1e6, 1e6});
+  flows_.addEndpoint(EndpointId{1}, {8e6, 8e6});
+  flows_.addEndpoint(EndpointId{2}, {8e6, 8e6});
+  flows_.setPlaybackFloor(8e5);
+
+  double prefetchDone = -1.0;
+  double playbackDone = -1.0;
+  FlowNetwork::FlowOptions prefetch;
+  prefetch.flowClass = FlowClass::kPrefetch;
+  const FlowId prefetchId =
+      flows_.startFlow(EndpointId{0}, EndpointId{1}, 125'000, prefetch,
+                       [&] { prefetchDone = sim::toSeconds(sim_.now()); });
+
+  sim_.runUntil(sim::fromSeconds(0.5));
+  EXPECT_NEAR(flows_.flowRateBps(prefetchId), 1e6, 1.0);
+
+  FlowNetwork::FlowOptions playback;
+  playback.flowClass = FlowClass::kPlayback;
+  const FlowId playbackId =
+      flows_.startFlow(EndpointId{0}, EndpointId{2}, 125'000, playback,
+                       [&] { playbackDone = sim::toSeconds(sim_.now()); });
+  EXPECT_TRUE(flows_.flowPaused(prefetchId));
+  EXPECT_FALSE(flows_.flowPaused(playbackId));
+  EXPECT_NEAR(flows_.flowRateBps(playbackId), 1e6, 1.0);
+  EXPECT_DOUBLE_EQ(flows_.flowRateBps(prefetchId), 0.0);
+
+  sim_.run();
+  EXPECT_NEAR(playbackDone, 1.5, 1e-6);
+  EXPECT_NEAR(prefetchDone, 2.0, 1e-6);
+  EXPECT_EQ(flows_.bytesUploaded(EndpointId{0}), 250'000u);
+  EXPECT_EQ(flows_.bytesDownloaded(EndpointId{1}), 125'000u);
+  EXPECT_EQ(flows_.bytesDownloaded(EndpointId{2}), 125'000u);
+}
+
+TEST_F(FlowPropertyTest, FloorZeroMatchesPlainFairShare) {
+  // With the floor at its 0 default the class tags are inert: two flows of
+  // different classes split the uplink evenly, exactly the seed behavior.
+  flows_.addEndpoint(EndpointId{0}, {1e6, 1e6});
+  flows_.addEndpoint(EndpointId{1}, {8e6, 8e6});
+  flows_.addEndpoint(EndpointId{2}, {8e6, 8e6});
+
+  FlowNetwork::FlowOptions prefetch;
+  prefetch.flowClass = FlowClass::kPrefetch;
+  const FlowId a =
+      flows_.startFlow(EndpointId{0}, EndpointId{1}, 125'000, prefetch, [] {});
+  const FlowId b =
+      flows_.startFlow(EndpointId{0}, EndpointId{2}, 125'000, [] {});
+  EXPECT_FALSE(flows_.flowPaused(a));
+  EXPECT_FALSE(flows_.flowPaused(b));
+  EXPECT_NEAR(flows_.flowRateBps(a), 5e5, 1.0);
+  EXPECT_NEAR(flows_.flowRateBps(b), 5e5, 1.0);
+}
+
+}  // namespace
+}  // namespace st::net

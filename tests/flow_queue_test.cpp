@@ -95,6 +95,56 @@ TEST_F(FlowQueueTest, DropEndpointDrainsQueueSilently) {
   EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
 }
 
+TEST_F(FlowQueueTest, DropDestinationPurgesItsQueuedFlow) {
+  // Regression: a queued flow lives only in the source's wait queue, so a
+  // crash of its *destination* used to leave a dangling entry that later
+  // promoted into a transfer toward a dead endpoint.
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  bool aDone = false;
+  bool bDone = false;
+  flows_.startFlow(kServer, kA, 1'000'000, [&] { aDone = true; });
+  const FlowId queuedB =
+      flows_.startFlow(kServer, kB, 1'000'000, [&] { bDone = true; });
+  ASSERT_EQ(flows_.queuedUploads(kServer), 1u);
+  flows_.dropEndpointFlows(kB);
+  EXPECT_FALSE(flows_.flowActive(queuedB));
+  EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
+  sim_.run();
+  EXPECT_TRUE(aDone);
+  // The purged flow's completion must never fire — B is gone.
+  EXPECT_FALSE(bDone);
+  EXPECT_EQ(flows_.bytesDownloaded(kB), 0u);
+}
+
+TEST_F(FlowQueueTest, DropDestinationSkipsQueueButKeepsLaterEntries) {
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  bool cDone = false;
+  flows_.startFlow(kServer, kA, 500'000, [] {});
+  flows_.startFlow(kServer, kB, 500'000, [] {});
+  flows_.startFlow(kServer, kC, 500'000, [&] { cDone = true; });
+  ASSERT_EQ(flows_.queuedUploads(kServer), 2u);
+  flows_.dropEndpointFlows(kB);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
+  sim_.run();
+  // C promotes past the purged B entry and completes normally.
+  EXPECT_TRUE(cDone);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
+}
+
+TEST_F(FlowQueueTest, DropAfterNormalCompletionIsANoOp) {
+  // The inbound-queue bookkeeping must not outlive the flow: once a queued
+  // flow promotes and finishes, dropping its destination touches nothing.
+  flows_.setUploadConcurrencyLimit(kServer, 1);
+  int done = 0;
+  flows_.startFlow(kServer, kA, 100'000, [&] { ++done; });
+  flows_.startFlow(kServer, kB, 100'000, [&] { ++done; });
+  sim_.run();
+  ASSERT_EQ(done, 2);
+  flows_.dropEndpointFlows(kB);
+  EXPECT_EQ(flows_.activeFlows(), 0u);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
+}
+
 TEST_F(FlowQueueTest, LimitAboveDemandChangesNothing) {
   flows_.setUploadConcurrencyLimit(kServer, 10);
   int done = 0;

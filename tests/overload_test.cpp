@@ -1,0 +1,404 @@
+// The overload-control ladder end to end: spec parsing, deadline-aware
+// admission shedding at the origin server, paused-flow lifecycle safety,
+// the per-neighbor circuit-breaker state machine, and a demand-spike
+// integration run where shedding keeps SocialTube inside its playback SLO.
+#include "vod/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "net/flow_network.h"
+#include "sim/simulator.h"
+#include "vod/breaker.h"
+
+namespace st {
+namespace {
+
+// --- spec parsing ----------------------------------------------------------
+
+TEST(OverloadConfig, EmptyAndNoneAreInert) {
+  vod::OverloadConfig config;
+  EXPECT_TRUE(vod::OverloadConfig::parse("", &config, nullptr));
+  EXPECT_FALSE(config.any());
+  EXPECT_TRUE(vod::OverloadConfig::parse("none", &config, nullptr));
+  EXPECT_FALSE(config.any());
+  EXPECT_FALSE(config.admissionEnabled());
+  EXPECT_FALSE(config.breakersEnabled());
+}
+
+TEST(OverloadConfig, OnEnablesTheFullLadder) {
+  vod::OverloadConfig config;
+  ASSERT_TRUE(vod::OverloadConfig::parse("on", &config, nullptr));
+  EXPECT_TRUE(config.any());
+  EXPECT_DOUBLE_EQ(config.playbackFloorBps, 160'000.0);
+  EXPECT_EQ(config.serverQueueCap, 64u);
+  EXPECT_DOUBLE_EQ(config.admissionDeadlineSeconds, 30.0);
+  EXPECT_EQ(config.prefetchCredit, 2u);
+  EXPECT_EQ(config.contentionThreshold, 3u);
+  EXPECT_EQ(config.breakerThreshold, 3u);
+  EXPECT_EQ(config.breakerCooldown, 300 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(config.rebufferSloRatio, 0.05);
+  EXPECT_TRUE(config.admissionEnabled());
+  EXPECT_TRUE(config.breakersEnabled());
+}
+
+TEST(OverloadConfig, LaterFieldsOverrideOn) {
+  vod::OverloadConfig config;
+  ASSERT_TRUE(vod::OverloadConfig::parse("on,floor_kbps=200,cooldown=120",
+                                         &config, nullptr));
+  EXPECT_DOUBLE_EQ(config.playbackFloorBps, 200'000.0);
+  EXPECT_EQ(config.breakerCooldown, 120 * sim::kSecond);
+  EXPECT_EQ(config.serverQueueCap, 64u);  // untouched "on" default
+}
+
+TEST(OverloadConfig, SingleKnobLeavesOthersOff) {
+  vod::OverloadConfig config;
+  ASSERT_TRUE(vod::OverloadConfig::parse("breaker=5", &config, nullptr));
+  EXPECT_TRUE(config.any());
+  EXPECT_TRUE(config.breakersEnabled());
+  EXPECT_EQ(config.breakerThreshold, 5u);
+  EXPECT_FALSE(config.admissionEnabled());
+  EXPECT_DOUBLE_EQ(config.playbackFloorBps, 0.0);
+}
+
+TEST(OverloadConfig, MalformedSpecResetsOutput) {
+  vod::OverloadConfig config;
+  ASSERT_TRUE(vod::OverloadConfig::parse("on", &config, nullptr));
+  std::string error;
+  EXPECT_FALSE(vod::OverloadConfig::parse("on,slo=2", &config, &error));
+  EXPECT_NE(error.find("slo"), std::string::npos);
+  EXPECT_FALSE(config.any()) << "failed parse must leave inert defaults";
+}
+
+// --- admission control at a slot-limited source ----------------------------
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionTest() : flows_(sim_) {
+    flows_.addEndpoint(kServer, {1e6, 1e6});  // 8 s per MB of backlog
+    flows_.addEndpoint(kA, {8e6, 8e6});
+    flows_.addEndpoint(kB, {8e6, 8e6});
+    flows_.addEndpoint(kC, {8e6, 8e6});
+    flows_.setUploadConcurrencyLimit(kServer, 1);
+  }
+
+  static constexpr EndpointId kServer{0};
+  static constexpr EndpointId kA{1};
+  static constexpr EndpointId kB{2};
+  static constexpr EndpointId kC{3};
+
+  sim::Simulator sim_;
+  net::FlowNetwork flows_;
+};
+
+TEST_F(AdmissionTest, PrefetchIsShedWhenItWouldQueue) {
+  flows_.setAdmissionPolicy(kServer, {});  // shedPrefetch defaults true
+  net::FlowNetwork::FlowOptions prefetch;
+  prefetch.flowClass = net::FlowClass::kPrefetch;
+  // Free slot: admitted.
+  const FlowId first = flows_.startFlow(kServer, kA, 100'000, prefetch, [] {});
+  EXPECT_TRUE(first.valid());
+  // Slot busy: a prefetch never waits, it is shed.
+  const FlowId second = flows_.startFlow(kServer, kB, 100'000, prefetch, [] {});
+  EXPECT_FALSE(second.valid());
+  EXPECT_EQ(flows_.flowsShed(kServer), 1u);
+  // A playback flow queues instead.
+  const FlowId third = flows_.startFlow(kServer, kC, 100'000, [] {});
+  EXPECT_TRUE(third.valid());
+  EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
+}
+
+TEST_F(AdmissionTest, QueueCapShedsTheOverflow) {
+  net::FlowNetwork::AdmissionPolicy policy;
+  policy.queueCap = 1;
+  policy.shedPrefetch = false;
+  flows_.setAdmissionPolicy(kServer, policy);
+  EXPECT_TRUE(flows_.startFlow(kServer, kA, 100'000, [] {}).valid());
+  EXPECT_TRUE(flows_.startFlow(kServer, kB, 100'000, [] {}).valid());  // queued
+  const FlowId overflow = flows_.startFlow(kServer, kC, 100'000, [] {});
+  EXPECT_FALSE(overflow.valid());
+  EXPECT_EQ(flows_.flowsShed(kServer), 1u);
+  EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
+}
+
+TEST_F(AdmissionTest, DeadlineShedsWhenBacklogCannotDrainInTime) {
+  flows_.setAdmissionPolicy(kServer, {});
+  // 1 MB active at 1 Mbps = 8 s of backlog ahead of any queued flow.
+  ASSERT_TRUE(flows_.startFlow(kServer, kA, 1'000'000, [] {}).valid());
+  net::FlowNetwork::FlowOptions impatient;
+  impatient.deadline = sim::fromSeconds(4.0);
+  EXPECT_FALSE(
+      flows_.startFlow(kServer, kB, 100'000, impatient, [] {}).valid());
+  net::FlowNetwork::FlowOptions patientEnough;
+  patientEnough.deadline = sim::fromSeconds(20.0);
+  EXPECT_TRUE(
+      flows_.startFlow(kServer, kB, 100'000, patientEnough, [] {}).valid());
+  // deadline 0 = patient forever.
+  EXPECT_TRUE(flows_.startFlow(kServer, kC, 100'000, [] {}).valid());
+  EXPECT_EQ(flows_.flowsShed(kServer), 1u);
+}
+
+TEST_F(AdmissionTest, ShedCallbackReportsTheRefusedFlow) {
+  flows_.setAdmissionPolicy(kServer, {});
+  std::vector<std::pair<EndpointId, net::FlowClass>> shed;
+  flows_.setShedCallback(
+      [&](EndpointId src, EndpointId dst, net::FlowClass flowClass) {
+        EXPECT_EQ(src, kServer);
+        shed.emplace_back(dst, flowClass);
+      });
+  net::FlowNetwork::FlowOptions prefetch;
+  prefetch.flowClass = net::FlowClass::kPrefetch;
+  flows_.startFlow(kServer, kA, 100'000, prefetch, [] {});
+  flows_.startFlow(kServer, kB, 100'000, prefetch, [] {});
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].first, kB);
+  EXPECT_EQ(shed[0].second, net::FlowClass::kPrefetch);
+}
+
+TEST_F(AdmissionTest, NoPolicyMeansNoShedding) {
+  // Without setAdmissionPolicy the queue grows without bound and deadlines
+  // are ignored — the seed behavior.
+  net::FlowNetwork::FlowOptions impatient;
+  impatient.flowClass = net::FlowClass::kPrefetch;
+  impatient.deadline = sim::fromSeconds(0.001);
+  ASSERT_TRUE(flows_.startFlow(kServer, kA, 1'000'000, [] {}).valid());
+  EXPECT_TRUE(flows_.startFlow(kServer, kB, 100'000, impatient, [] {}).valid());
+  EXPECT_EQ(flows_.flowsShed(kServer), 0u);
+}
+
+// --- paused-flow lifecycle safety ------------------------------------------
+
+class PreemptionTest : public ::testing::Test {
+ protected:
+  PreemptionTest() : flows_(sim_) {
+    flows_.addEndpoint(kServer, {1e6, 1e6});
+    flows_.addEndpoint(kA, {8e6, 8e6});
+    flows_.addEndpoint(kB, {8e6, 8e6});
+    flows_.setPlaybackFloor(8e5);
+  }
+
+  // Starts a prefetch to A, then a playback to B that preempts it.
+  void setupPreemption() {
+    net::FlowNetwork::FlowOptions prefetch;
+    prefetch.flowClass = net::FlowClass::kPrefetch;
+    prefetchId_ = flows_.startFlow(kServer, kA, 125'000, prefetch,
+                                   [&] { prefetchDone_ = true; });
+    playbackId_ = flows_.startFlow(kServer, kB, 125'000, {},
+                                   [&] { playbackDone_ = true; });
+    ASSERT_TRUE(flows_.flowPaused(prefetchId_));
+    ASSERT_FALSE(flows_.flowPaused(playbackId_));
+  }
+
+  static constexpr EndpointId kServer{0};
+  static constexpr EndpointId kA{1};
+  static constexpr EndpointId kB{2};
+
+  sim::Simulator sim_;
+  net::FlowNetwork flows_;
+  FlowId prefetchId_;
+  FlowId playbackId_;
+  bool prefetchDone_ = false;
+  bool playbackDone_ = false;
+};
+
+TEST_F(PreemptionTest, CancellingAPausedFlowIsSafe) {
+  setupPreemption();
+  flows_.cancelFlow(prefetchId_);
+  EXPECT_FALSE(flows_.flowActive(prefetchId_));
+  EXPECT_EQ(flows_.pausedUploads(kServer), 0u);
+  sim_.run();
+  EXPECT_TRUE(playbackDone_);
+  EXPECT_FALSE(prefetchDone_);
+  EXPECT_EQ(flows_.bytesDownloaded(kA), 0u);
+}
+
+TEST_F(PreemptionTest, CancellingTheBlockerResumesThePausedFlow) {
+  setupPreemption();
+  flows_.cancelFlow(playbackId_);
+  EXPECT_FALSE(flows_.flowPaused(prefetchId_));
+  EXPECT_NEAR(flows_.flowRateBps(prefetchId_), 1e6, 1.0);
+  sim_.run();
+  EXPECT_TRUE(prefetchDone_);
+  EXPECT_FALSE(playbackDone_);
+}
+
+TEST_F(PreemptionTest, DroppingThePausedFlowsDestinationPurgesIt) {
+  setupPreemption();
+  flows_.dropEndpointFlows(kA);
+  EXPECT_FALSE(flows_.flowActive(prefetchId_));
+  EXPECT_EQ(flows_.pausedUploads(kServer), 0u);
+  sim_.run();
+  EXPECT_TRUE(playbackDone_);
+  EXPECT_FALSE(prefetchDone_);
+}
+
+TEST_F(PreemptionTest, DroppingTheSourceKillsActiveAndPausedAlike) {
+  setupPreemption();
+  int aborted = 0;
+  flows_.dropEndpointFlows(kServer,
+                           [&](FlowId, std::uint64_t) { ++aborted; });
+  // Both uploads report to the abort callback: a paused flow is still a
+  // live transfer from its downloader's point of view, so it must trigger
+  // fail-over like an active one (only never-activated queued flows die
+  // silently).
+  EXPECT_EQ(aborted, 2);
+  EXPECT_EQ(flows_.activeFlows(), 0u);
+  EXPECT_EQ(flows_.pausedUploads(kServer), 0u);
+  sim_.run();
+  EXPECT_FALSE(playbackDone_);
+  EXPECT_FALSE(prefetchDone_);
+}
+
+TEST_F(PreemptionTest, PausedFlowResumesWhenTheBlockerCompletes) {
+  setupPreemption();
+  sim_.run();
+  EXPECT_TRUE(playbackDone_);
+  EXPECT_TRUE(prefetchDone_);
+  EXPECT_EQ(flows_.bytesDownloaded(kA), 125'000u);
+  EXPECT_EQ(flows_.bytesDownloaded(kB), 125'000u);
+}
+
+// --- circuit breakers ------------------------------------------------------
+
+TEST(BreakerBoard, OpensAtThresholdAndBlocksTraffic) {
+  vod::BreakerBoard board(8, /*threshold=*/3, /*cooldown=*/300 * sim::kSecond);
+  const UserId owner{0};
+  const UserId neighbor{1};
+  EXPECT_FALSE(board.recordFailure(owner, neighbor, 0));
+  EXPECT_FALSE(board.recordFailure(owner, neighbor, 0));
+  EXPECT_TRUE(board.allowed(owner, neighbor, 0));
+  EXPECT_TRUE(board.recordFailure(owner, neighbor, 0));  // third strike
+  EXPECT_EQ(board.state(owner, neighbor), vod::BreakerBoard::State::kOpen);
+  EXPECT_FALSE(board.allowed(owner, neighbor, 100 * sim::kSecond));
+  EXPECT_EQ(board.opened(), 1u);
+  EXPECT_EQ(board.openNow(), 1u);
+  // Another owner's view of the same neighbor is untouched.
+  EXPECT_TRUE(board.allowed(UserId{2}, neighbor, 0));
+}
+
+TEST(BreakerBoard, CooldownGrantsASingleHalfOpenTrial) {
+  vod::BreakerBoard board(8, 1, 300 * sim::kSecond);
+  const UserId owner{0};
+  const UserId neighbor{1};
+  ASSERT_TRUE(board.recordFailure(owner, neighbor, 0));
+  EXPECT_FALSE(board.allowed(owner, neighbor, 299 * sim::kSecond));
+  // Past the cooldown: exactly one trial goes through.
+  EXPECT_TRUE(board.allowed(owner, neighbor, 301 * sim::kSecond));
+  EXPECT_EQ(board.state(owner, neighbor), vod::BreakerBoard::State::kHalfOpen);
+  EXPECT_FALSE(board.allowed(owner, neighbor, 301 * sim::kSecond));
+  EXPECT_EQ(board.halfOpened(), 1u);
+}
+
+TEST(BreakerBoard, HalfOpenFailureReopensWithAFreshCooldown) {
+  vod::BreakerBoard board(8, 1, 300 * sim::kSecond);
+  const UserId owner{0};
+  const UserId neighbor{1};
+  ASSERT_TRUE(board.recordFailure(owner, neighbor, 0));
+  ASSERT_TRUE(board.allowed(owner, neighbor, 301 * sim::kSecond));
+  EXPECT_TRUE(board.recordFailure(owner, neighbor, 301 * sim::kSecond));
+  EXPECT_EQ(board.state(owner, neighbor), vod::BreakerBoard::State::kOpen);
+  EXPECT_FALSE(board.allowed(owner, neighbor, 302 * sim::kSecond));
+  EXPECT_TRUE(board.allowed(owner, neighbor, 602 * sim::kSecond));
+  // The re-open counts toward opened() but the breaker was never closed, so
+  // openNow() still reads one.
+  EXPECT_EQ(board.opened(), 2u);
+  EXPECT_EQ(board.openNow(), 1u);
+}
+
+TEST(BreakerBoard, HalfOpenSuccessClosesAndResetsSuspicion) {
+  vod::BreakerBoard board(8, 2, 300 * sim::kSecond);
+  const UserId owner{0};
+  const UserId neighbor{1};
+  board.recordFailure(owner, neighbor, 0);
+  ASSERT_TRUE(board.recordFailure(owner, neighbor, 0));
+  ASSERT_TRUE(board.allowed(owner, neighbor, 301 * sim::kSecond));
+  EXPECT_TRUE(board.recordSuccess(owner, neighbor));
+  EXPECT_EQ(board.state(owner, neighbor), vod::BreakerBoard::State::kClosed);
+  EXPECT_TRUE(board.allowed(owner, neighbor, 302 * sim::kSecond));
+  EXPECT_EQ(board.closed(), 1u);
+  EXPECT_EQ(board.openNow(), 0u);
+  // Suspicion restarted from zero: one new failure does not re-open.
+  EXPECT_FALSE(board.recordFailure(owner, neighbor, 400 * sim::kSecond));
+  EXPECT_TRUE(board.allowed(owner, neighbor, 400 * sim::kSecond));
+}
+
+TEST(BreakerBoard, SuccessOnAClosedBreakerClearsTheCounterQuietly) {
+  vod::BreakerBoard board(8, 3, 300 * sim::kSecond);
+  const UserId owner{0};
+  const UserId neighbor{1};
+  board.recordFailure(owner, neighbor, 0);
+  board.recordFailure(owner, neighbor, 0);
+  EXPECT_FALSE(board.recordSuccess(owner, neighbor));  // nothing to close
+  // The two strikes are forgotten: two more do not open the breaker.
+  EXPECT_FALSE(board.recordFailure(owner, neighbor, 0));
+  EXPECT_FALSE(board.recordFailure(owner, neighbor, 0));
+  EXPECT_EQ(board.opened(), 0u);
+}
+
+TEST(BreakerBoard, DisabledBoardIsAPureNoOp) {
+  vod::BreakerBoard board(8, /*threshold=*/0, 300 * sim::kSecond);
+  EXPECT_FALSE(board.enabled());
+  const UserId owner{0};
+  const UserId neighbor{1};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(board.recordFailure(owner, neighbor, 0));
+  }
+  EXPECT_TRUE(board.allowed(owner, neighbor, 0));
+  EXPECT_EQ(board.state(owner, neighbor), vod::BreakerBoard::State::kClosed);
+  EXPECT_EQ(board.opened(), 0u);
+  EXPECT_EQ(board.openNow(), 0u);
+}
+
+// --- demand-spike integration ----------------------------------------------
+
+exp::ExperimentConfig spikeConfig(const char* overloadSpec) {
+  exp::ExperimentConfig config = exp::ExperimentConfig::simulationDefaults(7);
+  config = config.scaledTo(150, 3);
+  config.duration = sim::kDay / 2;
+  // Starve the server (12 kbps/user instead of the sized 20) and land a
+  // release wave with eager subscribers mid-run.
+  config.vod.serverUploadBps = 12'000.0 * 150;
+  config.releases.perChannel = 2;
+  config.releases.windowStartFraction = 0.30;
+  config.releases.windowEndFraction = 0.45;
+  config.releases.feedWatchProbability = 0.9;
+  std::string error;
+  EXPECT_TRUE(
+      vod::OverloadConfig::parse(overloadSpec, &config.vod.overload, &error))
+      << error;
+  return config;
+}
+
+TEST(OverloadIntegration, DemandSpikeShedsWhileSocialTubeHoldsTheSlo) {
+  const exp::ExperimentConfig config = spikeConfig("on");
+  const exp::ExperimentResult result =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, nullptr);
+  // The starved server refused work instead of queueing it blindly...
+  EXPECT_GT(result.counter("server.shed"), 0u);
+  // ...and the degradation ladder kept playback inside the rebuffer SLO.
+  EXPECT_EQ(result.counter("slo.rebuffer_within_target"), 1u)
+      << "rebuffer ratio " << result.counter("slo.rebuffer_ratio_ppm")
+      << " ppm exceeds the " << config.vod.overload.rebufferSloRatio
+      << " target";
+  // The SLO ledger actually observed playback.
+  EXPECT_TRUE(result.counters.has("slo.rebuffer_ratio_ppm"));
+  EXPECT_GT(result.watches(), 0u);
+}
+
+TEST(OverloadIntegration, OverloadOffRegistersNoOverloadCounters) {
+  exp::ExperimentConfig config = spikeConfig("none");
+  config.duration = sim::kHour;  // shape check only, keep it quick
+  const exp::ExperimentResult result =
+      exp::runExperiment(config, exp::SystemKind::kSocialTube, nullptr);
+  EXPECT_FALSE(result.counters.has("server.shed"));
+  EXPECT_FALSE(result.counters.has("prefetch.throttled"));
+  EXPECT_FALSE(result.counters.has("breaker.opened"));
+  EXPECT_FALSE(result.counters.has("slo.rebuffer_ratio_ppm"));
+}
+
+}  // namespace
+}  // namespace st
