@@ -53,6 +53,17 @@ inline exp::ExperimentConfig experimentConfig(const Flags& flags) {
     config = config.scaledTo(users, sessions);
     if (planetlab) config.vod.serverUploadBps = 5'000'000.0;
   }
+  // Checkpoint/restore (DESIGN.md §11): --snapshot-out saves the complete
+  // state at --snapshot-at seconds (0 = the horizon) and --snapshot-in
+  // resumes from such a file. Figure binaries run all three systems, so
+  // exp::runAllSystems suffixes both paths per system (".PA-VoD",
+  // ".SocialTube", ".NetTube"); a warmed three-system figure re-drives
+  // from its snapshots without replaying a single cold session. Negative
+  // --snapshot-at values are treated as 0.
+  config.snapshot.out = flags.getString("snapshot-out", "");
+  config.snapshot.in = flags.getString("snapshot-in", "");
+  const double snapshotAt = flags.getDouble("snapshot-at", 0.0);
+  config.snapshot.at = snapshotAt > 0.0 ? sim::fromSeconds(snapshotAt) : 0;
   return config;
 }
 

@@ -5,10 +5,19 @@
 //                          [--threads 2] [--trace-out storm.jsonl]
 //                          [--faults SPEC] [--audit SECONDS]
 //                          [--overload SPEC]
+//                          [--snapshot-out PATH] [--snapshot-in PATH]
+//                          [--snapshot-at SECONDS]
 //
 // --trace-out dumps the structured protocol-event timeline (JSONL; one file
 // per scenario, suffixed ".calm"/".storm") — see EXPERIMENTS.md for how to
 // slice the repair/fallback events.
+//
+// --snapshot-out saves each scenario's complete state at --snapshot-at
+// simulated seconds (0 = the horizon) to PATH.calm / PATH.storm.
+// --snapshot-in restores ONE snapshot file into BOTH scenarios — the two
+// scenarios differ only in config (abrupt fraction, and any --faults /
+// --audit layered on after the snapshot point), so a single warmed calm
+// state forks into N what-if runs without replaying the warm-up.
 //
 // --faults layers a scripted fault schedule (src/fault/schedule.h grammar,
 // e.g. "crash:t=3600,frac=0.2;loss:t=4000,dur=300,rate=0.3") over both
@@ -49,6 +58,9 @@ int main(int argc, char** argv) {
   const std::string faultSpec = flags.getString("faults", "");
   const double auditSeconds = flags.getDouble("audit", 0.0);
   const std::string overloadSpec = flags.getString("overload", "");
+  const std::string snapshotOut = flags.getString("snapshot-out", "");
+  const std::string snapshotIn = flags.getString("snapshot-in", "");
+  const double snapshotAt = flags.getDouble("snapshot-at", 0.0);
 
   // Validate every spec up front so a typo fails before minutes of
   // simulation (the runner would abort mid-run otherwise). Exit code 2
@@ -77,11 +89,16 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "accepted flags: --users --abrupt --seed --threads "
-                 "--trace-out --faults --audit --overload\n");
+                 "--trace-out --faults --audit --overload "
+                 "--snapshot-out --snapshot-in --snapshot-at\n");
     return 2;
   }
   if (auditSeconds < 0.0) {
     std::fprintf(stderr, "--audit must be >= 0 seconds\n");
+    return 2;
+  }
+  if (snapshotAt < 0.0) {
+    std::fprintf(stderr, "--snapshot-at must be >= 0 seconds\n");
     return 2;
   }
 
@@ -115,6 +132,13 @@ int main(int argc, char** argv) {
                         scenario.obs.traceOut =
                             traceOut + (i == 0 ? ".calm" : ".storm");
                       }
+                      if (!snapshotOut.empty()) {
+                        scenario.snapshot.out =
+                            snapshotOut + (i == 0 ? ".calm" : ".storm");
+                      }
+                      // Same file for both scenarios: the fork.
+                      scenario.snapshot.in = snapshotIn;
+                      scenario.snapshot.at = st::sim::fromSeconds(snapshotAt);
                       results[i] = st::exp::runExperiment(
                           scenario, st::exp::SystemKind::kSocialTube,
                           &catalog);

@@ -3,11 +3,22 @@
 // latency) environment, mirroring the paper's paired Figs. 16-18 (a)/(b).
 //
 //   ./examples/planetlab_comparison [--seed 1] [--sessions 10] [--threads 3]
+//                                   [--snapshot-out PATH] [--snapshot-in PATH]
+//                                   [--snapshot-at SECONDS]
+//
+// Checkpoint/restore (PeerSim environment only; the two environments differ
+// in workload shape so a snapshot from one cannot seed the other):
+// --snapshot-out saves each system's complete state at --snapshot-at
+// simulated seconds (0 = the horizon) to PATH.<system>; --snapshot-in warm-
+// starts the figure-16/17/18 sweep from previously saved PATH.<system>
+// files instead of replaying the warm-up from scratch.
 #include <cstdio>
+#include <string>
 
 #include "exp/config.h"
 #include "exp/report.h"
 #include "exp/runner.h"
+#include "sim/time.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -22,6 +33,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.getInt("sessions", 10));
   const std::size_t threads =
       st::resolveThreadCount(flags.getInt("threads", 0), 1);
+  const std::string snapshotOut = flags.getString("snapshot-out", "");
+  const std::string snapshotIn = flags.getString("snapshot-in", "");
+  const double snapshotAt = flags.getDouble("snapshot-at", 0.0);
+  if (snapshotAt < 0.0) {
+    std::fprintf(stderr, "--snapshot-at must be >= 0 seconds\n");
+    return 1;
+  }
 
   for (const bool planetlab : {false, true}) {
     st::exp::ExperimentConfig config =
@@ -29,6 +47,11 @@ int main(int argc, char** argv) {
                   : st::exp::ExperimentConfig::simulationDefaults(seed);
     if (!planetlab) config = config.scaledTo(1'000, sessions);
     if (planetlab) config.vod.sessionsPerUser = sessions;
+    if (!planetlab) {
+      config.snapshot.out = snapshotOut;
+      config.snapshot.in = snapshotIn;
+      config.snapshot.at = st::sim::fromSeconds(snapshotAt);
+    }
 
     std::printf("=== %s environment (%zu nodes) ===\n",
                 planetlab ? "PlanetLab (wide-area, 1%% loss)" : "PeerSim",

@@ -6,12 +6,17 @@
 # arguments), the trace tests themselves flip behavior on ST_TRACE_ENABLED,
 # the ASan+UBSan pass guards the hand-rolled lifetime management in the
 # slotted scheduler and callback SBO storage (placement new / launder /
-# relocation) and gates the soak label, and the TSan pass covers the thread
-# pool and parallel multi-seed machinery.
+# relocation) and gates the soak and snapshot labels, and the TSan pass
+# covers the thread pool and parallel multi-seed machinery.
+#
+# The snapshot label rides in the default: the checkpoint/restore
+# differential tests must hold bitwise with the trace ring compiled in AND
+# out (the snapshot carries the ring only when it exists), and the
+# deserialization fuzz cases are only meaningful under ASan+UBSan.
 #
 #   scripts/check.sh [ctest label] [jobs]
 #
-#   scripts/check.sh            # unit + soak labels, all three modes
+#   scripts/check.sh            # unit + soak + snapshot labels, all modes
 #   scripts/check.sh . 8        # everything, 8 jobs
 #
 # Sibling of scripts/sanitize.sh; each mode gets its own build tree
@@ -20,9 +25,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Default covers the quick unit gate plus the chaos-soak fault tests, so the
-# sanitizer pass exercises the injector/checker paths too.
-LABEL="${1:-unit|soak}"
+# Default covers the quick unit gate, the chaos-soak fault tests, and the
+# checkpoint/restore differential suite, so the sanitizer pass exercises the
+# injector/checker paths and the snapshot codec too.
+LABEL="${1:-unit|soak|snapshot}"
 JOBS="${2:-$(nproc)}"
 
 for MODE in ON OFF; do
@@ -37,8 +43,9 @@ done
 echo "=== ST_SANITIZE=address,undefined (build-asan-ubsan) ==="
 scripts/sanitize.sh address,undefined "$LABEL" "$JOBS"
 
-# TSan cannot combine with ASan, so it gets its own pass over the unit label:
-# the thread pool, the parallel multi-seed engine, and the 1-vs-8-thread
-# determinism paths must stay race-free.
+# TSan cannot combine with ASan, so it gets its own pass over the unit and
+# snapshot labels: the thread pool, the parallel multi-seed engine, the
+# 1-vs-8-thread determinism paths, and the parallel snapshot restores
+# (including the save -> load -> save round trip) must stay race-free.
 echo "=== ST_SANITIZE=thread (build-tsan) ==="
-scripts/sanitize.sh thread unit "$JOBS"
+scripts/sanitize.sh thread 'unit|snapshot' "$JOBS"

@@ -9,6 +9,29 @@ namespace {
 bool contains(const std::vector<UserId>& list, UserId value) {
   return std::find(list.begin(), list.end(), value) != list.end();
 }
+
+std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+  return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+}
+
+std::uint32_t lo32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+std::uint32_t hi32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v >> 32);
+}
+
+std::vector<UserId> toUsers(const std::vector<std::uint32_t>& raw) {
+  std::vector<UserId> users;
+  users.reserve(raw.size());
+  for (const std::uint32_t value : raw) users.push_back(UserId{value});
+  return users;
+}
+
+std::vector<std::uint32_t> fromUsers(const std::vector<UserId>& users) {
+  std::vector<std::uint32_t> raw;
+  raw.reserve(users.size());
+  for (const UserId user : users) raw.push_back(user.value());
+  return raw;
+}
 }  // namespace
 
 NetTubeSystem::NetTubeSystem(vod::SystemContext& ctx,
@@ -21,6 +44,98 @@ NetTubeSystem::NetTubeSystem(vod::SystemContext& ctx,
   for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
     nodes_.emplace_back(ctx.config().cacheCapacityVideos,
                         ctx.config().prefetchCacheSlots);
+  }
+  transfers_.setClient(this);
+  ctx_.sim().registerFactory(sim::Component::kNetTube, this);
+}
+
+NetTubeSystem::~NetTubeSystem() {
+  if (ctx_.sim().factory(sim::Component::kNetTube) == this) {
+    ctx_.sim().registerFactory(sim::Component::kNetTube, nullptr);
+  }
+}
+
+sim::Callback NetTubeSystem::rebuild(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case kProbeEvent: {
+      const UserId user{lo32(tag.a)};
+      return [this, user] { probeNeighbors(user); };
+    }
+    case kDropLinksEvent: {
+      const UserId at{tag.a32};
+      const UserId from{lo32(tag.a)};
+      return ctx_.wrapStage(tag, [this, at, from] { dropAllLinks(at, from); });
+    }
+    case kInventoryAtServer:
+      return ctx_.wrapStage(tag, [this, tag] { inventoryAtServer(tag); });
+    case kFloodHop: {
+      const UserId at{tag.a32};
+      const UserId origin{lo32(tag.a)};
+      const VideoId video{lo32(tag.b)};
+      const std::uint64_t queryId = tag.c;
+      const int ttl = static_cast<int>(tag.d);
+      return ctx_.wrapStage(tag, [this, origin, at, video, queryId, ttl] {
+        floodQuery(origin, at, video, queryId, ttl);
+      });
+    }
+    case kSearchHit: {
+      const std::uint64_t queryId = tag.a;
+      const UserId provider{lo32(tag.b)};
+      return ctx_.wrapStage(
+          tag, [this, queryId, provider] { onSearchHit(queryId, provider); });
+    }
+    case kAskDirectory: {
+      const std::uint64_t queryId = tag.a;
+      return [this, queryId] { askServerDirectory(queryId); };
+    }
+    case kDirectoryAtServer:
+      return ctx_.wrapStage(tag, [this, tag] { directoryAtServer(tag); });
+    case kDirectoryReply:
+      // Carries a payload: the online check lives inside the handler so an
+      // offline receiver still frees it (wrapStage would silently drop).
+      return [this, tag] { applyDirectoryReply(tag); };
+    case kServerWatch:
+      return ctx_.wrapStage(tag, [this, tag] { serverWatch(tag); });
+    case kCachedAtServer:
+      return ctx_.wrapStage(tag, [this, tag] { cachedAtServer(tag); });
+    case kCachedReply:
+      return [this, tag] { applyCachedReply(tag); };  // payload, see above
+    default:
+      assert(false && "unknown NetTube event kind");
+      return [] {};
+  }
+}
+
+void NetTubeSystem::discard(const sim::EventTag& tag) {
+  // A lost message must free the payload its closure would have consumed.
+  switch (tag.kind) {
+    case kInventoryAtServer:
+    case kDirectoryReply:
+    case kCachedReply:
+      ctx_.freePayload(tag.b);
+      break;
+    case kServerWatch:
+      ctx_.freePayload(tag.c);
+      break;
+    default:
+      break;
+  }
+}
+
+void NetTubeSystem::onRestored(const sim::EventTag& tag,
+                               sim::EventHandle handle) {
+  switch (tag.kind) {
+    case kProbeEvent:
+      nodes_[UserId{lo32(tag.a)}.index()].probeTimer = handle;
+      break;
+    case kAskDirectory: {
+      Search* search = searches_.find(tag.a);
+      assert(search != nullptr && "deadline for a search not in the pool");
+      search->deadline = handle;
+      break;
+    }
+    default:
+      break;
   }
 }
 
@@ -102,14 +217,28 @@ void NetTubeSystem::onLogin(UserId user) {
   // Report the cached inventory so the server can direct other nodes here
   // ("users need to report the changes of videos they watch", §IV-A).
   if (!node.cache.videoList().empty()) {
-    const std::vector<VideoId> cached = node.cache.videoList();
-    ctx_.sendToServer(user, [this, user, cached] {
-      if (!ctx_.isOnline(user)) return;
-      for (const VideoId video : cached) directory_.add(user, video);
-    });
+    vod::SystemContext::Payload payload;
+    for (const VideoId video : node.cache.videoList()) {
+      payload.u.push_back(video.value());
+    }
+    const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+    ctx_.sendToServer(user,
+                      sim::makeTag(sim::Component::kNetTube, kInventoryAtServer,
+                                   user.value(), payloadId));
   }
-  node.probeTimer = ctx_.sim().schedulePeriodic(
-      ctx_.config().probeInterval, [this, user] { probeNeighbors(user); });
+  node.probeTimer = ctx_.sim().schedulePeriodicTagged(
+      ctx_.config().probeInterval,
+      sim::makeTag(sim::Component::kNetTube, kProbeEvent, user.value()));
+}
+
+void NetTubeSystem::inventoryAtServer(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.b);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
+  for (const std::uint32_t raw : payload.u) directory_.add(user, VideoId{raw});
 }
 
 void NetTubeSystem::onLogout(UserId user, bool graceful) {
@@ -121,7 +250,9 @@ void NetTubeSystem::onLogout(UserId user, bool graceful) {
 
   if (graceful) {
     for (const UserId n : allNeighbors(node)) {
-      ctx_.sendUser(user, n, [this, n, user] { dropAllLinks(n, user); });
+      ctx_.sendUser(user, n,
+                    sim::makeTag(sim::Component::kNetTube, kDropLinksEvent,
+                                 user.value()));
     }
   }
   directory_.removeAll(user);
@@ -179,13 +310,14 @@ void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
   }
   for (const UserId n : neighbors) {
     if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
-    ctx_.sendUser(user, n, [this, user, n, video, queryId] {
-      floodQuery(user, n, video, queryId, ctx_.config().ttl);
-    });
+    ctx_.sendUser(user, n,
+                  sim::makeTag(sim::Component::kNetTube, kFloodHop,
+                               user.value(), video.value(), queryId,
+                               static_cast<std::uint64_t>(ctx_.config().ttl)));
   }
-  searches_.find(queryId)->deadline =
-      ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
-                          [this, queryId] { askServerDirectory(queryId); });
+  searches_.find(queryId)->deadline = ctx_.sim().scheduleTagged(
+      ctx_.config().searchPhaseTimeout,
+      sim::makeTag(sim::Component::kNetTube, kAskDirectory, queryId));
 }
 
 void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
@@ -194,7 +326,8 @@ void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
   if (seenQuery(at, queryId)) return;
   if (node.cache.contains(video)) {
     ctx_.sendUser(at, origin,
-                  [this, queryId, at] { onSearchHit(queryId, at); });
+                  sim::makeTag(sim::Component::kNetTube, kSearchHit, queryId,
+                               at.value()));
     return;
   }
   if (ttl <= 1) return;
@@ -206,9 +339,10 @@ void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
   for (const UserId n : neighbors) {
     if (n == origin) continue;
     if (!ctx_.neighborAllowed(at, n)) continue;  // breaker open at this hop
-    ctx_.sendUser(at, n, [this, origin, n, video, queryId, ttl] {
-      floodQuery(origin, n, video, queryId, ttl - 1);
-    });
+    ctx_.sendUser(at, n,
+                  sim::makeTag(sim::Component::kNetTube, kFloodHop,
+                               origin.value(), video.value(), queryId,
+                               static_cast<std::uint64_t>(ttl - 1)));
   }
 }
 
@@ -240,34 +374,57 @@ void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
   // with SocialTube.
   const bool joining = nodes_[user.index()].overlays.empty();
 
-  ctx_.sendToServer(user, [this, user, video, queryId, joining] {
-    std::vector<UserId> candidates;
-    if (joining) {
-      candidates = directory_.randomMembers(
-          video, ctx_.config().linksPerVideoOverlay, user, ctx_.rng());
-      // The directory only lists online holders, but double-check liveness.
-      std::erase_if(candidates,
-                    [this](UserId u) { return !ctx_.isOnline(u); });
-      // Breaker filtering happens after the RNG draws so that a disabled
-      // board leaves the random stream untouched.
-      std::erase_if(candidates, [this, user](UserId u) {
-        return !ctx_.neighborAllowed(user, u);
-      });
-    }
-    ctx_.sendFromServer(user, [this, queryId, candidates] {
-      const Search* search = searches_.find(queryId);
-      if (search == nullptr) return;
-      if (candidates.empty()) {
-        ctx_.metrics().countServerFallback();
-        ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback,
-                 search->user.value(), search->video.value(), 0);
-        resolveSearch(queryId, UserId::invalid(), {});
-        return;
-      }
-      ctx_.metrics().countCategoryHit();  // directory-mediated peer hit
-      resolveSearch(queryId, candidates.front(), candidates);
+  ctx_.sendToServer(user,
+                    sim::makeTag(sim::Component::kNetTube, kDirectoryAtServer,
+                                 user.value(),
+                                 pack(video.value(), joining ? 1 : 0),
+                                 queryId));
+}
+
+void NetTubeSystem::directoryAtServer(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  const VideoId video{lo32(tag.b)};
+  const bool joining = hi32(tag.b) != 0;
+  const std::uint64_t queryId = tag.c;
+  std::vector<UserId> candidates;
+  if (joining) {
+    candidates = directory_.randomMembers(
+        video, ctx_.config().linksPerVideoOverlay, user, ctx_.rng());
+    // The directory only lists online holders, but double-check liveness.
+    std::erase_if(candidates, [this](UserId u) { return !ctx_.isOnline(u); });
+    // Breaker filtering happens after the RNG draws so that a disabled
+    // board leaves the random stream untouched.
+    std::erase_if(candidates, [this, user](UserId u) {
+      return !ctx_.neighborAllowed(user, u);
     });
-  });
+  }
+  vod::SystemContext::Payload payload;
+  payload.u = fromUsers(candidates);
+  const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+  ctx_.sendFromServer(user, sim::makeTag(sim::Component::kNetTube,
+                                         kDirectoryReply, queryId, payloadId));
+}
+
+void NetTubeSystem::applyDirectoryReply(const sim::EventTag& tag) {
+  const UserId user{tag.a32};
+  const std::uint64_t queryId = tag.a;
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.b);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
+  const Search* search = searches_.find(queryId);
+  if (search == nullptr) return;
+  const std::vector<UserId> candidates = toUsers(payload.u);
+  if (candidates.empty()) {
+    ctx_.metrics().countServerFallback();
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback,
+             search->user.value(), search->video.value(), 0);
+    resolveSearch(queryId, UserId::invalid(), {});
+    return;
+  }
+  ctx_.metrics().countCategoryHit();  // directory-mediated peer hit
+  resolveSearch(queryId, candidates.front(), candidates);
 }
 
 void NetTubeSystem::resolveSearch(std::uint64_t queryId, UserId provider,
@@ -313,25 +470,56 @@ void NetTubeSystem::startDownload(UserId user, VideoId video, UserId provider,
       }
     }
   }
-  if (!prefetchHit) {
-    request.onPlaybackReady = [this, user, video](sim::SimTime delay,
-                                                  bool timedOut) {
-      notifyPlayback(user, video, delay, timedOut);
-      if (!timedOut) prefetchFromNeighbors(user);
-    };
-  }
-  request.onFinished = [this, user, video](bool complete) {
-    if (complete) onVideoCached(user, video);
-  };
+  request.reportPlayback = !prefetchHit;
 
   if (!provider.valid()) {
-    ctx_.sendToServer(user, [this, request = std::move(request)] {
-      if (!ctx_.isOnline(request.user)) return;
-      transfers_.startWatch(request);
-    });
+    vod::SystemContext::Payload payload;
+    payload.u = fromUsers(request.extraProviders);
+    const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+    ctx_.sendToServer(user,
+                      sim::makeTag(sim::Component::kNetTube, kServerWatch,
+                                   user.value(),
+                                   pack(video.value(), prefetchHit ? 1 : 0),
+                                   payloadId,
+                                   static_cast<std::uint64_t>(requestTime)));
     return;
   }
   transfers_.startWatch(std::move(request));
+}
+
+void NetTubeSystem::serverWatch(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.c);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.c);
+  const bool prefetchHit = hi32(tag.b) != 0;
+  vod::TransferManager::WatchRequest request;
+  request.user = user;
+  request.video = VideoId{lo32(tag.b)};
+  request.provider = UserId::invalid();
+  request.firstChunkCached = prefetchHit;
+  request.requestTime = static_cast<sim::SimTime>(tag.d);
+  request.extraProviders = toUsers(payload.u);
+  request.reportPlayback = !prefetchHit;
+  transfers_.startWatch(std::move(request));
+}
+
+void NetTubeSystem::watchPlaybackReady(UserId user, VideoId video,
+                                       sim::SimTime delay, bool timedOut) {
+  notifyPlayback(user, video, delay, timedOut);
+  if (!timedOut) prefetchFromNeighbors(user);
+}
+
+void NetTubeSystem::watchFinished(UserId user, VideoId video, bool complete) {
+  if (complete) onVideoCached(user, video);
+}
+
+void NetTubeSystem::prefetchArrived(UserId user, VideoId video, bool) {
+  if (ctx_.isOnline(user)) {
+    nodes_[user.index()].cache.insertFirstChunk(video);
+  }
 }
 
 void NetTubeSystem::onVideoCached(UserId user, VideoId video) {
@@ -342,21 +530,40 @@ void NetTubeSystem::onVideoCached(UserId user, VideoId video) {
   // links to them ("when a node finishes watching a video, it remains in
   // its overlay", §I). This is what makes NetTube's link count grow with
   // every video watched (Fig. 15/18).
-  ctx_.sendToServer(user, [this, user, video] {
-    if (!ctx_.isOnline(user)) return;
-    std::vector<UserId> members = directory_.randomMembers(
-        video, ctx_.config().linksPerVideoOverlay, user, ctx_.rng());
-    directory_.add(user, video);
-    ctx_.sendFromServer(user, [this, user, video,
-                               members = std::move(members)] {
-      for (const UserId member : members) {
-        if (!ctx_.neighborAllowed(user, member)) continue;
-        if (ctx_.isOnline(member)) {
-          connectOverlayLink(user, member, video);
-        }
-      }
-    });
-  });
+  ctx_.sendToServer(user,
+                    sim::makeTag(sim::Component::kNetTube, kCachedAtServer,
+                                 user.value(), video.value()));
+}
+
+void NetTubeSystem::cachedAtServer(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  const VideoId video{lo32(tag.b)};
+  if (!ctx_.isOnline(user)) return;
+  std::vector<UserId> members = directory_.randomMembers(
+      video, ctx_.config().linksPerVideoOverlay, user, ctx_.rng());
+  directory_.add(user, video);
+  vod::SystemContext::Payload payload;
+  payload.u = fromUsers(members);
+  const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+  ctx_.sendFromServer(user,
+                      sim::makeTag(sim::Component::kNetTube, kCachedReply,
+                                   video.value(), payloadId));
+}
+
+void NetTubeSystem::applyCachedReply(const sim::EventTag& tag) {
+  const UserId user{tag.a32};
+  const VideoId video{lo32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.b);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
+  for (const UserId member : toUsers(payload.u)) {
+    if (!ctx_.neighborAllowed(user, member)) continue;
+    if (ctx_.isOnline(member)) {
+      connectOverlayLink(user, member, video);
+    }
+  }
 }
 
 void NetTubeSystem::prefetchFromNeighbors(UserId user) {
@@ -380,13 +587,7 @@ void NetTubeSystem::prefetchFromNeighbors(UserId user) {
     if (node.cache.contains(candidate) || node.cache.hasFirstChunk(candidate)) {
       continue;
     }
-    transfers_.startPrefetch(user, candidate, n,
-                             [this, user, candidate](bool) {
-                               if (ctx_.isOnline(user)) {
-                                 nodes_[user.index()].cache.insertFirstChunk(
-                                     candidate);
-                               }
-                             });
+    transfers_.startPrefetch(user, candidate, n);
     ++issued;
   }
 }
@@ -491,6 +692,112 @@ void NetTubeSystem::auditInvariants(vod::AuditReport& report) const {
       report.violate("nt.directory_uncached", member.value(), video.value());
     }
   });
+}
+
+// --- checkpoint/restore --------------------------------------------------------
+
+void NetTubeSystem::saveState(snapshot::Writer& w) const {
+  w.section(0x5454454e);  // "NETT"
+  directory_.saveState(w);
+  w.u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    w.u64(node.overlays.size());
+    for (const auto& [video, links] : node.overlays) {
+      w.u32(video.value());
+      w.u64(links.size());
+      for (const UserId n : links) w.u32(n.value());
+    }
+    node.cache.saveState(w);
+  }
+  w.u64(searches_.slotCount());
+  searches_.visitSlots([&w](std::uint32_t, bool live, std::uint32_t gen,
+                            std::uint32_t nextFree, const Search& search) {
+    w.boolean(live);
+    w.u32(gen);
+    w.u32(nextFree);
+    if (!live) return;
+    w.u32(search.user.value());
+    w.u32(search.video.value());
+    w.boolean(search.prefetchHit);
+    w.i64(search.requestTime);
+  });
+  w.u32(searches_.freeHead());
+  w.u64(queryDedup_.marks().size());
+  for (const std::uint64_t mark : queryDedup_.marks()) w.u64(mark);
+  w.u64(activeSearch_.size());
+  for (const std::uint64_t id : activeSearch_) w.u64(id);
+}
+
+bool NetTubeSystem::loadState(snapshot::Reader& r) {
+  r.section(0x5454454e, "NetTube");
+  if (!directory_.loadState(r)) return false;
+  const std::size_t nodeCount = r.count(4);
+  if (!r.ok() || nodeCount != nodes_.size()) {
+    r.fail("NetTube node count mismatch");
+    return false;
+  }
+  for (Node& node : nodes_) {
+    node.overlays.clear();
+    const std::size_t overlayCount = r.count(4 + 8);
+    for (std::size_t i = 0; i < overlayCount; ++i) {
+      const VideoId video{r.u32()};
+      if (r.ok() && video.index() >= ctx_.catalog().videoCount()) {
+        r.fail("NetTube overlay video out of range");
+        return false;
+      }
+      std::vector<UserId>& links = node.overlays[video];
+      const std::size_t linkCount = r.count(4);
+      for (std::size_t j = 0; j < linkCount; ++j) {
+        const UserId n{r.u32()};
+        if (r.ok() && n.index() >= nodes_.size()) {
+          r.fail("NetTube overlay link out of range");
+          return false;
+        }
+        links.push_back(n);
+      }
+    }
+    if (!node.cache.loadState(r)) return false;
+    node.probeTimer = sim::EventHandle{};
+    if (!r.ok()) return false;
+  }
+  const std::size_t slots = r.count(1 + 4 + 4);
+  searches_.beginRestore();
+  for (std::size_t i = 0; i < slots; ++i) {
+    const bool live = r.boolean();
+    const std::uint32_t gen = r.u32();
+    const std::uint32_t nextFree = r.u32();
+    Search search;
+    if (live) {
+      search.user = UserId{r.u32()};
+      search.video = VideoId{r.u32()};
+      search.prefetchHit = r.boolean();
+      search.requestTime = r.i64();
+      if (r.ok() && search.user.index() >= nodes_.size()) {
+        r.fail("NetTube search user out of range");
+        return false;
+      }
+    }
+    if (!r.ok()) return false;
+    searches_.restoreSlot(live, gen, nextFree, std::move(search));
+  }
+  const std::uint32_t freeHead = r.u32();
+  if (!r.ok() || !searches_.finishRestore(freeHead)) {
+    r.fail("NetTube search pool free list corrupt");
+    return false;
+  }
+  std::vector<std::uint64_t> marks(r.count(8));
+  for (std::uint64_t& mark : marks) mark = r.u64();
+  if (!r.ok() || !queryDedup_.restoreMarks(std::move(marks))) {
+    r.fail("NetTube dedup mark count mismatch");
+    return false;
+  }
+  const std::size_t activeCount = r.count(8);
+  if (!r.ok() || activeCount != activeSearch_.size()) {
+    r.fail("NetTube active-search count mismatch");
+    return false;
+  }
+  for (std::uint64_t& id : activeSearch_) id = r.u64();
+  return r.ok();
 }
 
 }  // namespace st::baselines

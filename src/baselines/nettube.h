@@ -12,7 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "baselines/video_directory.h"
@@ -25,15 +25,41 @@
 
 namespace st::baselines {
 
-class NetTubeSystem final : public vod::VodSystem {
+class NetTubeSystem final : public vod::VodSystem, public sim::EventFactory {
  public:
+  // Tag kinds (Component::kNetTube) — append-only, stored in snapshots.
+  static constexpr std::uint8_t kProbeEvent = 0;        // a = user (periodic)
+  static constexpr std::uint8_t kDropLinksEvent = 1;    // a = departing user
+  static constexpr std::uint8_t kInventoryAtServer = 2;  // a=user b=payload
+  static constexpr std::uint8_t kFloodHop = 3;     // a=origin b=video
+                                                   // c=queryId d=ttl
+  static constexpr std::uint8_t kSearchHit = 4;    // a=queryId b=provider
+  static constexpr std::uint8_t kAskDirectory = 5;  // a=queryId (deadline)
+  static constexpr std::uint8_t kDirectoryAtServer = 6;  // a=user
+                                                         // b=video|join<<32
+                                                         // c=queryId
+  static constexpr std::uint8_t kDirectoryReply = 7;  // a=queryId b=payload
+  static constexpr std::uint8_t kServerWatch = 8;     // a=user b=video|hit<<32
+                                                      // c=payload d=reqT
+  static constexpr std::uint8_t kCachedAtServer = 9;  // a=user b=video
+  static constexpr std::uint8_t kCachedReply = 10;    // a=video b=payload
+
   NetTubeSystem(vod::SystemContext& ctx, vod::TransferManager& transfers);
+  ~NetTubeSystem() override;
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
+  void discard(const sim::EventTag& tag) override;
+  void onRestored(const sim::EventTag& tag, sim::EventHandle handle) override;
 
   [[nodiscard]] std::string_view name() const override { return "NetTube"; }
 
   void onLogin(UserId user) override;
   void onLogout(UserId user, bool graceful) override;
   void requestVideo(UserId user, VideoId video) override;
+  void watchPlaybackReady(UserId user, VideoId video, sim::SimTime delay,
+                          bool timedOut) override;
+  void watchFinished(UserId user, VideoId video, bool complete) override;
+  void prefetchArrived(UserId user, VideoId video, bool fromPeer) override;
   [[nodiscard]] NodeStats nodeStats(UserId user) const override;
   [[nodiscard]] SystemStats statsSnapshot() const override {
     return {.serverRegistrations = directory_.totalRegistrations()};
@@ -53,10 +79,18 @@ class NetTubeSystem final : public vod::VodSystem {
   // and cache consistency.
   void auditInvariants(vod::AuditReport& report) const override;
 
+  // Serializes the directory, per-node overlays/caches, the search pool, and
+  // the flood-dedup stamps. Probe timers and search deadlines are re-stored
+  // from the simulator queue via onRestored().
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
+
  private:
   struct Node {
-    // video -> links held in that video's overlay.
-    std::unordered_map<VideoId, std::vector<UserId>> overlays;
+    // video -> links held in that video's overlay. Ordered map: iteration
+    // feeds allNeighbors()/probe sweeps (and the snapshot), so the walk
+    // order must be a function of the keys, not of hashing.
+    std::map<VideoId, std::vector<UserId>> overlays;
     vod::VideoCache cache;
     sim::EventHandle probeTimer;
 
@@ -87,6 +121,13 @@ class NetTubeSystem final : public vod::VodSystem {
                   std::uint64_t queryId, int ttl);
   void onSearchHit(std::uint64_t queryId, UserId provider);
   void askServerDirectory(std::uint64_t queryId);
+  // Tag-rebuilt message bodies (see the kind list above).
+  void inventoryAtServer(const sim::EventTag& tag);
+  void directoryAtServer(const sim::EventTag& tag);
+  void applyDirectoryReply(const sim::EventTag& tag);
+  void serverWatch(const sim::EventTag& tag);
+  void cachedAtServer(const sim::EventTag& tag);
+  void applyCachedReply(const sim::EventTag& tag);
   void resolveSearch(std::uint64_t queryId, UserId provider,
                      const std::vector<UserId>& overlayPeers);
   void startDownload(UserId user, VideoId video, UserId provider,

@@ -4,9 +4,50 @@
 
 namespace st::baselines {
 
+namespace {
+std::uint32_t lo32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+
+std::vector<UserId> toUsers(const std::vector<std::uint32_t>& raw) {
+  std::vector<UserId> users;
+  users.reserve(raw.size());
+  for (const std::uint32_t value : raw) users.push_back(UserId{value});
+  return users;
+}
+}  // namespace
+
 PaVodSystem::PaVodSystem(vod::SystemContext& ctx,
                          vod::TransferManager& transfers)
-    : ctx_(ctx), transfers_(transfers), nodes_(ctx.catalog().userCount()) {}
+    : ctx_(ctx), transfers_(transfers), nodes_(ctx.catalog().userCount()) {
+  transfers_.setClient(this);
+  ctx_.sim().registerFactory(sim::Component::kPaVod, this);
+}
+
+PaVodSystem::~PaVodSystem() {
+  if (ctx_.sim().factory(sim::Component::kPaVod) == this) {
+    ctx_.sim().registerFactory(sim::Component::kPaVod, nullptr);
+  }
+}
+
+sim::Callback PaVodSystem::rebuild(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case kWatchersAtServer:
+      return ctx_.wrapStage(tag, [this, tag] { watchersAtServer(tag); });
+    case kWatchersReply:
+      // Carries a payload: the online check lives inside the handler so an
+      // offline receiver still frees it (wrapStage would silently drop).
+      return [this, tag] { applyWatchersReply(tag); };
+    case kProviderRegister:
+      return ctx_.wrapStage(tag, [this, tag] { providerRegister(tag); });
+    default:
+      assert(false && "unknown PA-VoD event kind");
+      return [] {};
+  }
+}
+
+void PaVodSystem::discard(const sim::EventTag& tag) {
+  // A lost watcher-list reply must free the candidate payload.
+  if (tag.kind == kWatchersReply) ctx_.freePayload(tag.b);
+}
 
 vod::VodSystem::NodeStats PaVodSystem::nodeStats(UserId user) const {
   // PA-VoD maintains no overlay; the only "link" is an active peer download.
@@ -35,34 +76,58 @@ void PaVodSystem::requestVideo(UserId user, VideoId video) {
   node.peerProvider = false;
 
   // Ask the server for current watchers of this video.
-  ctx_.sendToServer(user, [this, user, video, requestTime] {
-    std::vector<UserId> candidates = watchers_.randomMembers(
-        video, ctx_.config().watcherListSize, user, ctx_.rng());
-    std::erase_if(candidates,
-                  [this](UserId u) { return !ctx_.isOnline(u); });
-    // Breaker filtering happens after the RNG draws so that a disabled
-    // board leaves the random stream untouched.
-    std::erase_if(candidates, [this, user](UserId u) {
-      return !ctx_.neighborAllowed(user, u);
-    });
-    const UserId provider =
-        candidates.empty() ? UserId::invalid() : candidates.front();
-    if (!provider.valid()) {
-      ctx_.metrics().countServerFallback();
-      ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback, user.value(),
-               video.value(), 0);
-    }
-    ctx_.sendFromServer(user, [this, user, video, provider, candidates,
-                               requestTime] {
-      if (nodes_[user.index()].current != video) return;  // stale reply
-      UserId source = provider;
-      if (source.valid() && !ctx_.isOnline(source)) {
-        source = UserId::invalid();
-      }
-      if (source.valid()) ctx_.metrics().countChannelHit();
-      startDownload(user, video, source, candidates, requestTime);
-    });
+  ctx_.sendToServer(user,
+                    sim::makeTag(sim::Component::kPaVod, kWatchersAtServer,
+                                 user.value(), video.value(), 0,
+                                 static_cast<std::uint64_t>(requestTime)));
+}
+
+void PaVodSystem::watchersAtServer(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  const VideoId video{lo32(tag.b)};
+  std::vector<UserId> candidates = watchers_.randomMembers(
+      video, ctx_.config().watcherListSize, user, ctx_.rng());
+  std::erase_if(candidates, [this](UserId u) { return !ctx_.isOnline(u); });
+  // Breaker filtering happens after the RNG draws so that a disabled
+  // board leaves the random stream untouched.
+  std::erase_if(candidates, [this, user](UserId u) {
+    return !ctx_.neighborAllowed(user, u);
   });
+  const UserId provider =
+      candidates.empty() ? UserId::invalid() : candidates.front();
+  if (!provider.valid()) {
+    ctx_.metrics().countServerFallback();
+    ST_TRACE(ctx_.trace(), ctx_.sim().now(), kServerFallback, user.value(),
+             video.value(), 0);
+  }
+  vod::SystemContext::Payload payload;
+  payload.u.reserve(candidates.size());
+  for (const UserId candidate : candidates) {
+    payload.u.push_back(candidate.value());
+  }
+  const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+  ctx_.sendFromServer(user,
+                      sim::makeTag(sim::Component::kPaVod, kWatchersReply,
+                                   video.value(), payloadId, provider.value(),
+                                   tag.d));
+}
+
+void PaVodSystem::applyWatchersReply(const sim::EventTag& tag) {
+  const UserId user{tag.a32};
+  const VideoId video{lo32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.b);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
+  if (nodes_[user.index()].current != video) return;  // stale reply
+  UserId source{lo32(tag.c)};
+  if (source.valid() && !ctx_.isOnline(source)) {
+    source = UserId::invalid();
+  }
+  if (source.valid()) ctx_.metrics().countChannelHit();
+  startDownload(user, video, source, toUsers(payload.u),
+                static_cast<sim::SimTime>(tag.d));
 }
 
 void PaVodSystem::startDownload(UserId user, VideoId video, UserId provider,
@@ -81,22 +146,6 @@ void PaVodSystem::startDownload(UserId user, VideoId video, UserId provider,
     request.extraProviders = std::move(extraProviders);
   }
   request.requestTime = requestTime;
-  request.onPlaybackReady = [this, user, video](sim::SimTime delay,
-                                                bool timedOut) {
-    notifyPlayback(user, video, delay, timedOut);
-  };
-  request.onFinished = [this, user, video](bool complete) {
-    Node& node = nodes_[user.index()];
-    if (!complete || node.current != video) return;
-    // Full copy in hand while still watching: become a provider.
-    node.haveFull = true;
-    ctx_.sendToServer(user, [this, user, video] {
-      if (ctx_.isOnline(user) && nodes_[user.index()].current == video &&
-          nodes_[user.index()].haveFull) {
-        watchers_.add(user, video);
-      }
-    });
-  };
 
   if (!provider.valid()) {
     // The request is already at the server; it starts serving directly.
@@ -104,6 +153,25 @@ void PaVodSystem::startDownload(UserId user, VideoId video, UserId provider,
     return;
   }
   transfers_.startWatch(std::move(request));
+}
+
+void PaVodSystem::watchFinished(UserId user, VideoId video, bool complete) {
+  Node& node = nodes_[user.index()];
+  if (!complete || node.current != video) return;
+  // Full copy in hand while still watching: become a provider.
+  node.haveFull = true;
+  ctx_.sendToServer(user,
+                    sim::makeTag(sim::Component::kPaVod, kProviderRegister,
+                                 user.value(), video.value()));
+}
+
+void PaVodSystem::providerRegister(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  const VideoId video{lo32(tag.b)};
+  if (ctx_.isOnline(user) && nodes_[user.index()].current == video &&
+      nodes_[user.index()].haveFull) {
+    watchers_.add(user, video);
+  }
 }
 
 void PaVodSystem::auditInvariants(vod::AuditReport& report) const {
@@ -132,6 +200,40 @@ void PaVodSystem::onPlaybackComplete(UserId user, VideoId video) {
   node.current = VideoId::invalid();
   node.haveFull = false;
   node.peerProvider = false;
+}
+
+// --- checkpoint/restore --------------------------------------------------------
+
+void PaVodSystem::saveState(snapshot::Writer& w) const {
+  w.section(0x44564150);  // "PAVD"
+  watchers_.saveState(w);
+  w.u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    w.u32(node.current.value());
+    w.boolean(node.haveFull);
+    w.boolean(node.peerProvider);
+  }
+}
+
+bool PaVodSystem::loadState(snapshot::Reader& r) {
+  r.section(0x44564150, "PA-VoD");
+  if (!watchers_.loadState(r)) return false;
+  const std::size_t nodeCount = r.count(4 + 1 + 1);
+  if (!r.ok() || nodeCount != nodes_.size()) {
+    r.fail("PA-VoD node count mismatch");
+    return false;
+  }
+  for (Node& node : nodes_) {
+    node.current = VideoId{r.u32()};
+    node.haveFull = r.boolean();
+    node.peerProvider = r.boolean();
+    if (r.ok() && node.current.valid() &&
+        node.current.index() >= ctx_.catalog().videoCount()) {
+      r.fail("PA-VoD current video out of range");
+      return false;
+    }
+  }
+  return r.ok();
 }
 
 }  // namespace st::baselines

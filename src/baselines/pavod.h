@@ -18,9 +18,20 @@
 
 namespace st::baselines {
 
-class PaVodSystem final : public vod::VodSystem {
+class PaVodSystem final : public vod::VodSystem, public sim::EventFactory {
  public:
+  // Tag kinds (Component::kPaVod) — append-only, stored in snapshots.
+  static constexpr std::uint8_t kWatchersAtServer = 0;  // a=user b=video
+                                                        // d=reqT
+  static constexpr std::uint8_t kWatchersReply = 1;  // a=video b=payload
+                                                     // c=provider d=reqT
+  static constexpr std::uint8_t kProviderRegister = 2;  // a=user b=video
+
   PaVodSystem(vod::SystemContext& ctx, vod::TransferManager& transfers);
+  ~PaVodSystem() override;
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
+  void discard(const sim::EventTag& tag) override;
 
   [[nodiscard]] std::string_view name() const override { return "PA-VoD"; }
 
@@ -28,6 +39,7 @@ class PaVodSystem final : public vod::VodSystem {
   void onLogout(UserId user, bool graceful) override;
   void requestVideo(UserId user, VideoId video) override;
   void onPlaybackComplete(UserId user, VideoId video) override;
+  void watchFinished(UserId user, VideoId video, bool complete) override;
   [[nodiscard]] NodeStats nodeStats(UserId user) const override;
   [[nodiscard]] SystemStats statsSnapshot() const override {
     return {.serverRegistrations = watchers_.totalRegistrations()};
@@ -40,6 +52,11 @@ class PaVodSystem final : public vod::VodSystem {
   // copy — all maintained synchronously, so every rule is instant.
   void auditInvariants(vod::AuditReport& report) const override;
 
+  // Serializes the watcher directory and per-node watch state. PA-VoD holds
+  // no timers, so nothing needs re-storing from the simulator queue.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
+
  private:
   struct Node {
     VideoId current = VideoId::invalid();
@@ -47,6 +64,10 @@ class PaVodSystem final : public vod::VodSystem {
     bool peerProvider = false; // current download is peer-sourced (link metric)
   };
 
+  // Tag-rebuilt message bodies (see the kind list above).
+  void watchersAtServer(const sim::EventTag& tag);
+  void applyWatchersReply(const sim::EventTag& tag);
+  void providerRegister(const sim::EventTag& tag);
   void startDownload(UserId user, VideoId video, UserId provider,
                      std::vector<UserId> extraProviders,
                      sim::SimTime requestTime);

@@ -14,6 +14,29 @@ void removeFrom(std::vector<UserId>& list, UserId value) {
 bool contains(const std::vector<UserId>& list, UserId value) {
   return std::find(list.begin(), list.end(), value) != list.end();
 }
+
+std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+  return static_cast<std::uint64_t>(lo) |
+         (static_cast<std::uint64_t>(hi) << 32);
+}
+std::uint32_t lo32(std::uint64_t v) { return static_cast<std::uint32_t>(v); }
+std::uint32_t hi32(std::uint64_t v) {
+  return static_cast<std::uint32_t>(v >> 32);
+}
+
+std::vector<UserId> toUsers(const std::vector<std::uint32_t>& raw) {
+  std::vector<UserId> users;
+  users.reserve(raw.size());
+  for (const std::uint32_t value : raw) users.push_back(UserId{value});
+  return users;
+}
+
+std::vector<std::uint32_t> fromUsers(const std::vector<UserId>& users) {
+  std::vector<std::uint32_t> raw;
+  raw.reserve(users.size());
+  for (const UserId user : users) raw.push_back(user.value());
+  return raw;
+}
 }  // namespace
 
 SocialTubeSystem::SocialTubeSystem(vod::SystemContext& ctx,
@@ -26,6 +49,112 @@ SocialTubeSystem::SocialTubeSystem(vod::SystemContext& ctx,
   for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
     nodes_.emplace_back(ctx.config().cacheCapacityVideos,
                         ctx.config().prefetchCacheSlots);
+  }
+  transfers_.setClient(this);
+  ctx_.sim().registerFactory(sim::Component::kSocialTube, this);
+}
+
+SocialTubeSystem::~SocialTubeSystem() {
+  if (ctx_.sim().factory(sim::Component::kSocialTube) == this) {
+    ctx_.sim().registerFactory(sim::Component::kSocialTube, nullptr);
+  }
+}
+
+sim::Callback SocialTubeSystem::rebuild(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case kProbeEvent: {
+      const UserId user{lo32(tag.a)};
+      return [this, user] { probeNeighbors(user); };
+    }
+    case kGoodbyeEvent: {
+      const UserId at{tag.a32};
+      const UserId from{lo32(tag.a)};
+      const bool innerList = tag.b != 0;
+      return ctx_.wrapStage(
+          tag, [this, at, from, innerList] { onGoodbye(at, from, innerList); });
+    }
+    case kJoinAtServer:
+      return ctx_.wrapStage(tag, [this, tag] { joinAtServer(tag); });
+    case kJoinReply:
+      // Carries a payload: the online check lives inside applyJoinReply so
+      // an offline receiver still frees it (wrapStage would silently drop).
+      return [this, tag] { applyJoinReply(tag); };
+    case kFloodHop: {
+      const UserId at{tag.a32};
+      const UserId origin{lo32(tag.a)};
+      const VideoId video{lo32(tag.b)};
+      const std::uint64_t queryId = tag.c;
+      const int ttl = static_cast<int>(tag.d);
+      return ctx_.wrapStage(tag, [this, origin, at, video, queryId, ttl] {
+        floodChannelQuery(origin, at, video, queryId, ttl);
+      });
+    }
+    case kSearchHit: {
+      const std::uint64_t queryId = tag.a;
+      const UserId provider{lo32(tag.b)};
+      return ctx_.wrapStage(
+          tag, [this, queryId, provider] { onSearchHit(queryId, provider); });
+    }
+    case kEnterCategory: {
+      const std::uint64_t queryId = tag.a;
+      return [this, queryId] { enterCategoryPhase(queryId); };
+    }
+    case kFallbackEvent: {
+      const std::uint64_t queryId = tag.a;
+      return [this, queryId] { fallbackToServer(queryId); };
+    }
+    case kRetryEvent: {
+      const std::uint64_t queryId = tag.a;
+      return [this, queryId] { retrySearch(queryId); };
+    }
+    case kServerWatch:
+      return ctx_.wrapStage(tag, [this, tag] { serverWatch(tag); });
+    case kGossipAtHelper:
+      return ctx_.wrapStage(tag, [this, tag] { gossipAtHelper(tag); });
+    case kGossipReply:
+      return [this, tag] { applyGossipReply(tag); };  // payload, see kJoinReply
+    case kRepairAtServer:
+      return ctx_.wrapStage(tag, [this, tag] { repairAtServer(tag); });
+    case kRepairReply:
+      return [this, tag] { applyRepairReply(tag); };  // payload, see kJoinReply
+    default:
+      assert(false && "unknown SocialTube event kind");
+      return [] {};
+  }
+}
+
+void SocialTubeSystem::discard(const sim::EventTag& tag) {
+  // A lost message must free the payload its closure would have consumed.
+  switch (tag.kind) {
+    case kJoinReply:
+    case kGossipReply:
+    case kRepairReply:
+      ctx_.freePayload(tag.b);
+      break;
+    case kServerWatch:
+      ctx_.freePayload(tag.c);
+      break;
+    default:
+      break;
+  }
+}
+
+void SocialTubeSystem::onRestored(const sim::EventTag& tag,
+                                  sim::EventHandle handle) {
+  switch (tag.kind) {
+    case kProbeEvent:
+      nodes_[UserId{lo32(tag.a)}.index()].probeTimer = handle;
+      break;
+    case kEnterCategory:
+    case kFallbackEvent:
+    case kRetryEvent: {
+      Search* search = searches_.find(tag.a);
+      assert(search != nullptr && "deadline for a search not in the pool");
+      search->deadline = handle;
+      break;
+    }
+    default:
+      break;
   }
 }
 
@@ -142,8 +271,9 @@ void SocialTubeSystem::onLogin(UserId user) {
     directory_.add(user, node.channel);
   }
 
-  node.probeTimer = ctx_.sim().schedulePeriodic(
-      ctx_.config().probeInterval, [this, user] { probeNeighbors(user); });
+  node.probeTimer = ctx_.sim().schedulePeriodicTagged(
+      ctx_.config().probeInterval,
+      sim::makeTag(sim::Component::kSocialTube, kProbeEvent, user.value()));
 }
 
 void SocialTubeSystem::onLogout(UserId user, bool graceful) {
@@ -165,12 +295,13 @@ void SocialTubeSystem::onLogout(UserId user, bool graceful) {
     // leave stale links until the next probe round.
     for (const UserId n : node.inner) {
       ctx_.sendUser(user, n,
-                    [this, n, user] { onGoodbye(n, user, /*innerList=*/true); });
+                    sim::makeTag(sim::Component::kSocialTube, kGoodbyeEvent,
+                                 user.value(), 1));
     }
     for (const UserId n : node.inter) {
-      ctx_.sendUser(user, n, [this, n, user] {
-        onGoodbye(n, user, /*innerList=*/false);
-      });
+      ctx_.sendUser(user, n,
+                    sim::makeTag(sim::Component::kSocialTube, kGoodbyeEvent,
+                                 user.value(), 0));
     }
   }
   // The server learns of the departure either way (graceful goodbye or
@@ -189,7 +320,8 @@ void SocialTubeSystem::leaveOverlays(UserId user, bool notifyNeighbors) {
   if (notifyNeighbors) {
     for (const UserId n : node.inner) {
       ctx_.sendUser(user, n,
-                    [this, n, user] { onGoodbye(n, user, /*innerList=*/true); });
+                    sim::makeTag(sim::Component::kSocialTube, kGoodbyeEvent,
+                                 user.value(), 1));
     }
   }
   node.inner.clear();
@@ -201,79 +333,106 @@ void SocialTubeSystem::leaveOverlays(UserId user, bool notifyNeighbors) {
   }
 }
 
-void SocialTubeSystem::ensureJoined(UserId user, ChannelId channel,
-                                    std::function<void()> then) {
+void SocialTubeSystem::ensureJoinedThenSearch(UserId user, ChannelId channel,
+                                              VideoId video, bool prefetchHit,
+                                              sim::SimTime requestTime) {
   Node& node = nodes_[user.index()];
   if (node.channel == channel && !node.inner.empty()) {
-    then();
+    beginSearch(user, video, prefetchHit, requestTime);
     return;
   }
 
   // Server round trip: the server hands out entry points into the channel
   // overlay and into each sibling channel of the category (§IV-A join).
-  ctx_.sendToServer(user, [this, user, channel, then = std::move(then)] {
-    if (!ctx_.isOnline(user)) return;
-    const trace::Channel& channelInfo = ctx_.catalog().channel(channel);
-    const CategoryId category = channelInfo.primaryCategory();
+  ctx_.sendToServer(
+      user, sim::makeTag(sim::Component::kSocialTube, kJoinAtServer,
+                         user.value(), channel.value(),
+                         pack(video.value(), prefetchHit ? 1 : 0),
+                         static_cast<std::uint64_t>(requestTime)));
+}
 
-    // The node "builds its links to other nodes in the lower-level channel
-    // overlay until the number reaches N_l" (§IV-A) — the server seeds the
-    // full budget from the channel's online community.
-    std::vector<UserId> innerCandidates = directory_.randomMembers(
-        channel, ctx_.config().innerLinks, user, ctx_.rng());
+void SocialTubeSystem::joinAtServer(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  const ChannelId channel{lo32(tag.b)};
+  if (!ctx_.isOnline(user)) return;
+  const trace::Channel& channelInfo = ctx_.catalog().channel(channel);
+  const CategoryId category = channelInfo.primaryCategory();
 
-    // One entry point per sibling channel, capped at N_h, channels visited
-    // in random order.
-    std::vector<UserId> interCandidates;
-    const trace::Category& categoryInfo = ctx_.catalog().category(category);
-    std::vector<ChannelId> siblings;
-    for (const ChannelId sibling : categoryInfo.channels) {
-      if (sibling != channel) siblings.push_back(sibling);
+  // The node "builds its links to other nodes in the lower-level channel
+  // overlay until the number reaches N_l" (§IV-A) — the server seeds the
+  // full budget from the channel's online community.
+  std::vector<UserId> innerCandidates = directory_.randomMembers(
+      channel, ctx_.config().innerLinks, user, ctx_.rng());
+
+  // One entry point per sibling channel, capped at N_h, channels visited
+  // in random order.
+  std::vector<UserId> interCandidates;
+  const trace::Category& categoryInfo = ctx_.catalog().category(category);
+  std::vector<ChannelId> siblings;
+  for (const ChannelId sibling : categoryInfo.channels) {
+    if (sibling != channel) siblings.push_back(sibling);
+  }
+  ctx_.rng().shuffle(siblings);
+  for (const ChannelId sibling : siblings) {
+    if (interCandidates.size() >= ctx_.config().interLinks) break;
+    const std::vector<UserId> picked =
+        directory_.randomMembers(sibling, 1, user, ctx_.rng());
+    if (!picked.empty()) interCandidates.push_back(picked.front());
+  }
+
+  // The server records the join now (the node reported its move).
+  directory_.add(user, channel);
+
+  vod::SystemContext::Payload payload;
+  payload.u = fromUsers(innerCandidates);
+  payload.v = fromUsers(interCandidates);
+  const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+  ctx_.sendFromServer(
+      user, sim::makeTag(sim::Component::kSocialTube, kJoinReply,
+                         pack(channel.value(), category.value()), payloadId,
+                         tag.c, tag.d));
+}
+
+void SocialTubeSystem::applyJoinReply(const sim::EventTag& tag) {
+  const UserId user{tag.a32};
+  const ChannelId channel{lo32(tag.a)};
+  const CategoryId category{hi32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.b);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
+  const std::vector<UserId> innerCandidates = toUsers(payload.u);
+  const std::vector<UserId> interCandidates = toUsers(payload.v);
+
+  Node& node = nodes_[user.index()];
+  const bool categoryChanged = node.category != category;
+  if (node.channel != channel) {
+    leaveOverlays(user, /*notifyNeighbors=*/true);
+    node.channel = channel;
+  }
+  directory_.add(user, channel);  // re-assert after any leave
+  node.category = category;
+
+  for (const UserId candidate : innerCandidates) {
+    if (!ctx_.neighborAllowed(user, candidate)) continue;
+    if (ctx_.isOnline(candidate)) connectInner(user, candidate);
+  }
+  if (categoryChanged) {
+    for (const UserId n : node.inter) {
+      ctx_.sendUser(user, n,
+                    sim::makeTag(sim::Component::kSocialTube, kGoodbyeEvent,
+                                 user.value(), 0));
     }
-    ctx_.rng().shuffle(siblings);
-    for (const ChannelId sibling : siblings) {
-      if (interCandidates.size() >= ctx_.config().interLinks) break;
-      const std::vector<UserId> picked =
-          directory_.randomMembers(sibling, 1, user, ctx_.rng());
-      if (!picked.empty()) interCandidates.push_back(picked.front());
-    }
-
-    // The server records the join now (the node reported its move).
-    directory_.add(user, channel);
-
-    ctx_.sendFromServer(user, [this, user, channel, category,
-                               innerCandidates = std::move(innerCandidates),
-                               interCandidates = std::move(interCandidates),
-                               then = std::move(then)] {
-      Node& node = nodes_[user.index()];
-      const bool categoryChanged = node.category != category;
-      if (node.channel != channel) {
-        leaveOverlays(user, /*notifyNeighbors=*/true);
-        node.channel = channel;
-      }
-      directory_.add(user, channel);  // re-assert after any leave
-      node.category = category;
-
-      for (const UserId candidate : innerCandidates) {
-        if (!ctx_.neighborAllowed(user, candidate)) continue;
-        if (ctx_.isOnline(candidate)) connectInner(user, candidate);
-      }
-      if (categoryChanged) {
-        for (const UserId n : node.inter) {
-          ctx_.sendUser(user, n, [this, n, user] {
-            onGoodbye(n, user, /*innerList=*/false);
-          });
-        }
-        node.inter.clear();
-      }
-      for (const UserId candidate : interCandidates) {
-        if (node.inter.size() >= ctx_.config().interLinks) break;
-        if (!ctx_.neighborAllowed(user, candidate)) continue;
-        if (ctx_.isOnline(candidate)) connectInter(user, candidate);
-      }
-      then();
-    });
-  });
+    node.inter.clear();
+  }
+  for (const UserId candidate : interCandidates) {
+    if (node.inter.size() >= ctx_.config().interLinks) break;
+    if (!ctx_.neighborAllowed(user, candidate)) continue;
+    if (ctx_.isOnline(candidate)) connectInter(user, candidate);
+  }
+  beginSearch(user, VideoId{lo32(tag.c)}, hi32(tag.c) != 0,
+              static_cast<sim::SimTime>(tag.d));
 }
 
 // --- request path -----------------------------------------------------------------
@@ -302,9 +461,7 @@ void SocialTubeSystem::requestVideo(UserId user, VideoId video) {
     prefetchPopular(user, channel, video);
   }
 
-  ensureJoined(user, channel, [this, user, video, prefetchHit, requestTime] {
-    beginSearch(user, video, prefetchHit, requestTime);
-  });
+  ensureJoinedThenSearch(user, channel, video, prefetchHit, requestTime);
 }
 
 void SocialTubeSystem::beginSearch(UserId user, VideoId video,
@@ -339,13 +496,14 @@ void SocialTubeSystem::floodChannelPhase(std::uint64_t queryId) {
   }
   for (const UserId n : node.inner) {
     if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
-    ctx_.sendUser(user, n, [this, user, n, video, queryId] {
-      floodChannelQuery(user, n, video, queryId, ctx_.config().ttl);
-    });
+    ctx_.sendUser(user, n,
+                  sim::makeTag(sim::Component::kSocialTube, kFloodHop,
+                               user.value(), video.value(), queryId,
+                               static_cast<std::uint64_t>(ctx_.config().ttl)));
   }
-  searches_.find(queryId)->deadline =
-      ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
-                          [this, queryId] { enterCategoryPhase(queryId); });
+  searches_.find(queryId)->deadline = ctx_.sim().scheduleTagged(
+      ctx_.config().searchPhaseTimeout,
+      sim::makeTag(sim::Component::kSocialTube, kEnterCategory, queryId));
 }
 
 void SocialTubeSystem::retrySearch(std::uint64_t staleId) {
@@ -371,16 +529,18 @@ void SocialTubeSystem::floodChannelQuery(UserId origin, UserId at,
   if (seenQuery(at, queryId)) return;
   if (node.cache.contains(video)) {
     ctx_.sendUser(at, origin,
-                  [this, queryId, at] { onSearchHit(queryId, at); });
+                  sim::makeTag(sim::Component::kSocialTube, kSearchHit,
+                               queryId, at.value()));
     return;
   }
   if (ttl <= 1) return;
   for (const UserId n : node.inner) {
     if (n == origin) continue;
     if (!ctx_.neighborAllowed(at, n)) continue;  // breaker open at this hop
-    ctx_.sendUser(at, n, [this, origin, n, video, queryId, ttl] {
-      floodChannelQuery(origin, n, video, queryId, ttl - 1);
-    });
+    ctx_.sendUser(at, n,
+                  sim::makeTag(sim::Component::kSocialTube, kFloodHop,
+                               origin.value(), video.value(), queryId,
+                               static_cast<std::uint64_t>(ttl - 1)));
   }
 }
 
@@ -400,14 +560,15 @@ void SocialTubeSystem::enterCategoryPhase(std::uint64_t queryId) {
     const UserId origin = search.user;
     const VideoId video = search.video;
     if (!ctx_.neighborAllowed(origin, n)) continue;  // breaker open
-    ctx_.sendUser(origin, n, [this, origin, n, video, queryId] {
-      // The inter-neighbor searches its own channel overlay with a fresh TTL.
-      floodChannelQuery(origin, n, video, queryId, ctx_.config().ttl);
-    });
+    // The inter-neighbor searches its own channel overlay with a fresh TTL.
+    ctx_.sendUser(origin, n,
+                  sim::makeTag(sim::Component::kSocialTube, kFloodHop,
+                               origin.value(), video.value(), queryId,
+                               static_cast<std::uint64_t>(ctx_.config().ttl)));
   }
-  search.deadline =
-      ctx_.sim().schedule(ctx_.config().searchPhaseTimeout,
-                          [this, queryId] { fallbackToServer(queryId); });
+  search.deadline = ctx_.sim().scheduleTagged(
+      ctx_.config().searchPhaseTimeout,
+      sim::makeTag(sim::Component::kSocialTube, kFallbackEvent, queryId));
 }
 
 void SocialTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
@@ -447,8 +608,9 @@ void SocialTubeSystem::fallbackToServer(std::uint64_t queryId) {
     const sim::SimTime backoff = ctx_.config().searchRetryBackoff
                                  << search->attempt;
     ++search->attempt;
-    search->deadline = ctx_.sim().schedule(
-        backoff, [this, queryId] { retrySearch(queryId); });
+    search->deadline = ctx_.sim().scheduleTagged(
+        backoff,
+        sim::makeTag(sim::Component::kSocialTube, kRetryEvent, queryId));
     return;
   }
   ctx_.metrics().countServerFallback();
@@ -493,28 +655,60 @@ void SocialTubeSystem::startDownload(UserId user, VideoId video,
       }
     }
   }
-  if (!prefetchHit) {
-    request.onPlaybackReady = [this, user, video](sim::SimTime delay,
-                                                  bool timedOut) {
-      notifyPlayback(user, video, delay, timedOut);
-      if (!timedOut) {
-        prefetchPopular(user, ctx_.catalog().video(video).channel, video);
-      }
-    };
-  }
-  request.onFinished = [this, user, video](bool complete) {
-    if (complete) nodes_[user.index()].cache.insert(video);
-  };
+  request.reportPlayback = !prefetchHit;
 
   if (!provider.valid()) {
     // Server path: the request travels to the server, which starts the flow.
-    ctx_.sendToServer(user, [this, request = std::move(request)] {
-      if (!ctx_.isOnline(request.user)) return;
-      transfers_.startWatch(request);
-    });
+    // The variable-length striping list rides in the payload pool.
+    vod::SystemContext::Payload payload;
+    payload.u = fromUsers(request.extraProviders);
+    const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+    ctx_.sendToServer(
+        user, sim::makeTag(sim::Component::kSocialTube, kServerWatch,
+                           user.value(),
+                           pack(video.value(), prefetchHit ? 1 : 0), payloadId,
+                           static_cast<std::uint64_t>(requestTime)));
     return;
   }
   transfers_.startWatch(std::move(request));
+}
+
+void SocialTubeSystem::serverWatch(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.c);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.c);
+  const bool prefetchHit = hi32(tag.b) != 0;
+  vod::TransferManager::WatchRequest request;
+  request.user = user;
+  request.video = VideoId{lo32(tag.b)};
+  request.provider = UserId::invalid();
+  request.extraProviders = toUsers(payload.u);
+  request.firstChunkCached = prefetchHit;
+  request.requestTime = static_cast<sim::SimTime>(tag.d);
+  request.reportPlayback = !prefetchHit;
+  transfers_.startWatch(std::move(request));
+}
+
+void SocialTubeSystem::watchPlaybackReady(UserId user, VideoId video,
+                                          sim::SimTime delay, bool timedOut) {
+  notifyPlayback(user, video, delay, timedOut);
+  if (!timedOut) {
+    prefetchPopular(user, ctx_.catalog().video(video).channel, video);
+  }
+}
+
+void SocialTubeSystem::watchFinished(UserId user, VideoId video,
+                                     bool complete) {
+  if (complete) nodes_[user.index()].cache.insert(video);
+}
+
+void SocialTubeSystem::prefetchArrived(UserId user, VideoId video, bool) {
+  if (ctx_.isOnline(user)) {
+    nodes_[user.index()].cache.insertFirstChunk(video);
+  }
 }
 
 // --- prefetch ------------------------------------------------------------------------
@@ -548,13 +742,7 @@ void SocialTubeSystem::prefetchPopular(UserId user, ChannelId channel,
       }
       if (provider.valid()) break;
     }
-    transfers_.startPrefetch(user, candidate, provider,
-                             [this, user, candidate](bool) {
-                               if (ctx_.isOnline(user)) {
-                                 nodes_[user.index()].cache.insertFirstChunk(
-                                     candidate);
-                               }
-                             });
+    transfers_.startPrefetch(user, candidate, provider);
     ++issued;
   }
 }
@@ -576,34 +764,49 @@ bool SocialTubeSystem::gossipRepairLinks(UserId user) {
   const UserId helper = alive[ctx_.rng().uniformInt(alive.size())];
   const ChannelId channel = node.channel;
 
-  ctx_.sendUser(user, helper, [this, user, helper, channel] {
-    // At the helper: snapshot its neighbor lists.
-    const Node& helperNode = nodes_[helper.index()];
-    std::vector<UserId> innerCandidates = helperNode.inner;
-    std::vector<UserId> interCandidates = helperNode.inter;
-    ctx_.sendUser(helper, user,
-                  [this, user, channel,
-                   innerCandidates = std::move(innerCandidates),
-                   interCandidates = std::move(interCandidates)] {
-                    Node& node = nodes_[user.index()];
-                    if (node.channel != channel) return;  // switched since
-                    for (const UserId candidate : innerCandidates) {
-                      if (node.inner.size() >= ctx_.config().innerLinks) break;
-                      if (!ctx_.neighborAllowed(user, candidate)) continue;
-                      if (ctx_.isOnline(candidate)) {
-                        connectInner(user, candidate);
-                      }
-                    }
-                    for (const UserId candidate : interCandidates) {
-                      if (node.inter.size() >= ctx_.config().interLinks) break;
-                      if (!ctx_.neighborAllowed(user, candidate)) continue;
-                      if (ctx_.isOnline(candidate)) {
-                        connectInter(user, candidate);
-                      }
-                    }
-                  });
-  });
+  ctx_.sendUser(user, helper,
+                sim::makeTag(sim::Component::kSocialTube, kGossipAtHelper,
+                             user.value(), channel.value()));
   return true;
+}
+
+void SocialTubeSystem::gossipAtHelper(const sim::EventTag& tag) {
+  // At the helper: snapshot its neighbor lists and send them back.
+  const UserId helper{tag.a32};
+  const UserId user{lo32(tag.a)};
+  const ChannelId channel{lo32(tag.b)};
+  const Node& helperNode = nodes_[helper.index()];
+  vod::SystemContext::Payload payload;
+  payload.u = fromUsers(helperNode.inner);
+  payload.v = fromUsers(helperNode.inter);
+  const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+  ctx_.sendUser(helper, user,
+                sim::makeTag(sim::Component::kSocialTube, kGossipReply,
+                             channel.value(), payloadId));
+}
+
+void SocialTubeSystem::applyGossipReply(const sim::EventTag& tag) {
+  const UserId user{tag.a32};
+  const ChannelId channel{lo32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.b);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
+  Node& node = nodes_[user.index()];
+  if (node.channel != channel) return;  // switched since
+  for (const std::uint32_t raw : payload.u) {
+    const UserId candidate{raw};
+    if (node.inner.size() >= ctx_.config().innerLinks) break;
+    if (!ctx_.neighborAllowed(user, candidate)) continue;
+    if (ctx_.isOnline(candidate)) connectInner(user, candidate);
+  }
+  for (const std::uint32_t raw : payload.v) {
+    const UserId candidate{raw};
+    if (node.inter.size() >= ctx_.config().interLinks) break;
+    if (!ctx_.neighborAllowed(user, candidate)) continue;
+    if (ctx_.isOnline(candidate)) connectInter(user, candidate);
+  }
 }
 
 void SocialTubeSystem::probeNeighbors(UserId user) {
@@ -674,43 +877,68 @@ void SocialTubeSystem::repairLinks(UserId user) {
   if (ctx_.config().gossipRepair && gossipRepairLinks(user)) return;
   const ChannelId channel = node.channel;
   const CategoryId category = node.category;
-  ctx_.sendToServer(user, [this, user, channel, category, needInner,
-                           needInter] {
-    if (!ctx_.isOnline(user)) return;
-    std::vector<UserId> innerCandidates =
-        directory_.randomMembers(channel, needInner, user, ctx_.rng());
-    std::vector<UserId> interCandidates;
-    if (needInter && category.valid()) {
-      const trace::Category& categoryInfo = ctx_.catalog().category(category);
-      std::vector<ChannelId> siblings;
-      for (const ChannelId sibling : categoryInfo.channels) {
-        if (sibling != channel) siblings.push_back(sibling);
-      }
-      ctx_.rng().shuffle(siblings);
-      for (const ChannelId sibling : siblings) {
-        if (interCandidates.size() >= ctx_.config().interLinks) break;
-        const std::vector<UserId> picked =
-            directory_.randomMembers(sibling, 1, user, ctx_.rng());
-        if (!picked.empty()) interCandidates.push_back(picked.front());
-      }
+  ctx_.sendToServer(
+      user, sim::makeTag(sim::Component::kSocialTube, kRepairAtServer,
+                         user.value(), pack(channel.value(), category.value()),
+                         pack(static_cast<std::uint32_t>(needInner),
+                              needInter ? 1 : 0)));
+}
+
+void SocialTubeSystem::repairAtServer(const sim::EventTag& tag) {
+  const UserId user{lo32(tag.a)};
+  const ChannelId channel{lo32(tag.b)};
+  const CategoryId category{hi32(tag.b)};
+  const std::size_t needInner = lo32(tag.c);
+  const bool needInter = hi32(tag.c) != 0;
+  if (!ctx_.isOnline(user)) return;
+  std::vector<UserId> innerCandidates =
+      directory_.randomMembers(channel, needInner, user, ctx_.rng());
+  std::vector<UserId> interCandidates;
+  if (needInter && category.valid()) {
+    const trace::Category& categoryInfo = ctx_.catalog().category(category);
+    std::vector<ChannelId> siblings;
+    for (const ChannelId sibling : categoryInfo.channels) {
+      if (sibling != channel) siblings.push_back(sibling);
     }
-    ctx_.sendFromServer(user, [this, user, channel, category,
-                               innerCandidates = std::move(innerCandidates),
-                               interCandidates = std::move(interCandidates)] {
-      Node& node = nodes_[user.index()];
-      if (node.channel != channel) return;  // switched since the request
-      for (const UserId candidate : innerCandidates) {
-        if (node.inner.size() >= ctx_.config().innerLinks) break;
-        if (!ctx_.neighborAllowed(user, candidate)) continue;
-        if (ctx_.isOnline(candidate)) connectInner(user, candidate);
-      }
-      for (const UserId candidate : interCandidates) {
-        if (node.inter.size() >= ctx_.config().interLinks) break;
-        if (!ctx_.neighborAllowed(user, candidate)) continue;
-        if (ctx_.isOnline(candidate)) connectInter(user, candidate);
-      }
-    });
-  });
+    ctx_.rng().shuffle(siblings);
+    for (const ChannelId sibling : siblings) {
+      if (interCandidates.size() >= ctx_.config().interLinks) break;
+      const std::vector<UserId> picked =
+          directory_.randomMembers(sibling, 1, user, ctx_.rng());
+      if (!picked.empty()) interCandidates.push_back(picked.front());
+    }
+  }
+  vod::SystemContext::Payload payload;
+  payload.u = fromUsers(innerCandidates);
+  payload.v = fromUsers(interCandidates);
+  const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
+  ctx_.sendFromServer(user,
+                      sim::makeTag(sim::Component::kSocialTube, kRepairReply,
+                                   channel.value(), payloadId));
+}
+
+void SocialTubeSystem::applyRepairReply(const sim::EventTag& tag) {
+  const UserId user{tag.a32};
+  const ChannelId channel{lo32(tag.a)};
+  if (!ctx_.isOnline(user)) {
+    ctx_.freePayload(tag.b);
+    return;
+  }
+  const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
+  Node& node = nodes_[user.index()];
+  if (node.channel != channel) return;  // switched since the request
+  for (const std::uint32_t raw : payload.u) {
+    const UserId candidate{raw};
+    if (node.inner.size() >= ctx_.config().innerLinks) break;
+    if (!ctx_.neighborAllowed(user, candidate)) continue;
+    if (ctx_.isOnline(candidate)) connectInner(user, candidate);
+  }
+  for (const std::uint32_t raw : payload.v) {
+    const UserId candidate{raw};
+    if (node.inter.size() >= ctx_.config().interLinks) break;
+    if (!ctx_.neighborAllowed(user, candidate)) continue;
+    if (ctx_.isOnline(candidate)) connectInter(user, candidate);
+  }
 }
 
 // --- invariant audit ----------------------------------------------------------
@@ -816,6 +1044,123 @@ void SocialTubeSystem::injectLinkForTest(UserId user, UserId neighbor,
                                          bool inner) {
   Node& node = nodes_[user.index()];
   (inner ? node.inner : node.inter).push_back(neighbor);
+}
+
+// --- checkpoint/restore --------------------------------------------------------
+
+void SocialTubeSystem::saveState(snapshot::Writer& w) const {
+  w.section(0x54434f53);  // "SOCT"
+  directory_.saveState(w);
+  w.u64(nodes_.size());
+  const auto saveList = [&w](const std::vector<UserId>& list) {
+    w.u64(list.size());
+    for (const UserId n : list) w.u32(n.value());
+  };
+  for (const Node& node : nodes_) {
+    w.u32(node.channel.value());
+    w.u32(node.category.value());
+    saveList(node.inner);
+    saveList(node.inter);
+    w.u32(node.lastChannel.value());
+    w.u32(node.lastCategory.value());
+    saveList(node.lastInner);
+    saveList(node.lastInter);
+    node.cache.saveState(w);
+  }
+  w.u64(searches_.slotCount());
+  searches_.visitSlots([&w](std::uint32_t, bool live, std::uint32_t gen,
+                            std::uint32_t nextFree, const Search& search) {
+    w.boolean(live);
+    w.u32(gen);
+    w.u32(nextFree);
+    if (!live) return;
+    w.u32(search.user.value());
+    w.u32(search.video.value());
+    w.u8(static_cast<std::uint8_t>(search.phase));
+    w.boolean(search.prefetchHit);
+    w.u32(search.attempt);
+    w.i64(search.requestTime);
+  });
+  w.u32(searches_.freeHead());
+  w.u64(queryDedup_.marks().size());
+  for (const std::uint64_t mark : queryDedup_.marks()) w.u64(mark);
+  w.u64(activeSearch_.size());
+  for (const std::uint64_t id : activeSearch_) w.u64(id);
+}
+
+bool SocialTubeSystem::loadState(snapshot::Reader& r) {
+  r.section(0x54434f53, "SocialTube");
+  if (!directory_.loadState(r)) return false;
+  const std::size_t nodeCount = r.count(4);
+  if (!r.ok() || nodeCount != nodes_.size()) {
+    r.fail("SocialTube node count mismatch");
+    return false;
+  }
+  const auto loadList = [this, &r](std::vector<UserId>& list) {
+    list.clear();
+    const std::size_t n = r.count(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const UserId user{r.u32()};
+      if (r.ok() && user.index() >= nodes_.size()) {
+        r.fail("SocialTube link user out of range");
+        return;
+      }
+      list.push_back(user);
+    }
+  };
+  for (Node& node : nodes_) {
+    node.channel = ChannelId{r.u32()};
+    node.category = CategoryId{r.u32()};
+    loadList(node.inner);
+    loadList(node.inter);
+    node.lastChannel = ChannelId{r.u32()};
+    node.lastCategory = CategoryId{r.u32()};
+    loadList(node.lastInner);
+    loadList(node.lastInter);
+    if (!node.cache.loadState(r)) return false;
+    node.probeTimer = sim::EventHandle{};
+    if (!r.ok()) return false;
+  }
+  const std::size_t slots = r.count(1 + 4 + 4);
+  searches_.beginRestore();
+  for (std::size_t i = 0; i < slots; ++i) {
+    const bool live = r.boolean();
+    const std::uint32_t gen = r.u32();
+    const std::uint32_t nextFree = r.u32();
+    Search search;
+    if (live) {
+      search.user = UserId{r.u32()};
+      search.video = VideoId{r.u32()};
+      search.phase = static_cast<SearchPhase>(r.u8());
+      search.prefetchHit = r.boolean();
+      search.attempt = r.u32();
+      search.requestTime = r.i64();
+      if (r.ok() && search.user.index() >= nodes_.size()) {
+        r.fail("SocialTube search user out of range");
+        return false;
+      }
+    }
+    if (!r.ok()) return false;
+    searches_.restoreSlot(live, gen, nextFree, std::move(search));
+  }
+  const std::uint32_t freeHead = r.u32();
+  if (!r.ok() || !searches_.finishRestore(freeHead)) {
+    r.fail("SocialTube search pool free list corrupt");
+    return false;
+  }
+  std::vector<std::uint64_t> marks(r.count(8));
+  for (std::uint64_t& mark : marks) mark = r.u64();
+  if (!r.ok() || !queryDedup_.restoreMarks(std::move(marks))) {
+    r.fail("SocialTube dedup mark count mismatch");
+    return false;
+  }
+  const std::size_t activeCount = r.count(8);
+  if (!r.ok() || activeCount != activeSearch_.size()) {
+    r.fail("SocialTube active-search count mismatch");
+    return false;
+  }
+  for (std::uint64_t& id : activeSearch_) id = r.u64();
+  return r.ok();
 }
 
 }  // namespace st::core

@@ -44,15 +44,47 @@ namespace st::core {
 // subscribed channels"). Far smaller than NetTube's per-video tracking.
 using SubscriberDirectory = vod::MembershipDirectory<ChannelId>;
 
-class SocialTubeSystem final : public vod::VodSystem {
+class SocialTubeSystem final : public vod::VodSystem,
+                               public sim::EventFactory {
  public:
+  // Tag kinds (Component::kSocialTube) — append-only, stored in snapshots.
+  static constexpr std::uint8_t kProbeEvent = 0;     // a = user (periodic)
+  static constexpr std::uint8_t kGoodbyeEvent = 1;   // a = from, b = innerList
+  static constexpr std::uint8_t kJoinAtServer = 2;   // a=user b=channel
+                                                     // c=video|hit<<32 d=reqT
+  static constexpr std::uint8_t kJoinReply = 3;      // a=channel|cat<<32
+                                                     // b=payload c=video|hit
+                                                     // d=reqT
+  static constexpr std::uint8_t kFloodHop = 4;       // a=origin b=video
+                                                     // c=queryId d=ttl
+  static constexpr std::uint8_t kSearchHit = 5;      // a=queryId b=provider
+  static constexpr std::uint8_t kEnterCategory = 6;  // a = queryId (deadline)
+  static constexpr std::uint8_t kFallbackEvent = 7;  // a = queryId (deadline)
+  static constexpr std::uint8_t kRetryEvent = 8;     // a = queryId (backoff)
+  static constexpr std::uint8_t kServerWatch = 9;    // a=user b=video|hit<<32
+                                                     // c=payload d=reqT
+  static constexpr std::uint8_t kGossipAtHelper = 10;  // a=user b=channel
+  static constexpr std::uint8_t kGossipReply = 11;     // a=channel b=payload
+  static constexpr std::uint8_t kRepairAtServer = 12;  // a=user b=chan|cat<<32
+                                                       // c=needInner|needInter
+  static constexpr std::uint8_t kRepairReply = 13;     // a=channel b=payload
+
   SocialTubeSystem(vod::SystemContext& ctx, vod::TransferManager& transfers);
+  ~SocialTubeSystem() override;
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
+  void discard(const sim::EventTag& tag) override;
+  void onRestored(const sim::EventTag& tag, sim::EventHandle handle) override;
 
   [[nodiscard]] std::string_view name() const override { return "SocialTube"; }
 
   void onLogin(UserId user) override;
   void onLogout(UserId user, bool graceful) override;
   void requestVideo(UserId user, VideoId video) override;
+  void watchPlaybackReady(UserId user, VideoId video, sim::SimTime delay,
+                          bool timedOut) override;
+  void watchFinished(UserId user, VideoId video, bool complete) override;
+  void prefetchArrived(UserId user, VideoId video, bool fromPeer) override;
   [[nodiscard]] NodeStats nodeStats(UserId user) const override;
   [[nodiscard]] SystemStats statsSnapshot() const override {
     return {.serverRegistrations = directory_.totalRegistrations()};
@@ -86,6 +118,12 @@ class SocialTubeSystem final : public vod::VodSystem {
   // The invariant checker and the hardened probe must detect/repair it.
   void injectLinkForTest(UserId user, UserId neighbor, bool inner);
 
+  // Serializes the directory, every node's overlay/cache state, the search
+  // pool, and the flood-dedup stamps. Probe timers and search deadlines are
+  // re-stored from the simulator queue via onRestored().
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
+
  private:
   struct Node {
     ChannelId channel = ChannelId::invalid();    // overlay currently joined
@@ -118,9 +156,18 @@ class SocialTubeSystem final : public vod::VodSystem {
 
   // --- join/leave ------------------------------------------------------------
   // Ensures the node is joined to `channel`'s overlay (and its category's
-  // cluster), then runs `then`. May involve a server round trip.
-  void ensureJoined(UserId user, ChannelId channel,
-                    std::function<void()> then);
+  // cluster), then begins the search for `video`. May involve a server
+  // round trip (kJoinAtServer / kJoinReply).
+  void ensureJoinedThenSearch(UserId user, ChannelId channel, VideoId video,
+                              bool prefetchHit, sim::SimTime requestTime);
+  // Tag-rebuilt message bodies (see the kind list above).
+  void joinAtServer(const sim::EventTag& tag);
+  void applyJoinReply(const sim::EventTag& tag);
+  void serverWatch(const sim::EventTag& tag);
+  void gossipAtHelper(const sim::EventTag& tag);
+  void applyGossipReply(const sim::EventTag& tag);
+  void repairAtServer(const sim::EventTag& tag);
+  void applyRepairReply(const sim::EventTag& tag);
   void leaveOverlays(UserId user, bool notifyNeighbors);
   void connectInner(UserId a, UserId b);
   void connectInter(UserId a, UserId b);

@@ -66,6 +66,20 @@ struct ExperimentConfig {
   };
   Faults faults;
 
+  // Deterministic checkpoint/restore (src/snapshot/). With `out` non-empty
+  // the run saves its complete state at sim-time `at` (0 = the horizon) and
+  // keeps running. With `in` non-empty the run restores that file instead
+  // of starting fresh and resumes from the saved clock; the workload shape
+  // (seed, users, videos, system) must match the saving run, and faults /
+  // audits absent from the snapshot may be layered on top (warm-start
+  // forking — their absolute times should lie after the snapshot point).
+  struct Snapshot {
+    std::string out;
+    sim::SimTime at = 0;
+    std::string in;
+  };
+  Snapshot snapshot;
+
   // Table I defaults: 10,000 nodes, 10,121 videos, 545 channels, 25 sessions
   // of 10 videos, N_l = 5, N_h = 10, TTL = 2, 10-minute probes.
   static ExperimentConfig simulationDefaults(std::uint64_t seed = 1);

@@ -17,6 +17,7 @@
 #include "net/latency.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "snapshot/snapshot.h"
 #include "trace/generator.h"
 #include "util/thread_pool.h"
 #include "vod/context.h"
@@ -76,6 +77,46 @@ obs::EventTrace::Options traceOptions(const ExperimentConfig& config) {
   return options;
 }
 
+// Samples the origin server's membership-state size every 30 simulated
+// minutes (the §IV-A server-state comparison). Tagged (Component::kRunner)
+// so the pending sample event snapshots; the accumulated series rides in
+// the snapshot's RUNR section via Participants::serverSample.
+class ServerSampler final : public sim::EventFactory {
+ public:
+  static constexpr std::uint8_t kSampleEvent = 0;
+
+  ServerSampler(sim::Simulator& sim, vod::VodSystem& system)
+      : sim_(sim), system_(system) {
+    sim_.registerFactory(sim::Component::kRunner, this);
+  }
+  ~ServerSampler() override {
+    if (sim_.factory(sim::Component::kRunner) == this) {
+      sim_.registerFactory(sim::Component::kRunner, nullptr);
+    }
+  }
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override {
+    (void)tag;
+    assert(tag.kind == kSampleEvent && "unknown runner event kind");
+    return [this] {
+      stats_.add(
+          static_cast<double>(system_.statsSnapshot().serverRegistrations));
+    };
+  }
+
+  void arm() {
+    sim_.schedulePeriodicTagged(
+        30 * sim::kMinute, sim::makeTag(sim::Component::kRunner, kSampleEvent));
+  }
+
+  [[nodiscard]] RunningStats& stats() { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  vod::VodSystem& system_;
+  RunningStats stats_;
+};
+
 }  // namespace
 
 ExperimentResult runExperiment(const ExperimentConfig& config,
@@ -125,6 +166,8 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   // Scripted faults + invariant auditing, if configured. Both register
   // their counters only when active, so fault-free runs keep the seed
   // counter set (and CSV columns) unchanged.
+  const bool restoring = !config.snapshot.in.empty();
+
   std::optional<fault::Injector> injector;
   std::optional<fault::InvariantChecker> checker;
   if (config.faults.any()) {
@@ -137,7 +180,7 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
     injector.emplace(ctx, std::move(schedule), config.seed);
     injector->setCrashHandler(
         [&driver](UserId user) { driver.crashUser(user); });
-    injector->arm();
+    if (!restoring) injector->arm();
     if (config.faults.auditInterval > 0) {
       fault::CheckerOptions options;
       options.auditInterval = config.faults.auditInterval;
@@ -152,7 +195,7 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
                      v.actor, v.subject);
       };
       checker.emplace(ctx, *system, transfers, std::move(options));
-      checker->arm();
+      if (!restoring) checker->arm();
     }
   }
 
@@ -161,7 +204,7 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   vod::ReleaseManager releases(ctx, selector,
                                config.releases.feedWatchProbability,
                                config.seed);
-  if (config.releases.perChannel > 0) {
+  if (config.releases.perChannel > 0 && !restoring) {
     const auto windowStart = static_cast<sim::SimTime>(
         config.releases.windowStartFraction *
         static_cast<double>(config.duration));
@@ -227,14 +270,70 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
     });
   }
 
-  driver.start();
-  // Sample the origin server's membership-state size every 30 simulated
-  // minutes (the §IV-A server-state comparison).
-  RunningStats serverRegistrations;
-  simulator.schedulePeriodic(30 * sim::kMinute, [&] {
-    serverRegistrations.add(
-        static_cast<double>(system->statsSnapshot().serverRegistrations));
-  });
+  ServerSampler sampler(simulator, *system);
+
+  snapshot::Participants participants;
+  participants.sim = &simulator;
+  participants.network = &network;
+  participants.ctx = &ctx;
+  participants.metrics = &metrics;
+  participants.transfers = &transfers;
+  switch (kind) {
+    case SystemKind::kSocialTube:
+      participants.socialTube =
+          static_cast<core::SocialTubeSystem*>(system.get());
+      break;
+    case SystemKind::kNetTube:
+      participants.netTube =
+          static_cast<baselines::NetTubeSystem*>(system.get());
+      break;
+    case SystemKind::kPaVod:
+      participants.paVod = static_cast<baselines::PaVodSystem*>(system.get());
+      break;
+  }
+  participants.driver = &driver;
+  participants.selector = &selector;
+  participants.releases = &releases;
+  participants.injector = injector ? &*injector : nullptr;
+  participants.checker = checker ? &*checker : nullptr;
+  participants.trace = trace;
+  participants.serverSample = &sampler.stats();
+  const snapshot::Compat compat{config.seed, catalog->userCount(),
+                                catalog->videoCount()};
+
+  if (restoring) {
+    // Every pending event comes from the file; the fresh-start scheduling
+    // above (driver.start, arm calls, release plan) was skipped. Machinery
+    // configured now but absent from the snapshot is armed here on top of
+    // the warmed state (fault/overload scenario forking).
+    snapshot::RestoreInfo info;
+    std::string error;
+    if (!snapshot::restore(config.snapshot.in, participants, compat, &error,
+                           &info)) {
+      std::fprintf(stderr, "--snapshot-in %s: %s\n",
+                   config.snapshot.in.c_str(), error.c_str());
+      std::abort();
+    }
+    if (injector && !info.injectorLoaded) injector->arm();
+    if (checker && !info.checkerLoaded) checker->arm();
+  } else {
+    driver.start();
+    sampler.arm();
+  }
+  if (!config.snapshot.out.empty()) {
+    const sim::SimTime saveAt =
+        config.snapshot.at > 0 ? config.snapshot.at : config.duration;
+    // Untagged on purpose: by the time any snapshot is taken this event has
+    // already fired (it IS the save), so it is never itself pending state.
+    simulator.scheduleAt(saveAt, [&participants, &compat, &config] {
+      std::string error;
+      if (!snapshot::save(config.snapshot.out, participants, compat, &error)) {
+        std::fprintf(stderr, "--snapshot-out %s: %s\n",
+                     config.snapshot.out.c_str(), error.c_str());
+        std::abort();
+      }
+    });
+  }
   setupScope.reset();
 
   {
@@ -251,7 +350,7 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   result.startupDelayMs = metrics.startupDelayMs();
   result.linksByVideosWatched = metrics.linksByVideosWatched();
   result.redundantLinks = metrics.redundantLinks();
-  result.serverRegistrations = serverRegistrations;
+  result.serverRegistrations = sampler.stats();
   {
     std::vector<double> uploads;
     uploads.reserve(catalog->userCount());
@@ -260,6 +359,18 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
           EndpointId{static_cast<std::uint32_t>(i)})));
     }
     result.uploadGini = giniCoefficient(uploads);
+  }
+  {
+    snapshot::Writer w;
+    if (participants.socialTube != nullptr) {
+      participants.socialTube->saveState(w);
+    } else if (participants.netTube != nullptr) {
+      participants.netTube->saveState(w);
+    } else {
+      participants.paVod->saveState(w);
+    }
+    result.overlayFingerprint =
+        snapshot::crc32(w.body().data(), w.body().size());
   }
   // The generic snapshot replaces the old field-by-field copy: every
   // counter and gauge registered above lands here by name.
@@ -290,6 +401,17 @@ std::vector<ExperimentResult> runAllSystems(const ExperimentConfig& config,
       // Per-system trace files: parallel runs must not clobber one path.
       runConfig.obs.traceOut += ".";
       runConfig.obs.traceOut += systemName(kOrder[i]);
+    }
+    // Snapshots are per-system for the same reason — and restore refuses a
+    // file saved by a different system, so the suffix keeps a three-system
+    // sweep's save/restore pairs lined up automatically.
+    if (!runConfig.snapshot.out.empty()) {
+      runConfig.snapshot.out += ".";
+      runConfig.snapshot.out += systemName(kOrder[i]);
+    }
+    if (!runConfig.snapshot.in.empty()) {
+      runConfig.snapshot.in += ".";
+      runConfig.snapshot.in += systemName(kOrder[i]);
     }
     results[i] = runExperiment(runConfig, kOrder[i], &catalog);
   });

@@ -41,6 +41,11 @@ struct ExperimentResult {
   // Fairness of the seeding load: Gini coefficient of per-user bytes
   // uploaded (0 = everyone contributes equally).
   double uploadGini = 0.0;
+  // CRC-32 of the system's serialized overlay/cache/search state at the
+  // horizon. Two runs that end in bitwise-identical overlay state share
+  // this fingerprint; the snapshot differential harness compares it between
+  // a restored run and its uninterrupted twin.
+  std::uint32_t overlayFingerprint = 0;
 
   // Every scalar counter/gauge registered during the run, snapshotted at
   // the horizon, sorted by name. CSV columns and report lines come from

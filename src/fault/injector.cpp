@@ -13,10 +13,29 @@ Injector::Injector(vod::SystemContext& ctx, Schedule schedule,
       blackholed_(ctx.catalog().userCount(), 0),
       isolated_(ctx.catalog().userCount(), 0),
       crashes_(&ctx.metrics().registry().counter("fault.crashes")),
-      events_(&ctx.metrics().registry().counter("fault.events")) {}
+      events_(&ctx.metrics().registry().counter("fault.events")) {
+  ctx_.sim().registerFactory(sim::Component::kFault, this);
+}
 
 Injector::~Injector() {
   if (armed_) ctx_.network().setFaultHook(nullptr);
+  if (ctx_.sim().factory(sim::Component::kFault) == this) {
+    ctx_.sim().registerFactory(sim::Component::kFault, nullptr);
+  }
+}
+
+sim::Callback Injector::rebuild(const sim::EventTag& tag) {
+  assert(tag.a < schedule_.events().size() && "fault event index out of range");
+  const FaultEvent& event = schedule_.events()[static_cast<std::size_t>(tag.a)];
+  switch (tag.kind) {
+    case kActivateEvent:
+      return [this, &event] { activate(event); };
+    case kDeactivateEvent:
+      return [this, &event] { deactivate(event); };
+    default:
+      assert(false && "unknown fault event kind");
+      return [] {};
+  }
 }
 
 void Injector::arm() {
@@ -24,11 +43,15 @@ void Injector::arm() {
   if (schedule_.empty()) return;
   armed_ = true;
   ctx_.network().setFaultHook(this);
-  for (const FaultEvent& event : schedule_.events()) {
-    ctx_.sim().scheduleAt(event.at, [this, &event] { activate(event); });
+  const std::vector<FaultEvent>& events = schedule_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    ctx_.sim().scheduleAtTagged(
+        event.at, sim::makeTag(sim::Component::kFault, kActivateEvent, i));
     if (event.kind != FaultKind::kCrash) {
-      ctx_.sim().scheduleAt(event.at + event.duration,
-                            [this, &event] { deactivate(event); });
+      ctx_.sim().scheduleAtTagged(
+          event.at + event.duration,
+          sim::makeTag(sim::Component::kFault, kDeactivateEvent, i));
     }
   }
 }
@@ -211,6 +234,105 @@ net::MessageFaultHook::Decision Injector::onMessage(EndpointId from,
     decision.extraDelay += window->extraDelay;
   }
   return decision;
+}
+
+void Injector::saveState(snapshot::Writer& w) const {
+  w.section(0x544c4146);  // "FALT"
+  const FaultEvent* base = schedule_.events().data();
+  w.u64(schedule_.events().size());
+  w.boolean(armed_);
+  const Rng::State rng = rng_.state();
+  for (const std::uint64_t word : rng.s) w.u64(word);
+  w.f64(rng.spareNormal);
+  w.boolean(rng.hasSpareNormal);
+  w.u64(blackholed_.size());
+  for (const std::uint16_t count : blackholed_) w.u16(count);
+  w.u32(blackholedUsers_);
+  for (const std::uint16_t count : isolated_) w.u16(count);
+  w.u32(isolatedUsers_);
+  w.u32(serverCuts_);
+  w.u32(serverOutages_);
+  w.u64(activeLoss_.size());
+  for (const FaultEvent* event : activeLoss_) {
+    w.u64(static_cast<std::uint64_t>(event - base));
+  }
+  w.u64(blackholeVictims_.size());
+  for (const auto& [event, victims] : blackholeVictims_) {
+    w.u64(static_cast<std::uint64_t>(event - base));
+    w.u64(victims.size());
+    for (const UserId victim : victims) w.u32(victim.value());
+  }
+}
+
+bool Injector::loadState(snapshot::Reader& r) {
+  r.section(0x544c4146, "fault injector");
+  const std::uint64_t scheduleSize = r.u64();
+  if (r.ok() && scheduleSize != schedule_.events().size()) {
+    r.fail("fault schedule size mismatch (restore with the same --faults)");
+    return false;
+  }
+  const bool armed = r.boolean();
+  Rng::State rng;
+  for (std::uint64_t& word : rng.s) word = r.u64();
+  rng.spareNormal = r.f64();
+  rng.hasSpareNormal = r.boolean();
+  const std::size_t users = r.count(2);
+  if (!r.ok() || users != blackholed_.size()) {
+    r.fail("fault injector user count mismatch");
+    return false;
+  }
+  std::vector<std::uint16_t> blackholed(users);
+  for (std::uint16_t& count : blackholed) count = r.u16();
+  const std::uint32_t blackholedUsers = r.u32();
+  std::vector<std::uint16_t> isolated(users);
+  for (std::uint16_t& count : isolated) count = r.u16();
+  const std::uint32_t isolatedUsers = r.u32();
+  const std::uint32_t serverCuts = r.u32();
+  const std::uint32_t serverOutages = r.u32();
+  const std::size_t lossCount = r.count(8);
+  std::vector<const FaultEvent*> activeLoss;
+  for (std::size_t i = 0; i < lossCount; ++i) {
+    const std::uint64_t index = r.u64();
+    if (r.ok() && index >= schedule_.events().size()) {
+      r.fail("fault loss-window index out of range");
+      return false;
+    }
+    activeLoss.push_back(&schedule_.events()[static_cast<std::size_t>(index)]);
+  }
+  const std::size_t blackholeCount = r.count(8 + 8);
+  std::vector<std::pair<const FaultEvent*, std::vector<UserId>>> victims;
+  for (std::size_t i = 0; i < blackholeCount; ++i) {
+    const std::uint64_t index = r.u64();
+    if (r.ok() && index >= schedule_.events().size()) {
+      r.fail("fault blackhole index out of range");
+      return false;
+    }
+    std::vector<UserId> list(r.count(4));
+    for (UserId& victim : list) {
+      victim = UserId{r.u32()};
+      if (r.ok() && victim.index() >= users) {
+        r.fail("fault blackhole victim out of range");
+        return false;
+      }
+    }
+    victims.emplace_back(&schedule_.events()[static_cast<std::size_t>(index)],
+                         std::move(list));
+  }
+  if (!r.ok()) return false;
+  rng_.setState(rng);
+  blackholed_ = std::move(blackholed);
+  blackholedUsers_ = blackholedUsers;
+  isolated_ = std::move(isolated);
+  isolatedUsers_ = isolatedUsers;
+  serverCuts_ = serverCuts;
+  serverOutages_ = serverOutages;
+  activeLoss_ = std::move(activeLoss);
+  blackholeVictims_ = std::move(victims);
+  if (armed && !armed_) {
+    armed_ = true;
+    ctx_.network().setFaultHook(this);
+  }
+  return true;
 }
 
 }  // namespace st::fault

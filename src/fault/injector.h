@@ -33,15 +33,24 @@
 #include "fault/schedule.h"
 #include "net/network.h"
 #include "obs/registry.h"
+#include "snapshot/codec.h"
 #include "util/rng.h"
 #include "vod/context.h"
 
 namespace st::fault {
 
-class Injector final : public net::MessageFaultHook {
+class Injector final : public net::MessageFaultHook, public sim::EventFactory {
  public:
+  // Tag kinds (Component::kFault) — append-only, stored in snapshots.
+  // `a` is the event's index into the schedule, so restoring requires the
+  // run to be armed with the identical fault spec.
+  static constexpr std::uint8_t kActivateEvent = 0;
+  static constexpr std::uint8_t kDeactivateEvent = 1;
+
   Injector(vod::SystemContext& ctx, Schedule schedule, std::uint64_t seed);
   ~Injector() override;
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
   Injector(const Injector&) = delete;
   Injector& operator=(const Injector&) = delete;
 
@@ -62,6 +71,14 @@ class Injector final : public net::MessageFaultHook {
     return crashes_->value();
   }
   [[nodiscard]] std::uint64_t activations() const { return events_->value(); }
+
+  // Serializes the fault RNG and all active-window state (references to
+  // schedule events stored as indices). Restoring installs the message hook
+  // when the saved run was armed — do NOT also call arm(); the pending
+  // activate/deactivate events come back with the simulator queue. Fails if
+  // this injector's schedule size differs from the saved run's.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
  private:
   void activate(const FaultEvent& event);

@@ -1,5 +1,6 @@
 #include "fault/invariants.h"
 
+#include <cassert>
 #include <utility>
 
 namespace st::fault {
@@ -16,12 +17,27 @@ InvariantChecker::InvariantChecker(vod::SystemContext& ctx,
                    ? options_.graceHorizon
                    : ctx.config().probeInterval + sim::kSecond),
       audits_(&ctx.metrics().registry().counter("invariant.audits")),
-      violations_(&ctx.metrics().registry().counter("invariant.violations")) {}
+      violations_(&ctx.metrics().registry().counter("invariant.violations")) {
+  ctx_.sim().registerFactory(sim::Component::kInvariants, this);
+}
+
+InvariantChecker::~InvariantChecker() {
+  if (ctx_.sim().factory(sim::Component::kInvariants) == this) {
+    ctx_.sim().registerFactory(sim::Component::kInvariants, nullptr);
+  }
+}
+
+sim::Callback InvariantChecker::rebuild(const sim::EventTag& tag) {
+  (void)tag;
+  assert(tag.kind == kAuditEvent && "unknown invariant event kind");
+  return [this] { auditNow(); };
+}
 
 void InvariantChecker::arm() {
   if (options_.auditInterval <= 0) return;
-  ctx_.sim().schedulePeriodic(options_.auditInterval,
-                              [this] { auditNow(); });
+  ctx_.sim().schedulePeriodicTagged(
+      options_.auditInterval,
+      sim::makeTag(sim::Component::kInvariants, kAuditEvent));
 }
 
 std::vector<vod::AuditViolation> InvariantChecker::auditNow() {
@@ -55,6 +71,34 @@ std::vector<vod::AuditViolation> InvariantChecker::auditNow() {
     if (options_.onViolation) options_.onViolation(violation);
   }
   return confirmed;
+}
+
+void InvariantChecker::saveState(snapshot::Writer& w) const {
+  w.section(0x52415649);  // "IVAR"
+  w.u64(suspects_.size());
+  for (const auto& [key, firstSeen] : suspects_) {
+    w.str(std::get<0>(key));
+    w.u32(std::get<1>(key));
+    w.u32(std::get<2>(key));
+    w.i64(firstSeen);
+  }
+}
+
+bool InvariantChecker::loadState(snapshot::Reader& r) {
+  r.section(0x52415649, "invariant checker");
+  const std::size_t n = r.count(8 + 4 + 4 + 8);
+  std::map<SuspectKey, sim::SimTime> suspects;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string rule = r.str();
+    const std::uint32_t actor = r.u32();
+    const std::uint32_t subject = r.u32();
+    const sim::SimTime firstSeen = r.i64();
+    if (!r.ok()) return false;
+    suspects.emplace(SuspectKey{std::move(rule), actor, subject}, firstSeen);
+  }
+  if (!r.ok()) return false;
+  suspects_ = std::move(suspects);
+  return true;
 }
 
 }  // namespace st::fault

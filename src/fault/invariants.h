@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "snapshot/codec.h"
 #include "vod/audit.h"
 #include "vod/context.h"
 #include "vod/system.h"
@@ -41,12 +42,18 @@ struct CheckerOptions {
   std::function<void(const vod::AuditViolation&)> onViolation;
 };
 
-class InvariantChecker {
+class InvariantChecker final : public sim::EventFactory {
  public:
+  // Tag kind (Component::kInvariants) — append-only, stored in snapshots.
+  static constexpr std::uint8_t kAuditEvent = 0;
+
   InvariantChecker(vod::SystemContext& ctx, vod::VodSystem& system,
                    vod::TransferManager& transfers, CheckerOptions options);
+  ~InvariantChecker() override;
   InvariantChecker(const InvariantChecker&) = delete;
   InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
 
   // Schedules the periodic audit (no-op when auditInterval == 0). Call once,
   // before Simulator::run().
@@ -60,6 +67,12 @@ class InvariantChecker {
     return violations_->value();
   }
   [[nodiscard]] sim::SimTime graceHorizon() const { return horizon_; }
+
+  // Serializes the transient-suspect table (first-seen times). The periodic
+  // audit event lives in the simulator queue — do not call arm() on a
+  // restored run.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
  private:
   using SuspectKey = std::tuple<std::string, std::uint32_t, std::uint32_t>;

@@ -101,7 +101,22 @@ void FlowNetwork::reschedule(FlowId id, Flow& flow) {
   const double seconds = flow.bytesRemaining * 8.0 / flow.rateBps;
   const auto delay =
       std::max<sim::SimTime>(sim::fromSeconds(seconds), 0);
-  flow.completion = sim_.schedule(delay, [this, id] { finish(id); });
+  flow.completion = sim_.scheduleTagged(
+      delay, sim::makeTag(sim::Component::kFlow, kFinishEvent, id.value()));
+}
+
+sim::Callback FlowNetwork::rebuild(const sim::EventTag& tag) {
+  assert(tag.kind == kFinishEvent);
+  const FlowId id{static_cast<std::uint32_t>(tag.a)};
+  return [this, id] { finish(id); };
+}
+
+void FlowNetwork::onRestored(const sim::EventTag& tag,
+                             sim::EventHandle handle) {
+  assert(tag.kind == kFinishEvent);
+  const auto it = flows_.find(FlowId{static_cast<std::uint32_t>(tag.a)});
+  assert(it != flows_.end());
+  it->second.completion = handle;
 }
 
 void FlowNetwork::refreshEndpoint(EndpointId endpoint) {
@@ -172,6 +187,17 @@ FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
 }
 
 FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
+                              std::uint64_t bytes, FlowOptions options) {
+  return startFlow(src, dst, bytes, std::move(options), nullptr);
+}
+
+void FlowNetwork::setCompletionTag(FlowId id, const sim::EventTag& tag) {
+  const auto it = flows_.find(id);
+  assert(it != flows_.end());
+  it->second.completionTag = tag;
+}
+
+FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
                               std::uint64_t bytes, FlowOptions options,
                               CompletionCallback onComplete) {
   assert(hasEndpoint(src) && hasEndpoint(dst));
@@ -199,6 +225,7 @@ FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
     flow.lastUpdate = sim_.now();
     flow.flowClass = options.flowClass;
     flow.queued = true;
+    flow.completionTag = options.completionTag;
     flow.onComplete = std::move(onComplete);
     flows_.emplace(id, std::move(flow));
     source.uploadQueue.push_back(id);
@@ -214,6 +241,7 @@ FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
   flow.totalBytes = bytes;
   flow.lastUpdate = sim_.now();
   flow.flowClass = options.flowClass;
+  flow.completionTag = options.completionTag;
   flow.onComplete = std::move(onComplete);
   flows_.emplace(id, std::move(flow));
   activate(id, flows_.at(id));
@@ -375,6 +403,7 @@ void FlowNetwork::removeFlow(FlowId id, bool completed) {
     auto& queue = endpoints_[flow.src.index()].uploadQueue;
     queue.erase(std::find(queue.begin(), queue.end(), id));
     eraseId(endpoints_[flow.dst.index()].queuedInbound, id);
+    sim_.discardTagged(flow.completionTag);
     return;
   }
 
@@ -387,6 +416,7 @@ void FlowNetwork::removeFlow(FlowId id, bool completed) {
     promoteQueued(flow.src);
     resumePaused(flow.src);
     if (flow.dst != flow.src) resumePaused(flow.dst);
+    sim_.discardTagged(flow.completionTag);
     return;
   }
 
@@ -406,7 +436,12 @@ void FlowNetwork::removeFlow(FlowId id, bool completed) {
   refreshEndpoint(flow.src);
   if (flow.dst != flow.src) refreshEndpoint(flow.dst);
 
-  if (completed && flow.onComplete) flow.onComplete();
+  if (completed) {
+    if (flow.onComplete) flow.onComplete();
+    if (flow.completionTag.tagged()) sim_.invokeTagged(flow.completionTag);
+  } else {
+    sim_.discardTagged(flow.completionTag);
+  }
 }
 
 void FlowNetwork::cancelFlow(FlowId id) {
@@ -492,6 +527,149 @@ std::uint64_t FlowNetwork::bytesDownloaded(EndpointId id) const {
 std::uint64_t FlowNetwork::flowsShed(EndpointId id) const {
   assert(hasEndpoint(id));
   return endpoints_[id.index()].flowsShed;
+}
+
+namespace {
+
+void saveFlowList(snapshot::Writer& w, const std::vector<FlowId>& list) {
+  w.u64(list.size());
+  for (const FlowId id : list) w.u32(id.value());
+}
+
+template <typename Container, typename Flows>
+bool loadFlowList(snapshot::Reader& r, const Flows& flows, Container* out) {
+  const std::size_t count = r.count(4);
+  out->clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const FlowId id{r.u32()};
+    if (!r.ok()) return false;
+    if (flows.count(id) == 0) {
+      r.fail("endpoint flow list references unknown flow");
+      return false;
+    }
+    out->push_back(id);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FlowNetwork::saveState(snapshot::Writer& w, std::string* error) const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) {
+    if (flow.onComplete) {
+      if (error != nullptr) {
+        *error = "live flow with a closure completion callback cannot be "
+                 "snapshotted (use a completion tag)";
+      }
+      return false;
+    }
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+
+  w.section(0x574f4c46);  // "FLOW"
+  w.u64(ids.size());
+  for (const FlowId id : ids) {
+    const Flow& flow = flows_.at(id);
+    w.u32(id.value());
+    w.u32(flow.src.value());
+    w.u32(flow.dst.value());
+    w.f64(flow.bytesRemaining);
+    w.f64(flow.rateBps);
+    w.i64(flow.lastUpdate);
+    w.u64(flow.totalBytes);
+    w.u8(static_cast<std::uint8_t>(flow.flowClass));
+    w.boolean(flow.queued);
+    w.boolean(flow.paused);
+    w.u8(flow.completionTag.component);
+    w.u8(flow.completionTag.kind);
+    w.u16(flow.completionTag.stage);
+    w.u32(flow.completionTag.a32);
+    w.u64(flow.completionTag.a);
+    w.u64(flow.completionTag.b);
+    w.u64(flow.completionTag.c);
+    w.u64(flow.completionTag.d);
+  }
+  w.u64(endpoints_.size());
+  for (const EndpointState& state : endpoints_) {
+    saveFlowList(w, state.uploads);
+    saveFlowList(w, state.downloads);
+    w.u64(state.uploadQueue.size());
+    for (const FlowId id : state.uploadQueue) w.u32(id.value());
+    saveFlowList(w, state.queuedInbound);
+    saveFlowList(w, state.pausedUploads);
+    saveFlowList(w, state.pausedDownloads);
+    w.u64(state.bytesUploaded);
+    w.u64(state.bytesDownloaded);
+    w.u64(state.flowsShed);
+  }
+  w.u32(nextFlowId_);
+  return true;
+}
+
+bool FlowNetwork::loadState(snapshot::Reader& r) {
+  r.section(0x574f4c46, "flow network");
+  const std::size_t flowCount = r.count(4 + 4 + 4 + 8 + 8 + 8 + 8 + 3 + 40);
+  if (!r.ok()) return false;
+  flows_.clear();
+  for (std::size_t i = 0; i < flowCount; ++i) {
+    const FlowId id{r.u32()};
+    Flow flow;
+    flow.src = EndpointId{r.u32()};
+    flow.dst = EndpointId{r.u32()};
+    flow.bytesRemaining = r.f64();
+    flow.rateBps = r.f64();
+    flow.lastUpdate = r.i64();
+    flow.totalBytes = r.u64();
+    const std::uint8_t flowClass = r.u8();
+    flow.queued = r.boolean();
+    flow.paused = r.boolean();
+    flow.completionTag.component = r.u8();
+    flow.completionTag.kind = r.u8();
+    flow.completionTag.stage = r.u16();
+    flow.completionTag.a32 = r.u32();
+    flow.completionTag.a = r.u64();
+    flow.completionTag.b = r.u64();
+    flow.completionTag.c = r.u64();
+    flow.completionTag.d = r.u64();
+    if (!r.ok()) return false;
+    if (!hasEndpoint(flow.src) || !hasEndpoint(flow.dst) ||
+        flowClass >= kFlowClassCount || (flow.queued && flow.paused) ||
+        flow.bytesRemaining < 0.0 || flow.totalBytes == 0 ||
+        flows_.count(id) != 0) {
+      r.fail("flow record out of range");
+      return false;
+    }
+    flow.flowClass = static_cast<FlowClass>(flowClass);
+    flows_.emplace(id, std::move(flow));
+  }
+  const std::size_t endpointCount = r.count(9 * 8);
+  if (!r.ok() || endpointCount != endpoints_.size()) {
+    r.fail("flow network endpoint count mismatch");
+    return false;
+  }
+  for (EndpointState& state : endpoints_) {
+    if (!loadFlowList(r, flows_, &state.uploads)) return false;
+    if (!loadFlowList(r, flows_, &state.downloads)) return false;
+    if (!loadFlowList(r, flows_, &state.uploadQueue)) return false;
+    if (!loadFlowList(r, flows_, &state.queuedInbound)) return false;
+    if (!loadFlowList(r, flows_, &state.pausedUploads)) return false;
+    if (!loadFlowList(r, flows_, &state.pausedDownloads)) return false;
+    state.bytesUploaded = r.u64();
+    state.bytesDownloaded = r.u64();
+    state.flowsShed = r.u64();
+  }
+  nextFlowId_ = r.u32();
+  if (!r.ok()) return false;
+  for (const auto& [id, flow] : flows_) {
+    if (id.value() >= nextFlowId_) {
+      r.fail("flow id collides with the id allocator");
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace st::net

@@ -54,9 +54,12 @@ enum class FlowClass : std::uint8_t {
 };
 inline constexpr std::size_t kFlowClassCount = 3;
 
-class FlowNetwork {
+class FlowNetwork : public sim::EventFactory {
  public:
   using CompletionCallback = std::function<void()>;
+
+  // Tag kinds for Component::kFlow events (snapshot format; append only).
+  static constexpr std::uint8_t kFinishEvent = 0;  // a = flow id
 
   struct FlowOptions {
     FlowClass flowClass = FlowClass::kPlayback;
@@ -64,6 +67,11 @@ class FlowNetwork {
     // the source's queued/active backlog exceeds it, the flow is shed at
     // start. 0 = patient (never shed by deadline).
     sim::SimTime deadline = 0;
+    // Checkpointable completion notification: when tagged, the last byte's
+    // arrival invokes the tag through its component factory (synchronously,
+    // like the closure callback). Flows carrying a closure `onComplete`
+    // cannot be snapshotted; runtime protocol flows use tags.
+    sim::EventTag completionTag{};
   };
 
   // Admission policy for an endpoint with an upload concurrency limit.
@@ -73,9 +81,20 @@ class FlowNetwork {
     bool shedPrefetch = true;        // reject prefetch-class flows that queue
   };
 
-  explicit FlowNetwork(sim::Simulator& simulator) : sim_(simulator) {}
+  explicit FlowNetwork(sim::Simulator& simulator) : sim_(simulator) {
+    sim_.registerFactory(sim::Component::kFlow, this);
+  }
+  ~FlowNetwork() override {
+    if (sim_.factory(sim::Component::kFlow) == this) {
+      sim_.registerFactory(sim::Component::kFlow, nullptr);
+    }
+  }
   FlowNetwork(const FlowNetwork&) = delete;
   FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  // EventFactory for Component::kFlow — internal completion events.
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
+  void onRestored(const sim::EventTag& tag, sim::EventHandle handle) override;
 
   // Registers endpoint `id` (ids must be dense, assigned by the caller).
   void addEndpoint(EndpointId id, EndpointCapacity capacity);
@@ -114,6 +133,16 @@ class FlowNetwork {
                    CompletionCallback onComplete);
   FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
                    FlowOptions options, CompletionCallback onComplete);
+  // Tag-only variant (no closure): completion is signalled through
+  // options.completionTag, if tagged.
+  FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
+                   FlowOptions options);
+
+  // Attaches (or replaces) the completion tag of a live flow. Needed when
+  // the tag must reference the flow id startFlow just assigned (prefetch
+  // completions); flows never complete synchronously, so setting the tag
+  // right after startFlow is race-free.
+  void setCompletionTag(FlowId id, const sim::EventTag& tag);
 
   // Aborts a transfer (e.g. provider churned away). The completion callback
   // does not fire. Safe to call with an already-finished flow id (no-op).
@@ -145,6 +174,17 @@ class FlowNetwork {
   // Flows shed by `endpoint`'s admission policy since the start of the run.
   [[nodiscard]] std::uint64_t flowsShed(EndpointId id) const;
 
+  // Checkpoint/restore of the mutable data plane: every live flow (sorted by
+  // id for a canonical byte stream), per-endpoint membership lists verbatim
+  // (their order drives fair-share refresh order), transfer tallies, and the
+  // id allocator. Static configuration (capacities, limits, policies, floor)
+  // is re-applied by the experiment setup before restore. Fails — without
+  // writing — if any live flow carries a closure completion callback.
+  // Completion EventHandles are re-stored by onRestored() while the
+  // simulator queue loads (after this), so loadState leaves them invalid.
+  bool saveState(snapshot::Writer& w, std::string* error) const;
+  bool loadState(snapshot::Reader& r);
+
  private:
   struct Flow {
     EndpointId src;
@@ -157,7 +197,8 @@ class FlowNetwork {
     bool queued = false;           // waiting for an upload slot at src
     bool paused = false;           // preempted by a higher-class flow
     sim::EventHandle completion;
-    CompletionCallback onComplete;
+    sim::EventTag completionTag{};  // serializable completion notification
+    CompletionCallback onComplete;  // test-only; blocks snapshotting
   };
 
   struct EndpointState {

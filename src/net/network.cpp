@@ -36,6 +36,30 @@ bool Network::sendMessage(EndpointId from, EndpointId to,
   return true;
 }
 
+bool Network::sendMessage(EndpointId from, EndpointId to,
+                          const sim::EventTag& tag) {
+  ++messagesSent_;
+  sim::SimTime extraDelay = 0;
+  if (faultHook_ != nullptr) {
+    const MessageFaultHook::Decision decision =
+        faultHook_->onMessage(from, to);
+    if (decision.drop) {
+      ++messagesFaulted_;
+      sim_.discardTagged(tag);
+      return false;
+    }
+    extraDelay = decision.extraDelay;
+  }
+  if (latency_->lost(from, to, rng_)) {
+    ++messagesLost_;
+    sim_.discardTagged(tag);
+    return false;
+  }
+  const sim::SimTime delay = latency_->delay(from, to, rng_) + extraDelay;
+  sim_.scheduleTagged(delay, tag);
+  return true;
+}
+
 sim::SimTime Network::sampleDelay(EndpointId from, EndpointId to) {
   return latency_->delay(from, to, rng_);
 }

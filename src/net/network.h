@@ -54,6 +54,11 @@ class Network {
   // Returns true if the message was actually sent (not lost).
   bool sendMessage(EndpointId from, EndpointId to, DeliveryCallback onDeliver);
 
+  // Tagged (checkpointable) variant: delivery is scheduled through the
+  // tag's EventFactory; a lost or fault-dropped message routes the tag to
+  // Simulator::discardTagged so factory-managed payloads are freed.
+  bool sendMessage(EndpointId from, EndpointId to, const sim::EventTag& tag);
+
   // One-way delay sample without sending (for timeout sizing in protocols).
   [[nodiscard]] sim::SimTime sampleDelay(EndpointId from, EndpointId to);
 
@@ -79,6 +84,33 @@ class Network {
     registry.addGauge("messages_sent", [this] { return messagesSent_; });
     registry.addGauge("messages_lost", [this] { return messagesLost_; });
     registry.addGauge("messages_faulted", [this] { return messagesFaulted_; });
+  }
+
+  // Checkpoint/restore: the jitter RNG position and the three tallies.
+  // Latency models are stateless (seed-hashed per-pair values), so the RNG
+  // stream is the only mutable message-plane state besides the counters.
+  void saveState(snapshot::Writer& w) const {
+    w.section(0x5754454e);  // "NETW"
+    const Rng::State rng = rng_.state();
+    for (const std::uint64_t word : rng.s) w.u64(word);
+    w.f64(rng.spareNormal);
+    w.boolean(rng.hasSpareNormal);
+    w.u64(messagesSent_);
+    w.u64(messagesLost_);
+    w.u64(messagesFaulted_);
+  }
+  bool loadState(snapshot::Reader& r) {
+    r.section(0x5754454e, "network");
+    Rng::State rng;
+    for (std::uint64_t& word : rng.s) word = r.u64();
+    rng.spareNormal = r.f64();
+    rng.hasSpareNormal = r.boolean();
+    messagesSent_ = r.u64();
+    messagesLost_ = r.u64();
+    messagesFaulted_ = r.u64();
+    if (!r.ok()) return false;
+    rng_.setState(rng);
+    return true;
   }
 
  private:

@@ -63,6 +63,61 @@ std::vector<TraceEvent> EventTrace::events() const {
   return out;
 }
 
+void EventTrace::saveState(snapshot::Writer& w) const {
+  w.section(0x54524345);  // "ECRT"
+  w.u64(ring_.size());
+  w.u64(head_);
+  w.u64(seen_);
+  w.u64(kept_);
+  for (const std::uint64_t byKind : seenByKind_) w.u64(byKind);
+  // Only slots the ring has actually filled carry information.
+  const std::size_t filled = size();
+  const std::size_t start = kept_ < ring_.size() ? 0 : head_;
+  w.u64(filled);
+  for (std::size_t i = 0; i < filled; ++i) {
+    const TraceEvent& event = ring_[(start + i) % ring_.size()];
+    w.i64(event.time);
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.u32(event.actor);
+    w.u32(event.subject);
+    w.u64(event.value);
+  }
+}
+
+bool EventTrace::loadState(snapshot::Reader& r) {
+  r.section(0x54524345, "event trace");
+  const std::uint64_t capacity = r.u64();
+  if (!r.ok() || capacity != ring_.size()) {
+    r.fail("event trace capacity mismatch");
+    return false;
+  }
+  head_ = static_cast<std::size_t>(r.u64());
+  seen_ = r.u64();
+  kept_ = r.u64();
+  for (std::uint64_t& byKind : seenByKind_) byKind = r.u64();
+  const std::size_t filled = r.count(8);
+  if (!r.ok() || head_ >= ring_.size() || filled > ring_.size() ||
+      filled != size()) {
+    r.fail("event trace state inconsistent");
+    return false;
+  }
+  const std::size_t start = kept_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < filled; ++i) {
+    TraceEvent& event = ring_[(start + i) % ring_.size()];
+    event.time = r.i64();
+    const std::uint8_t kind = r.u8();
+    if (kind >= kEventKindCount) {
+      r.fail("event trace kind out of range");
+      return false;
+    }
+    event.kind = static_cast<EventKind>(kind);
+    event.actor = r.u32();
+    event.subject = r.u32();
+    event.value = r.u64();
+  }
+  return r.ok();
+}
+
 bool EventTrace::writeJsonl(const std::string& path) const {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;

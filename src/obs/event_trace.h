@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "snapshot/codec.h"
 
 #ifndef ST_TRACE_ENABLED
 #define ST_TRACE_ENABLED 1
@@ -92,6 +93,14 @@ class EventTrace {
   //   {"t":123456,"type":"repair","actor":5,"subject":7,"value":0}
   // with t in simulated microseconds. Returns false on I/O failure.
   bool writeJsonl(const std::string& path) const;
+
+  // Checkpoint/restore: persists the ring contents and the sampling
+  // counters, so a restored run keeps pre-snapshot events (its final
+  // writeJsonl matches an uninterrupted run byte-for-byte) and continues
+  // every per-kind keep-every-Nth cadence mid-stride. The restored trace
+  // must be constructed with the same Options.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
  private:
   Options options_;

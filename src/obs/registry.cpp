@@ -44,6 +44,20 @@ const Registry::Slot* Registry::find(std::string_view name) const {
   return nullptr;
 }
 
+Registry::Slot* Registry::find(std::string_view name) {
+  for (Slot& slot : slots_) {
+    if (slot.name == name) return &slot;
+  }
+  return nullptr;
+}
+
+bool Registry::restoreCounter(std::string_view name, std::uint64_t value) {
+  Slot* slot = find(name);
+  if (slot == nullptr || !slot->counter) return false;
+  slot->counter->set(value);
+  return true;
+}
+
 Counter& Registry::counter(std::string_view name) {
   for (Slot& slot : slots_) {
     if (slot.name != name) continue;

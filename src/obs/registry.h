@@ -30,6 +30,8 @@ class Counter {
  public:
   void inc(std::uint64_t delta = 1) { value_ += delta; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
+  // Checkpoint restore only: counters are monotonic during a run.
+  void set(std::uint64_t value) { value_ = value; }
 
  private:
   std::uint64_t value_ = 0;
@@ -86,6 +88,18 @@ class Registry {
   // Evaluates every counter and gauge into a name-sorted Snapshot.
   [[nodiscard]] Snapshot snapshot() const;
 
+  // Checkpoint restore: visits every *counter* slot (gauges recompute from
+  // restored component state) in registration order, and sets a counter's
+  // value by name. restoreCounter returns false for unknown names or names
+  // registered as gauges.
+  template <typename Fn>  // fn(std::string_view name, std::uint64_t value)
+  void visitCounters(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.counter) fn(std::string_view(slot.name), slot.counter->value());
+    }
+  }
+  bool restoreCounter(std::string_view name, std::uint64_t value);
+
  private:
   struct Slot {
     std::string name;
@@ -97,6 +111,7 @@ class Registry {
   };
 
   [[nodiscard]] const Slot* find(std::string_view name) const;
+  [[nodiscard]] Slot* find(std::string_view name);
 
   std::vector<Slot> slots_;  // registration order; snapshot() sorts by name
   std::unique_ptr<Counter> orphan_;  // fallback for counter/gauge collisions

@@ -1,8 +1,14 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace st::sim {
+
+void EventFactory::onRestored(const EventTag& tag, EventHandle handle) {
+  (void)tag;
+  (void)handle;
+}
 
 std::uint32_t Simulator::allocSlot() {
   if (freeHead_ != kNoFree) {
@@ -13,6 +19,7 @@ std::uint32_t Simulator::allocSlot() {
   }
   const auto index = static_cast<std::uint32_t>(slots_.size());
   slots_.emplace_back();
+  tags_.emplace_back();
   return index;
 }
 
@@ -20,6 +27,7 @@ void Simulator::releaseSlot(std::uint32_t index) {
   Slot& slot = slots_[index];
   slot.fn.reset();
   slot.period = 0;
+  tags_[index] = EventTag{};
   // The bump invalidates every outstanding handle and heap entry for the
   // old occupant; 0 is reserved for never-scheduled handles.
   if (++slot.gen == 0) slot.gen = 1;
@@ -27,12 +35,14 @@ void Simulator::releaseSlot(std::uint32_t index) {
   freeHead_ = index;
 }
 
-EventHandle Simulator::enqueue(SimTime when, Callback fn, SimTime period) {
+EventHandle Simulator::enqueue(SimTime when, Callback fn, SimTime period,
+                               const EventTag& tag) {
   assert(when >= now_);
   const std::uint32_t index = allocSlot();
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
   slot.period = period;
+  tags_[index] = tag;
   queue_.push(HeapEntry{when, nextSeq_++, index, slot.gen});
   ++live_;
   return EventHandle{index, slot.gen};
@@ -51,6 +61,44 @@ EventHandle Simulator::schedulePeriodic(SimTime period, Callback fn) {
   assert(period > 0);
   ++periodicLive_;
   return enqueue(now_ + period, std::move(fn), period);
+}
+
+EventHandle Simulator::scheduleTagged(SimTime delay, const EventTag& tag) {
+  return scheduleAtTagged(now_ + delay, tag);
+}
+
+EventHandle Simulator::scheduleAtTagged(SimTime when, const EventTag& tag) {
+  EventFactory* factory =
+      factories_[static_cast<std::size_t>(tag.component)];
+  assert(tag.tagged() && factory != nullptr &&
+         "tagged event without a registered factory");
+  return enqueue(when, factory->rebuild(tag), /*period=*/0, tag);
+}
+
+EventHandle Simulator::schedulePeriodicTagged(SimTime period,
+                                              const EventTag& tag) {
+  assert(period > 0);
+  EventFactory* factory =
+      factories_[static_cast<std::size_t>(tag.component)];
+  assert(tag.tagged() && factory != nullptr &&
+         "tagged event without a registered factory");
+  ++periodicLive_;
+  return enqueue(now_ + period, factory->rebuild(tag), period, tag);
+}
+
+void Simulator::discardTagged(const EventTag& tag) {
+  if (!tag.tagged()) return;
+  EventFactory* factory =
+      factories_[static_cast<std::size_t>(tag.component)];
+  if (factory != nullptr) factory->discard(tag);
+}
+
+void Simulator::invokeTagged(const EventTag& tag) {
+  EventFactory* factory =
+      factories_[static_cast<std::size_t>(tag.component)];
+  assert(tag.tagged() && factory != nullptr &&
+         "tagged invocation without a registered factory");
+  factory->rebuild(tag)();
 }
 
 void Simulator::cancel(EventHandle handle) {
@@ -122,5 +170,111 @@ std::uint64_t Simulator::run() {
 }
 
 bool Simulator::step() { return fireNext(); }
+
+bool Simulator::saveState(snapshot::Writer& w, std::string* error) const {
+  // Drain a copy of the heap: pops come out (when, seq)-sorted, stale
+  // entries are skipped, and the live arena stays untouched.
+  struct Pending {
+    HeapEntry entry;
+    SimTime period;
+    EventTag tag;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(live_);
+  std::priority_queue<HeapEntry> copy = queue_;
+  while (!copy.empty()) {
+    const HeapEntry entry = copy.top();
+    copy.pop();
+    if (slots_[entry.slot].gen != entry.gen) continue;  // cancelled
+    const EventTag& tag = tags_[entry.slot];
+    if (!tag.tagged()) {
+      if (error != nullptr) {
+        *error = "pending untagged event (scheduled via plain schedule()) "
+                 "cannot be snapshotted";
+      }
+      return false;
+    }
+    pending.push_back(Pending{entry, slots_[entry.slot].period, tag});
+  }
+
+  w.section(0x4d495351);  // "QSIM"
+  w.i64(now_);
+  w.u64(nextSeq_);
+  w.u64(fired_);
+  w.u64(pending.size());
+  for (const Pending& p : pending) {
+    w.i64(p.entry.when);
+    w.u64(p.entry.seq);
+    w.i64(p.period);
+    w.u8(p.tag.component);
+    w.u8(p.tag.kind);
+    w.u16(p.tag.stage);
+    w.u32(p.tag.a32);
+    w.u64(p.tag.a);
+    w.u64(p.tag.b);
+    w.u64(p.tag.c);
+    w.u64(p.tag.d);
+  }
+  return true;
+}
+
+bool Simulator::loadState(snapshot::Reader& r) {
+  r.section(0x4d495351, "simulator queue");
+  const SimTime savedNow = r.i64();
+  const std::uint64_t savedNextSeq = r.u64();
+  const std::uint64_t savedFired = r.u64();
+  const std::size_t count = r.count(8 + 8 + 8 + 40);
+  if (!r.ok()) return false;
+
+  slots_.clear();
+  tags_.clear();
+  freeHead_ = kNoFree;
+  queue_ = std::priority_queue<HeapEntry>();
+  live_ = 0;
+  periodicLive_ = 0;
+  now_ = savedNow;
+  nextSeq_ = savedNextSeq;
+  fired_ = savedFired;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime when = r.i64();
+    const std::uint64_t seq = r.u64();
+    const SimTime period = r.i64();
+    EventTag tag;
+    tag.component = r.u8();
+    tag.kind = r.u8();
+    tag.stage = r.u16();
+    tag.a32 = r.u32();
+    tag.a = r.u64();
+    tag.b = r.u64();
+    tag.c = r.u64();
+    tag.d = r.u64();
+    if (!r.ok()) return false;
+    if (when < now_ || seq >= nextSeq_ || period < 0 ||
+        tag.component >= kComponentCount || !tag.tagged()) {
+      r.fail("pending event out of range");
+      return false;
+    }
+    EventFactory* factory =
+        factories_[static_cast<std::size_t>(tag.component)];
+    if (factory == nullptr) {
+      r.fail("snapshot contains events for component " +
+             std::to_string(tag.component) +
+             " but no factory is registered (was the run configured "
+             "the same way?)");
+      return false;
+    }
+    const std::uint32_t index = allocSlot();
+    Slot& slot = slots_[index];
+    slot.fn = factory->rebuild(tag);
+    slot.period = period;
+    tags_[index] = tag;
+    queue_.push(HeapEntry{when, seq, index, slot.gen});
+    ++live_;
+    if (period > 0) ++periodicLive_;
+    factory->onRestored(tag, EventHandle{index, slot.gen});
+  }
+  return r.ok();
+}
 
 }  // namespace st::sim

@@ -14,14 +14,18 @@
 // slot, because the generation no longer matches.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "obs/registry.h"
 #include "sim/callback.h"
+#include "sim/event_tag.h"
 #include "sim/time.h"
+#include "snapshot/codec.h"
 
 namespace st::sim {
 
@@ -59,6 +63,40 @@ class Simulator {
   // Schedules `fn` every `period` starting at now() + period, until
   // cancelled. The returned handle cancels the whole series.
   EventHandle schedulePeriodic(SimTime period, Callback fn);
+
+  // --- tagged events (checkpointable) ------------------------------------------
+  // The tagged variants build the callback through the component's
+  // registered EventFactory — the same rebuild path a snapshot restore
+  // replays — so a tagged event can be serialized mid-flight. Untagged
+  // schedule() stays legal (tests, ad-hoc drivers) but makes the simulator
+  // unsnapshotable while such an event is pending.
+  void registerFactory(Component component, EventFactory* factory) {
+    const auto index = static_cast<std::size_t>(component);
+    assert(index > 0 && index < kComponentCount);
+    factories_[index] = factory;
+  }
+  [[nodiscard]] EventFactory* factory(Component component) const {
+    return factories_[static_cast<std::size_t>(component)];
+  }
+  EventHandle scheduleTagged(SimTime delay, const EventTag& tag);
+  EventHandle scheduleAtTagged(SimTime when, const EventTag& tag);
+  EventHandle schedulePeriodicTagged(SimTime period, const EventTag& tag);
+  // Routes a dropped (never-delivered) tagged message to its factory's
+  // discard() so tag-referenced payloads are freed. No-op for untagged or
+  // factory-less tags.
+  void discardTagged(const EventTag& tag);
+  // Builds the tag's callback through its factory and runs it immediately —
+  // synchronous completion notification without a trip through the queue.
+  void invokeTagged(const EventTag& tag);
+
+  // Serializes now, clocks, and every pending event (tag + firing time +
+  // sequence + period). Fails — without writing — if any pending event is
+  // untagged. Restore rebuilds callbacks through the registered factories
+  // and invokes EventFactory::onRestored for each event, so components can
+  // re-store the handles the original schedule calls returned; the
+  // factories for every serialized component must be registered first.
+  bool saveState(snapshot::Writer& w, std::string* error) const;
+  bool loadState(snapshot::Reader& r);
 
   // O(1). Releases the event's slot (and, for a periodic series, its state)
   // immediately; no-op on invalid or stale handles.
@@ -112,13 +150,17 @@ class Simulator {
   };
 
   bool fireNext();
-  EventHandle enqueue(SimTime when, Callback fn, SimTime period);
+  EventHandle enqueue(SimTime when, Callback fn, SimTime period,
+                      const EventTag& tag = EventTag{});
   std::uint32_t allocSlot();
   void releaseSlot(std::uint32_t index);
   // Discards cancelled entries so queue_.top(), when present, is live.
   void purgeStale();
 
   std::vector<Slot> slots_;
+  // Parallel to slots_: the serializable identity of the occupant's event
+  // (component kNone for untagged events).
+  std::vector<EventTag> tags_;
   std::uint32_t freeHead_ = kNoFree;
   std::priority_queue<HeapEntry> queue_;
   SimTime now_ = 0;
@@ -126,6 +168,7 @@ class Simulator {
   std::uint64_t fired_ = 0;
   std::size_t live_ = 0;
   std::size_t periodicLive_ = 0;
+  std::array<EventFactory*, kComponentCount> factories_{};
 };
 
 }  // namespace st::sim

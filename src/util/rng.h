@@ -63,6 +63,23 @@ class Rng {
     }
   }
 
+  // Full stream position, for checkpoint/restore. A restored Rng continues
+  // the exact draw sequence of the saved one (the Box-Muller spare is part
+  // of the position: normal() consumes two uniforms every other call).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double spareNormal = 0.0;
+    bool hasSpareNormal = false;
+  };
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, spareNormal_, hasSpareNormal_};
+  }
+  void setState(const State& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    spareNormal_ = state.spareNormal;
+    hasSpareNormal_ = state.hasSpareNormal;
+  }
+
  private:
   std::uint64_t s_[4];
   double spareNormal_ = 0.0;

@@ -83,6 +83,60 @@ class SlotPool {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  // --- checkpoint/restore -----------------------------------------------------
+  // Ids are (generation << 32 | slot), so restoring outstanding ids exactly
+  // requires persisting the whole arena: every slot's generation and free-
+  // list linkage, live or not. visitSlots walks slots in index order;
+  // beginRestore/restoreSlot/finishRestore rebuild the identical arena.
+  static constexpr std::uint32_t kNoFreeSlot = ~std::uint32_t{0};
+
+  [[nodiscard]] std::size_t slotCount() const { return slots_.size(); }
+  [[nodiscard]] std::uint32_t freeHead() const { return freeHead_; }
+
+  // fn(index, live, gen, nextFree, const T& value) — value is default for
+  // free slots.
+  template <typename Fn>
+  void visitSlots(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& slot = slots_[i];
+      fn(static_cast<std::uint32_t>(i), slot.live, slot.gen, slot.nextFree,
+         slot.value);
+    }
+  }
+
+  void beginRestore() {
+    slots_.clear();
+    freeHead_ = kNoFree;
+    size_ = 0;
+  }
+  void restoreSlot(bool live, std::uint32_t gen, std::uint32_t nextFree,
+                   T value) {
+    slots_.push_back(Slot{std::move(value), gen, nextFree, live});
+    if (live) ++size_;
+  }
+  // Validates the free list (every link in range, every free slot on it
+  // exactly once); false leaves the pool empty rather than inconsistent.
+  bool finishRestore(std::uint32_t freeHead) {
+    std::size_t freeSlots = 0;
+    for (const Slot& slot : slots_) {
+      if (!slot.live) ++freeSlots;
+    }
+    std::size_t walked = 0;
+    for (std::uint32_t at = freeHead; at != kNoFree;
+         at = slots_[at].nextFree) {
+      if (at >= slots_.size() || slots_[at].live || ++walked > freeSlots) {
+        beginRestore();
+        return false;
+      }
+    }
+    if (walked != freeSlots) {
+      beginRestore();
+      return false;
+    }
+    freeHead_ = freeHead;
+    return true;
+  }
+
  private:
   static constexpr std::uint32_t kNoFree = ~std::uint32_t{0};
 

@@ -29,6 +29,26 @@ class RunningStats {
 
   void merge(const RunningStats& other);
 
+  // Raw accumulator state, for checkpoint/restore. Restoring then adding
+  // more samples is bitwise-identical to never having paused.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] State state() const {
+    return State{count_, mean_, m2_, min_, max_};
+  }
+  void setState(const State& s) {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;
@@ -63,6 +83,15 @@ class SampleSet {
       std::size_t points = 100) const;
 
   [[nodiscard]] std::span<const double> samples() const { return samples_; }
+
+  // Checkpoint/restore: the sample *buffer order* matters bitwise (mean()
+  // sums in buffer order and percentile() sorts in place), so restore
+  // reinstates the exact buffer, not just the multiset of samples.
+  [[nodiscard]] bool sortPending() const { return dirty_; }
+  void restoreSamples(std::vector<double> samples, bool sortPending) {
+    samples_ = std::move(samples);
+    dirty_ = sortPending;
+  }
 
  private:
   void ensureSorted() const;

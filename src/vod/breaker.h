@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "snapshot/codec.h"
 #include "util/strong_id.h"
 
 namespace st::vod {
@@ -51,6 +52,54 @@ class BreakerBoard {
   [[nodiscard]] std::uint64_t halfOpened() const { return halfOpened_; }
   // Breakers currently not closed (open or half-open).
   [[nodiscard]] std::uint64_t openNow() const { return openNow_; }
+
+  // Checkpoint/restore. Entry order within an owner's list is preserved
+  // (entry() scans linearly; order is creation order and must round-trip).
+  void saveState(snapshot::Writer& w) const {
+    w.section(0x424b5242);  // "BRKB"
+    w.u64(byOwner_.size());
+    for (const auto& entries : byOwner_) {
+      w.u64(entries.size());
+      for (const Entry& e : entries) {
+        w.u32(e.neighbor.value());
+        w.u32(e.failures);
+        w.u8(static_cast<std::uint8_t>(e.state));
+        w.i64(e.retryAt);
+      }
+    }
+    w.u64(opened_);
+    w.u64(closed_);
+    w.u64(halfOpened_);
+    w.u64(openNow_);
+  }
+  bool loadState(snapshot::Reader& r) {
+    r.section(0x424b5242, "breaker board");
+    const std::size_t owners = r.count(8);
+    if (!r.ok() || owners != byOwner_.size()) {
+      r.fail("breaker board size mismatch");
+      return false;
+    }
+    for (auto& entries : byOwner_) {
+      entries.clear();
+      entries.resize(r.count(17));
+      for (Entry& e : entries) {
+        e.neighbor = UserId{r.u32()};
+        e.failures = r.u32();
+        const std::uint8_t state = r.u8();
+        if (state > static_cast<std::uint8_t>(State::kHalfOpen)) {
+          r.fail("breaker state out of range");
+          return false;
+        }
+        e.state = static_cast<State>(state);
+        e.retryAt = r.i64();
+      }
+    }
+    opened_ = r.u64();
+    closed_ = r.u64();
+    halfOpened_ = r.u64();
+    openNow_ = r.u64();
+    return r.ok();
+  }
 
  private:
   struct Entry {

@@ -1,6 +1,8 @@
 #include "vod/context.h"
 
 #include <algorithm>
+#include <cassert>
+#include <utility>
 
 namespace st::vod {
 
@@ -98,6 +100,146 @@ void SystemContext::sendFromServer(UserId to, sim::Callback atReceiver) {
                        [this, to, fn = std::move(atReceiver)]() mutable {
                          if (isOnline(to)) fn();
                        });
+}
+
+void SystemContext::sendUser(UserId from, UserId to, sim::EventTag tag) {
+  tag.stage = static_cast<std::uint16_t>(sim::Stage::kUserDeliver);
+  tag.a32 = to.value();
+  network_.sendMessage(endpointOf(from), endpointOf(to), tag);
+}
+
+void SystemContext::sendToServer(UserId from, sim::EventTag tag) {
+  tag.stage = static_cast<std::uint16_t>(sim::Stage::kServerArrive);
+  network_.sendMessage(endpointOf(from), serverEndpoint_, tag);
+}
+
+void SystemContext::sendFromServer(UserId to, sim::EventTag tag) {
+  tag.stage = static_cast<std::uint16_t>(sim::Stage::kFromServer);
+  tag.a32 = to.value();
+  network_.sendMessage(serverEndpoint_, endpointOf(to), tag);
+}
+
+sim::Callback SystemContext::wrapStage(const sim::EventTag& tag,
+                                       sim::Callback action) {
+  switch (static_cast<sim::Stage>(tag.stage)) {
+    case sim::Stage::kDirect:
+    case sim::Stage::kServerRun:
+      return action;
+    case sim::Stage::kUserDeliver:
+    case sim::Stage::kFromServer: {
+      const UserId to{tag.a32};
+      return [this, to, fn = std::move(action)]() mutable {
+        if (isOnline(to)) fn();
+      };
+    }
+    case sim::Stage::kServerArrive: {
+      // At the server NIC: queue the processing delay, then run the action
+      // under the kServerRun stage of the very same tag.
+      sim::EventTag run = tag;
+      run.stage = static_cast<std::uint16_t>(sim::Stage::kServerRun);
+      return [this, run] {
+        sim_.scheduleTagged(config_.serverProcessing, run);
+      };
+    }
+  }
+  return action;
+}
+
+std::uint64_t SystemContext::stashPayload(Payload payload) {
+  const std::uint64_t id = nextPayloadId_++;
+  payloads_.emplace(id, std::move(payload));
+  return id;
+}
+
+SystemContext::Payload& SystemContext::payload(std::uint64_t id) {
+  const auto it = payloads_.find(id);
+  assert(it != payloads_.end() && "stale or freed payload id");
+  return it->second;
+}
+
+SystemContext::Payload SystemContext::takePayload(std::uint64_t id) {
+  const auto it = payloads_.find(id);
+  assert(it != payloads_.end() && "stale or freed payload id");
+  Payload out = std::move(it->second);
+  payloads_.erase(it);
+  return out;
+}
+
+void SystemContext::freePayload(std::uint64_t id) {
+  const auto it = payloads_.find(id);
+  assert(it != payloads_.end() && "stale or freed payload id");
+  payloads_.erase(it);
+}
+
+void SystemContext::saveState(snapshot::Writer& w) const {
+  w.section(0x54585443);  // "CTXT"
+  const Rng::State rng = rng_.state();
+  for (const std::uint64_t word : rng.s) w.u64(word);
+  w.f64(rng.spareNormal);
+  w.boolean(rng.hasSpareNormal);
+  w.u64(online_.size());
+  for (const char flag : online_) w.boolean(flag != 0);
+  for (const sim::SimTime since : offlineSince_) w.i64(since);
+  w.u64(released_.size());
+  for (const char flag : released_) w.boolean(flag != 0);
+  breakers_.saveState(w);
+  w.u64(payloads_.size());
+  for (const auto& [id, payload] : payloads_) {
+    w.u64(id);
+    w.u64(payload.u.size());
+    for (const std::uint32_t x : payload.u) w.u32(x);
+    w.u64(payload.v.size());
+    for (const std::uint32_t x : payload.v) w.u32(x);
+    w.u64(payload.x);
+  }
+  w.u64(nextPayloadId_);
+}
+
+bool SystemContext::loadState(snapshot::Reader& r) {
+  r.section(0x54585443, "system context");
+  Rng::State rng;
+  for (std::uint64_t& word : rng.s) word = r.u64();
+  rng.spareNormal = r.f64();
+  rng.hasSpareNormal = r.boolean();
+  const std::size_t users = r.count(1 + 8);
+  if (!r.ok() || users != online_.size()) {
+    r.fail("context user count mismatch");
+    return false;
+  }
+  for (char& flag : online_) flag = r.boolean() ? 1 : 0;
+  for (sim::SimTime& since : offlineSince_) since = r.i64();
+  const std::size_t videos = r.count(1);
+  if (!r.ok() || videos != released_.size()) {
+    r.fail("context video count mismatch");
+    return false;
+  }
+  for (char& flag : released_) flag = r.boolean() ? 1 : 0;
+  if (!breakers_.loadState(r)) return false;
+  const std::size_t payloadCount = r.count(8 + 8 + 8 + 8);
+  payloads_.clear();
+  for (std::size_t i = 0; i < payloadCount; ++i) {
+    const std::uint64_t id = r.u64();
+    Payload payload;
+    payload.u.resize(r.count(4));
+    for (std::uint32_t& x : payload.u) x = r.u32();
+    payload.v.resize(r.count(4));
+    for (std::uint32_t& x : payload.v) x = r.u32();
+    payload.x = r.u64();
+    if (!r.ok()) return false;
+    if (payloads_.count(id) != 0) {
+      r.fail("duplicate payload id");
+      return false;
+    }
+    payloads_.emplace(id, std::move(payload));
+  }
+  nextPayloadId_ = r.u64();
+  if (!r.ok()) return false;
+  if (!payloads_.empty() && payloads_.rbegin()->first >= nextPayloadId_) {
+    r.fail("payload id collides with the id allocator");
+    return false;
+  }
+  rng_.setState(rng);
+  return true;
 }
 
 }  // namespace st::vod

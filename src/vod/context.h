@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "net/network.h"
@@ -97,6 +98,49 @@ class SystemContext {
   // Server-to-user reply; dropped if the user went offline.
   void sendFromServer(UserId to, sim::Callback atReceiver);
 
+  // --- tagged (checkpointable) messaging ------------------------------------
+  // Same delivery semantics as the closure helpers, but the message is a
+  // serializable EventTag routed through the component's EventFactory. The
+  // helpers stamp the delivery stage (and receiver) onto the tag; the
+  // factory's rebuild() applies the matching guard via wrapStage().
+  void sendUser(UserId from, UserId to, sim::EventTag tag);
+  void sendToServer(UserId from, sim::EventTag tag);
+  void sendFromServer(UserId to, sim::EventTag tag);
+
+  // Wraps a component's raw event action in the delivery-stage guard the
+  // closure send helpers used to capture: online checks for user delivery,
+  // the server-processing hop for requests. Factories call this from
+  // rebuild() so runtime and restore share one path. For kServerArrive the
+  // action is ignored — the wrapper schedules the same tag at kServerRun.
+  [[nodiscard]] sim::Callback wrapStage(const sim::EventTag& tag,
+                                        sim::Callback action);
+
+  // --- payload pool ----------------------------------------------------------
+  // Serializable side-storage for event arguments that do not fit in a
+  // 40-byte tag (provider lists, gossip digests). The event's tag carries
+  // the pool id; the consuming action (or the factory's discard() when the
+  // message is lost) frees the entry explicitly — entries are never
+  // reference-counted and cancellable events must not carry payloads.
+  struct Payload {
+    std::vector<std::uint32_t> u;
+    std::vector<std::uint32_t> v;
+    std::uint64_t x = 0;
+  };
+  std::uint64_t stashPayload(Payload payload);
+  // Live payload lookup; asserts on stale/unknown ids (a leak or double
+  // free would silently corrupt a restore otherwise).
+  [[nodiscard]] Payload& payload(std::uint64_t id);
+  // Moves the payload out and frees the entry.
+  Payload takePayload(std::uint64_t id);
+  void freePayload(std::uint64_t id);
+  [[nodiscard]] std::size_t livePayloads() const { return payloads_.size(); }
+
+  // Checkpoint/restore: protocol RNG, presence/release flags, breaker
+  // board, and the payload pool. Endpoint wiring and overload policies are
+  // reapplied by construction from the same config.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
+
  private:
   sim::Simulator& sim_;
   net::Network& network_;
@@ -111,6 +155,9 @@ class SystemContext {
   std::vector<char> online_;
   std::vector<sim::SimTime> offlineSince_;
   std::vector<char> released_;
+  // Ordered map: snapshot writes iterate it, so the byte stream is canonical.
+  std::map<std::uint64_t, Payload> payloads_;
+  std::uint64_t nextPayloadId_ = 1;
 };
 
 }  // namespace st::vod

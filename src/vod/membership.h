@@ -15,6 +15,14 @@
 // flat vector indexed by user. Removal is the usual swap-with-back trick;
 // the displaced member's position is patched through its own (short)
 // registration list instead of a per-key position hash map.
+//
+// Iteration-order caveat: swap-with-back makes a member list's order a
+// function of the directory's whole add/remove history, and randomMembers()
+// draws by position — the order is *behaviorally relevant*, not an
+// implementation detail. Snapshot round-trips therefore persist the exact
+// list orders (saveState/loadState below), while anything that wants an
+// order-independent identity (overlay fingerprints, test assertions) must
+// go through canonicalMembers(), which sorts.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/codec.h"
 #include "util/rng.h"
 #include "util/strong_id.h"
 
@@ -89,6 +98,78 @@ class MembershipDirectory {
         fn(UserId{static_cast<std::uint32_t>(i)}, ref.key);
       }
     }
+  }
+
+  // Members of `key` in user-id order — deletion-history-independent, for
+  // fingerprints and order-stable assertions. Never use on a protocol path
+  // (sampling must stay position-based for bitwise compatibility).
+  [[nodiscard]] std::vector<UserId> canonicalMembers(Key key) const {
+    std::vector<UserId> members;
+    if (key.index() < byKey_.size()) members = byKey_[key.index()];
+    std::sort(members.begin(), members.end());
+    return members;
+  }
+  [[nodiscard]] std::size_t keyCount() const { return byKey_.size(); }
+
+  // Checkpoint/restore. Member-list order and each user's registration-ref
+  // order are both persisted verbatim: the former drives randomMembers()
+  // draws, the latter drives removeAll()'s removal order and forEach()'s
+  // audit order.
+  void saveState(snapshot::Writer& w) const {
+    w.section(0x4d454d42);  // "BMEM"
+    w.u64(byKey_.size());
+    for (const auto& members : byKey_) {
+      w.u64(members.size());
+      for (const UserId member : members) w.u32(member.value());
+    }
+    w.u64(byUser_.size());
+    for (const auto& refs : byUser_) {
+      w.u64(refs.size());
+      for (const Ref& ref : refs) {
+        w.u32(ref.key.value());
+        w.u32(ref.position);
+      }
+    }
+  }
+  bool loadState(snapshot::Reader& r) {
+    r.section(0x4d454d42, "membership directory");
+    byKey_.clear();
+    byUser_.clear();
+    total_ = 0;
+    byKey_.resize(r.count(8));
+    for (auto& members : byKey_) {
+      members.resize(r.count(4));
+      for (UserId& member : members) member = UserId{r.u32()};
+    }
+    byUser_.resize(r.count(8));
+    for (auto& refs : byUser_) {
+      refs.resize(r.count(8));
+      for (Ref& ref : refs) {
+        ref.key = Key{r.u32()};
+        ref.position = r.u32();
+        ++total_;
+      }
+    }
+    if (!r.ok()) return false;
+    // Cross-check refs against the member lists; a mismatch means a corrupt
+    // (if CRC-valid) file, and applying it would break remove() forever.
+    std::size_t listed = 0;
+    for (const auto& members : byKey_) listed += members.size();
+    if (listed != total_) {
+      r.fail("membership refs/lists disagree");
+      return false;
+    }
+    for (std::size_t u = 0; u < byUser_.size(); ++u) {
+      for (const Ref& ref : byUser_[u]) {
+        if (ref.key.index() >= byKey_.size() ||
+            ref.position >= byKey_[ref.key.index()].size() ||
+            byKey_[ref.key.index()][ref.position].index() != u) {
+          r.fail("membership ref points at the wrong member");
+          return false;
+        }
+      }
+    }
+    return true;
   }
 
   // Up to `count` distinct random members of `key`, excluding `exclude`.

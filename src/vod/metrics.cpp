@@ -59,6 +59,107 @@ SampleSet Metrics::normalizedPeerBandwidth() const {
   return samples;
 }
 
+namespace {
+
+void saveRunningStats(snapshot::Writer& w, const RunningStats& stats) {
+  const RunningStats::State s = stats.state();
+  w.u64(s.count);
+  w.f64(s.mean);
+  w.f64(s.m2);
+  w.f64(s.min);
+  w.f64(s.max);
+}
+
+RunningStats loadRunningStats(snapshot::Reader& r) {
+  RunningStats stats;
+  RunningStats::State s;
+  s.count = static_cast<std::size_t>(r.u64());
+  s.mean = r.f64();
+  s.m2 = r.f64();
+  s.min = r.f64();
+  s.max = r.f64();
+  stats.setState(s);
+  return stats;
+}
+
+void saveSampleSet(snapshot::Writer& w, const SampleSet& samples) {
+  w.boolean(samples.sortPending());
+  w.u64(samples.count());
+  for (const double x : samples.samples()) w.f64(x);
+}
+
+bool loadSampleSet(snapshot::Reader& r, SampleSet* out) {
+  const bool sortPending = r.boolean();
+  std::vector<double> samples(r.count(8));
+  for (double& x : samples) x = r.f64();
+  if (!r.ok()) return false;
+  out->restoreSamples(std::move(samples), sortPending);
+  return true;
+}
+
+}  // namespace
+
+void Metrics::saveState(snapshot::Writer& w) const {
+  w.section(0x4d545243);  // "CRTM"
+  saveSampleSet(w, startupDelayMs_);
+  w.u64(peerChunks_.size());
+  for (const std::uint64_t chunks : peerChunks_) w.u64(chunks);
+  for (const std::uint64_t chunks : serverChunks_) w.u64(chunks);
+  w.u64(linksByVideosWatched_.size());
+  for (const RunningStats& stats : linksByVideosWatched_) {
+    saveRunningStats(w, stats);
+  }
+  saveRunningStats(w, redundantLinks_);
+  w.u64(stallCount_);
+  w.f64(stallSeconds_);
+  w.f64(playbackSeconds_);
+  w.u64(prefetchThrottled_);
+  std::uint64_t counters = 0;
+  registry_.visitCounters(
+      [&counters](std::string_view, std::uint64_t) { ++counters; });
+  w.u64(counters);
+  registry_.visitCounters([&w](std::string_view name, std::uint64_t value) {
+    w.str(name);
+    w.u64(value);
+  });
+}
+
+bool Metrics::loadState(snapshot::Reader& r) {
+  r.section(0x4d545243, "metrics");
+  if (!loadSampleSet(r, &startupDelayMs_)) return false;
+  const std::size_t users = r.count(8);
+  if (!r.ok() || users != peerChunks_.size()) {
+    r.fail("metrics user count mismatch");
+    return false;
+  }
+  for (std::uint64_t& chunks : peerChunks_) chunks = r.u64();
+  for (std::uint64_t& chunks : serverChunks_) chunks = r.u64();
+  const std::size_t buckets = r.count(8);
+  if (!r.ok() || buckets != linksByVideosWatched_.size()) {
+    r.fail("metrics link-bucket count mismatch");
+    return false;
+  }
+  for (RunningStats& stats : linksByVideosWatched_) {
+    stats = loadRunningStats(r);
+  }
+  redundantLinks_ = loadRunningStats(r);
+  stallCount_ = r.u64();
+  stallSeconds_ = r.f64();
+  playbackSeconds_ = r.f64();
+  prefetchThrottled_ = r.u64();
+  const std::size_t counters = r.count(2);
+  for (std::size_t i = 0; i < counters; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    if (!r.ok()) return false;
+    if (!registry_.restoreCounter(name, value)) {
+      r.fail("metrics counter \"" + name + "\" unknown in this run");
+      return false;
+    }
+  }
+  return r.ok();
+}
+
 void Metrics::recordLinks(std::size_t videosWatched, std::size_t links) {
   if (videosWatched >= linksByVideosWatched_.size()) {
     videosWatched = linksByVideosWatched_.size() - 1;

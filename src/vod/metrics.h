@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "snapshot/codec.h"
 #include "util/stats.h"
 #include "util/strong_id.h"
 
@@ -136,6 +137,11 @@ class Metrics {
   }
   [[nodiscard]] obs::Registry& registry() { return registry_; }
   [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
+  // Checkpoint/restore of every accumulated statistic plus all registry
+  // *counters* by name (gauges re-derive from restored component state).
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
  private:
   obs::Registry registry_;

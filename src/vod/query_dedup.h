@@ -32,6 +32,17 @@ class QueryDedup {
     return false;
   }
 
+  // Checkpoint/restore: stamps are outstanding query ids; a restored run
+  // must suppress exactly the same duplicate visits.
+  [[nodiscard]] const std::vector<std::uint64_t>& marks() const {
+    return mark_;
+  }
+  bool restoreMarks(std::vector<std::uint64_t> marks) {
+    if (marks.size() != mark_.size()) return false;
+    mark_ = std::move(marks);
+    return true;
+  }
+
  private:
   std::vector<std::uint64_t> mark_;
 };

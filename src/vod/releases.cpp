@@ -12,15 +12,30 @@ ReleaseManager::ReleaseManager(SystemContext& ctx, VideoSelector& selector,
     : ctx_(ctx),
       selector_(selector),
       feedWatchProbability_(feedWatchProbability),
-      rng_(Rng::forPurpose(seed, "releases")) {}
+      rng_(Rng::forPurpose(seed, "releases")) {
+  ctx_.sim().registerFactory(sim::Component::kReleases, this);
+}
+
+ReleaseManager::~ReleaseManager() {
+  if (ctx_.sim().factory(sim::Component::kReleases) == this) {
+    ctx_.sim().registerFactory(sim::Component::kReleases, nullptr);
+  }
+}
+
+sim::Callback ReleaseManager::rebuild(const sim::EventTag& tag) {
+  assert(tag.kind == kReleaseEvent && "unknown release event kind");
+  const VideoId video{static_cast<std::uint32_t>(tag.a)};
+  return [this, video] { release(video); };
+}
 
 void ReleaseManager::schedule(std::vector<ReleasePlanEntry> plan) {
   for (const ReleasePlanEntry& entry : plan) {
     ctx_.setReleased(entry.video, false);
   }
   for (const ReleasePlanEntry& entry : plan) {
-    ctx_.sim().scheduleAt(entry.at,
-                          [this, video = entry.video] { release(video); });
+    ctx_.sim().scheduleAtTagged(
+        entry.at, sim::makeTag(sim::Component::kReleases, kReleaseEvent,
+                               entry.video.value()));
   }
 }
 
@@ -38,6 +53,31 @@ void ReleaseManager::release(VideoId video) {
       ++feedNotifications_;
     }
   }
+}
+
+void ReleaseManager::saveState(snapshot::Writer& w) const {
+  w.section(0x534c4552);  // "RELS"
+  const Rng::State rng = rng_.state();
+  for (const std::uint64_t word : rng.s) w.u64(word);
+  w.f64(rng.spareNormal);
+  w.boolean(rng.hasSpareNormal);
+  w.u64(releasesFired_);
+  w.u64(feedNotifications_);
+}
+
+bool ReleaseManager::loadState(snapshot::Reader& r) {
+  r.section(0x534c4552, "release manager");
+  Rng::State rng;
+  for (std::uint64_t& word : rng.s) word = r.u64();
+  rng.spareNormal = r.f64();
+  rng.hasSpareNormal = r.boolean();
+  const std::uint64_t fired = r.u64();
+  const std::uint64_t notified = r.u64();
+  if (!r.ok()) return false;
+  rng_.setState(rng);
+  releasesFired_ = static_cast<std::size_t>(fired);
+  feedNotifications_ = static_cast<std::size_t>(notified);
+  return true;
 }
 
 std::vector<ReleasePlanEntry> ReleaseManager::uniformPlan(

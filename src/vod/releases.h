@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/time.h"
+#include "snapshot/codec.h"
 #include "vod/context.h"
 #include "vod/selector.h"
 
@@ -24,12 +25,18 @@ struct ReleasePlanEntry {
   sim::SimTime at;
 };
 
-class ReleaseManager {
+class ReleaseManager final : public sim::EventFactory {
  public:
+  // Tag kinds (Component::kReleases) — append-only, stored in snapshots.
+  static constexpr std::uint8_t kReleaseEvent = 0;  // a = video
+
   // `feedWatchProbability`: chance that a subscriber puts the new upload
   // into their watch queue.
   ReleaseManager(SystemContext& ctx, VideoSelector& selector,
                  double feedWatchProbability, std::uint64_t seed);
+  ~ReleaseManager() override;
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
 
   // Marks every planned video unreleased and schedules its publication.
   // Call once, before Simulator::run().
@@ -39,6 +46,13 @@ class ReleaseManager {
   [[nodiscard]] std::size_t feedNotifications() const {
     return feedNotifications_;
   }
+
+  // Serializes the feed-sampling RNG and the fired/notified tallies.
+  // Pending release events live in the simulator queue; the released flags
+  // themselves live in SystemContext. Do NOT call schedule() on a restored
+  // run — the queue already holds the not-yet-fired releases.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
   // Builds a plan: `perChannel` videos of every channel with more than
   // `minChannelSize` videos (never the channel's top video, so every

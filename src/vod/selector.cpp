@@ -1,5 +1,6 @@
 #include "vod/selector.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 
@@ -165,6 +166,74 @@ VideoId VideoSelector::nextVideo(UserId user, VideoId current) {
     return pickFor(user, channelWithinCategory(rng, other));
   }
   return pickFor(user, channel.id);
+}
+
+void VideoSelector::saveState(snapshot::Writer& w) const {
+  w.section(0x4354454c);  // "LETC" — selector
+  w.u64(userRngs_.size());
+  for (const Rng& rng : userRngs_) {
+    const Rng::State state = rng.state();
+    for (const std::uint64_t word : state.s) w.u64(word);
+    w.f64(state.spareNormal);
+    w.boolean(state.hasSpareNormal);
+  }
+  for (const auto& seen : watched_) {
+    std::vector<VideoId> sorted(seen.begin(), seen.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.u64(sorted.size());
+    for (const VideoId video : sorted) w.u32(video.value());
+  }
+  for (const auto& queue : feed_) {
+    w.u64(queue.size());
+    for (const VideoId video : queue) w.u32(video.value());
+  }
+  w.u64(feedWatches_);
+}
+
+bool VideoSelector::loadState(snapshot::Reader& r) {
+  r.section(0x4354454c, "video selector");
+  const std::size_t userCount = r.count(8 * 4 + 8 + 1);
+  if (!r.ok() || userCount != userRngs_.size()) {
+    r.fail("selector user count mismatch");
+    return false;
+  }
+  std::vector<Rng::State> rngs(userCount);
+  for (Rng::State& state : rngs) {
+    for (std::uint64_t& word : state.s) word = r.u64();
+    state.spareNormal = r.f64();
+    state.hasSpareNormal = r.boolean();
+  }
+  std::vector<std::unordered_set<VideoId>> watched(userCount);
+  for (auto& seen : watched) {
+    const std::size_t n = r.count(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const VideoId video{r.u32()};
+      if (video.index() >= catalog_.videoCount()) {
+        r.fail("selector watched video out of range");
+        return false;
+      }
+      seen.insert(video);
+    }
+  }
+  std::vector<std::deque<VideoId>> feed(userCount);
+  for (auto& queue : feed) {
+    const std::size_t n = r.count(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const VideoId video{r.u32()};
+      if (video.index() >= catalog_.videoCount()) {
+        r.fail("selector feed video out of range");
+        return false;
+      }
+      queue.push_back(video);
+    }
+  }
+  const std::uint64_t feedWatches = r.u64();
+  if (!r.ok()) return false;
+  for (std::size_t i = 0; i < userCount; ++i) userRngs_[i].setState(rngs[i]);
+  watched_ = std::move(watched);
+  feed_ = std::move(feed);
+  feedWatches_ = feedWatches;
+  return true;
 }
 
 }  // namespace st::vod

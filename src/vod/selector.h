@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "snapshot/codec.h"
 #include "trace/catalog.h"
 #include "util/distributions.h"
 #include "util/rng.h"
@@ -50,6 +51,13 @@ class VideoSelector {
   }
   // Feed entries actually watched so far.
   [[nodiscard]] std::uint64_t feedWatches() const { return feedWatches_; }
+
+  // Serializes the per-user RNG streams, watched sets (canonical sorted
+  // order; membership-only at runtime), and feed queues (verbatim order —
+  // it is consumed front-to-back). Samplers and Zipf tables are pure
+  // functions of the catalog and are rebuilt by construction.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
  private:
   // Zipf-weighted pick inside a channel, avoiding videos `user` has already

@@ -20,6 +20,28 @@ SessionDriver::SessionDriver(SystemContext& ctx, VodSystem& system,
       [this](UserId user, VideoId video, sim::SimTime delay, bool timedOut) {
         onPlaybackReady(user, video, delay, timedOut);
       });
+  ctx_.sim().registerFactory(sim::Component::kSession, this);
+}
+
+SessionDriver::~SessionDriver() {
+  if (ctx_.sim().factory(sim::Component::kSession) == this) {
+    ctx_.sim().registerFactory(sim::Component::kSession, nullptr);
+  }
+}
+
+sim::Callback SessionDriver::rebuild(const sim::EventTag& tag) {
+  const UserId user{static_cast<std::uint32_t>(tag.a)};
+  switch (tag.kind) {
+    case kLoginEvent:
+      return [this, user] { login(user); };
+    case kPlaybackDoneEvent: {
+      const VideoId video{static_cast<std::uint32_t>(tag.b)};
+      return [this, user, video] { onPlaybackComplete(user, video); };
+    }
+    default:
+      assert(false && "unknown session event kind");
+      return [] {};
+  }
 }
 
 void SessionDriver::start() {
@@ -28,7 +50,8 @@ void SessionDriver::start() {
     const UserId user{static_cast<std::uint32_t>(i)};
     const sim::SimTime at =
         sim::fromSeconds(userRngs_[i].uniform(0.0, stagger));
-    ctx_.sim().scheduleAt(at, [this, user] { login(user); });
+    ctx_.sim().scheduleAtTagged(
+        at, sim::makeTag(sim::Component::kSession, kLoginEvent, user.value()));
   }
 }
 
@@ -62,8 +85,9 @@ void SessionDriver::onPlaybackReady(UserId user, VideoId video,
   if (timedOut) {
     ctx_.metrics().recordStartupTimeout();
     // The user gave up on this video; move on after a short pause.
-    ctx_.sim().schedule(sim::kSecond,
-                        [this, user, video] { onPlaybackComplete(user, video); });
+    ctx_.sim().scheduleTagged(
+        sim::kSecond, sim::makeTag(sim::Component::kSession, kPlaybackDoneEvent,
+                                   user.value(), video.value()));
     return;
   }
   ctx_.metrics().recordStartupDelay(sim::toMillis(delay));
@@ -74,9 +98,10 @@ void SessionDriver::onPlaybackReady(UserId user, VideoId video,
     // Early abandonment: the viewer quits partway through.
     length *= rng.uniform(0.1, 0.9);
   }
-  ctx_.sim().schedule(sim::fromSeconds(length), [this, user, video] {
-    onPlaybackComplete(user, video);
-  });
+  ctx_.sim().scheduleTagged(
+      sim::fromSeconds(length),
+      sim::makeTag(sim::Component::kSession, kPlaybackDoneEvent, user.value(),
+                   video.value()));
 }
 
 void SessionDriver::onPlaybackComplete(UserId user, VideoId video) {
@@ -127,8 +152,61 @@ void SessionDriver::endSession(UserId user, bool graceful) {
   }
   const double offSeconds = userRngs_[user.index()].exponential(
       ctx_.config().offTimeMeanSeconds);
-  ctx_.sim().schedule(sim::fromSeconds(offSeconds),
-                      [this, user] { login(user); });
+  ctx_.sim().scheduleTagged(
+      sim::fromSeconds(offSeconds),
+      sim::makeTag(sim::Component::kSession, kLoginEvent, user.value()));
+}
+
+void SessionDriver::saveState(snapshot::Writer& w) const {
+  w.section(0x53534553);  // "SESS"
+  w.u64(users_.size());
+  for (const UserState& state : users_) {
+    w.u64(state.sessionsDone);
+    w.u64(state.videosThisSession);
+    w.u32(state.currentVideo.value());
+    w.boolean(state.online);
+  }
+  for (const Rng& rng : userRngs_) {
+    const Rng::State state = rng.state();
+    for (const std::uint64_t word : state.s) w.u64(word);
+    w.f64(state.spareNormal);
+    w.boolean(state.hasSpareNormal);
+  }
+  w.u64(usersCompleted_);
+  w.u64(sessionsCompleted_);
+  w.u64(videosWatched_);
+}
+
+bool SessionDriver::loadState(snapshot::Reader& r) {
+  r.section(0x53534553, "session driver");
+  const std::size_t userCount = r.count(8 + 8 + 4 + 1);
+  if (!r.ok() || userCount != users_.size()) {
+    r.fail("session driver user count mismatch");
+    return false;
+  }
+  std::vector<UserState> users(userCount);
+  for (UserState& state : users) {
+    state.sessionsDone = r.u64();
+    state.videosThisSession = r.u64();
+    state.currentVideo = VideoId{r.u32()};
+    state.online = r.boolean();
+  }
+  std::vector<Rng::State> rngs(userCount);
+  for (Rng::State& state : rngs) {
+    for (std::uint64_t& word : state.s) word = r.u64();
+    state.spareNormal = r.f64();
+    state.hasSpareNormal = r.boolean();
+  }
+  const std::uint64_t usersCompleted = r.u64();
+  const std::uint64_t sessionsCompleted = r.u64();
+  const std::uint64_t videosWatched = r.u64();
+  if (!r.ok()) return false;
+  users_ = std::move(users);
+  for (std::size_t i = 0; i < userCount; ++i) userRngs_[i].setState(rngs[i]);
+  usersCompleted_ = static_cast<std::size_t>(usersCompleted);
+  sessionsCompleted_ = sessionsCompleted;
+  videosWatched_ = videosWatched;
+  return true;
 }
 
 }  // namespace st::vod

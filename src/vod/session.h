@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "snapshot/codec.h"
 #include "vod/context.h"
 #include "vod/selector.h"
 #include "vod/system.h"
@@ -18,11 +19,18 @@
 
 namespace st::vod {
 
-class SessionDriver {
+class SessionDriver final : public sim::EventFactory {
  public:
+  // Tag kinds (Component::kSession) — append-only, stored in snapshots.
+  static constexpr std::uint8_t kLoginEvent = 0;         // a = user
+  static constexpr std::uint8_t kPlaybackDoneEvent = 1;  // a = user, b = video
+
   SessionDriver(SystemContext& ctx, VodSystem& system,
                 TransferManager& transfers, VideoSelector& selector,
                 std::uint64_t seed);
+  ~SessionDriver() override;
+
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
 
   // Schedules the initial logins; call once before Simulator::run().
   void start();
@@ -39,6 +47,12 @@ class SessionDriver {
     return sessionsCompleted_;
   }
   [[nodiscard]] std::uint64_t videosWatched() const { return videosWatched_; }
+
+  // Serializes per-user progress, the churn RNG streams, and the completion
+  // tallies. Pending login / playback-done events live in the simulator
+  // queue and are rebuilt from their tags on restore.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
  private:
   struct UserState {

@@ -46,6 +46,29 @@ class VodSystem {
     (void)video;
   }
 
+  // --- transfer lifecycle hooks -------------------------------------------------
+  // Invoked by the TransferManager (which holds this system as its client)
+  // instead of per-watch closures, so in-flight transfers survive a
+  // checkpoint/restore. The default reports playback and ignores the rest;
+  // systems override to trigger prefetching and caching.
+  virtual void watchPlaybackReady(UserId user, VideoId video,
+                                  sim::SimTime delay, bool timedOut) {
+    notifyPlayback(user, video, delay, timedOut);
+  }
+  // The watch ended; complete = full video downloaded (cacheable). Not
+  // called when the user goes offline mid-download.
+  virtual void watchFinished(UserId user, VideoId video, bool complete) {
+    (void)user;
+    (void)video;
+    (void)complete;
+  }
+  // A prefetched first chunk landed at `user`.
+  virtual void prefetchArrived(UserId user, VideoId video, bool fromPeer) {
+    (void)user;
+    (void)video;
+    (void)fromPeer;
+  }
+
   // Per-node overlay state, read together once per watched video.
   struct NodeStats {
     // Overlay links the node currently maintains (Fig. 18 metric).

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <memory>
 #include <utility>
+
+#include "vod/system.h"
 
 namespace st::vod {
 
@@ -25,6 +26,43 @@ sim::SimTime TransferManager::admissionDeadline() const {
   return sim::fromSeconds(ctx_.config().overload.admissionDeadlineSeconds);
 }
 
+sim::Callback TransferManager::rebuild(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case kTimeoutEvent:
+      return [this, id = tag.a] { phaseTimeout(id); };
+    case kFirstChunkEvent:
+      return [this, id = tag.a] { firstChunkComplete(id); };
+    case kSegmentEvent:
+      return [this, id = tag.a, index = static_cast<std::size_t>(tag.b)] {
+        segmentComplete(id, index);
+      };
+    case kPrefetchEvent:
+      return [this, flow = FlowId{static_cast<std::uint32_t>(tag.a)}] {
+        prefetchComplete(flow);
+      };
+    default:
+      assert(false && "unknown transfer event kind");
+      return [] {};
+  }
+}
+
+void TransferManager::onRestored(const sim::EventTag& tag,
+                                 sim::EventHandle handle) {
+  // Only timeouts live in the simulator queue; completion tags ride inside
+  // flow records and are invoked, never scheduled.
+  assert(tag.kind == kTimeoutEvent);
+  Watch* watch = watches_.find(tag.a);
+  assert(watch != nullptr);
+  watch->timeout = handle;
+}
+
+void TransferManager::reportPlaybackReady(UserId user, VideoId video,
+                                          sim::SimTime delay, bool timedOut) {
+  if (client_ != nullptr) {
+    client_->watchPlaybackReady(user, video, delay, timedOut);
+  }
+}
+
 void TransferManager::startWatch(WatchRequest request) {
   assert(!request.provider.valid() || ctx_.isOnline(request.provider));
 
@@ -34,8 +72,7 @@ void TransferManager::startWatch(WatchRequest request) {
   watch.provider = request.provider;
   watch.extraProviders = std::move(request.extraProviders);
   watch.requestTime = request.requestTime;
-  watch.onPlaybackReady = std::move(request.onPlaybackReady);
-  watch.onFinished = std::move(request.onFinished);
+  watch.playbackPending = request.reportPlayback;
 
   const VideoAsset& asset = ctx_.library().asset(request.video);
   const WatchId id = watches_.insert(std::move(watch));
@@ -44,10 +81,10 @@ void TransferManager::startWatch(WatchRequest request) {
 
   if (request.firstChunkCached) {
     // Prefetch hit: playback starts now; only the body is fetched.
-    if (w.onPlaybackReady) {
-      auto ready = std::move(w.onPlaybackReady);
-      w.onPlaybackReady = nullptr;
-      ready(ctx_.sim().now() - w.requestTime, false);
+    if (w.playbackPending) {
+      w.playbackPending = false;
+      reportPlaybackReady(w.user, w.video, ctx_.sim().now() - w.requestTime,
+                          false);
     }
     if (ctx_.library().bodyBytes(request.video) == 0) {
       finishWatch(id, true);
@@ -58,8 +95,9 @@ void TransferManager::startWatch(WatchRequest request) {
   }
 
   w.phaseBytes = asset.chunkBytes;
-  w.timeout = ctx_.sim().schedule(ctx_.config().firstChunkTimeout,
-                                  [this, id] { phaseTimeout(id); });
+  w.timeout = ctx_.sim().scheduleTagged(
+      ctx_.config().firstChunkTimeout,
+      sim::makeTag(sim::Component::kTransfer, kTimeoutEvent, id));
   beginFirstChunk(id, w.provider, asset.chunkBytes);
 }
 
@@ -72,10 +110,11 @@ void TransferManager::beginFirstChunk(WatchId id, UserId provider,
   options.flowClass = provider.valid() ? net::FlowClass::kPlayback
                                        : net::FlowClass::kServerFallback;
   options.deadline = admissionDeadline();
+  options.completionTag =
+      sim::makeTag(sim::Component::kTransfer, kFirstChunkEvent, id);
   watch.flow = ctx_.network().flows().startFlow(
       sourceEndpoint(provider), ctx_.endpointOf(watch.user),
-      std::max<std::uint64_t>(bytesRemaining, 1), options,
-      [this, id] { firstChunkComplete(id); });
+      std::max<std::uint64_t>(bytesRemaining, 1), options);
   if (!watch.flow.valid()) {
     // Admission control shed the request: the watch ends exactly as if its
     // first chunk had timed out — a fast, explicit rejection instead of
@@ -94,8 +133,9 @@ void TransferManager::beginBody(WatchId id) {
 
   watch.phase = Phase::kBody;
   watch.bodyStart = ctx_.sim().now();
-  watch.timeout = ctx_.sim().schedule(ctx_.config().bodyDownloadTimeout,
-                                      [this, id] { phaseTimeout(id); });
+  watch.timeout = ctx_.sim().scheduleTagged(
+      ctx_.config().bodyDownloadTimeout,
+      sim::makeTag(sim::Component::kTransfer, kTimeoutEvent, id));
 
   // Provider set for striping: the primary source plus any live extras,
   // bounded by the configured stripe width and by the chunk count.
@@ -145,10 +185,11 @@ bool TransferManager::startSegmentFlow(WatchId id, std::size_t segmentIndex,
   net::FlowNetwork::FlowOptions options;
   options.flowClass = provider.valid() ? net::FlowClass::kPlayback
                                        : net::FlowClass::kServerFallback;
+  options.completionTag = sim::makeTag(sim::Component::kTransfer,
+                                       kSegmentEvent, id, segmentIndex);
   segment.flow = ctx_.network().flows().startFlow(
       sourceEndpoint(provider), ctx_.endpointOf(watch.user), remaining,
-      options,
-      [this, id, segmentIndex] { segmentComplete(id, segmentIndex); });
+      options);
   if (!segment.flow.valid()) return false;
   watchFlows_[segment.flow] = id;
   return true;
@@ -218,9 +259,10 @@ void TransferManager::eraseWatch(WatchId id) {
 
 void TransferManager::finishWatch(WatchId id, bool complete) {
   Watch& watch = *watches_.find(id);
-  auto finished = std::move(watch.onFinished);
+  const UserId user = watch.user;
+  const VideoId video = watch.video;
   eraseWatch(id);
-  if (finished) finished(complete);
+  if (client_ != nullptr) client_->watchFinished(user, video, complete);
 }
 
 void TransferManager::firstChunkComplete(WatchId id) {
@@ -242,10 +284,10 @@ void TransferManager::firstChunkComplete(WatchId id) {
     ctx_.reportNeighborSuccess(watch.user, watch.provider);
   }
 
-  if (watch.onPlaybackReady) {
-    auto ready = std::move(watch.onPlaybackReady);
-    watch.onPlaybackReady = nullptr;
-    ready(ctx_.sim().now() - watch.requestTime, false);
+  if (watch.playbackPending) {
+    watch.playbackPending = false;
+    reportPlaybackReady(watch.user, watch.video,
+                        ctx_.sim().now() - watch.requestTime, false);
   }
   if (ctx_.library().bodyBytes(watch.video) == 0) {
     finishWatch(id, true);
@@ -301,17 +343,16 @@ void TransferManager::phaseTimeout(WatchId id) {
   if (found == nullptr) return;
   Watch& watch = *found;
   cancelWatchFlows(watch);
-  if (watch.phase == Phase::kFirstChunk && watch.onPlaybackReady) {
-    auto ready = std::move(watch.onPlaybackReady);
-    watch.onPlaybackReady = nullptr;
-    ready(ctx_.sim().now() - watch.requestTime, true);
+  if (watch.phase == Phase::kFirstChunk && watch.playbackPending) {
+    watch.playbackPending = false;
+    reportPlaybackReady(watch.user, watch.video,
+                        ctx_.sim().now() - watch.requestTime, true);
   }
   finishWatch(id, false);
 }
 
 void TransferManager::startPrefetch(UserId user, VideoId video,
-                                    UserId provider,
-                                    std::function<void(bool)> onComplete) {
+                                    UserId provider) {
   assert(!provider.valid() || ctx_.isOnline(provider));
   // Backpressure: speculative fetches yield when the user's credit is spent
   // or their downlink is already busy with real downloads.
@@ -333,20 +374,19 @@ void TransferManager::startPrefetch(UserId user, VideoId video,
   prefetch.video = video;
   prefetch.provider = provider;
   prefetch.fromPeer = provider.valid();
-  prefetch.onComplete = std::move(onComplete);
-  // The flow id is assigned by startFlow, but the completion callback needs
-  // it; flows never complete synchronously, so filling the shared slot right
-  // after the call is safe.
-  auto flowSlot = std::make_shared<FlowId>();
   net::FlowNetwork::FlowOptions options;
   options.flowClass = net::FlowClass::kPrefetch;
   const FlowId flow = ctx_.network().flows().startFlow(
       sourceEndpoint(provider), ctx_.endpointOf(user), asset.chunkBytes,
-      options, [this, flowSlot] { prefetchComplete(*flowSlot); });
+      options);
   if (!flow.valid()) return;  // shed at the source; silently dropped
-  *flowSlot = flow;
+  // The completion tag needs the flow id startFlow just assigned; flows
+  // never complete synchronously, so attaching it afterwards is race-free.
+  ctx_.network().flows().setCompletionTag(
+      flow,
+      sim::makeTag(sim::Component::kTransfer, kPrefetchEvent, flow.value()));
   ++prefetchInFlight_[user.index()];
-  prefetches_.emplace(flow, std::move(prefetch));
+  prefetches_.emplace(flow, prefetch);
 }
 
 void TransferManager::forgetPrefetch(const Prefetch& prefetch) {
@@ -358,7 +398,7 @@ void TransferManager::forgetPrefetch(const Prefetch& prefetch) {
 void TransferManager::prefetchComplete(FlowId flow) {
   const auto it = prefetches_.find(flow);
   if (it == prefetches_.end()) return;
-  Prefetch prefetch = std::move(it->second);
+  const Prefetch prefetch = it->second;
   prefetches_.erase(it);
   forgetPrefetch(prefetch);
   if (prefetch.provider.valid()) {
@@ -367,7 +407,9 @@ void TransferManager::prefetchComplete(FlowId flow) {
   ctx_.metrics().recordChunks(
       prefetch.user,
       prefetch.fromPeer ? ChunkSource::kPeer : ChunkSource::kServer, 1);
-  if (prefetch.onComplete) prefetch.onComplete(prefetch.fromPeer);
+  if (client_ != nullptr) {
+    client_->prefetchArrived(prefetch.user, prefetch.video, prefetch.fromPeer);
+  }
 }
 
 void TransferManager::onUserOffline(UserId user) {
@@ -458,6 +500,168 @@ void TransferManager::failOverToServer(FlowId flow, std::uint64_t bytesDone) {
     }
     return;
   }
+}
+
+// --- checkpoint/restore -------------------------------------------------------
+
+void TransferManager::saveState(snapshot::Writer& w) const {
+  w.section(0x52454658);  // "XFER"
+  w.u64(watches_.slotCount());
+  watches_.visitSlots([&w](std::uint32_t, bool live, std::uint32_t gen,
+                           std::uint32_t nextFree, const Watch& watch) {
+    w.boolean(live);
+    w.u32(gen);
+    w.u32(nextFree);
+    if (!live) return;
+    w.u32(watch.user.value());
+    w.u32(watch.video.value());
+    w.u32(watch.provider.value());
+    w.u64(watch.extraProviders.size());
+    for (const UserId extra : watch.extraProviders) w.u32(extra.value());
+    w.u8(static_cast<std::uint8_t>(watch.phase));
+    w.i64(watch.requestTime);
+    w.i64(watch.bodyStart);
+    w.u32(watch.flow.value());
+    w.u64(watch.segments.size());
+    for (const Segment& segment : watch.segments) {
+      w.u32(segment.flow.value());
+      w.u32(segment.provider.value());
+      w.u64(segment.chunks);
+      w.u64(segment.bytes);
+      w.u64(segment.bytesDone);
+      w.u64(segment.credited);
+      w.boolean(segment.done);
+    }
+    w.u64(watch.phaseBytes);
+    w.u64(watch.phaseBytesDone);
+    w.u64(watch.phaseCredited);
+    w.boolean(watch.playbackPending);
+  });
+  w.u32(watches_.freeHead());
+  w.u64(userWatches_.size());
+  for (const std::vector<WatchId>& list : userWatches_) {
+    w.u64(list.size());
+    for (const WatchId id : list) w.u64(id);
+  }
+  w.u64(watchFlows_.size());
+  for (const auto& [flow, id] : watchFlows_) {
+    w.u32(flow.value());
+    w.u64(id);
+  }
+  w.u64(prefetches_.size());
+  for (const auto& [flow, prefetch] : prefetches_) {
+    w.u32(flow.value());
+    w.u32(prefetch.user.value());
+    w.u32(prefetch.video.value());
+    w.u32(prefetch.provider.value());
+    w.boolean(prefetch.fromPeer);
+  }
+  w.u64(prefetchInFlight_.size());
+  for (const std::uint32_t inFlight : prefetchInFlight_) w.u32(inFlight);
+}
+
+bool TransferManager::loadState(snapshot::Reader& r) {
+  r.section(0x52454658, "transfer manager");
+  const std::size_t slotCount = r.count(1 + 4 + 4);
+  if (!r.ok()) return false;
+  watches_.beginRestore();
+  for (std::size_t i = 0; i < slotCount; ++i) {
+    const bool live = r.boolean();
+    const std::uint32_t gen = r.u32();
+    const std::uint32_t nextFree = r.u32();
+    Watch watch;
+    if (live) {
+      watch.user = UserId{r.u32()};
+      watch.video = VideoId{r.u32()};
+      watch.provider = UserId{r.u32()};
+      watch.extraProviders.resize(r.count(4));
+      for (UserId& extra : watch.extraProviders) extra = UserId{r.u32()};
+      const std::uint8_t phase = r.u8();
+      watch.requestTime = r.i64();
+      watch.bodyStart = r.i64();
+      watch.flow = FlowId{r.u32()};
+      watch.segments.resize(r.count(4 + 4 + 8 + 8 + 8 + 8 + 1));
+      for (Segment& segment : watch.segments) {
+        segment.flow = FlowId{r.u32()};
+        segment.provider = UserId{r.u32()};
+        segment.chunks = r.u64();
+        segment.bytes = r.u64();
+        segment.bytesDone = r.u64();
+        segment.credited = r.u64();
+        segment.done = r.boolean();
+      }
+      watch.phaseBytes = r.u64();
+      watch.phaseBytesDone = r.u64();
+      watch.phaseCredited = r.u64();
+      watch.playbackPending = r.boolean();
+      if (!r.ok()) return false;
+      if (phase > static_cast<std::uint8_t>(Phase::kBody) ||
+          watch.user.index() >= userWatches_.size()) {
+        r.fail("watch record out of range");
+        return false;
+      }
+      watch.phase = static_cast<Phase>(phase);
+    }
+    if (!r.ok()) return false;
+    watches_.restoreSlot(live, gen, nextFree, std::move(watch));
+  }
+  const std::uint32_t freeHead = r.u32();
+  if (!r.ok()) return false;
+  if (!watches_.finishRestore(freeHead)) {
+    r.fail("watch arena free list corrupt");
+    return false;
+  }
+  const std::size_t users = r.count(8);
+  if (!r.ok() || users != userWatches_.size()) {
+    r.fail("transfer user count mismatch");
+    return false;
+  }
+  for (std::vector<WatchId>& list : userWatches_) {
+    list.resize(r.count(8));
+    for (WatchId& id : list) {
+      id = r.u64();
+      if (!r.ok()) return false;
+      if (watches_.find(id) == nullptr) {
+        r.fail("user watch list references a stale watch id");
+        return false;
+      }
+    }
+  }
+  const std::size_t flowCount = r.count(4 + 8);
+  watchFlows_.clear();
+  for (std::size_t i = 0; i < flowCount; ++i) {
+    const FlowId flow{r.u32()};
+    const WatchId id = r.u64();
+    if (!r.ok()) return false;
+    if (watches_.find(id) == nullptr) {
+      r.fail("flow map references a stale watch id");
+      return false;
+    }
+    watchFlows_.emplace(flow, id);
+  }
+  const std::size_t prefetchCount = r.count(4 + 4 + 4 + 4 + 1);
+  prefetches_.clear();
+  for (std::size_t i = 0; i < prefetchCount; ++i) {
+    const FlowId flow{r.u32()};
+    Prefetch prefetch;
+    prefetch.user = UserId{r.u32()};
+    prefetch.video = VideoId{r.u32()};
+    prefetch.provider = UserId{r.u32()};
+    prefetch.fromPeer = r.boolean();
+    if (!r.ok()) return false;
+    if (prefetch.user.index() >= prefetchInFlight_.size()) {
+      r.fail("prefetch record out of range");
+      return false;
+    }
+    prefetches_.emplace(flow, prefetch);
+  }
+  const std::size_t inFlightCount = r.count(4);
+  if (!r.ok() || inFlightCount != prefetchInFlight_.size()) {
+    r.fail("prefetch tally count mismatch");
+    return false;
+  }
+  for (std::uint32_t& inFlight : prefetchInFlight_) inFlight = r.u32();
+  return r.ok();
 }
 
 // --- invariant audit ----------------------------------------------------------

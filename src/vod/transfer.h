@@ -14,8 +14,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "util/slot_pool.h"
@@ -24,14 +23,40 @@
 
 namespace st::vod {
 
-class TransferManager {
+class VodSystem;
+
+class TransferManager : public sim::EventFactory {
  public:
   explicit TransferManager(SystemContext& ctx)
       : ctx_(ctx),
         userWatches_(ctx.catalog().userCount()),
-        prefetchInFlight_(ctx.catalog().userCount(), 0) {}
+        prefetchInFlight_(ctx.catalog().userCount(), 0) {
+    ctx_.sim().registerFactory(sim::Component::kTransfer, this);
+  }
+  ~TransferManager() override {
+    if (ctx_.sim().factory(sim::Component::kTransfer) == this) {
+      ctx_.sim().registerFactory(sim::Component::kTransfer, nullptr);
+    }
+  }
   TransferManager(const TransferManager&) = delete;
   TransferManager& operator=(const TransferManager&) = delete;
+
+  // The system notified of playback/finish/prefetch outcomes. Set by the
+  // system's constructor (the system owns the response to every transfer
+  // event); may be null in unit tests, then outcomes are dropped.
+  void setClient(VodSystem* client) { client_ = client; }
+
+  // Tag kinds for Component::kTransfer events (snapshot format; append
+  // only). kTimeout lives in the simulator queue; the other kinds ride as
+  // flow completion tags and are invoked when the last byte arrives.
+  static constexpr std::uint8_t kTimeoutEvent = 0;     // a = watch id
+  static constexpr std::uint8_t kFirstChunkEvent = 1;  // a = watch id
+  static constexpr std::uint8_t kSegmentEvent = 2;     // a = watch id, b = idx
+  static constexpr std::uint8_t kPrefetchEvent = 3;    // a = flow id
+
+  // EventFactory for Component::kTransfer.
+  [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
+  void onRestored(const sim::EventTag& tag, sim::EventHandle handle) override;
 
   struct WatchRequest {
     UserId user;
@@ -47,24 +72,22 @@ class TransferManager {
     std::vector<UserId> extraProviders;
     // When the user selected the video; startup delay is measured from here.
     sim::SimTime requestTime = 0;
-    // Fired exactly once: either playback becomes ready (timedOut = false)
-    // or the first chunk timed out (timedOut = true, watch abandoned). May
-    // be null (prefetch-hit watches report playback through other means).
-    std::function<void(sim::SimTime delay, bool timedOut)> onPlaybackReady;
-    // Fired when the watch ends: complete = full video downloaded (cacheable).
-    // Not fired if the user goes offline mid-download.
-    std::function<void(bool complete)> onFinished;
+    // When true, the client's watchPlaybackReady fires exactly once: either
+    // playback becomes ready (timedOut = false) or the first chunk timed
+    // out (timedOut = true, watch abandoned). Prefetch-hit watches report
+    // playback through other means and pass false.
+    bool reportPlayback = true;
   };
 
   // Starts a watch. Any still-running watch of the same user is demoted to a
-  // background download (it completes and caches normally).
+  // background download (it completes and caches normally). Outcomes are
+  // reported through the client system's watchPlaybackReady/watchFinished.
   void startWatch(WatchRequest request);
 
   // Prefetch the first chunk of `video` from `provider` (or the server when
-  // invalid). `onComplete(fromPeer)` fires when the chunk lands; silently
-  // dropped if either side churns first.
-  void startPrefetch(UserId user, VideoId video, UserId provider,
-                     std::function<void(bool fromPeer)> onComplete);
+  // invalid). The client's prefetchArrived(user, video, fromPeer) fires when
+  // the chunk lands; silently dropped if either side churns first.
+  void startPrefetch(UserId user, VideoId video, UserId provider);
 
   // The user left: abort their downloads and prefetches, and fail over any
   // remote downloads this user was serving to the origin server.
@@ -85,6 +108,13 @@ class TransferManager {
   // would leave behind after a crash. The invariant checker must flag it
   // when the user is offline.
   void injectWatchForTest(UserId user, VideoId video);
+
+  // Checkpoint/restore: the watch arena (whole slot pool, so outstanding
+  // WatchIds stay stable), per-user watch lists, flow-to-watch maps,
+  // prefetch records, and the backpressure tallies. Watch timeout handles
+  // are re-stored by onRestored() while the simulator queue loads.
+  void saveState(snapshot::Writer& w) const;
+  bool loadState(snapshot::Reader& r);
 
  private:
   enum class Phase { kFirstChunk, kBody };
@@ -115,8 +145,8 @@ class TransferManager {
     std::uint64_t phaseBytes = 0;      // first-chunk phase bytes
     std::uint64_t phaseBytesDone = 0;  // delivered by earlier providers
     std::uint64_t phaseCredited = 0;   // chunks already credited (first chunk)
-    std::function<void(sim::SimTime, bool)> onPlaybackReady;
-    std::function<void(bool)> onFinished;
+    // True until watchPlaybackReady has been delivered (exactly once).
+    bool playbackPending = false;
   };
 
   // Generation-stamped SlotPool id: watch records are pooled, not churned
@@ -158,20 +188,24 @@ class TransferManager {
     VideoId video;
     UserId provider;  // invalid = the origin server
     bool fromPeer = false;
-    std::function<void(bool)> onComplete;
   };
 
   void forgetPrefetch(const Prefetch& prefetch);
+  // Delivers an outcome to the client system (no-op without a client).
+  void reportPlaybackReady(UserId user, VideoId video, sim::SimTime delay,
+                           bool timedOut);
 
   SystemContext& ctx_;
+  VodSystem* client_ = nullptr;
   SlotPool<Watch> watches_;
   // Indexed by user; a user has at most a handful of concurrent watches.
   std::vector<std::vector<WatchId>> userWatches_;
   // Maps a flow to its watch; segment flows are found by scanning the
-  // watch's (small) segment list. Flow ids are minted by the flow engine,
-  // so these stay keyed maps.
-  std::unordered_map<FlowId, WatchId> watchFlows_;
-  std::unordered_map<FlowId, Prefetch> prefetches_;
+  // watch's (small) segment list. Flow ids are minted by the flow engine.
+  // Ordered maps: iteration feeds the offline sweep and the snapshot, so
+  // both are canonical by flow id.
+  std::map<FlowId, WatchId> watchFlows_;
+  std::map<FlowId, Prefetch> prefetches_;
   // In-flight prefetches per user, for the credit-based backpressure knob.
   // Maintained unconditionally (pure bookkeeping); consulted only when the
   // overload config sets a credit, so baseline runs are untouched.

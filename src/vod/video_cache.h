@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "snapshot/codec.h"
 #include "util/rng.h"
 #include "util/strong_id.h"
 
@@ -48,6 +49,29 @@ class VideoCache {
   }
 
   void clear();
+
+  // Checkpoint/restore: insertion order is behavioral (FIFO eviction and
+  // randomVideo() draws by position), so both ordered sequences persist
+  // verbatim and the hash sets are rebuilt from them.
+  void saveState(snapshot::Writer& w) const {
+    w.u64(videoOrder_.size());
+    for (const VideoId v : videoOrder_) w.u32(v.value());
+    w.u64(prefetchOrder_.size());
+    for (const VideoId v : prefetchOrder_) w.u32(v.value());
+  }
+  bool loadState(snapshot::Reader& r) {
+    clear();
+    videoOrder_.resize(r.count(4));
+    for (VideoId& v : videoOrder_) v = VideoId{r.u32()};
+    const std::size_t prefetched = r.count(4);
+    for (std::size_t i = 0; i < prefetched; ++i) {
+      prefetchOrder_.push_back(VideoId{r.u32()});
+    }
+    if (!r.ok()) return false;
+    videos_.insert(videoOrder_.begin(), videoOrder_.end());
+    prefetched_.insert(prefetchOrder_.begin(), prefetchOrder_.end());
+    return true;
+  }
 
  private:
   void evictIfNeeded();

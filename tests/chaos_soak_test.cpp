@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "exp/multiseed.h"
 #include "exp/runner.h"
+#include "snapshot_harness.h"
+#include "util/thread_pool.h"
 #include "vod/overload.h"
 
 namespace st::exp {
@@ -131,6 +135,78 @@ TEST(ChaosSoak, OverloadLadderUnderFaultsStaysInvariantCleanAndDeterministic) {
     EXPECT_EQ(run.aggregatePeerFraction(), other.aggregatePeerFraction())
         << "seed " << run.seed;
     EXPECT_EQ(run.uploadGini, other.uploadGini) << "seed " << run.seed;
+  }
+}
+
+// Restore-resumes-chaos: snapshot each seed's faulted day at t=10h — after
+// the crash wave, lossy window, partition, and blackhole, with the second
+// half (outage + second crash wave) still pending in the injector — then
+// restore and run the remaining half. The resumed runs must finish bitwise-
+// identical to their uninterrupted twins, keep the structural contract
+// clean, and stay bitwise-equal whether the restores execute sequentially
+// or on an 8-thread pool.
+TEST(ChaosSoak, RestoreMidSoakResumesCleanAndDeterministic) {
+  constexpr std::uint64_t kRestoreSeeds[] = {11, 12, 13};
+  constexpr std::size_t kCount = std::size(kRestoreSeeds);
+  const sim::SimTime saveAt = 10 * sim::kHour;
+
+  std::vector<std::string> paths(kCount);
+  std::vector<ExperimentResult> baseline(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ExperimentConfig warm = chaosConfig();
+    warm.seed = kRestoreSeeds[i];
+    warm.trace.seed = kRestoreSeeds[i];
+    paths[i] = st::testing::snapshotPath("seed" +
+                                         std::to_string(kRestoreSeeds[i]));
+    warm.snapshot.out = paths[i];
+    warm.snapshot.at = saveAt;
+    baseline[i] = runExperiment(warm, SystemKind::kSocialTube);
+  }
+
+  const auto restored = [&](std::size_t i) {
+    ExperimentConfig resumed = chaosConfig();
+    resumed.seed = kRestoreSeeds[i];
+    resumed.trace.seed = kRestoreSeeds[i];
+    resumed.snapshot.in = paths[i];
+    return runExperiment(resumed, SystemKind::kSocialTube);
+  };
+  std::vector<ExperimentResult> sequential(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) sequential[i] = restored(i);
+  std::vector<ExperimentResult> parallel(kCount);
+  {
+    ThreadPool pool(8);
+    parallelFor(&pool, kCount, [&](std::size_t i) { parallel[i] = restored(i); });
+  }
+
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const std::uint64_t seed = kRestoreSeeds[i];
+    // The whole schedule executed across the seam: four events before the
+    // snapshot, outage and second crash wave after the restore.
+    EXPECT_EQ(sequential[i].counter("fault.events"), 6u) << "seed " << seed;
+    // Audits kept running on the resumed half and stayed clean.
+    EXPECT_EQ(sequential[i].counter("invariant.violations"), 0u)
+        << "seed " << seed;
+    EXPECT_GT(sequential[i].counter("invariant.audits"), 100u)
+        << "seed " << seed;
+    // Bitwise equality with the run that never stopped...
+    EXPECT_TRUE(sequential[i].counters == baseline[i].counters)
+        << "seed " << seed;
+    EXPECT_EQ(sequential[i].overlayFingerprint, baseline[i].overlayFingerprint)
+        << "seed " << seed;
+    EXPECT_EQ(sequential[i].startupDelayMs.mean(),
+              baseline[i].startupDelayMs.mean())
+        << "seed " << seed;
+    EXPECT_EQ(sequential[i].uploadGini, baseline[i].uploadGini)
+        << "seed " << seed;
+    // ...and across restore thread counts.
+    EXPECT_TRUE(sequential[i].counters == parallel[i].counters)
+        << "seed " << seed;
+    EXPECT_EQ(sequential[i].overlayFingerprint, parallel[i].overlayFingerprint)
+        << "seed " << seed;
+    EXPECT_EQ(sequential[i].startupDelayMs.mean(),
+              parallel[i].startupDelayMs.mean())
+        << "seed " << seed;
+    std::remove(paths[i].c_str());
   }
 }
 

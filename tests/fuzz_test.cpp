@@ -2,12 +2,20 @@
 // sequences and compare against simple reference models (oracles).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "exp/config.h"
+#include "exp/runner.h"
 #include "fault/schedule.h"
 #include "sim/simulator.h"
+#include "snapshot/codec.h"
+#include "snapshot/snapshot.h"
+#include "snapshot_harness.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "vod/membership.h"
@@ -262,6 +270,185 @@ TEST_P(ScheduleFuzz, WellFormedSpecsAlwaysParse) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz, ::testing::Values(1, 2, 3));
+
+// --- Snapshot deserialization under hostile bytes ------------------------------
+
+// The codec promises restore-or-nothing on bad input: any mutation of a
+// snapshot file must either restore (a flipped bit in, say, a counter value
+// can survive a recomputed CRC) or come back as `false` plus an error
+// message — never a crash, hang, or sanitizer report. These tests run under
+// ASan+UBSan in scripts/sanitize.sh.
+namespace snapshot_fuzz {
+
+// Header layout (snapshot/codec.h): magic u32 @0, version u32 @4,
+// body-length u64 @8, body crc32 u32 @16, body @20.
+constexpr std::size_t kHeaderBytes = 20;
+
+exp::ExperimentConfig tinyConfig() {
+  exp::ExperimentConfig config = exp::ExperimentConfig::simulationDefaults(41);
+  config = config.scaledTo(40, 1);
+  config.duration = sim::kHour;
+  return config;
+}
+
+// One valid donor snapshot shared by every mutation below, taken mid-run so
+// the file carries a live event queue, overlay, and in-flight transfers.
+const std::vector<std::uint8_t>& donorBytes() {
+  static const std::vector<std::uint8_t>* bytes = [] {
+    exp::ExperimentConfig config = tinyConfig();
+    config.snapshot.out = st::testing::snapshotPath("fuzz_donor");
+    config.snapshot.at = sim::kHour / 2;
+    exp::runExperiment(config, exp::SystemKind::kSocialTube);
+    auto* out = new std::vector<std::uint8_t>;
+    std::string error;
+    if (!snapshot::Reader::readFile(config.snapshot.out, out, &error)) {
+      ADD_FAILURE() << "donor snapshot unreadable: " << error;
+    }
+    std::remove(config.snapshot.out.c_str());
+    return out;
+  }();
+  return *bytes;
+}
+
+// Rewrites the header's length and CRC fields to match the (possibly
+// mutated) body, so the mutation reaches the section parsers instead of
+// being caught by the header check.
+void fixupHeader(std::vector<std::uint8_t>* file) {
+  const std::uint64_t length = file->size() - kHeaderBytes;
+  for (int i = 0; i < 8; ++i) {
+    (*file)[8 + i] = static_cast<std::uint8_t>(length >> (8 * i));
+  }
+  const std::uint32_t crc = snapshot::crc32(
+      file->data() + kHeaderBytes, static_cast<std::size_t>(length));
+  for (int i = 0; i < 4; ++i) {
+    (*file)[16 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+// Full restore attempt into a fresh stack. Returns restore()'s verdict;
+// the caller asserts on cleanliness, not on rejection.
+bool tryRestore(const std::vector<std::uint8_t>& file, std::string* error) {
+  const std::string path = st::testing::snapshotPath("mutant");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot write mutant file";
+    return false;
+  }
+  if (!file.empty()) std::fwrite(file.data(), 1, file.size(), f);
+  std::fclose(f);
+  st::testing::RestoreStack stack(tinyConfig(),
+                                  exp::SystemKind::kSocialTube);
+  const bool ok =
+      snapshot::restore(path, stack.participants(), stack.compat(), error);
+  std::remove(path.c_str());
+  return ok;
+}
+
+}  // namespace snapshot_fuzz
+
+TEST(SnapshotFuzz, DonorRestoresIntact) {
+  std::string error;
+  EXPECT_TRUE(snapshot_fuzz::tryRestore(snapshot_fuzz::donorBytes(), &error))
+      << error;
+}
+
+TEST(SnapshotFuzz, TruncationAtEveryHeaderLengthFailsCleanly) {
+  const std::vector<std::uint8_t>& donor = snapshot_fuzz::donorBytes();
+  ASSERT_GT(donor.size(), snapshot_fuzz::kHeaderBytes);
+  for (std::size_t len = 0; len <= snapshot_fuzz::kHeaderBytes; ++len) {
+    std::vector<std::uint8_t> cut(donor.begin(), donor.begin() + len);
+    snapshot::Reader reader(cut);
+    EXPECT_FALSE(reader.ok()) << "length " << len;
+    EXPECT_FALSE(reader.error().empty()) << "length " << len;
+  }
+}
+
+TEST(SnapshotFuzz, TruncationAnywhereFailsCleanly) {
+  const std::vector<std::uint8_t>& donor = snapshot_fuzz::donorBytes();
+  Rng rng(97);
+  for (int step = 0; step < 40; ++step) {
+    const auto len = static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(donor.size())));
+    std::vector<std::uint8_t> cut(donor.begin(), donor.begin() + len);
+    std::string error;
+    EXPECT_FALSE(snapshot_fuzz::tryRestore(cut, &error)) << "length " << len;
+    EXPECT_FALSE(error.empty()) << "length " << len;
+  }
+}
+
+TEST(SnapshotFuzz, EveryHeaderBitFlipIsRefused) {
+  const std::vector<std::uint8_t>& donor = snapshot_fuzz::donorBytes();
+  for (std::size_t byte = 0; byte < snapshot_fuzz::kHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutant = donor;
+      mutant[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      snapshot::Reader reader(std::move(mutant));
+      // Magic, version, length, or CRC — some header check must trip.
+      EXPECT_FALSE(reader.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_FALSE(reader.error().empty()) << "byte " << byte;
+    }
+  }
+}
+
+TEST(SnapshotFuzz, VersionSkewIsRefusedByName) {
+  for (const std::uint32_t version :
+       {std::uint32_t{0}, snapshot::kFormatVersion + 1, 0xffffffffu}) {
+    std::vector<std::uint8_t> mutant = snapshot_fuzz::donorBytes();
+    for (int i = 0; i < 4; ++i) {
+      mutant[4 + i] = static_cast<std::uint8_t>(version >> (8 * i));
+    }
+    std::string error;
+    EXPECT_FALSE(snapshot_fuzz::tryRestore(mutant, &error));
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+  }
+}
+
+TEST(SnapshotFuzz, FlippedCrcBytesAreRefused) {
+  for (std::size_t i = 16; i < 20; ++i) {
+    std::vector<std::uint8_t> mutant = snapshot_fuzz::donorBytes();
+    mutant[i] ^= 0xff;
+    std::string error;
+    EXPECT_FALSE(snapshot_fuzz::tryRestore(mutant, &error));
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+  }
+}
+
+class SnapshotBodyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Body mutations with the header re-fixed so they reach the section
+// parsers: random bit flips, random byte rewrites, and tail truncations.
+// The only assertions are "no crash" (implicit: ASan/UBSan would abort)
+// and "failure implies an error message".
+TEST_P(SnapshotBodyFuzz, MutatedBodiesNeverCrash) {
+  const std::vector<std::uint8_t>& donor = snapshot_fuzz::donorBytes();
+  Rng rng(GetParam());
+  const std::uint64_t bodySize = donor.size() - snapshot_fuzz::kHeaderBytes;
+  for (int step = 0; step < 24; ++step) {
+    std::vector<std::uint8_t> mutant = donor;
+    const double roll = rng.uniform();
+    if (roll < 0.4) {
+      mutant[snapshot_fuzz::kHeaderBytes + rng.uniformInt(bodySize)] ^=
+          static_cast<std::uint8_t>(1u << rng.uniformInt(std::uint64_t{8}));
+    } else if (roll < 0.8) {
+      const int rewrites = 1 + static_cast<int>(rng.uniformInt(8ull));
+      for (int i = 0; i < rewrites; ++i) {
+        mutant[snapshot_fuzz::kHeaderBytes + rng.uniformInt(bodySize)] =
+            static_cast<std::uint8_t>(rng.uniformInt(std::uint64_t{256}));
+      }
+    } else {
+      mutant.resize(snapshot_fuzz::kHeaderBytes +
+                    rng.uniformInt(bodySize));  // drop the tail
+    }
+    snapshot_fuzz::fixupHeader(&mutant);
+    std::string error;
+    if (!snapshot_fuzz::tryRestore(mutant, &error)) {
+      ASSERT_FALSE(error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotBodyFuzz,
+                         ::testing::Values(11, 12, 13, 14));
 
 // --- Gini coefficient properties ----------------------------------------------
 

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "net/latency.h"
 #include "net/network.h"
@@ -13,9 +15,53 @@
 #include "vod/context.h"
 #include "vod/library.h"
 #include "vod/metrics.h"
+#include "vod/system.h"
 #include "vod/transfer.h"
 
 namespace st::testing {
+
+// Minimal VodSystem that records transfer outcomes. Transfer-level tests
+// install it as the TransferManager's client (the role a real system plays)
+// and assert on the recorded playback / finish / prefetch events.
+class RecordingClient : public vod::VodSystem {
+ public:
+  struct Playback {
+    UserId user;
+    VideoId video;
+    sim::SimTime delay;
+    bool timedOut;
+  };
+  struct Finish {
+    UserId user;
+    VideoId video;
+    bool complete;
+  };
+  struct Prefetch {
+    UserId user;
+    VideoId video;
+    bool fromPeer;
+  };
+  std::vector<Playback> playbacks;
+  std::vector<Finish> finishes;
+  std::vector<Prefetch> prefetches;
+
+  [[nodiscard]] std::string_view name() const override { return "recorder"; }
+  void onLogin(UserId) override {}
+  void onLogout(UserId, bool) override {}
+  void requestVideo(UserId, VideoId) override {}
+  [[nodiscard]] NodeStats nodeStats(UserId) const override { return {}; }
+
+  void watchPlaybackReady(UserId user, VideoId video, sim::SimTime delay,
+                          bool timedOut) override {
+    playbacks.push_back({user, video, delay, timedOut});
+  }
+  void watchFinished(UserId user, VideoId video, bool complete) override {
+    finishes.push_back({user, video, complete});
+  }
+  void prefetchArrived(UserId user, VideoId video, bool fromPeer) override {
+    prefetches.push_back({user, video, fromPeer});
+  }
+};
 
 // Catalog with `channelsPerCategory` channels in each of `categories`
 // categories and `videosPerChannel` videos each; `users` users where user i
@@ -70,7 +116,9 @@ class Stack {
         library_(catalog_, config_),
         metrics_(catalog_.userCount(), config_.videosPerSession),
         ctx_(sim_, network_, catalog_, library_, config_, metrics_, seed),
-        transfers_(ctx_) {}
+        transfers_(ctx_) {
+    transfers_.setClient(&client_);
+  }
 
   sim::Simulator& sim() { return sim_; }
 
@@ -87,6 +135,7 @@ class Stack {
   vod::Metrics& metrics() { return metrics_; }
   vod::SystemContext& ctx() { return ctx_; }
   vod::TransferManager& transfers() { return transfers_; }
+  RecordingClient& client() { return client_; }
   const vod::VodConfig& config() const { return config_; }
 
  private:
@@ -98,6 +147,7 @@ class Stack {
   vod::Metrics metrics_;
   vod::SystemContext ctx_;
   vod::TransferManager transfers_;
+  RecordingClient client_;
 };
 
 }  // namespace st::testing

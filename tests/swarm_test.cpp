@@ -31,22 +31,24 @@ class SwarmTest : public ::testing::Test {
     }
   }
 
+  bool watchCompleted(Stack& stack) {
+    return stack.client().finishes.size() == 1 &&
+           stack.client().finishes[0].complete;
+  }
+
   Stack stack_;
 };
 
 TEST_F(SwarmTest, BodyStripedAcrossProviders) {
-  bool complete = false;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .extraProviders = {kCarol, kDave},
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool c) { complete = c; },
   });
   stack_.sim().run();
-  EXPECT_TRUE(complete);
+  EXPECT_TRUE(watchCompleted(stack_));
   // All 20 chunks peer-delivered (3 providers, no server involvement).
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 20u);
   EXPECT_EQ(stack_.metrics().serverChunks(kAlice), 0u);
@@ -64,50 +66,46 @@ TEST_F(SwarmTest, StripingIsFasterThanSingleSource) {
   for (std::uint32_t u = 0; u < 5; ++u) {
     single.ctx().setOnline(UserId{u}, true);
   }
-  sim::SimTime singleDone = 0;
   single.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .extraProviders = {kCarol, kDave},  // ignored with bodySources = 1
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool) { singleDone = single.sim().now(); },
   });
   single.sim().run();
+  ASSERT_TRUE(watchCompleted(single));
+  // The watch completion is the last event, so now() is the finish time.
+  const sim::SimTime singleDone = single.sim().now();
 
-  sim::SimTime stripedDone = 0;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .extraProviders = {kCarol, kDave},
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool) { stripedDone = stack_.sim().now(); },
   });
   stack_.sim().run();
+  ASSERT_TRUE(watchCompleted(stack_));
+  const sim::SimTime stripedDone = stack_.sim().now();
   EXPECT_LT(stripedDone, singleDone);
   EXPECT_LT(stripedDone, singleDone * 2 / 3);  // ~2.6x faster in theory
 }
 
 TEST_F(SwarmTest, SegmentProviderChurnFailsOverOnlyThatStripe) {
-  bool complete = false;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .extraProviders = {kCarol},
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool c) { complete = c; },
   });
   stack_.sim().schedule(2 * sim::kSecond, [&] {
     stack_.ctx().setOnline(kCarol, false);
     stack_.transfers().onUserOffline(kCarol);
   });
   stack_.sim().run();
-  EXPECT_TRUE(complete);
+  EXPECT_TRUE(watchCompleted(stack_));
   const std::uint64_t peer = stack_.metrics().peerChunks(kAlice);
   const std::uint64_t server = stack_.metrics().serverChunks(kAlice);
   EXPECT_EQ(peer + server, 20u);
@@ -117,18 +115,15 @@ TEST_F(SwarmTest, SegmentProviderChurnFailsOverOnlyThatStripe) {
 
 TEST_F(SwarmTest, DuplicateAndOfflineExtrasAreSkipped) {
   stack_.ctx().setOnline(kDave, false);
-  bool complete = false;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .extraProviders = {kBob, kDave, kCarol},  // dup + offline + good
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool c) { complete = c; },
   });
   stack_.sim().run();
-  EXPECT_TRUE(complete);
+  EXPECT_TRUE(watchCompleted(stack_));
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 20u);
   EXPECT_EQ(
       stack_.network().flows().bytesUploaded(stack_.ctx().endpointOf(kDave)),
@@ -143,18 +138,15 @@ TEST_F(SwarmTest, MoreSourcesThanBodyChunksIsClamped) {
   for (std::uint32_t u = 0; u < 5; ++u) {
     stack.ctx().setOnline(UserId{u}, true);
   }
-  bool complete = false;
   stack.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .extraProviders = {kCarol, kDave},
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool done) { complete = done; },
   });
   stack.sim().run();
-  EXPECT_TRUE(complete);
+  EXPECT_TRUE(watchCompleted(stack));
   EXPECT_EQ(stack.metrics().peerChunks(kAlice), 3u);
 }
 
@@ -165,14 +157,13 @@ TEST_F(SwarmTest, UserOfflineCancelsAllStripes) {
       .provider = kBob,
       .extraProviders = {kCarol, kDave},
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = nullptr,
   });
   stack_.sim().schedule(2 * sim::kSecond, [&] {
     stack_.ctx().setOnline(kAlice, false);
     stack_.transfers().onUserOffline(kAlice);
   });
   stack_.sim().run();
+  EXPECT_TRUE(stack_.client().finishes.empty());
   EXPECT_EQ(stack_.transfers().activeWatches(), 0u);
   EXPECT_EQ(stack_.network().flows().activeFlows(), 0u);
 }

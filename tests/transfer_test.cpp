@@ -26,42 +26,36 @@ class TransferTest : public ::testing::Test {
 };
 
 TEST_F(TransferTest, ServerWatchDeliversPlaybackThenBody) {
-  sim::SimTime delay = -1;
-  bool timedOut = true;
-  bool finished = false;
-  bool complete = false;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = UserId::invalid(),
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = [&](sim::SimTime d, bool t) { delay = d; timedOut = t; },
-      .onFinished = [&](bool c) { finished = true; complete = c; },
   });
   stack_.sim().run();
-  EXPECT_FALSE(timedOut);
-  EXPECT_GT(delay, 0);
-  EXPECT_TRUE(finished);
-  EXPECT_TRUE(complete);
+  auto& client = stack_.client();
+  ASSERT_EQ(client.playbacks.size(), 1u);
+  EXPECT_FALSE(client.playbacks[0].timedOut);
+  EXPECT_GT(client.playbacks[0].delay, 0);
+  ASSERT_EQ(client.finishes.size(), 1u);
+  EXPECT_TRUE(client.finishes[0].complete);
   // All 20 chunks credited to the server.
   EXPECT_EQ(stack_.metrics().serverChunks(kAlice), 20u);
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 0u);
 }
 
 TEST_F(TransferTest, PeerWatchCreditsPeer) {
-  bool complete = false;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool c) { complete = c; },
   });
   stack_.sim().run();
-  EXPECT_TRUE(complete);
+  ASSERT_EQ(stack_.client().finishes.size(), 1u);
+  EXPECT_TRUE(stack_.client().finishes[0].complete);
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 20u);
   EXPECT_EQ(stack_.metrics().serverChunks(kAlice), 0u);
 }
@@ -69,50 +63,45 @@ TEST_F(TransferTest, PeerWatchCreditsPeer) {
 TEST_F(TransferTest, PlaybackDelayEqualsFirstChunkTime) {
   // First chunk = total/20; at min(peer up 1 Mbps, down 4 Mbps) = 1 Mbps.
   const VideoAsset& asset = stack_.library().asset(kVideo);
-  sim::SimTime delay = 0;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = [&](sim::SimTime d, bool) { delay = d; },
-      .onFinished = nullptr,
   });
   stack_.sim().run();
+  ASSERT_EQ(stack_.client().playbacks.size(), 1u);
   const double expectedSeconds =
       static_cast<double>(asset.chunkBytes) * 8.0 / 1e6;
-  EXPECT_NEAR(sim::toSeconds(delay), expectedSeconds, 0.01);
+  EXPECT_NEAR(sim::toSeconds(stack_.client().playbacks[0].delay),
+              expectedSeconds, 0.01);
 }
 
 TEST_F(TransferTest, PrefetchHitStartsPlaybackImmediately) {
-  sim::SimTime delay = -1;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .firstChunkCached = true,
       .requestTime = stack_.sim().now(),
-      .onPlaybackReady = [&](sim::SimTime d, bool) { delay = d; },
-      .onFinished = nullptr,
   });
-  // Callback fires synchronously inside startWatch.
-  EXPECT_EQ(delay, 0);
+  // Playback reports synchronously inside startWatch.
+  ASSERT_EQ(stack_.client().playbacks.size(), 1u);
+  EXPECT_EQ(stack_.client().playbacks[0].delay, 0);
+  EXPECT_FALSE(stack_.client().playbacks[0].timedOut);
   stack_.sim().run();
   // Only the body (19 chunks) transferred.
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 19u);
 }
 
 TEST_F(TransferTest, ProviderChurnFailsOverToServerWithSplitCredit) {
-  bool complete = false;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool c) { complete = c; },
   });
   // Bob leaves mid-body: after ~3 s, the first chunk (0.5 s at 1 Mbps) is
   // done and part of the body has flowed.
@@ -121,7 +110,8 @@ TEST_F(TransferTest, ProviderChurnFailsOverToServerWithSplitCredit) {
     stack_.transfers().onUserOffline(kBob);
   });
   stack_.sim().run();
-  EXPECT_TRUE(complete);
+  ASSERT_EQ(stack_.client().finishes.size(), 1u);
+  EXPECT_TRUE(stack_.client().finishes[0].complete);
   const std::uint64_t peer = stack_.metrics().peerChunks(kAlice);
   const std::uint64_t server = stack_.metrics().serverChunks(kAlice);
   EXPECT_EQ(peer + server, 20u);
@@ -136,56 +126,47 @@ TEST_F(TransferTest, FirstChunkTimeoutAbandonsWatch) {
   config.serverUploadBps = 100.0;
   Stack stack(miniCatalog(2, 1, 1, 2), config);
   stack.ctx().setOnline(kAlice, true);
-  bool timedOut = false;
-  bool finished = false;
-  bool complete = true;
   stack.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = UserId::invalid(),
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = [&](sim::SimTime, bool t) { timedOut = t; },
-      .onFinished = [&](bool c) { finished = true; complete = c; },
   });
   stack.sim().run();
-  EXPECT_TRUE(timedOut);
-  EXPECT_TRUE(finished);
-  EXPECT_FALSE(complete);
+  ASSERT_EQ(stack.client().playbacks.size(), 1u);
+  EXPECT_TRUE(stack.client().playbacks[0].timedOut);
+  ASSERT_EQ(stack.client().finishes.size(), 1u);
+  EXPECT_FALSE(stack.client().finishes[0].complete);
   EXPECT_EQ(stack.transfers().activeWatches(), 0u);
 }
 
 TEST_F(TransferTest, UserOfflineKillsOwnWatchSilently) {
-  bool anyCallback = false;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = [&](sim::SimTime, bool) { anyCallback = true; },
-      .onFinished = [&](bool) { anyCallback = true; },
   });
   stack_.sim().schedule(10 * sim::kMillisecond, [&] {
     stack_.ctx().setOnline(kAlice, false);
     stack_.transfers().onUserOffline(kAlice);
   });
   stack_.sim().run();
-  EXPECT_FALSE(anyCallback);
+  EXPECT_TRUE(stack_.client().playbacks.empty());
+  EXPECT_TRUE(stack_.client().finishes.empty());
   EXPECT_EQ(stack_.transfers().activeWatches(), 0u);
   EXPECT_EQ(stack_.network().flows().activeFlows(), 0u);
 }
 
 TEST_F(TransferTest, DemotedWatchStillCompletesInBackground) {
-  int finishedCount = 0;
   stack_.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool c) { finishedCount += c ? 1 : 0; },
   });
   // A second watch starts while the first body is still flowing.
   stack_.sim().schedule(2 * sim::kSecond, [&] {
@@ -195,48 +176,43 @@ TEST_F(TransferTest, DemotedWatchStillCompletesInBackground) {
         .provider = kBob,
         .firstChunkCached = false,
         .requestTime = stack_.sim().now(),
-        .onPlaybackReady = nullptr,
-        .onFinished = [&](bool c) { finishedCount += c ? 1 : 0; },
     });
   });
   stack_.sim().run();
-  EXPECT_EQ(finishedCount, 2);  // both videos fully downloaded
+  int completeCount = 0;
+  for (const auto& finish : stack_.client().finishes) {
+    completeCount += finish.complete ? 1 : 0;
+  }
+  EXPECT_EQ(completeCount, 2);  // both videos fully downloaded
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 40u);
 }
 
 TEST_F(TransferTest, PrefetchDeliversOneChunk) {
-  bool done = false;
-  bool fromPeer = false;
-  stack_.transfers().startPrefetch(kAlice, kVideo, kBob, [&](bool peer) {
-    done = true;
-    fromPeer = peer;
-  });
+  stack_.transfers().startPrefetch(kAlice, kVideo, kBob);
   stack_.sim().run();
-  EXPECT_TRUE(done);
-  EXPECT_TRUE(fromPeer);
+  ASSERT_EQ(stack_.client().prefetches.size(), 1u);
+  EXPECT_TRUE(stack_.client().prefetches[0].fromPeer);
+  EXPECT_EQ(stack_.client().prefetches[0].video, kVideo);
   EXPECT_EQ(stack_.metrics().peerChunks(kAlice), 1u);
   EXPECT_EQ(stack_.metrics().value("prefetch_issued"), 1u);
 }
 
 TEST_F(TransferTest, PrefetchFromServerCreditsServer) {
-  bool fromPeer = true;
-  stack_.transfers().startPrefetch(kAlice, kVideo, UserId::invalid(),
-                                   [&](bool peer) { fromPeer = peer; });
+  stack_.transfers().startPrefetch(kAlice, kVideo, UserId::invalid());
   stack_.sim().run();
-  EXPECT_FALSE(fromPeer);
+  ASSERT_EQ(stack_.client().prefetches.size(), 1u);
+  EXPECT_FALSE(stack_.client().prefetches[0].fromPeer);
   EXPECT_EQ(stack_.metrics().serverChunks(kAlice), 1u);
 }
 
 TEST_F(TransferTest, PrefetchProviderChurnDropsSilently) {
-  bool done = false;
-  stack_.transfers().startPrefetch(kAlice, kVideo, kBob,
-                                   [&](bool) { done = true; });
+  stack_.transfers().startPrefetch(kAlice, kVideo, kBob);
   stack_.sim().schedule(sim::kMillisecond, [&] {
     stack_.ctx().setOnline(kBob, false);
     stack_.transfers().onUserOffline(kBob);
   });
   stack_.sim().run();
-  EXPECT_FALSE(done);
+  EXPECT_TRUE(stack_.client().prefetches.empty());
   EXPECT_EQ(stack_.transfers().activePrefetches(), 0u);
 }
 
@@ -246,18 +222,16 @@ TEST_F(TransferTest, SingleChunkVideoFinishesAtPlayback) {
   Stack stack(miniCatalog(2, 1, 1, 2), config);
   stack.ctx().setOnline(kAlice, true);
   stack.ctx().setOnline(kBob, true);
-  bool finished = false;
   stack.transfers().startWatch({
       .user = kAlice,
       .video = kVideo,
       .provider = kBob,
       .firstChunkCached = false,
       .requestTime = 0,
-      .onPlaybackReady = nullptr,
-      .onFinished = [&](bool c) { finished = c; },
   });
   stack.sim().run();
-  EXPECT_TRUE(finished);
+  ASSERT_EQ(stack.client().finishes.size(), 1u);
+  EXPECT_TRUE(stack.client().finishes[0].complete);
   EXPECT_EQ(stack.metrics().peerChunks(kAlice), 1u);
 }
 
