@@ -81,8 +81,12 @@ void BM_FlowNetworkChurn(benchmark::State& state) {
     for (std::uint32_t i = 0; i < endpoints; ++i) {
       flows.addEndpoint(st::EndpointId{i}, {1e6, 4e6});
     }
+    struct Counter final : st::net::FlowObserver {
+      int completions = 0;
+      void onFlowCompleted(st::FlowId) override { ++completions; }
+    } counter;
+    flows.addObserver(&counter);
     st::Rng rng(5);
-    int completions = 0;
     for (int i = 0; i < 500; ++i) {
       const auto src = static_cast<std::uint32_t>(rng.uniformInt(
           static_cast<std::uint64_t>(endpoints)));
@@ -90,14 +94,13 @@ void BM_FlowNetworkChurn(benchmark::State& state) {
           static_cast<std::uint64_t>(endpoints)));
       if (dst == src) dst = (dst + 1) % endpoints;
       sim.scheduleAt(st::sim::fromSeconds(rng.uniform(0.0, 2.0)),
-                     [&, src, dst] {
+                     [&flows, src, dst] {
                        flows.startFlow(st::EndpointId{src},
-                                       st::EndpointId{dst}, 100'000,
-                                       [&completions] { ++completions; });
+                                       st::EndpointId{dst}, 100'000);
                      });
     }
     sim.run();
-    benchmark::DoNotOptimize(completions);
+    benchmark::DoNotOptimize(counter.completions);
   }
   state.SetItemsProcessed(state.iterations() * 500);
 }

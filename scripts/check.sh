@@ -25,10 +25,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Default covers the quick unit gate, the chaos-soak fault tests, and the
-# checkpoint/restore differential suite, so the sanitizer pass exercises the
-# injector/checker paths and the snapshot codec too.
-LABEL="${1:-unit|soak|snapshot}"
+# Default covers the quick unit gate, the chaos-soak fault tests, the
+# checkpoint/restore differential suite, and the flow-solver suite (the
+# flow engine tests carry the `flow` label, not `unit` — gtest discovery
+# cannot attach two labels — so every gate names both), so the sanitizer
+# pass exercises the injector/checker paths and the snapshot codec too.
+LABEL="${1:-unit|soak|snapshot|flow}"
 JOBS="${2:-$(nproc)}"
 
 for MODE in ON OFF; do
@@ -40,12 +42,21 @@ for MODE in ON OFF; do
   ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure -j "$JOBS"
 done
 
+# Smoke the flow microbenchmark (1 iteration, output discarded): the
+# in-binary eager-solver replica cross-checks its completion and byte
+# tallies against the batched engine, so this is a cheap differential test
+# of the incremental solver, not a perf measurement.
+echo "=== flow_bench --smoke (build-trace-on) ==="
+cmake --build build-trace-on -j "$JOBS" --target flow_bench
+build-trace-on/bench/flow_bench /dev/null --smoke
+
 echo "=== ST_SANITIZE=address,undefined (build-asan-ubsan) ==="
 scripts/sanitize.sh address,undefined "$LABEL" "$JOBS"
 
-# TSan cannot combine with ASan, so it gets its own pass over the unit and
-# snapshot labels: the thread pool, the parallel multi-seed engine, the
-# 1-vs-8-thread determinism paths, and the parallel snapshot restores
-# (including the save -> load -> save round trip) must stay race-free.
+# TSan cannot combine with ASan, so it gets its own pass over the unit,
+# snapshot, and flow labels: the thread pool, the parallel multi-seed
+# engine, the 1-vs-8-thread determinism paths, and the parallel snapshot
+# restores (including the save -> load -> save round trip) must stay
+# race-free.
 echo "=== ST_SANITIZE=thread (build-tsan) ==="
-scripts/sanitize.sh thread 'unit|snapshot' "$JOBS"
+scripts/sanitize.sh thread 'unit|snapshot|flow' "$JOBS"

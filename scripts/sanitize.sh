@@ -5,12 +5,12 @@
 #
 # `sanitizers` is a comma-separated ST_SANITIZE list: address, undefined,
 # thread, or combinations like address,undefined (thread does not combine
-# with address). Defaults to TSan over the `unit` label — the quick gate
-# for the thread pool (tests/thread_pool_test.cpp must pass with zero
-# reports). Use label `integration` (or `.` for everything) for the full
-# sweep, e.g.:
+# with address). Defaults to TSan over the `unit|flow` labels — the quick
+# gate for the thread pool (tests/thread_pool_test.cpp must pass with zero
+# reports) and the flow solver suite. The label argument is a ctest -L
+# regex; use `integration` (or `.` for everything) for the full sweep, e.g.:
 #
-#   scripts/sanitize.sh thread unit             # CI gate, minutes
+#   scripts/sanitize.sh thread 'unit|flow'      # CI gate, minutes
 #   scripts/sanitize.sh address,undefined unit  # combined ASan+UBSan gate
 #   scripts/sanitize.sh address .               # full suite under ASan
 #
@@ -21,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZER="${1:-thread}"
-LABEL="${2:-unit}"
+LABEL="${2:-unit|flow}"
 JOBS="${3:-$(nproc)}"
 
 BUILD_DIR=build

@@ -117,6 +117,42 @@ class ServerSampler final : public sim::EventFactory {
   RunningStats stats_;
 };
 
+// Counts admission-control rejections at the origin server and mirrors each
+// one into the event trace. RAII FlowObserver: registers in the constructor,
+// removes itself before the network dies — no captured-closure state inside
+// FlowNetwork, so a mid-run snapshot never has to reason about it.
+class ShedRecorder final : public net::FlowObserver {
+ public:
+  ShedRecorder(net::FlowNetwork& flows, obs::Counter& shed,
+               const vod::SystemContext& ctx, obs::EventTrace* trace,
+               const sim::Simulator& simulator)
+      : flows_(flows), shed_(shed), ctx_(ctx), trace_(trace),
+        simulator_(simulator) {
+    flows_.addObserver(this);
+  }
+  ~ShedRecorder() override { flows_.removeObserver(this); }
+  ShedRecorder(const ShedRecorder&) = delete;
+  ShedRecorder& operator=(const ShedRecorder&) = delete;
+
+  void onFlowShed(EndpointId src, EndpointId dst,
+                  net::FlowClass flowClass) override {
+    if (src == ctx_.serverEndpoint()) shed_.inc();
+    ST_TRACE(trace_, simulator_.now(), kShed, dst.value(), src.value(),
+             static_cast<std::uint64_t>(flowClass));
+#if !ST_TRACE_ENABLED
+    (void)dst;
+    (void)flowClass;
+#endif
+  }
+
+ private:
+  net::FlowNetwork& flows_;
+  obs::Counter& shed_;
+  const vod::SystemContext& ctx_;
+  obs::EventTrace* trace_;
+  const sim::Simulator& simulator_;
+};
+
 }  // namespace
 
 ExperimentResult runExperiment(const ExperimentConfig& config,
@@ -231,15 +267,10 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
   // Overload-control observability. Registered only when a knob is active so
   // overload-off runs keep the seed counter set (and CSV columns) unchanged —
   // the same pattern as Faults above.
+  std::optional<ShedRecorder> shedRecorder;
   if (config.vod.overload.any()) {
-    obs::Counter& shed = registry.counter("server.shed");
-    network.flows().setShedCallback(
-        [&shed, &ctx, trace, &simulator](EndpointId src, EndpointId dst,
-                                         net::FlowClass flowClass) {
-          if (src == ctx.serverEndpoint()) shed.inc();
-          ST_TRACE(trace, simulator.now(), kShed, dst.value(), src.value(),
-                   static_cast<std::uint64_t>(flowClass));
-        });
+    shedRecorder.emplace(network.flows(), registry.counter("server.shed"), ctx,
+                         trace, simulator);
     registry.addGauge("prefetch.throttled",
                       [&metrics] { return metrics.prefetchThrottled(); });
     registry.addGauge("breaker.opened",

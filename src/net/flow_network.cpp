@@ -13,8 +13,8 @@ constexpr double kEpsilonBytes = 0.5;
 // Tolerance when comparing a fair-share rate against the playback floor.
 constexpr double kRateEpsilon = 1e-9;
 
-void eraseId(std::vector<FlowId>& list, FlowId id) {
-  const auto it = std::find(list.begin(), list.end(), id);
+void eraseSlot(std::vector<std::uint64_t>& list, std::uint64_t slot) {
+  const auto it = std::find(list.begin(), list.end(), slot);
   assert(it != list.end());
   list.erase(it);
 }
@@ -59,8 +59,21 @@ void FlowNetwork::setAdmissionPolicy(EndpointId endpoint,
   endpoints_[endpoint.index()].admissionEnabled = true;
 }
 
-void FlowNetwork::setShedCallback(ShedCallback callback) {
-  shedCallback_ = std::move(callback);
+void FlowNetwork::addObserver(FlowObserver* observer) {
+  assert(observer != nullptr);
+  assert(std::find(observers_.begin(), observers_.end(), observer) ==
+         observers_.end());
+  observers_.push_back(observer);
+}
+
+void FlowNetwork::removeObserver(FlowObserver* observer) {
+  const auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it != observers_.end()) observers_.erase(it);
+}
+
+FlowNetwork::Slot FlowNetwork::slotOf(FlowId id) const {
+  const auto it = index_.find(id.value());
+  return it == index_.end() ? Slot{0} : it->second;  // 0 is never a live slot
 }
 
 double FlowNetwork::fairRate(const Flow& flow) const {
@@ -88,7 +101,7 @@ void FlowNetwork::settle(Flow& flow) {
   flow.lastUpdate = now;
 }
 
-void FlowNetwork::reschedule(FlowId id, Flow& flow) {
+void FlowNetwork::reschedule(Flow& flow) {
   if (flow.completion.valid()) sim_.cancel(flow.completion);
   flow.rateBps = fairRate(flow);
   if (flow.rateBps <= 0.0) {
@@ -102,7 +115,8 @@ void FlowNetwork::reschedule(FlowId id, Flow& flow) {
   const auto delay =
       std::max<sim::SimTime>(sim::fromSeconds(seconds), 0);
   flow.completion = sim_.scheduleTagged(
-      delay, sim::makeTag(sim::Component::kFlow, kFinishEvent, id.value()));
+      delay,
+      sim::makeTag(sim::Component::kFlow, kFinishEvent, flow.id.value()));
 }
 
 sim::Callback FlowNetwork::rebuild(const sim::EventTag& tag) {
@@ -114,23 +128,70 @@ sim::Callback FlowNetwork::rebuild(const sim::EventTag& tag) {
 void FlowNetwork::onRestored(const sim::EventTag& tag,
                              sim::EventHandle handle) {
   assert(tag.kind == kFinishEvent);
-  const auto it = flows_.find(FlowId{static_cast<std::uint32_t>(tag.a)});
-  assert(it != flows_.end());
-  it->second.completion = handle;
+  Flow* flow = flows_.find(slotOf(FlowId{static_cast<std::uint32_t>(tag.a)}));
+  assert(flow != nullptr);
+  flow->completion = handle;
 }
 
-void FlowNetwork::refreshEndpoint(EndpointId endpoint) {
-  EndpointState& state = endpoints_[endpoint.index()];
-  // Copy: reschedule() mutates flows_, never the membership vectors, but a
-  // snapshot keeps the loop robust if that ever changes.
-  std::vector<FlowId> touched = state.uploads;
-  touched.insert(touched.end(), state.downloads.begin(),
-                 state.downloads.end());
-  for (const FlowId id : touched) {
-    const auto it = flows_.find(id);
-    assert(it != flows_.end());
-    settle(it->second);
-    reschedule(id, it->second);
+void FlowNetwork::beginBatch() { ++batchDepth_; }
+
+void FlowNetwork::applyBatch() {
+  assert(batchDepth_ > 0);
+  if (--batchDepth_ == 0 && !dirtyList_.empty()) drain();
+}
+
+void FlowNetwork::markDirty(EndpointId endpoint) {
+  // Mutations only happen under a batch (every public mutator opens an
+  // implicit one), so a mark can never be dropped on the floor.
+  assert(batchDepth_ > 0);
+  dirtyList_.push_back(endpoint);
+}
+
+void FlowNetwork::drain() {
+  ++drainEpoch_;
+  // Dedup endpoints keeping each one's LAST mark: walking backwards and
+  // reversing yields endpoints ordered by last occurrence. The eager solver
+  // refreshed an endpoint on every mutation touching it; only its final
+  // refresh determined the surviving completion events, and that final
+  // refresh used the endpoint's final membership — which is exactly what we
+  // read here, in the same relative order.
+  drainEndpoints_.clear();
+  for (std::size_t i = dirtyList_.size(); i-- > 0;) {
+    EndpointState& state = endpoints_[dirtyList_[i].index()];
+    if (state.dirtyStamp == drainEpoch_) continue;
+    state.dirtyStamp = drainEpoch_;
+    drainEndpoints_.push_back(dirtyList_[i]);
+  }
+  std::reverse(drainEndpoints_.begin(), drainEndpoints_.end());
+  dirtyList_.clear();
+  // Same trick per flow: a flow at two dirty endpoints was refreshed last by
+  // the later endpoint's pass, and within one endpoint's pass uploads come
+  // before downloads.
+  drainMembers_.clear();
+  for (const EndpointId endpoint : drainEndpoints_) {
+    const EndpointState& state = endpoints_[endpoint.index()];
+    drainMembers_.insert(drainMembers_.end(), state.uploads.begin(),
+                         state.uploads.end());
+    drainMembers_.insert(drainMembers_.end(), state.downloads.begin(),
+                         state.downloads.end());
+  }
+  drainOrder_.clear();
+  for (std::size_t i = drainMembers_.size(); i-- > 0;) {
+    Flow* flow = flows_.find(drainMembers_[i]);
+    assert(flow != nullptr);
+    if (flow->drainStamp == drainEpoch_) continue;
+    flow->drainStamp = drainEpoch_;
+    drainOrder_.push_back(drainMembers_[i]);
+  }
+  for (std::size_t i = drainOrder_.size(); i-- > 0;) {
+    Flow& flow = *flows_.find(drainOrder_[i]);
+    // The deferred settle is exact: rateBps was the flow's rate over the
+    // whole [lastUpdate, now] span, because batches never span simulated
+    // time — membership changed "now", so the old rate governed everything
+    // up to now and the new rate has had zero seconds to act.
+    settle(flow);
+    reschedule(flow);
+    ++rateRecomputations_;
   }
 }
 
@@ -140,9 +201,12 @@ double FlowNetwork::estimatedBacklogSeconds(const EndpointState& state) const {
   }
   const sim::SimTime now = sim_.now();
   double backlogBytes = 0.0;
-  // Active uploads: read-only settle (progress since lastUpdate).
-  for (const FlowId id : state.uploads) {
-    const Flow& flow = flows_.at(id);
+  // Active uploads: read-only settle (progress since lastUpdate). Exact even
+  // mid-batch: a not-yet-drained flow's rateBps is the rate that actually
+  // governed [lastUpdate, now], so this computes the same remaining bytes
+  // the eager solver would have settled to.
+  for (const Slot slot : state.uploads) {
+    const Flow& flow = *flows_.find(slot);
     double remaining = flow.bytesRemaining;
     if (now > flow.lastUpdate && flow.rateBps > 0.0) {
       remaining -= flow.rateBps / 8.0 * sim::toSeconds(now - flow.lastUpdate);
@@ -151,11 +215,11 @@ double FlowNetwork::estimatedBacklogSeconds(const EndpointState& state) const {
   }
   // Paused uploads hold their slot and will resume; queued uploads wait in
   // line untouched.
-  for (const FlowId id : state.pausedUploads) {
-    backlogBytes += flows_.at(id).bytesRemaining;
+  for (const Slot slot : state.pausedUploads) {
+    backlogBytes += flows_.find(slot)->bytesRemaining;
   }
-  for (const FlowId id : state.uploadQueue) {
-    backlogBytes += flows_.at(id).bytesRemaining;
+  for (const Slot slot : state.uploadQueue) {
+    backlogBytes += flows_.find(slot)->bytesRemaining;
   }
   return backlogBytes * 8.0 / state.capacity.uploadBps;
 }
@@ -181,27 +245,10 @@ bool FlowNetwork::shouldShed(EndpointId src, FlowClass flowClass,
 }
 
 FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
-                              std::uint64_t bytes,
-                              CompletionCallback onComplete) {
-  return startFlow(src, dst, bytes, FlowOptions{}, std::move(onComplete));
-}
-
-FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
-                              std::uint64_t bytes, FlowOptions options) {
-  return startFlow(src, dst, bytes, std::move(options), nullptr);
-}
-
-void FlowNetwork::setCompletionTag(FlowId id, const sim::EventTag& tag) {
-  const auto it = flows_.find(id);
-  assert(it != flows_.end());
-  it->second.completionTag = tag;
-}
-
-FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
-                              std::uint64_t bytes, FlowOptions options,
-                              CompletionCallback onComplete) {
+                              std::uint64_t bytes, const FlowOptions& options) {
   assert(hasEndpoint(src) && hasEndpoint(dst));
   assert(bytes > 0);
+  MutationBatch batch(*this);
   EndpointState& source = endpoints_[src.index()];
   // Paused uploads keep their slot reserved: resuming must never burst the
   // endpoint past its concurrency limit, and pausing must not leak slots to
@@ -211,13 +258,16 @@ FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
   if (usedSlots >= source.uploadLimit) {
     if (shouldShed(src, options.flowClass, options.deadline)) {
       ++source.flowsShed;
-      if (shedCallback_) shedCallback_(src, dst, options.flowClass);
+      for (FlowObserver* observer : observers_) {
+        observer->onFlowShed(src, dst, options.flowClass);
+      }
       return FlowId::invalid();
     }
     // No free upload slot: wait in line. The flow joins the share pools of
     // both endpoints only on activation.
     const FlowId id{nextFlowId_++};
     Flow flow;
+    flow.id = id;
     flow.src = src;
     flow.dst = dst;
     flow.bytesRemaining = static_cast<double>(bytes);
@@ -226,15 +276,16 @@ FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
     flow.flowClass = options.flowClass;
     flow.queued = true;
     flow.completionTag = options.completionTag;
-    flow.onComplete = std::move(onComplete);
-    flows_.emplace(id, std::move(flow));
-    source.uploadQueue.push_back(id);
-    endpoints_[dst.index()].queuedInbound.push_back(id);
+    const Slot slot = flows_.insert(std::move(flow));
+    index_.emplace(id.value(), slot);
+    source.uploadQueue.push_back(slot);
+    endpoints_[dst.index()].queuedInbound.push_back(slot);
     return id;
   }
 
   const FlowId id{nextFlowId_++};
   Flow flow;
+  flow.id = id;
   flow.src = src;
   flow.dst = dst;
   flow.bytesRemaining = static_cast<double>(bytes);
@@ -242,28 +293,34 @@ FlowId FlowNetwork::startFlow(EndpointId src, EndpointId dst,
   flow.lastUpdate = sim_.now();
   flow.flowClass = options.flowClass;
   flow.completionTag = options.completionTag;
-  flow.onComplete = std::move(onComplete);
-  flows_.emplace(id, std::move(flow));
-  activate(id, flows_.at(id));
+  const Slot slot = flows_.insert(std::move(flow));
+  index_.emplace(id.value(), slot);
+  activate(slot, *flows_.find(slot));
   return id;
 }
 
-void FlowNetwork::activate(FlowId id, Flow& flow) {
+void FlowNetwork::setCompletionTag(FlowId id, const sim::EventTag& tag) {
+  Flow* flow = flows_.find(slotOf(id));
+  assert(flow != nullptr);
+  flow->completionTag = tag;
+}
+
+void FlowNetwork::activate(Slot slot, Flow& flow) {
   if (flow.queued) {
     // Leaving the wait queue: the destination's inbound-queue mirror must
     // forget the flow too.
-    eraseId(endpoints_[flow.dst.index()].queuedInbound, id);
+    eraseSlot(endpoints_[flow.dst.index()].queuedInbound, slot);
   }
   flow.queued = false;
   flow.paused = false;
   flow.lastUpdate = sim_.now();
-  endpoints_[flow.src.index()].uploads.push_back(id);
-  endpoints_[flow.dst.index()].downloads.push_back(id);
-  // Membership at both endpoints changed; refresh both sides (the new flow's
-  // own rate is derived inside refreshEndpoint as well).
-  refreshEndpoint(flow.src);
-  if (flow.dst != flow.src) refreshEndpoint(flow.dst);
-  enforceFloorFor(id);
+  endpoints_[flow.src.index()].uploads.push_back(slot);
+  endpoints_[flow.dst.index()].downloads.push_back(slot);
+  // Membership at both endpoints changed; both sides settle at batch commit
+  // (the new flow's own rate is derived in the same drain).
+  markDirty(flow.src);
+  if (flow.dst != flow.src) markDirty(flow.dst);
+  enforceFloorFor(flow);
 }
 
 void FlowNetwork::promoteQueued(EndpointId endpoint) {
@@ -271,18 +328,21 @@ void FlowNetwork::promoteQueued(EndpointId endpoint) {
   while (!state.uploadQueue.empty() &&
          state.uploads.size() + state.pausedUploads.size() <
              state.uploadLimit) {
-    const FlowId next = state.uploadQueue.front();
+    const Slot next = state.uploadQueue.front();
     state.uploadQueue.pop_front();
-    const auto it = flows_.find(next);
-    assert(it != flows_.end() && it->second.queued);
-    activate(next, it->second);
+    Flow* flow = flows_.find(next);
+    assert(flow != nullptr && flow->queued);
+    activate(next, *flow);
   }
 }
 
-void FlowNetwork::enforceFloorFor(FlowId id) {
+void FlowNetwork::enforceFloorFor(Flow& flow) {
   if (floorBps_ <= 0.0) return;
-  Flow& flow = flows_.at(id);
-  while (flow.rateBps + kRateEpsilon < floorBps_) {
+  // fairRate() is evaluated live instead of reading flow.rateBps: under
+  // deferred settling the cached rate is stale mid-batch, and the live
+  // expression is bit-for-bit what the eager solver's refresh had just
+  // stored when it evaluated this loop condition.
+  while (fairRate(flow) + kRateEpsilon < floorBps_) {
     // Victims live at the bottleneck endpoint: pausing elsewhere cannot
     // raise this flow's rate.
     const EndpointState& src = endpoints_[flow.src.index()];
@@ -292,43 +352,45 @@ void FlowNetwork::enforceFloorFor(FlowId id) {
     const double downShare =
         dst.capacity.downloadBps / static_cast<double>(dst.downloads.size());
     const bool srcBottleneck = upShare <= downShare;
-    const std::vector<FlowId>& members =
+    const std::vector<Slot>& members =
         srcBottleneck ? src.uploads : dst.downloads;
     // Lowest class first (largest enum value), most recently activated
     // within a class — older transfers keep their progress.
-    FlowId victim = FlowId::invalid();
+    Slot victim = 0;
     FlowClass victimClass = flow.flowClass;
-    for (const FlowId candidate : members) {
-      const Flow& other = flows_.at(candidate);
+    for (const Slot candidate : members) {
+      const Flow& other = *flows_.find(candidate);
       if (other.flowClass <= flow.flowClass) continue;
-      if (!victim.valid() || other.flowClass >= victimClass) {
+      if (victim == 0 || other.flowClass >= victimClass) {
         victim = candidate;
         victimClass = other.flowClass;
       }
     }
-    if (!victim.valid()) break;
-    Flow& victimFlow = flows_.at(victim);
+    if (victim == 0) break;
+    Flow& victimFlow = *flows_.find(victim);
     const EndpointId vSrc = victimFlow.src;
     const EndpointId vDst = victimFlow.dst;
     pauseFlow(victim, victimFlow);
-    refreshEndpoint(vSrc);
-    if (vDst != vSrc) refreshEndpoint(vDst);
+    markDirty(vSrc);
+    if (vDst != vSrc) markDirty(vDst);
   }
 }
 
-void FlowNetwork::pauseFlow(FlowId id, Flow& flow) {
+void FlowNetwork::pauseFlow(Slot slot, Flow& flow) {
   assert(!flow.queued && !flow.paused);
+  // Settle immediately: the pre-pause rate must stop accruing the moment the
+  // flow leaves the share pools, not at batch commit.
   settle(flow);
   if (flow.completion.valid()) {
     sim_.cancel(flow.completion);
     flow.completion = sim::EventHandle{};
   }
-  eraseId(endpoints_[flow.src.index()].uploads, id);
-  eraseId(endpoints_[flow.dst.index()].downloads, id);
+  eraseSlot(endpoints_[flow.src.index()].uploads, slot);
+  eraseSlot(endpoints_[flow.dst.index()].downloads, slot);
   flow.paused = true;
   flow.rateBps = 0.0;
-  endpoints_[flow.src.index()].pausedUploads.push_back(id);
-  endpoints_[flow.dst.index()].pausedDownloads.push_back(id);
+  endpoints_[flow.src.index()].pausedUploads.push_back(slot);
+  endpoints_[flow.dst.index()].pausedDownloads.push_back(slot);
 }
 
 bool FlowNetwork::canResume(const Flow& flow) const {
@@ -339,16 +401,16 @@ bool FlowNetwork::canResume(const Flow& flow) const {
   const double upShare = src.capacity.uploadBps /
                          static_cast<double>(src.uploads.size() + 1);
   if (upShare + kRateEpsilon < floorBps_) {
-    for (const FlowId other : src.uploads) {
-      if (flows_.at(other).flowClass < flow.flowClass) return false;
+    for (const Slot other : src.uploads) {
+      if (flows_.find(other)->flowClass < flow.flowClass) return false;
     }
   }
   const EndpointState& dst = endpoints_[flow.dst.index()];
   const double downShare = dst.capacity.downloadBps /
                            static_cast<double>(dst.downloads.size() + 1);
   if (downShare + kRateEpsilon < floorBps_) {
-    for (const FlowId other : dst.downloads) {
-      if (flows_.at(other).flowClass < flow.flowClass) return false;
+    for (const Slot other : dst.downloads) {
+      if (flows_.find(other)->flowClass < flow.flowClass) return false;
     }
   }
   return true;
@@ -360,40 +422,45 @@ void FlowNetwork::resumePaused(EndpointId endpoint) {
     EndpointState& state = endpoints_[endpoint.index()];
     // Highest class first, FIFO within a class; uploads scanned before
     // downloads so the order is deterministic.
-    FlowId pick = FlowId::invalid();
+    Slot pick = 0;
     FlowClass pickClass = FlowClass::kPrefetch;
-    for (const std::vector<FlowId>* list :
+    for (const std::vector<Slot>* list :
          {&state.pausedUploads, &state.pausedDownloads}) {
-      for (const FlowId id : *list) {
-        const Flow& flow = flows_.at(id);
-        if (pick.valid() && flow.flowClass >= pickClass) continue;
+      for (const Slot slot : *list) {
+        const Flow& flow = *flows_.find(slot);
+        if (pick != 0 && flow.flowClass >= pickClass) continue;
         if (canResume(flow)) {
-          pick = id;
+          pick = slot;
           pickClass = flow.flowClass;
         }
       }
     }
-    if (!pick.valid()) return;
-    Flow& flow = flows_.at(pick);
-    eraseId(endpoints_[flow.src.index()].pausedUploads, pick);
-    eraseId(endpoints_[flow.dst.index()].pausedDownloads, pick);
+    if (pick == 0) return;
+    Flow& flow = *flows_.find(pick);
+    eraseSlot(endpoints_[flow.src.index()].pausedUploads, pick);
+    eraseSlot(endpoints_[flow.dst.index()].pausedDownloads, pick);
     activate(pick, flow);
   }
 }
 
 void FlowNetwork::finish(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  settle(it->second);
-  assert(it->second.bytesRemaining <= kEpsilonBytes + 1.0);
-  removeFlow(id, /*completed=*/true);
+  const Slot slot = slotOf(id);
+  if (slot == 0) return;
+  beginBatch();
+  Flow* flow = flows_.find(slot);
+  settle(*flow);
+  assert(flow->bytesRemaining <= kEpsilonBytes + 1.0);
+  const Flow record = removeFlow(slot, /*completed=*/true);
+  applyBatch();
+  // Notify after the drain so observers (and the tag's component) see the
+  // post-completion rates — the order the eager solver delivered.
+  for (FlowObserver* observer : observers_) observer->onFlowCompleted(id);
+  if (record.completionTag.tagged()) sim_.invokeTagged(record.completionTag);
 }
 
-void FlowNetwork::removeFlow(FlowId id, bool completed) {
-  const auto it = flows_.find(id);
-  assert(it != flows_.end());
-  Flow flow = std::move(it->second);
-  flows_.erase(it);
+FlowNetwork::Flow FlowNetwork::removeFlow(Slot slot, bool completed) {
+  Flow flow = flows_.take(slot);
+  index_.erase(flow.id.value());
   if (flow.completion.valid()) sim_.cancel(flow.completion);
 
   if (flow.queued) {
@@ -401,29 +468,27 @@ void FlowNetwork::removeFlow(FlowId id, bool completed) {
     // inbound mirror) know about it.
     assert(!completed);
     auto& queue = endpoints_[flow.src.index()].uploadQueue;
-    queue.erase(std::find(queue.begin(), queue.end(), id));
-    eraseId(endpoints_[flow.dst.index()].queuedInbound, id);
+    queue.erase(std::find(queue.begin(), queue.end(), slot));
+    eraseSlot(endpoints_[flow.dst.index()].queuedInbound, slot);
     sim_.discardTagged(flow.completionTag);
-    return;
+    return flow;
   }
 
   if (flow.paused) {
     // Not in the share pools; releasing its reserved slot may admit queued
     // or paused work at the source.
     assert(!completed);
-    eraseId(endpoints_[flow.src.index()].pausedUploads, id);
-    eraseId(endpoints_[flow.dst.index()].pausedDownloads, id);
+    eraseSlot(endpoints_[flow.src.index()].pausedUploads, slot);
+    eraseSlot(endpoints_[flow.dst.index()].pausedDownloads, slot);
     promoteQueued(flow.src);
     resumePaused(flow.src);
     if (flow.dst != flow.src) resumePaused(flow.dst);
     sim_.discardTagged(flow.completionTag);
-    return;
+    return flow;
   }
 
-  auto& uploads = endpoints_[flow.src.index()].uploads;
-  uploads.erase(std::find(uploads.begin(), uploads.end(), id));
-  auto& downloads = endpoints_[flow.dst.index()].downloads;
-  downloads.erase(std::find(downloads.begin(), downloads.end(), id));
+  eraseSlot(endpoints_[flow.src.index()].uploads, slot);
+  eraseSlot(endpoints_[flow.dst.index()].downloads, slot);
 
   if (completed) {
     endpoints_[flow.src.index()].bytesUploaded += flow.totalBytes;
@@ -433,36 +498,41 @@ void FlowNetwork::removeFlow(FlowId id, bool completed) {
   promoteQueued(flow.src);
   resumePaused(flow.src);
   if (flow.dst != flow.src) resumePaused(flow.dst);
-  refreshEndpoint(flow.src);
-  if (flow.dst != flow.src) refreshEndpoint(flow.dst);
+  // Marked after promotions/resumes so the drain orders this pair's final
+  // settle the way the eager solver's trailing refreshes did.
+  markDirty(flow.src);
+  if (flow.dst != flow.src) markDirty(flow.dst);
 
-  if (completed) {
-    if (flow.onComplete) flow.onComplete();
-    if (flow.completionTag.tagged()) sim_.invokeTagged(flow.completionTag);
-  } else {
-    sim_.discardTagged(flow.completionTag);
-  }
+  if (!completed) sim_.discardTagged(flow.completionTag);
+  return flow;
 }
 
 void FlowNetwork::cancelFlow(FlowId id) {
-  if (flows_.count(id) == 0) return;
-  removeFlow(id, /*completed=*/false);
+  const Slot slot = slotOf(id);
+  if (slot == 0) return;
+  beginBatch();
+  removeFlow(slot, /*completed=*/false);
+  applyBatch();
 }
 
-void FlowNetwork::dropEndpointFlows(EndpointId endpoint,
-                                    const AbortCallback& onAborted) {
+void FlowNetwork::dropEndpointFlows(EndpointId endpoint) {
   assert(hasEndpoint(endpoint));
+  MutationBatch batch(*this);
   EndpointState& state = endpoints_[endpoint.index()];
   // Queued (never-activated) uploads die without notification, as do flows
   // queued at another source that would have downloaded into this endpoint
   // — without the inbound purge such a flow would later activate and fire
   // its completion toward a dead endpoint.
-  const std::vector<FlowId> queued(state.uploadQueue.begin(),
-                                   state.uploadQueue.end());
-  for (const FlowId id : queued) removeFlow(id, /*completed=*/false);
-  const std::vector<FlowId> inbound = state.queuedInbound;
-  for (const FlowId id : inbound) removeFlow(id, /*completed=*/false);
-  std::vector<FlowId> doomed = state.uploads;
+  const std::vector<Slot> queued(state.uploadQueue.begin(),
+                                 state.uploadQueue.end());
+  for (const Slot slot : queued) {
+    if (flows_.find(slot) != nullptr) removeFlow(slot, /*completed=*/false);
+  }
+  const std::vector<Slot> inbound = state.queuedInbound;
+  for (const Slot slot : inbound) {
+    if (flows_.find(slot) != nullptr) removeFlow(slot, /*completed=*/false);
+  }
+  std::vector<Slot> doomed = state.uploads;
   doomed.insert(doomed.end(), state.downloads.begin(), state.downloads.end());
   // Preempted flows are still live transfers from the remote side's point of
   // view; a paused upload's downloader must be notified like an active one.
@@ -470,33 +540,47 @@ void FlowNetwork::dropEndpointFlows(EndpointId endpoint,
                 state.pausedUploads.end());
   doomed.insert(doomed.end(), state.pausedDownloads.begin(),
                 state.pausedDownloads.end());
-  for (const FlowId id : doomed) {
-    const auto it = flows_.find(id);
-    if (it == flows_.end()) continue;  // same flow on both sides (loopback)
-    settle(it->second);
-    const bool isDownload = it->second.dst == endpoint;
-    const auto bytesDone = static_cast<std::uint64_t>(
-        static_cast<double>(it->second.totalBytes) -
-        it->second.bytesRemaining);
-    const bool notify = onAborted && !isDownload;
-    // Note: when the *endpoint itself* departs we notify for uploads it was
-    // serving (the remote downloader lost its provider); its own downloads
-    // just die with it.
-    removeFlow(id, /*completed=*/false);
-    if (notify) onAborted(id, bytesDone);
+  // When the *endpoint itself* departs we notify for uploads it was serving
+  // (the remote downloader lost its provider); its own downloads just die
+  // with it. Aborts are recorded during removal and delivered afterwards in
+  // ascending flow-id order, so observers see a settled network minus every
+  // doomed flow — and any replacement flows they start join this batch.
+  struct Abort {
+    FlowId id;
+    std::uint64_t bytesDone;
+  };
+  std::vector<Abort> aborts;
+  for (const Slot slot : doomed) {
+    Flow* flow = flows_.find(slot);
+    if (flow == nullptr) continue;  // same flow on both sides (loopback)
+    settle(*flow);
+    if (flow->dst != endpoint) {
+      aborts.push_back(
+          {flow->id,
+           static_cast<std::uint64_t>(static_cast<double>(flow->totalBytes) -
+                                      flow->bytesRemaining)});
+    }
+    removeFlow(slot, /*completed=*/false);
+  }
+  std::sort(aborts.begin(), aborts.end(),
+            [](const Abort& a, const Abort& b) { return a.id < b.id; });
+  for (const Abort& abort : aborts) {
+    for (FlowObserver* observer : observers_) {
+      observer->onFlowAborted(abort.id, abort.bytesDone);
+    }
   }
 }
 
-bool FlowNetwork::flowActive(FlowId id) const { return flows_.count(id) > 0; }
+bool FlowNetwork::flowActive(FlowId id) const { return slotOf(id) != 0; }
 
 double FlowNetwork::flowRateBps(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rateBps;
+  const Flow* flow = flows_.find(slotOf(id));
+  return flow == nullptr ? 0.0 : flow->rateBps;
 }
 
 bool FlowNetwork::flowPaused(FlowId id) const {
-  const auto it = flows_.find(id);
-  return it != flows_.end() && it->second.paused;
+  const Flow* flow = flows_.find(slotOf(id));
+  return flow != nullptr && flow->paused;
 }
 
 std::size_t FlowNetwork::activeUploads(EndpointId id) const {
@@ -529,51 +613,34 @@ std::uint64_t FlowNetwork::flowsShed(EndpointId id) const {
   return endpoints_[id.index()].flowsShed;
 }
 
-namespace {
-
-void saveFlowList(snapshot::Writer& w, const std::vector<FlowId>& list) {
-  w.u64(list.size());
-  for (const FlowId id : list) w.u32(id.value());
-}
-
-template <typename Container, typename Flows>
-bool loadFlowList(snapshot::Reader& r, const Flows& flows, Container* out) {
-  const std::size_t count = r.count(4);
-  out->clear();
-  for (std::size_t i = 0; i < count; ++i) {
-    const FlowId id{r.u32()};
-    if (!r.ok()) return false;
-    if (flows.count(id) == 0) {
-      r.fail("endpoint flow list references unknown flow");
-      return false;
-    }
-    out->push_back(id);
-  }
-  return true;
-}
-
-}  // namespace
-
 bool FlowNetwork::saveState(snapshot::Writer& w, std::string* error) const {
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, flow] : flows_) {
-    if (flow.onComplete) {
-      if (error != nullptr) {
-        *error = "live flow with a closure completion callback cannot be "
-                 "snapshotted (use a completion tag)";
-      }
-      return false;
-    }
-    ids.push_back(id);
-  }
+  (void)error;
+  // Batches never span simulated time, and snapshots are taken between
+  // events, so there is nothing deferred to flush here.
+  assert(batchDepth_ == 0 && dirtyList_.empty());
+  // Membership lists serialize as public flow ids (the byte format predates
+  // the slot arena and must stay stable), so translate slot -> id on the way
+  // out; loadState rebuilds the arena and translates back.
+  const auto publicId = [this](Slot slot) {
+    const Flow* flow = flows_.find(slot);
+    assert(flow != nullptr);
+    return flow->id.value();
+  };
+  const auto saveSlotList = [&](const std::vector<Slot>& list) {
+    w.u64(list.size());
+    for (const Slot slot : list) w.u32(publicId(slot));
+  };
+
+  std::vector<std::pair<std::uint32_t, Slot>> ids;
+  ids.reserve(index_.size());
+  for (const auto& [value, slot] : index_) ids.emplace_back(value, slot);
   std::sort(ids.begin(), ids.end());
 
   w.section(0x574f4c46);  // "FLOW"
   w.u64(ids.size());
-  for (const FlowId id : ids) {
-    const Flow& flow = flows_.at(id);
-    w.u32(id.value());
+  for (const auto& [value, slot] : ids) {
+    const Flow& flow = *flows_.find(slot);
+    w.u32(value);
     w.u32(flow.src.value());
     w.u32(flow.dst.value());
     w.f64(flow.bytesRemaining);
@@ -594,13 +661,13 @@ bool FlowNetwork::saveState(snapshot::Writer& w, std::string* error) const {
   }
   w.u64(endpoints_.size());
   for (const EndpointState& state : endpoints_) {
-    saveFlowList(w, state.uploads);
-    saveFlowList(w, state.downloads);
+    saveSlotList(state.uploads);
+    saveSlotList(state.downloads);
     w.u64(state.uploadQueue.size());
-    for (const FlowId id : state.uploadQueue) w.u32(id.value());
-    saveFlowList(w, state.queuedInbound);
-    saveFlowList(w, state.pausedUploads);
-    saveFlowList(w, state.pausedDownloads);
+    for (const Slot slot : state.uploadQueue) w.u32(publicId(slot));
+    saveSlotList(state.queuedInbound);
+    saveSlotList(state.pausedUploads);
+    saveSlotList(state.pausedDownloads);
     w.u64(state.bytesUploaded);
     w.u64(state.bytesDownloaded);
     w.u64(state.flowsShed);
@@ -609,14 +676,38 @@ bool FlowNetwork::saveState(snapshot::Writer& w, std::string* error) const {
   return true;
 }
 
+namespace {
+
+template <typename Container, typename Index>
+bool loadSlotList(snapshot::Reader& r, const Index& index, Container* out) {
+  const std::size_t count = r.count(4);
+  out->clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t id = r.u32();
+    if (!r.ok()) return false;
+    const auto it = index.find(id);
+    if (it == index.end()) {
+      r.fail("endpoint flow list references unknown flow");
+      return false;
+    }
+    out->push_back(it->second);
+  }
+  return true;
+}
+
+}  // namespace
+
 bool FlowNetwork::loadState(snapshot::Reader& r) {
   r.section(0x574f4c46, "flow network");
   const std::size_t flowCount = r.count(4 + 4 + 4 + 8 + 8 + 8 + 8 + 3 + 40);
   if (!r.ok()) return false;
-  flows_.clear();
+  flows_ = SlotPool<Flow>{};
+  index_.clear();
+  dirtyList_.clear();
   for (std::size_t i = 0; i < flowCount; ++i) {
     const FlowId id{r.u32()};
     Flow flow;
+    flow.id = id;
     flow.src = EndpointId{r.u32()};
     flow.dst = EndpointId{r.u32()};
     flow.bytesRemaining = r.f64();
@@ -638,12 +729,13 @@ bool FlowNetwork::loadState(snapshot::Reader& r) {
     if (!hasEndpoint(flow.src) || !hasEndpoint(flow.dst) ||
         flowClass >= kFlowClassCount || (flow.queued && flow.paused) ||
         flow.bytesRemaining < 0.0 || flow.totalBytes == 0 ||
-        flows_.count(id) != 0) {
+        index_.count(id.value()) != 0) {
       r.fail("flow record out of range");
       return false;
     }
     flow.flowClass = static_cast<FlowClass>(flowClass);
-    flows_.emplace(id, std::move(flow));
+    const Slot slot = flows_.insert(std::move(flow));
+    index_.emplace(id.value(), slot);
   }
   const std::size_t endpointCount = r.count(9 * 8);
   if (!r.ok() || endpointCount != endpoints_.size()) {
@@ -651,20 +743,20 @@ bool FlowNetwork::loadState(snapshot::Reader& r) {
     return false;
   }
   for (EndpointState& state : endpoints_) {
-    if (!loadFlowList(r, flows_, &state.uploads)) return false;
-    if (!loadFlowList(r, flows_, &state.downloads)) return false;
-    if (!loadFlowList(r, flows_, &state.uploadQueue)) return false;
-    if (!loadFlowList(r, flows_, &state.queuedInbound)) return false;
-    if (!loadFlowList(r, flows_, &state.pausedUploads)) return false;
-    if (!loadFlowList(r, flows_, &state.pausedDownloads)) return false;
+    if (!loadSlotList(r, index_, &state.uploads)) return false;
+    if (!loadSlotList(r, index_, &state.downloads)) return false;
+    if (!loadSlotList(r, index_, &state.uploadQueue)) return false;
+    if (!loadSlotList(r, index_, &state.queuedInbound)) return false;
+    if (!loadSlotList(r, index_, &state.pausedUploads)) return false;
+    if (!loadSlotList(r, index_, &state.pausedDownloads)) return false;
     state.bytesUploaded = r.u64();
     state.bytesDownloaded = r.u64();
     state.flowsShed = r.u64();
   }
   nextFlowId_ = r.u32();
   if (!r.ok()) return false;
-  for (const auto& [id, flow] : flows_) {
-    if (id.value() >= nextFlowId_) {
+  for (const auto& [value, slot] : index_) {
+    if (value >= nextFlowId_) {
       r.fail("flow id collides with the id allocator");
       return false;
     }

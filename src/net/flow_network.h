@@ -14,6 +14,18 @@
 // (Table I) saturate under PA-VoD and produce the paper's startup-delay
 // blow-up — no special-case queueing code needed.
 //
+// Rate allocation is *incremental*: mutations update membership immediately
+// but only mark their endpoints dirty; the settle + completion-reschedule
+// work runs once per dirty endpoint when the enclosing mutation batch
+// commits. Every public mutation is its own implicit batch, so single calls
+// behave exactly like the old eager solver; churn events that add/remove
+// many flows at once (a node departure, a promotion wave) wrap the calls in
+// a MutationBatch and pay for each affected flow once instead of once per
+// mutation. Batches never span simulated time, which is why the deferred
+// settle is bitwise-identical to eager recomputation: a flow's recorded
+// rate always covers exactly the [lastUpdate, now] span it was in effect
+// for (see DESIGN.md §12).
+//
 // Overload control (all off by default; a run with every knob at its default
 // is bitwise-identical to a build without this layer):
 //
@@ -31,12 +43,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/slot_pool.h"
 #include "util/strong_id.h"
 
 namespace st::net {
@@ -54,25 +66,52 @@ enum class FlowClass : std::uint8_t {
 };
 inline constexpr std::size_t kFlowClassCount = 3;
 
+// Out-of-band flow lifecycle notifications. Observers are plain interfaces
+// (no captured state inside FlowNetwork), so a network full of live flows
+// snapshots without an escape hatch; they are re-registered by experiment
+// setup, never serialized. Within one batch, abort notifications fire in
+// ascending flow-id order; shed notifications fire immediately in call
+// order. Completion is additionally (and primarily) signalled through the
+// checkpointable completion tag — onFlowCompleted exists for tests and
+// ad-hoc instrumentation.
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  // The source's admission policy refused the flow (startFlow returns
+  // invalid after this fires).
+  virtual void onFlowShed(EndpointId /*src*/, EndpointId /*dst*/,
+                          FlowClass /*flowClass*/) {}
+  // dropEndpointFlows aborted an *upload* of the dropped endpoint: the
+  // remote downloader lost its provider mid-transfer and `bytesDone` bytes
+  // had been delivered. Fired after the doomed flows are unlinked, so
+  // starting replacement flows from inside the callback is safe (they join
+  // the same batch).
+  virtual void onFlowAborted(FlowId /*id*/, std::uint64_t /*bytesDone*/) {}
+  // The flow's last byte arrived (fires before the completion tag).
+  virtual void onFlowCompleted(FlowId /*id*/) {}
+};
+
+// Per-flow start options (namespace scope rather than nested so it can serve
+// as a `= {}` default argument — a nested class's member initializers are
+// parsed in the enclosing class's complete-class context, which GCC rejects
+// for default arguments; see GCC PR c++/96645).
+struct FlowOptions {
+  FlowClass flowClass = FlowClass::kPlayback;
+  // Admission deadline (duration from now): if the estimated wait behind
+  // the source's queued/active backlog exceeds it, the flow is shed at
+  // start. 0 = patient (never shed by deadline).
+  sim::SimTime deadline = 0;
+  // Checkpointable completion notification: when tagged, the last byte's
+  // arrival invokes the tag through its component factory.
+  sim::EventTag completionTag{};
+};
+
 class FlowNetwork : public sim::EventFactory {
  public:
-  using CompletionCallback = std::function<void()>;
-
   // Tag kinds for Component::kFlow events (snapshot format; append only).
   static constexpr std::uint8_t kFinishEvent = 0;  // a = flow id
 
-  struct FlowOptions {
-    FlowClass flowClass = FlowClass::kPlayback;
-    // Admission deadline (duration from now): if the estimated wait behind
-    // the source's queued/active backlog exceeds it, the flow is shed at
-    // start. 0 = patient (never shed by deadline).
-    sim::SimTime deadline = 0;
-    // Checkpointable completion notification: when tagged, the last byte's
-    // arrival invokes the tag through its component factory (synchronously,
-    // like the closure callback). Flows carrying a closure `onComplete`
-    // cannot be snapshotted; runtime protocol flows use tags.
-    sim::EventTag completionTag{};
-  };
+  using FlowOptions = net::FlowOptions;
 
   // Admission policy for an endpoint with an upload concurrency limit.
   // Inactive by default; see the header comment for the shed rules.
@@ -120,23 +159,44 @@ class FlowNetwork : public sim::EventFactory {
   // to a free slot are never shed).
   void setAdmissionPolicy(EndpointId endpoint, AdmissionPolicy policy);
 
-  // Observer invoked for every shed flow (before startFlow returns invalid).
-  using ShedCallback =
-      std::function<void(EndpointId src, EndpointId dst, FlowClass flowClass)>;
-  void setShedCallback(ShedCallback callback);
+  // Observer registration. Observers are notified in registration order and
+  // must outlive the network (or remove themselves first).
+  void addObserver(FlowObserver* observer);
+  void removeObserver(FlowObserver* observer);
 
-  // Starts a transfer of `bytes` from src to dst; `onComplete` fires when the
-  // last byte arrives. Returns a handle usable with cancelFlow() — or
-  // FlowId::invalid() when the source's admission policy shed the flow (the
-  // completion callback is dropped and will never fire).
+  // --- mutation batches -------------------------------------------------------
+  // Between beginBatch() and the matching applyBatch(), mutations update
+  // flow membership immediately but defer the fair-share settle/reschedule
+  // of affected flows; the outermost applyBatch() drains the dirty-endpoint
+  // set and recomputes each affected flow exactly once. Batches nest.
+  // Queries of *rates* (flowRateBps, estimated backlog) made mid-batch see
+  // the pre-batch rates — correct for elapsed-time accounting, stale as a
+  // forecast; membership queries (counts, paused/queued flags) are always
+  // current. Batches must not span simulated time.
+  void beginBatch();
+  void applyBatch();
+
+  // RAII batch scope for multi-mutation churn events.
+  class MutationBatch {
+   public:
+    explicit MutationBatch(FlowNetwork& network) : network_(network) {
+      network_.beginBatch();
+    }
+    ~MutationBatch() { network_.applyBatch(); }
+    MutationBatch(const MutationBatch&) = delete;
+    MutationBatch& operator=(const MutationBatch&) = delete;
+
+   private:
+    FlowNetwork& network_;
+  };
+
+  // Starts a transfer of `bytes` from src to dst. Returns a handle usable
+  // with cancelFlow() — or FlowId::invalid() when the source's admission
+  // policy shed the flow (observers see onFlowShed; the completion tag is
+  // dropped and will never fire). Completion is signalled through
+  // options.completionTag and FlowObserver::onFlowCompleted.
   FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
-                   CompletionCallback onComplete);
-  FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
-                   FlowOptions options, CompletionCallback onComplete);
-  // Tag-only variant (no closure): completion is signalled through
-  // options.completionTag, if tagged.
-  FlowId startFlow(EndpointId src, EndpointId dst, std::uint64_t bytes,
-                   FlowOptions options);
+                   const FlowOptions& options = {});
 
   // Attaches (or replaces) the completion tag of a live flow. Needed when
   // the tag must reference the flow id startFlow just assigned (prefetch
@@ -144,19 +204,19 @@ class FlowNetwork : public sim::EventFactory {
   // right after startFlow is race-free.
   void setCompletionTag(FlowId id, const sim::EventTag& tag);
 
-  // Aborts a transfer (e.g. provider churned away). The completion callback
-  // does not fire. Safe to call with an already-finished flow id (no-op).
+  // Aborts a transfer (e.g. provider churned away). The completion tag does
+  // not fire. Safe to call with an already-finished flow id (no-op).
   void cancelFlow(FlowId id);
 
   // Aborts every flow in which `endpoint` participates (node departure),
   // including flows still queued at another source whose destination is the
-  // departing endpoint. Invokes `onAborted` (if given) for each cancelled
-  // *active* flow the endpoint was uploading — the remote downloader lost
-  // its provider and must re-request elsewhere; the departed node's own
-  // downloads (and anything still queued) just die silently.
-  using AbortCallback = std::function<void(FlowId, std::uint64_t bytesDone)>;
-  void dropEndpointFlows(EndpointId endpoint,
-                         const AbortCallback& onAborted = nullptr);
+  // departing endpoint. Observers receive onFlowAborted — in ascending
+  // flow-id order — for each cancelled *active or paused* flow the endpoint
+  // was uploading: the remote downloader lost its provider and must
+  // re-request elsewhere. The departed node's own downloads (and anything
+  // still queued) just die silently. Runs as one batch: every surviving
+  // flow at a touched endpoint settles once, however many flows died.
+  void dropEndpointFlows(EndpointId endpoint);
 
   [[nodiscard]] bool flowActive(FlowId id) const;
   // Instantaneous rate in bits per second (0 for finished flows).
@@ -174,19 +234,35 @@ class FlowNetwork : public sim::EventFactory {
   // Flows shed by `endpoint`'s admission policy since the start of the run.
   [[nodiscard]] std::uint64_t flowsShed(EndpointId id) const;
 
+  // Diagnostic: settle+reschedule operations performed by batch drains since
+  // construction. The dirty-set regression tests and bench assert on deltas;
+  // not serialized (resets on restore), not registered as a metric.
+  [[nodiscard]] std::uint64_t rateRecomputations() const {
+    return rateRecomputations_;
+  }
+
   // Checkpoint/restore of the mutable data plane: every live flow (sorted by
   // id for a canonical byte stream), per-endpoint membership lists verbatim
   // (their order drives fair-share refresh order), transfer tallies, and the
-  // id allocator. Static configuration (capacities, limits, policies, floor)
-  // is re-applied by the experiment setup before restore. Fails — without
-  // writing — if any live flow carries a closure completion callback.
+  // id allocator. Static configuration (capacities, limits, policies, floor,
+  // observers) is re-applied by the experiment setup before restore.
   // Completion EventHandles are re-stored by onRestored() while the
   // simulator queue loads (after this), so loadState leaves them invalid.
+  // The byte format is slot-arena-free: membership lists serialize as public
+  // flow ids, so the internal pool layout never leaks into the snapshot.
   bool saveState(snapshot::Writer& w, std::string* error) const;
   bool loadState(snapshot::Reader& r);
 
  private:
+  struct Flow;
+  // Internal generation-stamped arena handle (util::SlotPool). Membership
+  // lists store these, so the drain loop is index arithmetic + one
+  // generation compare per flow — no hashing. Public FlowIds map to slots
+  // through index_ exactly once per public-API call.
+  using Slot = SlotPool<Flow>::Id;
+
   struct Flow {
+    FlowId id;                     // public id (snapshot-stable)
     EndpointId src;
     EndpointId dst;
     double bytesRemaining = 0.0;
@@ -198,39 +274,52 @@ class FlowNetwork : public sim::EventFactory {
     bool paused = false;           // preempted by a higher-class flow
     sim::EventHandle completion;
     sim::EventTag completionTag{};  // serializable completion notification
-    CompletionCallback onComplete;  // test-only; blocks snapshotting
+    std::uint64_t drainStamp = 0;   // drain-epoch dedup mark (transient)
   };
 
   struct EndpointState {
     EndpointCapacity capacity;
-    std::vector<FlowId> uploads;    // insertion order => deterministic
-    std::vector<FlowId> downloads;
+    std::vector<Slot> uploads;    // insertion order => deterministic
+    std::vector<Slot> downloads;
     std::size_t uploadLimit = std::numeric_limits<std::size_t>::max();
-    std::deque<FlowId> uploadQueue;
+    std::deque<Slot> uploadQueue;
     // Flows queued at *another* source that will download into this
     // endpoint; tracked so dropEndpointFlows can purge them (a queued flow
     // is in nobody's uploads/downloads lists yet).
-    std::vector<FlowId> queuedInbound;
+    std::vector<Slot> queuedInbound;
     // Preempted flows, in pause order (pausedUploads at src mirrors
     // pausedDownloads at dst).
-    std::vector<FlowId> pausedUploads;
-    std::vector<FlowId> pausedDownloads;
+    std::vector<Slot> pausedUploads;
+    std::vector<Slot> pausedDownloads;
     AdmissionPolicy admission;
     bool admissionEnabled = false;
     std::uint64_t bytesUploaded = 0;
     std::uint64_t bytesDownloaded = 0;
     std::uint64_t flowsShed = 0;
+    std::uint64_t dirtyStamp = 0;  // drain-epoch dedup mark (transient)
   };
 
+  [[nodiscard]] Slot slotOf(FlowId id) const;
   [[nodiscard]] double fairRate(const Flow& flow) const;
   void settle(Flow& flow);
-  void reschedule(FlowId id, Flow& flow);
-  // Re-derives rates for all flows touching `endpoint`.
-  void refreshEndpoint(EndpointId endpoint);
+  void reschedule(Flow& flow);
+  // Queues `endpoint` for a fair-share refresh at batch commit. Every
+  // membership change marks both affected endpoints; duplicates are cheap
+  // (appended, deduped at drain).
+  void markDirty(EndpointId endpoint);
+  // Settles and reschedules every flow at a dirty endpoint exactly once, in
+  // the order the eager solver's *final* refresh of each flow would have
+  // used (endpoints by last mark, flows by membership order, keeping a
+  // flow's last occurrence) — same completion events, same tie-breaking.
+  void drain();
   void finish(FlowId id);
-  void removeFlow(FlowId id, bool completed);
+  // Unlinks the flow everywhere, credits tallies when `completed`, releases
+  // its slot, and returns the record (for post-batch notification). Discards
+  // the completion tag itself on abandonment; invoking it on completion is
+  // the caller's job, after the batch commits.
+  Flow removeFlow(Slot slot, bool completed);
   // Makes a queued or paused flow active (slot freed at its source).
-  void activate(FlowId id, Flow& flow);
+  void activate(Slot slot, Flow& flow);
   // Promotes queued uploads at `endpoint` while slots are available.
   void promoteQueued(EndpointId endpoint);
   // True when the source's admission policy rejects this flow now.
@@ -240,10 +329,10 @@ class FlowNetwork : public sim::EventFactory {
   // needs to drain at full uplink rate.
   [[nodiscard]] double estimatedBacklogSeconds(
       const EndpointState& state) const;
-  // Pauses lower-class flows at the bottleneck endpoint of `id` until its
-  // rate reaches the floor (or no victims remain). No-op with floor 0.
-  void enforceFloorFor(FlowId id);
-  void pauseFlow(FlowId id, Flow& flow);
+  // Pauses lower-class flows at the bottleneck endpoint of `flow` until its
+  // fair share reaches the floor (or no victims remain). No-op with floor 0.
+  void enforceFloorFor(Flow& flow);
+  void pauseFlow(Slot slot, Flow& flow);
   // Resumes paused flows touching `endpoint` while doing so pushes no
   // higher-class flow below the floor.
   void resumePaused(EndpointId endpoint);
@@ -251,10 +340,25 @@ class FlowNetwork : public sim::EventFactory {
 
   sim::Simulator& sim_;
   std::vector<EndpointState> endpoints_;
-  std::unordered_map<FlowId, Flow> flows_;
+  // Flow records live in a generation-stamped arena; the hash map exists
+  // only at the public-id boundary (one lookup per API call, none inside
+  // the drain loops).
+  SlotPool<Flow> flows_;
+  std::unordered_map<std::uint32_t, Slot> index_;  // public id -> slot
   std::uint32_t nextFlowId_ = 1;
   double floorBps_ = 0.0;
-  ShedCallback shedCallback_;
+  std::vector<FlowObserver*> observers_;
+
+  // Batch state. dirtyList_ is append-only within a batch (duplicates
+  // allowed); the scratch vectors are reused across drains so steady-state
+  // commits allocate nothing.
+  int batchDepth_ = 0;
+  std::uint64_t drainEpoch_ = 0;
+  std::vector<EndpointId> dirtyList_;
+  std::vector<EndpointId> drainEndpoints_;  // scratch: deduped, last-mark order
+  std::vector<Slot> drainMembers_;          // scratch: concatenated membership
+  std::vector<Slot> drainOrder_;            // scratch: deduped, reversed
+  std::uint64_t rateRecomputations_ = 0;
 };
 
 }  // namespace st::net

@@ -163,6 +163,9 @@ void TransferManager::beginBody(WatchId id) {
     segment.chunks = base + (i < extra ? 1 : 0);
     segment.bytes = segment.chunks * asset.chunkBytes;
   }
+  // One batch for the whole stripe wave: with N stripes the shared
+  // destination endpoint settles once, not N times.
+  net::FlowNetwork::MutationBatch batch(ctx_.network().flows());
   for (std::size_t i = 0; i < stripes; ++i) {
     if (!startSegmentFlow(id, i, providers[i])) {
       // Shed at the source: abandon the watch (phaseTimeout cancels any
@@ -413,6 +416,12 @@ void TransferManager::prefetchComplete(FlowId flow) {
 }
 
 void TransferManager::onUserOffline(UserId user) {
+  // A departure cancels and re-sources many flows at once; one batch settles
+  // every surviving flow at the touched endpoints a single time when the
+  // scope closes (the failover startFlows triggered by onFlowAborted land
+  // inside dropEndpointFlows' own nested batch and join it too).
+  net::FlowNetwork::MutationBatch batch(ctx_.network().flows());
+
   // 1. The user's own watches die silently (no callbacks — the user left).
   const std::vector<WatchId> own =
       userWatches_[user.index()];  // copy: eraseWatch mutates
@@ -434,12 +443,12 @@ void TransferManager::onUserOffline(UserId user) {
   }
 
   // 3. Remote downloads this user was serving fail over to the server;
-  //    remote prefetches it was serving are dropped.
-  ctx_.network().flows().dropEndpointFlows(
-      ctx_.endpointOf(user),
-      [this](FlowId flow, std::uint64_t bytesDone) {
-        failOverToServer(flow, bytesDone);
-      });
+  //    remote prefetches it was serving are dropped (onFlowAborted).
+  ctx_.network().flows().dropEndpointFlows(ctx_.endpointOf(user));
+}
+
+void TransferManager::onFlowAborted(FlowId flow, std::uint64_t bytesDone) {
+  failOverToServer(flow, bytesDone);
 }
 
 UserId TransferManager::pickFailoverProvider(const Watch& watch,

@@ -25,15 +25,17 @@ namespace st::vod {
 
 class VodSystem;
 
-class TransferManager : public sim::EventFactory {
+class TransferManager : public sim::EventFactory, public net::FlowObserver {
  public:
   explicit TransferManager(SystemContext& ctx)
       : ctx_(ctx),
         userWatches_(ctx.catalog().userCount()),
         prefetchInFlight_(ctx.catalog().userCount(), 0) {
     ctx_.sim().registerFactory(sim::Component::kTransfer, this);
+    ctx_.network().flows().addObserver(this);
   }
   ~TransferManager() override {
+    ctx_.network().flows().removeObserver(this);
     if (ctx_.sim().factory(sim::Component::kTransfer) == this) {
       ctx_.sim().registerFactory(sim::Component::kTransfer, nullptr);
     }
@@ -57,6 +59,13 @@ class TransferManager : public sim::EventFactory {
   // EventFactory for Component::kTransfer.
   [[nodiscard]] sim::Callback rebuild(const sim::EventTag& tag) override;
   void onRestored(const sim::EventTag& tag, sim::EventHandle handle) override;
+
+  // FlowObserver: a provider endpoint dropped out from under `flow` (node
+  // departure); credit what it delivered and restart the remainder from a
+  // surviving extra provider or the origin server. Registered for the whole
+  // manager lifetime — TransferManager owns every flow whose abort matters
+  // here, and aborts of flows it doesn't know are ignored by lookup.
+  void onFlowAborted(FlowId flow, std::uint64_t bytesDone) override;
 
   struct WatchRequest {
     UserId user;

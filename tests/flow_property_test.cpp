@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "flow_observer.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -52,6 +53,7 @@ class FlowPropertyTest : public ::testing::Test {
 
   sim::Simulator sim_;
   FlowNetwork flows_;
+  test::TestFlowObserver observer_{flows_};
 };
 
 TEST_F(FlowPropertyTest, RandomChurnNeverOversubscribesAnyEndpoint) {
@@ -96,8 +98,8 @@ TEST_F(FlowPropertyTest, RandomChurnNeverOversubscribesAnyEndpoint) {
       options.flowClass = static_cast<FlowClass>(rng.uniformInt(3));
       const auto bytes =
           static_cast<std::uint64_t>(rng.uniformInt(10'000, 400'000));
-      const FlowId id =
-          flows_.startFlow(src, dst, bytes, options,
+      const FlowId id = flows_.startFlow(src, dst, bytes, options);
+      observer_.onComplete(id,
                            [&completedTally, bytes] { completedTally += bytes; });
       if (id.valid()) {
         live.emplace(id, LiveFlow{src, dst, bytes});
@@ -151,7 +153,8 @@ TEST_F(FlowPropertyTest, SettledBytesMatchAnalyticIntegralUnderPreemption) {
   FlowNetwork::FlowOptions prefetch;
   prefetch.flowClass = FlowClass::kPrefetch;
   const FlowId prefetchId =
-      flows_.startFlow(EndpointId{0}, EndpointId{1}, 125'000, prefetch,
+      flows_.startFlow(EndpointId{0}, EndpointId{1}, 125'000, prefetch);
+  observer_.onComplete(prefetchId,
                        [&] { prefetchDone = sim::toSeconds(sim_.now()); });
 
   sim_.runUntil(sim::fromSeconds(0.5));
@@ -160,7 +163,8 @@ TEST_F(FlowPropertyTest, SettledBytesMatchAnalyticIntegralUnderPreemption) {
   FlowNetwork::FlowOptions playback;
   playback.flowClass = FlowClass::kPlayback;
   const FlowId playbackId =
-      flows_.startFlow(EndpointId{0}, EndpointId{2}, 125'000, playback,
+      flows_.startFlow(EndpointId{0}, EndpointId{2}, 125'000, playback);
+  observer_.onComplete(playbackId,
                        [&] { playbackDone = sim::toSeconds(sim_.now()); });
   EXPECT_TRUE(flows_.flowPaused(prefetchId));
   EXPECT_FALSE(flows_.flowPaused(playbackId));
@@ -185,9 +189,8 @@ TEST_F(FlowPropertyTest, FloorZeroMatchesPlainFairShare) {
   FlowNetwork::FlowOptions prefetch;
   prefetch.flowClass = FlowClass::kPrefetch;
   const FlowId a =
-      flows_.startFlow(EndpointId{0}, EndpointId{1}, 125'000, prefetch, [] {});
-  const FlowId b =
-      flows_.startFlow(EndpointId{0}, EndpointId{2}, 125'000, [] {});
+      flows_.startFlow(EndpointId{0}, EndpointId{1}, 125'000, prefetch);
+  const FlowId b = flows_.startFlow(EndpointId{0}, EndpointId{2}, 125'000);
   EXPECT_FALSE(flows_.flowPaused(a));
   EXPECT_FALSE(flows_.flowPaused(b));
   EXPECT_NEAR(flows_.flowRateBps(a), 5e5, 1.0);

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "flow_observer.h"
 #include "sim/simulator.h"
 
 namespace st::net {
@@ -27,15 +28,18 @@ class FlowQueueTest : public ::testing::Test {
 
   sim::Simulator sim_;
   FlowNetwork flows_;
+  test::TestFlowObserver observer_{flows_};
 };
 
 TEST_F(FlowQueueTest, SecondFlowWaitsForSlot) {
   flows_.setUploadConcurrencyLimit(kServer, 1);
   std::vector<double> completions;
-  flows_.startFlow(kServer, kA, 1'000'000,
-                   [&] { completions.push_back(sim::toSeconds(sim_.now())); });
-  flows_.startFlow(kServer, kB, 1'000'000,
-                   [&] { completions.push_back(sim::toSeconds(sim_.now())); });
+  observer_.onComplete(
+      flows_.startFlow(kServer, kA, 1'000'000),
+      [&] { completions.push_back(sim::toSeconds(sim_.now())); });
+  observer_.onComplete(
+      flows_.startFlow(kServer, kB, 1'000'000),
+      [&] { completions.push_back(sim::toSeconds(sim_.now())); });
   EXPECT_EQ(flows_.activeUploads(kServer), 1u);
   EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
   sim_.run();
@@ -49,17 +53,20 @@ TEST_F(FlowQueueTest, SecondFlowWaitsForSlot) {
 TEST_F(FlowQueueTest, PromotionIsFifo) {
   flows_.setUploadConcurrencyLimit(kServer, 1);
   std::vector<int> order;
-  flows_.startFlow(kServer, kA, 100'000, [&] { order.push_back(1); });
-  flows_.startFlow(kServer, kB, 100'000, [&] { order.push_back(2); });
-  flows_.startFlow(kServer, kC, 100'000, [&] { order.push_back(3); });
+  observer_.onComplete(flows_.startFlow(kServer, kA, 100'000),
+                       [&] { order.push_back(1); });
+  observer_.onComplete(flows_.startFlow(kServer, kB, 100'000),
+                       [&] { order.push_back(2); });
+  observer_.onComplete(flows_.startFlow(kServer, kC, 100'000),
+                       [&] { order.push_back(3); });
   sim_.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST_F(FlowQueueTest, QueuedFlowHasZeroRateAndNoProgress) {
   flows_.setUploadConcurrencyLimit(kServer, 1);
-  flows_.startFlow(kServer, kA, 10'000'000, [] {});
-  const FlowId queued = flows_.startFlow(kServer, kB, 1'000'000, [] {});
+  flows_.startFlow(kServer, kA, 10'000'000);
+  const FlowId queued = flows_.startFlow(kServer, kB, 1'000'000);
   EXPECT_TRUE(flows_.flowActive(queued));
   EXPECT_DOUBLE_EQ(flows_.flowRateBps(queued), 0.0);
   // The queued flow does not consume the destination's download share.
@@ -70,9 +77,11 @@ TEST_F(FlowQueueTest, CancelQueuedFlowLeavesQueueConsistent) {
   flows_.setUploadConcurrencyLimit(kServer, 1);
   bool aDone = false;
   bool cDone = false;
-  flows_.startFlow(kServer, kA, 500'000, [&] { aDone = true; });
-  const FlowId queuedB = flows_.startFlow(kServer, kB, 500'000, [] {});
-  flows_.startFlow(kServer, kC, 500'000, [&] { cDone = true; });
+  observer_.onComplete(flows_.startFlow(kServer, kA, 500'000),
+                       [&] { aDone = true; });
+  const FlowId queuedB = flows_.startFlow(kServer, kB, 500'000);
+  observer_.onComplete(flows_.startFlow(kServer, kC, 500'000),
+                       [&] { cDone = true; });
   flows_.cancelFlow(queuedB);
   EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
   sim_.run();
@@ -83,14 +92,13 @@ TEST_F(FlowQueueTest, CancelQueuedFlowLeavesQueueConsistent) {
 
 TEST_F(FlowQueueTest, DropEndpointDrainsQueueSilently) {
   flows_.setUploadConcurrencyLimit(kServer, 1);
-  int notified = 0;
-  flows_.startFlow(kServer, kA, 1'000'000, [] {});
-  flows_.startFlow(kServer, kB, 1'000'000, [] {});
-  flows_.startFlow(kServer, kC, 1'000'000, [] {});
-  flows_.dropEndpointFlows(kServer,
-                           [&](FlowId, std::uint64_t) { ++notified; });
-  // Only the active upload triggers the abort callback; queued ones vanish.
-  EXPECT_EQ(notified, 1);
+  flows_.startFlow(kServer, kA, 1'000'000);
+  flows_.startFlow(kServer, kB, 1'000'000);
+  flows_.startFlow(kServer, kC, 1'000'000);
+  flows_.dropEndpointFlows(kServer);
+  // Only the active upload triggers the abort notification; queued ones
+  // vanish.
+  EXPECT_EQ(observer_.aborts.size(), 1u);
   EXPECT_EQ(flows_.activeFlows(), 0u);
   EXPECT_EQ(flows_.queuedUploads(kServer), 0u);
 }
@@ -102,9 +110,10 @@ TEST_F(FlowQueueTest, DropDestinationPurgesItsQueuedFlow) {
   flows_.setUploadConcurrencyLimit(kServer, 1);
   bool aDone = false;
   bool bDone = false;
-  flows_.startFlow(kServer, kA, 1'000'000, [&] { aDone = true; });
-  const FlowId queuedB =
-      flows_.startFlow(kServer, kB, 1'000'000, [&] { bDone = true; });
+  observer_.onComplete(flows_.startFlow(kServer, kA, 1'000'000),
+                       [&] { aDone = true; });
+  const FlowId queuedB = flows_.startFlow(kServer, kB, 1'000'000);
+  observer_.onComplete(queuedB, [&] { bDone = true; });
   ASSERT_EQ(flows_.queuedUploads(kServer), 1u);
   flows_.dropEndpointFlows(kB);
   EXPECT_FALSE(flows_.flowActive(queuedB));
@@ -119,9 +128,10 @@ TEST_F(FlowQueueTest, DropDestinationPurgesItsQueuedFlow) {
 TEST_F(FlowQueueTest, DropDestinationSkipsQueueButKeepsLaterEntries) {
   flows_.setUploadConcurrencyLimit(kServer, 1);
   bool cDone = false;
-  flows_.startFlow(kServer, kA, 500'000, [] {});
-  flows_.startFlow(kServer, kB, 500'000, [] {});
-  flows_.startFlow(kServer, kC, 500'000, [&] { cDone = true; });
+  flows_.startFlow(kServer, kA, 500'000);
+  flows_.startFlow(kServer, kB, 500'000);
+  observer_.onComplete(flows_.startFlow(kServer, kC, 500'000),
+                       [&] { cDone = true; });
   ASSERT_EQ(flows_.queuedUploads(kServer), 2u);
   flows_.dropEndpointFlows(kB);
   EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
@@ -136,8 +146,10 @@ TEST_F(FlowQueueTest, DropAfterNormalCompletionIsANoOp) {
   // flow promotes and finishes, dropping its destination touches nothing.
   flows_.setUploadConcurrencyLimit(kServer, 1);
   int done = 0;
-  flows_.startFlow(kServer, kA, 100'000, [&] { ++done; });
-  flows_.startFlow(kServer, kB, 100'000, [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kServer, kA, 100'000),
+                       [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kServer, kB, 100'000),
+                       [&] { ++done; });
   sim_.run();
   ASSERT_EQ(done, 2);
   flows_.dropEndpointFlows(kB);
@@ -148,8 +160,10 @@ TEST_F(FlowQueueTest, DropAfterNormalCompletionIsANoOp) {
 TEST_F(FlowQueueTest, LimitAboveDemandChangesNothing) {
   flows_.setUploadConcurrencyLimit(kServer, 10);
   int done = 0;
-  flows_.startFlow(kServer, kA, 1'000'000, [&] { ++done; });
-  flows_.startFlow(kServer, kB, 1'000'000, [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kServer, kA, 1'000'000),
+                       [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kServer, kB, 1'000'000),
+                       [&] { ++done; });
   sim_.run();
   EXPECT_EQ(done, 2);
   // Parallel halved rate: both finish at 2 s, like the unlimited case.
@@ -160,7 +174,7 @@ TEST_F(FlowQueueTest, ManyQueuedFlowsKeepPerFlowRateBounded) {
   // The motivation: with a limit, admitted flows never starve.
   flows_.setUploadConcurrencyLimit(kServer, 4);
   for (int i = 0; i < 40; ++i) {
-    flows_.startFlow(kServer, kA, 100'000, [] {});
+    flows_.startFlow(kServer, kA, 100'000);
   }
   EXPECT_EQ(flows_.activeUploads(kServer), 4u);
   EXPECT_EQ(flows_.queuedUploads(kServer), 36u);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "flow_observer.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -26,11 +27,13 @@ class FlowTest : public ::testing::Test {
 
   sim::Simulator sim_;
   FlowNetwork flows_;
+  test::TestFlowObserver observer_{flows_};
 };
 
 TEST_F(FlowTest, SingleFlowTransferTimeIsExact) {
   bool done = false;
-  flows_.startFlow(kA, kB, 1'000'000, [&] { done = true; });
+  observer_.onComplete(flows_.startFlow(kA, kB, 1'000'000),
+                       [&] { done = true; });
   sim_.run();
   EXPECT_TRUE(done);
   // 1 MB at 1 MB/s = 1 s.
@@ -41,8 +44,8 @@ TEST_F(FlowTest, SingleFlowTransferTimeIsExact) {
 
 TEST_F(FlowTest, TwoFlowsShareUploadFairly) {
   int done = 0;
-  flows_.startFlow(kA, kB, 1'000'000, [&] { ++done; });
-  flows_.startFlow(kA, kC, 1'000'000, [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kA, kB, 1'000'000), [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kA, kC, 1'000'000), [&] { ++done; });
   sim_.run();
   EXPECT_EQ(done, 2);
   // Both share A's uplink: each gets 0.5 MB/s -> 2 s.
@@ -51,8 +54,8 @@ TEST_F(FlowTest, TwoFlowsShareUploadFairly) {
 
 TEST_F(FlowTest, DownloadSideCanBeTheBottleneck) {
   int done = 0;
-  flows_.startFlow(kA, kC, 1'000'000, [&] { ++done; });
-  flows_.startFlow(kB, kC, 1'000'000, [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kA, kC, 1'000'000), [&] { ++done; });
+  observer_.onComplete(flows_.startFlow(kB, kC, 1'000'000), [&] { ++done; });
   sim_.run();
   // Both share C's downlink.
   EXPECT_NEAR(sim::toSeconds(sim_.now()), 2.0, 1e-6);
@@ -61,14 +64,15 @@ TEST_F(FlowTest, DownloadSideCanBeTheBottleneck) {
 
 TEST_F(FlowTest, LateJoinerSlowsExistingFlow) {
   std::vector<double> completions;
-  flows_.startFlow(kA, kB, 1'000'000,
-                   [&] { completions.push_back(sim::toSeconds(sim_.now())); });
+  observer_.onComplete(
+      flows_.startFlow(kA, kB, 1'000'000),
+      [&] { completions.push_back(sim::toSeconds(sim_.now())); });
   // After 0.5 s (half transferred), a second flow halves the rate; the
   // remaining 0.5 MB takes 1 s.
   sim_.schedule(sim::fromSeconds(0.5), [&] {
-    flows_.startFlow(kA, kC, 1'000'000, [&] {
-      completions.push_back(sim::toSeconds(sim_.now()));
-    });
+    observer_.onComplete(
+        flows_.startFlow(kA, kC, 1'000'000),
+        [&] { completions.push_back(sim::toSeconds(sim_.now())); });
   });
   sim_.run();
   ASSERT_EQ(completions.size(), 2u);
@@ -80,9 +84,9 @@ TEST_F(FlowTest, LateJoinerSlowsExistingFlow) {
 
 TEST_F(FlowTest, CompletionFreesBandwidthForRemainingFlow) {
   double secondDone = 0.0;
-  flows_.startFlow(kA, kB, 500'000, [] {});
-  flows_.startFlow(kA, kC, 1'000'000,
-                   [&] { secondDone = sim::toSeconds(sim_.now()); });
+  flows_.startFlow(kA, kB, 500'000);
+  observer_.onComplete(flows_.startFlow(kA, kC, 1'000'000),
+                       [&] { secondDone = sim::toSeconds(sim_.now()); });
   sim_.run();
   // Shared 0.5 MB/s until t=1 (first done); second has 0.5 MB left at full
   // rate -> finishes at 1.5 s.
@@ -91,7 +95,8 @@ TEST_F(FlowTest, CompletionFreesBandwidthForRemainingFlow) {
 
 TEST_F(FlowTest, CancelledFlowNeverCompletes) {
   bool done = false;
-  const FlowId id = flows_.startFlow(kA, kB, 1'000'000, [&] { done = true; });
+  const FlowId id = flows_.startFlow(kA, kB, 1'000'000);
+  observer_.onComplete(id, [&] { done = true; });
   sim_.schedule(sim::fromSeconds(0.2), [&] { flows_.cancelFlow(id); });
   sim_.run();
   EXPECT_FALSE(done);
@@ -107,34 +112,33 @@ TEST_F(FlowTest, CancelUnknownFlowIsNoop) {
 TEST_F(FlowTest, DropEndpointAbortsAllItsFlows) {
   bool bDone = false;
   bool cDone = false;
-  flows_.startFlow(kA, kB, 1'000'000, [&] { bDone = true; });
-  flows_.startFlow(kC, kA, 1'000'000, [&] { cDone = true; });
-  std::vector<std::uint64_t> abortedBytes;
-  sim_.schedule(sim::fromSeconds(0.25), [&] {
-    flows_.dropEndpointFlows(kA, [&](FlowId, std::uint64_t bytes) {
-      abortedBytes.push_back(bytes);
-    });
-  });
+  observer_.onComplete(flows_.startFlow(kA, kB, 1'000'000),
+                       [&] { bDone = true; });
+  observer_.onComplete(flows_.startFlow(kC, kA, 1'000'000),
+                       [&] { cDone = true; });
+  sim_.schedule(sim::fromSeconds(0.25),
+                [&] { flows_.dropEndpointFlows(kA); });
   sim_.run();
   EXPECT_FALSE(bDone);
   EXPECT_FALSE(cDone);
-  // Only A's *upload* (to B) triggers the callback; its own download dies
-  // silently. 0.25 s at 1 MB/s = 250 KB delivered.
-  ASSERT_EQ(abortedBytes.size(), 1u);
-  EXPECT_NEAR(static_cast<double>(abortedBytes[0]), 250'000.0, 1000.0);
+  // Only A's *upload* (to B) triggers the abort notification; its own
+  // download dies silently. 0.25 s at 1 MB/s = 250 KB delivered.
+  ASSERT_EQ(observer_.aborts.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(observer_.aborts[0].bytesDone), 250'000.0,
+              1000.0);
 }
 
 TEST_F(FlowTest, RatesReportedPerFlow) {
-  const FlowId f1 = flows_.startFlow(kA, kB, 10'000'000, [] {});
+  const FlowId f1 = flows_.startFlow(kA, kB, 10'000'000);
   EXPECT_NEAR(flows_.flowRateBps(f1), 8e6, 1.0);
-  const FlowId f2 = flows_.startFlow(kA, kC, 10'000'000, [] {});
+  const FlowId f2 = flows_.startFlow(kA, kC, 10'000'000);
   EXPECT_NEAR(flows_.flowRateBps(f1), 4e6, 1.0);
   EXPECT_NEAR(flows_.flowRateBps(f2), 4e6, 1.0);
 }
 
 TEST_F(FlowTest, ActiveCountsTrackMembership) {
   EXPECT_EQ(flows_.activeUploads(kA), 0u);
-  const FlowId id = flows_.startFlow(kA, kB, 1'000, [] {});
+  const FlowId id = flows_.startFlow(kA, kB, 1'000);
   EXPECT_EQ(flows_.activeUploads(kA), 1u);
   EXPECT_EQ(flows_.activeDownloads(kB), 1u);
   flows_.cancelFlow(id);
@@ -147,8 +151,10 @@ TEST_F(FlowTest, AsymmetricCapacities) {
   FlowNetwork flows(sim);
   flows.addEndpoint(EndpointId{0}, {1e6, 8e6});  // slow uplink
   flows.addEndpoint(EndpointId{1}, {8e6, 8e6});
+  test::TestFlowObserver observer(flows);
   bool done = false;
-  flows.startFlow(EndpointId{0}, EndpointId{1}, 1'000'000, [&] { done = true; });
+  observer.onComplete(flows.startFlow(EndpointId{0}, EndpointId{1}, 1'000'000),
+                      [&] { done = true; });
   sim.run();
   EXPECT_TRUE(done);
   // Bottleneck is the 1 Mbps uplink: 8 s for 1 MB.
@@ -170,6 +176,7 @@ TEST_P(FlowChurnProperty, ConservationAndCapacity) {
     flows.addEndpoint(EndpointId{static_cast<std::uint32_t>(i)},
                       {kUp, kDown});
   }
+  test::TestFlowObserver observer(flows);
   Rng rng(GetParam());
   std::uint64_t expectedBytes = 0;
   std::uint64_t deliveredBytes = 0;
@@ -185,10 +192,12 @@ TEST_P(FlowChurnProperty, ConservationAndCapacity) {
     sim.scheduleAt(at, [&, src, dst, bytes] {
       ++started;
       expectedBytes += bytes;
-      flows.startFlow(EndpointId{src}, EndpointId{dst}, bytes, [&, bytes] {
-        ++completed;
-        deliveredBytes += bytes;
-      });
+      observer.onComplete(
+          flows.startFlow(EndpointId{src}, EndpointId{dst}, bytes),
+          [&, bytes] {
+            ++completed;
+            deliveredBytes += bytes;
+          });
       // Capacity invariant at every topology change.
       for (int e = 0; e < kEndpoints; ++e) {
         const EndpointId id{static_cast<std::uint32_t>(e)};

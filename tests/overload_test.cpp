@@ -11,6 +11,7 @@
 
 #include "exp/config.h"
 #include "exp/runner.h"
+#include "flow_observer.h"
 #include "net/flow_network.h"
 #include "sim/simulator.h"
 #include "vod/breaker.h"
@@ -93,6 +94,7 @@ class AdmissionTest : public ::testing::Test {
 
   sim::Simulator sim_;
   net::FlowNetwork flows_;
+  net::test::TestFlowObserver observer_{flows_};
 };
 
 TEST_F(AdmissionTest, PrefetchIsShedWhenItWouldQueue) {
@@ -100,14 +102,14 @@ TEST_F(AdmissionTest, PrefetchIsShedWhenItWouldQueue) {
   net::FlowNetwork::FlowOptions prefetch;
   prefetch.flowClass = net::FlowClass::kPrefetch;
   // Free slot: admitted.
-  const FlowId first = flows_.startFlow(kServer, kA, 100'000, prefetch, [] {});
+  const FlowId first = flows_.startFlow(kServer, kA, 100'000, prefetch);
   EXPECT_TRUE(first.valid());
   // Slot busy: a prefetch never waits, it is shed.
-  const FlowId second = flows_.startFlow(kServer, kB, 100'000, prefetch, [] {});
+  const FlowId second = flows_.startFlow(kServer, kB, 100'000, prefetch);
   EXPECT_FALSE(second.valid());
   EXPECT_EQ(flows_.flowsShed(kServer), 1u);
   // A playback flow queues instead.
-  const FlowId third = flows_.startFlow(kServer, kC, 100'000, [] {});
+  const FlowId third = flows_.startFlow(kServer, kC, 100'000);
   EXPECT_TRUE(third.valid());
   EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
 }
@@ -117,9 +119,9 @@ TEST_F(AdmissionTest, QueueCapShedsTheOverflow) {
   policy.queueCap = 1;
   policy.shedPrefetch = false;
   flows_.setAdmissionPolicy(kServer, policy);
-  EXPECT_TRUE(flows_.startFlow(kServer, kA, 100'000, [] {}).valid());
-  EXPECT_TRUE(flows_.startFlow(kServer, kB, 100'000, [] {}).valid());  // queued
-  const FlowId overflow = flows_.startFlow(kServer, kC, 100'000, [] {});
+  EXPECT_TRUE(flows_.startFlow(kServer, kA, 100'000).valid());
+  EXPECT_TRUE(flows_.startFlow(kServer, kB, 100'000).valid());  // queued
+  const FlowId overflow = flows_.startFlow(kServer, kC, 100'000);
   EXPECT_FALSE(overflow.valid());
   EXPECT_EQ(flows_.flowsShed(kServer), 1u);
   EXPECT_EQ(flows_.queuedUploads(kServer), 1u);
@@ -128,35 +130,28 @@ TEST_F(AdmissionTest, QueueCapShedsTheOverflow) {
 TEST_F(AdmissionTest, DeadlineShedsWhenBacklogCannotDrainInTime) {
   flows_.setAdmissionPolicy(kServer, {});
   // 1 MB active at 1 Mbps = 8 s of backlog ahead of any queued flow.
-  ASSERT_TRUE(flows_.startFlow(kServer, kA, 1'000'000, [] {}).valid());
+  ASSERT_TRUE(flows_.startFlow(kServer, kA, 1'000'000).valid());
   net::FlowNetwork::FlowOptions impatient;
   impatient.deadline = sim::fromSeconds(4.0);
-  EXPECT_FALSE(
-      flows_.startFlow(kServer, kB, 100'000, impatient, [] {}).valid());
+  EXPECT_FALSE(flows_.startFlow(kServer, kB, 100'000, impatient).valid());
   net::FlowNetwork::FlowOptions patientEnough;
   patientEnough.deadline = sim::fromSeconds(20.0);
-  EXPECT_TRUE(
-      flows_.startFlow(kServer, kB, 100'000, patientEnough, [] {}).valid());
+  EXPECT_TRUE(flows_.startFlow(kServer, kB, 100'000, patientEnough).valid());
   // deadline 0 = patient forever.
-  EXPECT_TRUE(flows_.startFlow(kServer, kC, 100'000, [] {}).valid());
+  EXPECT_TRUE(flows_.startFlow(kServer, kC, 100'000).valid());
   EXPECT_EQ(flows_.flowsShed(kServer), 1u);
 }
 
-TEST_F(AdmissionTest, ShedCallbackReportsTheRefusedFlow) {
+TEST_F(AdmissionTest, ShedObserverReportsTheRefusedFlow) {
   flows_.setAdmissionPolicy(kServer, {});
-  std::vector<std::pair<EndpointId, net::FlowClass>> shed;
-  flows_.setShedCallback(
-      [&](EndpointId src, EndpointId dst, net::FlowClass flowClass) {
-        EXPECT_EQ(src, kServer);
-        shed.emplace_back(dst, flowClass);
-      });
   net::FlowNetwork::FlowOptions prefetch;
   prefetch.flowClass = net::FlowClass::kPrefetch;
-  flows_.startFlow(kServer, kA, 100'000, prefetch, [] {});
-  flows_.startFlow(kServer, kB, 100'000, prefetch, [] {});
-  ASSERT_EQ(shed.size(), 1u);
-  EXPECT_EQ(shed[0].first, kB);
-  EXPECT_EQ(shed[0].second, net::FlowClass::kPrefetch);
+  flows_.startFlow(kServer, kA, 100'000, prefetch);
+  flows_.startFlow(kServer, kB, 100'000, prefetch);
+  ASSERT_EQ(observer_.shed.size(), 1u);
+  EXPECT_EQ(observer_.shed[0].src, kServer);
+  EXPECT_EQ(observer_.shed[0].dst, kB);
+  EXPECT_EQ(observer_.shed[0].flowClass, net::FlowClass::kPrefetch);
 }
 
 TEST_F(AdmissionTest, NoPolicyMeansNoShedding) {
@@ -165,8 +160,8 @@ TEST_F(AdmissionTest, NoPolicyMeansNoShedding) {
   net::FlowNetwork::FlowOptions impatient;
   impatient.flowClass = net::FlowClass::kPrefetch;
   impatient.deadline = sim::fromSeconds(0.001);
-  ASSERT_TRUE(flows_.startFlow(kServer, kA, 1'000'000, [] {}).valid());
-  EXPECT_TRUE(flows_.startFlow(kServer, kB, 100'000, impatient, [] {}).valid());
+  ASSERT_TRUE(flows_.startFlow(kServer, kA, 1'000'000).valid());
+  EXPECT_TRUE(flows_.startFlow(kServer, kB, 100'000, impatient).valid());
   EXPECT_EQ(flows_.flowsShed(kServer), 0u);
 }
 
@@ -185,10 +180,10 @@ class PreemptionTest : public ::testing::Test {
   void setupPreemption() {
     net::FlowNetwork::FlowOptions prefetch;
     prefetch.flowClass = net::FlowClass::kPrefetch;
-    prefetchId_ = flows_.startFlow(kServer, kA, 125'000, prefetch,
-                                   [&] { prefetchDone_ = true; });
-    playbackId_ = flows_.startFlow(kServer, kB, 125'000, {},
-                                   [&] { playbackDone_ = true; });
+    prefetchId_ = flows_.startFlow(kServer, kA, 125'000, prefetch);
+    observer_.onComplete(prefetchId_, [&] { prefetchDone_ = true; });
+    playbackId_ = flows_.startFlow(kServer, kB, 125'000);
+    observer_.onComplete(playbackId_, [&] { playbackDone_ = true; });
     ASSERT_TRUE(flows_.flowPaused(prefetchId_));
     ASSERT_FALSE(flows_.flowPaused(playbackId_));
   }
@@ -199,6 +194,7 @@ class PreemptionTest : public ::testing::Test {
 
   sim::Simulator sim_;
   net::FlowNetwork flows_;
+  net::test::TestFlowObserver observer_{flows_};
   FlowId prefetchId_;
   FlowId playbackId_;
   bool prefetchDone_ = false;
@@ -238,14 +234,12 @@ TEST_F(PreemptionTest, DroppingThePausedFlowsDestinationPurgesIt) {
 
 TEST_F(PreemptionTest, DroppingTheSourceKillsActiveAndPausedAlike) {
   setupPreemption();
-  int aborted = 0;
-  flows_.dropEndpointFlows(kServer,
-                           [&](FlowId, std::uint64_t) { ++aborted; });
-  // Both uploads report to the abort callback: a paused flow is still a
+  flows_.dropEndpointFlows(kServer);
+  // Both uploads report to the abort observer: a paused flow is still a
   // live transfer from its downloader's point of view, so it must trigger
   // fail-over like an active one (only never-activated queued flows die
   // silently).
-  EXPECT_EQ(aborted, 2);
+  EXPECT_EQ(observer_.aborts.size(), 2u);
   EXPECT_EQ(flows_.activeFlows(), 0u);
   EXPECT_EQ(flows_.pausedUploads(kServer), 0u);
   sim_.run();
