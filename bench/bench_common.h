@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "exp/config.h"
+#include "sim/shard.h"
 #include "trace/crawler.h"
 #include "trace/generator.h"
 #include "trace/stats.h"
@@ -64,6 +66,21 @@ inline exp::ExperimentConfig experimentConfig(const Flags& flags) {
   config.snapshot.in = flags.getString("snapshot-in", "");
   const double snapshotAt = flags.getDouble("snapshot-at", 0.0);
   config.snapshot.at = snapshotAt > 0.0 ? sim::fromSeconds(snapshotAt) : 0;
+  // --shards N runs on the community-sharded engine (DESIGN.md §13);
+  // results are bitwise-identical to the monolithic default, so figures
+  // regenerated at any shard count match the committed goldens. A bad
+  // spec fails fast with the grammar, before any catalog generation.
+  if (const std::string shardSpec = flags.getString("shards", "");
+      !shardSpec.empty()) {
+    sim::ShardSpec shards;
+    std::string error;
+    if (!sim::ShardSpec::parse(shardSpec, &shards, &error)) {
+      std::fprintf(stderr, "--shards: %s\n%s\n", error.c_str(),
+                   sim::ShardSpec::grammar());
+      std::exit(2);
+    }
+    config.shards.count = shards.count;
+  }
   return config;
 }
 

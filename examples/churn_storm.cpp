@@ -4,7 +4,7 @@
 //   ./examples/churn_storm [--users 800] [--abrupt 0.8] [--seed 3]
 //                          [--threads 2] [--trace-out storm.jsonl]
 //                          [--faults SPEC] [--audit SECONDS]
-//                          [--overload SPEC]
+//                          [--overload SPEC] [--shards N]
 //                          [--snapshot-out PATH] [--snapshot-in PATH]
 //                          [--snapshot-at SECONDS]
 //
@@ -25,6 +25,9 @@
 // simulated seconds and reports confirmed violations per scenario.
 // --overload enables the overload-control knobs (src/vod/overload.h grammar,
 // e.g. "on" or "floor_kbps=200,queue=32,breaker=3").
+// --shards N runs both scenarios on the community-sharded engine
+// (src/sim/shard.h grammar: a power of two up to 256); results are
+// bitwise-identical to the default monolithic engine at any shard count.
 //
 // Malformed specs and unknown flags fail fast with exit code 2, printing the
 // offending token and the accepted grammar.
@@ -38,6 +41,7 @@
 #include "exp/report.h"
 #include "exp/runner.h"
 #include "fault/schedule.h"
+#include "sim/shard.h"
 #include "trace/generator.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
@@ -83,13 +87,23 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  st::sim::ShardSpec shards;
+  if (const std::string shardSpec = flags.getString("shards", "");
+      !shardSpec.empty()) {
+    std::string error;
+    if (!st::sim::ShardSpec::parse(shardSpec, &shards, &error)) {
+      std::fprintf(stderr, "--shards: %s\n%s\n", error.c_str(),
+                   st::sim::ShardSpec::grammar());
+      return 2;
+    }
+  }
   if (const auto leftover = flags.unconsumed(); !leftover.empty()) {
     for (const std::string& flag : leftover) {
       std::fprintf(stderr, "unknown flag '--%s'\n", flag.c_str());
     }
     std::fprintf(stderr,
                  "accepted flags: --users --abrupt --seed --threads "
-                 "--trace-out --faults --audit --overload "
+                 "--trace-out --faults --audit --overload --shards "
                  "--snapshot-out --snapshot-in --snapshot-at\n");
     return 2;
   }
@@ -112,6 +126,7 @@ int main(int argc, char** argv) {
   config.faults.spec = faultSpec;
   config.faults.auditInterval = st::sim::fromSeconds(auditSeconds);
   config.vod.overload = overload;
+  config.shards.count = shards.count;
 
   std::printf("Churn storm — %zu users, %.0f%% abrupt departures, "
               "2-minute probes\n\n", users, abrupt * 100.0);

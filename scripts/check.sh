@@ -24,13 +24,15 @@
 # options never reuses stale objects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/labels.sh
+source scripts/labels.sh
 
 # Default covers the quick unit gate, the chaos-soak fault tests, the
-# checkpoint/restore differential suite, and the flow-solver suite (the
-# flow engine tests carry the `flow` label, not `unit` — gtest discovery
-# cannot attach two labels — so every gate names both), so the sanitizer
-# pass exercises the injector/checker paths and the snapshot codec too.
-LABEL="${1:-unit|soak|snapshot|flow}"
+# checkpoint/restore differential suite, the flow-solver suite, and the
+# sharded-engine equality suite (labels.sh documents why a gate is an
+# alternation), so the sanitizer pass exercises the injector/checker
+# paths and the snapshot codec too.
+LABEL="${1:-$ST_LABELS_ALL_GATED}"
 JOBS="${2:-$(nproc)}"
 
 for MODE in ON OFF; do
@@ -50,13 +52,22 @@ echo "=== flow_bench --smoke (build-trace-on) ==="
 cmake --build build-trace-on -j "$JOBS" --target flow_bench
 build-trace-on/bench/flow_bench /dev/null --smoke
 
+# Smoke the sharded-engine benchmark with the sequential cross-check
+# armed: monolithic, serial-merge, and parallel-window runs of the same
+# community workload must agree exactly on completions, bytes, events,
+# and fingerprints (any divergence exits 1), so this is a differential
+# test of the barrier protocol, not a perf measurement.
+echo "=== shard_bench --smoke (build-trace-on) ==="
+cmake --build build-trace-on -j "$JOBS" --target shard_bench
+build-trace-on/bench/shard_bench /dev/null --smoke
+
 echo "=== ST_SANITIZE=address,undefined (build-asan-ubsan) ==="
 scripts/sanitize.sh address,undefined "$LABEL" "$JOBS"
 
-# TSan cannot combine with ASan, so it gets its own pass over the unit,
-# snapshot, and flow labels: the thread pool, the parallel multi-seed
-# engine, the 1-vs-8-thread determinism paths, and the parallel snapshot
-# restores (including the save -> load -> save round trip) must stay
-# race-free.
+# TSan cannot combine with ASan, so it gets its own pass over the
+# threaded labels (labels.sh): the thread pool, the parallel multi-seed
+# engine, the 1-vs-8-thread determinism paths, the parallel snapshot
+# restores (including the save -> load -> save round trip), and the
+# sharded engine's lookahead-window workers must stay race-free.
 echo "=== ST_SANITIZE=thread (build-tsan) ==="
-scripts/sanitize.sh thread 'unit|snapshot|flow' "$JOBS"
+scripts/sanitize.sh thread "$ST_LABELS_TSAN" "$JOBS"

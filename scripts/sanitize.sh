@@ -19,9 +19,11 @@
 # sanitizers never contaminates objects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/labels.sh
+source scripts/labels.sh
 
 SANITIZER="${1:-thread}"
-LABEL="${2:-unit|flow}"
+LABEL="${2:-$ST_LABELS_QUICK}"
 JOBS="${3:-$(nproc)}"
 
 BUILD_DIR=build

@@ -40,9 +40,11 @@ NetTubeSystem::NetTubeSystem(vod::SystemContext& ctx,
       transfers_(transfers),
       queryDedup_(ctx.catalog().userCount()),
       activeSearch_(ctx.catalog().userCount(), 0) {
-  nodes_.reserve(ctx.catalog().userCount());
+  overlays_.resize(ctx.catalog().userCount());
+  probeTimer_.resize(ctx.catalog().userCount());
+  cache_.reserve(ctx.catalog().userCount());
   for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
-    nodes_.emplace_back(ctx.config().cacheCapacityVideos,
+    cache_.emplace_back(ctx.config().cacheCapacityVideos,
                         ctx.config().prefetchCacheSlots);
   }
   transfers_.setClient(this);
@@ -126,7 +128,7 @@ void NetTubeSystem::onRestored(const sim::EventTag& tag,
                                sim::EventHandle handle) {
   switch (tag.kind) {
     case kProbeEvent:
-      nodes_[UserId{lo32(tag.a)}.index()].probeTimer = handle;
+      probeTimer_[UserId{lo32(tag.a)}.index()] = handle;
       break;
     case kAskDirectory: {
       Search* search = searches_.find(tag.a);
@@ -144,10 +146,9 @@ vod::VodSystem::NodeStats NetTubeSystem::nodeStats(UserId user) const {
   // pair of nodes — that surplus is the redundancy §IV-C calls out ("two
   // nodes may be connected by redundant links; each link corresponds to
   // one video overlay").
-  const Node& node = nodes_[user.index()];
   NodeStats stats;
   std::vector<UserId> seen;
-  for (const auto& [video, links] : node.overlays) {
+  for (const auto& [video, links] : overlays_[user.index()]) {
     stats.links += links.size();
     for (const UserId n : links) {
       if (contains(seen, n)) {
@@ -160,9 +161,10 @@ vod::VodSystem::NodeStats NetTubeSystem::nodeStats(UserId user) const {
   return stats;
 }
 
-std::vector<UserId> NetTubeSystem::allNeighbors(const Node& node) const {
+std::vector<UserId> NetTubeSystem::allNeighbors(
+    const Overlays& overlays) const {
   std::vector<UserId> result;
-  for (const auto& [video, links] : node.overlays) {
+  for (const auto& [video, links] : overlays) {
     for (const UserId n : links) {
       if (!contains(result, n)) result.push_back(n);
     }
@@ -189,36 +191,36 @@ void NetTubeSystem::connectOverlayLink(UserId a, UserId b, VideoId video) {
   // Look up before inserting: a refused connect must not leave an empty
   // overlay entry behind (it would distort overlayCount and the joining
   // heuristic in askServerDirectory).
-  Node& na = nodes_[a.index()];
-  Node& nb = nodes_[b.index()];
-  const auto ia = na.overlays.find(video);
-  if (ia != na.overlays.end() && contains(ia->second, b)) return;
+  Overlays& na = overlays_[a.index()];
+  Overlays& nb = overlays_[b.index()];
+  const auto ia = na.find(video);
+  if (ia != na.end() && contains(ia->second, b)) return;
   const std::size_t cap = ctx_.config().linksPerVideoOverlay;
-  if (ia != na.overlays.end() && ia->second.size() >= cap) return;
-  const auto ib = nb.overlays.find(video);
-  if (ib != nb.overlays.end() && ib->second.size() >= cap) return;
-  na.overlays[video].push_back(b);
-  nb.overlays[video].push_back(a);
+  if (ia != na.end() && ia->second.size() >= cap) return;
+  const auto ib = nb.find(video);
+  if (ib != nb.end() && ib->second.size() >= cap) return;
+  na[video].push_back(b);
+  nb[video].push_back(a);
 }
 
 void NetTubeSystem::dropAllLinks(UserId holder, UserId gone) {
-  Node& node = nodes_[holder.index()];
-  for (auto it = node.overlays.begin(); it != node.overlays.end();) {
+  Overlays& overlays = overlays_[holder.index()];
+  for (auto it = overlays.begin(); it != overlays.end();) {
     auto& links = it->second;
     const auto linkIt = std::find(links.begin(), links.end(), gone);
     if (linkIt != links.end()) links.erase(linkIt);
-    it = links.empty() ? node.overlays.erase(it) : std::next(it);
+    it = links.empty() ? overlays.erase(it) : std::next(it);
   }
 }
 
 void NetTubeSystem::onLogin(UserId user) {
-  Node& node = nodes_[user.index()];
-  node.overlays.clear();
+  overlays_[user.index()].clear();
   // Report the cached inventory so the server can direct other nodes here
   // ("users need to report the changes of videos they watch", §IV-A).
-  if (!node.cache.videoList().empty()) {
+  const vod::VideoCache& cache = cache_[user.index()];
+  if (!cache.videoList().empty()) {
     vod::SystemContext::Payload payload;
-    for (const VideoId video : node.cache.videoList()) {
+    for (const VideoId video : cache.videoList()) {
       payload.u.push_back(video.value());
     }
     const std::uint64_t payloadId = ctx_.stashPayload(std::move(payload));
@@ -226,7 +228,7 @@ void NetTubeSystem::onLogin(UserId user) {
                       sim::makeTag(sim::Component::kNetTube, kInventoryAtServer,
                                    user.value(), payloadId));
   }
-  node.probeTimer = ctx_.sim().schedulePeriodicTagged(
+  probeTimer_[user.index()] = ctx_.sim().schedulePeriodicTagged(
       ctx_.config().probeInterval,
       sim::makeTag(sim::Component::kNetTube, kProbeEvent, user.value()));
 }
@@ -242,35 +244,34 @@ void NetTubeSystem::inventoryAtServer(const sim::EventTag& tag) {
 }
 
 void NetTubeSystem::onLogout(UserId user, bool graceful) {
-  Node& node = nodes_[user.index()];
-  ctx_.sim().cancel(node.probeTimer);
-  node.probeTimer = sim::EventHandle{};
+  ctx_.sim().cancel(probeTimer_[user.index()]);
+  probeTimer_[user.index()] = sim::EventHandle{};
 
   abandonSearch(user);
 
   if (graceful) {
-    for (const UserId n : allNeighbors(node)) {
+    for (const UserId n : allNeighbors(overlays_[user.index()])) {
       ctx_.sendUser(user, n,
                     sim::makeTag(sim::Component::kNetTube, kDropLinksEvent,
                                  user.value()));
     }
   }
   directory_.removeAll(user);
-  node.overlays.clear();
+  overlays_[user.index()].clear();
 }
 
 void NetTubeSystem::requestVideo(UserId user, VideoId video) {
-  Node& node = nodes_[user.index()];
+  const vod::VideoCache& cache = cache_[user.index()];
   const sim::SimTime requestTime = ctx_.sim().now();
 
-  if (node.cache.contains(video)) {
+  if (cache.contains(video)) {
     ctx_.metrics().countCacheHit();
     notifyPlayback(user, video, 0, false);
     prefetchFromNeighbors(user);
     return;
   }
 
-  const bool prefetchHit = node.cache.hasFirstChunk(video);
+  const bool prefetchHit = cache.hasFirstChunk(video);
   if (prefetchHit) {
     ctx_.metrics().countPrefetchHit();
     ST_TRACE(ctx_.trace(), ctx_.sim().now(), kPrefetchHit, user.value(),
@@ -294,7 +295,7 @@ void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
   const std::uint64_t queryId = searches_.insert(search);
   activeSearch_[user.index()] = queryId;
 
-  std::vector<UserId> neighbors = allNeighbors(nodes_[user.index()]);
+  std::vector<UserId> neighbors = allNeighbors(overlays_[user.index()]);
   if (neighbors.empty()) {
     // First video of a session: straight to the server directory, exactly
     // as NetTube's join works.
@@ -322,16 +323,15 @@ void NetTubeSystem::beginSearch(UserId user, VideoId video, bool prefetchHit,
 
 void NetTubeSystem::floodQuery(UserId origin, UserId at, VideoId video,
                                std::uint64_t queryId, int ttl) {
-  Node& node = nodes_[at.index()];
   if (seenQuery(at, queryId)) return;
-  if (node.cache.contains(video)) {
+  if (cache_[at.index()].contains(video)) {
     ctx_.sendUser(at, origin,
                   sim::makeTag(sim::Component::kNetTube, kSearchHit, queryId,
                                at.value()));
     return;
   }
   if (ttl <= 1) return;
-  std::vector<UserId> neighbors = allNeighbors(node);
+  std::vector<UserId> neighbors = allNeighbors(overlays_[at.index()]);
   if (neighbors.size() > ctx_.config().linksPerVideoOverlay) {
     ctx_.rng().shuffle(neighbors);
     neighbors.resize(ctx_.config().linksPerVideoOverlay);
@@ -372,7 +372,7 @@ void NetTubeSystem::askServerDirectory(std::uint64_t queryId) {
   // 2-hop query "resorts to the server" — i.e. the server serves the video
   // itself. This is precisely the availability limitation §IV-C contrasts
   // with SocialTube.
-  const bool joining = nodes_[user.index()].overlays.empty();
+  const bool joining = overlays_[user.index()].empty();
 
   ctx_.sendToServer(user,
                     sim::makeTag(sim::Component::kNetTube, kDirectoryAtServer,
@@ -459,13 +459,13 @@ void NetTubeSystem::startDownload(UserId user, VideoId video, UserId provider,
   request.requestTime = requestTime;
   // Swarming (extension): stripe across overlay neighbors holding the video.
   if (ctx_.config().bodySources > 1) {
-    for (const UserId n : allNeighbors(nodes_[user.index()])) {
+    for (const UserId n : allNeighbors(overlays_[user.index()])) {
       if (request.extraProviders.size() + 1 >= ctx_.config().bodySources) {
         break;
       }
       if (n == provider) continue;
       if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
-      if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(video)) {
+      if (ctx_.isOnline(n) && cache_[n.index()].contains(video)) {
         request.extraProviders.push_back(n);
       }
     }
@@ -518,12 +518,12 @@ void NetTubeSystem::watchFinished(UserId user, VideoId video, bool complete) {
 
 void NetTubeSystem::prefetchArrived(UserId user, VideoId video, bool) {
   if (ctx_.isOnline(user)) {
-    nodes_[user.index()].cache.insertFirstChunk(video);
+    cache_[user.index()].insertFirstChunk(video);
   }
 }
 
 void NetTubeSystem::onVideoCached(UserId user, VideoId video) {
-  nodes_[user.index()].cache.insert(video);
+  cache_[user.index()].insert(video);
   // Report the new copy so the directory can hand this node out as a
   // provider (NetTube's per-video reporting overhead), and take a place in
   // the video's overlay: the server introduces current members and the node
@@ -569,8 +569,8 @@ void NetTubeSystem::applyCachedReply(const sim::EventTag& tag) {
 void NetTubeSystem::prefetchFromNeighbors(UserId user) {
   if (!ctx_.config().prefetchEnabled) return;
   if (!ctx_.isOnline(user)) return;
-  Node& node = nodes_[user.index()];
-  std::vector<UserId> neighbors = allNeighbors(node);
+  const vod::VideoCache& cache = cache_[user.index()];
+  std::vector<UserId> neighbors = allNeighbors(overlays_[user.index()]);
   std::erase_if(neighbors, [this](UserId n) { return !ctx_.isOnline(n); });
   if (neighbors.empty()) return;
   ctx_.rng().shuffle(neighbors);
@@ -581,10 +581,9 @@ void NetTubeSystem::prefetchFromNeighbors(UserId user) {
   for (const UserId n : neighbors) {
     if (issued >= ctx_.config().prefetchCount) break;
     if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
-    const VideoId candidate =
-        nodes_[n.index()].cache.randomVideo(ctx_.rng());
+    const VideoId candidate = cache_[n.index()].randomVideo(ctx_.rng());
     if (!candidate.valid()) continue;
-    if (node.cache.contains(candidate) || node.cache.hasFirstChunk(candidate)) {
+    if (cache.contains(candidate) || cache.hasFirstChunk(candidate)) {
       continue;
     }
     transfers_.startPrefetch(user, candidate, n);
@@ -594,12 +593,12 @@ void NetTubeSystem::prefetchFromNeighbors(UserId user) {
 
 void NetTubeSystem::probeNeighbors(UserId user) {
   if (!ctx_.isOnline(user)) return;
-  Node& node = nodes_[user.index()];
+  Overlays& overlays = overlays_[user.index()];
   // A live neighbor's probe response includes whether it still sits in this
   // overlay, so besides dead neighbors the sweep drops links the far end no
   // longer reciprocates (a lost goodbye, or a relogin that reset the peer's
   // overlays while our side still remembered the old link).
-  for (auto it = node.overlays.begin(); it != node.overlays.end();) {
+  for (auto it = overlays.begin(); it != overlays.end();) {
     const VideoId video = it->first;
     auto& links = it->second;
     for (std::size_t i = 0; i < links.size();) {
@@ -609,10 +608,9 @@ void NetTubeSystem::probeNeighbors(UserId user) {
                n.value(), 0);
       bool stale = !ctx_.isOnline(n);
       if (!stale) {
-        const Node& peer = nodes_[n.index()];
-        const auto peerIt = peer.overlays.find(video);
-        stale = peerIt == peer.overlays.end() ||
-                !contains(peerIt->second, user);
+        const Overlays& peer = overlays_[n.index()];
+        const auto peerIt = peer.find(video);
+        stale = peerIt == peer.end() || !contains(peerIt->second, user);
       }
       if (stale) {
         ctx_.reportNeighborFailure(user, n);
@@ -622,7 +620,7 @@ void NetTubeSystem::probeNeighbors(UserId user) {
       ctx_.reportNeighborSuccess(user, n);
       ++i;
     }
-    it = links.empty() ? node.overlays.erase(it) : std::next(it);
+    it = links.empty() ? overlays.erase(it) : std::next(it);
   }
 }
 
@@ -635,16 +633,16 @@ void NetTubeSystem::auditInvariants(vod::AuditReport& report) const {
   // is unbounded — the paper's setting.
   const bool unboundedCache = ctx_.config().cacheCapacityVideos == 0;
 
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  for (std::size_t i = 0; i < overlays_.size(); ++i) {
     const UserId user{static_cast<std::uint32_t>(i)};
-    const Node& node = nodes_[i];
+    const Overlays& overlays = overlays_[i];
     if (!ctx_.isOnline(user)) {
-      if (!node.overlays.empty()) {
+      if (!overlays.empty()) {
         report.violate("nt.offline_has_links", user.value(),
-                       static_cast<std::uint32_t>(node.overlays.size()));
+                       static_cast<std::uint32_t>(overlays.size()));
       }
     } else {
-      for (const auto& [video, links] : node.overlays) {
+      for (const auto& [video, links] : overlays) {
         if (links.empty()) {
           report.violate("nt.empty_overlay", user.value(), video.value());
         }
@@ -669,16 +667,15 @@ void NetTubeSystem::auditInvariants(vod::AuditReport& report) const {
             }
             continue;
           }
-          const Node& peer = nodes_[n.index()];
-          const auto peerIt = peer.overlays.find(video);
-          if (peerIt == peer.overlays.end() ||
-              !contains(peerIt->second, user)) {
+          const Overlays& peer = overlays_[n.index()];
+          const auto peerIt = peer.find(video);
+          if (peerIt == peer.end() || !contains(peerIt->second, user)) {
             report.violateTransient("nt.asym_link", user.value(), n.value());
           }
         }
       }
     }
-    for (const VideoId video : node.cache.videoList()) {
+    for (const VideoId video : cache_[i].videoList()) {
       if (!ctx_.isReleased(video)) {
         report.violate("nt.cache_unreleased", user.value(), video.value());
       }
@@ -688,7 +685,7 @@ void NetTubeSystem::auditInvariants(vod::AuditReport& report) const {
   directory_.forEach([&](UserId member, VideoId video) {
     if (!ctx_.isOnline(member)) {
       report.violate("nt.directory_offline", member.value(), video.value());
-    } else if (unboundedCache && !nodes_[member.index()].cache.contains(video)) {
+    } else if (unboundedCache && !cache_[member.index()].contains(video)) {
       report.violate("nt.directory_uncached", member.value(), video.value());
     }
   });
@@ -699,15 +696,15 @@ void NetTubeSystem::auditInvariants(vod::AuditReport& report) const {
 void NetTubeSystem::saveState(snapshot::Writer& w) const {
   w.section(0x5454454e);  // "NETT"
   directory_.saveState(w);
-  w.u64(nodes_.size());
-  for (const Node& node : nodes_) {
-    w.u64(node.overlays.size());
-    for (const auto& [video, links] : node.overlays) {
+  w.u64(overlays_.size());
+  for (std::size_t i = 0; i < overlays_.size(); ++i) {
+    w.u64(overlays_[i].size());
+    for (const auto& [video, links] : overlays_[i]) {
       w.u32(video.value());
       w.u64(links.size());
       for (const UserId n : links) w.u32(n.value());
     }
-    node.cache.saveState(w);
+    cache_[i].saveState(w);
   }
   w.u64(searches_.slotCount());
   searches_.visitSlots([&w](std::uint32_t, bool live, std::uint32_t gen,
@@ -732,12 +729,13 @@ bool NetTubeSystem::loadState(snapshot::Reader& r) {
   r.section(0x5454454e, "NetTube");
   if (!directory_.loadState(r)) return false;
   const std::size_t nodeCount = r.count(4);
-  if (!r.ok() || nodeCount != nodes_.size()) {
+  if (!r.ok() || nodeCount != overlays_.size()) {
     r.fail("NetTube node count mismatch");
     return false;
   }
-  for (Node& node : nodes_) {
-    node.overlays.clear();
+  for (std::size_t node = 0; node < overlays_.size(); ++node) {
+    Overlays& overlays = overlays_[node];
+    overlays.clear();
     const std::size_t overlayCount = r.count(4 + 8);
     for (std::size_t i = 0; i < overlayCount; ++i) {
       const VideoId video{r.u32()};
@@ -745,19 +743,19 @@ bool NetTubeSystem::loadState(snapshot::Reader& r) {
         r.fail("NetTube overlay video out of range");
         return false;
       }
-      std::vector<UserId>& links = node.overlays[video];
+      std::vector<UserId>& links = overlays[video];
       const std::size_t linkCount = r.count(4);
       for (std::size_t j = 0; j < linkCount; ++j) {
         const UserId n{r.u32()};
-        if (r.ok() && n.index() >= nodes_.size()) {
+        if (r.ok() && n.index() >= overlays_.size()) {
           r.fail("NetTube overlay link out of range");
           return false;
         }
         links.push_back(n);
       }
     }
-    if (!node.cache.loadState(r)) return false;
-    node.probeTimer = sim::EventHandle{};
+    if (!cache_[node].loadState(r)) return false;
+    probeTimer_[node] = sim::EventHandle{};
     if (!r.ok()) return false;
   }
   const std::size_t slots = r.count(1 + 4 + 4);
@@ -772,7 +770,7 @@ bool NetTubeSystem::loadState(snapshot::Reader& r) {
       search.video = VideoId{r.u32()};
       search.prefetchHit = r.boolean();
       search.requestTime = r.i64();
-      if (r.ok() && search.user.index() >= nodes_.size()) {
+      if (r.ok() && search.user.index() >= overlays_.size()) {
         r.fail("NetTube search user out of range");
         return false;
       }

@@ -67,10 +67,10 @@ class NetTubeSystem final : public vod::VodSystem, public sim::EventFactory {
 
   // --- introspection ----------------------------------------------------------
   [[nodiscard]] const vod::VideoCache& cache(UserId user) const {
-    return nodes_[user.index()].cache;
+    return cache_[user.index()];
   }
   [[nodiscard]] std::size_t overlayCount(UserId user) const {
-    return nodes_[user.index()].overlays.size();
+    return overlays_[user.index()].size();
   }
   [[nodiscard]] const VideoDirectory& directory() const { return directory_; }
 
@@ -86,17 +86,10 @@ class NetTubeSystem final : public vod::VodSystem, public sim::EventFactory {
   bool loadState(snapshot::Reader& r);
 
  private:
-  struct Node {
-    // video -> links held in that video's overlay. Ordered map: iteration
-    // feeds allNeighbors()/probe sweeps (and the snapshot), so the walk
-    // order must be a function of the keys, not of hashing.
-    std::map<VideoId, std::vector<UserId>> overlays;
-    vod::VideoCache cache;
-    sim::EventHandle probeTimer;
-
-    Node(std::size_t maxVideos, std::size_t prefetchSlots)
-        : cache(maxVideos, prefetchSlots) {}
-  };
+  // video -> links held in that video's overlay. Ordered map: iteration
+  // feeds allNeighbors()/probe sweeps (and the snapshot), so the walk
+  // order must be a function of the keys, not of hashing.
+  using Overlays = std::map<VideoId, std::vector<UserId>>;
 
   struct Search {
     UserId user;
@@ -107,7 +100,7 @@ class NetTubeSystem final : public vod::VodSystem, public sim::EventFactory {
   };
 
   // Distinct neighbors across all of the node's overlays.
-  [[nodiscard]] std::vector<UserId> allNeighbors(const Node& node) const;
+  [[nodiscard]] std::vector<UserId> allNeighbors(const Overlays& overlays) const;
   [[nodiscard]] bool seenQuery(UserId at, std::uint64_t queryId);
   // Abandons the user's in-flight search, if any (logout, new request).
   void abandonSearch(UserId user);
@@ -140,7 +133,12 @@ class NetTubeSystem final : public vod::VodSystem, public sim::EventFactory {
   vod::SystemContext& ctx_;
   vod::TransferManager& transfers_;
   VideoDirectory directory_;
-  std::vector<Node> nodes_;
+  // Struct-of-arrays node state, indexed by user. Splitting the old Node
+  // struct keeps the cache scans (prefetch, audit) and timer bookkeeping off
+  // the cache lines that the overlay walks touch.
+  std::vector<Overlays> overlays_;
+  std::vector<vod::VideoCache> cache_;
+  std::vector<sim::EventHandle> probeTimer_;
   // Pooled search records; the pool id doubles as the flood query id (never
   // reused, so it is a valid generation stamp for the dedup array).
   SlotPool<Search> searches_;

@@ -17,7 +17,11 @@ std::vector<UserId> toUsers(const std::vector<std::uint32_t>& raw) {
 
 PaVodSystem::PaVodSystem(vod::SystemContext& ctx,
                          vod::TransferManager& transfers)
-    : ctx_(ctx), transfers_(transfers), nodes_(ctx.catalog().userCount()) {
+    : ctx_(ctx),
+      transfers_(transfers),
+      current_(ctx.catalog().userCount(), VideoId::invalid()),
+      haveFull_(ctx.catalog().userCount(), 0),
+      peerProvider_(ctx.catalog().userCount(), 0) {
   transfers_.setClient(this);
   ctx_.sim().registerFactory(sim::Component::kPaVod, this);
 }
@@ -51,29 +55,30 @@ void PaVodSystem::discard(const sim::EventTag& tag) {
 
 vod::VodSystem::NodeStats PaVodSystem::nodeStats(UserId user) const {
   // PA-VoD maintains no overlay; the only "link" is an active peer download.
-  return {.links = nodes_[user.index()].peerProvider ? std::size_t{1}
-                                                     : std::size_t{0}};
+  return {.links = peerProvider_[user.index()] != 0 ? std::size_t{1}
+                                                    : std::size_t{0}};
 }
 
 void PaVodSystem::onLogin(UserId user) {
-  nodes_[user.index()] = Node{};
+  resetNode(user);
 }
 
 void PaVodSystem::onLogout(UserId user, bool graceful) {
   (void)graceful;  // no overlay state to say goodbye to
   watchers_.removeAll(user);
-  nodes_[user.index()] = Node{};
+  resetNode(user);
 }
 
 void PaVodSystem::requestVideo(UserId user, VideoId video) {
   const sim::SimTime requestTime = ctx_.sim().now();
-  Node& node = nodes_[user.index()];
   // A new request supersedes the previous watch; the node stops providing
   // the old video.
-  if (node.current.valid()) watchers_.remove(user, node.current);
-  node.current = video;
-  node.haveFull = false;
-  node.peerProvider = false;
+  if (current_[user.index()].valid()) {
+    watchers_.remove(user, current_[user.index()]);
+  }
+  current_[user.index()] = video;
+  haveFull_[user.index()] = 0;
+  peerProvider_[user.index()] = 0;
 
   // Ask the server for current watchers of this video.
   ctx_.sendToServer(user,
@@ -120,7 +125,7 @@ void PaVodSystem::applyWatchersReply(const sim::EventTag& tag) {
     return;
   }
   const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
-  if (nodes_[user.index()].current != video) return;  // stale reply
+  if (current_[user.index()] != video) return;  // stale reply
   UserId source{lo32(tag.c)};
   if (source.valid() && !ctx_.isOnline(source)) {
     source = UserId::invalid();
@@ -133,7 +138,7 @@ void PaVodSystem::applyWatchersReply(const sim::EventTag& tag) {
 void PaVodSystem::startDownload(UserId user, VideoId video, UserId provider,
                                 std::vector<UserId> extraProviders,
                                 sim::SimTime requestTime) {
-  nodes_[user.index()].peerProvider = provider.valid();
+  peerProvider_[user.index()] = provider.valid() ? 1 : 0;
 
   vod::TransferManager::WatchRequest request;
   request.user = user;
@@ -156,10 +161,9 @@ void PaVodSystem::startDownload(UserId user, VideoId video, UserId provider,
 }
 
 void PaVodSystem::watchFinished(UserId user, VideoId video, bool complete) {
-  Node& node = nodes_[user.index()];
-  if (!complete || node.current != video) return;
+  if (!complete || current_[user.index()] != video) return;
   // Full copy in hand while still watching: become a provider.
-  node.haveFull = true;
+  haveFull_[user.index()] = 1;
   ctx_.sendToServer(user,
                     sim::makeTag(sim::Component::kPaVod, kProviderRegister,
                                  user.value(), video.value()));
@@ -168,8 +172,8 @@ void PaVodSystem::watchFinished(UserId user, VideoId video, bool complete) {
 void PaVodSystem::providerRegister(const sim::EventTag& tag) {
   const UserId user{lo32(tag.a)};
   const VideoId video{lo32(tag.b)};
-  if (ctx_.isOnline(user) && nodes_[user.index()].current == video &&
-      nodes_[user.index()].haveFull) {
+  if (ctx_.isOnline(user) && current_[user.index()] == video &&
+      haveFull_[user.index()] != 0) {
     watchers_.add(user, video);
   }
 }
@@ -182,24 +186,20 @@ void PaVodSystem::auditInvariants(vod::AuditReport& report) const {
       report.violate("pv.watcher_offline", member.value(), video.value());
       return;
     }
-    const Node& node = nodes_[member.index()];
-    if (node.current != video) {
+    if (current_[member.index()] != video) {
       report.violate("pv.watcher_wrong_video", member.value(), video.value());
-    } else if (!node.haveFull) {
+    } else if (haveFull_[member.index()] == 0) {
       report.violate("pv.watcher_incomplete", member.value(), video.value());
     }
   });
 }
 
 void PaVodSystem::onPlaybackComplete(UserId user, VideoId video) {
-  Node& node = nodes_[user.index()];
-  if (node.current != video) return;
+  if (current_[user.index()] != video) return;
   // Playback over: the node no longer provides this video (the defining
   // PA-VoD limitation for short videos).
   watchers_.remove(user, video);
-  node.current = VideoId::invalid();
-  node.haveFull = false;
-  node.peerProvider = false;
+  resetNode(user);
 }
 
 // --- checkpoint/restore --------------------------------------------------------
@@ -207,11 +207,11 @@ void PaVodSystem::onPlaybackComplete(UserId user, VideoId video) {
 void PaVodSystem::saveState(snapshot::Writer& w) const {
   w.section(0x44564150);  // "PAVD"
   watchers_.saveState(w);
-  w.u64(nodes_.size());
-  for (const Node& node : nodes_) {
-    w.u32(node.current.value());
-    w.boolean(node.haveFull);
-    w.boolean(node.peerProvider);
+  w.u64(current_.size());
+  for (std::size_t i = 0; i < current_.size(); ++i) {
+    w.u32(current_[i].value());
+    w.boolean(haveFull_[i] != 0);
+    w.boolean(peerProvider_[i] != 0);
   }
 }
 
@@ -219,16 +219,16 @@ bool PaVodSystem::loadState(snapshot::Reader& r) {
   r.section(0x44564150, "PA-VoD");
   if (!watchers_.loadState(r)) return false;
   const std::size_t nodeCount = r.count(4 + 1 + 1);
-  if (!r.ok() || nodeCount != nodes_.size()) {
+  if (!r.ok() || nodeCount != current_.size()) {
     r.fail("PA-VoD node count mismatch");
     return false;
   }
-  for (Node& node : nodes_) {
-    node.current = VideoId{r.u32()};
-    node.haveFull = r.boolean();
-    node.peerProvider = r.boolean();
-    if (r.ok() && node.current.valid() &&
-        node.current.index() >= ctx_.catalog().videoCount()) {
+  for (std::size_t i = 0; i < current_.size(); ++i) {
+    current_[i] = VideoId{r.u32()};
+    haveFull_[i] = r.boolean() ? 1 : 0;
+    peerProvider_[i] = r.boolean() ? 1 : 0;
+    if (r.ok() && current_[i].valid() &&
+        current_[i].index() >= ctx_.catalog().videoCount()) {
       r.fail("PA-VoD current video out of range");
       return false;
     }

@@ -58,11 +58,12 @@ class PaVodSystem final : public vod::VodSystem, public sim::EventFactory {
   bool loadState(snapshot::Reader& r);
 
  private:
-  struct Node {
-    VideoId current = VideoId::invalid();
-    bool haveFull = false;     // finished downloading the current video
-    bool peerProvider = false; // current download is peer-sourced (link metric)
-  };
+  // Clears the user's per-session watch state (login, logout, playback end).
+  void resetNode(UserId user) {
+    current_[user.index()] = VideoId::invalid();
+    haveFull_[user.index()] = 0;
+    peerProvider_[user.index()] = 0;
+  }
 
   // Tag-rebuilt message bodies (see the kind list above).
   void watchersAtServer(const sim::EventTag& tag);
@@ -76,7 +77,13 @@ class PaVodSystem final : public vod::VodSystem, public sim::EventFactory {
   vod::TransferManager& transfers_;
   // Nodes currently watching a video AND holding a full copy of it.
   VideoDirectory watchers_;
-  std::vector<Node> nodes_;
+  // Struct-of-arrays node state, indexed by user: the video being watched,
+  // whether its download completed (the node can provide), and whether the
+  // current download is peer-sourced (link metric). Plain bytes rather than
+  // vector<bool> so element writes stay independent.
+  std::vector<VideoId> current_;
+  std::vector<std::uint8_t> haveFull_;
+  std::vector<std::uint8_t> peerProvider_;
 };
 
 }  // namespace st::baselines

@@ -6,12 +6,14 @@
 namespace st::core {
 
 namespace {
-void removeFrom(std::vector<UserId>& list, UserId value) {
+void removeFrom(LinkList list, UserId value) {
   const auto it = std::find(list.begin(), list.end(), value);
-  if (it != list.end()) list.erase(it);
+  if (it != list.end()) {
+    list.eraseAt(static_cast<std::size_t>(it - list.begin()));
+  }
 }
 
-bool contains(const std::vector<UserId>& list, UserId value) {
+bool contains(std::span<const UserId> list, UserId value) {
   return std::find(list.begin(), list.end(), value) != list.end();
 }
 
@@ -31,7 +33,7 @@ std::vector<UserId> toUsers(const std::vector<std::uint32_t>& raw) {
   return users;
 }
 
-std::vector<std::uint32_t> fromUsers(const std::vector<UserId>& users) {
+std::vector<std::uint32_t> fromUsers(std::span<const UserId> users) {
   std::vector<std::uint32_t> raw;
   raw.reserve(users.size());
   for (const UserId user : users) raw.push_back(user.value());
@@ -39,17 +41,76 @@ std::vector<std::uint32_t> fromUsers(const std::vector<UserId>& users) {
 }
 }  // namespace
 
+void SocialTubeSystem::NodeStore::init(std::size_t nodes,
+                                       std::uint32_t innerCap,
+                                       std::uint32_t interCap,
+                                       std::size_t cacheVideos,
+                                       std::size_t prefetchSlots) {
+  innerCap_ = innerCap;
+  interCap_ = interCap;
+  channel_.assign(nodes, ChannelId::invalid());
+  category_.assign(nodes, CategoryId::invalid());
+  lastChannel_.assign(nodes, ChannelId::invalid());
+  lastCategory_.assign(nodes, CategoryId::invalid());
+  innerCount_.assign(nodes, 0);
+  interCount_.assign(nodes, 0);
+  lastInnerCount_.assign(nodes, 0);
+  lastInterCount_.assign(nodes, 0);
+  innerArena_.assign(nodes * innerCap_, UserId::invalid());
+  interArena_.assign(nodes * interCap_, UserId::invalid());
+  lastInnerArena_.assign(nodes * innerCap_, UserId::invalid());
+  lastInterArena_.assign(nodes * interCap_, UserId::invalid());
+  probeTimer_.assign(nodes, sim::EventHandle{});
+  cache_.clear();
+  cache_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    cache_.emplace_back(cacheVideos, prefetchSlots);
+  }
+}
+
+SocialTubeSystem::NodeRef SocialTubeSystem::NodeStore::ref(UserId user) {
+  const std::size_t i = user.index();
+  return NodeRef{
+      channel_[i],
+      category_[i],
+      LinkList(innerArena_.data() + i * innerCap_, &innerCount_[i], innerCap_),
+      LinkList(interArena_.data() + i * interCap_, &interCount_[i], interCap_),
+      cache_[i],
+      lastChannel_[i],
+      lastCategory_[i],
+      LinkList(lastInnerArena_.data() + i * innerCap_, &lastInnerCount_[i],
+               innerCap_),
+      LinkList(lastInterArena_.data() + i * interCap_, &lastInterCount_[i],
+               interCap_),
+      probeTimer_[i]};
+}
+
+SocialTubeSystem::ConstNodeRef SocialTubeSystem::NodeStore::ref(
+    UserId user) const {
+  const std::size_t i = user.index();
+  return ConstNodeRef{
+      channel_[i],
+      category_[i],
+      {innerArena_.data() + i * innerCap_, innerCount_[i]},
+      {interArena_.data() + i * interCap_, interCount_[i]},
+      cache_[i],
+      lastChannel_[i],
+      lastCategory_[i],
+      {lastInnerArena_.data() + i * innerCap_, lastInnerCount_[i]},
+      {lastInterArena_.data() + i * interCap_, lastInterCount_[i]}};
+}
+
 SocialTubeSystem::SocialTubeSystem(vod::SystemContext& ctx,
                                    vod::TransferManager& transfers)
     : ctx_(ctx),
       transfers_(transfers),
       queryDedup_(ctx.catalog().userCount()),
       activeSearch_(ctx.catalog().userCount(), 0) {
-  nodes_.reserve(ctx.catalog().userCount());
-  for (std::size_t i = 0; i < ctx.catalog().userCount(); ++i) {
-    nodes_.emplace_back(ctx.config().cacheCapacityVideos,
-                        ctx.config().prefetchCacheSlots);
-  }
+  store_.init(
+      ctx.catalog().userCount(),
+      static_cast<std::uint32_t>(ctx.config().innerLinks * 2) + kLinkSlack,
+      static_cast<std::uint32_t>(ctx.config().interLinks * 2) + kLinkSlack,
+      ctx.config().cacheCapacityVideos, ctx.config().prefetchCacheSlots);
   transfers_.setClient(this);
   ctx_.sim().registerFactory(sim::Component::kSocialTube, this);
 }
@@ -143,7 +204,7 @@ void SocialTubeSystem::onRestored(const sim::EventTag& tag,
                                   sim::EventHandle handle) {
   switch (tag.kind) {
     case kProbeEvent:
-      nodes_[UserId{lo32(tag.a)}.index()].probeTimer = handle;
+      store_.probeTimer(UserId{lo32(tag.a)}) = handle;
       break;
     case kEnterCategory:
     case kFallbackEvent:
@@ -159,7 +220,7 @@ void SocialTubeSystem::onRestored(const sim::EventTag& tag,
 }
 
 vod::VodSystem::NodeStats SocialTubeSystem::nodeStats(UserId user) const {
-  const Node& node = nodes_[user.index()];
+  const ConstNodeRef node = store_.ref(user);
   return {.links = node.inner.size() + node.inter.size()};
 }
 
@@ -182,8 +243,8 @@ void SocialTubeSystem::abandonSearch(UserId user) {
 
 void SocialTubeSystem::connectInner(UserId a, UserId b) {
   if (a == b) return;
-  Node& na = nodes_[a.index()];
-  Node& nb = nodes_[b.index()];
+  const NodeRef na = store_.ref(a);
+  const NodeRef nb = store_.ref(b);
   // One side may already hold the link — e.g. b kept a stale entry across
   // a's abrupt departure and relogin. Heal the asymmetry instead of
   // duplicating the entry on the side that still has it.
@@ -201,8 +262,8 @@ void SocialTubeSystem::connectInner(UserId a, UserId b) {
 
 void SocialTubeSystem::connectInter(UserId a, UserId b) {
   if (a == b) return;
-  Node& na = nodes_[a.index()];
-  Node& nb = nodes_[b.index()];
+  const NodeRef na = store_.ref(a);
+  const NodeRef nb = store_.ref(b);
   const bool aHas = contains(na.inter, b);
   const bool bHas = contains(nb.inter, a);
   if (aHas && bHas) return;
@@ -216,7 +277,7 @@ void SocialTubeSystem::connectInter(UserId a, UserId b) {
 }
 
 void SocialTubeSystem::dropLink(UserId from, UserId gone) {
-  Node& node = nodes_[from.index()];
+  const NodeRef node = store_.ref(from);
   removeFrom(node.inner, gone);
   removeFrom(node.inter, gone);
 }
@@ -229,18 +290,18 @@ void SocialTubeSystem::onGoodbye(UserId at, UserId from, bool innerList) {
   // pair can stay asymmetric for whole audit rounds and falsely feed the
   // breaker. A goodbye only binds while the sender still has us dropped
   // from the list it announced, and it only severs that list.
-  const Node& sender = nodes_[from.index()];
+  const NodeRef sender = store_.ref(from);
   const bool relinked = innerList ? contains(sender.inner, at)
                                   : contains(sender.inter, at);
   if (relinked) return;
-  Node& node = nodes_[at.index()];
+  const NodeRef node = store_.ref(at);
   removeFrom(innerList ? node.inner : node.inter, from);
 }
 
 // --- session lifecycle ----------------------------------------------------------
 
 void SocialTubeSystem::onLogin(UserId user) {
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   node.inner.clear();
   node.inter.clear();
 
@@ -277,7 +338,7 @@ void SocialTubeSystem::onLogin(UserId user) {
 }
 
 void SocialTubeSystem::onLogout(UserId user, bool graceful) {
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   ctx_.sim().cancel(node.probeTimer);
   node.probeTimer = sim::EventHandle{};
 
@@ -287,8 +348,8 @@ void SocialTubeSystem::onLogout(UserId user, bool graceful) {
   // Remember the neighborhood for next session's reconnect.
   node.lastChannel = node.channel;
   node.lastCategory = node.category;
-  node.lastInner = node.inner;
-  node.lastInter = node.inter;
+  node.lastInner.assign(node.inner);
+  node.lastInter.assign(node.inter);
 
   if (graceful) {
     // Goodbye messages let neighbors update immediately; abrupt departures
@@ -316,7 +377,7 @@ void SocialTubeSystem::onLogout(UserId user, bool graceful) {
 // --- join ----------------------------------------------------------------------
 
 void SocialTubeSystem::leaveOverlays(UserId user, bool notifyNeighbors) {
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   if (notifyNeighbors) {
     for (const UserId n : node.inner) {
       ctx_.sendUser(user, n,
@@ -336,7 +397,7 @@ void SocialTubeSystem::leaveOverlays(UserId user, bool notifyNeighbors) {
 void SocialTubeSystem::ensureJoinedThenSearch(UserId user, ChannelId channel,
                                               VideoId video, bool prefetchHit,
                                               sim::SimTime requestTime) {
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   if (node.channel == channel && !node.inner.empty()) {
     beginSearch(user, video, prefetchHit, requestTime);
     return;
@@ -405,7 +466,7 @@ void SocialTubeSystem::applyJoinReply(const sim::EventTag& tag) {
   const std::vector<UserId> innerCandidates = toUsers(payload.u);
   const std::vector<UserId> interCandidates = toUsers(payload.v);
 
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   const bool categoryChanged = node.category != category;
   if (node.channel != channel) {
     leaveOverlays(user, /*notifyNeighbors=*/true);
@@ -438,7 +499,7 @@ void SocialTubeSystem::applyJoinReply(const sim::EventTag& tag) {
 // --- request path -----------------------------------------------------------------
 
 void SocialTubeSystem::requestVideo(UserId user, VideoId video) {
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   const sim::SimTime requestTime = ctx_.sim().now();
   const ChannelId channel = ctx_.catalog().video(video).channel;
 
@@ -488,7 +549,7 @@ void SocialTubeSystem::floodChannelPhase(std::uint64_t queryId) {
   search.phase = SearchPhase::kChannel;
   const UserId user = search.user;
   const VideoId video = search.video;
-  const Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
 
   if (node.inner.empty()) {
     enterCategoryPhase(queryId);
@@ -525,7 +586,7 @@ void SocialTubeSystem::retrySearch(std::uint64_t staleId) {
 void SocialTubeSystem::floodChannelQuery(UserId origin, UserId at,
                                          VideoId video, std::uint64_t queryId,
                                          int ttl) {
-  Node& node = nodes_[at.index()];
+  const NodeRef node = store_.ref(at);
   if (seenQuery(at, queryId)) return;
   if (node.cache.contains(video)) {
     ctx_.sendUser(at, origin,
@@ -551,7 +612,7 @@ void SocialTubeSystem::enterCategoryPhase(std::uint64_t queryId) {
   ctx_.sim().cancel(search.deadline);
   search.phase = SearchPhase::kCategory;
 
-  const Node& node = nodes_[search.user.index()];
+  const NodeRef node = store_.ref(search.user);
   if (node.inter.empty()) {
     fallbackToServer(queryId);
     return;
@@ -582,7 +643,7 @@ void SocialTubeSystem::onSearchHit(std::uint64_t queryId, UserId provider) {
   Search& search = *found;
 
   // First responder wins; the requester also connects to it (§IV-A).
-  Node& node = nodes_[search.user.index()];
+  const NodeRef node = store_.ref(search.user);
   if (search.phase == SearchPhase::kChannel) {
     ctx_.metrics().countChannelHit();
     if (node.inner.size() < ctx_.config().innerLinks) {
@@ -641,15 +702,15 @@ void SocialTubeSystem::startDownload(UserId user, VideoId video,
   // Swarming (extension): stripe the body across additional neighbors known
   // (via cache digests) to hold the video.
   if (ctx_.config().bodySources > 1) {
-    const Node& node = nodes_[user.index()];
-    for (const std::vector<UserId>* links : {&node.inner, &node.inter}) {
+    const NodeRef node = store_.ref(user);
+    for (const LinkList* links : {&node.inner, &node.inter}) {
       for (const UserId n : *links) {
         if (request.extraProviders.size() + 1 >= ctx_.config().bodySources) {
           break;
         }
         if (n == provider) continue;
         if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
-        if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(video)) {
+        if (ctx_.isOnline(n) && store_.cache(n).contains(video)) {
           request.extraProviders.push_back(n);
         }
       }
@@ -702,12 +763,12 @@ void SocialTubeSystem::watchPlaybackReady(UserId user, VideoId video,
 
 void SocialTubeSystem::watchFinished(UserId user, VideoId video,
                                      bool complete) {
-  if (complete) nodes_[user.index()].cache.insert(video);
+  if (complete) store_.cache(user).insert(video);
 }
 
 void SocialTubeSystem::prefetchArrived(UserId user, VideoId video, bool) {
   if (ctx_.isOnline(user)) {
-    nodes_[user.index()].cache.insertFirstChunk(video);
+    store_.cache(user).insertFirstChunk(video);
   }
 }
 
@@ -717,7 +778,7 @@ void SocialTubeSystem::prefetchPopular(UserId user, ChannelId channel,
                                        VideoId watching) {
   if (!ctx_.config().prefetchEnabled) return;
   if (!ctx_.isOnline(user)) return;
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   const trace::Channel& channelInfo = ctx_.catalog().channel(channel);
 
   std::size_t issued = 0;
@@ -732,10 +793,10 @@ void SocialTubeSystem::prefetchPopular(UserId user, ChannelId channel,
     // arrive with probe messages) — channel neighbors first, then category
     // neighbors; only then does the server supply the chunk.
     UserId provider = UserId::invalid();
-    for (const std::vector<UserId>* links : {&node.inner, &node.inter}) {
+    for (const LinkList* links : {&node.inner, &node.inter}) {
       for (const UserId n : *links) {
         if (!ctx_.neighborAllowed(user, n)) continue;  // breaker open
-        if (ctx_.isOnline(n) && nodes_[n.index()].cache.contains(candidate)) {
+        if (ctx_.isOnline(n) && store_.cache(n).contains(candidate)) {
           provider = n;
           break;
         }
@@ -753,9 +814,9 @@ bool SocialTubeSystem::gossipRepairLinks(UserId user) {
   // Neighbor-of-neighbor repair: ask one live neighbor to share its
   // neighbor lists instead of going to the server. Falls back to the server
   // (returns false) when no live neighbor remains.
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   std::vector<UserId> alive;
-  for (const std::vector<UserId>* links : {&node.inner, &node.inter}) {
+  for (const LinkList* links : {&node.inner, &node.inter}) {
     for (const UserId n : *links) {
       if (ctx_.isOnline(n)) alive.push_back(n);
     }
@@ -775,7 +836,7 @@ void SocialTubeSystem::gossipAtHelper(const sim::EventTag& tag) {
   const UserId helper{tag.a32};
   const UserId user{lo32(tag.a)};
   const ChannelId channel{lo32(tag.b)};
-  const Node& helperNode = nodes_[helper.index()];
+  const NodeRef helperNode = store_.ref(helper);
   vod::SystemContext::Payload payload;
   payload.u = fromUsers(helperNode.inner);
   payload.v = fromUsers(helperNode.inter);
@@ -793,7 +854,7 @@ void SocialTubeSystem::applyGossipReply(const sim::EventTag& tag) {
     return;
   }
   const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   if (node.channel != channel) return;  // switched since
   for (const std::uint32_t raw : payload.u) {
     const UserId candidate{raw};
@@ -811,7 +872,7 @@ void SocialTubeSystem::applyGossipReply(const sim::EventTag& tag) {
 
 void SocialTubeSystem::probeNeighbors(UserId user) {
   if (!ctx_.isOnline(user)) return;
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   bool lostAny = false;
 
   // A live neighbor's probe response carries its current channel and a
@@ -820,13 +881,13 @@ void SocialTubeSystem::probeNeighbors(UserId user) {
   // Channel switches and graceful departures are announced by goodbye
   // messages, but a lost goodbye must not leave a stale link beyond the
   // next probe round — this sweep is the repair horizon.
-  const auto sweep = [&](std::vector<UserId>& links, bool innerList) {
+  const auto sweep = [&](LinkList links, bool innerList) {
     for (std::size_t i = 0; i < links.size();) {
       ctx_.metrics().countProbe();
       const UserId n = links[i];
       ST_TRACE(ctx_.trace(), ctx_.sim().now(), kProbe, user.value(),
                n.value(), 0);
-      const Node& peer = nodes_[n.index()];
+      const NodeRef peer = store_.ref(n);
       bool stale = !ctx_.isOnline(n);
       if (!stale) {
         // Inner neighbors must still reciprocate AND still belong to this
@@ -844,7 +905,7 @@ void SocialTubeSystem::probeNeighbors(UserId user) {
         // themselves in a half-open trial.
         ctx_.reportNeighborFailure(user, n);
         dropLink(n, user);  // remove reciprocal entry if any
-        links.erase(links.begin() + static_cast<std::ptrdiff_t>(i));
+        links.eraseAt(i);
         lostAny = true;
         continue;
       }
@@ -862,7 +923,7 @@ void SocialTubeSystem::probeNeighbors(UserId user) {
 }
 
 void SocialTubeSystem::repairLinks(UserId user) {
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   if (!node.channel.valid()) return;
   const std::size_t needInner =
       node.inner.size() < ctx_.config().innerLinks
@@ -925,7 +986,7 @@ void SocialTubeSystem::applyRepairReply(const sim::EventTag& tag) {
     return;
   }
   const vod::SystemContext::Payload payload = ctx_.takePayload(tag.b);
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   if (node.channel != channel) return;  // switched since the request
   for (const std::uint32_t raw : payload.u) {
     const UserId candidate{raw};
@@ -950,7 +1011,7 @@ void SocialTubeSystem::auditInvariants(vod::AuditReport& report) const {
   const std::size_t innerCap = ctx_.config().innerLinks * 2;
   const std::size_t interCap = ctx_.config().interLinks * 2;
 
-  const auto auditList = [&](UserId user, const std::vector<UserId>& links,
+  const auto auditList = [&](UserId user, std::span<const UserId> links,
                              bool innerList) {
     const char* tag = innerList ? "st.inner" : "st.inter";
     if (links.size() > (innerList ? innerCap : interCap)) {
@@ -969,7 +1030,7 @@ void SocialTubeSystem::auditInvariants(vod::AuditReport& report) const {
         report.violate(std::string(tag) + "_dup", user.value(), n.value());
         continue;
       }
-      const Node& peer = nodes_[n.index()];
+      const ConstNodeRef peer = store_.ref(n);
       if (!ctx_.isOnline(n)) {
         // A dead neighbor is legitimate until the next probe round sweeps
         // it; one that died before the repair horizon is a leak.
@@ -997,9 +1058,9 @@ void SocialTubeSystem::auditInvariants(vod::AuditReport& report) const {
     }
   };
 
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  for (std::size_t i = 0; i < store_.size(); ++i) {
     const UserId user{static_cast<std::uint32_t>(i)};
-    const Node& node = nodes_[i];
+    const ConstNodeRef node = store_.ref(user);
     if (ctx_.isOnline(user)) {
       auditList(user, node.inner, /*innerList=*/true);
       auditList(user, node.inter, /*innerList=*/false);
@@ -1042,7 +1103,7 @@ void SocialTubeSystem::auditInvariants(vod::AuditReport& report) const {
 
 void SocialTubeSystem::injectLinkForTest(UserId user, UserId neighbor,
                                          bool inner) {
-  Node& node = nodes_[user.index()];
+  const NodeRef node = store_.ref(user);
   (inner ? node.inner : node.inter).push_back(neighbor);
 }
 
@@ -1051,12 +1112,13 @@ void SocialTubeSystem::injectLinkForTest(UserId user, UserId neighbor,
 void SocialTubeSystem::saveState(snapshot::Writer& w) const {
   w.section(0x54434f53);  // "SOCT"
   directory_.saveState(w);
-  w.u64(nodes_.size());
-  const auto saveList = [&w](const std::vector<UserId>& list) {
+  w.u64(store_.size());
+  const auto saveList = [&w](std::span<const UserId> list) {
     w.u64(list.size());
     for (const UserId n : list) w.u32(n.value());
   };
-  for (const Node& node : nodes_) {
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    const ConstNodeRef node = store_.ref(UserId{static_cast<std::uint32_t>(i)});
     w.u32(node.channel.value());
     w.u32(node.category.value());
     saveList(node.inner);
@@ -1092,23 +1154,28 @@ bool SocialTubeSystem::loadState(snapshot::Reader& r) {
   r.section(0x54434f53, "SocialTube");
   if (!directory_.loadState(r)) return false;
   const std::size_t nodeCount = r.count(4);
-  if (!r.ok() || nodeCount != nodes_.size()) {
+  if (!r.ok() || nodeCount != store_.size()) {
     r.fail("SocialTube node count mismatch");
     return false;
   }
-  const auto loadList = [this, &r](std::vector<UserId>& list) {
+  const auto loadList = [this, &r](LinkList list) {
     list.clear();
     const std::size_t n = r.count(4);
+    if (n > list.capacity()) {
+      r.fail("SocialTube link list over capacity");
+      return;
+    }
     for (std::size_t i = 0; i < n; ++i) {
       const UserId user{r.u32()};
-      if (r.ok() && user.index() >= nodes_.size()) {
+      if (r.ok() && user.index() >= store_.size()) {
         r.fail("SocialTube link user out of range");
         return;
       }
       list.push_back(user);
     }
   };
-  for (Node& node : nodes_) {
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    const NodeRef node = store_.ref(UserId{static_cast<std::uint32_t>(i)});
     node.channel = ChannelId{r.u32()};
     node.category = CategoryId{r.u32()};
     loadList(node.inner);
@@ -1135,7 +1202,7 @@ bool SocialTubeSystem::loadState(snapshot::Reader& r) {
       search.prefetchHit = r.boolean();
       search.attempt = r.u32();
       search.requestTime = r.i64();
-      if (r.ok() && search.user.index() >= nodes_.size()) {
+      if (r.ok() && search.user.index() >= store_.size()) {
         r.fail("SocialTube search user out of range");
         return false;
       }

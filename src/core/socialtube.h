@@ -25,7 +25,9 @@
 //    messages in a real deployment.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/slot_pool.h"
@@ -43,6 +45,49 @@ namespace st::core {
 // currently watching (§IV-A: "users should report their changes of
 // subscribed channels"). Far smaller than NetTube's per-video tracking.
 using SubscriberDirectory = vod::MembershipDirectory<ChannelId>;
+
+// Fixed-capacity neighbor list: a mutable view over one node's slice of the
+// flat neighbor arena inside the node store. Copying the view is cheap
+// (pointer + count cell + cap); mutations write through to the arena, so
+// every view of the same slice observes them. Capacity is the audit's hard
+// cap (2*N — connectInner/connectInter admit links up to the doubled soft
+// budget) plus a little slack that lets the test-only corruption hook push a
+// list past the cap the invariant checker enforces.
+class LinkList {
+ public:
+  LinkList(UserId* data, std::uint32_t* count, std::uint32_t cap)
+      : data_(data), count_(count), cap_(cap) {}
+
+  [[nodiscard]] std::size_t size() const { return *count_; }
+  [[nodiscard]] bool empty() const { return *count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] const UserId* begin() const { return data_; }
+  [[nodiscard]] const UserId* end() const { return data_ + *count_; }
+  [[nodiscard]] UserId operator[](std::size_t i) const { return data_[i]; }
+  operator std::span<const UserId>() const { return {data_, *count_}; }
+
+  void push_back(UserId user) const {
+    assert(*count_ < cap_ && "neighbor slice overflow (hard cap + slack)");
+    data_[(*count_)++] = user;
+  }
+  void clear() const { *count_ = 0; }
+  // Order-preserving removal: the lists are serialized into snapshots, so
+  // their order is part of the bitwise state.
+  void eraseAt(std::size_t i) const {
+    for (std::size_t k = i + 1; k < *count_; ++k) data_[k - 1] = data_[k];
+    --*count_;
+  }
+  void assign(std::span<const UserId> from) const {
+    assert(from.size() <= cap_);
+    for (std::size_t i = 0; i < from.size(); ++i) data_[i] = from[i];
+    *count_ = static_cast<std::uint32_t>(from.size());
+  }
+
+ private:
+  UserId* data_;
+  std::uint32_t* count_;
+  std::uint32_t cap_;
+};
 
 class SocialTubeSystem final : public vod::VodSystem,
                                public sim::EventFactory {
@@ -91,17 +136,17 @@ class SocialTubeSystem final : public vod::VodSystem,
   }
 
   // --- introspection (tests, benches) ---------------------------------------
-  [[nodiscard]] const std::vector<UserId>& innerNeighbors(UserId user) const {
-    return nodes_[user.index()].inner;
+  [[nodiscard]] std::span<const UserId> innerNeighbors(UserId user) const {
+    return store_.ref(user).inner;
   }
-  [[nodiscard]] const std::vector<UserId>& interNeighbors(UserId user) const {
-    return nodes_[user.index()].inter;
+  [[nodiscard]] std::span<const UserId> interNeighbors(UserId user) const {
+    return store_.ref(user).inter;
   }
   [[nodiscard]] ChannelId currentChannel(UserId user) const {
-    return nodes_[user.index()].channel;
+    return store_.ref(user).channel;
   }
   [[nodiscard]] const vod::VideoCache& cache(UserId user) const {
-    return nodes_[user.index()].cache;
+    return store_.cache(user);
   }
   [[nodiscard]] const SubscriberDirectory& directory() const {
     return directory_;
@@ -125,21 +170,81 @@ class SocialTubeSystem final : public vod::VodSystem,
   bool loadState(snapshot::Reader& r);
 
  private:
-  struct Node {
-    ChannelId channel = ChannelId::invalid();    // overlay currently joined
-    CategoryId category = CategoryId::invalid();
-    std::vector<UserId> inner;
-    std::vector<UserId> inter;
-    vod::VideoCache cache;
-    // Last session's neighborhood, for the reconnect-on-login path (§IV-A).
-    ChannelId lastChannel = ChannelId::invalid();
-    CategoryId lastCategory = CategoryId::invalid();
-    std::vector<UserId> lastInner;
-    std::vector<UserId> lastInter;
-    sim::EventHandle probeTimer;
+  // Arena slack beyond the audited hard cap: injectLinkForTest deliberately
+  // pushes lists past the cap (the checker must then flag them), so the
+  // backing slice needs headroom above what the protocol itself ever uses.
+  static constexpr std::uint32_t kLinkSlack = 4;
 
-    Node(std::size_t maxVideos, std::size_t prefetchSlots)
-        : cache(maxVideos, prefetchSlots) {}
+  // One node's fields, assembled from the store's parallel arrays. The
+  // reference members alias the arrays; LinkList views alias the neighbor
+  // arenas. None of the backing storage ever reallocates after init(), so a
+  // ref stays valid for as long as the store lives.
+  struct NodeRef {
+    ChannelId& channel;    // overlay currently joined
+    CategoryId& category;
+    LinkList inner;
+    LinkList inter;
+    vod::VideoCache& cache;
+    // Last session's neighborhood, for the reconnect-on-login path (§IV-A).
+    ChannelId& lastChannel;
+    CategoryId& lastCategory;
+    LinkList lastInner;
+    LinkList lastInter;
+    sim::EventHandle& probeTimer;
+  };
+
+  struct ConstNodeRef {
+    ChannelId channel;
+    CategoryId category;
+    std::span<const UserId> inner;
+    std::span<const UserId> inter;
+    const vod::VideoCache& cache;
+    ChannelId lastChannel;
+    CategoryId lastCategory;
+    std::span<const UserId> lastInner;
+    std::span<const UserId> lastInter;
+  };
+
+  // Struct-of-arrays node state. A million users previously meant a million
+  // Node objects, each owning four heap vectors (~8 allocations apiece) and
+  // scattering the hot fields across the heap; the store keeps every field
+  // in one contiguous parallel array and packs each neighbor list into a
+  // fixed-capacity slice of a flat arena, so probe sweeps, audits, and
+  // snapshots scan linearly and steady-state link churn never allocates.
+  class NodeStore {
+   public:
+    void init(std::size_t nodes, std::uint32_t innerCap, std::uint32_t interCap,
+              std::size_t cacheVideos, std::size_t prefetchSlots);
+    [[nodiscard]] std::size_t size() const { return channel_.size(); }
+    [[nodiscard]] NodeRef ref(UserId user);
+    [[nodiscard]] ConstNodeRef ref(UserId user) const;
+    [[nodiscard]] vod::VideoCache& cache(UserId user) {
+      return cache_[user.index()];
+    }
+    [[nodiscard]] const vod::VideoCache& cache(UserId user) const {
+      return cache_[user.index()];
+    }
+    [[nodiscard]] sim::EventHandle& probeTimer(UserId user) {
+      return probeTimer_[user.index()];
+    }
+
+   private:
+    std::uint32_t innerCap_ = 0;
+    std::uint32_t interCap_ = 0;
+    std::vector<ChannelId> channel_;
+    std::vector<CategoryId> category_;
+    std::vector<ChannelId> lastChannel_;
+    std::vector<CategoryId> lastCategory_;
+    std::vector<std::uint32_t> innerCount_;
+    std::vector<std::uint32_t> interCount_;
+    std::vector<std::uint32_t> lastInnerCount_;
+    std::vector<std::uint32_t> lastInterCount_;
+    std::vector<UserId> innerArena_;      // nodes * innerCap_ slots
+    std::vector<UserId> interArena_;      // nodes * interCap_ slots
+    std::vector<UserId> lastInnerArena_;  // nodes * innerCap_ slots
+    std::vector<UserId> lastInterArena_;  // nodes * interCap_ slots
+    std::vector<vod::VideoCache> cache_;
+    std::vector<sim::EventHandle> probeTimer_;
   };
 
   enum class SearchPhase { kChannel, kCategory };
@@ -209,7 +314,7 @@ class SocialTubeSystem final : public vod::VodSystem,
   vod::SystemContext& ctx_;
   vod::TransferManager& transfers_;
   SubscriberDirectory directory_;
-  std::vector<Node> nodes_;
+  NodeStore store_;
   // Search records are pooled; the pool id doubles as the flood query id
   // (never reused, so it is a valid generation stamp for the dedup array).
   SlotPool<Search> searches_;

@@ -80,6 +80,19 @@ struct ExperimentConfig {
   };
   Snapshot snapshot;
 
+  // Community-sharded engine (DESIGN.md §13). count 0 runs the legacy
+  // monolithic queue; a power-of-two count shards the event queue by
+  // interest community (key = 1 + category; key 0 is the origin server's
+  // root). The full stack shares RNG/metrics/flow state, so sharded
+  // experiment runs execute on the serial canonical merge — bitwise equal
+  // across any shard count and usable for snapshot portability — while
+  // shard-safe workloads (bench/shard_bench) run the parallel windows.
+  struct Shards {
+    std::uint32_t count = 0;
+    [[nodiscard]] bool any() const { return count > 0; }
+  };
+  Shards shards;
+
   // Table I defaults: 10,000 nodes, 10,121 videos, 545 channels, 25 sessions
   // of 10 videos, N_l = 5, N_h = 10, TTL = 2, 10-minute probes.
   static ExperimentConfig simulationDefaults(std::uint64_t seed = 1);

@@ -16,6 +16,7 @@
 #include "fault/schedule.h"
 #include "net/latency.h"
 #include "net/network.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "snapshot/snapshot.h"
 #include "trace/generator.h"
@@ -178,7 +179,28 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
 
   auto setupScope = std::optional(profiler.scope("setup"));
   sim::Simulator simulator;
-  net::Network network(simulator, makeLatency(config), config.seed);
+  // The latency model is built before the network facade so its delay floor
+  // can seed the shard plan's lookahead; configureShards must run on the
+  // pristine simulator, before anything below schedules an event.
+  auto latency = makeLatency(config);
+  if (config.shards.any()) {
+    sim::ShardPlan plan;
+    plan.keyCount = static_cast<std::uint32_t>(catalog->categoryCount()) + 1;
+    plan.shardCount = config.shards.count;
+    plan.lookahead = latency->minDelay();
+    std::string error;
+    if (!simulator.configureShards(plan, &error)) {
+      std::fprintf(stderr, "--shards %u: %s\n", config.shards.count,
+                   error.c_str());
+      std::abort();
+    }
+    // The full experiment stack shares one protocol RNG, one metrics sink,
+    // and one flow solver across communities, so sharded runs execute on
+    // the serial canonical merge (bitwise equal at every shard count);
+    // parallel lookahead windows are for shard-safe workloads.
+    simulator.setWorkers(1);
+  }
+  net::Network network(simulator, std::move(latency), config.seed);
   vod::VideoLibrary library(*catalog, config.vod);
   vod::Metrics metrics(catalog->userCount(), config.vod.videosPerSession);
 
@@ -301,6 +323,17 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
     });
   }
 
+  // Snapshot size telemetry. Registered only when checkpointing is active so
+  // snapshot-free runs keep the seed counter set unchanged. A differential
+  // pair stays counter-comparable because the restoring arm reports the size
+  // of the file image it read — the very file (and byte count) the saving
+  // arm wrote.
+  std::uint64_t snapshotBytes = 0;
+  if (!config.snapshot.out.empty() || !config.snapshot.in.empty()) {
+    registry.addGauge("snapshot.bytes",
+                      [&snapshotBytes] { return snapshotBytes; });
+  }
+
   ServerSampler sampler(simulator, *system);
 
   snapshot::Participants participants;
@@ -340,7 +373,7 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
     snapshot::RestoreInfo info;
     std::string error;
     if (!snapshot::restore(config.snapshot.in, participants, compat, &error,
-                           &info)) {
+                           &info, &snapshotBytes)) {
       std::fprintf(stderr, "--snapshot-in %s: %s\n",
                    config.snapshot.in.c_str(), error.c_str());
       std::abort();
@@ -356,20 +389,37 @@ ExperimentResult runExperiment(const ExperimentConfig& config,
         config.snapshot.at > 0 ? config.snapshot.at : config.duration;
     // Untagged on purpose: by the time any snapshot is taken this event has
     // already fired (it IS the save), so it is never itself pending state.
-    simulator.scheduleAt(saveAt, [&participants, &compat, &config] {
-      std::string error;
-      if (!snapshot::save(config.snapshot.out, participants, compat, &error)) {
-        std::fprintf(stderr, "--snapshot-out %s: %s\n",
-                     config.snapshot.out.c_str(), error.c_str());
-        std::abort();
-      }
-    });
+    simulator.scheduleAt(
+        saveAt, [&participants, &compat, &config, &snapshotBytes] {
+          std::string error;
+          if (!snapshot::save(config.snapshot.out, participants, compat,
+                              &error, &snapshotBytes)) {
+            std::fprintf(stderr, "--snapshot-out %s: %s\n",
+                         config.snapshot.out.c_str(), error.c_str());
+            std::abort();
+          }
+          std::fprintf(stderr, "snapshot %s: %llu bytes\n",
+                       config.snapshot.out.c_str(),
+                       static_cast<unsigned long long>(snapshotBytes));
+        });
   }
   setupScope.reset();
 
   {
     const auto scope = profiler.scope("event_loop");
     simulator.runUntil(config.duration);
+  }
+  if (simulator.sharded()) {
+    // Per-shard engine telemetry rides in the phase report (wall-clock
+    // territory, excluded from the determinism guarantee): one phase per
+    // shard whose call count is the events that shard fired, plus the
+    // barrier-window and cross-shard tallies.
+    for (std::uint32_t s = 0; s < simulator.shardCount(); ++s) {
+      profiler.record("shard" + std::to_string(s) + "_events", 0.0,
+                      simulator.shardEventsFired(s));
+    }
+    profiler.record("shard_windows", 0.0, simulator.windowsRun());
+    profiler.record("shard_cross_posts", 0.0, simulator.crossShardPosts());
   }
 
   auto extractScope = std::optional(profiler.scope("extract"));

@@ -28,6 +28,15 @@ sim::SimTime CleanLatencyModel::delay(EndpointId a, EndpointId b,
   return std::max<sim::SimTime>(static_cast<sim::SimTime>(total), 1);
 }
 
+sim::SimTime CleanLatencyModel::minDelay() const {
+  // One microsecond below the analytic floor guards the double->integer
+  // truncation in delay(); a nonpositive result is a configuration the
+  // sharded engine must refuse (ShardPlan::validate).
+  const double floorUs =
+      static_cast<double>(lo_) * (1.0 - jitterFraction_);
+  return static_cast<sim::SimTime>(floorUs) - 1;
+}
+
 WideAreaLatencyModel::WideAreaLatencyModel(std::uint64_t seed, double medianMs,
                                            double sigma, double lossRate)
     : seed_(seed),
@@ -35,15 +44,13 @@ WideAreaLatencyModel::WideAreaLatencyModel(std::uint64_t seed, double medianMs,
       sigma_(sigma),
       lossRate_(lossRate) {}
 
-sim::SimTime WideAreaLatencyModel::delay(EndpointId a, EndpointId b,
-                                         Rng& rng) const {
-  if (a == b) return sim::kMillisecond / 10;
-  // Invert the per-pair uniform through the lognormal quantile function.
-  const double u = std::clamp(pairUniform(seed_, a, b), 1e-9, 1.0 - 1e-9);
-  // Acklam-style inverse normal CDF approximation via erf inverse is heavy;
-  // a rational approximation is plenty for a latency model.
-  // Peter Acklam's algorithm, central + tail regions.
-  auto inverseNormalCdf = [](double p) {
+namespace {
+
+// Acklam-style inverse normal CDF approximation via erf inverse is heavy;
+// a rational approximation is plenty for a latency model.
+// Peter Acklam's algorithm, central + tail regions. File-scope so both the
+// delay sample and the minDelay() floor derivation share one definition.
+double inverseNormalCdf(double p) {
     static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                                -2.759285104469687e+02, 1.383577518672690e+02,
                                -3.066479806614716e+01, 2.506628277459239e+00};
@@ -74,11 +81,28 @@ sim::SimTime WideAreaLatencyModel::delay(EndpointId a, EndpointId b,
             a[5]) *
            q /
            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
-  };
+}
+
+}  // namespace
+
+sim::SimTime WideAreaLatencyModel::delay(EndpointId a, EndpointId b,
+                                         Rng& rng) const {
+  if (a == b) return sim::kMillisecond / 10;
+  // Invert the per-pair uniform through the lognormal quantile function.
+  const double u = std::clamp(pairUniform(seed_, a, b), 1e-9, 1.0 - 1e-9);
   const double baseMs = std::exp(mu_ + sigma_ * inverseNormalCdf(u));
   const double jitter = rng.uniform(-0.2, 0.2);
   const double totalMs = baseMs * (1.0 + jitter);
   return std::max<sim::SimTime>(sim::fromMillis(totalMs), 1);
+}
+
+sim::SimTime WideAreaLatencyModel::minDelay() const {
+  // The clamp keeps the pairwise uniform at >= 1e-9; the corresponding
+  // lognormal quantile bounds the base, and jitter shrinks it by at most
+  // 20%. One microsecond of margin guards the truncation in fromMillis.
+  const double floorMs =
+      std::exp(mu_ + sigma_ * inverseNormalCdf(1e-9)) * (1.0 - 0.2);
+  return static_cast<sim::SimTime>(floorMs * 1000.0) - 1;
 }
 
 bool WideAreaLatencyModel::lost(EndpointId a, EndpointId b, Rng& rng) const {
@@ -127,6 +151,14 @@ sim::SimTime GeoLatencyModel::delay(EndpointId a, EndpointId b,
 bool GeoLatencyModel::lost(EndpointId a, EndpointId b, Rng& rng) const {
   if (a == b || lossRate_ <= 0.0) return false;
   return rng.bernoulli(lossRate_);
+}
+
+sim::SimTime GeoLatencyModel::minDelay() const {
+  // Propagation only adds delay on top of the base; jitter can shrink the
+  // sum by at most jitterFraction. Margin as in the other models.
+  const double floorUs =
+      static_cast<double>(baseDelay_) * (1.0 - jitterFraction_);
+  return static_cast<sim::SimTime>(floorUs) - 1;
 }
 
 }  // namespace st::net

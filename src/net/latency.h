@@ -31,6 +31,13 @@ class LatencyModel {
   // Whether this particular message is lost in transit.
   [[nodiscard]] virtual bool lost(EndpointId a, EndpointId b,
                                   Rng& rng) const = 0;
+
+  // Guaranteed lower bound on delay(a, b, ·) for a != b — the lookahead
+  // floor the sharded engine derives its barrier window from (DESIGN.md
+  // §13). Loopback (a == b) delays are exempt: same endpoint means same
+  // community, so they never cross a shard. A value <= 0 means the model
+  // declares no usable floor and sharded runs must be refused at startup.
+  [[nodiscard]] virtual sim::SimTime minDelay() const { return 0; }
 };
 
 // Clean network: per-pair base one-way delay uniform in [lo, hi], small
@@ -45,6 +52,9 @@ class CleanLatencyModel final : public LatencyModel {
   [[nodiscard]] bool lost(EndpointId, EndpointId, Rng&) const override {
     return false;
   }
+  // floor(lo * (1 - jitterFraction)): the base is at least lo and the
+  // multiplicative jitter can only shrink it by jitterFraction.
+  [[nodiscard]] sim::SimTime minDelay() const override;
 
  private:
   std::uint64_t seed_;
@@ -64,6 +74,10 @@ class WideAreaLatencyModel final : public LatencyModel {
   [[nodiscard]] sim::SimTime delay(EndpointId a, EndpointId b,
                                    Rng& rng) const override;
   [[nodiscard]] bool lost(EndpointId a, EndpointId b, Rng& rng) const override;
+  // The pairwise uniform is clamped to >= 1e-9 before the lognormal
+  // quantile, so the base is at least exp(mu - 6 sigma) ms and jitter can
+  // shrink it by at most 20%.
+  [[nodiscard]] sim::SimTime minDelay() const override;
 
  private:
   std::uint64_t seed_;
@@ -89,6 +103,9 @@ class GeoLatencyModel final : public LatencyModel {
   // Torus coordinates of an endpoint, in [0,1)^2 (exposed for tests and
   // locality-aware protocols).
   [[nodiscard]] std::pair<double, double> position(EndpointId id) const;
+
+  // floor(baseDelay * (1 - jitterFraction)): distance only adds delay.
+  [[nodiscard]] sim::SimTime minDelay() const override;
 
  private:
   std::uint64_t seed_;

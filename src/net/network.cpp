@@ -32,7 +32,12 @@ bool Network::sendMessage(EndpointId from, EndpointId to,
     return false;
   }
   const sim::SimTime delay = latency_->delay(from, to, rng_) + extraDelay;
-  sim_.schedule(delay, std::move(onDeliver));
+  if (shardRouter_ != nullptr && sim_.sharded()) {
+    sim_.scheduleForKey(shardRouter_->shardKeyOf(to), delay,
+                        std::move(onDeliver));
+  } else {
+    sim_.schedule(delay, std::move(onDeliver));
+  }
   return true;
 }
 
@@ -56,7 +61,11 @@ bool Network::sendMessage(EndpointId from, EndpointId to,
     return false;
   }
   const sim::SimTime delay = latency_->delay(from, to, rng_) + extraDelay;
-  sim_.scheduleTagged(delay, tag);
+  if (shardRouter_ != nullptr && sim_.sharded()) {
+    sim_.scheduleForKeyTagged(shardRouter_->shardKeyOf(to), delay, tag);
+  } else {
+    sim_.scheduleTagged(delay, tag);
+  }
   return true;
 }
 

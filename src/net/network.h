@@ -32,6 +32,15 @@ class MessageFaultHook {
   virtual Decision onMessage(EndpointId from, EndpointId to) = 0;
 };
 
+// Maps an endpoint to its owner community key so deliveries land on the
+// destination's shard (DESIGN.md §13). SystemContext implements this from
+// the catalog's subscription graph; key 0 is the root (origin server).
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  [[nodiscard]] virtual std::uint32_t shardKeyOf(EndpointId endpoint) const = 0;
+};
+
 class Network {
  public:
   // Small-buffer-optimized (sim/callback.h): protocol message closures ride
@@ -61,6 +70,19 @@ class Network {
 
   // One-way delay sample without sending (for timeout sizing in protocols).
   [[nodiscard]] sim::SimTime sampleDelay(EndpointId from, EndpointId to);
+
+  // --- community sharding ----------------------------------------------------
+  // Installs (or clears) the endpoint -> community-key router. With a
+  // router installed and the simulator sharded, every delivery is
+  // scheduled onto the destination's shard; without one, deliveries
+  // inherit the sender's ambient key.
+  void setShardRouter(const ShardRouter* router) { shardRouter_ = router; }
+  // The latency model's guaranteed cross-endpoint delay floor — the
+  // lookahead window the sharded engine synchronizes on. <= 0 means the
+  // model declares no floor and sharding must be refused at startup.
+  [[nodiscard]] sim::SimTime lookaheadFloor() const {
+    return latency_->minDelay();
+  }
 
   // Installs (or clears, with nullptr) the scripted-fault hook. The hook is
   // consulted on every sendMessage before the latency model; it must outlive
@@ -119,6 +141,7 @@ class Network {
   FlowNetwork flows_;
   Rng rng_;
   MessageFaultHook* faultHook_ = nullptr;
+  const ShardRouter* shardRouter_ = nullptr;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t messagesLost_ = 0;
   std::uint64_t messagesFaulted_ = 0;

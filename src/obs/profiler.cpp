@@ -15,6 +15,13 @@ PhaseProfiler::Scope PhaseProfiler::scope(std::string_view name) {
   return Scope(this, slotFor(name));
 }
 
+void PhaseProfiler::record(std::string_view name, double ms,
+                           std::uint64_t calls) {
+  Phase& phase = phases_[slotFor(name)];
+  phase.ms += ms;
+  phase.calls += calls;
+}
+
 std::size_t PhaseProfiler::slotFor(std::string_view name) {
   for (std::size_t i = 0; i < phases_.size(); ++i) {
     if (phases_[i].name == name) return i;

@@ -51,6 +51,11 @@ class PhaseProfiler {
   // Phases keep first-use order (the natural pipeline order in reports).
   [[nodiscard]] Scope scope(std::string_view name);
 
+  // Accumulates externally measured telemetry into a phase — used by the
+  // sharded engine to report per-shard event counts (calls) gathered inside
+  // the event loop, where an RAII scope cannot reach.
+  void record(std::string_view name, double ms, std::uint64_t calls);
+
   [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
 
  private:

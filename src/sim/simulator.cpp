@@ -1,70 +1,227 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <barrier>
+#include <cstdio>
+#include <limits>
+#include <thread>
 #include <utility>
 
 namespace st::sim {
+
+namespace {
+
+// Ambient context of a worker thread inside a parallel lookahead window.
+// Keyed by simulator so nested/multi-seed simulators on other threads are
+// unaffected; cleared when the worker leaves the window loop.
+struct WindowTls {
+  const Simulator* sim = nullptr;
+  std::uint32_t shardIndex = 0;
+  std::uint32_t key = 0;
+};
+thread_local WindowTls tlsWindow;
+
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+}  // namespace
 
 void EventFactory::onRestored(const EventTag& tag, EventHandle handle) {
   (void)tag;
   (void)handle;
 }
 
-std::uint32_t Simulator::allocSlot() {
-  if (freeHead_ != kNoFree) {
-    const std::uint32_t index = freeHead_;
-    freeHead_ = slots_[index].nextFree;
-    slots_[index].nextFree = kNoFree;
+SimTime Simulator::now() const {
+  if (tlsWindow.sim == this) return shards_[tlsWindow.shardIndex].localNow;
+  return now_;
+}
+
+std::uint32_t Simulator::currentKey() const {
+  if (tlsWindow.sim == this) return tlsWindow.key;
+  return currentKey_;
+}
+
+std::uint64_t Simulator::crossShardPosts() const {
+  std::uint64_t total = 0;
+  for (const ShardState& shard : shards_) total += shard.crossPosts;
+  return total;
+}
+
+std::uint64_t Simulator::crossBelowFloor() const {
+  std::uint64_t total = 0;
+  for (const ShardState& shard : shards_) total += shard.belowFloor;
+  return total;
+}
+
+std::size_t Simulator::pendingEvents() const {
+  std::size_t total = 0;
+  for (const ShardState& shard : shards_) total += shard.live;
+  return total;
+}
+
+std::size_t Simulator::periodicSeries() const {
+  std::size_t total = 0;
+  for (const ShardState& shard : shards_) total += shard.periodicLive;
+  return total;
+}
+
+std::uint64_t Simulator::eventsFired() const {
+  std::uint64_t total = firedBase_;
+  for (const ShardState& shard : shards_) total += shard.fired;
+  return total;
+}
+
+bool Simulator::configureShards(const ShardPlan& plan, std::string* error) {
+  auto reject = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::string why;
+  if (!plan.validate(&why)) return reject(why);
+  if (plan.keyCount > (std::uint32_t{1} << kSlotIndexBits)) {
+    return reject("community key space too large for the stamp packing (" +
+                  std::to_string(plan.keyCount) + " keys)");
+  }
+  if (now_ != 0 || nextSeq_ != 1 || pendingEvents() != 0 ||
+      eventsFired() != 0) {
+    return reject("configureShards must run on a pristine simulator, before "
+                  "any event is scheduled");
+  }
+  sharded_ = true;
+  plan_ = plan;
+  shards_.clear();
+  shards_.resize(plan.shardCount);
+  keySeq_.assign(plan.keyCount, 0);
+  currentKey_ = 0;
+  return true;
+}
+
+std::uint64_t Simulator::nextStamp(std::uint32_t srcKey) {
+  if (!sharded_) return nextSeq_++;
+  assert(srcKey < keySeq_.size());
+  std::uint64_t& seq = keySeq_[srcKey];
+  assert(seq < kKeySeqMask && "per-key sequence overflow");
+  return (static_cast<std::uint64_t>(srcKey) << kKeySeqBits) | seq++;
+}
+
+std::uint32_t Simulator::allocSlot(ShardState& shard) {
+  if (shard.freeHead != kNoFree) {
+    const std::uint32_t index = shard.freeHead;
+    shard.freeHead = shard.slots[index].nextFree;
+    shard.slots[index].nextFree = kNoFree;
     return index;
   }
-  const auto index = static_cast<std::uint32_t>(slots_.size());
-  slots_.emplace_back();
-  tags_.emplace_back();
+  const auto index = static_cast<std::uint32_t>(shard.slots.size());
+  assert(index <= kSlotIndexMask && "shard arena exceeds the handle packing");
+  shard.slots.emplace_back();
+  shard.tags.emplace_back();
   return index;
 }
 
-void Simulator::releaseSlot(std::uint32_t index) {
-  Slot& slot = slots_[index];
+void Simulator::releaseSlot(ShardState& shard, std::uint32_t index) {
+  Slot& slot = shard.slots[index];
   slot.fn.reset();
   slot.period = 0;
-  tags_[index] = EventTag{};
+  slot.destKey = 0;
+  shard.tags[index] = EventTag{};
   // The bump invalidates every outstanding handle and heap entry for the
   // old occupant; 0 is reserved for never-scheduled handles.
   if (++slot.gen == 0) slot.gen = 1;
-  slot.nextFree = freeHead_;
-  freeHead_ = index;
+  slot.nextFree = shard.freeHead;
+  shard.freeHead = index;
+}
+
+EventHandle Simulator::enqueueInShard(ShardState& shard, SimTime when,
+                                      std::uint64_t stamp, Callback fn,
+                                      SimTime period, const EventTag& tag,
+                                      std::uint32_t destKey) {
+  const std::uint32_t index = allocSlot(shard);
+  Slot& slot = shard.slots[index];
+  slot.fn = std::move(fn);
+  slot.period = period;
+  slot.destKey = destKey;
+  shard.tags[index] = tag;
+  shard.queue.push(HeapEntry{when, stamp, index, slot.gen});
+  ++shard.live;
+  const auto shardIndex =
+      static_cast<std::uint32_t>(&shard - shards_.data());
+  return EventHandle{(shardIndex << kSlotIndexBits) | index, slot.gen};
 }
 
 EventHandle Simulator::enqueue(SimTime when, Callback fn, SimTime period,
-                               const EventTag& tag) {
-  assert(when >= now_);
-  const std::uint32_t index = allocSlot();
-  Slot& slot = slots_[index];
-  slot.fn = std::move(fn);
-  slot.period = period;
-  tags_[index] = tag;
-  queue_.push(HeapEntry{when, nextSeq_++, index, slot.gen});
-  ++live_;
-  return EventHandle{index, slot.gen};
+                               const EventTag& tag, std::uint32_t destKey) {
+  assert(when >= now());
+  if (!sharded_) {
+    return enqueueInShard(shards_[0], when, nextSeq_++, std::move(fn), period,
+                          tag, 0);
+  }
+  assert(destKey < plan_.keyCount);
+  const std::uint32_t srcKey = currentKey();
+  const std::uint64_t stamp = nextStamp(srcKey);
+  const std::uint32_t destShard = plan_.shardOf(destKey);
+  if (tlsWindow.sim == this) {
+    // Inside a parallel window: same-shard posts go straight into the
+    // worker-owned arena; cross-shard posts ride the outbox and are
+    // applied by the barrier coordinator.
+    ShardState& own = shards_[tlsWindow.shardIndex];
+    if (destShard != tlsWindow.shardIndex) {
+      ++own.crossPosts;
+      assert(period == 0 && "periodic events are owner-key-local");
+      if (when - own.localNow < plan_.lookahead) ++own.belowFloor;
+      own.outbox.push_back(CrossEvent{when, stamp, destKey, tag,
+                                      std::move(fn)});
+      return EventHandle{};
+    }
+    return enqueueInShard(own, when, stamp, std::move(fn), period, tag,
+                          destKey);
+  }
+  const std::uint32_t srcShard = plan_.shardOf(srcKey);
+  if (destShard != srcShard) {
+    ShardState& src = shards_[srcShard];
+    ++src.crossPosts;
+    if (when - now_ < plan_.lookahead) ++src.belowFloor;
+  }
+  return enqueueInShard(shards_[destShard], when, stamp, std::move(fn),
+                        period, tag, destKey);
 }
 
 EventHandle Simulator::schedule(SimTime delay, Callback fn) {
   assert(delay >= 0);
-  return enqueue(now_ + delay, std::move(fn), /*period=*/0);
+  return enqueue(now() + delay, std::move(fn), /*period=*/0, EventTag{},
+                 currentKey());
 }
 
 EventHandle Simulator::scheduleAt(SimTime when, Callback fn) {
-  return enqueue(when, std::move(fn), /*period=*/0);
+  return enqueue(when, std::move(fn), /*period=*/0, EventTag{}, currentKey());
 }
 
 EventHandle Simulator::schedulePeriodic(SimTime period, Callback fn) {
   assert(period > 0);
-  ++periodicLive_;
-  return enqueue(now_ + period, std::move(fn), period);
+  ShardState& home = shardForKey(currentKey());
+  ++home.periodicLive;
+  return enqueue(now() + period, std::move(fn), period, EventTag{},
+                 currentKey());
+}
+
+EventHandle Simulator::scheduleForKey(std::uint32_t destKey, SimTime delay,
+                                      Callback fn) {
+  assert(delay >= 0);
+  return enqueue(now() + delay, std::move(fn), /*period=*/0, EventTag{},
+                 sharded_ ? destKey : 0);
+}
+
+EventHandle Simulator::scheduleForKeyTagged(std::uint32_t destKey,
+                                            SimTime delay,
+                                            const EventTag& tag) {
+  EventFactory* factory =
+      factories_[static_cast<std::size_t>(tag.component)];
+  assert(tag.tagged() && factory != nullptr &&
+         "tagged event without a registered factory");
+  return enqueue(now() + delay, factory->rebuild(tag), /*period=*/0, tag,
+                 sharded_ ? destKey : 0);
 }
 
 EventHandle Simulator::scheduleTagged(SimTime delay, const EventTag& tag) {
-  return scheduleAtTagged(now_ + delay, tag);
+  return scheduleAtTagged(now() + delay, tag);
 }
 
 EventHandle Simulator::scheduleAtTagged(SimTime when, const EventTag& tag) {
@@ -72,7 +229,8 @@ EventHandle Simulator::scheduleAtTagged(SimTime when, const EventTag& tag) {
       factories_[static_cast<std::size_t>(tag.component)];
   assert(tag.tagged() && factory != nullptr &&
          "tagged event without a registered factory");
-  return enqueue(when, factory->rebuild(tag), /*period=*/0, tag);
+  return enqueue(when, factory->rebuild(tag), /*period=*/0, tag,
+                 currentKey());
 }
 
 EventHandle Simulator::schedulePeriodicTagged(SimTime period,
@@ -82,8 +240,10 @@ EventHandle Simulator::schedulePeriodicTagged(SimTime period,
       factories_[static_cast<std::size_t>(tag.component)];
   assert(tag.tagged() && factory != nullptr &&
          "tagged event without a registered factory");
-  ++periodicLive_;
-  return enqueue(now_ + period, factory->rebuild(tag), period, tag);
+  ShardState& home = shardForKey(currentKey());
+  ++home.periodicLive;
+  return enqueue(now() + period, factory->rebuild(tag), period, tag,
+                 currentKey());
 }
 
 void Simulator::discardTagged(const EventTag& tag) {
@@ -103,108 +263,304 @@ void Simulator::invokeTagged(const EventTag& tag) {
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  assert(handle.slot_ < slots_.size());
-  Slot& slot = slots_[handle.slot_];
+  const std::uint32_t shardIndex = handle.slot_ >> kSlotIndexBits;
+  const std::uint32_t index = handle.slot_ & kSlotIndexMask;
+  assert(shardIndex < shards_.size());
+  ShardState& shard = shards_[shardIndex];
+  assert(index < shard.slots.size());
+  Slot& slot = shard.slots[index];
   if (slot.gen != handle.gen_) return;  // already fired or cancelled
-  if (slot.period > 0) --periodicLive_;
-  releaseSlot(handle.slot_);
-  --live_;
+  if (slot.period > 0) --shard.periodicLive;
+  releaseSlot(shard, index);
+  --shard.live;
 }
 
-bool Simulator::fireNext() {
-  while (!queue_.empty()) {
-    const HeapEntry entry = queue_.top();
-    queue_.pop();
-    Slot* slot = &slots_[entry.slot];
+// Fires the canonically next live event of `shard`, updating the serial
+// clock and ambient key. Returns false if the shard had only stale entries.
+bool Simulator::fireNextIn(ShardState& shard) {
+  while (!shard.queue.empty()) {
+    const HeapEntry entry = shard.queue.top();
+    shard.queue.pop();
+    Slot* slot = &shard.slots[entry.slot];
     if (slot->gen != entry.gen) continue;  // cancelled
     now_ = entry.when;
-    ++fired_;
+    shard.localNow = entry.when;
+    currentKey_ = slot->destKey;
+    ++shard.fired;
     if (slot->period > 0) {
       // Move the callback out for the call: it may cancel its own series
       // (which resets the slot) without destroying a running closure, and
       // it may schedule new events (which can reallocate the arena).
       Callback fn = std::move(slot->fn);
       fn();
-      slot = &slots_[entry.slot];
+      slot = &shard.slots[entry.slot];
       if (slot->gen == entry.gen) {
         slot->fn = std::move(fn);
-        queue_.push(
-            HeapEntry{now_ + slot->period, nextSeq_++, entry.slot, entry.gen});
+        shard.queue.push(HeapEntry{now_ + slot->period,
+                                   nextStamp(slot->destKey), entry.slot,
+                                   entry.gen});
       }
       return true;
     }
     // One-shot: release the slot before invoking so the handle is stale
     // during the callback and the slot is immediately reusable.
     Callback fn = std::move(slot->fn);
-    releaseSlot(entry.slot);
-    --live_;
+    releaseSlot(shard, entry.slot);
+    --shard.live;
     fn();
     return true;
   }
   return false;
 }
 
-void Simulator::purgeStale() {
-  while (!queue_.empty()) {
-    const HeapEntry& entry = queue_.top();
-    if (slots_[entry.slot].gen == entry.gen) return;
-    queue_.pop();
+void Simulator::purgeStale(ShardState& shard) {
+  while (!shard.queue.empty()) {
+    const HeapEntry& entry = shard.queue.top();
+    if (shard.slots[entry.slot].gen == entry.gen) return;
+    shard.queue.pop();
   }
 }
 
-std::uint64_t Simulator::runUntil(SimTime until) {
+Simulator::ShardState* Simulator::nextShardSerial() {
+  ShardState* best = nullptr;
+  for (ShardState& shard : shards_) {
+    purgeStale(shard);
+    if (shard.queue.empty()) continue;
+    if (best == nullptr) {
+      best = &shard;
+      continue;
+    }
+    const HeapEntry& a = shard.queue.top();
+    const HeapEntry& b = best->queue.top();
+    if (a.when < b.when || (a.when == b.when && a.stamp < b.stamp)) {
+      best = &shard;
+    }
+  }
+  return best;
+}
+
+std::uint64_t Simulator::runUntilSerial(SimTime until) {
   std::uint64_t count = 0;
   for (;;) {
-    purgeStale();
-    if (queue_.empty() || queue_.top().when > until) break;
-    if (fireNext()) ++count;
+    ShardState* shard = nextShardSerial();
+    if (shard == nullptr || shard->queue.top().when > until) break;
+    if (fireNextIn(*shard)) ++count;
   }
   if (now_ < until) now_ = until;
+  currentKey_ = 0;
   return count;
+}
+
+std::uint64_t Simulator::runUntilParallel(SimTime until) {
+  const std::size_t shardN = shards_.size();
+  const std::size_t workerN = std::min(workers_, shardN);
+  const std::uint64_t startFired = eventsFired();
+  const std::uint64_t startBelowFloor = crossBelowFloor();
+
+  SimTime winEnd = 0;
+  bool stopFlag = false;
+  bool degraded = false;  // sub-lookahead post seen: finish serially
+
+  // Runs single-threaded: either before the workers start or as the
+  // barrier completion step while every worker is parked. Merges the
+  // cross-shard outboxes (heap order is stamp-canonical, so application
+  // order is irrelevant to firing order) and opens the next window.
+  auto coordinate = [&]() noexcept {
+    for (ShardState& from : shards_) {
+      for (CrossEvent& ev : from.outbox) {
+        enqueueInShard(shards_[plan_.shardOf(ev.destKey)], ev.when, ev.stamp,
+                       std::move(ev.fn), /*period=*/0, ev.tag, ev.destKey);
+      }
+      from.outbox.clear();
+    }
+    if (crossBelowFloor() != startBelowFloor) {
+      // A cross-shard post undercut the lookahead floor: its destination
+      // shard may already have drained past the event's time, so its
+      // canonical turn was missed. Keep the run alive on the serial merge,
+      // but crossBelowFloor() > 0 marks the results as no longer
+      // guaranteed identical to a serial run.
+      degraded = true;
+      stopFlag = true;
+      return;
+    }
+    SimTime next = kNoEvent;
+    for (ShardState& shard : shards_) {
+      purgeStale(shard);
+      if (!shard.queue.empty()) {
+        next = std::min(next, shard.queue.top().when);
+      }
+    }
+    if (next == kNoEvent || next > until) {
+      stopFlag = true;
+      return;
+    }
+    now_ = next;
+    winEnd = next + plan_.lookahead;
+    ++windowsRun_;
+  };
+
+  coordinate();
+  if (!stopFlag) {
+    std::barrier sync(static_cast<std::ptrdiff_t>(workerN), coordinate);
+    auto workerLoop = [&](std::size_t worker) {
+      tlsWindow.sim = this;
+      for (;;) {
+        for (std::size_t s = worker; s < shardN; s += workerN) {
+          ShardState& shard = shards_[s];
+          tlsWindow.shardIndex = static_cast<std::uint32_t>(s);
+          while (!shard.queue.empty()) {
+            const HeapEntry entry = shard.queue.top();
+            Slot* slot = &shard.slots[entry.slot];
+            if (slot->gen != entry.gen) {
+              shard.queue.pop();
+              continue;
+            }
+            if (entry.when >= winEnd || entry.when > until) break;
+            shard.queue.pop();
+            shard.localNow = entry.when;
+            tlsWindow.key = slot->destKey;
+            ++shard.fired;
+            if (slot->period > 0) {
+              Callback fn = std::move(slot->fn);
+              fn();
+              slot = &shard.slots[entry.slot];
+              if (slot->gen == entry.gen) {
+                slot->fn = std::move(fn);
+                shard.queue.push(HeapEntry{shard.localNow + slot->period,
+                                           nextStamp(slot->destKey),
+                                           entry.slot, entry.gen});
+              }
+              continue;
+            }
+            Callback fn = std::move(slot->fn);
+            releaseSlot(shard, entry.slot);
+            --shard.live;
+            fn();
+          }
+        }
+        sync.arrive_and_wait();
+        if (stopFlag) break;
+      }
+      tlsWindow = WindowTls{};
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(workerN - 1);
+    for (std::size_t w = 1; w < workerN; ++w) {
+      threads.emplace_back(workerLoop, w);
+    }
+    workerLoop(0);
+    for (std::thread& t : threads) t.join();
+  }
+
+  currentKey_ = 0;
+  if (degraded) {
+    std::fprintf(stderr,
+                 "sim: cross-shard post below the %lld us lookahead floor; "
+                 "finishing the run on the serial merge\n",
+                 static_cast<long long>(plan_.lookahead));
+    return (eventsFired() - startFired) + runUntilSerial(until);
+  }
+  if (now_ < until) now_ = until;
+  return eventsFired() - startFired;
+}
+
+std::uint64_t Simulator::runUntil(SimTime until) {
+  if (sharded_ && workers_ > 1 && shards_.size() > 1) {
+    return runUntilParallel(until);
+  }
+  return runUntilSerial(until);
 }
 
 std::uint64_t Simulator::run() {
   std::uint64_t count = 0;
-  while (fireNext()) ++count;
+  for (;;) {
+    ShardState* shard = nextShardSerial();
+    if (shard == nullptr) break;
+    if (fireNextIn(*shard)) ++count;
+  }
+  currentKey_ = 0;
   return count;
 }
 
-bool Simulator::step() { return fireNext(); }
+bool Simulator::step() {
+  ShardState* shard = nextShardSerial();
+  return shard != nullptr && fireNextIn(*shard);
+}
 
 bool Simulator::saveState(snapshot::Writer& w, std::string* error) const {
-  // Drain a copy of the heap: pops come out (when, seq)-sorted, stale
-  // entries are skipped, and the live arena stays untouched.
+  // Drain a copy of each shard's heap: pops come out (when, stamp)-sorted,
+  // stale entries are skipped, and the live arenas stay untouched.
   struct Pending {
     HeapEntry entry;
     SimTime period;
+    std::uint32_t destKey;
     EventTag tag;
   };
   std::vector<Pending> pending;
-  pending.reserve(live_);
-  std::priority_queue<HeapEntry> copy = queue_;
-  while (!copy.empty()) {
-    const HeapEntry entry = copy.top();
-    copy.pop();
-    if (slots_[entry.slot].gen != entry.gen) continue;  // cancelled
-    const EventTag& tag = tags_[entry.slot];
-    if (!tag.tagged()) {
-      if (error != nullptr) {
-        *error = "pending untagged event (scheduled via plain schedule()) "
-                 "cannot be snapshotted";
+  pending.reserve(pendingEvents());
+  for (const ShardState& shard : shards_) {
+    std::priority_queue<HeapEntry> copy = shard.queue;
+    while (!copy.empty()) {
+      const HeapEntry entry = copy.top();
+      copy.pop();
+      if (shard.slots[entry.slot].gen != entry.gen) continue;  // cancelled
+      const EventTag& tag = shard.tags[entry.slot];
+      if (!tag.tagged()) {
+        if (error != nullptr) {
+          *error = "pending untagged event (scheduled via plain schedule()) "
+                   "cannot be snapshotted";
+        }
+        return false;
       }
-      return false;
+      pending.push_back(Pending{entry, shard.slots[entry.slot].period,
+                                shard.slots[entry.slot].destKey, tag});
     }
-    pending.push_back(Pending{entry, slots_[entry.slot].period, tag});
   }
 
-  w.section(0x4d495351);  // "QSIM"
+  if (!sharded_) {
+    // Monolithic engine: the legacy byte layout, unchanged (single shard,
+    // so the drain above already produced the canonical order).
+    w.section(0x4d495351);  // "QSIM"
+    w.i64(now_);
+    w.u64(nextSeq_);
+    w.u64(eventsFired());
+    w.u64(pending.size());
+    for (const Pending& p : pending) {
+      w.i64(p.entry.when);
+      w.u64(p.entry.stamp);
+      w.i64(p.period);
+      w.u8(p.tag.component);
+      w.u8(p.tag.kind);
+      w.u16(p.tag.stage);
+      w.u32(p.tag.a32);
+      w.u64(p.tag.a);
+      w.u64(p.tag.b);
+      w.u64(p.tag.c);
+      w.u64(p.tag.d);
+    }
+    return true;
+  }
+
+  // Sharded engine: shard-count-independent layout — events carry their
+  // owner key and canonical stamp, sorted by the canonical order, so the
+  // bytes (and any restore) are identical at every shard count.
+  std::sort(pending.begin(), pending.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.entry.when != b.entry.when) {
+                return a.entry.when < b.entry.when;
+              }
+              return a.entry.stamp < b.entry.stamp;
+            });
+  w.section(0x4d495353);  // "SSIM"
   w.i64(now_);
-  w.u64(nextSeq_);
-  w.u64(fired_);
+  w.u64(eventsFired());
+  w.u32(plan_.keyCount);
+  for (const std::uint64_t seq : keySeq_) w.u64(seq);
   w.u64(pending.size());
   for (const Pending& p : pending) {
     w.i64(p.entry.when);
-    w.u64(p.entry.seq);
+    w.u64(p.entry.stamp);
+    w.u32(p.destKey);
     w.i64(p.period);
     w.u8(p.tag.component);
     w.u8(p.tag.kind);
@@ -219,26 +575,79 @@ bool Simulator::saveState(snapshot::Writer& w, std::string* error) const {
 }
 
 bool Simulator::loadState(snapshot::Reader& r) {
-  r.section(0x4d495351, "simulator queue");
-  const SimTime savedNow = r.i64();
-  const std::uint64_t savedNextSeq = r.u64();
-  const std::uint64_t savedFired = r.u64();
-  const std::size_t count = r.count(8 + 8 + 8 + 40);
+  for (ShardState& shard : shards_) {
+    shard = ShardState{};
+  }
+
+  if (!sharded_) {
+    r.section(0x4d495351,
+              "simulator queue (was the snapshot saved with --shards?)");
+    const SimTime savedNow = r.i64();
+    const std::uint64_t savedNextSeq = r.u64();
+    const std::uint64_t savedFired = r.u64();
+    const std::size_t count = r.count(8 + 8 + 8 + 40);
+    if (!r.ok()) return false;
+
+    now_ = savedNow;
+    nextSeq_ = savedNextSeq;
+    firedBase_ = savedFired;
+    ShardState& shard = shards_[0];
+    for (std::size_t i = 0; i < count; ++i) {
+      const SimTime when = r.i64();
+      const std::uint64_t seq = r.u64();
+      const SimTime period = r.i64();
+      EventTag tag;
+      tag.component = r.u8();
+      tag.kind = r.u8();
+      tag.stage = r.u16();
+      tag.a32 = r.u32();
+      tag.a = r.u64();
+      tag.b = r.u64();
+      tag.c = r.u64();
+      tag.d = r.u64();
+      if (!r.ok()) return false;
+      if (when < now_ || seq >= nextSeq_ || period < 0 ||
+          tag.component >= kComponentCount || !tag.tagged()) {
+        r.fail("pending event out of range");
+        return false;
+      }
+      EventFactory* factory =
+          factories_[static_cast<std::size_t>(tag.component)];
+      if (factory == nullptr) {
+        r.fail("snapshot contains events for component " +
+               std::to_string(tag.component) +
+               " but no factory is registered (was the run configured "
+               "the same way?)");
+        return false;
+      }
+      const EventHandle handle = enqueueInShard(
+          shard, when, seq, factory->rebuild(tag), period, tag, 0);
+      if (period > 0) ++shard.periodicLive;
+      factory->onRestored(tag, handle);
+    }
+    return r.ok();
+  }
+
+  r.section(0x4d495353,
+            "sharded simulator queue (snapshot and run must both use "
+            "--shards)");
+  now_ = r.i64();
+  firedBase_ = r.u64();
+  const std::uint32_t savedKeys = r.u32();
   if (!r.ok()) return false;
-
-  slots_.clear();
-  tags_.clear();
-  freeHead_ = kNoFree;
-  queue_ = std::priority_queue<HeapEntry>();
-  live_ = 0;
-  periodicLive_ = 0;
-  now_ = savedNow;
-  nextSeq_ = savedNextSeq;
-  fired_ = savedFired;
-
+  if (savedKeys != plan_.keyCount) {
+    r.fail("snapshot community key count (" + std::to_string(savedKeys) +
+           ") does not match this run's catalog (" +
+           std::to_string(plan_.keyCount) + ")");
+    return false;
+  }
+  for (std::uint64_t& seq : keySeq_) seq = r.u64();
+  const std::size_t count = r.count(8 + 8 + 4 + 8 + 40);
+  if (!r.ok()) return false;
   for (std::size_t i = 0; i < count; ++i) {
     const SimTime when = r.i64();
-    const std::uint64_t seq = r.u64();
+    const std::uint64_t stamp = r.u64();
+    const std::uint32_t destKey = r.u32();
     const SimTime period = r.i64();
     EventTag tag;
     tag.component = r.u8();
@@ -250,7 +659,10 @@ bool Simulator::loadState(snapshot::Reader& r) {
     tag.c = r.u64();
     tag.d = r.u64();
     if (!r.ok()) return false;
-    if (when < now_ || seq >= nextSeq_ || period < 0 ||
+    const auto stampKey = static_cast<std::uint32_t>(stamp >> kKeySeqBits);
+    if (when < now_ || period < 0 || destKey >= plan_.keyCount ||
+        stampKey >= plan_.keyCount ||
+        (stamp & kKeySeqMask) >= keySeq_[stampKey] ||
         tag.component >= kComponentCount || !tag.tagged()) {
       r.fail("pending event out of range");
       return false;
@@ -264,15 +676,11 @@ bool Simulator::loadState(snapshot::Reader& r) {
              "the same way?)");
       return false;
     }
-    const std::uint32_t index = allocSlot();
-    Slot& slot = slots_[index];
-    slot.fn = factory->rebuild(tag);
-    slot.period = period;
-    tags_[index] = tag;
-    queue_.push(HeapEntry{when, seq, index, slot.gen});
-    ++live_;
-    if (period > 0) ++periodicLive_;
-    factory->onRestored(tag, EventHandle{index, slot.gen});
+    ShardState& shard = shards_[plan_.shardOf(destKey)];
+    const EventHandle handle = enqueueInShard(
+        shard, when, stamp, factory->rebuild(tag), period, tag, destKey);
+    if (period > 0) ++shard.periodicLive;
+    factory->onRestored(tag, handle);
   }
   return r.ok();
 }

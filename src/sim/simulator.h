@@ -1,4 +1,4 @@
-// Deterministic single-threaded discrete-event simulator.
+// Deterministic discrete-event simulator with optional community sharding.
 //
 // This is the PeerSim substitute (see DESIGN.md §8, "Scheduler internals"):
 // an event loop with an integer-microsecond clock. Events scheduled for the
@@ -12,6 +12,18 @@
 // entry turns stale and is skipped when popped — and a handle kept after its
 // event fired can never cancel an unrelated later event that reused the
 // slot, because the generation no longer matches.
+//
+// Sharded mode (DESIGN.md §13, configureShards): every event is owned by a
+// community key, keys map onto power-of-two shards by masking, and each
+// shard has its own arena + heap. The tie-break stamp becomes
+// (owner key << 40) | per-key sequence — a total order no shard count can
+// change — so a run is bitwise-identical at any shard count. runUntil()
+// merges the shard queues serially by that canonical order; with
+// setWorkers(n > 1) it instead runs conservative lookahead windows on a
+// thread per worker, exchanging cross-shard events at std::barrier
+// synchronization points (only safe for workloads whose events touch
+// shard-local state; the full VoD stack shares RNG/metrics streams and
+// always uses the serial merge).
 #pragma once
 
 #include <array>
@@ -24,6 +36,7 @@
 #include "obs/registry.h"
 #include "sim/callback.h"
 #include "sim/event_tag.h"
+#include "sim/shard.h"
 #include "sim/time.h"
 #include "snapshot/codec.h"
 
@@ -42,6 +55,7 @@ class EventHandle {
   friend class Simulator;
   EventHandle(std::uint32_t slot, std::uint32_t gen)
       : slot_(slot), gen_(gen) {}
+  // High bits carry the owning shard; low kSlotIndexBits the arena index.
   std::uint32_t slot_ = 0;
   std::uint32_t gen_ = 0;  // 0 = never scheduled
 };
@@ -54,7 +68,7 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const;
 
   // Schedules `fn` to run `delay` microseconds from now (delay >= 0).
   EventHandle schedule(SimTime delay, Callback fn);
@@ -63,6 +77,47 @@ class Simulator {
   // Schedules `fn` every `period` starting at now() + period, until
   // cancelled. The returned handle cancels the whole series.
   EventHandle schedulePeriodic(SimTime period, Callback fn);
+
+  // --- community sharding (DESIGN.md §13) -----------------------------------
+  // Splits the engine into plan.shardCount shard queues over
+  // plan.keyCount owner keys. Must be called before anything is scheduled;
+  // false (with *error) on an invalid plan. Key 0 is the root (server,
+  // experiment machinery); the ambient key during setup is 0.
+  bool configureShards(const ShardPlan& plan, std::string* error = nullptr);
+  [[nodiscard]] bool sharded() const { return sharded_; }
+  [[nodiscard]] const ShardPlan& shardPlan() const { return plan_; }
+  [[nodiscard]] std::size_t shardCount() const { return shards_.size(); }
+  // Worker threads for sharded runUntil(). 1 (default) = serial canonical
+  // merge — always safe. > 1 = parallel lookahead windows; only for
+  // workloads whose events touch shard-local state exclusively.
+  void setWorkers(std::size_t workers) { workers_ = workers == 0 ? 1 : workers; }
+  // Owner key of the event currently executing (0 outside of events).
+  // Events scheduled without an explicit key inherit it.
+  [[nodiscard]] std::uint32_t currentKey() const;
+  // Schedules onto another key's shard. In parallel-window mode a
+  // cross-shard delay below the lookahead floor is a hard error; the
+  // serial merge only counts it (crossBelowFloor). The returned handle is
+  // invalid for cross-shard posts made inside a parallel window (the slot
+  // is allocated at the barrier).
+  EventHandle scheduleForKey(std::uint32_t destKey, SimTime delay,
+                             Callback fn);
+  EventHandle scheduleForKeyTagged(std::uint32_t destKey, SimTime delay,
+                                   const EventTag& tag);
+  // Telemetry: cross-shard posts, and posts whose delay undercut the
+  // lookahead floor. The serial merge only counts the latter (it fires in
+  // canonical order regardless); a parallel window detects it at the next
+  // barrier and degrades to the serial merge for the rest of the run —
+  // crossBelowFloor() > 0 after a parallel run means the workload broke
+  // the conservative contract and bitwise equality with a serial run is
+  // no longer guaranteed.
+  [[nodiscard]] std::uint64_t crossShardPosts() const;
+  [[nodiscard]] std::uint64_t crossBelowFloor() const;
+  // Barrier windows executed by parallel runUntil() calls.
+  [[nodiscard]] std::uint64_t windowsRun() const { return windowsRun_; }
+  // Events fired by one shard (per-shard phase profiling).
+  [[nodiscard]] std::uint64_t shardEventsFired(std::size_t shard) const {
+    return shards_[shard].fired;
+  }
 
   // --- tagged events (checkpointable) ------------------------------------------
   // The tagged variants build the callback through the component's
@@ -95,6 +150,11 @@ class Simulator {
   // and invokes EventFactory::onRestored for each event, so components can
   // re-store the handles the original schedule calls returned; the
   // factories for every serialized component must be registered first.
+  // The sharded engine writes a distinct section whose layout is
+  // shard-count-independent (events carry their owner key and canonical
+  // stamp), so a snapshot taken at --shards 8 restores at --shards 1
+  // byte-for-byte; restoring across sharded/monolithic modes fails with a
+  // section mismatch.
   bool saveState(snapshot::Writer& w, std::string* error) const;
   bool loadState(snapshot::Reader& r);
 
@@ -105,26 +165,35 @@ class Simulator {
   // Runs events until the queue is empty or the clock passes `until`.
   // Events at exactly `until` still run. Returns the number of events fired.
   std::uint64_t runUntil(SimTime until);
-  // Runs until the queue drains.
+  // Runs until the queue drains (serial merge in sharded mode).
   std::uint64_t run();
   // Executes at most one event; returns false if the queue was empty.
   bool step();
 
   // Live scheduled events: one-shots not yet fired/cancelled plus one per
   // periodic series. Exact — cancellation is reflected immediately.
-  [[nodiscard]] std::size_t pendingEvents() const { return live_; }
+  [[nodiscard]] std::size_t pendingEvents() const;
   // Live periodic series (cancel releases the series state immediately).
-  [[nodiscard]] std::size_t periodicSeries() const { return periodicLive_; }
-  [[nodiscard]] std::uint64_t eventsFired() const { return fired_; }
+  [[nodiscard]] std::size_t periodicSeries() const;
+  [[nodiscard]] std::uint64_t eventsFired() const;
 
   // Exposes the fired-event count as a pull gauge. The registry must not
   // outlive this simulator.
   void registerInto(obs::Registry& registry) {
-    registry.addGauge("events_fired", [this] { return fired_; });
+    registry.addGauge("events_fired", [this] { return eventsFired(); });
   }
 
  private:
   static constexpr std::uint32_t kNoFree = ~std::uint32_t{0};
+  // EventHandle slot packing: low bits index the shard arena, high bits
+  // name the shard (up to ShardSpec::kMaxShards = 2^8).
+  static constexpr std::uint32_t kSlotIndexBits = 24;
+  static constexpr std::uint32_t kSlotIndexMask =
+      (std::uint32_t{1} << kSlotIndexBits) - 1;
+  // Canonical stamp packing: (owner key << 40) | per-key sequence.
+  static constexpr std::uint32_t kKeySeqBits = 40;
+  static constexpr std::uint64_t kKeySeqMask =
+      (std::uint64_t{1} << kKeySeqBits) - 1;
 
   // Arena slot: owns the callback; `gen` is bumped on every release so
   // outstanding handles and heap entries for the old occupant go stale.
@@ -133,42 +202,92 @@ class Simulator {
     SimTime period = 0;  // > 0: periodic series, re-enqueued after each fire
     std::uint32_t gen = 1;
     std::uint32_t nextFree = kNoFree;
+    // Owner key the event executes under (always 0 when unsharded).
+    std::uint32_t destKey = 0;
   };
 
-  // Heap entries are 24-byte PODs; the callback stays in the arena.
+  // Heap entries are small PODs; the callback stays in the arena. `stamp`
+  // is the canonical tie-break: the global scheduling sequence when
+  // unsharded, (owner key << 40) | per-key sequence when sharded.
   struct HeapEntry {
     SimTime when;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    std::uint32_t slot;
+    std::uint64_t stamp;
+    std::uint32_t slot;  // arena index within the owning shard
     std::uint32_t gen;
 
     // std::priority_queue is a max-heap; invert for earliest-first.
     bool operator<(const HeapEntry& other) const {
       if (when != other.when) return when > other.when;
-      return seq > other.seq;
+      return stamp > other.stamp;
     }
   };
 
-  bool fireNext();
-  EventHandle enqueue(SimTime when, Callback fn, SimTime period,
-                      const EventTag& tag = EventTag{});
-  std::uint32_t allocSlot();
-  void releaseSlot(std::uint32_t index);
-  // Discards cancelled entries so queue_.top(), when present, is live.
-  void purgeStale();
+  // A cross-shard event born inside a parallel window; applied to the
+  // destination shard's arena at the next barrier by the coordinator.
+  struct CrossEvent {
+    SimTime when;
+    std::uint64_t stamp;
+    std::uint32_t destKey;
+    EventTag tag;
+    Callback fn;
+  };
 
-  std::vector<Slot> slots_;
-  // Parallel to slots_: the serializable identity of the occupant's event
-  // (component kNone for untagged events).
-  std::vector<EventTag> tags_;
-  std::uint32_t freeHead_ = kNoFree;
-  std::priority_queue<HeapEntry> queue_;
+  // One community shard: its own arena, free list, and heap. Workers touch
+  // only their own shards during a parallel window; the coordinator touches
+  // all of them while the workers wait at the barrier.
+  struct ShardState {
+    std::vector<Slot> slots;
+    std::vector<EventTag> tags;
+    std::uint32_t freeHead = kNoFree;
+    std::priority_queue<HeapEntry> queue;
+    // Clock of the event this shard is currently executing (parallel
+    // windows let shards advance independently inside a window).
+    SimTime localNow = 0;
+    std::uint64_t fired = 0;
+    std::size_t live = 0;
+    std::size_t periodicLive = 0;
+    // Cross-shard telemetry, owner-written so parallel windows never race.
+    std::uint64_t crossPosts = 0;
+    std::uint64_t belowFloor = 0;
+    // Parallel-window mailbox for cross-shard posts made by this shard.
+    std::vector<CrossEvent> outbox;
+  };
+
+  [[nodiscard]] ShardState& shardForKey(std::uint32_t key) {
+    return shards_[sharded_ ? plan_.shardOf(key) : 0];
+  }
+  [[nodiscard]] std::uint64_t nextStamp(std::uint32_t srcKey);
+  bool fireNextIn(ShardState& shard);
+  // Serial paths: picks the canonically next shard across all queues.
+  ShardState* nextShardSerial();
+  EventHandle enqueue(SimTime when, Callback fn, SimTime period,
+                      const EventTag& tag, std::uint32_t destKey);
+  EventHandle enqueueInShard(ShardState& shard, SimTime when,
+                             std::uint64_t stamp, Callback fn, SimTime period,
+                             const EventTag& tag, std::uint32_t destKey);
+  std::uint32_t allocSlot(ShardState& shard);
+  void releaseSlot(ShardState& shard, std::uint32_t index);
+  // Discards cancelled entries so queue.top(), when present, is live.
+  static void purgeStale(ShardState& shard);
+  std::uint64_t runUntilSerial(SimTime until);
+  std::uint64_t runUntilParallel(SimTime until);
+
+  // shards_[0] doubles as the monolithic engine's storage; configureShards
+  // grows the vector. Deque-like stability is not needed — the vector is
+  // sized once at configuration time.
+  std::vector<ShardState> shards_{1};
   SimTime now_ = 0;
-  std::uint64_t nextSeq_ = 1;
-  std::uint64_t fired_ = 0;
-  std::size_t live_ = 0;
-  std::size_t periodicLive_ = 0;
+  std::uint64_t nextSeq_ = 1;  // unsharded global stamp source
+  // Events fired before the current shard counters started (loadState).
+  std::uint64_t firedBase_ = 0;
   std::array<EventFactory*, kComponentCount> factories_{};
+
+  bool sharded_ = false;
+  ShardPlan plan_;
+  std::vector<std::uint64_t> keySeq_;  // per-key stamp sources (sharded)
+  std::uint32_t currentKey_ = 0;       // serial ambient owner key
+  std::size_t workers_ = 1;
+  std::uint64_t windowsRun_ = 0;
 };
 
 }  // namespace st::sim

@@ -42,7 +42,7 @@ std::string readerError(const Reader& r) {
 }  // namespace
 
 bool save(const std::string& path, const Participants& p, const Compat& compat,
-          std::string* error) {
+          std::string* error, std::uint64_t* bytesOut) {
   if (p.sim == nullptr || p.network == nullptr || p.ctx == nullptr ||
       p.metrics == nullptr || p.transfers == nullptr || p.driver == nullptr ||
       p.selector == nullptr || p.releases == nullptr ||
@@ -90,11 +90,17 @@ bool save(const std::string& path, const Participants& p, const Compat& compat,
   // The event queue goes last so restore can rebuild callbacks against
   // fully loaded component state.
   if (!p.sim->saveState(w, error)) return false;
-  return w.writeFile(path, error);
+  if (!w.writeFile(path, error)) return false;
+  if (bytesOut != nullptr) {
+    // magic + version + body length + CRC, then the body itself.
+    *bytesOut = 20 + static_cast<std::uint64_t>(w.body().size());
+  }
+  return true;
 }
 
 bool restore(const std::string& path, const Participants& p,
-             const Compat& compat, std::string* error, RestoreInfo* info) {
+             const Compat& compat, std::string* error, RestoreInfo* info,
+             std::uint64_t* bytesOut) {
   if (p.sim == nullptr || p.network == nullptr || p.ctx == nullptr ||
       p.metrics == nullptr || p.transfers == nullptr || p.driver == nullptr ||
       p.selector == nullptr || p.releases == nullptr ||
@@ -104,6 +110,7 @@ bool restore(const std::string& path, const Participants& p,
 
   std::vector<std::uint8_t> bytes;
   if (!Reader::readFile(path, &bytes, error)) return false;
+  const auto fileBytes = static_cast<std::uint64_t>(bytes.size());
   Reader r(std::move(bytes));
   if (!r.ok()) return failOut(error, readerError(r));
 
@@ -195,6 +202,7 @@ bool restore(const std::string& path, const Participants& p,
   if (!r.atEnd()) {
     return failOut(error, "snapshot has trailing bytes after the sim queue");
   }
+  if (bytesOut != nullptr) *bytesOut = fileBytes;
   return true;
 }
 

@@ -81,9 +81,10 @@ struct Compat {
 // Serializes the complete run state to `path` (atomically buffered in
 // memory, then written with header + CRC). Fails — without writing — when
 // any pending simulator event is untagged. On failure returns false and
-// sets *error.
+// sets *error. On success *bytesOut (when non-null) receives the on-disk
+// file size, header included — the runner reports it as snapshot.bytes.
 bool save(const std::string& path, const Participants& p, const Compat& compat,
-          std::string* error);
+          std::string* error, std::uint64_t* bytesOut = nullptr);
 
 // What restore() found in the file — lets the caller arm machinery that is
 // newly configured for this run (absent from the snapshot).
@@ -98,8 +99,11 @@ struct RestoreInfo {
 // sections are absent from the file, RestoreInfo reports them unloaded, and
 // the caller arms them. Returns false and sets *error on any mismatch or
 // corruption.
+// On success *bytesOut (when non-null) receives the size of the file image
+// that was restored — the same number save() reported for it, so a
+// save/restore differential pair exposes identical snapshot.bytes telemetry.
 bool restore(const std::string& path, const Participants& p,
              const Compat& compat, std::string* error,
-             RestoreInfo* info = nullptr);
+             RestoreInfo* info = nullptr, std::uint64_t* bytesOut = nullptr);
 
 }  // namespace st::snapshot

@@ -1,36 +1,63 @@
 #include "trace/catalog.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace st::trace {
 
+namespace {
+
+// Packs `lists` into `arena` and hands each entity its span via `publish`.
+// The arena must have been reserved to the exact total beforehand — a
+// reallocation here would dangle every span published so far.
+template <typename Id, typename Publish>
+void packArena(std::vector<std::vector<Id>>& lists, std::vector<Id>& arena,
+               Publish&& publish) {
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    const std::size_t begin = arena.size();
+    arena.insert(arena.end(), lists[i].begin(), lists[i].end());
+    publish(i, std::span<const Id>(arena.data() + begin,
+                                   arena.size() - begin));
+  }
+  lists.clear();
+  lists.shrink_to_fit();
+}
+
+}  // namespace
+
 CategoryId Catalog::addCategory(std::string name) {
+  assert(!sealed_);
   const CategoryId id{static_cast<std::uint32_t>(categories_.size())};
   Category category;
   category.id = id;
   category.name = std::move(name);
   categories_.push_back(std::move(category));
+  buildCategoryChannels_.emplace_back();
   return id;
 }
 
 ChannelId Catalog::addChannel(UserId owner,
                               std::vector<CategoryId> categories) {
+  assert(!sealed_);
   assert(!categories.empty());
   const ChannelId id{static_cast<std::uint32_t>(channels_.size())};
   Channel channel;
   channel.id = id;
   channel.owner = owner;
-  channel.categories = std::move(categories);
   channels_.push_back(std::move(channel));
-  for (const CategoryId category : channels_.back().categories) {
-    categories_[category.index()].channels.push_back(id);
+  for (const CategoryId category : categories) {
+    buildCategoryChannels_[category.index()].push_back(id);
   }
+  buildChannelCategories_.push_back(std::move(categories));
+  buildChannelVideos_.emplace_back();
+  buildSubscribers_.emplace_back();
   if (owner.valid()) users_[owner.index()].ownedChannel = id;
   return id;
 }
 
 VideoId Catalog::addVideo(ChannelId channelId, double lengthSeconds,
                           std::uint32_t uploadDay) {
+  assert(!sealed_);
   const VideoId id{static_cast<std::uint32_t>(videos_.size())};
   Video video;
   video.id = id;
@@ -38,30 +65,99 @@ VideoId Catalog::addVideo(ChannelId channelId, double lengthSeconds,
   video.lengthSeconds = lengthSeconds;
   video.uploadDay = uploadDay;
   videos_.push_back(video);
-  channels_[channelId.index()].videos.push_back(id);
+  buildChannelVideos_[channelId.index()].push_back(id);
   return id;
 }
 
 UserId Catalog::addUser() {
+  assert(!sealed_);
   const UserId id{static_cast<std::uint32_t>(users_.size())};
   User user;
   user.id = id;
   users_.push_back(std::move(user));
+  buildInterests_.emplace_back();
+  buildSubscriptions_.emplace_back();
+  buildFavorites_.emplace_back();
   return id;
 }
 
+void Catalog::addInterest(UserId userId, CategoryId category) {
+  assert(!sealed_);
+  buildInterests_[userId.index()].push_back(category);
+}
+
 void Catalog::subscribe(UserId userId, ChannelId channelId) {
-  users_[userId.index()].subscriptions.push_back(channelId);
-  channels_[channelId.index()].subscribers.push_back(userId);
+  assert(!sealed_);
+  buildSubscriptions_[userId.index()].push_back(channelId);
+  buildSubscribers_[channelId.index()].push_back(userId);
 }
 
 void Catalog::addFavorite(UserId userId, VideoId videoId) {
-  users_[userId.index()].favorites.push_back(videoId);
+  linkFavorite(userId, videoId);
   videos_[videoId.index()].favorites += 1.0;
 }
 
+void Catalog::linkFavorite(UserId userId, VideoId videoId) {
+  assert(!sealed_);
+  buildFavorites_[userId.index()].push_back(videoId);
+}
+
+void Catalog::seal() {
+  assert(!sealed_ && "Catalog::seal must run exactly once");
+
+  std::size_t categorySlots = 0;
+  for (const auto& list : buildInterests_) categorySlots += list.size();
+  for (const auto& list : buildChannelCategories_) categorySlots += list.size();
+  std::size_t channelSlots = 0;
+  for (const auto& list : buildSubscriptions_) channelSlots += list.size();
+  for (const auto& list : buildCategoryChannels_) channelSlots += list.size();
+  std::size_t videoSlots = 0;
+  for (const auto& list : buildFavorites_) videoSlots += list.size();
+  for (const auto& list : buildChannelVideos_) videoSlots += list.size();
+  std::size_t userSlots = 0;
+  for (const auto& list : buildSubscribers_) userSlots += list.size();
+
+  categoryArena_.reserve(categorySlots);
+  channelArena_.reserve(channelSlots);
+  videoArena_.reserve(videoSlots);
+  userArena_.reserve(userSlots);
+
+  packArena(buildInterests_, categoryArena_,
+            [this](std::size_t i, std::span<const CategoryId> s) {
+              users_[i].interests = s;
+            });
+  packArena(buildChannelCategories_, categoryArena_,
+            [this](std::size_t i, std::span<const CategoryId> s) {
+              channels_[i].categories = s;
+            });
+  packArena(buildSubscriptions_, channelArena_,
+            [this](std::size_t i, std::span<const ChannelId> s) {
+              users_[i].subscriptions = s;
+            });
+  packArena(buildCategoryChannels_, channelArena_,
+            [this](std::size_t i, std::span<const ChannelId> s) {
+              categories_[i].channels = s;
+            });
+  packArena(buildFavorites_, videoArena_,
+            [this](std::size_t i, std::span<const VideoId> s) {
+              users_[i].favorites = s;
+            });
+  packArena(buildChannelVideos_, videoArena_,
+            [this](std::size_t i, std::span<const VideoId> s) {
+              channels_[i].videos = s;
+            });
+  packArena(buildSubscribers_, userArena_,
+            [this](std::size_t i, std::span<const UserId> s) {
+              channels_[i].subscribers = s;
+            });
+
+  sealed_ = true;
+}
+
 bool Catalog::isSubscribed(UserId userId, ChannelId channelId) const {
-  const auto& subs = users_[userId.index()].subscriptions;
+  const std::span<const ChannelId> subs =
+      sealed_ ? users_[userId.index()].subscriptions
+              : std::span<const ChannelId>(buildSubscriptions_[userId.index()]);
   return std::find(subs.begin(), subs.end(), channelId) != subs.end();
 }
 

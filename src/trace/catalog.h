@@ -1,4 +1,19 @@
 // The Catalog owns every trace entity and provides indexed lookups.
+//
+// Adjacency lists are arena-backed: during construction they accumulate in
+// per-entity build tables, and seal() packs each id type into one contiguous
+// arena and publishes std::span views on the entities. A million-user
+// catalog therefore costs a handful of large allocations instead of
+// millions of small vectors. The catalog is move-only — moving transfers
+// the arenas, so published spans stay valid; copying would leave the copy's
+// spans pointing into the original.
+//
+// Lifecycle: addX()/subscribe()/... while unsealed, then exactly one
+// seal(), then read-only use. Mutators assert on a sealed catalog; the
+// entity spans are empty until seal() runs. The few builders that must read
+// adjacency mid-build (the generator ranks a channel's videos by realized
+// views) go through videosOf()/channelsOf(), which answer from either
+// phase.
 #pragma once
 
 #include <cassert>
@@ -12,16 +27,51 @@ namespace st::trace {
 class Catalog {
  public:
   Catalog() = default;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
 
-  // --- construction (used by TraceGenerator) -------------------------------
+  // --- construction (used by TraceGenerator; invalid after seal()) ---------
   CategoryId addCategory(std::string name);
   ChannelId addChannel(UserId owner, std::vector<CategoryId> categories);
   VideoId addVideo(ChannelId channel, double lengthSeconds,
                    std::uint32_t uploadDay);
   UserId addUser();
 
+  void addInterest(UserId user, CategoryId category);
   void subscribe(UserId user, ChannelId channel);
+  // Appends to the user's favorites list AND bumps the video's favorite
+  // count (the generator's path).
   void addFavorite(UserId user, VideoId video);
+  // List-only variant for loaders whose favorite counts were serialized
+  // separately (trace/io.cpp).
+  void linkFavorite(UserId user, VideoId video);
+
+  // Build-phase mutable video list: the generator (and the loader) reorder
+  // a channel's videos by popularity rank before sealing.
+  [[nodiscard]] std::vector<VideoId>& mutableVideos(ChannelId id) {
+    assert(!sealed_ && id.index() < channels_.size());
+    return buildChannelVideos_[id.index()];
+  }
+
+  // Packs the build tables into the arenas and publishes the entity spans.
+  // Must be called exactly once, after which the catalog is read-only.
+  void seal();
+  [[nodiscard]] bool sealed() const { return sealed_; }
+
+  // --- phase-agnostic adjacency reads --------------------------------------
+  [[nodiscard]] std::span<const VideoId> videosOf(ChannelId id) const {
+    assert(id.index() < channels_.size());
+    return sealed_ ? channels_[id.index()].videos
+                   : std::span<const VideoId>(buildChannelVideos_[id.index()]);
+  }
+  [[nodiscard]] std::span<const ChannelId> channelsOf(CategoryId id) const {
+    assert(id.index() < categories_.size());
+    return sealed_
+               ? categories_[id.index()].channels
+               : std::span<const ChannelId>(buildCategoryChannels_[id.index()]);
+  }
 
   Video& video(VideoId id) {
     assert(id.index() < videos_.size());
@@ -71,7 +121,7 @@ class Catalog {
   [[nodiscard]] std::size_t categoryCount() const { return categories_.size(); }
 
   // True if `user` subscribes to `channel` (linear scan: subscription lists
-  // are short).
+  // are short). Answers in either phase.
   [[nodiscard]] bool isSubscribed(UserId user, ChannelId channel) const;
 
  private:
@@ -79,6 +129,26 @@ class Catalog {
   std::vector<Channel> channels_;
   std::vector<User> users_;
   std::vector<Category> categories_;
+
+  // Build-phase adjacency, indexed like the entity vectors; cleared by
+  // seal() once the arenas are packed.
+  std::vector<std::vector<CategoryId>> buildInterests_;          // per user
+  std::vector<std::vector<ChannelId>> buildSubscriptions_;       // per user
+  std::vector<std::vector<VideoId>> buildFavorites_;             // per user
+  std::vector<std::vector<CategoryId>> buildChannelCategories_;  // per channel
+  std::vector<std::vector<VideoId>> buildChannelVideos_;         // per channel
+  std::vector<std::vector<UserId>> buildSubscribers_;            // per channel
+  std::vector<std::vector<ChannelId>> buildCategoryChannels_;    // per category
+
+  // Sealed arenas, one per id type; entity spans point into these. The
+  // buffers never grow after seal(), so the spans stay valid for the
+  // catalog's (or its move-target's) lifetime.
+  std::vector<CategoryId> categoryArena_;  // interests + channel categories
+  std::vector<ChannelId> channelArena_;    // subscriptions + category channels
+  std::vector<VideoId> videoArena_;        // favorites + channel videos
+  std::vector<UserId> userArena_;          // channel subscribers
+
+  bool sealed_ = false;
 };
 
 }  // namespace st::trace

@@ -3,11 +3,17 @@
 // The generator (trace/generator.h) fills these so their marginal
 // distributions match the paper's crawl statistics (§III, Figs. 2-13); the
 // simulation layers consume them read-only.
+//
+// Adjacency lists (interests, subscriptions, videos, ...) are spans into
+// arenas owned by the Catalog: one contiguous buffer per id type instead of
+// one heap vector per entity, so a million-user catalog is a handful of
+// allocations. The spans are published by Catalog::seal() — until then they
+// are empty and the lists live in the catalog's build-phase side tables.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "util/strong_id.h"
 
@@ -31,10 +37,10 @@ struct Channel {
   UserId owner;
   // Interest categories this channel's content spans; front() is primary.
   // Channels focus on few categories (Fig. 11).
-  std::vector<CategoryId> categories;
+  std::span<const CategoryId> categories;
   // Sorted by rank: videos[0] is the channel's most popular video.
-  std::vector<VideoId> videos;
-  std::vector<UserId> subscribers;
+  std::span<const VideoId> videos;
+  std::span<const UserId> subscribers;
   // Average views per day across the channel's videos (Fig. 3).
   double viewFrequency = 0.0;
   double totalViews = 0.0;
@@ -47,10 +53,10 @@ struct Channel {
 struct User {
   UserId id;
   // Interest categories (Fig. 13: ~60% of users < 10, max 18).
-  std::vector<CategoryId> interests;
-  std::vector<ChannelId> subscriptions;
+  std::span<const CategoryId> interests;
+  std::span<const ChannelId> subscriptions;
   // Videos the user marked as favorite; drives the Fig. 12 similarity metric.
-  std::vector<VideoId> favorites;
+  std::span<const VideoId> favorites;
   // Channel this user owns, if any (BFS crawl traverses owner links).
   ChannelId ownedChannel = ChannelId::invalid();
 };
@@ -58,7 +64,7 @@ struct User {
 struct Category {
   CategoryId id;
   std::string name;
-  std::vector<ChannelId> channels;
+  std::span<const ChannelId> channels;
 };
 
 }  // namespace st::trace

@@ -148,9 +148,12 @@ Catalog generateTrace(const GeneratorParams& params) {
     }
 
     // Distribute the channel's views over its videos: noisy Zipf shares
-    // (Fig. 9), then rank videos by realized views.
+    // (Fig. 9), then rank videos by realized views. The list is still in
+    // the catalog's build table (spans publish at seal()), so the reorder
+    // goes through the mutable build accessor.
     Channel& channel = catalog.channel(channelId);
-    const std::size_t n = channel.videos.size();
+    std::vector<VideoId>& videos = catalog.mutableVideos(channelId);
+    const std::size_t n = videos.size();
     channel.totalViews =
         channel.viewFrequency * static_cast<double>(p.traceDays) / 2.0;
     std::vector<double> shares(n);
@@ -161,10 +164,10 @@ Catalog generateTrace(const GeneratorParams& params) {
       shareSum += shares[k];
     }
     for (std::size_t k = 0; k < n; ++k) {
-      catalog.video(channel.videos[k]).views =
+      catalog.video(videos[k]).views =
           channel.totalViews * shares[k] / shareSum;
     }
-    std::sort(channel.videos.begin(), channel.videos.end(),
+    std::sort(videos.begin(), videos.end(),
               [&catalog](VideoId a, VideoId b) {
                 const double va = catalog.video(a).views;
                 const double vb = catalog.video(b).views;
@@ -172,7 +175,7 @@ Catalog generateTrace(const GeneratorParams& params) {
                 return a < b;
               });
     for (std::size_t k = 0; k < n; ++k) {
-      catalog.video(channel.videos[k]).rankInChannel =
+      catalog.video(videos[k]).rankInChannel =
           static_cast<std::uint32_t>(k);
     }
   }
@@ -189,8 +192,7 @@ Catalog generateTrace(const GeneratorParams& params) {
   for (std::size_t cat = 0; cat < p.numCategories; ++cat) {
     std::vector<double> weights;
     for (const ChannelId ch :
-         catalog.category(CategoryId{static_cast<std::uint32_t>(cat)})
-             .channels) {
+         catalog.channelsOf(CategoryId{static_cast<std::uint32_t>(cat)})) {
       categoryChannelIndex[cat].push_back(ch.index());
       weights.push_back(subscriptionWeight[ch.index()]);
     }
@@ -214,25 +216,31 @@ Catalog generateTrace(const GeneratorParams& params) {
   };
 
   for (std::size_t u = 0; u < p.numUsers; ++u) {
-    User& user = catalog.user(UserId{static_cast<std::uint32_t>(u)});
+    const UserId userId{static_cast<std::uint32_t>(u)};
 
     // Interests (Fig. 13): 1 + Poisson, weighted by category popularity.
+    // Built locally (the loop below samples from the list) and mirrored
+    // into the catalog's build tables as they are decided.
     std::size_t interestCount = std::min<std::size_t>(
         1 + rngUsers.poisson(p.interestMean), interestCap);
     std::unordered_set<std::size_t> interestSet;
     while (interestSet.size() < interestCount) {
       interestSet.insert(categoryPopularity.sample(rngUsers));
     }
+    std::vector<CategoryId> interests;
+    interests.reserve(interestSet.size());
     for (const std::size_t cat : interestSet) {
-      user.interests.push_back(CategoryId{static_cast<std::uint32_t>(cat)});
+      interests.push_back(CategoryId{static_cast<std::uint32_t>(cat)});
     }
-    std::sort(user.interests.begin(), user.interests.end());
+    std::sort(interests.begin(), interests.end());
+    for (const CategoryId cat : interests) catalog.addInterest(userId, cat);
 
     // Subscriptions: heavy-tailed count, mostly inside interests.
     const auto subTarget = static_cast<std::size_t>(std::clamp(
         std::round(rngUsers.lognormal(p.subsPerUserMu, p.subsPerUserSigma)),
         1.0, static_cast<double>(std::min(p.subscriptionCap, p.numChannels))));
     std::unordered_set<std::size_t> chosen;
+    std::vector<ChannelId> subs;
     std::size_t attempts = 0;
     const std::size_t budget = subTarget * 40 + 80;
     while (chosen.size() < subTarget && attempts < budget) {
@@ -241,7 +249,7 @@ Catalog generateTrace(const GeneratorParams& params) {
       const bool inInterest = rngUsers.bernoulli(p.inInterestSubscriptionBias);
       if (inInterest) {
         const CategoryId cat =
-            user.interests[rngUsers.uniformInt(user.interests.size())];
+            interests[rngUsers.uniformInt(interests.size())];
         const auto& sampler = categorySamplers[cat.index()];
         if (sampler.empty()) continue;
         channelIdx =
@@ -250,8 +258,9 @@ Catalog generateTrace(const GeneratorParams& params) {
         channelIdx = globalChannelSampler.sample(rngUsers);
       }
       if (chosen.insert(channelIdx).second) {
-        catalog.subscribe(user.id,
-                          ChannelId{static_cast<std::uint32_t>(channelIdx)});
+        const ChannelId channelId{static_cast<std::uint32_t>(channelIdx)};
+        subs.push_back(channelId);
+        catalog.subscribe(userId, channelId);
       }
     }
 
@@ -260,20 +269,18 @@ Catalog generateTrace(const GeneratorParams& params) {
     std::unordered_set<std::uint32_t> favored;
     for (std::size_t f = 0; f < favoriteCount; ++f) {
       ChannelId channelId;
-      if (!user.subscriptions.empty() &&
+      if (!subs.empty() &&
           rngUsers.bernoulli(p.favoriteFromSubscriptionBias)) {
-        channelId =
-            user.subscriptions[rngUsers.uniformInt(user.subscriptions.size())];
+        channelId = subs[rngUsers.uniformInt(subs.size())];
       } else {
         channelId = ChannelId{static_cast<std::uint32_t>(
             globalChannelSampler.sample(rngUsers))};
       }
-      const Channel& channel = catalog.channel(channelId);
-      const std::size_t rank =
-          channelZipf(channel.videos.size()).sample(rngUsers);
-      const VideoId videoId = channel.videos[rank];
+      const std::span<const VideoId> videos = catalog.videosOf(channelId);
+      const std::size_t rank = channelZipf(videos.size()).sample(rngUsers);
+      const VideoId videoId = videos[rank];
       if (favored.insert(videoId.value()).second) {
-        catalog.addFavorite(user.id, videoId);
+        catalog.addFavorite(userId, videoId);
       }
     }
   }
@@ -288,6 +295,7 @@ Catalog generateTrace(const GeneratorParams& params) {
     catalog.video(video.id).favorites += external;
   }
 
+  catalog.seal();
   return catalog;
 }
 

@@ -88,7 +88,7 @@ std::optional<Catalog> loadCatalog(std::istream& in) {
       for (std::size_t i = 0; i < interestCount; ++i) {
         std::uint32_t category;
         if (!(in >> category)) return std::nullopt;
-        catalog.user(user).interests.push_back(CategoryId{category});
+        catalog.addInterest(user, CategoryId{category});
       }
     } else if (kind == "channel") {
       std::uint32_t id;
@@ -151,21 +151,22 @@ std::optional<Catalog> loadCatalog(std::istream& in) {
         return std::nullopt;
       }
       // addFavorite would bump the video's favorite count, which was
-      // already serialized; append to the list directly.
-      catalog.user(UserId{user}).favorites.push_back(VideoId{video});
+      // already serialized; link the list entry only.
+      catalog.linkFavorite(UserId{user}, VideoId{video});
     } else {
       return std::nullopt;  // unknown record
     }
   }
 
-  // Restore per-channel rank ordering (videos were appended in id order).
+  // Restore per-channel rank ordering (videos were appended in id order),
+  // then seal: the arenas pack and the entity spans publish.
   for (const Channel& channel : catalog.channels()) {
-    auto videos = channel.videos;
+    std::vector<VideoId>& videos = catalog.mutableVideos(channel.id);
     std::sort(videos.begin(), videos.end(), [&catalog](VideoId a, VideoId b) {
       return catalog.video(a).rankInChannel < catalog.video(b).rankInChannel;
     });
-    catalog.channel(channel.id).videos = std::move(videos);
   }
+  catalog.seal();
   return catalog;
 }
 

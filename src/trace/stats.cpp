@@ -125,7 +125,8 @@ TraceStats::SharedSubscriberGraph TraceStats::sharedSubscriberGraph(
   // subscription list (quadratic in list length, not in channels).
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> shared;
   for (const User& user : catalog_.users()) {
-    std::vector<ChannelId> subs = user.subscriptions;
+    std::vector<ChannelId> subs(user.subscriptions.begin(),
+                                user.subscriptions.end());
     std::sort(subs.begin(), subs.end());
     for (std::size_t i = 0; i < subs.size(); ++i) {
       for (std::size_t j = i + 1; j < subs.size(); ++j) {

@@ -37,6 +37,24 @@ SystemContext::SystemContext(sim::Simulator& simulator, net::Network& network,
   const auto streamSlots = static_cast<std::size_t>(
       std::max(4.0, 2.0 * config.serverUploadBps / config.bitrateBps));
   network_.flows().setUploadConcurrencyLimit(serverEndpoint_, streamSlots);
+  // Community sharding: derive each user's home key from the catalog and
+  // route deliveries onto the receiver's shard (DESIGN.md §13). The key is
+  // deterministic in the catalog alone, so it is identical at every shard
+  // count (and in the serial --shards 1 merge).
+  if (simulator.sharded()) {
+    const auto categories = catalog.categoryCount();
+    assert(categories > 0);
+    homeKey_.resize(catalog.userCount());
+    for (std::size_t i = 0; i < homeKey_.size(); ++i) {
+      const trace::User& user = catalog.users()[i];
+      const std::uint32_t category =
+          user.interests.empty()
+              ? static_cast<std::uint32_t>(i % categories)
+              : user.interests.front().index();
+      homeKey_[i] = 1 + category;
+    }
+    network_.setShardRouter(this);
+  }
   // Overload-control policies (inert unless --overload enables them).
   if (config.overload.playbackFloorBps > 0.0) {
     network_.flows().setPlaybackFloor(config.overload.playbackFloorBps);

@@ -23,7 +23,7 @@
 
 namespace st::vod {
 
-class SystemContext {
+class SystemContext final : public net::ShardRouter {
  public:
   SystemContext(sim::Simulator& simulator, net::Network& network,
                 const trace::Catalog& catalog, const VideoLibrary& library,
@@ -50,6 +50,21 @@ class SystemContext {
     return EndpointId{user.value()};
   }
   [[nodiscard]] EndpointId serverEndpoint() const { return serverEndpoint_; }
+
+  // --- community sharding (net::ShardRouter) --------------------------------
+  // A user's home community is their primary interest (first entry of the
+  // catalog's sorted interest list; users without interests hash over the
+  // categories); the origin server and everything it schedules live on the
+  // root key 0. Only populated when the simulator is sharded — the
+  // constructor then installs this context as the network's router so
+  // deliveries land on the receiver's shard.
+  [[nodiscard]] std::uint32_t homeKeyOf(UserId user) const {
+    return homeKey_.empty() ? 0 : homeKey_[user.index()];
+  }
+  [[nodiscard]] std::uint32_t shardKeyOf(EndpointId endpoint) const override {
+    if (endpoint == serverEndpoint_ || homeKey_.empty()) return 0;
+    return homeKey_[endpoint.value()];
+  }
 
   [[nodiscard]] bool isOnline(UserId user) const {
     return online_[user.index()] != 0;
@@ -152,6 +167,9 @@ class SystemContext {
   Rng rng_;
   BreakerBoard breakers_;
   EndpointId serverEndpoint_;
+  // Per-user owner community key (1 + category index); empty unless the
+  // simulator is sharded.
+  std::vector<std::uint32_t> homeKey_;
   std::vector<char> online_;
   std::vector<sim::SimTime> offlineSince_;
   std::vector<char> released_;

@@ -34,6 +34,7 @@ trace::Catalog twoChannelCatalog() {
   for (std::uint32_t u = 0; u < 6; ++u) {
     catalog.subscribe(UserId{u}, home);  // nobody subscribes to `ghost`
   }
+  catalog.seal();
   return catalog;
 }
 

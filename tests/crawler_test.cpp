@@ -78,6 +78,7 @@ TEST(Crawler, OnlyFollowsSubscriptionOwnerLinks) {
   catalog.addVideo(c1, 100.0, 1);
   catalog.subscribe(u0, c1);
   catalog.subscribe(u1, c2);
+  catalog.seal();
 
   // Any seed starting inside the connected component {u0,u1,u2} must not
   // reach u3; a seed on u3 stays on u3. Try several seeds and check closure.

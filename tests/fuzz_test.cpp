@@ -271,6 +271,95 @@ TEST_P(ScheduleFuzz, WellFormedSpecsAlwaysParse) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz, ::testing::Values(1, 2, 3));
 
+// --- --shards spec parsing under random and adversarial input -------------------
+
+// ShardSpec::parse is the CLI gate for the sharded engine (the same
+// exit-2-with-offending-token contract --faults and --overload follow).
+// Documented rejects: zero, non-power-of-two, counts above kMaxShards,
+// non-decimal garbage. Whatever goes in, parse must never crash; rejects
+// must name the offending token; accepted counts are exactly the powers of
+// two in [1, 256].
+
+TEST(ShardSpecFuzz, RejectsDocumentedBadSpecs) {
+  const char* bad[] = {
+      "",      "0",    "3",    "6",     "12",  "100",      "255",
+      "257",   "512",  "1024", "99999999999999999999",     "two",
+      "8 ",    " 8",   "0x8",  "-4",    "4.0", "8;8",      "2,4",
+  };
+  for (const char* spec : bad) {
+    sim::ShardSpec out;
+    std::string error;
+    EXPECT_FALSE(sim::ShardSpec::parse(spec, &out, &error)) << spec;
+    // The diagnostic quotes the offending token, --faults/--overload style.
+    EXPECT_NE(error.find('\''), std::string::npos) << spec;
+    EXPECT_NE(error.find(spec), std::string::npos) << spec << " -> " << error;
+    // A null error sink must be safe on the reject path too.
+    EXPECT_FALSE(sim::ShardSpec::parse(spec, &out, nullptr)) << spec;
+  }
+}
+
+TEST(ShardSpecFuzz, AcceptsExactlyThePowersOfTwoUpToMax) {
+  for (std::uint32_t n = 1; n <= 2 * sim::ShardSpec::kMaxShards; ++n) {
+    sim::ShardSpec out;
+    std::string error;
+    const bool accepted =
+        sim::ShardSpec::parse(std::to_string(n), &out, &error);
+    const bool powerOfTwo = (n & (n - 1)) == 0;
+    EXPECT_EQ(accepted, powerOfTwo && n <= sim::ShardSpec::kMaxShards) << n;
+    if (accepted) {
+      EXPECT_EQ(out.count, n);
+      EXPECT_TRUE(out.any());
+    }
+  }
+}
+
+class ShardSpecRandomFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardSpecRandomFuzz, NeverCrashesAndAcceptsOnlyValidCounts) {
+  Rng rng(GetParam());
+  static constexpr char kAlphabet[] = "0123456789abcxyz.,;-+ ";
+  for (int step = 0; step < 5000; ++step) {
+    std::string spec;
+    const auto length = rng.uniformInt(std::uint64_t{12});
+    for (std::uint64_t i = 0; i < length; ++i) {
+      spec += kAlphabet[rng.uniformInt(std::uint64_t{sizeof(kAlphabet) - 1})];
+    }
+    sim::ShardSpec out;
+    std::string error;
+    if (sim::ShardSpec::parse(spec, &out, &error)) {
+      ASSERT_GE(out.count, 1u) << spec;
+      ASSERT_LE(out.count, sim::ShardSpec::kMaxShards) << spec;
+      ASSERT_EQ(out.count & (out.count - 1), 0u) << spec;
+      // Parsing is pure: a second pass agrees.
+      sim::ShardSpec again;
+      ASSERT_TRUE(sim::ShardSpec::parse(spec, &again, nullptr)) << spec;
+      ASSERT_EQ(again.count, out.count) << spec;
+    } else {
+      ASSERT_FALSE(error.empty()) << spec;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardSpecRandomFuzz,
+                         ::testing::Values(1, 2, 3));
+
+// Shards-vs-communities is a plan-level check (the catalog is not known at
+// CLI-parse time): a spec that passes the grammar still fails validation —
+// with a diagnostic naming the community count — when it exceeds the
+// catalog's communities.
+TEST(ShardSpecFuzz, ShardsBeyondCommunitiesRejectedAtPlanValidation) {
+  sim::ShardSpec spec;
+  ASSERT_TRUE(sim::ShardSpec::parse("64", &spec, nullptr));
+  sim::ShardPlan plan;
+  plan.keyCount = 9;  // 8 communities
+  plan.shardCount = spec.count;
+  plan.lookahead = sim::kMillisecond;
+  std::string error;
+  EXPECT_FALSE(plan.validate(&error));
+  EXPECT_NE(error.find("communities"), std::string::npos) << error;
+  EXPECT_NE(error.find("8"), std::string::npos) << error;
+}
+
 // --- Snapshot deserialization under hostile bytes ------------------------------
 
 // The codec promises restore-or-nothing on bad input: any mutation of a

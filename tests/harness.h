@@ -94,11 +94,12 @@ inline trace::Catalog miniCatalog(std::size_t users, std::size_t categories,
   for (std::size_t u = 0; u < users; ++u) {
     const UserId user{static_cast<std::uint32_t>(u)};
     const CategoryId home{static_cast<std::uint32_t>(u % categories)};
-    catalog.user(user).interests.push_back(home);
-    for (const ChannelId ch : catalog.category(home).channels) {
+    catalog.addInterest(user, home);
+    for (const ChannelId ch : catalog.channelsOf(home)) {
       catalog.subscribe(user, ch);
     }
   }
+  catalog.seal();
   return catalog;
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "trace/generator.h"
@@ -27,21 +28,26 @@ void expectEqualCatalogs(const Catalog& a, const Catalog& b) {
   for (std::size_t i = 0; i < a.categoryCount(); ++i) {
     const CategoryId id{static_cast<std::uint32_t>(i)};
     EXPECT_EQ(a.category(id).name, b.category(id).name);
-    EXPECT_EQ(a.category(id).channels, b.category(id).channels);
+    EXPECT_TRUE(std::ranges::equal(a.category(id).channels,
+                                   b.category(id).channels));
   }
   for (std::size_t i = 0; i < a.userCount(); ++i) {
     const UserId id{static_cast<std::uint32_t>(i)};
-    EXPECT_EQ(a.user(id).interests, b.user(id).interests);
-    EXPECT_EQ(a.user(id).subscriptions, b.user(id).subscriptions);
-    EXPECT_EQ(a.user(id).favorites, b.user(id).favorites);
+    EXPECT_TRUE(std::ranges::equal(a.user(id).interests, b.user(id).interests));
+    EXPECT_TRUE(
+        std::ranges::equal(a.user(id).subscriptions, b.user(id).subscriptions));
+    EXPECT_TRUE(std::ranges::equal(a.user(id).favorites, b.user(id).favorites));
     EXPECT_EQ(a.user(id).ownedChannel, b.user(id).ownedChannel);
   }
   for (std::size_t i = 0; i < a.channelCount(); ++i) {
     const ChannelId id{static_cast<std::uint32_t>(i)};
     EXPECT_EQ(a.channel(id).owner, b.channel(id).owner);
-    EXPECT_EQ(a.channel(id).categories, b.channel(id).categories);
-    EXPECT_EQ(a.channel(id).videos, b.channel(id).videos);
-    EXPECT_EQ(a.channel(id).subscribers, b.channel(id).subscribers);
+    EXPECT_TRUE(std::ranges::equal(a.channel(id).categories,
+                                   b.channel(id).categories));
+    EXPECT_TRUE(
+        std::ranges::equal(a.channel(id).videos, b.channel(id).videos));
+    EXPECT_TRUE(std::ranges::equal(a.channel(id).subscribers,
+                                   b.channel(id).subscribers));
     EXPECT_DOUBLE_EQ(a.channel(id).viewFrequency, b.channel(id).viewFrequency);
     EXPECT_DOUBLE_EQ(a.channel(id).totalViews, b.channel(id).totalViews);
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 
 namespace st::net {
@@ -122,6 +123,96 @@ TEST(Network, DeliversMessageAfterDelay) {
   EXPECT_GE(sim.now(), 9 * sim::kMillisecond);
   EXPECT_EQ(network.messagesSent(), 1u);
   EXPECT_EQ(network.messagesLost(), 0u);
+}
+
+// --- lookahead floor (minDelay) regressions -----------------------------------
+//
+// The sharded engine derives its barrier window from LatencyModel::minDelay
+// (DESIGN.md §13), so the floor must be (a) strictly positive for every
+// shippable model and (b) an actual lower bound on sampled cross-endpoint
+// delays. A violated floor would let a cross-shard message arrive inside a
+// window its destination shard already drained.
+
+TEST(LookaheadFloor, EveryShippableModelDeclaresAPositiveFloor) {
+  const CleanLatencyModel clean(1, sim::kMillisecond, 2 * sim::kMillisecond);
+  const WideAreaLatencyModel wideArea(2);
+  const GeoLatencyModel geo(3);
+  EXPECT_GT(clean.minDelay(), 0);
+  EXPECT_GT(wideArea.minDelay(), 0);
+  EXPECT_GT(geo.minDelay(), 0);
+}
+
+TEST(LookaheadFloor, BaseClassDefaultsToNoFloor) {
+  // A custom model that does not override minDelay() declares no usable
+  // floor — sharded runs must be refused at startup, not misordered later.
+  class NoFloorModel final : public LatencyModel {
+    [[nodiscard]] sim::SimTime delay(EndpointId, EndpointId,
+                                     Rng&) const override {
+      return 1;
+    }
+    [[nodiscard]] bool lost(EndpointId, EndpointId, Rng&) const override {
+      return false;
+    }
+  };
+  const NoFloorModel model;
+  EXPECT_EQ(model.minDelay(), 0);
+
+  sim::ShardPlan plan;
+  plan.keyCount = 9;
+  plan.shardCount = 2;
+  plan.lookahead = model.minDelay();
+  std::string error;
+  EXPECT_FALSE(plan.validate(&error));
+  // The startup diagnostic names the latency configuration as the culprit.
+  EXPECT_NE(error.find("latency"), std::string::npos) << error;
+  EXPECT_NE(error.find("--shards"), std::string::npos) << error;
+}
+
+TEST(LookaheadFloor, CleanModelNeverUndercutsItsFloor) {
+  const CleanLatencyModel model(7, sim::kMillisecond, 2 * sim::kMillisecond,
+                                /*jitterFraction=*/0.05);
+  const sim::SimTime floor = model.minDelay();
+  ASSERT_GT(floor, 0);
+  Rng rng(7);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    const EndpointId a{i};
+    const EndpointId b{i * 7 + 1};
+    if (a == b) continue;
+    ASSERT_GE(model.delay(a, b, rng), floor) << "pair " << i;
+  }
+}
+
+TEST(LookaheadFloor, WideAreaModelNeverUndercutsItsFloor) {
+  const WideAreaLatencyModel model(11, /*medianMs=*/80.0, /*sigma=*/0.6,
+                                   /*lossRate=*/0.0);
+  const sim::SimTime floor = model.minDelay();
+  ASSERT_GT(floor, 0);
+  Rng rng(11);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_GE(model.delay(EndpointId{i}, EndpointId{i + 60000}, rng), floor);
+  }
+}
+
+TEST(LookaheadFloor, GeoModelNeverUndercutsItsFloor) {
+  const GeoLatencyModel model(13);
+  const sim::SimTime floor = model.minDelay();
+  ASSERT_GT(floor, 0);
+  Rng rng(13);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_GE(model.delay(EndpointId{i}, EndpointId{i + 9000}, rng), floor);
+  }
+}
+
+TEST(LookaheadFloor, DegenerateCleanConfigStillHonorsItsOwnFloor) {
+  // Pathologically tight band with heavy jitter: the floor must track the
+  // worst case the model can actually emit, not the nominal lower bound.
+  const CleanLatencyModel model(17, /*lo=*/10, /*hi=*/11,
+                                /*jitterFraction=*/0.5);
+  const sim::SimTime floor = model.minDelay();
+  Rng rng(17);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_GE(model.delay(EndpointId{i}, EndpointId{i + 1}, rng), floor);
+  }
 }
 
 TEST(Network, LossyModelDropsSomeMessages) {

@@ -80,6 +80,7 @@ TEST(VideoLibrary, ChunkMathIsConsistent) {
   catalog.addUser();
   const ChannelId channel = catalog.addChannel(UserId{0}, {cat});
   catalog.addVideo(channel, 200.0, 0);  // 200 s
+  catalog.seal();
   VodConfig config;
   config.bitrateBps = 320'000.0;
   config.chunksPerVideo = 20;
@@ -98,6 +99,7 @@ TEST(VideoLibrary, TinyVideoStillHasAtLeastOneBytePerChunk) {
   catalog.addUser();
   const ChannelId channel = catalog.addChannel(UserId{0}, {cat});
   catalog.addVideo(channel, 0.0001, 0);
+  catalog.seal();
   VodConfig config;
   const VideoLibrary library(catalog, config);
   EXPECT_GE(library.asset(VideoId{0}).chunkBytes, 1u);

@@ -1,0 +1,185 @@
+// Sharded-vs-sequential equality over the full experiment stack.
+//
+// The headline acceptance criterion of the community-sharded engine
+// (DESIGN.md §13): a run at --shards N is bitwise-identical to the same
+// run at --shards 1 — every counter, every metric sample, and the final
+// overlay fingerprint — for all three systems, calm or under scripted
+// faults and overload control. Also: a snapshot taken at --shards 8
+// restores at --shards 1 (and vice versa) byte-for-byte.
+//
+// Carries the `shard` ctest label; scripts/check.sh runs the label under
+// TSan as the sharded-engine gate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/runner.h"
+#include "snapshot_harness.h"
+#include "vod/overload.h"
+#include "trace/generator.h"
+
+namespace st {
+namespace {
+
+// Small but structurally rich workload: >= 8 interest categories so an
+// 8-shard run has no empty shards, enough users per community for real
+// overlay traffic.
+exp::ExperimentConfig shardConfig(std::uint64_t seed = 11) {
+  exp::ExperimentConfig config = exp::ExperimentConfig::simulationDefaults(seed);
+  config = config.scaledTo(240, 2);
+  config.trace.numCategories = 8;
+  config.duration = 2 * sim::kHour;
+  return config;
+}
+
+exp::ExperimentResult runAtShards(exp::ExperimentConfig config,
+                                  exp::SystemKind system,
+                                  std::uint32_t shards) {
+  config.shards.count = shards;
+  return exp::runExperiment(config, system);
+}
+
+void expectIdenticalResults(const exp::ExperimentResult& a,
+                            const exp::ExperimentResult& b) {
+  EXPECT_TRUE(a.counters == b.counters);
+  if (!(a.counters == b.counters)) {
+    for (const auto& entry : a.counters.entries()) {
+      if (!b.counters.has(entry.name) ||
+          b.counters.at(entry.name) != entry.value) {
+        ADD_FAILURE() << "counter " << entry.name << " diverges";
+      }
+    }
+  }
+  EXPECT_EQ(a.overlayFingerprint, b.overlayFingerprint);
+  ASSERT_EQ(a.startupDelayMs.count(), b.startupDelayMs.count());
+  EXPECT_EQ(a.startupDelayMs.mean(), b.startupDelayMs.mean());
+  ASSERT_EQ(a.normalizedPeerBandwidth.count(),
+            b.normalizedPeerBandwidth.count());
+  EXPECT_EQ(a.normalizedPeerBandwidth.mean(),
+            b.normalizedPeerBandwidth.mean());
+  EXPECT_EQ(a.uploadGini, b.uploadGini);
+}
+
+class ShardEquality : public ::testing::TestWithParam<exp::SystemKind> {};
+
+TEST_P(ShardEquality, CalmRunMatchesSequential) {
+  const exp::ExperimentConfig config = shardConfig();
+  const exp::ExperimentResult sequential =
+      exp::runExperiment(config, GetParam());  // monolithic engine
+  const exp::ExperimentResult one = runAtShards(config, GetParam(), 1);
+  const exp::ExperimentResult eight = runAtShards(config, GetParam(), 8);
+  // Sharded runs must agree with each other at every count...
+  expectIdenticalResults(one, eight);
+  // ...and with the monolithic engine (the serial merge preserves the
+  // scheduling order the monolithic global sequence produces).
+  expectIdenticalResults(sequential, one);
+  EXPECT_GT(eight.watches(), 0u);
+}
+
+TEST_P(ShardEquality, FaultyRunMatchesSequential) {
+  exp::ExperimentConfig config = shardConfig(13);
+  config.faults.spec = "crash:t=1800,frac=0.15;loss:t=2400,dur=600,rate=0.25";
+  config.faults.auditInterval = 15 * sim::kMinute;
+  const exp::ExperimentResult one = runAtShards(config, GetParam(), 1);
+  const exp::ExperimentResult eight = runAtShards(config, GetParam(), 8);
+  expectIdenticalResults(one, eight);
+  EXPECT_GT(one.counter("fault.events"), 0u);
+}
+
+TEST_P(ShardEquality, OverloadedRunMatchesSequential) {
+  exp::ExperimentConfig config = shardConfig(17);
+  std::string error;
+  ASSERT_TRUE(vod::OverloadConfig::parse("on", &config.vod.overload, &error))
+      << error;
+  // Starve the server so the overload machinery actually engages.
+  config.vod.serverUploadBps = 600'000.0;
+  const exp::ExperimentResult one = runAtShards(config, GetParam(), 1);
+  const exp::ExperimentResult eight = runAtShards(config, GetParam(), 8);
+  expectIdenticalResults(one, eight);
+}
+
+TEST_P(ShardEquality, FourShardsAgreeToo) {
+  const exp::ExperimentConfig config = shardConfig(19);
+  expectIdenticalResults(runAtShards(config, GetParam(), 2),
+                         runAtShards(config, GetParam(), 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, ShardEquality,
+                         ::testing::Values(exp::SystemKind::kSocialTube,
+                                           exp::SystemKind::kNetTube,
+                                           exp::SystemKind::kPaVod),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case exp::SystemKind::kSocialTube:
+                               return "SocialTube";
+                             case exp::SystemKind::kNetTube:
+                               return "NetTube";
+                             default:
+                               return "PaVod";
+                           }
+                         });
+
+// --- snapshot portability across shard counts ---------------------------------
+
+TEST(ShardSnapshotPortability, SavedAtEightRestoresAtOneBitwise) {
+  exp::ExperimentConfig config = shardConfig(23);
+  const std::string path = st::testing::snapshotPath("shards8");
+
+  // Arm 1: --shards 8, snapshot mid-run, keep going (the baseline).
+  exp::ExperimentConfig warm = config;
+  warm.shards.count = 8;
+  warm.snapshot.out = path;
+  warm.snapshot.at = sim::kHour;
+  const exp::ExperimentResult baseline =
+      exp::runExperiment(warm, exp::SystemKind::kSocialTube);
+
+  // Arm 2: restore that file at --shards 1 and run to the horizon. The
+  // SSIM queue section is shard-count-independent, so the restored run
+  // must finish bitwise-identical to the 8-shard baseline.
+  exp::ExperimentConfig resumed = config;
+  resumed.shards.count = 1;
+  resumed.snapshot.in = path;
+  const exp::ExperimentResult restored =
+      exp::runExperiment(resumed, exp::SystemKind::kSocialTube);
+  std::remove(path.c_str());
+
+  expectIdenticalResults(baseline, restored);
+}
+
+TEST(ShardSnapshotPortability, SavedAtOneRestoresAtEightBitwise) {
+  exp::ExperimentConfig config = shardConfig(29);
+  const std::string path = st::testing::snapshotPath("shards1");
+
+  exp::ExperimentConfig warm = config;
+  warm.shards.count = 1;
+  warm.snapshot.out = path;
+  warm.snapshot.at = sim::kHour;
+  const exp::ExperimentResult baseline =
+      exp::runExperiment(warm, exp::SystemKind::kNetTube);
+
+  exp::ExperimentConfig resumed = config;
+  resumed.shards.count = 8;
+  resumed.snapshot.in = path;
+  const exp::ExperimentResult restored =
+      exp::runExperiment(resumed, exp::SystemKind::kNetTube);
+  std::remove(path.c_str());
+
+  expectIdenticalResults(baseline, restored);
+}
+
+// The sharded differential harness: snapshot/restore at the same shard
+// count must of course also be bitwise (the standard differential run,
+// with sharding on).
+TEST(ShardSnapshotPortability, ShardedDifferentialIsBitwise) {
+  exp::ExperimentConfig config = shardConfig(31);
+  config.shards.count = 4;
+  const st::testing::DifferentialRun run = st::testing::runDifferential(
+      config, exp::SystemKind::kSocialTube, sim::kHour);
+  st::testing::expectBitwiseEqual(run);
+}
+
+}  // namespace
+}  // namespace st

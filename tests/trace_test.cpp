@@ -130,7 +130,8 @@ TEST(TraceGenerator, DeterministicInSeed) {
   ASSERT_EQ(a.userCount(), b.userCount());
   for (std::size_t i = 0; i < a.userCount(); ++i) {
     const UserId id{static_cast<std::uint32_t>(i)};
-    EXPECT_EQ(a.user(id).subscriptions, b.user(id).subscriptions);
+    EXPECT_TRUE(
+        std::ranges::equal(a.user(id).subscriptions, b.user(id).subscriptions));
   }
 }
 
